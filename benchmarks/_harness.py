@@ -1,0 +1,237 @@
+"""Shared builders for the benchmark suite.
+
+Every figure/table benchmark runs a workload in one of several *tool
+configurations* over identical inputs:
+
+``none``
+    Uninstrumented baseline (the denominator of every slowdown).
+``pmtest``
+    PMTest attached: operations tracked, traces checked (synchronously,
+    so timings are deterministic), transaction checkers where the paper
+    uses them.
+``pmtest-framework``
+    PMTest tracking and engine, but no checkers placed — the
+    "PMTest Framework" bar of Figure 10b.
+``pmemcheck``
+    The per-store baseline tool attached to the same runtime.
+
+Workload construction (machine allocation, pool formatting) happens in
+untimed ``prepare_*`` functions; only the ``execute`` closure they
+return is measured.  Benchmarks are sized well below the paper's op
+counts (the substrate is a Python simulator, not a C binary on
+NVDIMMs); EXPERIMENTS.md records the scaling argument.  The quantities
+compared — slowdown ratios — are dimensionless.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.baselines.pmemcheck import PmemcheckTool
+from repro.core.api import PMTestSession
+from repro.instr.runtime import PMRuntime
+from repro.pmem.machine import PMMachine
+from repro.pmdk.pool import PMPool
+from repro.pmfs.fs import PMFS
+from repro.structures import ALL_STRUCTURES
+from repro.workloads import (
+    MemcachedServer,
+    RedisServer,
+    drive_fs,
+    drive_kv,
+    filebench_ops,
+    memslap_ops,
+    oltp_ops,
+    redis_lru_ops,
+    run_client_threads,
+    ycsb_ops,
+)
+
+TOOLS = ("none", "pmtest", "pmemcheck")
+
+#: module-level result store: (figure, config) -> mean seconds
+RESULTS: Dict[Tuple[str, Tuple], float] = {}
+
+Execute = Callable[[], None]
+
+
+def record(figure: str, config: Tuple, benchmark) -> None:
+    """Stash a benchmark's mean runtime for the figure report."""
+    RESULTS[(figure, config)] = benchmark.stats.stats.mean
+
+
+def slowdown(figure: str, config: Tuple,
+             baseline_config: Tuple) -> Optional[float]:
+    """Tool-config runtime divided by the matching baseline runtime."""
+    tool_time = RESULTS.get((figure, config))
+    base_time = RESULTS.get((figure, baseline_config))
+    if tool_time is None or base_time is None or base_time == 0:
+        return None
+    return tool_time / base_time
+
+
+def pedantic(benchmark, rounds: int, make_execute: Callable[[], Execute]):
+    """Run ``make_execute()`` (untimed setup) before each timed round."""
+
+    def setup():
+        return (make_execute(),), {}
+
+    benchmark.pedantic(
+        lambda execute: execute(), setup=setup, rounds=rounds, iterations=1
+    )
+
+
+# ----------------------------------------------------------------------
+# Tool plumbing
+# ----------------------------------------------------------------------
+def make_runtime(tool: str, mem_size: int):
+    """Returns ``(runtime, session, finisher)`` for a tool config."""
+    machine = PMMachine(mem_size)
+    if tool == "none":
+        return PMRuntime(machine=machine), None, lambda: None
+    if tool in ("pmtest", "pmtest-framework"):
+        session = PMTestSession(workers=0)
+        session.thread_init()
+        session.start()
+        runtime = PMRuntime(machine=machine, session=session)
+        return runtime, session, session.exit
+    if tool == "pmemcheck":
+        checker = PmemcheckTool(track_findings=False)
+        runtime = PMRuntime(machine=machine, observers=[checker])
+        return runtime, None, checker.finish
+    raise ValueError(f"unknown tool {tool!r}")
+
+
+# ----------------------------------------------------------------------
+# Figure 10: microbenchmarks
+# ----------------------------------------------------------------------
+def prepare_micro(
+    structure: str,
+    value_size: int,
+    tool: str,
+    n_ops: int = 100,
+    mem_size: int = 16 << 20,
+    capture_sites: bool = False,
+) -> Execute:
+    """Build one microbenchmark configuration; returns the timed body
+    (``n_ops`` insertions, one transaction each, plus result drain)."""
+    runtime, session, finish = make_runtime(tool, mem_size)
+    runtime.capture_sites = capture_sites
+    pool = PMPool(runtime, log_capacity=256 * 1024)
+    instance = ALL_STRUCTURES[structure](pool, value_size=value_size)
+    transactional = structure != "hashmap_atomic"
+    wrap = tool == "pmtest" and transactional
+    if session is not None:
+        session.send_trace()
+
+    def execute() -> None:
+        for i in range(n_ops):
+            if wrap:
+                session.tx_check_start()
+            instance.insert(i)
+            if wrap:
+                session.tx_check_end()
+            if session is not None:
+                session.send_trace()
+        finish()
+
+    return execute
+
+
+# ----------------------------------------------------------------------
+# Figure 11: real workloads
+# ----------------------------------------------------------------------
+REAL_WORKLOADS = (
+    "memcached+memslap",
+    "memcached+ycsb",
+    "redis+lru",
+    "pmfs+oltp",
+    "pmfs+filebench",
+)
+
+
+def prepare_real(workload: str, tool: str, scale: int = 300,
+                 mem_size: int = 16 << 20) -> Execute:
+    """Build one real-workload configuration (paper Table 4, scaled)."""
+    runtime, session, finish = make_runtime(tool, mem_size)
+    if workload.startswith("memcached"):
+        pool = PMPool(runtime, log_capacity=256 * 1024)
+        server = MemcachedServer(pool)
+        ops = list(
+            memslap_ops(scale, key_space=scale // 4)
+            if workload.endswith("memslap")
+            else ycsb_ops(scale, key_space=scale // 4)
+        )
+
+        def execute() -> None:
+            drive_kv(server, ops, session=session, trace_every=10)
+            finish()
+
+    elif workload == "redis+lru":
+        pool = PMPool(runtime, log_capacity=256 * 1024)
+        server = RedisServer(pool, maxkeys=scale // 3)
+        ops = list(redis_lru_ops(scale // 2))
+
+        def execute() -> None:
+            drive_kv(server, ops, session=session,
+                     tx_check=tool == "pmtest", trace_every=10)
+            finish()
+
+    elif workload == "pmfs+oltp":
+        fs = PMFS(runtime, size=4 << 20, journal_capacity=64 * 1024)
+        ops = list(oltp_ops(scale // 3))
+
+        def execute() -> None:
+            drive_fs(fs, ops, session=session, trace_every=10)
+            finish()
+
+    elif workload == "pmfs+filebench":
+        fs = PMFS(runtime, size=4 << 20, journal_capacity=64 * 1024)
+        ops = list(filebench_ops(scale))
+
+        def execute() -> None:
+            drive_fs(fs, ops, session=session, trace_every=10)
+            finish()
+
+    else:
+        raise ValueError(f"unknown workload {workload!r}")
+    return execute
+
+
+# ----------------------------------------------------------------------
+# Figure 12: scalability
+# ----------------------------------------------------------------------
+def prepare_memcached_threads(
+    n_threads: int,
+    n_workers: int,
+    ops_per_client: int = 120,
+    with_pmtest: bool = True,
+    mem_size: int = 16 << 20,
+) -> Execute:
+    """Memcached with N server threads and M PMTest workers."""
+    machine = PMMachine(mem_size)
+    session = None
+    if with_pmtest:
+        session = PMTestSession(workers=n_workers)
+        session.thread_init()
+        session.start()
+    runtime = PMRuntime(machine=machine, session=session)
+    pool = PMPool(runtime, log_capacity=256 * 1024)
+    server = MemcachedServer(pool)
+    if session is not None:
+        session.send_trace()
+    op_lists = [
+        list(memslap_ops(ops_per_client, key_space=64, seed=i))
+        for i in range(n_threads)
+    ]
+
+    def execute() -> None:
+        def worker(index: int) -> int:
+            return drive_kv(server, op_lists[index], session=session,
+                            trace_every=5)
+
+        run_client_threads(worker, n_threads, session=session)
+        if session is not None:
+            session.exit()
+
+    return execute

@@ -1,0 +1,109 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+1. **Interval map vs per-byte shadow** — the paper's core speed claim:
+   the same engine semantics over a naive per-byte dict shadow must be
+   far slower on coarse-grained traces.
+2. **Trace batching** — ``PMTest_SEND_TRACE`` granularity: batching
+   many operations per trace amortizes dispatch.
+3. **Source-site capture** — the per-op file:line metadata is the most
+   expensive part of tracking; measure it.
+"""
+
+import pytest
+
+from _harness import pedantic, prepare_micro, prepare_real, record, RESULTS
+
+from repro.core.engine import CheckingEngine
+from repro.core.events import Event, Op, Trace
+from repro.core.rules import X86Rules
+from repro.core.rules.naive import NaiveX86Rules
+
+
+# ----------------------------------------------------------------------
+# 1. Shadow-memory representation
+# ----------------------------------------------------------------------
+def _coarse_trace(n_tx: int = 50, span: int = 2048) -> Trace:
+    """A trace of coarse writes — the shape PM transactions produce."""
+    trace = Trace(0)
+    for i in range(n_tx):
+        base = (i % 8) * span
+        trace.append(Event(Op.WRITE, base, span))
+        trace.append(Event(Op.CLWB, base, span))
+        trace.append(Event(Op.SFENCE))
+        trace.append(Event(Op.CHECK_PERSIST, base, span))
+    return trace
+
+
+@pytest.mark.parametrize("shadow", ["interval", "naive"])
+def test_ablation_shadow(benchmark, bench_rounds, shadow):
+    rules = X86Rules() if shadow == "interval" else NaiveX86Rules()
+    engine = CheckingEngine(rules)
+    trace = _coarse_trace()
+
+    def run():
+        result = engine.check_trace(trace)
+        assert result.passed
+
+    benchmark.pedantic(run, rounds=bench_rounds, iterations=1)
+    record("ablation-shadow", (shadow,), benchmark)
+
+
+def test_ablation_shadow_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    interval = RESULTS.get(("ablation-shadow", ("interval",)))
+    naive = RESULTS.get(("ablation-shadow", ("naive",)))
+    if interval is None or naive is None:
+        pytest.skip("shadow ablation did not run")
+    # The interval map must beat per-byte tracking by a wide margin on
+    # coarse-grained traces.
+    assert naive > 5 * interval, (interval, naive)
+
+
+# ----------------------------------------------------------------------
+# 2. Trace batching (SEND_TRACE granularity)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("trace_every", [1, 10, 50])
+@pytest.mark.parametrize("tool", ["none", "pmtest"])
+def test_ablation_batching(benchmark, bench_rounds, trace_every, tool):
+    def make():
+        from _harness import make_runtime
+        from repro.pmdk.pool import PMPool
+        from repro.workloads import MemcachedServer, drive_kv, memslap_ops
+
+        runtime, session, finish = make_runtime(tool, 16 << 20)
+        pool = PMPool(runtime, log_capacity=256 * 1024)
+        server = MemcachedServer(pool)
+        ops = list(memslap_ops(250, key_space=64))
+
+        def execute():
+            drive_kv(server, ops, session=session, trace_every=trace_every)
+            finish()
+
+        return execute
+
+    pedantic(benchmark, bench_rounds, make)
+    record("ablation-batching", (trace_every, tool), benchmark)
+
+
+# ----------------------------------------------------------------------
+# 3. Source-site capture
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("sites", ["off", "on"])
+def test_ablation_sites(benchmark, bench_rounds, sites):
+    def make():
+        return prepare_micro(
+            "hashmap_tx", 256, "pmtest", n_ops=80,
+            capture_sites=sites == "on",
+        )
+
+    pedantic(benchmark, bench_rounds, make)
+    record("ablation-sites", (sites, "pmtest"), benchmark)
+
+
+def test_ablation_sites_baseline(benchmark, bench_rounds):
+    pedantic(
+        benchmark,
+        bench_rounds,
+        lambda: prepare_micro("hashmap_tx", 256, "none", n_ops=80),
+    )
+    record("ablation-sites", ("off", "none"), benchmark)

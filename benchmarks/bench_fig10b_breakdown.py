@@ -1,0 +1,51 @@
+"""Figure 10b: PMTest overhead breakdown (framework vs checkers).
+
+Paper result: because checking is decoupled from execution, the checkers
+contribute only 18.9%–37.8% of PMTest's total overhead; the rest is
+operation tracking and framework plumbing.  Here "framework" is a run
+with tracking and the engine active but no checkers placed; the delta to
+the fully checked run is the checker cost.
+"""
+
+import pytest
+
+from _harness import pedantic, prepare_micro, record, slowdown
+
+STRUCTURES = ["ctree", "btree", "rbtree", "hashmap_tx", "hashmap_atomic"]
+TX_SIZES = [64, 1024]
+MODES = ["none", "pmtest-framework", "pmtest"]
+
+
+@pytest.mark.parametrize("structure", STRUCTURES)
+@pytest.mark.parametrize("value_size", TX_SIZES)
+@pytest.mark.parametrize("tool", MODES)
+def test_fig10b(benchmark, bench_rounds, structure, value_size, tool):
+    pedantic(
+        benchmark,
+        bench_rounds,
+        lambda: prepare_micro(structure, value_size, tool, n_ops=100),
+    )
+    record("fig10b", (structure, value_size, tool), benchmark)
+
+
+def test_fig10b_shape(benchmark):
+    """Checkers must cost extra, but the framework must dominate."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    framework_parts = []
+    for structure in STRUCTURES:
+        for size in TX_SIZES:
+            base = (structure, size, "none")
+            framework = slowdown(
+                "fig10b", (structure, size, "pmtest-framework"), base
+            )
+            full = slowdown("fig10b", (structure, size, "pmtest"), base)
+            if framework is None or full is None:
+                continue
+            if full > 1.0 and framework > 1.0:
+                framework_parts.append((framework - 1) / max(full - 1, 1e-9))
+    if not framework_parts:
+        pytest.skip("fig10b benchmarks did not run")
+    # The tracking/framework share of total overhead is the majority on
+    # average (paper: checkers are only ~19-38% of it).
+    mean_share = sum(framework_parts) / len(framework_parts)
+    assert mean_share > 0.4, mean_share

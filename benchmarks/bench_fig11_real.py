@@ -1,0 +1,58 @@
+"""Figure 11: PMTest slowdown on the real workloads (paper Table 4).
+
+Paper result: PMTest costs 1.33–1.98x (1.69x average) across
+Memcached+Memslap, Memcached+YCSB, Redis+LRU, PMFS+OLTP and
+PMFS+Filebench — much lower than on the microbenchmarks because real
+workloads touch PM less intensively; Pmemcheck on Redis costs 22.3x
+(13.6x more than PMTest).
+"""
+
+import pytest
+
+from _harness import REAL_WORKLOADS, pedantic, prepare_real, record, slowdown
+
+TOOLS = ["none", "pmtest"]
+
+
+@pytest.mark.parametrize("workload", REAL_WORKLOADS)
+@pytest.mark.parametrize("tool", TOOLS)
+def test_fig11(benchmark, bench_rounds, workload, tool):
+    pedantic(
+        benchmark,
+        bench_rounds,
+        lambda: prepare_real(workload, tool, scale=300),
+    )
+    record("fig11", (workload, tool), benchmark)
+
+
+def test_fig11_redis_pmemcheck(benchmark, bench_rounds):
+    """The paper additionally measures Pmemcheck on the PMDK-based
+    workload (Redis): 22.3x there, vs PMTest's ~1.6x."""
+    pedantic(
+        benchmark,
+        bench_rounds,
+        lambda: prepare_real("redis+lru", "pmemcheck", scale=300),
+    )
+    record("fig11", ("redis+lru", "pmemcheck"), benchmark)
+
+
+def test_fig11_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    ratios = {}
+    for workload in REAL_WORKLOADS:
+        ratio = slowdown("fig11", (workload, "pmtest"), (workload, "none"))
+        if ratio is not None:
+            ratios[workload] = ratio
+    if not ratios:
+        pytest.skip("fig11 benchmarks did not run")
+    average = sum(ratios.values()) / len(ratios)
+    micro_scale_slowdown = 5.0
+    # Real workloads are much less PM intensive than the microbenches:
+    # the average slowdown stays small (paper: 1.69x).
+    assert average < micro_scale_slowdown, ratios
+    # Pmemcheck on Redis costs far more than PMTest on Redis.
+    pmtest_redis = ratios.get("redis+lru")
+    pmc_redis = slowdown("fig11", ("redis+lru", "pmemcheck"),
+                         ("redis+lru", "none"))
+    if pmtest_redis is not None and pmc_redis is not None:
+        assert pmc_redis > 2 * pmtest_redis, (pmtest_redis, pmc_redis)

@@ -1,0 +1,81 @@
+"""Figure 12: Memcached scalability vs program threads and PMTest workers.
+
+Paper result: (a) with a single PMTest worker, slowdown grows with the
+number of Memcached threads (more traces per unit time); (b) with four
+Memcached threads, adding workers reduces the slowdown; (c) growing both
+together keeps slowdown roughly flat, rising slightly from inter-thread
+communication.
+
+Caveat recorded in DESIGN.md Section 6: CPython's GIL prevents true
+parallel checking, so the *worker* axis reproduces the dispatch
+behaviour but not the full parallel speedup; the thread axis (more
+client load per wall-second of tracked execution) reproduces cleanly.
+"""
+
+import pytest
+
+from _harness import pedantic, prepare_memcached_threads, record, slowdown
+
+THREADS = [1, 2, 4]
+WORKERS = [1, 2, 4]
+
+
+@pytest.mark.parametrize("threads", THREADS)
+def test_fig12_baseline(benchmark, bench_rounds, threads):
+    """Uninstrumented Memcached at each thread count (denominators)."""
+    pedantic(
+        benchmark,
+        bench_rounds,
+        lambda: prepare_memcached_threads(threads, 0, with_pmtest=False),
+    )
+    record("fig12", (threads, 0, "none"), benchmark)
+
+
+@pytest.mark.parametrize("threads", THREADS)
+def test_fig12a_thread_sweep(benchmark, bench_rounds, threads):
+    """(a) single PMTest worker, 1-4 Memcached threads."""
+    pedantic(
+        benchmark,
+        bench_rounds,
+        lambda: prepare_memcached_threads(threads, 1),
+    )
+    record("fig12", (threads, 1, "pmtest"), benchmark)
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_fig12b_worker_sweep(benchmark, bench_rounds, workers):
+    """(b) four Memcached threads, 2-4 PMTest workers (1 is in (a))."""
+    pedantic(
+        benchmark,
+        bench_rounds,
+        lambda: prepare_memcached_threads(4, workers),
+    )
+    record("fig12", (4, workers, "pmtest"), benchmark)
+
+
+@pytest.mark.parametrize("both", [2])
+def test_fig12c_joint_sweep(benchmark, bench_rounds, both):
+    """(c) threads and workers grown together (1,1 / 2,2 / 4,4; the
+    endpoints already exist in (a) and (b))."""
+    pedantic(
+        benchmark,
+        bench_rounds,
+        lambda: prepare_memcached_threads(both, both),
+    )
+    record("fig12", (both, both, "pmtest"), benchmark)
+
+
+def test_fig12_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    one_thread = slowdown("fig12", (1, 1, "pmtest"), (1, 0, "none"))
+    four_threads = slowdown("fig12", (4, 1, "pmtest"), (4, 0, "none"))
+    if one_thread is None or four_threads is None:
+        pytest.skip("fig12 benchmarks did not run")
+    # (a) more tracked program threads -> at least as much slowdown.
+    assert four_threads > one_thread * 0.8, (one_thread, four_threads)
+    # Everything stays a bounded overhead, not a blow-up.
+    for threads in THREADS:
+        ratio = slowdown("fig12", (threads, 1, "pmtest"),
+                         (threads, 0, "none"))
+        if ratio is not None:
+            assert ratio < 30, ratio

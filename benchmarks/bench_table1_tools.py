@@ -1,0 +1,133 @@
+"""Table 1: the tool landscape — speed x flexibility.
+
+The paper's Table 1 positions Yat (low speed, low flexibility),
+Pmemcheck (medium speed, low flexibility) and PMTest (high speed, high
+flexibility).  This benchmark quantifies the speed column on one shared
+workload and prints the table, including the paper's Yat extrapolation
+argument: Yat's crash-state count grows so fast that full validation of
+a modest trace is measured in *years* (the paper quotes >5 years for
+~100k PM operations).
+"""
+
+import time
+
+import pytest
+
+from _harness import make_runtime, pedantic, record, RESULTS
+
+from repro.baselines.yat import YatTester
+from repro.instr.runtime import PMRuntime
+from repro.pmem.machine import PMMachine
+from repro.pmdk.pool import PMPool
+from repro.structures import AtomicHashMap
+from repro.structures.hashmap_atomic import validate_image as validate_atomic
+
+N_OPS = 80
+
+
+def _run_kv(tool: str) -> None:
+    runtime, session, finish = make_runtime(tool, 16 << 20)
+    pool = PMPool(runtime, log_capacity=256 * 1024)
+    structure = AtomicHashMap(pool, value_size=64)
+    if session is not None:
+        session.send_trace()
+    for i in range(N_OPS):
+        structure.insert(i)
+        if session is not None:
+            session.send_trace()
+    finish()
+
+
+@pytest.mark.parametrize("tool", ["none", "pmtest", "pmemcheck"])
+def test_table1_speed(benchmark, bench_rounds, tool):
+    pedantic(benchmark, bench_rounds, lambda: lambda: _run_kv(tool))
+    record("table1", (tool,), benchmark)
+
+
+def test_table1_yat_extrapolation(benchmark):
+    """Measure Yat's per-state cost on a tiny prefix, count the states
+    the full trace would need, and extrapolate total runtime.
+
+    Yat permutes persist orderings at every operation.  A transactional
+    workload with KB-scale payloads holds dozens of dirty cache lines
+    between fences, so the per-crash-point state count is exponential —
+    this is the paper's ">5 years for ~100k operations" argument,
+    reproduced quantitatively.
+    """
+
+    def measure():
+        from repro.structures import BTree
+
+        machine = PMMachine(16 << 20)
+        runtime = PMRuntime(machine=machine)
+        pool = PMPool(runtime, log_capacity=256 * 1024)
+        structure = BTree(pool, value_size=2048)
+        base = machine.begin_oplog()
+        for i in range(30):
+            structure.insert(i)
+        oplog = machine.oplog
+        tester = YatTester(
+            16 << 20,
+            validate=lambda img: True,
+            base_image=base,
+            state_budget=1 << 12,
+            crash_at="ops",
+        )
+        # Per-state cost from an exhaustive run over a short prefix.
+        start = time.perf_counter()
+        states_timed = 0
+        prefix_len = 4
+        while states_timed < 64 and prefix_len <= len(oplog):
+            report = tester.run(oplog[:prefix_len])
+            states_timed = report.states_tested
+            prefix_len *= 2
+        elapsed = time.perf_counter() - start
+        per_state = elapsed / max(states_timed, 1)
+        total_states = tester.state_count(oplog)
+        RESULTS[("table1", ("yat-states",))] = float(total_states)
+        RESULTS[("table1", ("yat-oplog-len",))] = float(len(oplog))
+        RESULTS[("table1", ("yat-extrapolated-seconds",))] = (
+            per_state * total_states
+        )
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+
+
+def test_table1_report(benchmark, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    base = RESULTS.get(("table1", ("none",)))
+    pmtest = RESULTS.get(("table1", ("pmtest",)))
+    pmemcheck = RESULTS.get(("table1", ("pmemcheck",)))
+    yat_seconds = RESULTS.get(("table1", ("yat-extrapolated-seconds",)))
+    yat_states = RESULTS.get(("table1", ("yat-states",)))
+    if base is None:
+        pytest.skip("table1 benchmarks did not run")
+    with capsys.disabled():
+        print("\n--- Table 1 reproduction: tools for testing CCS ---")
+        print(f"{'Tool':12s} {'Speed':>22s}  Flexibility   Target")
+        print(f"{'Yat':12s} {_years(yat_seconds):>22s}  Low           PMFS only")
+        if pmemcheck is not None:
+            print(f"{'Pmemcheck':12s} {pmemcheck / base:20.1f}x  "
+                  f"Low           PMDK only")
+        if pmtest is not None:
+            print(f"{'PMTest':12s} {pmtest / base:20.1f}x  "
+                  f"High          any CCS, any model")
+        if yat_states is not None:
+            oplog_len = int(RESULTS.get(("table1", ("yat-oplog-len",)), 0))
+            print(f"(Yat would enumerate {yat_states:.3e} crash states "
+                  f"for a {oplog_len}-PM-op transactional trace)")
+    if pmtest is not None and pmemcheck is not None and yat_seconds is not None:
+        # Speed ordering: PMTest < Pmemcheck << Yat (extrapolated).
+        assert pmtest < pmemcheck
+        assert yat_seconds > 100 * pmemcheck
+
+
+def _years(seconds) -> str:
+    if seconds is None:
+        return "n/a"
+    years = seconds / (365.25 * 24 * 3600)
+    if years >= 1:
+        return f"~{years:.1e} years"
+    if seconds > 3600:
+        return f"~{seconds / 3600:.1f} hours"
+    return f"~{seconds:.1f} s"

@@ -1,0 +1,128 @@
+"""Benchmark-suite configuration and figure reporting.
+
+Each bench module stashes its mean runtimes in ``_harness.RESULTS``;
+the terminal-summary hook below turns them into the paper-style derived
+tables (slowdown ratios) so a benchmark run ends with the reproduced
+figure/table rows, not just raw timings.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make the bench helpers importable when pytest is run from the repo root.
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+
+from _harness import RESULTS, slowdown  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def bench_rounds() -> int:
+    """Rounds per benchmark: small, the suite covers many configs."""
+    return 2
+
+
+def _fmt(value) -> str:
+    return f"{value:6.2f}x" if value is not None else "   n/a "
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not RESULTS:
+        return
+    tr = terminalreporter
+    figures = sorted({figure for figure, _ in RESULTS})
+
+    if "fig10a" in figures:
+        tr.section("Figure 10a reproduction: microbench slowdown")
+        tr.write_line(f"{'structure':16s} {'txsize':>7s} {'PMTest':>8s} "
+                      f"{'Pmemcheck':>10s}")
+        rows = sorted(
+            {(cfg[0], cfg[1]) for fig, cfg in RESULTS if fig == "fig10a"}
+        )
+        for structure, size in rows:
+            pmtest = slowdown("fig10a", (structure, size, "pmtest"),
+                              (structure, size, "none"))
+            pmc = slowdown("fig10a", (structure, size, "pmemcheck"),
+                           (structure, size, "none"))
+            tr.write_line(
+                f"{structure:16s} {size:7d} {_fmt(pmtest)} {_fmt(pmc):>10s}"
+            )
+
+    if "fig10b" in figures:
+        tr.section("Figure 10b reproduction: PMTest overhead breakdown")
+        tr.write_line(f"{'structure':16s} {'txsize':>7s} {'framework':>10s} "
+                      f"{'+checkers':>10s}")
+        rows = sorted(
+            {(cfg[0], cfg[1]) for fig, cfg in RESULTS if fig == "fig10b"}
+        )
+        for structure, size in rows:
+            framework = slowdown(
+                "fig10b", (structure, size, "pmtest-framework"),
+                (structure, size, "none"))
+            full = slowdown("fig10b", (structure, size, "pmtest"),
+                            (structure, size, "none"))
+            tr.write_line(
+                f"{structure:16s} {size:7d} {_fmt(framework):>10s} "
+                f"{_fmt(full):>10s}"
+            )
+
+    if "fig11" in figures:
+        tr.section("Figure 11 reproduction: real-workload slowdown")
+        rows = sorted({cfg[0] for fig, cfg in RESULTS if fig == "fig11"})
+        ratios = []
+        for workload in rows:
+            ratio = slowdown("fig11", (workload, "pmtest"),
+                             (workload, "none"))
+            if ratio is not None:
+                ratios.append(ratio)
+            tr.write_line(f"{workload:22s} PMTest {_fmt(ratio)}")
+        pmc = slowdown("fig11", ("redis+lru", "pmemcheck"),
+                       ("redis+lru", "none"))
+        if pmc is not None:
+            tr.write_line(f"{'redis+lru':22s} Pmemcheck {_fmt(pmc)}")
+        if ratios:
+            tr.write_line(f"{'average':22s} PMTest "
+                          f"{_fmt(sum(ratios) / len(ratios))}")
+
+    if "fig12" in figures:
+        tr.section("Figure 12 reproduction: Memcached scalability")
+        tr.write_line(f"{'threads':>7s} {'workers':>8s} {'slowdown':>9s}")
+        rows = sorted(
+            {(cfg[0], cfg[1]) for fig, cfg in RESULTS
+             if fig == "fig12" and cfg[2] == "pmtest"}
+        )
+        for threads, workers in rows:
+            ratio = slowdown("fig12", (threads, workers, "pmtest"),
+                             (threads, 0, "none"))
+            tr.write_line(f"{threads:7d} {workers:8d} {_fmt(ratio):>9s}")
+
+    if "ablation-batching" in figures:
+        tr.section("Ablation: trace batching (SEND_TRACE granularity)")
+        rows = sorted(
+            {cfg[0] for fig, cfg in RESULTS if fig == "ablation-batching"}
+        )
+        for every in rows:
+            ratio = slowdown("ablation-batching", (every, "pmtest"),
+                             (every, "none"))
+            tr.write_line(f"trace_every={every:<5d} PMTest {_fmt(ratio)}")
+
+    if "ablation-sites" in figures:
+        tr.section("Ablation: source-site capture")
+        for mode in ("off", "on"):
+            ratio = slowdown("ablation-sites", (mode, "pmtest"),
+                             ("off", "none"))
+            tr.write_line(f"capture_sites={mode:3s} PMTest {_fmt(ratio)}")
+
+    if "ablation-shadow" in figures:
+        tr.section("Ablation: interval-map vs per-byte shadow memory")
+        interval = RESULTS.get(("ablation-shadow", ("interval",)))
+        naive = RESULTS.get(("ablation-shadow", ("naive",)))
+        if interval and naive:
+            tr.write_line(
+                f"interval map: {interval * 1000:8.2f} ms   "
+                f"per-byte dict: {naive * 1000:8.2f} ms   "
+                f"speedup {naive / interval:5.1f}x"
+            )

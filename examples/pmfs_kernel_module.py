@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Test a kernel module: PMFS traces cross the kernel FIFO (Figure 9b).
+
+The filesystem runs "in the kernel": its traces are pushed through a
+bounded kernel FIFO to the user-space checking workers.  We first run a
+Filebench-style load against the correct filesystem (clean), then
+re-enable the historical journal.c bug — ``pmfs_commit_logentry``
+flushing the just-flushed log entry again when committing the whole
+transaction (the paper's Bug 1) — and watch the WARN arrive through the
+same pipeline.
+
+Run:  python examples/pmfs_kernel_module.py
+"""
+
+from repro.core.api import PMTestSession
+from repro.instr.runtime import PMRuntime
+from repro.pmem.machine import PMMachine
+from repro.pmfs import PMFS, KernelBridge
+from repro.workloads import drive_fs, filebench_ops
+
+
+def run(faults) -> None:
+    bridge = KernelBridge(num_workers=2, fifo_capacity=64)
+    session = PMTestSession(workers=0, sink=bridge, capture_sites=True)
+    session.thread_init()
+    session.start()
+    runtime = PMRuntime(
+        machine=PMMachine(8 << 20), session=session, capture_sites=True
+    )
+    fs = PMFS(runtime, journal_capacity=32 * 1024, faults=faults)
+    session.send_trace()
+
+    drive_fs(fs, filebench_ops(120, seed=7), session=session, trace_every=5)
+    result = session.exit()
+
+    label = ", ".join(faults) if faults else "clean PMFS"
+    print(f"--- {label}: {result.summary()}")
+    print(f"    (FIFO backpressure events: {bridge.fifo.producer_waits})")
+    seen = set()
+    for report in result.reports[:8]:
+        line = f"    {report}"
+        if line not in seen:
+            seen.add(line)
+            print(line)
+    print()
+
+
+if __name__ == "__main__":
+    print(__doc__)
+    run(())
+    run(("commit-dup-flush",))  # journal.c:632, the paper's Bug 1
+    run(("fsync-extra-flush",))  # files.c:232, known bug

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: find the paper's Figure 1a bug with two checkers.
+
+The program updates an array element crash-consistently via undo
+logging: back up the old value, mark the backup valid, persist; update
+in place, invalidate the backup, persist.  The buggy version (the
+paper's opening example) misses two persist_barriers, so the hardware
+may reorder the persists; the crash-consistency requirements are stated
+with ``isOrderedBefore`` and PMTest finds both violations.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.api import PMTestSession
+from repro.instr.runtime import PMRuntime
+from repro.pmem.machine import PMMachine
+
+# A tiny PM layout: one backup record and a four-element array.
+BACKUP_VAL = 0x000  # backup.val
+BACKUP_VALID = 0x008  # backup.valid
+ARRAY = 0x040  # array[4] of u64
+
+
+def array_update(runtime: PMRuntime, index: int, new_val: int,
+                 buggy: bool) -> None:
+    """The paper's ArrayUpdate (Figure 1a)."""
+    session = runtime.session
+    array_slot = ARRAY + index * 8
+
+    runtime.store_u64(BACKUP_VAL, runtime.load_u64(array_slot))
+    if not buggy:  # the first missing persist_barrier
+        runtime.persist(BACKUP_VAL, 8)
+    runtime.store_u64(BACKUP_VALID, 1)
+    runtime.persist(BACKUP_VALID, 8) if not buggy else runtime.persist(
+        BACKUP_VAL, 16
+    )
+    # Requirement 1: the backup value persists before the valid flag
+    # (otherwise recovery may trust a garbage backup).
+    session.is_ordered_before(BACKUP_VAL, 8, BACKUP_VALID, 8)
+
+    runtime.store_u64(array_slot, new_val)
+    if not buggy:  # the second missing persist_barrier
+        runtime.persist(array_slot, 8)
+    runtime.store_u64(BACKUP_VALID, 0)
+    if buggy:
+        runtime.clwb(array_slot, 8)
+        runtime.clwb(BACKUP_VALID, 8)
+        runtime.sfence()
+    else:
+        runtime.persist(BACKUP_VALID, 8)
+    # Requirement 2: the in-place update persists before the backup is
+    # invalidated (otherwise recovery has neither old nor new value).
+    session.is_ordered_before(array_slot, 8, BACKUP_VALID, 8)
+
+
+def run(buggy: bool) -> None:
+    session = PMTestSession(workers=0, capture_sites=True)
+    session.thread_init()
+    session.start()
+    machine = PMMachine(4096)
+    runtime = PMRuntime(machine=machine, session=session, capture_sites=True)
+
+    array_update(runtime, index=1, new_val=42, buggy=buggy)
+    result = session.exit()
+
+    label = "buggy" if buggy else "fixed"
+    print(f"--- {label} ArrayUpdate: {result.summary()}")
+    for report in result.reports:
+        print(f"    {report}")
+    print()
+
+
+if __name__ == "__main__":
+    print(__doc__)
+    run(buggy=True)  # PMTest reports both ordering violations
+    run(buggy=False)  # and the fixed version is clean

@@ -1,0 +1,55 @@
+"""PMTest reproduction: a fast and flexible testing framework for
+persistent-memory programs, with a fully simulated PM stack.
+
+This package reimplements the system of
+
+    Liu, Wei, Zhao, Kolli, Khan.  "PMTest: A Fast and Flexible Testing
+    Framework for Persistent Memory Programs", ASPLOS 2019
+
+from scratch in Python, together with every substrate its evaluation
+depends on: a simulated persistent-memory machine with crash-state
+enumeration, PMDK-/Mnemosyne-like persistence libraries, a PMFS-like
+filesystem, the WHISPER-style workloads, and the Yat/pmemcheck baseline
+tools.  See DESIGN.md for the system inventory and EXPERIMENTS.md for
+the per-figure reproduction results.
+
+Quick taste::
+
+    from repro import PMTestSession, PMRuntime, PMMachine
+
+    with PMTestSession(workers=0) as session:
+        rt = PMRuntime(machine=PMMachine(4096), session=session)
+        rt.store_u64(0x00, 1)          # write A
+        rt.persist(0x00, 8)            # clwb; sfence
+        rt.store_u64(0x40, 2)          # write B
+        session.is_ordered_before(0x00, 8, 0x40, 8)   # ok
+        session.is_persist(0x40, 8)                   # FAIL: B not durable
+"""
+
+from repro.core.api import PMTestSession
+from repro.core.engine import CheckingEngine
+from repro.core.reports import Level, Report, ReportCode, TestResult
+from repro.core.rules import HOPSRules, PersistencyRules, X86Rules
+from repro.instr.runtime import PMRuntime
+from repro.pmem.crash import CrashEnumerator
+from repro.pmem.machine import PMMachine
+from repro.pmdk.pool import PMPool
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheckingEngine",
+    "CrashEnumerator",
+    "HOPSRules",
+    "Level",
+    "PMMachine",
+    "PMPool",
+    "PMRuntime",
+    "PMTestSession",
+    "PersistencyRules",
+    "Report",
+    "ReportCode",
+    "TestResult",
+    "X86Rules",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Competing testing tools, rebuilt for the paper's comparisons.
+
+``pmemcheck``
+    The Valgrind-based checker PMTest is benchmarked against (Fig. 10a,
+    Fig. 11): per-store fine-grained tracking with no interval
+    coalescing.  It attaches to the same instrumentation runtime as
+    PMTest, so the two tools can be timed on identical executions.
+``yat``
+    The exhaustive crash-state tester (Table 1, Section 2.2): enumerates
+    every persist reordering at every fence and validates a recovery
+    predicate against each image.  Exponentially slow by construction —
+    which is the point; its state counter quantifies the paper's
+    "five years for 100k operations" argument.
+"""
+
+from repro.baselines.pmemcheck import PmemcheckFinding, PmemcheckTool
+from repro.baselines.yat import YatReport, YatTester
+
+__all__ = ["PmemcheckFinding", "PmemcheckTool", "YatReport", "YatTester"]

@@ -1,0 +1,161 @@
+"""A Yat-like exhaustive crash tester.
+
+Yat (Lantz et al., ATC '14) validates PMFS by *enumerating persist
+reorderings*: at chosen crash points it materializes every PM image the
+hardware could leave behind and runs the filesystem's recovery +
+consistency check against each.  Complete, but exponential — the paper
+quotes more than five years for a 100k-operation trace.
+
+This reimplementation replays a machine op log (recorded with
+``PMMachine(record_ops=True)``), and at every fence (or every op)
+enumerates the reachable crash images via
+:class:`~repro.pmem.crash.CrashEnumerator` and applies a caller-supplied
+``recover`` / ``validate`` pair.  A state budget makes the exponential
+blow-up explicit: when the budget is exceeded the run aborts with the
+would-be state count, which the Table 1 benchmark uses to extrapolate
+Yat's runtime the same way the paper does.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.pmem.crash import CrashEnumerator
+from repro.pmem.machine import OpRecord, PMMachine
+from repro.pmem.memory import PMImage
+
+#: ``recover(image) -> None`` run before validation (may be ``None``).
+RecoverFn = Callable[[PMImage], object]
+#: ``validate(image) -> bool`` — the consistency predicate.
+ValidateFn = Callable[[PMImage], bool]
+
+
+class YatBudgetExceeded(Exception):
+    """The crash-state space exceeded the configured budget."""
+
+    def __init__(self, states_needed: int, budget: int) -> None:
+        super().__init__(
+            f"would need {states_needed} crash states (budget {budget})"
+        )
+        self.states_needed = states_needed
+        self.budget = budget
+
+
+@dataclass
+class YatReport:
+    """Outcome of one Yat run."""
+
+    crash_points: int = 0
+    states_tested: int = 0
+    violations: List[Tuple[int, str]] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    aborted: bool = False
+    states_needed: int = 0  # on abort: the size of the state space
+
+    @property
+    def consistent(self) -> bool:
+        return not self.violations and not self.aborted
+
+
+class YatTester:
+    """Exhaustive crash testing over a recorded op log."""
+
+    def __init__(
+        self,
+        memory_size: int,
+        validate: ValidateFn,
+        recover: Optional[RecoverFn] = None,
+        state_budget: int = 1 << 16,
+        crash_at: str = "fences",
+        base_image: Optional[PMImage] = None,
+    ) -> None:
+        """``base_image`` is the quiescent checkpoint the op log was
+        recorded from (see :meth:`PMMachine.begin_oplog`); replay starts
+        there instead of from zeroed memory."""
+        if crash_at not in ("fences", "ops"):
+            raise ValueError("crash_at must be 'fences' or 'ops'")
+        self.memory_size = memory_size
+        self.validate = validate
+        self.recover = recover
+        self.state_budget = state_budget
+        self.crash_at = crash_at
+        self.base_image = base_image
+
+    # ------------------------------------------------------------------
+    def run(self, oplog: Sequence[OpRecord]) -> YatReport:
+        """Replay the op log, exhaustively crash-testing along the way."""
+        report = YatReport()
+        start = time.perf_counter()
+        machine = self._fresh_machine()
+        try:
+            for index, record in enumerate(oplog):
+                _apply(machine, record)
+                if self.crash_at == "fences" and record[0] != "sfence":
+                    continue
+                self._test_point(machine, index, report)
+            # Always test the final state as well.
+            self._test_point(machine, len(oplog), report)
+        except YatBudgetExceeded as exceeded:
+            report.aborted = True
+            report.states_needed = exceeded.states_needed
+        report.elapsed_seconds = time.perf_counter() - start
+        return report
+
+    def state_count(self, oplog: Sequence[OpRecord]) -> int:
+        """Total crash states across all crash points (no validation).
+
+        This is the quantity that explodes: the Table 1 benchmark uses it
+        to extrapolate full-Yat runtime from a measured per-state cost.
+        """
+        total = 0
+        machine = self._fresh_machine()
+        for record in oplog:
+            _apply(machine, record)
+            if self.crash_at == "fences" and record[0] != "sfence":
+                continue
+            total += CrashEnumerator(machine).count()
+        total += CrashEnumerator(machine).count()
+        return total
+
+    # ------------------------------------------------------------------
+    def _fresh_machine(self) -> PMMachine:
+        if self.base_image is not None:
+            return PMMachine.from_image(self.base_image)
+        return PMMachine(self.memory_size)
+
+    def _test_point(self, machine: PMMachine, index: int,
+                    report: YatReport) -> None:
+        enumerator = CrashEnumerator(machine)
+        count = enumerator.count()
+        if report.states_tested + count > self.state_budget:
+            raise YatBudgetExceeded(report.states_tested + count,
+                                    self.state_budget)
+        report.crash_points += 1
+        for image in enumerator.iter_images():
+            report.states_tested += 1
+            if self.recover is not None:
+                self.recover(image)
+            if not self.validate(image):
+                report.violations.append(
+                    (index, f"inconsistent crash state at op {index}")
+                )
+
+
+def _apply(machine: PMMachine, record: OpRecord) -> None:
+    kind, addr, payload = record
+    if kind == "store":
+        machine.store(addr, payload)  # type: ignore[arg-type]
+    elif kind == "store_nt":
+        machine.store(addr, payload, nt=True)  # type: ignore[arg-type]
+    elif kind == "flush":
+        machine.flush(addr, payload)  # type: ignore[arg-type]
+    elif kind == "sfence":
+        machine.sfence()
+    elif kind == "ofence":
+        machine.ofence()
+    elif kind == "dfence":
+        machine.dfence()
+    else:  # pragma: no cover - closed vocabulary
+        raise ValueError(f"unknown op record {kind!r}")

@@ -1,0 +1,29 @@
+"""The bug corpus: Table 5's synthetic bugs and Table 6's real ones.
+
+``registry``
+    42 synthetic bug cases matching the paper's Table 5 class counts —
+    ordering (4), writeback (6), writeback-performance (2), transaction
+    backup (19), transaction completion (7), transaction-log
+    performance (4) — plus the six historical bugs of Table 6 (three
+    reproduced from PMFS/PMDK commit history, three the paper found).
+``injector``
+    Runs any case: builds the target system with the case's faults
+    injected, drives the standard workload under PMTest, and reports
+    whether the expected diagnostic fired.
+"""
+
+from repro.bugs.injector import run_bug_case
+from repro.bugs.registry import (
+    HISTORICAL_BUGS,
+    SYNTHETIC_BUGS,
+    BugCase,
+    bugs_by_category,
+)
+
+__all__ = [
+    "BugCase",
+    "HISTORICAL_BUGS",
+    "SYNTHETIC_BUGS",
+    "bugs_by_category",
+    "run_bug_case",
+]

@@ -1,0 +1,133 @@
+"""Runs bug cases: inject, drive, and check PMTest's verdict.
+
+For each case the injector builds a fresh simulated PM system with the
+case's faults wired into the target, drives the standard workload for
+that target under a synchronous PMTest session with the appropriate
+checkers (transaction checkers for transactional targets, the targets'
+self-annotated low-level checkers otherwise), and reports whether any of
+the expected diagnostics fired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set
+
+from repro.core.api import PMTestSession
+from repro.core.reports import ReportCode, TestResult
+from repro.instr.runtime import PMRuntime
+from repro.pmem.machine import PMMachine
+from repro.pmdk.pool import PMPool
+from repro.pmfs.fs import PMFS
+from repro.mnemosyne.pmap import MnemosyneMap
+from repro.structures import ALL_STRUCTURES
+from repro.bugs.registry import BugCase
+
+
+@dataclass
+class BugRunOutcome:
+    """What happened when a bug case was executed."""
+
+    case: BugCase
+    result: TestResult
+    detected: bool
+    fired: Set[ReportCode]
+
+    def __str__(self) -> str:
+        status = "DETECTED" if self.detected else "MISSED"
+        codes = ", ".join(sorted(code.value for code in self.fired)) or "-"
+        return f"{self.case.bug_id:4s} {status:8s} [{codes}] {self.case.description}"
+
+
+def run_bug_case(case: BugCase, scale: int = 40) -> BugRunOutcome:
+    """Execute one case; ``scale`` sizes the workload."""
+    session = PMTestSession(workers=0)
+    session.thread_init()
+    session.start()
+    runtime = PMRuntime(machine=PMMachine(32 << 20), session=session)
+    if case.target == "pmfs":
+        _drive_pmfs(runtime, case, scale)
+    elif case.target == "mnemosyne":
+        _drive_mnemosyne(runtime, case, scale)
+    else:
+        _drive_structure(runtime, session, case, scale)
+    result = session.exit()
+    fired = set(result.codes())
+    return BugRunOutcome(
+        case=case,
+        result=result,
+        detected=bool(fired & case.expected),
+        fired=fired,
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-target drivers
+# ----------------------------------------------------------------------
+def _drive_structure(
+    runtime: PMRuntime,
+    session: PMTestSession,
+    case: BugCase,
+    scale: int,
+) -> None:
+    pool = PMPool(runtime, log_capacity=512 * 1024, tx_faults=case.tx_faults)
+    structure = ALL_STRUCTURES[case.target](
+        pool, value_size=32, faults=case.faults
+    )
+    session.send_trace()  # keep setup out of the checked traces
+    transactional = case.target != "hashmap_atomic"
+    keys = _keys_for(case.workload, scale)
+
+    def checked(fn) -> None:
+        if transactional:
+            session.tx_check_start()
+        fn()
+        if transactional:
+            session.tx_check_end()
+        session.send_trace()
+
+    for key in keys:
+        checked(lambda k=key: structure.insert(k))
+    if case.workload == "update":
+        for key in keys:
+            checked(lambda k=key: structure.insert(k))
+    elif case.workload == "remove":
+        for key in keys[::2]:
+            checked(lambda k=key: structure.remove(k))
+
+
+def _keys_for(workload: str, scale: int):
+    if workload == "ascending":
+        return list(range(scale))
+    if workload == "descending":
+        return list(range(scale))[::-1]
+    # A mixing stride so tree shapes stay interesting.
+    return [(i * 13) % (scale * 2) for i in range(scale)]
+
+
+def _drive_pmfs(runtime: PMRuntime, case: BugCase, scale: int) -> None:
+    fs = PMFS(runtime, journal_capacity=32 * 1024, faults=case.faults)
+    session = runtime.session
+    session.send_trace()
+    for i in range(max(scale // 4, 4)):
+        name = f"f{i}".encode()
+        fs.create(name)
+        fs.write(name, 0, bytes([i % 256]) * 300)
+        fs.fsync(name)
+        session.send_trace()
+        if i % 3 == 2:
+            fs.unlink(name)
+            session.send_trace()
+
+
+def _drive_mnemosyne(runtime: PMRuntime, case: BugCase, scale: int) -> None:
+    pool = PMPool(runtime, log_capacity=64 * 1024)
+    pmap = MnemosyneMap(pool, log_faults=case.log_faults)
+    session = runtime.session
+    session.send_trace()
+    for i in range(max(scale // 2, 8)):
+        pmap.set(f"key{i}".encode(), f"value{i}".encode())
+        session.send_trace()
+        if i % 4 == 3:
+            pmap.delete(f"key{i - 1}".encode())
+            session.send_trace()

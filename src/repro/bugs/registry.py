@@ -1,0 +1,284 @@
+"""Catalog of the bug corpus (paper Tables 5 and 6).
+
+Each :class:`BugCase` names a target system, the fault(s) to inject, the
+workload shape that exercises the buggy path, and the PMTest diagnostics
+that must fire.  The synthetic catalog reproduces Table 5's class
+counts exactly:
+
+=====================  =====  ==========================================
+class                  count  description (paper wording)
+=====================  =====  ==========================================
+``ordering``               4  missing/misplaced ordering enforcement
+``writeback``              6  missing/misplaced writeback operations
+``perf-writeback``         2  writeback the same object more than once
+``backup``                19  missing/misplaced backup of objects
+``completion``             7  incomplete transactions (improper
+                              termination)
+``perf-log``               4  log the same object more than once
+=====================  =====  ==========================================
+
+(The paper's abstract counts 45 manually created bugs: the 42 of
+Table 5 plus the three bugs reproduced from commit history, which live
+in :data:`HISTORICAL_BUGS` together with the three new bugs.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.core.reports import ReportCode
+
+
+@dataclass(frozen=True)
+class BugCase:
+    """One injectable bug and how to provoke + recognize it."""
+
+    bug_id: str
+    category: str
+    target: str  # structure name, "pmfs", or "mnemosyne"
+    description: str
+    faults: Tuple[str, ...] = ()  # structure/fs-level fault names
+    tx_faults: Tuple[str, ...] = ()  # PMDK transaction-manager faults
+    log_faults: Tuple[str, ...] = ()  # Mnemosyne raw-word-log faults
+    workload: str = "insert"  # insert|update|remove|ascending|descending
+    expected: FrozenSet[ReportCode] = frozenset()
+    historical: str = ""  # upstream reference for Table 6 rows
+
+
+def _case(bug_id, category, target, description, expected, **kwargs):
+    return BugCase(
+        bug_id=bug_id,
+        category=category,
+        target=target,
+        description=description,
+        expected=frozenset(expected),
+        **kwargs,
+    )
+
+
+_MISSING = {ReportCode.MISSING_LOG}
+_DUPLOG = {ReportCode.DUP_LOG}
+_NOTPERSIST = {ReportCode.NOT_PERSISTED}
+_NOTORDERED = {ReportCode.NOT_ORDERED}
+_DUPFLUSH = {ReportCode.DUP_FLUSH}
+_UNNEEDED = {ReportCode.UNNECESSARY_FLUSH}
+_INCOMPLETE = {ReportCode.INCOMPLETE_TX, ReportCode.TX_NOT_PERSISTED}
+
+
+#: Table 5, row "Ordering" -- 4 cases.
+_ORDERING = [
+    _case("O1", "ordering", "hashmap_atomic",
+          "entry published before it is persisted", _NOTORDERED,
+          faults=("no-entry-persist",)),
+    _case("O2", "ordering", "hashmap_atomic",
+          "publication flushed but not fenced before the count",
+          _NOTORDERED, faults=("no-publish-fence",)),
+    _case("O3", "ordering", "pmfs",
+          "file size published before the data it covers", _NOTORDERED,
+          faults=("size-early",)),
+    _case("O4", "ordering", "pmfs",
+          "metadata not fenced before the journal commit", _NOTORDERED,
+          faults=("meta-no-fence",)),
+]
+
+#: Table 5, row "Writeback" -- 6 cases.
+_WRITEBACK = [
+    _case("W1", "writeback", "hashmap_atomic",
+          "count update never written back", _NOTPERSIST,
+          faults=("count-no-flush",)),
+    _case("W2", "writeback", "pmfs",
+          "XIP data stores never written back", _NOTORDERED | _NOTPERSIST,
+          faults=("write-no-flush",)),
+    _case("W3", "writeback", "pmfs",
+          "journal entries not written back before the update",
+          _NOTPERSIST, faults=("log-no-flush",)),
+    _case("W4", "writeback", "pmfs",
+          "journal COMMIT entry never written back", _NOTPERSIST,
+          faults=("no-commit-flush",)),
+    _case("W5", "writeback", "mnemosyne",
+          "redo-applied words never written back", _NOTPERSIST,
+          log_faults=("apply-no-flush",)),
+    _case("W6", "writeback", "mnemosyne",
+          "raw-log records not flushed before the commit marker",
+          _NOTORDERED, log_faults=("no-log-flush",)),
+]
+
+#: Table 5, row "Performance" (low-level) -- 2 cases.
+_PERF_WRITEBACK = [
+    _case("P1", "perf-writeback", "hashmap_atomic",
+          "bucket head written back twice", _DUPFLUSH,
+          faults=("double-flush-head",)),
+    _case("P2", "perf-writeback", "hashmap_atomic",
+          "entry written back twice before publication", _DUPFLUSH,
+          faults=("double-flush-entry",)),
+]
+
+#: Table 5, row "Backup" -- 19 cases.
+_BACKUP = [
+    _case("K01", "backup", "ctree",
+          "insert splices a pointer without logging it", _MISSING,
+          faults=("no-log-splice",)),
+    _case("K02", "backup", "ctree",
+          "remove splices a pointer without logging it", _MISSING,
+          faults=("no-log-splice",), workload="remove"),
+    _case("K03", "backup", "ctree",
+          "insert bumps the count without logging it", _MISSING,
+          faults=("no-log-count",)),
+    _case("K04", "backup", "ctree",
+          "remove drops the count without logging it", _MISSING,
+          faults=("no-log-count",), workload="remove"),
+    _case("K05", "backup", "ctree",
+          "value update without logging the value slot", _MISSING,
+          faults=("no-log-value",), workload="update"),
+    _case("K06", "backup", "btree",
+          "split clears moved items without logging them", _MISSING,
+          faults=("split-no-log",)),
+    _case("K07", "backup", "btree",
+          "delete replaces a separator without logging it", _MISSING,
+          faults=("replace-no-log",), workload="remove"),
+    _case("K08", "backup", "btree",
+          "insert bumps the count without logging it", _MISSING,
+          faults=("no-log-count",)),
+    _case("K09", "backup", "btree",
+          "remove drops the count without logging it", _MISSING,
+          faults=("no-log-count",), workload="remove"),
+    _case("K10", "backup", "rbtree",
+          "left rotation re-parents without logging (ascending keys)",
+          _MISSING, faults=("rotate-no-log",), workload="ascending"),
+    _case("K11", "backup", "rbtree",
+          "right rotation re-parents without logging (descending keys)",
+          _MISSING, faults=("rotate-no-log",), workload="descending"),
+    _case("K12", "backup", "rbtree",
+          "insert bumps the count without logging it", _MISSING,
+          faults=("no-log-count",)),
+    _case("K13", "backup", "rbtree",
+          "value update without logging the value slot", _MISSING,
+          faults=("no-log-value",), workload="update"),
+    _case("K14", "backup", "hashmap_tx",
+          "bucket head modified without logging it", _MISSING,
+          faults=("no-log-head",)),
+    _case("K15", "backup", "hashmap_tx",
+          "count modified without logging it (Figure 1b)", _MISSING,
+          faults=("no-log-count",)),
+    _case("K16", "backup", "hashmap_tx",
+          "value update without logging the value slot", _MISSING,
+          faults=("no-log-value",), workload="update"),
+    _case("K17", "backup", "hashmap_tx",
+          "remove unlinks without logging the predecessor", _MISSING,
+          faults=("no-log-prev",), workload="remove"),
+    _case("K18", "backup", "hashmap_tx",
+          "count modified without logging it on the remove path",
+          _MISSING, faults=("no-log-count",), workload="remove"),
+    _case("K19", "backup", "mnemosyne",
+          "backup log commit marker not ordered after its records",
+          _NOTORDERED, log_faults=("no-commit-fence",)),
+]
+
+#: Table 5, row "Completion" -- 7 cases.
+_COMPLETION = [
+    _case("C1", "completion", "hashmap_tx",
+          "transaction never terminated (no TX_END)", _INCOMPLETE,
+          faults=("skip-commit",)),
+    _case("C2", "completion", "ctree",
+          "commit returns without flushing the updates", _INCOMPLETE,
+          tx_faults=("commit-no-flush",)),
+    _case("C3", "completion", "btree",
+          "commit returns without flushing the updates", _INCOMPLETE,
+          tx_faults=("commit-no-flush",)),
+    _case("C4", "completion", "rbtree",
+          "commit returns without flushing the updates", _INCOMPLETE,
+          tx_faults=("commit-no-flush",)),
+    _case("C5", "completion", "hashmap_tx",
+          "commit returns without flushing the updates", _INCOMPLETE,
+          tx_faults=("commit-no-flush",)),
+    _case("C6", "completion", "ctree",
+          "commit returns without its fences", _INCOMPLETE,
+          tx_faults=("commit-no-fence",)),
+    _case("C7", "completion", "hashmap_tx",
+          "commit returns without its fences", _INCOMPLETE,
+          tx_faults=("commit-no-fence",)),
+]
+
+#: Table 5, row "Performance" (transactions) -- 4 cases.
+_PERF_LOG = [
+    _case("T1", "perf-log", "hashmap_tx",
+          "bucket head logged twice in one transaction", _DUPLOG,
+          faults=("dup-log-head",)),
+    _case("T2", "perf-log", "btree",
+          "rotate_left logs a node insert_item already logged", _DUPLOG,
+          faults=("rotate-dup-log",), workload="remove"),
+    _case("T3", "perf-log", "ctree",
+          "spliced slot logged twice", _DUPLOG,
+          faults=("dup-log-splice",)),
+    _case("T4", "perf-log", "rbtree",
+          "fix-up field logged twice", _DUPLOG,
+          faults=("dup-log-set",), workload="ascending"),
+]
+
+SYNTHETIC_BUGS: List[BugCase] = (
+    _ORDERING + _WRITEBACK + _PERF_WRITEBACK + _BACKUP + _COMPLETION
+    + _PERF_LOG
+)
+
+#: Table 6: three bugs reproduced from commit history, three new ones.
+HISTORICAL_BUGS: List[BugCase] = [
+    _case("H1", "known", "pmfs",
+          "xips.c:207,262 -- flush the same persistent buffer twice",
+          _DUPFLUSH, faults=("xip-dup-flush",),
+          historical="PMFS-new@ded1b075"),
+    _case("H2", "known", "pmfs",
+          "files.c:232 -- flush an unmapped (clean) buffer in fsync",
+          _UNNEEDED, faults=("fsync-extra-flush",),
+          historical="linux-pmfs@e293e147"),
+    _case("H3", "known", "rbtree",
+          "rbtree_map.c:379 -- modify a tree node without logging it",
+          _MISSING, faults=("rotate-no-log",), workload="ascending",
+          historical="pmem/pmdk@04ec84e2"),
+    _case("H4", "new", "pmfs",
+          "journal.c:632 -- flush redundant data when committing "
+          "(the paper's Bug 1)", _DUPFLUSH, faults=("commit-dup-flush",),
+          historical="reported by PMTest"),
+    _case("H5", "new", "btree",
+          "btree_map.c:201 -- modify a tree node without logging it "
+          "(the paper's Bug 2)", _MISSING, faults=("split-no-log",),
+          historical="pmem/pmdk@25f5e4f6"),
+    _case("H6", "new", "btree",
+          "btree_map.c:367 -- log the same object twice "
+          "(the paper's Bug 3)", _DUPLOG, faults=("rotate-dup-log",),
+          workload="remove", historical="pmem/pmdk@b9232407"),
+]
+
+#: Table 5 row counts (used as a structural self-check).
+EXPECTED_COUNTS: Dict[str, int] = {
+    "ordering": 4,
+    "writeback": 6,
+    "perf-writeback": 2,
+    "backup": 19,
+    "completion": 7,
+    "perf-log": 4,
+}
+
+
+def bugs_by_category() -> Dict[str, List[BugCase]]:
+    grouped: Dict[str, List[BugCase]] = {}
+    for case in SYNTHETIC_BUGS:
+        grouped.setdefault(case.category, []).append(case)
+    return grouped
+
+
+def _self_check() -> None:
+    grouped = bugs_by_category()
+    for category, count in EXPECTED_COUNTS.items():
+        actual = len(grouped.get(category, []))
+        if actual != count:
+            raise AssertionError(
+                f"bug catalog drifted: {category} has {actual} cases, "
+                f"Table 5 requires {count}"
+            )
+    ids = [case.bug_id for case in SYNTHETIC_BUGS + HISTORICAL_BUGS]
+    if len(ids) != len(set(ids)):
+        raise AssertionError("duplicate bug ids in the catalog")
+
+
+_self_check()

@@ -1,0 +1,129 @@
+"""Command-line interface: check recorded traces offline.
+
+Usage::
+
+    python -m repro check run.pmtrace [--model x86|hops|eadr|x86-naive]
+                                      [--workers N] [--max-reports K]
+                                      [--quiet]
+    python -m repro stats run.pmtrace
+
+``check`` replays every trace in the dump through the checking engine and
+prints the reports (exit status 1 if any FAIL was found, 2 for usage or
+format errors); ``stats`` summarizes a dump without checking it.
+
+Traces are produced with :class:`repro.core.traceio.TraceRecorder` (or any
+tool emitting the documented JSON-lines format), which makes the classic
+record-in-production / analyze-later workflow possible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from typing import List, Optional
+
+from repro.core.engine import CheckingEngine
+from repro.core.rules import HOPSRules, PersistencyRules, X86Rules
+from repro.core.rules.eadr import EADRRules
+from repro.core.rules.naive import NaiveX86Rules
+from repro.core.traceio import TraceFormatError, load_traces
+from repro.core.workers import WorkerPool
+
+MODELS = {
+    "x86": X86Rules,
+    "hops": HOPSRules,
+    "eadr": EADRRules,
+    "x86-naive": NaiveX86Rules,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PMTest offline trace tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="check a recorded trace dump")
+    check.add_argument("trace_file", help="path to a .pmtrace dump")
+    check.add_argument(
+        "--model",
+        choices=sorted(MODELS),
+        default="x86",
+        help="persistency model to check under (default: x86)",
+    )
+    check.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="checking worker threads (default 0: synchronous)",
+    )
+    check.add_argument(
+        "--max-reports",
+        type=int,
+        default=20,
+        help="print at most this many reports (default 20)",
+    )
+    check.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only the summary line",
+    )
+
+    stats = sub.add_parser("stats", help="summarize a trace dump")
+    stats.add_argument("trace_file", help="path to a .pmtrace dump")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        traces = load_traces(args.trace_file)
+    except FileNotFoundError:
+        print(f"error: no such file: {args.trace_file}", file=sys.stderr)
+        return 2
+    except TraceFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.command == "stats":
+        return _stats(traces)
+    return _check(args, traces)
+
+
+def _check(args: argparse.Namespace, traces) -> int:
+    rules: PersistencyRules = MODELS[args.model]()
+    if args.workers > 0:
+        with WorkerPool(rules, num_workers=args.workers) as pool:
+            for trace in traces:
+                pool.submit(trace)
+            result = pool.drain()
+    else:
+        result = CheckingEngine(rules).check_traces(traces)
+    print(f"{args.model}: {result.summary()}")
+    if not args.quiet:
+        for report in result.reports[: args.max_reports]:
+            print(f"  {report}")
+        hidden = len(result.reports) - args.max_reports
+        if hidden > 0:
+            print(f"  ... and {hidden} more")
+    return 0 if result.passed else 1
+
+
+def _stats(traces) -> int:
+    events = sum(len(trace) for trace in traces)
+    ops = Counter(
+        event.op.name for trace in traces for event in trace.events
+    )
+    threads = sorted({trace.thread_name for trace in traces})
+    print(f"traces:  {len(traces)}")
+    print(f"events:  {events}")
+    print(f"threads: {', '.join(threads) if threads else '-'}")
+    for name, count in ops.most_common():
+        print(f"  {name:14s} {count}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

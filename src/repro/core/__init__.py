@@ -1,0 +1,60 @@
+"""PMTest core: the checking framework that is the paper's contribution.
+
+This package implements the PMTest testing framework from
+
+    Liu, Wei, Zhao, Kolli, Khan.
+    "PMTest: A Fast and Flexible Testing Framework for Persistent Memory
+    Programs", ASPLOS 2019.
+
+The pieces map onto the paper as follows:
+
+``events``
+    The trace vocabulary: PM operations (``write``, ``clwb``, ``sfence``,
+    HOPS fences, ...) and checker records, each carrying source-site
+    metadata (paper Section 4.3).
+``interval_map`` / ``intervals``
+    The ordered interval structure backing the shadow memory (the paper's
+    "interval tree", Section 4.4).
+``shadow``
+    Shadow memory holding per-address-range persist/flush intervals and
+    the global epoch timestamp.
+``rules``
+    Pluggable checking rules per persistency model: x86 (Section 4.4) and
+    HOPS (Section 5.2).
+``engine``
+    The sequential checking engine that replays one trace against the
+    rules and validates checkers.
+``workers``
+    The master/worker runtime that decouples program execution from
+    checking (Section 4.4, "Execution of The Checking Engine").
+``kfifo``
+    The bounded kernel-FIFO channel used by kernel-module integration
+    (Section 4.5).
+``tracker`` / ``api``
+    Per-thread trace construction and the user-facing facade implementing
+    the full function table of the paper (Table 2).
+``checkers``
+    High-level transaction checkers and performance checkers
+    (Sections 5.1.1 and 5.1.2).
+"""
+
+from repro.core.api import PMTestSession
+from repro.core.engine import CheckingEngine
+from repro.core.events import Event, Op, SourceSite
+from repro.core.reports import Level, Report, ReportCode, TestResult
+from repro.core.rules import HOPSRules, PersistencyRules, X86Rules
+
+__all__ = [
+    "CheckingEngine",
+    "Event",
+    "HOPSRules",
+    "Level",
+    "Op",
+    "PMTestSession",
+    "PersistencyRules",
+    "Report",
+    "ReportCode",
+    "SourceSite",
+    "TestResult",
+    "X86Rules",
+]

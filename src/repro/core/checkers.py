@@ -1,0 +1,66 @@
+"""High-level checkers built from the two low-level ones (paper Section 5.1).
+
+The paper's thesis is that ``isPersist`` and ``isOrderedBefore`` are
+sufficient building blocks for library-specific automation.  This module
+provides the composition helpers:
+
+* :func:`tx_checked` — the PMDK-style transaction checker pair
+  (``TX_CHECKER_START``/``TX_CHECKER_END``) as a context manager;
+* :func:`assert_persisted` / :func:`assert_persisted_vars` — batch
+  ``isPersist`` over ranges or registered variable names;
+* :func:`assert_ordered_chain` — assert a required persist order across a
+  sequence of ranges (e.g. "log before data before commit record") with
+  pairwise ``isOrderedBefore`` checkers.
+
+Library authors are the intended users: e.g. :mod:`repro.pmdk` calls
+these from its instrumented transaction hooks so that application writers
+get checking "for free" (paper Section 7.2).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from repro.core.api import PMTestSession
+
+Range = Tuple[int, int]  # (addr, size)
+
+
+@contextmanager
+def tx_checked(session: PMTestSession) -> Iterator[PMTestSession]:
+    """Wrap a transaction in the high-level transaction checker.
+
+    Inside the scope the engine verifies (i) every modified persistent
+    object was backed up with ``TX_ADD`` before modification, (ii) the
+    transaction terminates, and (iii) every modified object is durable by
+    scope end; it also flags duplicate logs and redundant writebacks.
+    """
+    session.tx_check_start()
+    try:
+        yield session
+    finally:
+        session.tx_check_end()
+
+
+def assert_persisted(session: PMTestSession, ranges: Iterable[Range]) -> None:
+    """Place an ``isPersist`` checker for each ``(addr, size)`` range."""
+    for addr, size in ranges:
+        session.is_persist(addr, size)
+
+
+def assert_persisted_vars(session: PMTestSession, names: Iterable[str]) -> None:
+    """Place ``isPersist`` checkers for registered variable names."""
+    for name in names:
+        session.is_persist_var(name)
+
+
+def assert_ordered_chain(session: PMTestSession, ranges: Sequence[Range]) -> None:
+    """Assert that each range persists before the next one in sequence.
+
+    This captures the canonical undo-logging requirement as one call:
+    ``assert_ordered_chain(s, [log, data, commit])`` asserts the log
+    persists before the data and the data before the commit record.
+    """
+    for (addr_a, size_a), (addr_b, size_b) in zip(ranges, ranges[1:]):
+        session.is_ordered_before(addr_a, size_a, addr_b, size_b)

@@ -1,0 +1,254 @@
+"""The checking engine: replays one trace and validates its checkers.
+
+The engine walks a trace in program order (paper Section 4.4).  PM
+operations update the shadow memory through the active persistency-model
+rules; checker records are validated against the shadow's persist
+intervals.  Orthogonally to the model rules, the engine implements the
+transaction machinery of Section 5.1: the log tree for ``TX_ADD``
+backups, the modified-object set for transaction-completeness checking,
+and the testing-scope exclusion list (``PMTest_EXCLUDE``).
+
+Each trace is checked against a fresh shadow memory — traces are
+independent units, split by the program at ``PMTest_SEND_TRACE`` points
+(typically transaction boundaries).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.events import Event, FENCE_OPS, FLUSH_OPS, Op, SourceSite, Trace
+from repro.core.interval_map import IntervalMap
+from repro.core.logtree import LogTree
+from repro.core.reports import Level, Report, ReportCode, TestResult
+from repro.core.rules import PersistencyRules, X86Rules
+
+
+class MalformedTrace(Exception):
+    """The trace violates structural invariants (e.g. unbalanced TX_END).
+
+    This indicates broken instrumentation of the program under test, not a
+    crash-consistency bug, so it raises instead of reporting.
+    """
+
+
+class CheckingEngine:
+    """Validates traces under a persistency model's checking rules."""
+
+    def __init__(self, rules: Optional[PersistencyRules] = None) -> None:
+        self.rules = rules if rules is not None else X86Rules()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def check_trace(self, trace: Trace) -> TestResult:
+        """Replay one trace; return all FAIL/WARN reports."""
+        return _TraceChecker(self.rules, trace).run()
+
+    def check_traces(self, traces: Iterable[Trace]) -> TestResult:
+        """Replay several independent traces and merge their results."""
+        total = TestResult()
+        for trace in traces:
+            total.merge(self.check_trace(trace))
+        return total
+
+
+class _TraceChecker:
+    """State for checking a single trace (one shadow memory)."""
+
+    def __init__(self, rules: PersistencyRules, trace: Trace) -> None:
+        self.rules = rules
+        self.trace = trace
+        self.shadow = rules.make_shadow()
+        self.result = TestResult(traces_checked=1)
+        # Transaction machinery (Section 5.1)
+        self.tx_depth = 0
+        self.log_tree = LogTree()
+        self.tx_check_active = False
+        self.tx_check_site: Optional[SourceSite] = None
+        #: ranges modified inside the current TX_CHECKER scope -> write site
+        self.modified: IntervalMap[Optional[SourceSite]] = IntervalMap()
+        #: ranges excluded from the testing scope (PMTest_EXCLUDE)
+        self.excluded: IntervalMap[bool] = IntervalMap()
+
+    # ------------------------------------------------------------------
+    def run(self) -> TestResult:
+        for event in self.trace.events:
+            self._dispatch(event)
+            self.result.events_checked += 1
+        self._finish()
+        for i, report in enumerate(self.result.reports):
+            if report.trace_id == -1:
+                self.result.reports[i] = _with_trace_id(report, self.trace.trace_id)
+        return self.result
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, event: Event) -> None:
+        op = event.op
+        if op is Op.WRITE or op is Op.WRITE_NT:
+            self._on_write(event)
+        elif op in FLUSH_OPS:
+            self._apply_in_scope(event)
+        elif op in FENCE_OPS:
+            self.result.reports.extend(self.rules.apply_op(self.shadow, event))
+        elif op is Op.TX_BEGIN:
+            self._on_tx_begin()
+        elif op is Op.TX_END:
+            self._on_tx_end(event)
+        elif op is Op.TX_ADD:
+            self._on_tx_add(event)
+        elif op is Op.EXCLUDE:
+            self.excluded.assign(event.addr, event.end, True)
+            if self.tx_check_active:
+                self.modified.erase(event.addr, event.end)
+        elif op is Op.INCLUDE:
+            self.excluded.erase(event.addr, event.end)
+        elif op is Op.CHECK_PERSIST:
+            self.result.checkers_evaluated += 1
+            self.result.reports.extend(self.rules.check_persist(self.shadow, event))
+        elif op is Op.CHECK_ORDER:
+            self.result.checkers_evaluated += 1
+            self.result.reports.extend(self.rules.check_order(self.shadow, event))
+        elif op is Op.TX_CHECK_START:
+            self.tx_check_active = True
+            self.tx_check_site = event.site
+            self.modified.clear()
+        elif op is Op.TX_CHECK_END:
+            self._on_tx_check_end(event.site, event.seq)
+        else:  # pragma: no cover - vocabulary is closed
+            raise MalformedTrace(f"unknown trace op {op!r}")
+
+    # ------------------------------------------------------------------
+    # PM operations
+    # ------------------------------------------------------------------
+    def _on_write(self, event: Event) -> None:
+        for lo, hi in self._active(event.addr, event.end):
+            sub = self._subrange_event(event, lo, hi)
+            self.result.reports.extend(self.rules.apply_op(self.shadow, sub))
+            if not self.tx_check_active:
+                continue
+            self.modified.assign(lo, hi, event.site)
+            if self.tx_depth > 0:
+                for bad_lo, bad_hi in self.log_tree.uncovered(lo, hi):
+                    self.result.reports.append(
+                        Report(
+                            level=Level.FAIL,
+                            code=ReportCode.MISSING_LOG,
+                            message=(
+                                f"transaction modifies [{bad_lo:#x}, "
+                                f"{bad_hi:#x}) without a prior TX_ADD "
+                                "backup; it cannot be rolled back"
+                            ),
+                            site=event.site,
+                            seq=event.seq,
+                        )
+                    )
+
+    def _apply_in_scope(self, event: Event) -> None:
+        for lo, hi in self._active(event.addr, event.end):
+            sub = self._subrange_event(event, lo, hi)
+            self.result.reports.extend(self.rules.apply_op(self.shadow, sub))
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def _on_tx_begin(self) -> None:
+        self.tx_depth += 1
+        if self.tx_depth == 1:
+            self.log_tree.reset()
+
+    def _on_tx_end(self, event: Event) -> None:
+        if self.tx_depth == 0:
+            raise MalformedTrace(f"TX_END without TX_BEGIN at {event.site}")
+        self.tx_depth -= 1
+
+    def _on_tx_add(self, event: Event) -> None:
+        duplicates = self.log_tree.add(event.addr, event.end, event.site)
+        if not self.tx_check_active:
+            return
+        for lo, hi, first_site in duplicates:
+            where = f" (first logged at {first_site})" if first_site else ""
+            self.result.reports.append(
+                Report(
+                    level=Level.WARN,
+                    code=ReportCode.DUP_LOG,
+                    message=(
+                        f"[{lo:#x}, {hi:#x}) is logged more than once in "
+                        f"the same transaction{where}"
+                    ),
+                    site=event.site,
+                    seq=event.seq,
+                )
+            )
+
+    def _on_tx_check_end(self, site: Optional[SourceSite], seq: int) -> None:
+        self.result.checkers_evaluated += 1
+        self.tx_check_active = False
+        if self.tx_depth > 0:
+            self.result.reports.append(
+                Report(
+                    level=Level.FAIL,
+                    code=ReportCode.INCOMPLETE_TX,
+                    message=(
+                        "transaction is still open at the end of the "
+                        "checked scope; it was not properly terminated"
+                    ),
+                    site=site,
+                    seq=seq,
+                )
+            )
+        # The injected isPersist over every modified (non-excluded) object
+        # (paper Section 5.1.1, "Check Incomplete Transactions").
+        for lo, hi, write_site in list(self.modified):
+            for sub_lo, sub_hi, interval, state in self.rules.persist_intervals(
+                self.shadow, lo, hi
+            ):
+                if not interval.ends_by(self.shadow.timestamp):
+                    self.result.reports.append(
+                        Report(
+                            level=Level.FAIL,
+                            code=ReportCode.TX_NOT_PERSISTED,
+                            message=(
+                                f"transaction update to [{sub_lo:#x}, "
+                                f"{sub_hi:#x}) {interval} is not "
+                                "guaranteed durable when the transaction "
+                                "scope ends"
+                            ),
+                            site=site,
+                            related_site=state.write_site or write_site,
+                            seq=seq,
+                        )
+                    )
+        self.modified.clear()
+
+    def _finish(self) -> None:
+        """End-of-trace handling: an open checker scope is closed implicitly."""
+        if self.tx_check_active:
+            self._on_tx_check_end(self.tx_check_site, len(self.trace.events))
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _active(self, lo: int, hi: int) -> List[Tuple[int, int]]:
+        """Subranges of ``[lo, hi)`` inside the testing scope."""
+        if not self.excluded:
+            return [(lo, hi)]
+        return self.excluded.gaps(lo, hi)
+
+    @staticmethod
+    def _subrange_event(event: Event, lo: int, hi: int) -> Event:
+        if lo == event.addr and hi == event.end:
+            return event
+        return Event(event.op, lo, hi - lo, site=event.site, seq=event.seq)
+
+
+def _with_trace_id(report: Report, trace_id: int) -> Report:
+    return Report(
+        level=report.level,
+        code=report.code,
+        message=report.message,
+        site=report.site,
+        related_site=report.related_site,
+        trace_id=trace_id,
+        seq=report.seq,
+    )

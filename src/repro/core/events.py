@@ -1,0 +1,153 @@
+"""Trace vocabulary: PM operations and checkers with source metadata.
+
+A PMTest trace is a program-order list of :class:`Event` records.  Each
+record is either a PM operation executed by the program under test (write,
+cache writeback, fence, transaction boundary) or a checker placed by the
+programmer (Section 4.3 of the paper).  Every record carries the metadata
+the paper describes: operation type, memory address, size, and the source
+file and line that produced it, so that FAIL/WARN reports can point back at
+the offending statement.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import List, Optional
+
+
+class Op(Enum):
+    """Kinds of trace records."""
+
+    # --- PM operations -------------------------------------------------
+    WRITE = auto()  # regular store to PM (lands in the volatile cache)
+    WRITE_NT = auto()  # non-temporal store (bypasses the cache)
+    CLWB = auto()  # cacheline writeback, line stays valid
+    CLFLUSHOPT = auto()  # optimized flush, unordered like clwb
+    CLFLUSH = auto()  # legacy flush (still a flush for persistency purposes)
+    SFENCE = auto()  # x86 store fence: orders and completes prior flushes
+    OFENCE = auto()  # HOPS ordering fence (no durability)
+    DFENCE = auto()  # HOPS durability fence
+    # --- transaction bookkeeping ---------------------------------------
+    TX_BEGIN = auto()
+    TX_END = auto()
+    TX_ADD = auto()  # undo-log snapshot of a persistent object
+    # --- testing-scope bookkeeping -------------------------------------
+    EXCLUDE = auto()  # PMTest_EXCLUDE: drop object from testing scope
+    INCLUDE = auto()  # PMTest_INCLUDE: restore object to testing scope
+    # --- checkers --------------------------------------------------------
+    CHECK_PERSIST = auto()  # isPersist(addr, size)
+    CHECK_ORDER = auto()  # isOrderedBefore(addrA, sizeA, addrB, sizeB)
+    TX_CHECK_START = auto()  # TX_CHECKER_START
+    TX_CHECK_END = auto()  # TX_CHECKER_END
+
+
+#: Operations that act on an address range.
+RANGE_OPS = frozenset(
+    {
+        Op.WRITE,
+        Op.WRITE_NT,
+        Op.CLWB,
+        Op.CLFLUSHOPT,
+        Op.CLFLUSH,
+        Op.TX_ADD,
+        Op.EXCLUDE,
+        Op.INCLUDE,
+        Op.CHECK_PERSIST,
+    }
+)
+
+#: Flush flavours (all establish a flush interval under x86 rules).
+FLUSH_OPS = frozenset({Op.CLWB, Op.CLFLUSHOPT, Op.CLFLUSH})
+
+#: Ordering fences (all advance the global timestamp).
+FENCE_OPS = frozenset({Op.SFENCE, Op.OFENCE, Op.DFENCE})
+
+
+@dataclass(frozen=True, slots=True)
+class SourceSite:
+    """Source location of an operation or checker."""
+
+    file: str
+    line: int
+    function: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}"
+
+    @staticmethod
+    def capture(depth: int = 2) -> "SourceSite":
+        """Capture the caller's source location.
+
+        ``depth`` counts stack frames above this function: ``depth=2`` is
+        the caller of the function that calls ``capture``.  Site capture is
+        the single most expensive part of tracking, so the tracker makes it
+        optional (the ablation bench measures the difference).
+        """
+        frame = sys._getframe(depth)
+        code = frame.f_code
+        return SourceSite(code.co_filename, frame.f_lineno, code.co_name)
+
+
+@dataclass(slots=True)
+class Event:
+    """One trace record.
+
+    ``addr``/``size`` describe the primary address range (unused for
+    fences); ``addr2``/``size2`` carry the second range of
+    ``isOrderedBefore``.  ``seq`` is the record's program-order index
+    within its trace, filled in by the tracker.  ``site`` is ``None``
+    when site capture is disabled.
+    """
+
+    op: Op
+    addr: int = 0
+    size: int = 0
+    addr2: int = 0
+    size2: int = 0
+    site: Optional[SourceSite] = None
+    seq: int = -1
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.size
+
+    @property
+    def end2(self) -> int:
+        return self.addr2 + self.size2
+
+    def describe(self) -> str:
+        """Human-readable one-liner used in reports."""
+        name = self.op.name.lower()
+        where = f" at {self.site}" if self.site else ""
+        if self.op is Op.CHECK_ORDER:
+            return (
+                f"{name}([{self.addr:#x}, {self.end:#x}) -> "
+                f"[{self.addr2:#x}, {self.end2:#x})){where}"
+            )
+        if self.op in RANGE_OPS:
+            return f"{name}([{self.addr:#x}, {self.end:#x})){where}"
+        return f"{name}{where}"
+
+
+@dataclass(slots=True)
+class Trace:
+    """A batch of events sent to the checking engine as one unit.
+
+    Traces are independent: each gets its own shadow memory (paper
+    Section 4.4, "every trace has its shadow memory").  ``trace_id`` is a
+    monotonically increasing id assigned by the session; ``thread_name``
+    records which program thread produced it.
+    """
+
+    trace_id: int
+    events: List[Event] = field(default_factory=list)
+    thread_name: str = "main"
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def append(self, event: Event) -> None:
+        event.seq = len(self.events)
+        self.events.append(event)

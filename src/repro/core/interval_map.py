@@ -1,0 +1,208 @@
+"""An ordered map from disjoint address ranges to values.
+
+This is the data structure the paper calls the shadow memory's "interval
+tree" (Section 4.4): addresses are grouped into maximal ranges that share a
+persistency status, so a trace with coarse-grained writes stays compact and
+every operation costs ``O(log n + k)`` where ``k`` is the number of touched
+segments.
+
+The implementation keeps two parallel sorted lists (segment starts for
+bisection, and ``(start, end, value)`` tuples) rather than a pointer-based
+tree: Python-level pointer chasing is slower than ``list`` splicing for the
+segment counts PMTest encounters, and the asymptotics for lookup are the
+same.  All ranges are half-open ``[start, end)`` over integer addresses.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Callable, Generic, Iterable, Iterator, List, Optional, Tuple, TypeVar
+
+V = TypeVar("V")
+
+Segment = Tuple[int, int, V]
+
+
+class IntervalMap(Generic[V]):
+    """Map disjoint integer ranges ``[start, end)`` to values.
+
+    Values are treated as immutable by the map: mutating operations replace
+    segments rather than editing values in place, so callers may freely
+    share value objects between segments.
+    """
+
+    __slots__ = ("_starts", "_segments")
+
+    def __init__(self, segments: Optional[Iterable[Segment]] = None) -> None:
+        self._starts: List[int] = []
+        self._segments: List[Segment] = []
+        if segments is not None:
+            for start, end, value in segments:
+                self.assign(start, end, value)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __bool__(self) -> bool:
+        return bool(self._segments)
+
+    def __iter__(self) -> Iterator[Segment]:
+        return iter(self._segments)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"[{s}, {e}): {v!r}" for s, e, v in self._segments)
+        return f"IntervalMap({inner})"
+
+    def get(self, point: int) -> Optional[V]:
+        """Return the value covering ``point``, or ``None``."""
+        i = bisect_right(self._starts, point) - 1
+        if i >= 0:
+            start, end, value = self._segments[i]
+            if start <= point < end:
+                return value
+        return None
+
+    def overlaps(self, lo: int, hi: int, clip: bool = True) -> List[Segment]:
+        """Return segments intersecting ``[lo, hi)``.
+
+        With ``clip=True`` (the default) segment bounds are clipped to the
+        query range; otherwise the stored bounds are returned.
+        """
+        _check_range(lo, hi)
+        i0 = self._first_overlap(lo)
+        out: List[Segment] = []
+        for start, end, value in self._segments[i0:]:
+            if start >= hi:
+                break
+            if clip:
+                out.append((max(start, lo), min(end, hi), value))
+            else:
+                out.append((start, end, value))
+        return out
+
+    def gaps(self, lo: int, hi: int) -> List[Tuple[int, int]]:
+        """Return the maximal subranges of ``[lo, hi)`` not covered."""
+        _check_range(lo, hi)
+        out: List[Tuple[int, int]] = []
+        cursor = lo
+        for start, end, _ in self.overlaps(lo, hi):
+            if start > cursor:
+                out.append((cursor, start))
+            cursor = end
+        if cursor < hi:
+            out.append((cursor, hi))
+        return out
+
+    def covers(self, lo: int, hi: int) -> bool:
+        """Whether every address in ``[lo, hi)`` is mapped."""
+        return not self.gaps(lo, hi)
+
+    def total_span(self) -> int:
+        """Total number of addresses mapped."""
+        return sum(end - start for start, end, _ in self._segments)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def assign(self, lo: int, hi: int, value: V) -> None:
+        """Set ``[lo, hi)`` to ``value``, overwriting any previous mapping."""
+        _check_range(lo, hi)
+        i0, i1, prefix, suffix = self._carve(lo, hi)
+        replacement = prefix + [(lo, hi, value)] + suffix
+        self._splice(i0, i1, replacement)
+
+    def erase(self, lo: int, hi: int) -> None:
+        """Remove any mapping over ``[lo, hi)``."""
+        _check_range(lo, hi)
+        i0, i1, prefix, suffix = self._carve(lo, hi)
+        self._splice(i0, i1, prefix + suffix)
+
+    def update(self, lo: int, hi: int, fn: Callable[[int, int, V], V]) -> None:
+        """Replace each mapped subrange of ``[lo, hi)`` with ``fn``'s result.
+
+        ``fn`` receives the clipped ``(start, end, value)`` of each
+        overlapping piece; unmapped gaps are left unmapped.  Segments
+        partially inside the range are split at the range boundary.
+        """
+        _check_range(lo, hi)
+        i0, i1, prefix, suffix = self._carve(lo, hi)
+        middle = [
+            (start, end, fn(start, end, value))
+            for start, end, value in self.overlaps(lo, hi)
+        ]
+        self._splice(i0, i1, prefix + middle + suffix)
+
+    def update_all(self, fn: Callable[[int, int, V], V]) -> None:
+        """Replace every segment value with ``fn``'s result."""
+        self._segments = [(s, e, fn(s, e, v)) for s, e, v in self._segments]
+
+    def clear(self) -> None:
+        """Remove all mappings."""
+        self._starts.clear()
+        self._segments.clear()
+
+    def coalesce(self) -> None:
+        """Merge adjacent segments whose values compare equal.
+
+        Useful for boolean coverage maps (e.g. the transaction log tree)
+        where long runs of identical values would otherwise accumulate.
+        """
+        if not self._segments:
+            return
+        merged: List[Segment] = [self._segments[0]]
+        for start, end, value in self._segments[1:]:
+            pstart, pend, pvalue = merged[-1]
+            if pend == start and pvalue == value:
+                merged[-1] = (pstart, end, value)
+            else:
+                merged.append((start, end, value))
+        self._segments = merged
+        self._starts = [s for s, _, _ in merged]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _first_overlap(self, lo: int) -> int:
+        """Index of the first segment whose end is greater than ``lo``."""
+        i = bisect_right(self._starts, lo) - 1
+        if i >= 0 and self._segments[i][1] > lo:
+            return i
+        return i + 1
+
+    def _carve(
+        self, lo: int, hi: int
+    ) -> Tuple[int, int, List[Segment], List[Segment]]:
+        """Locate segments overlapping ``[lo, hi)`` and their remainders.
+
+        Returns ``(i0, i1, prefix, suffix)`` where segments ``[i0, i1)``
+        overlap the range, ``prefix`` is the sub-segment of the first
+        overlapping segment left of ``lo`` (possibly empty), and ``suffix``
+        the sub-segment of the last overlapping segment right of ``hi``.
+        """
+        i0 = self._first_overlap(lo)
+        i1 = i0
+        prefix: List[Segment] = []
+        suffix: List[Segment] = []
+        n = len(self._segments)
+        while i1 < n and self._segments[i1][0] < hi:
+            i1 += 1
+        if i0 < i1:
+            fstart, fend, fvalue = self._segments[i0]
+            if fstart < lo:
+                prefix = [(fstart, lo, fvalue)]
+            lstart, lend, lvalue = self._segments[i1 - 1]
+            if lend > hi:
+                suffix = [(hi, lend, lvalue)]
+        return i0, i1, prefix, suffix
+
+    def _splice(self, i0: int, i1: int, replacement: List[Segment]) -> None:
+        self._segments[i0:i1] = replacement
+        self._starts[i0:i1] = [s for s, _, _ in replacement]
+
+
+def _check_range(lo: int, hi: int) -> None:
+    if lo >= hi:
+        raise ValueError(f"empty or inverted range [{lo}, {hi})")

@@ -1,0 +1,69 @@
+"""Epoch intervals used by the shadow memory.
+
+PMTest reasons about *when* a write may persist in units of epochs: the
+global timestamp starts at 0 and increments at every ordering fence.  A
+persist interval ``(start, end)`` means "this write may become durable at
+any point strictly after epoch ``start`` began and no later than the fence
+that started epoch ``end``".  An interval whose ``end`` is :data:`INF` is
+*open*: nothing in the trace so far guarantees the write ever persists.
+
+The overlap rules here are exactly the paper's (Section 4.4):
+
+* a write is *persisted* by the time of a checker iff its interval is
+  closed (``end <= now``);
+* write A is *ordered before* write B iff A's interval ends no later than
+  B's interval starts (``a.end <= b.start``), i.e. the intervals do not
+  overlap.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Union
+
+#: Sentinel for an open interval end ("may never persist").  ``float('inf')``
+#: compares correctly against integer epochs.
+INF: float = float("inf")
+
+Epoch = Union[int, float]
+
+
+class Interval(NamedTuple):
+    """A half-open-ish epoch interval ``(start, end)``.
+
+    ``start`` is the epoch in which the triggering operation executed;
+    ``end`` is the epoch whose opening fence guarantees completion, or
+    :data:`INF` when no such fence exists yet.
+    """
+
+    start: int
+    end: Epoch
+
+    @property
+    def closed(self) -> bool:
+        """Whether the interval has a guaranteed completion point."""
+        return self.end != INF
+
+    def ends_by(self, now: int) -> bool:
+        """Whether the interval is guaranteed complete at epoch ``now``."""
+        return self.end <= now
+
+    def ordered_before(self, other: "Interval") -> bool:
+        """x86 rule: self completes no later than ``other`` may begin."""
+        return self.end != INF and self.end <= other.start
+
+    def starts_before(self, other: "Interval") -> bool:
+        """HOPS rule: self began in a strictly earlier epoch than ``other``."""
+        return self.start < other.start
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Whether the two intervals may be concurrently in flight."""
+        return not (self.ordered_before(other) or other.ordered_before(self))
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        end = "inf" if self.end == INF else str(self.end)
+        return f"({self.start}, {end})"
+
+
+def span(start: int, end: Epoch = INF) -> Interval:
+    """Convenience constructor mirroring the paper's ``(E1, E2)`` notation."""
+    return Interval(start, end)

@@ -1,0 +1,93 @@
+"""Bounded kernel-FIFO channel for kernel-module integration.
+
+PMFS-style kernel modules cannot run the checking engine in kernel space,
+so PMTest passes traces to the user-space engine through a kernel FIFO
+(``/proc/PMTest``) of 1024 entries, and parks the kernel module on an
+interruptible wait queue when the FIFO fills, waking it once the FIFO is
+less than half full (paper Section 4.5).
+
+This module simulates that channel: a bounded deque with hysteresis-based
+backpressure.  The producer (the simulated kernel module) blocks in
+:meth:`KernelFifo.put` when full and is only released once the consumer
+has drained the FIFO below half capacity — exactly the paper's wake-up
+condition, which avoids thrashing at the full mark.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Generic, Optional, TypeVar
+
+T = TypeVar("T")
+
+#: The paper's FIFO depth for /proc/PMTest.
+DEFAULT_CAPACITY = 1024
+
+
+class FifoClosed(Exception):
+    """The channel was closed while an operation was blocked on it."""
+
+
+class KernelFifo(Generic[T]):
+    """Bounded FIFO with half-full wake-up hysteresis."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 2:
+            raise ValueError("capacity must be at least 2")
+        self.capacity = capacity
+        self._items: Deque[T] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._below_half = threading.Condition(self._lock)
+        self._closed = False
+        #: number of times a producer had to park (observability for tests
+        #: and for the kernel-integration benchmark)
+        self.producer_waits = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    # ------------------------------------------------------------------
+    def put(self, item: T) -> None:
+        """Enqueue; block on the wait queue while the FIFO is full.
+
+        A parked producer resumes only once the FIFO has drained below
+        half capacity (the paper's interruptible wait queue behaviour).
+        """
+        with self._lock:
+            if len(self._items) >= self.capacity:
+                self.producer_waits += 1
+                while not self._closed and len(self._items) >= self.capacity // 2:
+                    self._below_half.wait()
+            if self._closed:
+                raise FifoClosed("put on closed kernel FIFO")
+            self._items.append(item)
+            self._not_empty.notify()
+
+    def get(self, timeout: Optional[float] = None) -> T:
+        """Dequeue; block while empty.  Raises :class:`FifoClosed` when the
+        channel is closed and drained."""
+        with self._lock:
+            while not self._items:
+                if self._closed:
+                    raise FifoClosed("kernel FIFO closed and empty")
+                if not self._not_empty.wait(timeout=timeout):
+                    raise TimeoutError("kernel FIFO get timed out")
+            item = self._items.popleft()
+            if len(self._items) < self.capacity // 2:
+                self._below_half.notify_all()
+            return item
+
+    def close(self) -> None:
+        """Close the channel, waking all blocked producers and consumers."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._below_half.notify_all()

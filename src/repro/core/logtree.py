@@ -1,0 +1,56 @@
+"""The transaction log tree (paper Section 5.1.1).
+
+To detect missing undo-log backups, the checking engine maintains a second
+interval structure alongside the shadow memory: the *log tree* records
+which address ranges the current transaction has snapshotted via
+``TX_ADD``.  A write inside a transaction to a range the log tree does not
+cover is a crash-consistency bug (the object cannot be rolled back); a
+``TX_ADD`` over an already-covered range is a performance bug (duplicate
+log, Section 5.1.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.events import SourceSite
+from repro.core.interval_map import IntervalMap
+
+
+class LogTree:
+    """Address ranges backed up by ``TX_ADD`` in the current transaction."""
+
+    __slots__ = ("_ranges",)
+
+    def __init__(self) -> None:
+        self._ranges: IntervalMap[Optional[SourceSite]] = IntervalMap()
+
+    def __len__(self) -> int:
+        return len(self._ranges)
+
+    def add(
+        self, lo: int, hi: int, site: Optional[SourceSite] = None
+    ) -> List[Tuple[int, int, Optional[SourceSite]]]:
+        """Record a backup of ``[lo, hi)``.
+
+        Returns the already-covered subranges (with the site of the earlier
+        ``TX_ADD``), which the caller reports as duplicate logs.  The new
+        backup is recorded either way; the earlier site is kept for covered
+        parts so repeated duplicates keep pointing at the original.
+        """
+        duplicates = self._ranges.overlaps(lo, hi)
+        for gap_lo, gap_hi in self._ranges.gaps(lo, hi):
+            self._ranges.assign(gap_lo, gap_hi, site)
+        return duplicates
+
+    def uncovered(self, lo: int, hi: int) -> List[Tuple[int, int]]:
+        """Subranges of ``[lo, hi)`` with no backup (missing-log bugs)."""
+        return self._ranges.gaps(lo, hi)
+
+    def covers(self, lo: int, hi: int) -> bool:
+        """Whether the whole range has been backed up."""
+        return self._ranges.covers(lo, hi)
+
+    def reset(self) -> None:
+        """Drop all backups (a fresh outermost transaction began)."""
+        self._ranges.clear()

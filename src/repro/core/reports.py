@@ -1,0 +1,134 @@
+"""Testing results: FAIL/WARN reports and aggregate outcomes.
+
+The checking engine reports ``FAIL`` outputs for crash-consistency bugs
+(e.g. a missing fence) and ``WARNING`` outputs for performance bugs (e.g. a
+redundant writeback), together with the source file and line of the failing
+checker or offending operation (paper Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, List, Optional
+
+from repro.core.events import SourceSite
+
+
+class Level(Enum):
+    """Severity of a report."""
+
+    FAIL = "FAIL"
+    WARN = "WARN"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class ReportCode(Enum):
+    """Stable identifiers for every diagnostic PMTest can emit."""
+
+    # Crash-consistency failures (FAIL)
+    NOT_PERSISTED = "not-persisted"  # isPersist violated
+    NOT_ORDERED = "not-ordered"  # isOrderedBefore violated
+    MISSING_LOG = "missing-log"  # TX write without a prior TX_ADD backup
+    INCOMPLETE_TX = "incomplete-tx"  # transaction never terminated
+    TX_NOT_PERSISTED = "tx-not-persisted"  # TX updates not durable at scope end
+    # Performance warnings (WARN)
+    DUP_FLUSH = "duplicate-flush"  # second writeback while one is in flight
+    UNNECESSARY_FLUSH = "unnecessary-flush"  # writeback of unmodified data
+    DUP_LOG = "duplicate-log"  # object logged more than once in one TX
+    # Usage problems (WARN)
+    ORDER_UNKNOWN = "order-unknown"  # isOrderedBefore over never-written data
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Codes that denote crash-consistency bugs.
+FAIL_CODES = frozenset(
+    {
+        ReportCode.NOT_PERSISTED,
+        ReportCode.NOT_ORDERED,
+        ReportCode.MISSING_LOG,
+        ReportCode.INCOMPLETE_TX,
+        ReportCode.TX_NOT_PERSISTED,
+    }
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Report:
+    """One diagnostic emitted while checking a trace."""
+
+    level: Level
+    code: ReportCode
+    message: str
+    site: Optional[SourceSite] = None  # the checker or op that fired
+    related_site: Optional[SourceSite] = None  # e.g. the write that never persisted
+    trace_id: int = -1
+    seq: int = -1  # index of the triggering event within its trace
+
+    def __str__(self) -> str:
+        where = f" @{self.site}" if self.site else ""
+        related = f" (see {self.related_site})" if self.related_site else ""
+        return f"[{self.level}] {self.code}: {self.message}{where}{related}"
+
+
+@dataclass(slots=True)
+class TestResult:
+    """Aggregate outcome of checking one or more traces."""
+
+    #: not a pytest test class, despite the name
+    __test__ = False
+
+    reports: List[Report] = field(default_factory=list)
+    traces_checked: int = 0
+    events_checked: int = 0
+    checkers_evaluated: int = 0
+
+    @property
+    def failures(self) -> List[Report]:
+        return [r for r in self.reports if r.level is Level.FAIL]
+
+    @property
+    def warnings(self) -> List[Report]:
+        return [r for r in self.reports if r.level is Level.WARN]
+
+    @property
+    def passed(self) -> bool:
+        """Whether no crash-consistency bug was detected."""
+        return not self.failures
+
+    @property
+    def clean(self) -> bool:
+        """Whether neither failures nor warnings were detected."""
+        return not self.reports
+
+    def codes(self) -> List[ReportCode]:
+        return [r.code for r in self.reports]
+
+    def count(self, code: ReportCode) -> int:
+        return sum(1 for r in self.reports if r.code is code)
+
+    def merge(self, other: "TestResult") -> None:
+        """Fold another result into this one (used by the worker pool)."""
+        self.reports.extend(other.reports)
+        self.traces_checked += other.traces_checked
+        self.events_checked += other.events_checked
+        self.checkers_evaluated += other.checkers_evaluated
+
+    def summary(self) -> str:
+        return (
+            f"{self.traces_checked} trace(s), {self.events_checked} event(s), "
+            f"{self.checkers_evaluated} checker(s): "
+            f"{len(self.failures)} FAIL, {len(self.warnings)} WARN"
+        )
+
+
+def merge_results(results: Iterable[TestResult]) -> TestResult:
+    """Combine per-trace results into one aggregate."""
+    total = TestResult()
+    for result in results:
+        total.merge(result)
+    return total

@@ -1,0 +1,24 @@
+"""Pluggable checking rules, one set per memory persistency model.
+
+The paper's flexibility claim rests on this seam: the engine is model
+agnostic and delegates the semantics of PM operations — and the meaning of
+``isPersist``/``isOrderedBefore`` — to a :class:`PersistencyRules`
+implementation.  x86 strict persistency (Section 4.4) and HOPS relaxed
+persistency (Section 5.2) ship in-tree; new models subclass
+:class:`~repro.core.rules.base.PersistencyRules`.
+"""
+
+from repro.core.rules.base import PersistencyRules, UnsupportedOperation
+from repro.core.rules.eadr import EADRRules
+from repro.core.rules.hops import HOPSRules
+from repro.core.rules.naive import NaiveX86Rules
+from repro.core.rules.x86 import X86Rules
+
+__all__ = [
+    "EADRRules",
+    "HOPSRules",
+    "NaiveX86Rules",
+    "PersistencyRules",
+    "UnsupportedOperation",
+    "X86Rules",
+]

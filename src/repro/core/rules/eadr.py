@@ -1,0 +1,109 @@
+"""Checking rules for an eADR-style persistency model (extension).
+
+The paper demonstrates flexibility with x86 and HOPS; this module adds a
+third model as the extension exercise the design invites: *extended
+asynchronous DRAM refresh* (eADR) platforms, where the cache hierarchy
+is inside the persistence domain — on power failure, platform firmware
+flushes the caches.  Consequences for checking:
+
+* a plain store is durable once it is *globally visible*: no ``clwb``
+  is ever required, and flushes are pure overhead;
+* ``sfence`` still matters, but only for *ordering*: a store is
+  guaranteed durable (and ordered against later stores) after the next
+  fence retires it from the store buffer.
+
+So the rules are: ``write`` opens a persist interval; any fence closes
+every open interval (the store buffer drains); every flush is an
+``UNNECESSARY_FLUSH`` performance warning — exactly the diagnosis a
+PMTest user porting clwb-heavy code to an eADR platform wants.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from typing import List
+
+from repro.core.events import Event, FLUSH_OPS, Op
+from repro.core.intervals import INF, Epoch, Interval
+from repro.core.reports import Level, Report, ReportCode
+from repro.core.rules.base import PersistencyRules, RangeInterval
+from repro.core.shadow import SegmentState, ShadowMemory
+
+
+class EADRShadowMemory(ShadowMemory):
+    """Shadow with the fence history (every fence closes intervals)."""
+
+    __slots__ = ("fence_epochs",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.fence_epochs: List[int] = []
+
+    def record_fence(self) -> int:
+        now = self.advance()
+        insort(self.fence_epochs, now)
+        return now
+
+    def first_fence_after(self, epoch: int) -> Epoch:
+        index = bisect_right(self.fence_epochs, epoch)
+        if index < len(self.fence_epochs):
+            return self.fence_epochs[index]
+        return INF
+
+    def eadr_interval(self, state: SegmentState) -> Interval:
+        return Interval(
+            state.write_epoch, self.first_fence_after(state.write_epoch)
+        )
+
+
+class EADRRules(PersistencyRules):
+    """eADR (cache-in-persistence-domain) checking rules."""
+
+    name = "eadr"
+
+    supported_ops = frozenset(
+        {Op.WRITE, Op.WRITE_NT, Op.SFENCE, Op.CLWB, Op.CLFLUSHOPT, Op.CLFLUSH}
+    )
+
+    def make_shadow(self) -> EADRShadowMemory:
+        return EADRShadowMemory()
+
+    def apply_op(self, shadow: EADRShadowMemory, event: Event) -> List[Report]:
+        op = event.op
+        if op is Op.WRITE or op is Op.WRITE_NT:
+            shadow.pm.assign(
+                event.addr,
+                event.end,
+                SegmentState(shadow.timestamp, None, event.site),
+            )
+            return []
+        if op is Op.SFENCE:
+            shadow.record_fence()
+            return []
+        if op in FLUSH_OPS:
+            # The whole point of eADR: flushes buy nothing.
+            return [
+                Report(
+                    level=Level.WARN,
+                    code=ReportCode.UNNECESSARY_FLUSH,
+                    message=(
+                        "cache writeback on an eADR platform: the cache "
+                        "is already in the persistence domain"
+                    ),
+                    site=event.site,
+                    seq=event.seq,
+                )
+            ]
+        self.reject(event)
+        return []  # pragma: no cover - reject always raises
+
+    def persist_intervals(
+        self, shadow: EADRShadowMemory, lo: int, hi: int
+    ) -> List[RangeInterval]:
+        return [
+            (s, e, shadow.eadr_interval(state), state)
+            for s, e, state in shadow.pm.overlaps(lo, hi)
+        ]
+
+    def ordered(self, a: Interval, b: Interval) -> bool:
+        return a.ordered_before(b)

@@ -1,0 +1,65 @@
+"""Checking rules for the HOPS relaxed persistency model (paper Section 5.2).
+
+HOPS (Nalli et al., ASPLOS '17) decouples ordering from durability with two
+fences and has no software-visible cache writebacks:
+
+``ofence``
+    Lightweight ordering fence: all earlier writes reach PM before any
+    later write, but none is made durable.  It only advances the epoch.
+``dfence``
+    Durability fence: stalls until every earlier write has persisted.  It
+    advances the epoch and closes the persist interval of every open write
+    at the new epoch (derived lazily from the recorded dfence epochs).
+
+Because fences alone already order persists, ``isOrderedBefore`` under
+HOPS only requires A's interval to *start* strictly before B's — they may
+still be durably outstanding together, but the hardware will drain them in
+epoch order.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.events import Event, Op
+from repro.core.intervals import Interval
+from repro.core.reports import Report
+from repro.core.rules.base import PersistencyRules, RangeInterval
+from repro.core.shadow import SegmentState, ShadowMemory
+
+
+class HOPSRules(PersistencyRules):
+    """HOPS (ofence + dfence) checking rules."""
+
+    name = "hops"
+
+    supported_ops = frozenset({Op.WRITE, Op.OFENCE, Op.DFENCE})
+
+    def apply_op(self, shadow: ShadowMemory, event: Event) -> List[Report]:
+        op = event.op
+        if op is Op.WRITE:
+            shadow.pm.assign(
+                event.addr,
+                event.end,
+                SegmentState(shadow.timestamp, None, event.site),
+            )
+            return []
+        if op is Op.OFENCE:
+            shadow.advance()
+            return []
+        if op is Op.DFENCE:
+            shadow.record_dfence()
+            return []
+        self.reject(event)
+        return []  # pragma: no cover - reject always raises
+
+    def persist_intervals(
+        self, shadow: ShadowMemory, lo: int, hi: int
+    ) -> List[RangeInterval]:
+        return [
+            (s, e, shadow.hops_interval(state), state)
+            for s, e, state in shadow.pm.overlaps(lo, hi)
+        ]
+
+    def ordered(self, a: Interval, b: Interval) -> bool:
+        return a.starts_before(b)

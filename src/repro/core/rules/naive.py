@@ -1,0 +1,118 @@
+"""Ablation: x86 rules over a naive per-byte shadow memory.
+
+The paper credits PMTest's speed partly to the interval-tree shadow
+memory (coarse-grained tracking, Section 4.4).  This variant implements
+the identical x86 checking semantics with the obvious alternative — one
+shadow cell per byte in a dict — so the ablation benchmark can quantify
+what the interval map buys.  Semantically equivalent (the unit tests
+cross-check it against :class:`~repro.core.rules.x86.X86Rules`), just
+asymptotically worse: every operation costs O(bytes touched).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.events import Event, FLUSH_OPS, Op
+from repro.core.intervals import Interval
+from repro.core.reports import Level, Report, ReportCode
+from repro.core.rules.base import RangeInterval
+from repro.core.rules.x86 import X86Rules
+from repro.core.shadow import SegmentState, ShadowMemory
+
+
+class NaiveShadowMemory(ShadowMemory):
+    """Per-byte shadow state (the structure PMTest avoids)."""
+
+    __slots__ = ("bytes_map",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.bytes_map: Dict[int, SegmentState] = {}
+
+
+class NaiveX86Rules(X86Rules):
+    """x86 semantics, one dict entry per byte."""
+
+    name = "x86-naive"
+
+    def make_shadow(self) -> NaiveShadowMemory:
+        return NaiveShadowMemory()
+
+    def apply_op(self, shadow: NaiveShadowMemory, event: Event) -> List[Report]:
+        op = event.op
+        if op is Op.WRITE:
+            state = SegmentState(shadow.timestamp, None, event.site)
+            for addr in range(event.addr, event.end):
+                shadow.bytes_map[addr] = state
+            return []
+        if op is Op.WRITE_NT:
+            state = SegmentState(
+                shadow.timestamp, shadow.timestamp, event.site, event.site
+            )
+            for addr in range(event.addr, event.end):
+                shadow.bytes_map[addr] = state
+            return []
+        if op in FLUSH_OPS:
+            return self._naive_flush(shadow, event)
+        if op is Op.SFENCE:
+            shadow.advance()
+            return []
+        self.reject(event)
+        return []  # pragma: no cover
+
+    def _naive_flush(self, shadow: NaiveShadowMemory, event: Event) -> List[Report]:
+        reports: List[Report] = []
+        now = shadow.timestamp
+        warned_gap = warned_dup = warned_unneeded = False
+        for addr in range(event.addr, event.end):
+            state = shadow.bytes_map.get(addr)
+            if state is None:
+                if not warned_gap:
+                    warned_gap = True
+                    reports.append(self._warn(
+                        ReportCode.UNNECESSARY_FLUSH,
+                        "writeback of unmodified data", event))
+                continue
+            flush_iv = shadow.x86_flush_interval(state)
+            if flush_iv is not None and not flush_iv.closed:
+                if not warned_dup:
+                    warned_dup = True
+                    reports.append(self._warn(
+                        ReportCode.DUP_FLUSH,
+                        "writeback already in flight", event))
+                continue  # keep the original flush epoch
+            if flush_iv is not None:
+                # Already persistent: the redundant writeback must not
+                # reopen the closed persist interval.
+                if not warned_unneeded:
+                    warned_unneeded = True
+                    reports.append(self._warn(
+                        ReportCode.UNNECESSARY_FLUSH,
+                        "data already persistent", event))
+                continue
+            shadow.bytes_map[addr] = state.with_flush(now, event.site)
+        return reports
+
+    def persist_intervals(
+        self, shadow: NaiveShadowMemory, lo: int, hi: int
+    ) -> List[RangeInterval]:
+        """Group adjacent bytes with identical state into ranges."""
+        out: List[RangeInterval] = []
+        run_start = None
+        run_state = None
+        for addr in range(lo, hi + 1):
+            state = shadow.bytes_map.get(addr) if addr < hi else None
+            if state != run_state or addr == hi:
+                if run_state is not None:
+                    out.append(
+                        (run_start, addr, shadow.x86_interval(run_state),
+                         run_state)
+                    )
+                run_start, run_state = addr, state
+        return out
+
+    @staticmethod
+    def _warn(code: ReportCode, message: str, event: Event) -> Report:
+        return Report(level=Level.WARN, code=code, message=message,
+                      site=event.site, seq=event.seq)

@@ -1,0 +1,139 @@
+"""Checking rules for the x86 strict persistency model (paper Section 4.4).
+
+Operation semantics:
+
+``write(addr, size)``
+    Clears any existing persist/flush state over the range and opens a
+    persist interval at the current epoch: the store may persist at any
+    time from now on (cache eviction), but is not guaranteed to.
+``write_nt(addr, size)``
+    A non-temporal store bypasses the cache: it behaves like a write whose
+    writeback has already been issued, so the next ``sfence`` persists it
+    without a ``clwb``.
+``clwb/clflushopt/clflush(addr, size)``
+    Opens a flush interval.  Two performance diagnostics fire here:
+    flushing a range with a writeback already in flight is a duplicate
+    flush, and flushing a range that holds no un-persisted write (never
+    written, or already persisted) is an unnecessary writeback
+    (Section 5.1.2).  The ISA guarantees a flush is ordered after a prior
+    write to the same cache line, which is why ``(write, clwb, sfence)``
+    suffices to persist — no fence is needed *between* write and clwb.
+``sfence``
+    Increments the global timestamp.  Interval closure is derived lazily
+    (see :mod:`repro.core.shadow`): a flush issued in epoch ``t`` is
+    complete — and its write persistent — once the timestamp has passed
+    ``t``, with interval end ``t + 1``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.events import Event, FLUSH_OPS, Op
+from repro.core.intervals import Interval
+from repro.core.reports import Level, Report, ReportCode
+from repro.core.rules.base import PersistencyRules, RangeInterval
+from repro.core.shadow import SegmentState, ShadowMemory
+
+
+class X86Rules(PersistencyRules):
+    """x86 (clwb + sfence) checking rules."""
+
+    name = "x86"
+
+    supported_ops = frozenset(
+        {Op.WRITE, Op.WRITE_NT, Op.CLWB, Op.CLFLUSHOPT, Op.CLFLUSH, Op.SFENCE}
+    )
+
+    def apply_op(self, shadow: ShadowMemory, event: Event) -> List[Report]:
+        op = event.op
+        if op is Op.WRITE:
+            shadow.pm.assign(
+                event.addr,
+                event.end,
+                SegmentState(shadow.timestamp, None, event.site),
+            )
+            return []
+        if op is Op.WRITE_NT:
+            shadow.pm.assign(
+                event.addr,
+                event.end,
+                SegmentState(shadow.timestamp, shadow.timestamp, event.site, event.site),
+            )
+            return []
+        if op in FLUSH_OPS:
+            return self._apply_flush(shadow, event)
+        if op is Op.SFENCE:
+            shadow.advance()
+            return []
+        self.reject(event)
+        return []  # pragma: no cover - reject always raises
+
+    def _apply_flush(self, shadow: ShadowMemory, event: Event) -> List[Report]:
+        """Record a writeback and diagnose redundant ones."""
+        reports: List[Report] = []
+        now = shadow.timestamp
+        for lo, hi in shadow.pm.gaps(event.addr, event.end):
+            reports.append(
+                _warn(
+                    ReportCode.UNNECESSARY_FLUSH,
+                    f"writeback of [{lo:#x}, {hi:#x}) which was never "
+                    "modified in this trace",
+                    event,
+                )
+            )
+        for lo, hi, state in shadow.pm.overlaps(event.addr, event.end):
+            flush_iv = shadow.x86_flush_interval(state)
+            if flush_iv is not None and not flush_iv.closed:
+                reports.append(
+                    _warn(
+                        ReportCode.DUP_FLUSH,
+                        f"[{lo:#x}, {hi:#x}) already has a writeback in "
+                        f"flight (issued at {state.flush_site})",
+                        event,
+                    )
+                )
+            elif flush_iv is not None:
+                # Flushed and fenced already, and not re-written since:
+                # this writeback moves no new data.
+                reports.append(
+                    _warn(
+                        ReportCode.UNNECESSARY_FLUSH,
+                        f"[{lo:#x}, {hi:#x}) is already persistent; "
+                        "this writeback is redundant",
+                        event,
+                    )
+                )
+        # Only the first writeback after a write matters: a duplicate
+        # keeps the original epoch (persistence is guaranteed by the
+        # first fence after the *first* writeback), and re-flushing an
+        # already-persistent segment must not reopen its closed persist
+        # interval.
+        def record(lo: int, hi: int, state: SegmentState) -> SegmentState:
+            if state.flush_epoch is not None:
+                return state
+            return state.with_flush(now, event.site)
+
+        shadow.pm.update(event.addr, event.end, record)
+        return reports
+
+    def persist_intervals(
+        self, shadow: ShadowMemory, lo: int, hi: int
+    ) -> List[RangeInterval]:
+        return [
+            (s, e, shadow.x86_interval(state), state)
+            for s, e, state in shadow.pm.overlaps(lo, hi)
+        ]
+
+    def ordered(self, a: Interval, b: Interval) -> bool:
+        return a.ordered_before(b)
+
+
+def _warn(code: ReportCode, message: str, event: Event) -> Report:
+    return Report(
+        level=Level.WARN,
+        code=code,
+        message=message,
+        site=event.site,
+        seq=event.seq,
+    )

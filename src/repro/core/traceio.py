@@ -1,0 +1,167 @@
+"""Trace serialization: record once, check offline, anywhere.
+
+The paper's PMTest checks traces online, in the same process.  This
+module adds the natural deployment mode for a trace-based tool: dump
+captured traces to a file (JSON lines — one event per line, one blank
+line between traces) and re-check them later, with different rules, or
+on another machine.  It also enables corpus-style regression testing:
+keep the trace that exposed a bug and assert the checker verdict
+forever after.
+
+Format (stable, versioned)::
+
+    {"format": "pmtest-trace", "version": 1}          # header line
+    {"trace": 0, "thread": "main"}                    # trace header
+    {"op": "WRITE", "addr": 16, "size": 64, ...}      # events
+    ...
+    {"trace": 1, "thread": "main"}                    # next trace
+    ...
+
+Sites are preserved when present.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, TextIO, Union
+
+from repro.core.events import Event, Op, SourceSite, Trace
+
+FORMAT_NAME = "pmtest-trace"
+FORMAT_VERSION = 1
+
+
+class TraceFormatError(Exception):
+    """The file is not a valid PMTest trace dump."""
+
+
+def dump_traces(traces: Iterable[Trace], destination: Union[str, Path, TextIO]) -> int:
+    """Write traces to a file or file-like object; returns trace count."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            return dump_traces(traces, handle)
+    destination.write(
+        json.dumps({"format": FORMAT_NAME, "version": FORMAT_VERSION}) + "\n"
+    )
+    count = 0
+    for trace in traces:
+        destination.write(
+            json.dumps({"trace": trace.trace_id, "thread": trace.thread_name})
+            + "\n"
+        )
+        for event in trace.events:
+            destination.write(json.dumps(_event_to_dict(event)) + "\n")
+        count += 1
+    return count
+
+
+def load_traces(source: Union[str, Path, TextIO]) -> List[Trace]:
+    """Read every trace from a dump produced by :func:`dump_traces`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return load_traces(handle)
+    lines = iter(source)
+    header = _parse_line(next(lines, ""))
+    if header.get("format") != FORMAT_NAME:
+        raise TraceFormatError("missing pmtest-trace header line")
+    if header.get("version") != FORMAT_VERSION:
+        raise TraceFormatError(
+            f"unsupported trace format version {header.get('version')!r}"
+        )
+    traces: List[Trace] = []
+    current: Optional[Trace] = None
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = _parse_line(line)
+        if "trace" in record:
+            current = Trace(record["trace"],
+                            thread_name=record.get("thread", "main"))
+            traces.append(current)
+        elif "op" in record:
+            if current is None:
+                raise TraceFormatError("event before any trace header")
+            current.append(_event_from_dict(record))
+        else:
+            raise TraceFormatError(f"unrecognized record: {record!r}")
+    return traces
+
+
+# ----------------------------------------------------------------------
+def _event_to_dict(event: Event) -> dict:
+    record = {"op": event.op.name}
+    if event.size:
+        record["addr"] = event.addr
+        record["size"] = event.size
+    if event.size2:
+        record["addr2"] = event.addr2
+        record["size2"] = event.size2
+    if event.site is not None:
+        record["site"] = [event.site.file, event.site.line,
+                          event.site.function]
+    return record
+
+
+def _event_from_dict(record: dict) -> Event:
+    try:
+        op = Op[record["op"]]
+    except KeyError as exc:
+        raise TraceFormatError(f"unknown op {record.get('op')!r}") from exc
+    site = None
+    if "site" in record:
+        file, line, function = record["site"]
+        site = SourceSite(file, line, function)
+    return Event(
+        op,
+        record.get("addr", 0),
+        record.get("size", 0),
+        record.get("addr2", 0),
+        record.get("size2", 0),
+        site,
+    )
+
+
+def _parse_line(line: str) -> dict:
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"bad JSON line: {line[:60]!r}") from exc
+    if not isinstance(record, dict):
+        raise TraceFormatError("trace lines must be JSON objects")
+    return record
+
+
+class TraceRecorder:
+    """A trace sink that archives instead of checking.
+
+    Point a :class:`~repro.core.api.PMTestSession` at it (the ``sink``
+    parameter) to capture traces for later offline checking::
+
+        recorder = TraceRecorder()
+        session = PMTestSession(workers=0, sink=recorder)
+        ... run the program ...
+        dump_traces(recorder.traces, "run.pmtrace")
+
+    ``drain``/``close`` return an empty result — recording performs no
+    checking by design.
+    """
+
+    def __init__(self) -> None:
+        self.traces: List[Trace] = []
+
+    @property
+    def dispatched(self) -> int:
+        return len(self.traces)
+
+    def submit(self, trace: Trace) -> None:
+        self.traces.append(trace)
+
+    def drain(self):
+        from repro.core.reports import TestResult
+
+        return TestResult()
+
+    def close(self):
+        return self.drain()

@@ -1,0 +1,17 @@
+"""Instrumentation: connects programs under test to tracking backends.
+
+The paper tracks PM operations either through WHISPER's operation macros
+or an LLVM pass (Section 4.3).  In this reproduction the analogous seam is
+:class:`repro.instr.runtime.PMRuntime`: every library and workload issues
+its PM operations through a runtime, and the runtime fans each operation
+out to
+
+* the simulated PM machine (so the program actually runs), and
+* any number of :class:`repro.instr.runtime.TraceObserver` backends —
+  the PMTest session, the pmemcheck baseline, or nothing at all (the
+  uninstrumented baseline used as the denominator in slowdown figures).
+"""
+
+from repro.instr.runtime import PMRuntime, SessionObserver, TraceObserver
+
+__all__ = ["PMRuntime", "SessionObserver", "TraceObserver"]

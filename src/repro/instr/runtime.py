@@ -1,0 +1,231 @@
+"""The PM runtime: one dispatch point for every PM operation.
+
+Workloads and libraries never touch the machine or the PMTest session
+directly; they call :class:`PMRuntime`.  The runtime
+
+1. executes the operation on the simulated machine (if one is attached),
+2. optionally captures the source site of the call, and
+3. fans the operation out to every attached :class:`TraceObserver`.
+
+Running the identical workload with zero observers gives the
+uninstrumented baseline; attaching a :class:`SessionObserver` gives the
+PMTest-instrumented run; attaching the pmemcheck observer gives the
+competing tool's run — the three configurations behind every slowdown
+figure in the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Protocol
+
+from repro.core.api import PMTestSession
+from repro.core.events import SourceSite
+from repro.pmem.machine import PMMachine
+from repro.pmem.memory import pack_u64, unpack_u64
+
+
+class TraceObserver(Protocol):
+    """Backend notified of every PM operation the program executes."""
+
+    def on_store(
+        self, addr: int, size: int, nt: bool, site: Optional[SourceSite]
+    ) -> None: ...
+
+    def on_flush(
+        self, addr: int, size: int, kind: str, site: Optional[SourceSite]
+    ) -> None: ...
+
+    def on_fence(self, kind: str, site: Optional[SourceSite]) -> None: ...
+
+    def on_tx_begin(self, site: Optional[SourceSite]) -> None: ...
+
+    def on_tx_end(self, site: Optional[SourceSite]) -> None: ...
+
+    def on_tx_add(
+        self, addr: int, size: int, site: Optional[SourceSite]
+    ) -> None: ...
+
+
+class SessionObserver:
+    """Adapts a :class:`PMTestSession` to the observer interface."""
+
+    __slots__ = ("session",)
+
+    def __init__(self, session: PMTestSession) -> None:
+        self.session = session
+
+    def on_store(self, addr, size, nt, site):
+        if nt:
+            self.session.write_nt(addr, size, site=site)
+        else:
+            self.session.write(addr, size, site=site)
+
+    def on_flush(self, addr, size, kind, site):
+        if kind == "clwb":
+            self.session.clwb(addr, size, site=site)
+        elif kind == "clflushopt":
+            self.session.clflushopt(addr, size, site=site)
+        else:
+            self.session.clflush(addr, size, site=site)
+
+    def on_fence(self, kind, site):
+        if kind == "sfence":
+            self.session.sfence(site=site)
+        elif kind == "ofence":
+            self.session.ofence(site=site)
+        else:
+            self.session.dfence(site=site)
+
+    def on_tx_begin(self, site):
+        self.session.tx_begin(site=site)
+
+    def on_tx_end(self, site):
+        self.session.tx_end(site=site)
+
+    def on_tx_add(self, addr, size, site):
+        self.session.tx_add(addr, size, site=site)
+
+
+class PMRuntime:
+    """Executes PM operations against the machine and notifies observers."""
+
+    def __init__(
+        self,
+        machine: Optional[PMMachine] = None,
+        session: Optional[PMTestSession] = None,
+        observers: Iterable[TraceObserver] = (),
+        capture_sites: bool = False,
+    ) -> None:
+        self.machine = machine
+        self.session = session
+        self.observers: List[TraceObserver] = list(observers)
+        if session is not None:
+            self.observers.append(SessionObserver(session))
+        self.capture_sites = capture_sites
+        # Binary-instrumentation-style tools (pmemcheck) see *every*
+        # memory access, not just annotated PM ops; observers opt in via
+        # a ``wants_loads`` attribute.  PMTest never does — tracking only
+        # annotated operations is half its performance story.
+        self._load_observers: List[TraceObserver] = [
+            observer
+            for observer in self.observers
+            if getattr(observer, "wants_loads", False)
+        ]
+
+    # ------------------------------------------------------------------
+    # Loads / stores
+    # ------------------------------------------------------------------
+    def load(self, addr: int, size: int) -> bytes:
+        if self.machine is None:
+            raise RuntimeError("no machine attached; loads are impossible")
+        for observer in self._load_observers:
+            observer.on_load(addr, size)
+        return self.machine.load(addr, size)
+
+    def load_u64(self, addr: int) -> int:
+        return unpack_u64(self.load(addr, 8))
+
+    def store(
+        self,
+        addr: int,
+        payload: bytes,
+        nt: bool = False,
+        site: Optional[SourceSite] = None,
+    ) -> None:
+        if site is None and self.capture_sites:
+            site = SourceSite.capture(2)
+        if self.machine is not None:
+            self.machine.store(addr, payload, nt=nt)
+        for observer in self.observers:
+            observer.on_store(addr, len(payload), nt, site)
+
+    def store_u64(
+        self,
+        addr: int,
+        value: int,
+        nt: bool = False,
+        site: Optional[SourceSite] = None,
+    ) -> None:
+        if site is None and self.capture_sites:
+            site = SourceSite.capture(2)
+        self.store(addr, pack_u64(value), nt=nt, site=site)
+
+    # ------------------------------------------------------------------
+    # x86 persistence
+    # ------------------------------------------------------------------
+    def clwb(self, addr: int, size: int, site: Optional[SourceSite] = None) -> None:
+        self._flush(addr, size, "clwb", site)
+
+    def clflushopt(
+        self, addr: int, size: int, site: Optional[SourceSite] = None
+    ) -> None:
+        self._flush(addr, size, "clflushopt", site)
+
+    def clflush(self, addr: int, size: int, site: Optional[SourceSite] = None) -> None:
+        self._flush(addr, size, "clflush", site)
+
+    def sfence(self, site: Optional[SourceSite] = None) -> None:
+        if site is None and self.capture_sites:
+            site = SourceSite.capture(2)
+        if self.machine is not None:
+            self.machine.sfence()
+        for observer in self.observers:
+            observer.on_fence("sfence", site)
+
+    def persist(self, addr: int, size: int, site: Optional[SourceSite] = None) -> None:
+        """The paper's ``persist_barrier`` over a range: ``clwb; sfence``."""
+        if site is None and self.capture_sites:
+            site = SourceSite.capture(2)
+        self.clwb(addr, size, site=site)
+        self.sfence(site=site)
+
+    # ------------------------------------------------------------------
+    # HOPS persistence
+    # ------------------------------------------------------------------
+    def ofence(self, site: Optional[SourceSite] = None) -> None:
+        if site is None and self.capture_sites:
+            site = SourceSite.capture(2)
+        if self.machine is not None:
+            self.machine.ofence()
+        for observer in self.observers:
+            observer.on_fence("ofence", site)
+
+    def dfence(self, site: Optional[SourceSite] = None) -> None:
+        if site is None and self.capture_sites:
+            site = SourceSite.capture(2)
+        if self.machine is not None:
+            self.machine.dfence()
+        for observer in self.observers:
+            observer.on_fence("dfence", site)
+
+    # ------------------------------------------------------------------
+    # Transaction bookkeeping (issued by transactional libraries)
+    # ------------------------------------------------------------------
+    def tx_begin(self, site: Optional[SourceSite] = None) -> None:
+        if site is None and self.capture_sites:
+            site = SourceSite.capture(2)
+        for observer in self.observers:
+            observer.on_tx_begin(site)
+
+    def tx_end(self, site: Optional[SourceSite] = None) -> None:
+        if site is None and self.capture_sites:
+            site = SourceSite.capture(2)
+        for observer in self.observers:
+            observer.on_tx_end(site)
+
+    def tx_add(self, addr: int, size: int, site: Optional[SourceSite] = None) -> None:
+        if site is None and self.capture_sites:
+            site = SourceSite.capture(2)
+        for observer in self.observers:
+            observer.on_tx_add(addr, size, site)
+
+    # ------------------------------------------------------------------
+    def _flush(
+        self, addr: int, size: int, kind: str, site: Optional[SourceSite]
+    ) -> None:
+        if site is None and self.capture_sites:
+            site = SourceSite.capture(3)
+        if self.machine is not None:
+            self.machine.flush(addr, size)
+        for observer in self.observers:
+            observer.on_flush(addr, size, kind, site)

@@ -1,0 +1,20 @@
+"""A Mnemosyne-like persistence library (raw word log + persistent map).
+
+The paper's Memcached workload runs on Mnemosyne (Volos et al.,
+ASPLOS '11); its primitive vocabulary — per paper Figure 2(a) — is a raw
+append-only log (``log_append`` / ``log_flush``) underneath lightweight
+durable transactions.  This package rebuilds that stack:
+
+``log``
+    The raw redo log: fixed-size word records appended, flushed, and
+    checkpointed; crash recovery replays the committed suffix.
+``pmap``
+    A persistent hash map whose updates are made failure-atomic through
+    the redo log — the structure behind the Memcached workload's
+    persistent key-value state.
+"""
+
+from repro.mnemosyne.log import RawWordLog, replay_log
+from repro.mnemosyne.pmap import MnemosyneMap
+
+__all__ = ["MnemosyneMap", "RawWordLog", "replay_log"]

@@ -1,0 +1,148 @@
+"""The Mnemosyne-style raw word log (redo logging).
+
+Mnemosyne makes multi-word updates failure atomic with an append-only
+*raw word log*: the new values are appended as ``(addr, value)`` word
+records, flushed (``log_flush``), and committed by persisting the record
+count; only then are the in-place stores performed.  Crash recovery
+*redoes* a committed log and discards an uncommitted one.
+
+Log region layout (all u64)::
+
+    +-----------+------------------------------------------+
+    | committed |  records: addr0, val0, addr1, val1, ...  |
+    +-----------+------------------------------------------+
+
+``committed`` is the number of committed records (0 = log empty).  The
+commit store is the transaction's atomic switch point: it is 8 bytes and
+therefore persists atomically.
+
+Fault injection (for the synthetic-bug corpus):
+
+``no-log-flush``     records are not flushed before the commit marker
+``no-commit-fence``  the commit marker is not fenced before the in-place
+                     stores
+``apply-no-flush``   in-place stores are not flushed at the end
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.instr.runtime import PMRuntime
+from repro.pmem.memory import PMImage
+
+KNOWN_FAULTS = frozenset({"no-log-flush", "no-commit-fence", "apply-no-flush"})
+
+
+class LogFull(Exception):
+    """The raw word log cannot hold more records."""
+
+
+class RawWordLog:
+    """An append/flush/commit redo log over a PM region."""
+
+    def __init__(
+        self,
+        runtime: PMRuntime,
+        base: int,
+        capacity: int,
+        faults: Tuple[str, ...] = (),
+    ) -> None:
+        unknown = set(faults) - KNOWN_FAULTS
+        if unknown:
+            raise ValueError(f"unknown log faults: {sorted(unknown)}")
+        if capacity < 24:
+            raise ValueError("log region too small for a single record")
+        self.runtime = runtime
+        self.base = base
+        self.capacity = capacity
+        self.faults = frozenset(faults)
+        #: records appended but not yet committed (volatile mirror)
+        self._pending: List[Tuple[int, int]] = []
+
+    @property
+    def max_records(self) -> int:
+        return (self.capacity - 8) // 16
+
+    # ------------------------------------------------------------------
+    def append(self, addr: int, value: int) -> None:
+        """``log_append``: stage one word update in the log."""
+        index = len(self._pending)
+        if index >= self.max_records:
+            raise LogFull(f"log holds at most {self.max_records} records")
+        record_addr = self.base + 8 + index * 16
+        self.runtime.store_u64(record_addr, addr)
+        self.runtime.store_u64(record_addr + 8, value)
+        self._pending.append((addr, value))
+
+    def log_flush(self) -> None:
+        """``log_flush``: make the staged records durable."""
+        if not self._pending:
+            return
+        if "no-log-flush" not in self.faults:
+            self.runtime.clwb(self.base + 8, len(self._pending) * 16)
+            self.runtime.sfence()
+
+    def commit(self) -> None:
+        """Commit and apply: persist the count, redo in place, truncate."""
+        if not self._pending:
+            return
+        runtime = self.runtime
+        # 1. The atomic switch: the record count.
+        runtime.store_u64(self.base, len(self._pending))
+        runtime.clwb(self.base, 8)
+        if "no-commit-fence" not in self.faults:
+            runtime.sfence()
+        # 2. Redo in place.
+        for addr, value in self._pending:
+            runtime.store_u64(addr, value)
+            if "apply-no-flush" not in self.faults:
+                runtime.clwb(addr, 8)
+        runtime.sfence()
+        # The protocol's crash-consistency requirements, self-annotated
+        # with the low-level checkers (library-developer instrumentation,
+        # paper Section 7.2): records persist before the commit marker,
+        # and the marker before every in-place redo.
+        session = runtime.session
+        if session is not None:
+            session.is_ordered_before(
+                self.base + 8, len(self._pending) * 16, self.base, 8
+            )
+            for addr, _ in self._pending:
+                session.is_ordered_before(self.base, 8, addr, 8)
+                session.is_persist(addr, 8)
+        # 3. Truncate the log.
+        runtime.store_u64(self.base, 0)
+        runtime.clwb(self.base, 8)
+        runtime.sfence()
+        self._pending.clear()
+
+    def abandon(self) -> None:
+        """Drop staged records without committing."""
+        self._pending.clear()
+
+    # ------------------------------------------------------------------
+    def update(self, words: List[Tuple[int, int]]) -> None:
+        """One failure-atomic multi-word update (append/flush/commit)."""
+        for addr, value in words:
+            self.append(addr, value)
+        self.log_flush()
+        self.commit()
+
+
+def replay_log(image: PMImage, log_base: int) -> int:
+    """Offline recovery: redo a committed log found in a crash image.
+
+    Returns the number of records replayed (0 if the log was empty or
+    uncommitted).
+    """
+    committed = image.read_u64(log_base)
+    if committed == 0:
+        return 0
+    for index in range(committed):
+        record_addr = log_base + 8 + index * 16
+        addr = image.read_u64(record_addr)
+        value = image.read_u64(record_addr + 8)
+        image.write_u64(addr, value)
+    image.write_u64(log_base, 0)
+    return committed

@@ -1,0 +1,236 @@
+"""A persistent string-keyed map on the Mnemosyne raw word log.
+
+This is the persistent state behind the Memcached workload (the paper's
+Table 4 runs Memcached on Mnemosyne): a chained hash map whose structural
+splices — bucket head and count — are made failure atomic by the redo
+log, while entry and value buffers are persisted before they become
+reachable.
+
+Self-annotation: when a PMTest session is attached, every insert places
+the low-level checkers that state the redo protocol's requirements
+(entry persists before it is reachable; the structural update is durable
+when the operation returns).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.pmdk.objects import PStruct, PtrField, U64Field
+from repro.pmdk.pool import PMPool
+from repro.pmem.memory import PMImage
+from repro.mnemosyne.log import RawWordLog, replay_log
+
+DEFAULT_BUCKETS = 64
+DEFAULT_LOG_CAPACITY = 4096
+
+
+class MapHeader(PStruct):
+    nbuckets = U64Field()
+    count = U64Field()
+    buckets = PtrField()
+    log_base = PtrField()
+    log_capacity = U64Field()
+
+
+class MapEntry(PStruct):
+    key_hash = U64Field()
+    next = PtrField()
+    key = PtrField()  # byte buffer: len u64 + bytes
+    value = PtrField()  # byte buffer: len u64 + bytes
+
+
+def fnv1a_64(data: bytes) -> int:
+    """FNV-1a: a stable 64-bit string hash."""
+    value = 0xCBF29CE484222325
+    for byte in data:
+        value ^= byte
+        value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+class MnemosyneMap:
+    """Persistent ``bytes -> bytes`` map with redo-logged splices."""
+
+    def __init__(
+        self,
+        pool: PMPool,
+        root_slot: int = 0,
+        nbuckets: int = DEFAULT_BUCKETS,
+        log_faults: Tuple[str, ...] = (),
+        log_capacity: int = DEFAULT_LOG_CAPACITY,
+    ) -> None:
+        self.pool = pool
+        self.runtime = pool.runtime
+        addr = pool.read_root(root_slot)
+        if addr:
+            self.header = MapHeader(pool, addr)
+        else:
+            self.header = self._create(root_slot, nbuckets, log_capacity)
+        self.log = RawWordLog(
+            self.runtime,
+            self.header.log_base,
+            self.header.log_capacity,
+            faults=log_faults,
+        )
+
+    def _create(self, root_slot: int, nbuckets: int,
+                log_capacity: int) -> MapHeader:
+        pool = self.pool
+        header = MapHeader.alloc(pool)
+        header.nbuckets = nbuckets
+        header.count = 0
+        header.buckets = pool.alloc(nbuckets * 8)
+        header.log_base = pool.alloc(log_capacity)
+        header.log_capacity = log_capacity
+        self.runtime.persist(header.addr, MapHeader.SIZE)
+        pool.write_root(root_slot, header.addr)
+        return header
+
+    # ------------------------------------------------------------------
+    # Byte buffers
+    # ------------------------------------------------------------------
+    def _store_buffer(self, data: bytes) -> int:
+        addr = self.pool.alloc(8 + max(len(data), 1))
+        self.runtime.store_u64(addr, len(data))
+        if data:
+            self.runtime.store(addr + 8, data)
+        return addr
+
+    def _load_buffer(self, addr: int) -> bytes:
+        length = self.runtime.load_u64(addr)
+        if length == 0:
+            return b""
+        return self.runtime.load(addr + 8, length)
+
+    # ------------------------------------------------------------------
+    def _bucket_addr(self, key: bytes) -> int:
+        index = fnv1a_64(key) % self.header.nbuckets
+        return self.header.buckets + index * 8
+
+    def _find(self, key: bytes) -> Optional[MapEntry]:
+        digest = fnv1a_64(key)
+        cursor = self.runtime.load_u64(self._bucket_addr(key))
+        while cursor:
+            entry = MapEntry(self.pool, cursor)
+            if entry.key_hash == digest and self._load_buffer(entry.key) == key:
+                return entry
+            cursor = entry.next
+        return None
+
+    # ------------------------------------------------------------------
+    def set(self, key: bytes, value: bytes) -> None:
+        """Insert or update; failure atomic via the redo log."""
+        runtime = self.runtime
+        session = runtime.session
+        existing = self._find(key)
+        if existing is not None:
+            buf = self._store_buffer(value)
+            runtime.persist(buf, 8 + max(len(value), 1))
+            value_slot, _ = existing.field_range("value")
+            self.log.update([(value_slot, buf)])
+            if session is not None:
+                session.is_persist(value_slot, 8)
+            return
+        # Build and persist the entry before it becomes reachable.
+        key_buf = self._store_buffer(key)
+        value_buf = self._store_buffer(value)
+        entry = MapEntry.alloc(self.pool)
+        head_addr = self._bucket_addr(key)
+        entry.key_hash = fnv1a_64(key)
+        entry.key = key_buf
+        entry.value = value_buf
+        entry.next = runtime.load_u64(head_addr)
+        runtime.clwb(key_buf, 8 + max(len(key), 1))
+        runtime.clwb(value_buf, 8 + max(len(value), 1))
+        runtime.clwb(entry.addr, MapEntry.SIZE)
+        runtime.sfence()
+        # Atomic structural splice: head + count through the redo log.
+        count_slot, _ = self.header.field_range("count")
+        self.log.update(
+            [(head_addr, entry.addr), (count_slot, self.header.count + 1)]
+        )
+        if session is not None:
+            session.is_ordered_before(entry.addr, MapEntry.SIZE, head_addr, 8)
+            session.is_persist(head_addr, 8)
+            session.is_persist(count_slot, 8)
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        entry = self._find(key)
+        if entry is None:
+            return None
+        return self._load_buffer(entry.value)
+
+    def delete(self, key: bytes) -> bool:
+        runtime = self.runtime
+        head_addr = self._bucket_addr(key)
+        digest = fnv1a_64(key)
+        prev_slot = head_addr
+        cursor = runtime.load_u64(head_addr)
+        while cursor:
+            entry = MapEntry(self.pool, cursor)
+            if entry.key_hash == digest and self._load_buffer(entry.key) == key:
+                count_slot, _ = self.header.field_range("count")
+                self.log.update(
+                    [(prev_slot, entry.next),
+                     (count_slot, self.header.count - 1)]
+                )
+                return True
+            prev_slot, _ = entry.field_range("next")
+            cursor = entry.next
+        return False
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        runtime = self.runtime
+        for index in range(self.header.nbuckets):
+            cursor = runtime.load_u64(self.header.buckets + index * 8)
+            while cursor:
+                entry = MapEntry(self.pool, cursor)
+                yield self._load_buffer(entry.key), self._load_buffer(entry.value)
+                cursor = entry.next
+
+    def __len__(self) -> int:
+        return self.header.count
+
+    def __contains__(self, key: bytes) -> bool:
+        return self._find(key) is not None
+
+
+def recover_map_image(image: PMImage, root_addr_value: int) -> int:
+    """Offline recovery: replay the map's redo log in a crash image."""
+    if root_addr_value == 0:
+        return 0
+    log_base = image.read_u64(root_addr_value + 24)
+    return replay_log(image, log_base)
+
+
+def validate_image(image: PMImage, root_addr_value: int) -> bool:
+    """Consistency of a recovered crash image: acyclic chains, complete
+    reachable entries, count matching the reachable entries."""
+    if root_addr_value == 0:
+        return True
+    nbuckets = image.read_u64(root_addr_value)
+    count = image.read_u64(root_addr_value + 8)
+    buckets = image.read_u64(root_addr_value + 16)
+    if nbuckets == 0 or buckets == 0:
+        return False
+    seen = set()
+    reachable = 0
+    for index in range(nbuckets):
+        cursor = image.read_u64(buckets + index * 8)
+        while cursor:
+            if cursor in seen or cursor + MapEntry.SIZE > len(image):
+                return False
+            seen.add(cursor)
+            key_buf = image.read_u64(cursor + 16)
+            value_buf = image.read_u64(cursor + 24)
+            if key_buf == 0 or value_buf == 0:
+                return False
+            key_len = image.read_u64(key_buf)
+            digest = image.read_u64(cursor)
+            key = image.read(key_buf + 8, key_len) if key_len else b""
+            if fnv1a_64(key) != digest:
+                return False  # incomplete key buffer became reachable
+            reachable += 1
+            cursor = image.read_u64(cursor + 8)
+    return reachable == count

@@ -1,0 +1,49 @@
+"""A PMDK-like persistent-object library (libpmemobj analogue).
+
+The paper's microbenchmarks and Redis workload are built on Intel's PMDK;
+this package reimplements the relevant core from scratch on top of the
+simulated PM:
+
+``objects``
+    Typed persistent structs: declarative field layouts over raw PM
+    addresses, so data structures read like C structs and every store
+    goes through the instrumented runtime.
+``pool``
+    The persistent object pool: header, root object, undo-log region and
+    heap allocator.
+``tx``
+    Failure-atomic transactions with undo logging — ``tx_begin`` /
+    ``tx_add`` (snapshot before modify) / ``tx_end`` (flush + commit),
+    nested transaction flattening, abort rollback, and offline recovery
+    of a crash image.  Faults can be injected by name to reproduce the
+    paper's synthetic transaction bugs.
+
+The library itself issues realistic PM operation sequences (log append →
+flush → fence → valid flag → fence ...), so PMTest observes the same
+shape of traces it would from real PMDK, and library-internal bugs (the
+paper's Table 6) have faithful analogues here.
+"""
+
+from repro.pmdk.objects import (
+    ArrayField,
+    BytesField,
+    I64Field,
+    PStruct,
+    PtrField,
+    U64Field,
+)
+from repro.pmdk.pool import PMPool
+from repro.pmdk.tx import TransactionAborted, TransactionManager, recover_image
+
+__all__ = [
+    "ArrayField",
+    "BytesField",
+    "I64Field",
+    "PMPool",
+    "PStruct",
+    "PtrField",
+    "TransactionAborted",
+    "TransactionManager",
+    "U64Field",
+    "recover_image",
+]

@@ -1,0 +1,221 @@
+"""Typed persistent structs over raw PM addresses.
+
+Data structures on PM are laid out like C structs.  This module gives the
+workloads a declarative way to express those layouts while keeping every
+access an explicit, instrumented PM operation::
+
+    class ListNode(PStruct):
+        value = U64Field()
+        next = PtrField()
+
+    node = ListNode.alloc(pool)
+    node.value = 42            # -> runtime.store_u64(addr + 0, 42)
+    node.next = other.addr     # -> runtime.store_u64(addr + 8, ...)
+    pool.tx.add(*node.field_range("value"))   # undo-log one field
+
+Field offsets are assigned in declaration order.  Reads and writes go
+through the pool's runtime, so the PM machine, PMTest, and any baseline
+observer all see them; nothing is cached on the Python side.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle breaker for typing only
+    from repro.pmdk.pool import PMPool
+
+
+class Field:
+    """Base descriptor for one struct field.  Subclasses define ``size``."""
+
+    size: int = 0
+
+    def __init__(self) -> None:
+        self.name: str = ""
+        self.offset: int = -1
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        self.name = name
+
+    # Subclasses implement __get__/__set__ in terms of these hooks.
+    def addr_in(self, instance: "PStruct") -> int:
+        return instance.addr + self.offset
+
+
+class U64Field(Field):
+    """An unsigned 64-bit integer field."""
+
+    size = 8
+
+    def __get__(self, instance: Optional["PStruct"], owner: type):
+        if instance is None:
+            return self
+        return instance.pool.runtime.load_u64(self.addr_in(instance))
+
+    def __set__(self, instance: "PStruct", value: int) -> None:
+        instance.pool.runtime.store_u64(self.addr_in(instance), value)
+
+
+class I64Field(U64Field):
+    """A signed 64-bit integer field (two's complement)."""
+
+    def __get__(self, instance: Optional["PStruct"], owner: type):
+        if instance is None:
+            return self
+        value = instance.pool.runtime.load_u64(self.addr_in(instance))
+        return value - (1 << 64) if value >= (1 << 63) else value
+
+
+class PtrField(U64Field):
+    """A persistent pointer: the PM address of another object (0 = null)."""
+
+
+class BytesField(Field):
+    """A fixed-size byte buffer field."""
+
+    def __init__(self, size: int) -> None:
+        super().__init__()
+        if size <= 0:
+            raise ValueError("BytesField size must be positive")
+        self.size = size
+
+    def __get__(self, instance: Optional["PStruct"], owner: type):
+        if instance is None:
+            return self
+        return instance.pool.runtime.load(self.addr_in(instance), self.size)
+
+    def __set__(self, instance: "PStruct", value: bytes) -> None:
+        if len(value) > self.size:
+            raise ValueError(
+                f"{len(value)} bytes do not fit field {self.name} "
+                f"of {self.size} bytes"
+            )
+        padded = value.ljust(self.size, b"\0")
+        instance.pool.runtime.store(self.addr_in(instance), padded)
+
+
+class _ArrayAccessor:
+    """Element-wise access to a :class:`ArrayField`."""
+
+    __slots__ = ("_instance", "_field")
+
+    def __init__(self, instance: "PStruct", field: "ArrayField") -> None:
+        self._instance = instance
+        self._field = field
+
+    def __len__(self) -> int:
+        return self._field.count
+
+    def addr(self, index: int) -> int:
+        if not 0 <= index < self._field.count:
+            raise IndexError(f"array index {index} out of range")
+        return self._field.addr_in(self._instance) + index * 8
+
+    def __getitem__(self, index: int) -> int:
+        return self._instance.pool.runtime.load_u64(self.addr(index))
+
+    def __setitem__(self, index: int, value: int) -> None:
+        self._instance.pool.runtime.store_u64(self.addr(index), value)
+
+    def range_of(self, index: int) -> Tuple[int, int]:
+        """``(addr, size)`` of one element, for checkers and tx_add."""
+        return self.addr(index), 8
+
+
+class ArrayField(Field):
+    """A fixed-length array of u64 elements."""
+
+    def __init__(self, count: int) -> None:
+        super().__init__()
+        if count <= 0:
+            raise ValueError("ArrayField count must be positive")
+        self.count = count
+        self.size = count * 8
+
+    def __get__(self, instance: Optional["PStruct"], owner: type):
+        if instance is None:
+            return self
+        return _ArrayAccessor(instance, self)
+
+    def __set__(self, instance: "PStruct", value: object) -> None:
+        raise AttributeError(
+            f"assign to elements of {self.name}[i], not the array itself"
+        )
+
+
+class PStruct:
+    """Base class for persistent structs.
+
+    Subclasses declare fields as class attributes; offsets are assigned
+    in declaration order and the total ``SIZE`` is computed.  Instances
+    are lightweight views ``(pool, addr)`` over PM.
+    """
+
+    SIZE: int = 0
+    _fields: Dict[str, Field] = {}
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        base = cls.__mro__[1]
+        fields: Dict[str, Field] = dict(getattr(base, "_fields", {}))
+        offset = getattr(base, "SIZE", 0)
+        for name, attr in list(vars(cls).items()):
+            if isinstance(attr, Field):
+                attr.offset = offset
+                offset += attr.size
+                fields[name] = attr
+        cls._fields = fields
+        cls.SIZE = offset
+
+    def __init__(self, pool: "PMPool", addr: int) -> None:
+        if addr <= 0:
+            raise ValueError(f"invalid {type(self).__name__} address {addr:#x}")
+        self.pool = pool
+        self.addr = addr
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def alloc(cls: Type["PStruct"], pool: "PMPool") -> "PStruct":
+        """Allocate zeroed PM for one instance and return a view on it."""
+        addr = pool.alloc(cls.SIZE)
+        return cls(pool, addr)
+
+    @classmethod
+    def at(cls: Type["PStruct"], pool: "PMPool", addr: int) -> "PStruct":
+        """A view over an existing object (e.g. following a PtrField)."""
+        return cls(pool, addr)
+
+    def free(self) -> None:
+        self.pool.free(self.addr)
+
+    # ------------------------------------------------------------------
+    def range(self) -> Tuple[int, int]:
+        """``(addr, size)`` of the whole struct."""
+        return self.addr, self.SIZE
+
+    def field_range(self, name: str) -> Tuple[int, int]:
+        """``(addr, size)`` of one field, for checkers and tx_add."""
+        field = self._fields[name]
+        return self.addr + field.offset, field.size
+
+    def field_names(self) -> List[str]:
+        return list(self._fields)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PStruct)
+            and type(other) is type(self)
+            and other.addr == self.addr
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.addr))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}@{self.addr:#x}"
+
+
+def zero_struct(pool: "PMPool", addr: int, size: int) -> None:
+    """Zero-fill a freshly allocated struct through the runtime."""
+    pool.runtime.store(addr, b"\0" * size)

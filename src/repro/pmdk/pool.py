@@ -1,0 +1,170 @@
+"""The persistent object pool: header, root, undo log, and heap.
+
+Layout of a pool over ``[base, base + size)``::
+
+    +--------------------------+ base
+    | header (64 B): magic,    |
+    |   generation counter     |
+    +--------------------------+ root_base
+    | root area (root_size B)  |   application entry points (u64 slots)
+    +--------------------------+ log_base
+    | undo-log region          |   see repro.pmdk.tx for the entry format
+    +--------------------------+ heap_base
+    | heap (everything else)   |   allocations via the PM arena
+    +--------------------------+ base + size
+
+The root area is how applications find their data after a restart — the
+analogue of ``pmemobj_root``.  It is addressed as an array of u64 slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.instr.runtime import PMRuntime
+from repro.pmem.arena import Arena
+
+#: "PMPOOL1\0" little-endian.
+POOL_MAGIC = 0x00314C4F4F504D50
+
+HEADER_SIZE = 64
+
+
+@dataclass(frozen=True)
+class PoolLayout:
+    """Address-space geometry of one pool (needed for offline recovery)."""
+
+    base: int
+    size: int
+    root_size: int
+    log_capacity: int
+
+    @property
+    def root_base(self) -> int:
+        return self.base + HEADER_SIZE
+
+    @property
+    def log_base(self) -> int:
+        return self.root_base + self.root_size
+
+    @property
+    def heap_base(self) -> int:
+        return self.log_base + self.log_capacity
+
+    @property
+    def heap_size(self) -> int:
+        return self.base + self.size - self.heap_base
+
+    def validate(self) -> None:
+        if self.heap_size <= 0:
+            raise ValueError(
+                "pool too small: header + root + log leave no heap space"
+            )
+
+
+class PMPool:
+    """A persistent object pool bound to one runtime."""
+
+    def __init__(
+        self,
+        runtime: PMRuntime,
+        base: int = 0,
+        size: int | None = None,
+        root_size: int = 256,
+        log_capacity: int = 64 * 1024,
+        tx_faults: Tuple[str, ...] = (),
+        create: bool = True,
+    ) -> None:
+        if size is None:
+            if runtime.machine is None:
+                raise ValueError("size is required when no machine is attached")
+            size = len(runtime.machine.volatile) - base
+        self.runtime = runtime
+        self.layout = PoolLayout(base, size, root_size, log_capacity)
+        self.layout.validate()
+        self.arena = Arena(self.layout.heap_base, self.layout.heap_size)
+        # Imported here to break the pool <-> tx module cycle.
+        from repro.pmdk.tx import TransactionManager
+
+        self.tx = TransactionManager(self, faults=tx_faults)
+        # The undo-log region is library metadata: it is managed (and made
+        # crash safe) by the transaction machinery itself, so it is carved
+        # out of the application-level testing scope (PMTest_EXCLUDE).
+        if runtime.session is not None:
+            runtime.session.exclude_always(
+                self.layout.log_base, self.layout.log_capacity
+            )
+        if create:
+            self._format()
+        else:
+            self._check_magic()
+
+    # ------------------------------------------------------------------
+    # Heap
+    # ------------------------------------------------------------------
+    def alloc(self, size: int, zero: bool = True) -> int:
+        """Allocate ``size`` bytes of PM; optionally zero-filled.
+
+        Inside a transaction the allocation is registered with the
+        transaction machinery first (rollback of a fresh object is simply
+        freeing it, so it needs no undo snapshot — but it does need to be
+        flushed at commit and released on abort).
+        """
+        addr = self.arena.alloc(size)
+        if self.tx.active:
+            self.tx.register_alloc(addr, size)
+            if zero:
+                self.runtime.store(addr, b"\0" * size)
+        elif zero:
+            # Outside a transaction the zero-fill is persisted eagerly
+            # (pmemobj_zalloc semantics): callers build on durable zeros.
+            self.runtime.store(addr, b"\0" * size)
+            self.runtime.persist(addr, size)
+        return addr
+
+    def free(self, addr: int) -> None:
+        self.arena.free(addr)
+
+    # ------------------------------------------------------------------
+    # Root access
+    # ------------------------------------------------------------------
+    def root_slot_addr(self, slot: int) -> int:
+        """Address of root slot ``slot`` (a u64)."""
+        addr = self.layout.root_base + slot * 8
+        if addr + 8 > self.layout.log_base:
+            raise IndexError(f"root slot {slot} outside the root area")
+        return addr
+
+    def read_root(self, slot: int) -> int:
+        return self.runtime.load_u64(self.root_slot_addr(slot))
+
+    def write_root(self, slot: int, value: int, persist: bool = True) -> None:
+        """Store a root slot; by default persisted immediately (root
+        updates are publication points)."""
+        addr = self.root_slot_addr(slot)
+        self.runtime.store_u64(addr, value)
+        if persist:
+            self.runtime.persist(addr, 8)
+
+    def root_range(self, slot: int) -> Tuple[int, int]:
+        return self.root_slot_addr(slot), 8
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _format(self) -> None:
+        """Initialize a fresh pool: zero root + log, then publish magic."""
+        layout = self.layout
+        self.runtime.store(
+            layout.root_base, b"\0" * (layout.root_size + layout.log_capacity)
+        )
+        self.runtime.persist(
+            layout.root_base, layout.root_size + layout.log_capacity
+        )
+        self.runtime.store_u64(layout.base, POOL_MAGIC)
+        self.runtime.persist(layout.base, 8)
+
+    def _check_magic(self) -> None:
+        if self.runtime.load_u64(self.layout.base) != POOL_MAGIC:
+            raise ValueError("no pool found at this address (bad magic)")

@@ -1,0 +1,41 @@
+"""Simulated persistent-memory hardware substrate.
+
+The paper runs on battery-backed NVDIMMs; a Python process cannot observe
+real cacheline write-backs, so this package simulates the PM system:
+
+``layout``
+    Cacheline geometry helpers (64-byte lines, as on the paper's Skylake).
+``memory``
+    A byte-addressable PM image with typed accessors.
+``machine``
+    The execution substrate: stores land in a volatile domain, flushes
+    and fences move them toward persistence, and every store's
+    persistence state (pending / flush-in-flight / durable) is tracked at
+    cacheline granularity.
+``crash``
+    Exhaustive or sampled enumeration of the PM images reachable if the
+    machine crashed *now* — the ground truth that the paper's Yat
+    baseline explores and that our property tests validate PMTest
+    against.
+
+The simulation is deliberately *adversarial-friendly*: it tracks exactly
+which reorderings the x86 persistency model permits (per-line program
+order is preserved; unflushed lines may persist at any time via cache
+eviction; flushed-and-fenced data is durable), so "did the programmer get
+lucky" questions can be answered by enumeration.
+"""
+
+from repro.pmem.crash import CrashEnumerator
+from repro.pmem.layout import CACHELINE, line_index, line_span
+from repro.pmem.machine import MachineStats, PMMachine
+from repro.pmem.memory import PMImage
+
+__all__ = [
+    "CACHELINE",
+    "CrashEnumerator",
+    "MachineStats",
+    "PMImage",
+    "PMMachine",
+    "line_index",
+    "line_span",
+]

@@ -1,0 +1,109 @@
+"""A first-fit allocator over a PM address range.
+
+Libraries in this repository (the PMDK-like pool, the Mnemosyne region,
+the PMFS block space) each manage a slice of the simulated PM.  This
+arena provides the shared allocation machinery: first-fit with free-list
+coalescing and configurable alignment.
+
+The allocator's own metadata is volatile, mirroring allocators whose heap
+structure is rebuilt on recovery; what must survive a crash (object
+contents, roots, logs) is written through PM stores by the libraries
+themselves, so allocator metadata durability is out of scope here —
+PMDK's real fault-tolerant allocator is orthogonal to what PMTest checks.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Dict, List, Tuple
+
+
+class OutOfPMError(MemoryError):
+    """The arena cannot satisfy an allocation."""
+
+
+class Arena:
+    """First-fit allocator over ``[base, base + size)``."""
+
+    def __init__(self, base: int, size: int, align: int = 8) -> None:
+        if size <= 0:
+            raise ValueError("arena size must be positive")
+        if align <= 0 or align & (align - 1):
+            raise ValueError("alignment must be a positive power of two")
+        self.base = base
+        self.size = size
+        self.align = align
+        #: free extents ``(start, length)``, sorted by start
+        self._free: List[Tuple[int, int]] = [(base, size)]
+        #: live allocations: start -> length
+        self._live: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(self._live.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(length for _, length in self._free)
+
+    def owns(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.size
+
+    # ------------------------------------------------------------------
+    def alloc(self, size: int, align: int = 0) -> int:
+        """Allocate ``size`` bytes; returns the start address."""
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        align = align or self.align
+        size = _round_up(size, self.align)
+        for i, (start, length) in enumerate(self._free):
+            aligned = _round_up(start, align)
+            padding = aligned - start
+            if length < padding + size:
+                continue
+            remainder = length - padding - size
+            pieces: List[Tuple[int, int]] = []
+            if padding:
+                pieces.append((start, padding))
+            if remainder:
+                pieces.append((aligned + size, remainder))
+            self._free[i : i + 1] = pieces
+            self._live[aligned] = size
+            return aligned
+        raise OutOfPMError(
+            f"cannot allocate {size} bytes (free: {self.free_bytes}, "
+            f"largest request must fit one extent)"
+        )
+
+    def free(self, addr: int) -> None:
+        """Release an allocation made by :meth:`alloc`."""
+        try:
+            size = self._live.pop(addr)
+        except KeyError:
+            raise ValueError(f"free of unallocated address {addr:#x}") from None
+        insort(self._free, (addr, size))
+        self._coalesce()
+
+    def size_of(self, addr: int) -> int:
+        """Size of a live allocation."""
+        return self._live[addr]
+
+    def reset(self) -> None:
+        """Drop all allocations (pool re-creation)."""
+        self._free = [(self.base, self.size)]
+        self._live.clear()
+
+    # ------------------------------------------------------------------
+    def _coalesce(self) -> None:
+        merged: List[Tuple[int, int]] = []
+        for start, length in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == start:
+                merged[-1] = (merged[-1][0], merged[-1][1] + length)
+            else:
+                merged.append((start, length))
+        self._free = merged
+
+
+def _round_up(value: int, align: int) -> int:
+    return (value + align - 1) & ~(align - 1)

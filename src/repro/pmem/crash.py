@@ -1,0 +1,173 @@
+"""Crash-state enumeration: every PM image reachable "if power fails now".
+
+This is the ground truth that exhaustive tools like Yat explore and that
+PMTest's interval inference is validated against (our property tests check
+that PMTest never passes a checker whose guarantee some reachable crash
+state violates).
+
+x86 model
+    The durable baseline certainly persisted.  For each cache line with
+    pending fragments, any *prefix* of that line's fragment list may have
+    additionally persisted (the cache holds one merged copy per line, so
+    later fragments cannot persist without earlier non-overwritten ones);
+    lines are independent.  The number of states is
+    ``prod(len(line) + 1)`` — exponential in dirty lines, which is
+    precisely why Yat needs years on large traces (paper Section 2.2).
+
+HOPS model
+    ``ofence`` divides stores into epochs that persist in order: a crash
+    state consists of *all* fragments from epochs before some boundary,
+    plus a per-line prefix of the boundary epoch's fragments.
+
+Enumeration is lazy; :meth:`CrashEnumerator.count` computes the state
+count without materializing images, and :meth:`CrashEnumerator.sample`
+draws uniform-ish random states for Monte-Carlo checking when the space
+is too large.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, List, Optional, Sequence
+
+from repro.pmem.machine import PMMachine, StoreFragment
+from repro.pmem.memory import PMImage
+
+
+class CrashSpaceTooLarge(Exception):
+    """Enumeration would exceed the caller's state budget."""
+
+
+class CrashEnumerator:
+    """Enumerates the PM images reachable by crashing a machine now."""
+
+    def __init__(self, machine: PMMachine) -> None:
+        self.machine = machine
+        # Snapshot the pending structure: enumeration must not be
+        # invalidated by further machine execution.
+        self._durable = machine.durable.snapshot()
+        self._lines: List[List[StoreFragment]] = [
+            list(fragments) for fragments in machine.pending.values()
+        ]
+        self._model = machine.model
+        self._epoch = machine.epoch
+
+    # ------------------------------------------------------------------
+    def count(self) -> int:
+        """Number of reachable crash states (may double-count identical
+        images produced by different fragment choices)."""
+        if self._model == "x86":
+            total = 1
+            for fragments in self._lines:
+                total *= len(fragments) + 1
+            return total
+        total = 0
+        for boundary in range(self._epoch + 1):
+            per_boundary = 1
+            for fragments in self._lines:
+                at_boundary = sum(1 for f in fragments if f.epoch == boundary)
+                per_boundary *= at_boundary + 1
+            total += per_boundary
+        return total
+
+    def iter_images(self, limit: Optional[int] = None) -> Iterator[PMImage]:
+        """Yield every reachable crash image.
+
+        Raises :class:`CrashSpaceTooLarge` up front if the state count
+        exceeds ``limit`` — exhaustive tools must budget explicitly.
+        """
+        if limit is not None and self.count() > limit:
+            raise CrashSpaceTooLarge(
+                f"{self.count()} crash states exceed the budget of {limit}"
+            )
+        if self._model == "x86":
+            yield from self._iter_x86()
+        else:
+            yield from self._iter_hops()
+
+    def sample(self, rng: random.Random, n: int) -> Iterator[PMImage]:
+        """Draw ``n`` random crash states (with replacement)."""
+        for _ in range(n):
+            if self._model == "x86":
+                choice = [rng.randint(0, len(frags)) for frags in self._lines]
+                yield self._materialize_x86(choice)
+            else:
+                boundary = rng.randint(0, self._epoch)
+                yield self._materialize_hops_random(rng, boundary)
+
+    # ------------------------------------------------------------------
+    # x86
+    # ------------------------------------------------------------------
+    def _iter_x86(self) -> Iterator[PMImage]:
+        prefix_ranges = [range(len(frags) + 1) for frags in self._lines]
+        for choice in itertools.product(*prefix_ranges):
+            yield self._materialize_x86(choice)
+
+    def _materialize_x86(self, choice: Sequence[int]) -> PMImage:
+        image = self._durable.snapshot()
+        for fragments, k in zip(self._lines, choice):
+            for fragment in fragments[:k]:
+                image.write(fragment.addr, fragment.data)
+        return image
+
+    # ------------------------------------------------------------------
+    # HOPS
+    # ------------------------------------------------------------------
+    def _iter_hops(self) -> Iterator[PMImage]:
+        for boundary in range(self._epoch + 1):
+            base = self._hops_base(boundary)
+            boundary_lines = [
+                [f for f in fragments if f.epoch == boundary]
+                for fragments in self._lines
+            ]
+            prefix_ranges = [range(len(frags) + 1) for frags in boundary_lines]
+            for choice in itertools.product(*prefix_ranges):
+                image = base.snapshot()
+                for fragments, k in zip(boundary_lines, choice):
+                    for fragment in fragments[:k]:
+                        image.write(fragment.addr, fragment.data)
+                yield image
+
+    def _hops_base(self, boundary: int) -> PMImage:
+        """Durable baseline plus every fragment from epochs < boundary."""
+        base = self._durable.snapshot()
+        ordered: List[StoreFragment] = []
+        for fragments in self._lines:
+            ordered.extend(f for f in fragments if f.epoch < boundary)
+        ordered.sort(key=lambda f: f.seq)
+        for fragment in ordered:
+            base.write(fragment.addr, fragment.data)
+        return base
+
+    def _materialize_hops_random(
+        self, rng: random.Random, boundary: int
+    ) -> PMImage:
+        image = self._hops_base(boundary)
+        for fragments in self._lines:
+            at_boundary = [f for f in fragments if f.epoch == boundary]
+            k = rng.randint(0, len(at_boundary))
+            for fragment in at_boundary[:k]:
+                image.write(fragment.addr, fragment.data)
+        return image
+
+
+def worst_case_image(machine: PMMachine) -> PMImage:
+    """The crash image where nothing pending persisted (durable baseline)."""
+    return machine.durable.snapshot()
+
+
+def best_case_image(machine: PMMachine) -> PMImage:
+    """The crash image where everything pending persisted.
+
+    Applying every pending fragment in sequence order must reproduce the
+    volatile view — an invariant the property tests exercise.
+    """
+    image = machine.durable.snapshot()
+    ordered: List[StoreFragment] = []
+    for fragments in machine.pending.values():
+        ordered.extend(fragments)
+    ordered.sort(key=lambda fragment: fragment.seq)
+    for fragment in ordered:
+        image.write(fragment.addr, fragment.data)
+    return image

@@ -1,0 +1,48 @@
+"""Cacheline geometry.
+
+Flush instructions operate on whole cache lines, so persistence tracking
+in the machine (and in the pmemcheck baseline) is cacheline-granular.  The
+line size matches the paper's evaluation hardware (Intel Skylake, 64 B).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+#: Cache line size in bytes.
+CACHELINE = 64
+
+
+def line_index(addr: int) -> int:
+    """The index of the cache line containing ``addr``."""
+    return addr // CACHELINE
+
+
+def line_base(addr: int) -> int:
+    """The first address of the cache line containing ``addr``."""
+    return addr - (addr % CACHELINE)
+
+
+def line_span(addr: int, size: int) -> range:
+    """Indices of every cache line touched by ``[addr, addr+size)``."""
+    if size <= 0:
+        raise ValueError("size must be positive")
+    return range(line_index(addr), line_index(addr + size - 1) + 1)
+
+
+def split_by_line(addr: int, size: int) -> Iterator[Tuple[int, int, int]]:
+    """Split a range into per-line fragments.
+
+    Yields ``(line, frag_addr, frag_size)`` for each cache line the range
+    touches.  Stores that straddle line boundaries can persist partially
+    (only line granularity is atomic with respect to write-back), so the
+    machine records them fragment by fragment.
+    """
+    end = addr + size
+    cursor = addr
+    while cursor < end:
+        line = line_index(cursor)
+        next_line_base = (line + 1) * CACHELINE
+        frag_end = min(end, next_line_base)
+        yield line, cursor, frag_end - cursor
+        cursor = frag_end

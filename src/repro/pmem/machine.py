@@ -1,0 +1,232 @@
+"""The PM machine: volatile cache domain over a durable memory image.
+
+The machine executes the PM operations of a program under test and keeps
+exact persistence state for every store, at the granularity real hardware
+gives us — the cache line:
+
+* a **store** updates the volatile view immediately and becomes a set of
+  per-line *pending fragments* (a store straddling a line boundary can
+  persist partially);
+* a **flush** (clwb et al.) marks every fragment currently in the covered
+  lines as having a write-back in flight;
+* an **sfence** makes every in-flight write-back durable: those fragments
+  are applied to the durable baseline image and retired.
+
+Anything still pending *may* have persisted anyway (cache eviction writes
+lines back opportunistically), which is exactly the nondeterminism that
+makes crash-consistency bugs: within one line, persisted content is always
+the merge of a *prefix* of that line's fragments (the cache holds one
+merged copy of the line, so a later fragment can never persist without an
+earlier, non-overwritten one), while across lines anything goes.
+:mod:`repro.pmem.crash` enumerates these states.
+
+HOPS mode replaces flush/sfence with ``ofence`` (epoch boundary: earlier
+epochs persist before later ones) and ``dfence`` (drain everything).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.pmem.layout import split_by_line
+from repro.pmem.memory import PMImage
+
+#: Machine op-log record: ``(kind, addr, payload_or_size)``.
+OpRecord = Tuple[str, int, object]
+
+
+@dataclass(slots=True)
+class StoreFragment:
+    """The part of one store that falls within a single cache line."""
+
+    seq: int
+    addr: int
+    data: bytes
+    flush_pending: bool = False
+    epoch: int = 0  # HOPS mode: the epoch the store executed in
+
+
+@dataclass(slots=True)
+class MachineStats:
+    """Operation counters (used by the benchmark harness)."""
+
+    stores: int = 0
+    loads: int = 0
+    flushes: int = 0
+    fences: int = 0
+    bytes_stored: int = 0
+
+
+class PMMachine:
+    """Simulated PM system executing one program's PM operations."""
+
+    def __init__(
+        self, size: int, model: str = "x86", record_ops: bool = False
+    ) -> None:
+        if model not in ("x86", "hops"):
+            raise ValueError(f"unknown machine model {model!r}")
+        self.model = model
+        #: what loads observe: every store applied immediately
+        self.volatile = PMImage(size)
+        #: what has certainly persisted
+        self.durable = PMImage(size)
+        #: cache line index -> pending fragments, oldest first
+        self.pending: Dict[int, List[StoreFragment]] = {}
+        self.stats = MachineStats()
+        self.epoch = 0  # HOPS epoch counter
+        self._seq = 0
+        #: linear op log for replay-based tools (Yat); None unless enabled
+        self.oplog: Optional[List[OpRecord]] = [] if record_ops else None
+
+    def __len__(self) -> int:
+        return len(self.volatile)
+
+    @classmethod
+    def from_image(
+        cls, image: PMImage, model: str = "x86", record_ops: bool = False
+    ) -> "PMMachine":
+        """Boot a machine from a crash image (post-restart state).
+
+        After a restart nothing is in the cache, so the volatile and
+        durable views both equal the image.
+        """
+        machine = cls(len(image), model=model, record_ops=record_ops)
+        machine.volatile = image.snapshot()
+        machine.durable = image.snapshot()
+        return machine
+
+    # ------------------------------------------------------------------
+    # Loads and stores
+    # ------------------------------------------------------------------
+    def load(self, addr: int, size: int) -> bytes:
+        self.stats.loads += 1
+        return self.volatile.read(addr, size)
+
+    def store(self, addr: int, payload: bytes, nt: bool = False) -> None:
+        """Execute a store (``nt=True`` for a non-temporal store).
+
+        A non-temporal store bypasses the cache: its write-back is
+        considered in flight immediately, so the next fence persists it.
+        """
+        self.volatile.write(addr, payload)
+        self.stats.stores += 1
+        self.stats.bytes_stored += len(payload)
+        offset = 0
+        for line, frag_addr, frag_size in split_by_line(addr, len(payload)):
+            fragment = StoreFragment(
+                seq=self._seq,
+                addr=frag_addr,
+                data=payload[offset : offset + frag_size],
+                flush_pending=nt,
+                epoch=self.epoch,
+            )
+            offset += frag_size
+            self.pending.setdefault(line, []).append(fragment)
+        self._seq += 1
+        if self.oplog is not None:
+            self.oplog.append(("store_nt" if nt else "store", addr, payload))
+
+    # ------------------------------------------------------------------
+    # x86 persistence operations
+    # ------------------------------------------------------------------
+    def flush(self, addr: int, size: int) -> None:
+        """clwb/clflushopt/clflush: start writing back the covered lines."""
+        self._require("x86")
+        self.stats.flushes += 1
+        for line, _, _ in split_by_line(addr, size):
+            for fragment in self.pending.get(line, ()):
+                fragment.flush_pending = True
+        if self.oplog is not None:
+            self.oplog.append(("flush", addr, size))
+
+    def sfence(self) -> None:
+        """Complete all in-flight write-backs (they become durable)."""
+        self._require("x86")
+        self.stats.fences += 1
+        self._retire(lambda fragment: fragment.flush_pending)
+        if self.oplog is not None:
+            self.oplog.append(("sfence", 0, None))
+
+    # ------------------------------------------------------------------
+    # HOPS persistence operations
+    # ------------------------------------------------------------------
+    def ofence(self) -> None:
+        """Ordering fence: begin a new persist epoch."""
+        self._require("hops")
+        self.stats.fences += 1
+        self.epoch += 1
+        if self.oplog is not None:
+            self.oplog.append(("ofence", 0, None))
+
+    def dfence(self) -> None:
+        """Durability fence: drain every pending store to PM."""
+        self._require("hops")
+        self.stats.fences += 1
+        self.epoch += 1
+        self._retire(lambda fragment: True)
+        if self.oplog is not None:
+            self.oplog.append(("dfence", 0, None))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def begin_oplog(self) -> PMImage:
+        """Start (or restart) op-log recording at a quiescent checkpoint.
+
+        Returns a snapshot of the durable image at the checkpoint, which
+        replay-based tools (Yat) use as their base state — setup work
+        like pool formatting would otherwise explode their crash-state
+        spaces.
+        """
+        if not self.quiescent:
+            raise RuntimeError(
+                "op-log recording must start at a quiescent point "
+                "(no pending stores)"
+            )
+        self.oplog = []
+        return self.durable.snapshot()
+
+    def pending_fragments(self) -> int:
+        """Total stores (fragments) whose durability is not guaranteed."""
+        return sum(len(fragments) for fragments in self.pending.values())
+
+    def pending_lines(self) -> int:
+        return len(self.pending)
+
+    @property
+    def quiescent(self) -> bool:
+        """Whether volatile and durable state are guaranteed identical."""
+        return not self.pending
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _retire(self, should_retire) -> None:
+        """Apply matching fragments to the durable image and drop them.
+
+        Within a line, flushed fragments always form a prefix (a flush
+        marks everything currently in the line), so applying them in list
+        order preserves store order.
+        """
+        emptied = []
+        for line, fragments in self.pending.items():
+            keep: List[StoreFragment] = []
+            for fragment in fragments:
+                if should_retire(fragment):
+                    self.durable.write(fragment.addr, fragment.data)
+                else:
+                    keep.append(fragment)
+            if keep:
+                self.pending[line] = keep
+            else:
+                emptied.append(line)
+        for line in emptied:
+            del self.pending[line]
+
+    def _require(self, model: str) -> None:
+        if self.model != model:
+            raise RuntimeError(
+                f"operation requires the {model} machine model, "
+                f"but this machine is {self.model}"
+            )

@@ -1,0 +1,83 @@
+"""A byte-addressable persistent-memory image.
+
+:class:`PMImage` is a flat byte array with bounds checking and typed
+accessors.  The machine keeps two of them — the volatile view (what loads
+observe) and the durable baseline (what has certainly persisted) — and
+crash enumeration materializes more.
+
+All multi-byte integers are little-endian, matching x86.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_U64 = struct.Struct("<Q")
+_I64 = struct.Struct("<q")
+_U32 = struct.Struct("<I")
+
+
+class PMImage:
+    """A fixed-size byte-addressable memory image."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, size_or_data) -> None:
+        if isinstance(size_or_data, int):
+            self.data = bytearray(size_or_data)
+        else:
+            self.data = bytearray(size_or_data)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Raw access
+    # ------------------------------------------------------------------
+    def read(self, addr: int, size: int) -> bytes:
+        self._check(addr, size)
+        return bytes(self.data[addr : addr + size])
+
+    def write(self, addr: int, payload: bytes) -> None:
+        self._check(addr, len(payload))
+        self.data[addr : addr + len(payload)] = payload
+
+    # ------------------------------------------------------------------
+    # Typed access
+    # ------------------------------------------------------------------
+    def read_u64(self, addr: int) -> int:
+        return _U64.unpack_from(self.data, addr)[0]
+
+    def write_u64(self, addr: int, value: int) -> bytes:
+        payload = _U64.pack(value)
+        self.write(addr, payload)
+        return payload
+
+    def read_i64(self, addr: int) -> int:
+        return _I64.unpack_from(self.data, addr)[0]
+
+    def read_u32(self, addr: int) -> int:
+        return _U32.unpack_from(self.data, addr)[0]
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "PMImage":
+        """An independent copy (used for crash images)."""
+        return PMImage(self.data)
+
+    def _check(self, addr: int, size: int) -> None:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        if addr < 0 or addr + size > len(self.data):
+            raise IndexError(
+                f"PM access [{addr:#x}, {addr + size:#x}) outside image of "
+                f"size {len(self.data):#x}"
+            )
+
+
+def pack_u64(value: int) -> bytes:
+    """Little-endian encoding of a 64-bit unsigned integer."""
+    return _U64.pack(value & 0xFFFFFFFFFFFFFFFF)
+
+
+def unpack_u64(payload: bytes) -> int:
+    return _U64.unpack(payload)[0]

@@ -1,0 +1,28 @@
+"""A PMFS-like persistent-memory filesystem (kernel-module analogue).
+
+Intel's PMFS is the kernel-space CCS of the paper's evaluation: an
+XIP (execute-in-place) filesystem whose metadata updates are made crash
+consistent by an undo journal.  This package rebuilds the pieces PMTest
+exercises:
+
+``journal``
+    The "lite" undo journal: generation-tagged 64-byte log entries, a
+    commit record, and offline rollback of uncommitted transactions.
+    Contains the paper's Bug 1 site (``pmfs_commit_logentry`` flushing
+    the same log entry twice, journal.c:632).
+``fs``
+    Superblock, inode table, a flat root directory, block allocation and
+    the XIP read/write path — with the historical xips.c and files.c
+    flush bugs reproducible by name, plus synthetic low-level bug sites
+    (missing flush/fence) for the Table 5 corpus.
+``kernel``
+    The kernel-to-user integration of paper Figure 9(b): traces cross a
+    bounded kernel FIFO (with the half-full wake-up) before reaching the
+    user-space checking workers.
+"""
+
+from repro.pmfs.fs import PMFS, FSError
+from repro.pmfs.journal import Journal, recover_journal
+from repro.pmfs.kernel import KernelBridge
+
+__all__ = ["FSError", "Journal", "KernelBridge", "PMFS", "recover_journal"]

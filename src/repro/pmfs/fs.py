@@ -1,0 +1,411 @@
+"""The PMFS-like filesystem: superblock, inodes, root directory, XIP data.
+
+Region layout::
+
+    +-------------+-------------+--------------+-----------+-----------+
+    | superblock  | inode table | dirent table |  journal  | data area |
+    +-------------+-------------+--------------+-----------+-----------+
+
+Files live in a single root directory (a fixed table of name -> inode
+entries), inodes hold direct block pointers, and data is written
+execute-in-place: stores straight into the mapped blocks followed by
+flushes.  Metadata updates (inode allocation, directory entries, block
+pointers, sizes) are made crash consistent with the undo journal.
+
+Every operation self-annotates with PMTest's low-level checkers (the
+"kernel module instrumented by its developers" scenario): e.g. a write
+asserts its data persists *before* the published file size, and create
+asserts the new inode and directory entry are durable on return.
+
+Historical bug sites (paper Table 6), injectable by name:
+
+``xip-dup-flush``      the XIP write path flushes the same buffer twice
+                       (xips.c:207,262, fixed in ded1b075)
+``fsync-extra-flush``  fsync writes back buffers that are already clean
+                       (files.c:232, fixed in e293e147)
+``commit-dup-flush``   journal commit re-flushes the transaction
+                       (journal.c:632 — the paper's new Bug 1)
+
+Synthetic low-level bug sites (Table 5 classes):
+
+``write-no-flush``     data stores are never written back (durability)
+``size-early``         the file size is published before the data it
+                       covers is written (ordering)
+``meta-no-fence``      create publishes metadata without a fence
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.instr.runtime import PMRuntime
+from repro.pmem.arena import Arena
+from repro.pmem.memory import PMImage
+from repro.pmfs.journal import Journal, recover_journal
+
+SB_MAGIC = 0x504D46532D4C4954  # "PMFS-LIT"
+SB_SIZE = 128
+
+INODE_SIZE = 96
+NDIRECT = 8  # direct block pointers per inode
+DIRENT_SIZE = 32
+NAME_LEN = 24
+
+FS_FAULTS = frozenset(
+    {
+        "xip-dup-flush",
+        "fsync-extra-flush",
+        "write-no-flush",
+        "size-early",
+        "meta-no-fence",
+    }
+)
+
+#: journal fault names are forwarded to the Journal
+from repro.pmfs.journal import KNOWN_FAULTS as JOURNAL_FAULTS
+
+ALL_FAULTS = FS_FAULTS | JOURNAL_FAULTS
+
+
+class FSError(Exception):
+    """Filesystem operation error (no such file, no space, ...)."""
+
+
+class PMFS:
+    """A journaled XIP filesystem over a PM region."""
+
+    def __init__(
+        self,
+        runtime: PMRuntime,
+        base: int = 0,
+        size: Optional[int] = None,
+        ninodes: int = 64,
+        ndirents: int = 64,
+        block_size: int = 256,
+        journal_capacity: int = 16 * 1024,
+        faults: Tuple[str, ...] = (),
+        mkfs: bool = True,
+    ) -> None:
+        unknown = set(faults) - ALL_FAULTS
+        if unknown:
+            raise ValueError(f"unknown PMFS faults: {sorted(unknown)}")
+        if size is None:
+            if runtime.machine is None:
+                raise ValueError("size required without a machine")
+            size = len(runtime.machine.volatile) - base
+        self.runtime = runtime
+        self.faults = frozenset(faults)
+        self.base = base
+        self.size = size
+        self.ninodes = ninodes
+        self.ndirents = ndirents
+        self.block_size = block_size
+        self.inode_table = base + SB_SIZE
+        self.dirent_table = self.inode_table + ninodes * INODE_SIZE
+        self.journal_base = self.dirent_table + ndirents * DIRENT_SIZE
+        self.journal_capacity = journal_capacity
+        self.data_base = self.journal_base + journal_capacity
+        data_size = base + size - self.data_base
+        if data_size < block_size * 8:
+            raise ValueError("PMFS region too small for a useful data area")
+        self.arena = Arena(self.data_base, data_size, align=block_size)
+        self.journal = Journal(
+            runtime,
+            self.journal_base,
+            journal_capacity,
+            faults=tuple(self.faults & JOURNAL_FAULTS),
+        )
+        if mkfs:
+            self._mkfs()
+        elif runtime.load_u64(base) != SB_MAGIC:
+            raise FSError("no PMFS filesystem at this address")
+
+    # ------------------------------------------------------------------
+    # Layout helpers
+    # ------------------------------------------------------------------
+    def inode_addr(self, ino: int) -> int:
+        return self.inode_table + ino * INODE_SIZE
+
+    def dirent_addr(self, index: int) -> int:
+        return self.dirent_table + index * DIRENT_SIZE
+
+    def _inode_used(self, ino: int) -> bool:
+        return self.runtime.load_u64(self.inode_addr(ino)) != 0
+
+    def _inode_size(self, ino: int) -> int:
+        return self.runtime.load_u64(self.inode_addr(ino) + 8)
+
+    def _block_slot(self, ino: int, index: int) -> int:
+        return self.inode_addr(ino) + 16 + index * 8
+
+    def max_file_size(self) -> int:
+        return NDIRECT * self.block_size
+
+    # ------------------------------------------------------------------
+    # mkfs
+    # ------------------------------------------------------------------
+    def _mkfs(self) -> None:
+        runtime = self.runtime
+        meta_size = self.data_base - self.base
+        runtime.store(self.base, b"\0" * meta_size)
+        runtime.persist(self.base, meta_size)
+        runtime.store_u64(self.base, SB_MAGIC)
+        runtime.store_u64(self.base + 8, self.ninodes)
+        runtime.store_u64(self.base + 16, self.ndirents)
+        runtime.store_u64(self.base + 24, self.block_size)
+        runtime.persist(self.base, 32)
+
+    # ------------------------------------------------------------------
+    # Directory
+    # ------------------------------------------------------------------
+    def _lookup(self, name: bytes) -> Optional[Tuple[int, int]]:
+        """Returns ``(dirent_index, ino)`` or None."""
+        if len(name) > NAME_LEN:
+            raise FSError(f"name longer than {NAME_LEN} bytes")
+        for index in range(self.ndirents):
+            addr = self.dirent_addr(index)
+            ino_plus1 = self.runtime.load_u64(addr)
+            if ino_plus1 == 0:
+                continue
+            stored = self.runtime.load(addr + 8, NAME_LEN).rstrip(b"\0")
+            if stored == name:
+                return index, ino_plus1 - 1
+        return None
+
+    def list_names(self) -> List[bytes]:
+        names = []
+        for index in range(self.ndirents):
+            addr = self.dirent_addr(index)
+            if self.runtime.load_u64(addr) != 0:
+                names.append(self.runtime.load(addr + 8, NAME_LEN).rstrip(b"\0"))
+        return names
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def create(self, name: bytes) -> int:
+        """Create an empty file; returns its inode number."""
+        if self._lookup(name) is not None:
+            raise FSError(f"{name!r} already exists")
+        ino = next(
+            (i for i in range(self.ninodes) if not self._inode_used(i)), None
+        )
+        dirent_index = next(
+            (
+                i
+                for i in range(self.ndirents)
+                if self.runtime.load_u64(self.dirent_addr(i)) == 0
+            ),
+            None,
+        )
+        if ino is None or dirent_index is None:
+            raise FSError("out of inodes or directory entries")
+        runtime = self.runtime
+        inode = self.inode_addr(ino)
+        dirent = self.dirent_addr(dirent_index)
+        tx = self.journal.begin()
+        tx.log_range(inode, INODE_SIZE)
+        tx.log_range(dirent, DIRENT_SIZE)
+        runtime.store_u64(inode, 1)  # used
+        runtime.store_u64(inode + 8, 0)  # size
+        runtime.clwb(inode, 16)
+        runtime.store_u64(dirent, ino + 1)
+        runtime.store(dirent + 8, name.ljust(NAME_LEN, b"\0"))
+        runtime.clwb(dirent, DIRENT_SIZE)
+        if "meta-no-fence" not in self.faults:
+            runtime.sfence()
+        commit_entry = tx.commit()
+        session = runtime.session
+        if session is not None:
+            session.is_persist(inode, 16)
+            session.is_persist(dirent, DIRENT_SIZE)
+            # An undo journal must not declare the transaction committed
+            # while the metadata it would roll back is still in flight.
+            session.is_ordered_before(inode, 16, commit_entry + 16, 16)
+            session.is_ordered_before(dirent, DIRENT_SIZE, commit_entry + 16, 16)
+        return ino
+
+    def write(self, name: bytes, offset: int, data: bytes) -> int:
+        """XIP write: store into mapped blocks, flush, publish the size."""
+        found = self._lookup(name)
+        if found is None:
+            raise FSError(f"no such file {name!r}")
+        _, ino = found
+        end = offset + len(data)
+        if end > self.max_file_size():
+            raise FSError("file would exceed the direct-block limit")
+        runtime = self.runtime
+        tx = self.journal.begin()
+        size_slot = self.inode_addr(ino) + 8
+        size_grew = end > self._inode_size(ino)
+        if "size-early" in self.faults and size_grew:
+            # The ordering bug: the new size is published before the
+            # data it covers has been written, let alone persisted.
+            tx.log_range(size_slot, 8)
+            runtime.store_u64(size_slot, end)
+            runtime.clwb(size_slot, 8)
+        # Map any missing blocks (journaled pointer updates).
+        first_block = offset // self.block_size
+        last_block = (end - 1) // self.block_size if data else first_block
+        for index in range(first_block, last_block + 1):
+            slot = self._block_slot(ino, index)
+            if runtime.load_u64(slot) == 0:
+                block = self.arena.alloc(self.block_size)
+                tx.log_range(slot, 8)
+                runtime.store_u64(slot, block)
+                runtime.clwb(slot, 8)
+        # XIP data stores.
+        data_ranges: List[Tuple[int, int]] = []
+        cursor = offset
+        consumed = 0
+        while consumed < len(data):
+            index = cursor // self.block_size
+            within = cursor % self.block_size
+            chunk = min(self.block_size - within, len(data) - consumed)
+            block = runtime.load_u64(self._block_slot(ino, index))
+            runtime.store(block + within, data[consumed : consumed + chunk])
+            if "write-no-flush" not in self.faults:
+                runtime.clwb(block + within, chunk)
+            if "xip-dup-flush" in self.faults:
+                # xips.c: the same buffer written back a second time.
+                runtime.clwb(block + within, chunk)
+            data_ranges.append((block + within, chunk))
+            cursor += chunk
+            consumed += chunk
+        runtime.sfence()
+        # Publish the new size (journaled).
+        if size_grew and "size-early" not in self.faults:
+            tx.log_range(size_slot, 8)
+            runtime.store_u64(size_slot, end)
+            runtime.clwb(size_slot, 8)
+        runtime.sfence()
+        tx.commit()
+        session = runtime.session
+        if session is not None:
+            if size_grew:
+                # Freshly exposed data must persist before the size that
+                # makes it visible, and the size itself must be durable.
+                for addr, length in data_ranges:
+                    session.is_ordered_before(addr, length, size_slot, 8)
+                session.is_persist(size_slot, 8)
+            else:
+                for addr, length in data_ranges:
+                    session.is_persist(addr, length)
+        return len(data)
+
+    def read(self, name: bytes, offset: int = 0,
+             length: Optional[int] = None) -> bytes:
+        found = self._lookup(name)
+        if found is None:
+            raise FSError(f"no such file {name!r}")
+        _, ino = found
+        size = self._inode_size(ino)
+        if length is None:
+            length = size - offset
+        length = max(0, min(length, size - offset))
+        out = bytearray()
+        cursor = offset
+        while len(out) < length:
+            index = cursor // self.block_size
+            within = cursor % self.block_size
+            chunk = min(self.block_size - within, length - len(out))
+            block = self.runtime.load_u64(self._block_slot(ino, index))
+            if block == 0:
+                out.extend(b"\0" * chunk)  # hole
+            else:
+                out.extend(self.runtime.load(block + within, chunk))
+            cursor += chunk
+        return bytes(out)
+
+    def unlink(self, name: bytes) -> None:
+        found = self._lookup(name)
+        if found is None:
+            raise FSError(f"no such file {name!r}")
+        dirent_index, ino = found
+        runtime = self.runtime
+        inode = self.inode_addr(ino)
+        dirent = self.dirent_addr(dirent_index)
+        blocks = [
+            runtime.load_u64(self._block_slot(ino, i)) for i in range(NDIRECT)
+        ]
+        tx = self.journal.begin()
+        tx.log_range(dirent, 8)
+        tx.log_range(inode, INODE_SIZE)
+        runtime.store_u64(dirent, 0)
+        runtime.clwb(dirent, 8)
+        runtime.store(inode, b"\0" * INODE_SIZE)
+        runtime.clwb(inode, INODE_SIZE)
+        runtime.sfence()
+        tx.commit()
+        for block in blocks:
+            if block:
+                self.arena.free(block)
+
+    def fsync(self, name: bytes) -> None:
+        """Data is flushed on write, so a clean fsync is just a fence.
+
+        The historical files.c bug flushed the (already clean) mapped
+        buffers anyway — PMTest reports each as an unnecessary
+        writeback.
+        """
+        found = self._lookup(name)
+        if found is None:
+            raise FSError(f"no such file {name!r}")
+        _, ino = found
+        if "fsync-extra-flush" in self.faults:
+            size = self._inode_size(ino)
+            for index in range((size + self.block_size - 1) // self.block_size):
+                block = self.runtime.load_u64(self._block_slot(ino, index))
+                if block:
+                    self.runtime.clwb(block, self.block_size)
+        self.runtime.sfence()
+
+    def stat(self, name: bytes) -> Dict[str, int]:
+        found = self._lookup(name)
+        if found is None:
+            raise FSError(f"no such file {name!r}")
+        _, ino = found
+        return {"ino": ino, "size": self._inode_size(ino)}
+
+
+# ----------------------------------------------------------------------
+# Offline recovery + consistency validation (ground truth)
+# ----------------------------------------------------------------------
+def recover_fs_image(image: PMImage, fs: PMFS) -> int:
+    """Roll back an uncommitted journal transaction in a crash image."""
+    return recover_journal(image, fs.journal_base, fs.journal_capacity)
+
+
+def validate_fs_image(image: PMImage, fs: PMFS) -> bool:
+    """Structural consistency of a (recovered) crash image."""
+    if image.read_u64(fs.base) != SB_MAGIC:
+        return False
+    seen_inos = set()
+    seen_names = set()
+    for index in range(fs.ndirents):
+        dirent = fs.dirent_addr(index)
+        ino_plus1 = image.read_u64(dirent)
+        if ino_plus1 == 0:
+            continue
+        ino = ino_plus1 - 1
+        name = image.read(dirent + 8, NAME_LEN).rstrip(b"\0")
+        if ino >= fs.ninodes or ino in seen_inos or not name:
+            return False
+        if name in seen_names:
+            return False
+        seen_inos.add(ino)
+        seen_names.add(name)
+        inode = fs.inode_addr(ino)
+        if image.read_u64(inode) != 1:
+            return False  # dirent points at a free inode
+        size = image.read_u64(inode + 8)
+        if size > fs.max_file_size():
+            return False
+        covered_blocks = (size + fs.block_size - 1) // fs.block_size
+        for block_index in range(covered_blocks):
+            block = image.read_u64(inode + 16 + block_index * 8)
+            if block == 0:
+                continue  # holes are legal
+            if not (fs.data_base <= block < fs.base + fs.size):
+                return False
+    return True

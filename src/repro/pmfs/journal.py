@@ -1,0 +1,202 @@
+"""The PMFS-style undo journal ("lite journal").
+
+PMFS logs *old* metadata values in fixed 64-byte log entries before
+updating metadata in place; a transaction becomes durable when its
+COMMIT entry persists.  Recovery rolls back any transaction of the
+current generation that lacks a COMMIT entry.
+
+Entry layout (64 B)::
+
+    +--------+--------+--------+--------+----------------+
+    |  addr  |  size  |  gen   |  type  |  data (32 B)   |
+    +--------+--------+--------+--------+----------------+
+
+A journal header (64 B) holds the current generation counter; entries of
+older generations are stale regardless of their flags, which is how the
+journal area can be reused without erasing it.
+
+The paper's **Bug 1** (PMFS journal.c:632, fixed upstream) lives in
+:meth:`Transaction.commit`: after flushing the commit log entry, the
+buggy code flushed the *entire transaction* again — re-writing back the
+just-flushed entry.  Injecting ``commit-dup-flush`` reproduces it, and
+PMTest's duplicate-writeback checker flags it as a WARN.
+
+Other fault sites (synthetic, for the Table 5 corpus):
+
+``log-no-flush``     log entries are not flushed before the update
+``log-no-fence``     no fence between the log entries and the update
+``no-commit-flush``  the COMMIT entry is never flushed
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.instr.runtime import PMRuntime
+from repro.pmem.memory import PMImage
+
+ENTRY_SIZE = 64
+ENTRY_DATA = 32
+HEADER_SIZE = 64
+
+TYPE_DATA = 1
+TYPE_COMMIT = 2
+
+KNOWN_FAULTS = frozenset(
+    {"commit-dup-flush", "log-no-flush", "log-no-fence", "no-commit-flush"}
+)
+
+
+class JournalFull(Exception):
+    """The journal region cannot hold more log entries."""
+
+
+class Journal:
+    """An undo journal over a PM region."""
+
+    def __init__(
+        self,
+        runtime: PMRuntime,
+        base: int,
+        capacity: int,
+        faults: Tuple[str, ...] = (),
+    ) -> None:
+        unknown = set(faults) - KNOWN_FAULTS
+        if unknown:
+            raise ValueError(f"unknown journal faults: {sorted(unknown)}")
+        if capacity < HEADER_SIZE + 2 * ENTRY_SIZE:
+            raise ValueError("journal region too small")
+        self.runtime = runtime
+        self.base = base
+        self.capacity = capacity
+        self.faults = frozenset(faults)
+        self._tail = 0  # entries used by the in-flight transaction
+
+    @property
+    def max_entries(self) -> int:
+        return (self.capacity - HEADER_SIZE) // ENTRY_SIZE
+
+    @property
+    def generation(self) -> int:
+        return self.runtime.load_u64(self.base)
+
+    def begin(self) -> "Transaction":
+        """Start a transaction: bump and persist the generation."""
+        generation = self.generation + 1
+        self.runtime.store_u64(self.base, generation)
+        self.runtime.persist(self.base, 8)
+        self._tail = 0
+        return Transaction(self, generation)
+
+    def _entry_addr(self, index: int) -> int:
+        return self.base + HEADER_SIZE + index * ENTRY_SIZE
+
+
+class Transaction:
+    """One journaled metadata transaction."""
+
+    def __init__(self, journal: Journal, generation: int) -> None:
+        self.journal = journal
+        self.generation = generation
+        self.entries: List[int] = []  # entry addresses
+        self.committed = False
+
+    # ------------------------------------------------------------------
+    def log_range(self, addr: int, size: int) -> None:
+        """``pmfs_add_logentry``: snapshot old data before modifying it."""
+        runtime = self.journal.runtime
+        faults = self.journal.faults
+        offset = 0
+        first_new = len(self.entries)
+        while offset < size:
+            chunk = min(ENTRY_DATA, size - offset)
+            index = self.journal._tail
+            if index >= self.journal.max_entries:
+                raise JournalFull("journal has no free log entries")
+            entry = self.journal._entry_addr(index)
+            old = runtime.load(addr + offset, chunk)
+            runtime.store_u64(entry, addr + offset)
+            runtime.store_u64(entry + 8, chunk)
+            runtime.store_u64(entry + 16, self.generation)
+            runtime.store_u64(entry + 24, TYPE_DATA)
+            runtime.store(entry + 32, old.ljust(ENTRY_DATA, b"\0"))
+            self.journal._tail += 1
+            self.entries.append(entry)
+            offset += chunk
+        if "log-no-flush" not in faults:
+            for entry in self.entries[first_new:]:
+                runtime.clwb(entry, ENTRY_SIZE)
+        if "log-no-fence" not in faults:
+            runtime.sfence()
+        # Library self-annotation: undo entries must be durable before
+        # the caller is allowed to modify the logged ranges.
+        session = runtime.session
+        if session is not None:
+            for entry in self.entries[first_new:]:
+                session.is_persist(entry, ENTRY_SIZE)
+
+    def commit(self) -> int:
+        """``pmfs_commit_transaction``: append and persist COMMIT.
+
+        Returns the commit entry's address so callers can assert their
+        metadata persists *before* the commit record (an undo journal
+        must not skip rollback while the logged updates are still in
+        flight).
+        """
+        runtime = self.journal.runtime
+        faults = self.journal.faults
+        index = self.journal._tail
+        if index >= self.journal.max_entries:
+            raise JournalFull("no room for the COMMIT entry")
+        commit_entry = self.journal._entry_addr(index)
+        runtime.store_u64(commit_entry + 16, self.generation)
+        runtime.store_u64(commit_entry + 24, TYPE_COMMIT)
+        self.journal._tail += 1
+        if "no-commit-flush" not in faults:
+            # Only gen and type were written; flushing the whole 64-byte
+            # entry would write back untouched bytes.
+            runtime.clwb(commit_entry + 16, 16)
+        if "commit-dup-flush" in faults:
+            # Bug 1 (journal.c:632): flush the whole transaction again,
+            # including the entry just written back.
+            start = self.entries[0] if self.entries else commit_entry
+            runtime.clwb(start, commit_entry + ENTRY_SIZE - start)
+        runtime.sfence()
+        self.committed = True
+        # Self-annotation: the operation returns with a durable commit.
+        session = runtime.session
+        if session is not None:
+            session.is_persist(commit_entry + 16, 16)
+        return commit_entry
+
+
+def iter_journal_entries(image: PMImage, base: int, capacity: int):
+    """All entries of the image's current generation, in order."""
+    generation = image.read_u64(base)
+    max_entries = (capacity - HEADER_SIZE) // ENTRY_SIZE
+    for index in range(max_entries):
+        entry = base + HEADER_SIZE + index * ENTRY_SIZE
+        if image.read_u64(entry + 16) != generation:
+            continue
+        yield (
+            entry,
+            image.read_u64(entry),  # addr
+            image.read_u64(entry + 8),  # size
+            image.read_u64(entry + 24),  # type
+        )
+
+
+def recover_journal(image: PMImage, base: int, capacity: int) -> int:
+    """Offline recovery: roll back an uncommitted current-generation
+    transaction.  Returns the number of entries undone (0 if the last
+    transaction committed or the journal is empty)."""
+    entries = list(iter_journal_entries(image, base, capacity))
+    if any(etype == TYPE_COMMIT for _, _, _, etype in entries):
+        return 0
+    undone = 0
+    for entry, addr, size, etype in reversed(entries):
+        if etype != TYPE_DATA or size == 0 or size > ENTRY_DATA:
+            continue
+        image.write(addr, image.read(entry + 32, size))
+        undone += 1
+    return undone

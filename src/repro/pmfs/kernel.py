@@ -1,0 +1,87 @@
+"""Kernel-to-user trace plumbing (paper Figure 9b).
+
+A kernel module cannot host the checking engine, so PMTest routes its
+traces through a bounded kernel FIFO (``/proc/PMTest``) to the
+user-space workers.  :class:`KernelBridge` is that channel: it exposes
+the same sink protocol as :class:`~repro.core.workers.WorkerPool`
+(``submit``/``drain``/``close``/``dispatched``), so a
+:class:`~repro.core.api.PMTestSession` can be pointed at it via its
+``sink`` parameter.  A consumer thread plays the user-space daemon,
+popping traces from the FIFO and dispatching them to the pool.
+
+Backpressure is end to end: if checking falls behind, the FIFO fills
+and the "kernel" thread parks on the interruptible wait queue until the
+consumer drains the FIFO below half capacity.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.core.events import Trace
+from repro.core.kfifo import DEFAULT_CAPACITY, FifoClosed, KernelFifo
+from repro.core.reports import TestResult
+from repro.core.rules import PersistencyRules
+from repro.core.workers import WorkerPool
+
+
+class KernelBridge:
+    """A trace sink that crosses a simulated kernel/user boundary."""
+
+    def __init__(
+        self,
+        rules: Optional[PersistencyRules] = None,
+        num_workers: int = 1,
+        fifo_capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        self.fifo: KernelFifo[Trace] = KernelFifo(fifo_capacity)
+        self.pool = WorkerPool(rules, num_workers=max(num_workers, 0))
+        self._submitted = 0
+        self._lock = threading.Lock()
+        self._consumer = threading.Thread(
+            target=self._consume, name="pmtest-kernel-consumer", daemon=True
+        )
+        self._consumer.start()
+
+    # ------------------------------------------------------------------
+    # The sink protocol used by PMTestSession
+    # ------------------------------------------------------------------
+    @property
+    def dispatched(self) -> int:
+        with self._lock:
+            return self._submitted
+
+    def submit(self, trace: Trace) -> None:
+        """Kernel side: push a trace, blocking on FIFO backpressure."""
+        self.fifo.put(trace)
+        with self._lock:
+            self._submitted += 1
+
+    def drain(self) -> TestResult:
+        """Block until every submitted trace crossed the FIFO and was
+        checked; return the aggregate result."""
+        while True:
+            with self._lock:
+                submitted = self._submitted
+            if self.pool.dispatched >= submitted:
+                break
+            time.sleep(0.0005)
+        return self.pool.drain()
+
+    def close(self) -> TestResult:
+        result = self.drain()
+        self.fifo.close()
+        self._consumer.join(timeout=5)
+        return self.pool.close()
+
+    # ------------------------------------------------------------------
+    def _consume(self) -> None:
+        """The user-space daemon: FIFO -> worker pool."""
+        while True:
+            try:
+                trace = self.fifo.get()
+            except FifoClosed:
+                return
+            self.pool.submit(trace)

@@ -1,0 +1,49 @@
+"""WHISPER-style persistent data structures (the paper's microbenchmarks).
+
+Figure 10 of the paper evaluates PMTest on five PMDK-based
+microbenchmarks; this package implements all five from scratch on
+:mod:`repro.pmdk`:
+
+=====================  ====================================================
+``ctree``              crit-bit tree (internal nodes test one key bit)
+``btree``              B-tree with top-down split insertion and the two
+                       historical bug sites of paper Table 6 (missing
+                       snapshot in ``create_split_node``; duplicate
+                       snapshot in ``rotate_left``)
+``rbtree``             red-black tree with the rbtree_map.c bug site
+                       (rotation modifies a node without logging it)
+``hashmap_tx``         chained hash map, every operation transactional
+``hashmap_atomic``     chained hash map built on low-level flush/fence
+                       publication (no transactions)
+=====================  ====================================================
+
+Every structure supports named fault injection so the synthetic-bug
+corpus (:mod:`repro.bugs`) can reproduce the paper's Table 5 bug classes,
+and exposes an offline image validator used for crash ground truth.
+"""
+
+from repro.structures.base import PersistentMap, StructureError
+from repro.structures.btree import BTree
+from repro.structures.ctree import CTree
+from repro.structures.hashmap_atomic import AtomicHashMap
+from repro.structures.hashmap_tx import TxHashMap
+from repro.structures.rbtree import RBTree
+
+ALL_STRUCTURES = {
+    "ctree": CTree,
+    "btree": BTree,
+    "rbtree": RBTree,
+    "hashmap_tx": TxHashMap,
+    "hashmap_atomic": AtomicHashMap,
+}
+
+__all__ = [
+    "ALL_STRUCTURES",
+    "AtomicHashMap",
+    "BTree",
+    "CTree",
+    "PersistentMap",
+    "RBTree",
+    "StructureError",
+    "TxHashMap",
+]

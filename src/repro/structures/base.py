@@ -1,0 +1,112 @@
+"""Common interface for the persistent map structures.
+
+Each structure is rooted in a pool root slot (so it can be re-discovered
+after a crash), maps u64 keys to byte payloads, and accepts a set of
+named faults that recreate specific crash-consistency or performance
+bugs at the structure's historically buggy code sites.
+
+The ``value_size`` parameter is the paper's "transaction size" axis
+(Figure 10): every insert writes a payload buffer of that many bytes
+inside the operation, so sweeping it sweeps the PM work per transaction.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import FrozenSet, Iterable, Iterator, Optional, Tuple
+
+from repro.pmdk.objects import PStruct, U64Field
+from repro.pmdk.pool import PMPool
+
+
+class StructureError(Exception):
+    """Invalid operation on a persistent structure."""
+
+
+class ValueBuffer(PStruct):
+    """A variable-size payload buffer: header + inline bytes."""
+
+    length = U64Field()
+
+    @classmethod
+    def create(cls, pool: PMPool, payload: bytes) -> "ValueBuffer":
+        addr = pool.alloc(cls.SIZE + max(len(payload), 1))
+        buf = cls(pool, addr)
+        buf.length = len(payload)
+        if payload:
+            pool.runtime.store(addr + cls.SIZE, payload)
+        return buf
+
+    def read(self) -> bytes:
+        length = self.length
+        if length == 0:
+            return b""
+        return self.pool.runtime.load(self.addr + self.SIZE, length)
+
+    def payload_range(self) -> Tuple[int, int]:
+        return self.addr, self.SIZE + max(self.length, 1)
+
+
+class PersistentMap(ABC):
+    """A crash-consistent u64 -> bytes map rooted in a pool root slot."""
+
+    #: short name used by benchmarks and the bug registry
+    NAME: str = "abstract"
+
+    #: fault names this structure understands
+    KNOWN_FAULTS: FrozenSet[str] = frozenset()
+
+    def __init__(
+        self,
+        pool: PMPool,
+        root_slot: int = 0,
+        value_size: int = 64,
+        faults: Iterable[str] = (),
+    ) -> None:
+        faults = frozenset(faults)
+        unknown = faults - self.KNOWN_FAULTS
+        if unknown:
+            raise ValueError(
+                f"{type(self).__name__} does not define faults {sorted(unknown)}"
+            )
+        self.pool = pool
+        self.root_slot = root_slot
+        self.value_size = value_size
+        self.faults = faults
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def insert(self, key: int, payload: Optional[bytes] = None) -> None:
+        """Insert or update ``key``.  ``payload`` defaults to
+        ``value_size`` bytes derived from the key."""
+
+    @abstractmethod
+    def lookup(self, key: int) -> Optional[bytes]:
+        """Return the payload stored for ``key``, or ``None``."""
+
+    @abstractmethod
+    def items(self) -> Iterator[Tuple[int, bytes]]:
+        """All ``(key, payload)`` pairs (order unspecified)."""
+
+    def remove(self, key: int) -> bool:
+        """Delete ``key``; returns whether it was present.  Structures
+        without a delete path raise :class:`NotImplementedError`."""
+        raise NotImplementedError(f"{self.NAME} does not implement remove")
+
+    # ------------------------------------------------------------------
+    def default_payload(self, key: int) -> bytes:
+        """Deterministic payload of ``value_size`` bytes for a key."""
+        seed = key.to_bytes(8, "little")
+        reps = (self.value_size + 7) // 8
+        return (seed * reps)[: self.value_size]
+
+    def __contains__(self, key: int) -> bool:
+        return self.lookup(key) is not None
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.items())
+
+    # ------------------------------------------------------------------
+    def _fault(self, name: str) -> bool:
+        """Whether a named fault is being injected at a bug site."""
+        return name in self.faults

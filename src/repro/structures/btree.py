@@ -1,0 +1,439 @@
+"""A B-tree with top-down splits: the "B-Tree" microbenchmark.
+
+Modelled on PMDK's ``btree_map`` example (order 4: up to 3 items and 4
+children per node).  Insertion splits full nodes on the way down;
+deletion refills underful nodes on the way down by borrowing from a
+sibling (``rotate_left``/``rotate_right``) or merging.
+
+The two *historical* PMDK bugs of paper Table 6 live in this structure,
+reproducible by name:
+
+``split-no-log``
+    ``create_split_node`` clears the moved items of the old node
+    **without logging them first** — the paper's new correctness bug
+    (btree_map.c:201, fixed by Intel in pmem/pmdk@25f5e4f6): after a
+    crash the cleared items cannot be restored.
+``rotate-dup-log``
+    ``rotate_left`` snapshots the destination node even though the
+    ``insert_item`` helper it calls already snapshotted it — the paper's
+    new performance bug (btree_map.c:367, fixed in pmem/pmdk@b9232407).
+``no-log-count``
+    The element count is modified without a snapshot (synthetic).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.pmdk.objects import ArrayField, PStruct, U64Field
+from repro.pmdk.pool import PMPool
+from repro.pmem.memory import PMImage
+from repro.structures.base import PersistentMap, ValueBuffer
+
+#: Maximum children per node (PMDK uses 8; 4 keeps splits frequent).
+ORDER = 4
+MAX_ITEMS = ORDER - 1  # 3
+MIN_ITEMS = 1
+
+
+class BTreeRoot(PStruct):
+    root = U64Field()
+    count = U64Field()
+
+
+class BTreeNode(PStruct):
+    n = U64Field()
+    leaf = U64Field()
+    keys = ArrayField(MAX_ITEMS)
+    values = ArrayField(MAX_ITEMS)
+    children = ArrayField(ORDER)
+
+
+class BTree(PersistentMap):
+    """Transactional order-4 B-tree."""
+
+    NAME = "btree"
+
+    KNOWN_FAULTS = frozenset(
+        {"split-no-log", "rotate-dup-log", "no-log-count", "replace-no-log"}
+    )
+
+    def __init__(self, pool: PMPool, root_slot: int = 0, value_size: int = 64,
+                 faults=()) -> None:
+        super().__init__(pool, root_slot, value_size, faults)
+        addr = pool.read_root(root_slot)
+        if addr:
+            self.meta = BTreeRoot(pool, addr)
+        else:
+            with pool.tx.transaction():
+                self.meta = BTreeRoot.alloc(pool)
+            pool.write_root(root_slot, self.meta.addr)
+
+    # ------------------------------------------------------------------
+    # Node content helpers: read/modify/write with precise logging
+    # ------------------------------------------------------------------
+    def _read_node(self, node: BTreeNode):
+        n = node.n
+        keys = [node.keys[i] for i in range(n)]
+        values = [node.values[i] for i in range(n)]
+        children = [] if node.leaf else [node.children[i] for i in range(n + 1)]
+        return keys, values, children
+
+    def _write_node(
+        self,
+        node: BTreeNode,
+        keys: List[int],
+        values: List[int],
+        children: List[int],
+        log: bool = True,
+    ) -> None:
+        """Rewrite a node's used item area, snapshotting exactly the
+        ranges being written (the TX_ADD discipline of btree_map)."""
+        tx = self.pool.tx
+        n = len(keys)
+        if n > MAX_ITEMS or (children and len(children) != n + 1):
+            raise AssertionError("btree node invariant violated")
+        if log:
+            tx.add_field_once(node, "n")
+            if n:
+                tx.add_once(node.keys.addr(0), n * 8)
+                tx.add_once(node.values.addr(0), n * 8)
+            if children:
+                tx.add_once(node.children.addr(0), len(children) * 8)
+        for i, key in enumerate(keys):
+            node.keys[i] = key
+        for i, value in enumerate(values):
+            node.values[i] = value
+        for i, child in enumerate(children):
+            node.children[i] = child
+        node.n = n
+
+    def _alloc_node(self, leaf: bool) -> BTreeNode:
+        node = BTreeNode.alloc(self.pool)
+        node.leaf = 1 if leaf else 0
+        return node
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: int, payload: Optional[bytes] = None) -> None:
+        payload = payload if payload is not None else self.default_payload(key)
+        tx = self.pool.tx
+        with tx.transaction():
+            buf = ValueBuffer.create(self.pool, payload)
+            if self.meta.root == 0:
+                node = self._alloc_node(leaf=True)
+                self._write_node(node, [key], [buf.addr], [], log=False)
+                tx.add_field(self.meta, "root")
+                self.meta.root = node.addr
+                self._bump_count(+1)
+                return
+            root = BTreeNode(self.pool, self.meta.root)
+            if root.n == MAX_ITEMS:
+                new_root = self._alloc_node(leaf=False)
+                new_root.children[0] = root.addr
+                new_root.n = 0
+                self._split_child(new_root, 0)
+                tx.add_field(self.meta, "root")
+                self.meta.root = new_root.addr
+                root = new_root
+            if self._insert_nonfull(root, key, buf.addr):
+                self._bump_count(+1)
+
+    def _insert_nonfull(self, node: BTreeNode, key: int, value: int) -> bool:
+        """Insert below a non-full node; returns False on in-place update."""
+        while True:
+            keys, values, children = self._read_node(node)
+            if key in keys:
+                index = keys.index(key)
+                self.pool.tx.add_once(*node.values.range_of(index))
+                node.values[index] = value
+                return False
+            index = _position(keys, key)
+            if node.leaf:
+                self._insert_item(node, index, key, value)
+                return True
+            child = BTreeNode(self.pool, children[index])
+            if child.n == MAX_ITEMS:
+                self._split_child(node, index)
+                continue  # re-examine this node: the median moved up
+            node = child
+
+    def _insert_item(self, node: BTreeNode, index: int, key: int,
+                     value: int) -> None:
+        """``btree_map_insert_item``: snapshot the node, then shift in the
+        item (paper Figure 13c, left)."""
+        keys, values, children = self._read_node(node)
+        keys.insert(index, key)
+        values.insert(index, value)
+        self._write_node(node, keys, values, children)
+
+    def _split_child(self, parent: BTreeNode, index: int) -> None:
+        """``create_split_node`` + parent update.
+
+        Moves the upper third of the full child into a fresh node,
+        promotes the median into the parent, and clears the moved items
+        in the old child.  Under the ``split-no-log`` fault the clearing
+        writes are issued without their snapshot — the Table 6
+        correctness bug.
+        """
+        tx = self.pool.tx
+        child = BTreeNode(self.pool, parent.children[index])
+        keys, values, children = self._read_node(child)
+        right = self._alloc_node(leaf=bool(child.leaf))
+        right_children = children[2:] if children else []
+        self._write_node(right, keys[2:], values[2:], right_children, log=False)
+        median_key, median_value = keys[1], values[1]
+        # Shrink the old child and clear the moved item slots
+        # (node->items[c - 1] = EMPTY_ITEM in the original).
+        if not self._fault("split-no-log"):
+            tx.add_field_once(child, "n")
+            tx.add_once(child.keys.addr(1), 2 * 8)
+            tx.add_once(child.values.addr(1), 2 * 8)
+        for i in (1, 2):
+            child.keys[i] = 0
+            child.values[i] = 0
+        child.n = 1
+        # Insert the median into the parent.
+        pkeys, pvalues, pchildren = self._read_node(parent)
+        pkeys.insert(index, median_key)
+        pvalues.insert(index, median_value)
+        pchildren.insert(index + 1, right.addr)
+        self._write_node(parent, pkeys, pvalues, pchildren)
+
+    # ------------------------------------------------------------------
+    # Lookup / iteration
+    # ------------------------------------------------------------------
+    def lookup(self, key: int) -> Optional[bytes]:
+        cursor = self.meta.root
+        while cursor:
+            node = BTreeNode(self.pool, cursor)
+            keys, values, children = self._read_node(node)
+            if key in keys:
+                value = values[keys.index(key)]
+                return ValueBuffer(self.pool, value).read()
+            if node.leaf:
+                return None
+            cursor = children[_position(keys, key)]
+        return None
+
+    def items(self) -> Iterator[Tuple[int, bytes]]:
+        def walk(addr: int) -> Iterator[Tuple[int, bytes]]:
+            node = BTreeNode(self.pool, addr)
+            keys, values, children = self._read_node(node)
+            if node.leaf:
+                for key, value in zip(keys, values):
+                    yield key, ValueBuffer(self.pool, value).read()
+                return
+            for i, (key, value) in enumerate(zip(keys, values)):
+                yield from walk(children[i])
+                yield key, ValueBuffer(self.pool, value).read()
+            yield from walk(children[-1])
+
+        if self.meta.root:
+            yield from walk(self.meta.root)
+
+    # ------------------------------------------------------------------
+    # Deletion (top-down refill)
+    # ------------------------------------------------------------------
+    def remove(self, key: int) -> bool:
+        if self.meta.root == 0:
+            return False
+        tx = self.pool.tx
+        with tx.transaction():
+            removed = self._remove_from(BTreeNode(self.pool, self.meta.root), key)
+            root = BTreeNode(self.pool, self.meta.root)
+            if root.n == 0 and not root.leaf:
+                # The root emptied after a merge: shrink the tree.
+                tx.add_field(self.meta, "root")
+                self.meta.root = root.children[0]
+                self.pool.free(root.addr)
+            elif root.n == 0 and root.leaf:
+                tx.add_field(self.meta, "root")
+                self.meta.root = 0
+                self.pool.free(root.addr)
+            if removed:
+                self._bump_count(-1)
+            return removed
+
+    def _remove_from(self, node: BTreeNode, key: int) -> bool:
+        keys, values, children = self._read_node(node)
+        if key in keys:
+            index = keys.index(key)
+            if node.leaf:
+                del keys[index], values[index]
+                self._write_node(node, keys, values, [])
+                return True
+            left = BTreeNode(self.pool, children[index])
+            right = BTreeNode(self.pool, children[index + 1])
+            if left.n > MIN_ITEMS:
+                pk, pv = self._max_item(left)
+                self._replace_item(node, index, pk, pv)
+                return self._remove_from(left, pk)
+            if right.n > MIN_ITEMS:
+                sk, sv = self._min_item(right)
+                self._replace_item(node, index, sk, sv)
+                return self._remove_from(right, sk)
+            merged = self._merge(node, index)
+            return self._remove_from(merged, key)
+        if node.leaf:
+            return False
+        index = _position(keys, key)
+        child = BTreeNode(self.pool, children[index])
+        if child.n <= MIN_ITEMS:
+            child = self._fill(node, index)
+        return self._remove_from(child, key)
+
+    def _replace_item(self, node: BTreeNode, index: int, key: int,
+                      value: int) -> None:
+        tx = self.pool.tx
+        if not self._fault("replace-no-log"):
+            tx.add_once(*node.keys.range_of(index))
+            tx.add_once(*node.values.range_of(index))
+        node.keys[index] = key
+        node.values[index] = value
+
+    def _max_item(self, node: BTreeNode) -> Tuple[int, int]:
+        while not node.leaf:
+            node = BTreeNode(self.pool, node.children[node.n])
+        return node.keys[node.n - 1], node.values[node.n - 1]
+
+    def _min_item(self, node: BTreeNode) -> Tuple[int, int]:
+        while not node.leaf:
+            node = BTreeNode(self.pool, node.children[0])
+        return node.keys[0], node.values[0]
+
+    def _fill(self, parent: BTreeNode, index: int) -> BTreeNode:
+        """Ensure child ``index`` has more than MIN_ITEMS items."""
+        keys, values, children = self._read_node(parent)
+        if index > 0:
+            left = BTreeNode(self.pool, children[index - 1])
+            if left.n > MIN_ITEMS:
+                return self._rotate_right(parent, index)
+        if index < len(children) - 1:
+            right = BTreeNode(self.pool, children[index + 1])
+            if right.n > MIN_ITEMS:
+                return self._rotate_left(parent, index)
+        merge_at = index if index < len(children) - 1 else index - 1
+        return self._merge(parent, merge_at)
+
+    def _rotate_left(self, parent: BTreeNode, index: int) -> BTreeNode:
+        """Borrow from the right sibling (paper Figure 13c, right).
+
+        ``insert_item`` already snapshots the destination node; under the
+        ``rotate-dup-log`` fault this function snapshots it *again*,
+        reproducing the duplicate-log performance bug.
+        """
+        tx = self.pool.tx
+        child = BTreeNode(self.pool, parent.children[index])
+        sibling = BTreeNode(self.pool, parent.children[index + 1])
+        # The insert_item helper snapshots the destination node itself...
+        ckeys, cvalues, cchildren = self._read_node(child)
+        ckeys.append(parent.keys[index])
+        cvalues.append(parent.values[index])
+        if cchildren:
+            cchildren.append(sibling.children[0])
+        self._write_node(child, ckeys, cvalues, cchildren)
+        # ...so this second snapshot is redundant (the historical bug).
+        if self._fault("rotate-dup-log"):
+            tx.add_field(child, "n")  # TX_ADD(node) again
+        self._replace_item(parent, index, sibling.keys[0], sibling.values[0])
+        skeys, svalues, schildren = self._read_node(sibling)
+        del skeys[0], svalues[0]
+        if schildren:
+            del schildren[0]
+        self._write_node(sibling, skeys, svalues, schildren)
+        return child
+
+    def _rotate_right(self, parent: BTreeNode, index: int) -> BTreeNode:
+        """Borrow from the left sibling."""
+        tx = self.pool.tx
+        child = BTreeNode(self.pool, parent.children[index])
+        sibling = BTreeNode(self.pool, parent.children[index - 1])
+        ckeys, cvalues, cchildren = self._read_node(child)
+        ckeys.insert(0, parent.keys[index - 1])
+        cvalues.insert(0, parent.values[index - 1])
+        if cchildren:
+            cchildren.insert(0, sibling.children[sibling.n])
+        self._write_node(child, ckeys, cvalues, cchildren)
+        self._replace_item(
+            parent, index - 1, sibling.keys[sibling.n - 1],
+            sibling.values[sibling.n - 1]
+        )
+        skeys, svalues, schildren = self._read_node(sibling)
+        del skeys[-1], svalues[-1]
+        if schildren:
+            del schildren[-1]
+        self._write_node(sibling, skeys, svalues, schildren)
+        return child
+
+    def _merge(self, parent: BTreeNode, index: int) -> BTreeNode:
+        """Merge child ``index``, the separator, and child ``index+1``."""
+        child = BTreeNode(self.pool, parent.children[index])
+        sibling = BTreeNode(self.pool, parent.children[index + 1])
+        ckeys, cvalues, cchildren = self._read_node(child)
+        skeys, svalues, schildren = self._read_node(sibling)
+        pkeys, pvalues, pchildren = self._read_node(parent)
+        ckeys = ckeys + [pkeys[index]] + skeys
+        cvalues = cvalues + [pvalues[index]] + svalues
+        cchildren = cchildren + schildren
+        self._write_node(child, ckeys, cvalues, cchildren)
+        del pkeys[index], pvalues[index], pchildren[index + 1]
+        self._write_node(parent, pkeys, pvalues, pchildren)
+        self.pool.free(sibling.addr)
+        return child
+
+    # ------------------------------------------------------------------
+    def _bump_count(self, delta: int) -> None:
+        if not self._fault("no-log-count"):
+            self.pool.tx.add_field(self.meta, "count")
+        self.meta.count = self.meta.count + delta
+
+
+def _position(keys: List[int], key: int) -> int:
+    """Index of the child subtree (or item slot) for ``key``."""
+    index = 0
+    while index < len(keys) and keys[index] < key:
+        index += 1
+    return index
+
+
+def validate_image(image: PMImage, root_addr_value: int) -> bool:
+    """Crash-image consistency: sorted keys, child counts, value buffers
+    present, and the stored count matching the reachable items."""
+    if root_addr_value == 0:
+        return True
+    root = image.read_u64(root_addr_value)
+    count = image.read_u64(root_addr_value + 8)
+    if root == 0:
+        return count == 0
+    total = 0
+    stack = [(root, 0, 1 << 64)]
+    seen = set()
+    while stack:
+        addr, lo, hi = stack.pop()
+        if addr in seen or addr + BTreeNode.SIZE > len(image):
+            return False
+        seen.add(addr)
+        n = image.read_u64(addr)
+        leaf = image.read_u64(addr + 8)
+        if n == 0 or n > MAX_ITEMS:
+            return False
+        keys = [image.read_u64(addr + 16 + i * 8) for i in range(n)]
+        values = [image.read_u64(addr + 16 + (MAX_ITEMS + i) * 8) for i in range(n)]
+        if keys != sorted(keys) or len(set(keys)) != n:
+            return False
+        if any(not lo <= k < hi for k in keys):
+            return False
+        if any(v == 0 for v in values):
+            return False
+        total += n
+        if not leaf:
+            base = addr + 16 + 2 * MAX_ITEMS * 8
+            children = [image.read_u64(base + i * 8) for i in range(n + 1)]
+            if any(c == 0 for c in children):
+                return False
+            bounds = [lo] + keys + [hi]
+            for i, child in enumerate(children):
+                stack.append((child, bounds[i], bounds[i + 1]))
+    return total == count

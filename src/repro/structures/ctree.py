@@ -1,0 +1,233 @@
+"""A crit-bit (PATRICIA) tree: the "C-Tree" microbenchmark.
+
+Modelled on PMDK's ``ctree_map`` example: internal nodes hold the index
+of the highest bit on which their subtrees' keys differ; leaves hold the
+key and value.  Internal/leaf pointers are distinguished by tagging bit 0
+(all allocations are 8-byte aligned).
+
+The only in-place mutation an insert performs is splicing one pointer
+slot (the root field or one child slot) — which makes the missing-log
+fault site wonderfully sharp:
+
+``no-log-splice``
+    The spliced pointer slot is modified without a ``TX_ADD`` snapshot.
+``no-log-count``
+    The element count is modified without a snapshot.
+``no-log-value``
+    An in-place value update skips its snapshot.
+``dup-log-splice``
+    The spliced slot is snapshotted twice (duplicate log, performance).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.pmdk.objects import ArrayField, PStruct, PtrField, U64Field
+from repro.pmdk.pool import PMPool
+from repro.pmem.memory import PMImage
+from repro.structures.base import PersistentMap, ValueBuffer
+
+_TAG = 1  # low pointer bit marks an internal node
+
+
+class CTreeRoot(PStruct):
+    root = PtrField()
+    count = U64Field()
+
+
+class CTreeLeaf(PStruct):
+    key = U64Field()
+    value = PtrField()
+
+
+class CTreeInternal(PStruct):
+    diff = U64Field()  # bit index on which the children differ
+    children = ArrayField(2)
+
+
+def _is_internal(ptr: int) -> bool:
+    return bool(ptr & _TAG)
+
+
+def _untag(ptr: int) -> int:
+    return ptr & ~_TAG
+
+
+def _bit(key: int, index: int) -> int:
+    return (key >> index) & 1
+
+
+def _crit_bit(a: int, b: int) -> int:
+    """Index of the most significant differing bit of two distinct keys."""
+    return (a ^ b).bit_length() - 1
+
+
+class CTree(PersistentMap):
+    """Transactional crit-bit tree."""
+
+    NAME = "ctree"
+
+    KNOWN_FAULTS = frozenset(
+        {"no-log-splice", "no-log-count", "no-log-value", "dup-log-splice"}
+    )
+
+    def __init__(self, pool: PMPool, root_slot: int = 0, value_size: int = 64,
+                 faults=()) -> None:
+        super().__init__(pool, root_slot, value_size, faults)
+        addr = pool.read_root(root_slot)
+        if addr:
+            self.tree = CTreeRoot(pool, addr)
+        else:
+            with pool.tx.transaction():
+                self.tree = CTreeRoot.alloc(pool)
+            pool.write_root(root_slot, self.tree.addr)
+
+    # ------------------------------------------------------------------
+    def _descend_to_leaf(self, key: int) -> CTreeLeaf:
+        cursor = self.tree.root
+        while _is_internal(cursor):
+            node = CTreeInternal(self.pool, _untag(cursor))
+            cursor = node.children[_bit(key, node.diff)]
+        return CTreeLeaf(self.pool, cursor)
+
+    # ------------------------------------------------------------------
+    def insert(self, key: int, payload: Optional[bytes] = None) -> None:
+        payload = payload if payload is not None else self.default_payload(key)
+        tx = self.pool.tx
+        with tx.transaction():
+            buf = ValueBuffer.create(self.pool, payload)
+            if self.tree.root == 0:
+                leaf = CTreeLeaf.alloc(self.pool)
+                leaf.key = key
+                leaf.value = buf.addr
+                self._splice(self.tree.field_range("root")[0], leaf.addr)
+                self._bump_count(+1)
+                return
+            closest = self._descend_to_leaf(key)
+            if closest.key == key:
+                if not self._fault("no-log-value"):
+                    tx.add_field(closest, "value")
+                closest.value = buf.addr
+                return
+            diff = _crit_bit(closest.key, key)
+            leaf = CTreeLeaf.alloc(self.pool)
+            leaf.key = key
+            leaf.value = buf.addr
+            internal = CTreeInternal(self.pool, self.pool.alloc(CTreeInternal.SIZE))
+            internal.diff = diff
+            # Walk to the splice point: the first slot whose subtree's
+            # crit bit is below the new one.
+            slot = self.tree.field_range("root")[0]
+            cursor = self.tree.root
+            while _is_internal(cursor):
+                node = CTreeInternal(self.pool, _untag(cursor))
+                if node.diff < diff:
+                    break
+                accessor = node.children
+                slot = accessor.addr(_bit(key, node.diff))
+                cursor = accessor[_bit(key, node.diff)]
+            internal.children[_bit(key, diff)] = leaf.addr
+            internal.children[1 - _bit(key, diff)] = cursor
+            self._splice(slot, internal.addr | _TAG)
+            self._bump_count(+1)
+
+    def lookup(self, key: int) -> Optional[bytes]:
+        if self.tree.root == 0:
+            return None
+        leaf = self._descend_to_leaf(key)
+        if leaf.key != key:
+            return None
+        return ValueBuffer(self.pool, leaf.value).read()
+
+    def remove(self, key: int) -> bool:
+        if self.tree.root == 0:
+            return False
+        tx = self.pool.tx
+        with tx.transaction():
+            grandparent_slot = self.tree.field_range("root")[0]
+            parent: Optional[CTreeInternal] = None
+            parent_child_index = 0
+            cursor = self.tree.root
+            while _is_internal(cursor):
+                node = CTreeInternal(self.pool, _untag(cursor))
+                if parent is not None:
+                    grandparent_slot = parent.children.addr(parent_child_index)
+                parent = node
+                parent_child_index = _bit(key, node.diff)
+                cursor = node.children[parent_child_index]
+            leaf = CTreeLeaf(self.pool, cursor)
+            if leaf.key != key:
+                return False
+            if parent is None:
+                self._splice(self.tree.field_range("root")[0], 0)
+            else:
+                sibling = parent.children[1 - parent_child_index]
+                self._splice(grandparent_slot, sibling)
+                self.pool.free(parent.addr)
+            self.pool.free(leaf.addr)
+            self._bump_count(-1)
+            return True
+
+    def items(self) -> Iterator[Tuple[int, bytes]]:
+        stack: List[int] = [self.tree.root] if self.tree.root else []
+        while stack:
+            cursor = stack.pop()
+            if _is_internal(cursor):
+                node = CTreeInternal(self.pool, _untag(cursor))
+                stack.append(node.children[0])
+                stack.append(node.children[1])
+            else:
+                leaf = CTreeLeaf(self.pool, cursor)
+                yield leaf.key, ValueBuffer(self.pool, leaf.value).read()
+
+    # ------------------------------------------------------------------
+    def _splice(self, slot: int, new_value: int) -> None:
+        """The single in-place pointer update of every structural change."""
+        if not self._fault("no-log-splice"):
+            self.pool.tx.add(slot, 8)
+        if self._fault("dup-log-splice"):
+            self.pool.tx.add(slot, 8)  # redundant second snapshot
+        self.pool.runtime.store_u64(slot, new_value)
+
+    def _bump_count(self, delta: int) -> None:
+        if not self._fault("no-log-count"):
+            self.pool.tx.add_field(self.tree, "count")
+        self.tree.count = self.tree.count + delta
+
+
+def validate_image(image: PMImage, root_addr_value: int) -> bool:
+    """Crash-image consistency: reachable leaves match the count, diffs
+    strictly decrease along every path, and leaf keys honour path bits."""
+    if root_addr_value == 0:
+        return True
+    count = image.read_u64(root_addr_value + 8)
+    root = image.read_u64(root_addr_value)
+    if root == 0:
+        return count == 0
+    leaves = 0
+    stack: List[Tuple[int, int]] = [(root, 64)]
+    seen = set()
+    while stack:
+        cursor, max_diff = stack.pop()
+        if cursor in seen:
+            return False
+        seen.add(cursor)
+        if _is_internal(cursor):
+            addr = _untag(cursor)
+            if addr + 24 > len(image):
+                return False
+            diff = image.read_u64(addr)
+            if diff >= max_diff:
+                return False
+            left = image.read_u64(addr + 8)
+            right = image.read_u64(addr + 16)
+            if left == 0 or right == 0:
+                return False
+            stack.append((left, diff))
+            stack.append((right, diff))
+        else:
+            if cursor + 16 > len(image) or image.read_u64(cursor + 8) == 0:
+                return False
+            leaves += 1
+    return leaves == count

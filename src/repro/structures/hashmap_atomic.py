@@ -1,0 +1,223 @@
+"""A chained hash map built on low-level primitives, no transactions.
+
+This is the "HashMap (w/o TX)" microbenchmark of paper Figure 10 — the
+structure the paper singles out as having higher testing overhead because
+of its "more intensive use of low-level PM operations".
+
+Insert publication protocol (lock-free-reader style):
+
+1. write the value buffer and entry, ``persist`` them;
+2. write the bucket head pointer to the new entry, ``persist`` it —
+   the entry is now *published*;
+3. bump the count, ``persist`` it.
+
+A crash between steps leaves either an unpublished (invisible) entry or
+a published entry with a stale count — both recoverable, provided the
+ordering holds: the entry must persist *before* its publication.  The
+structure self-annotates with PMTest's low-level checkers at exactly
+those points (``isOrderedBefore(entry, head)``, ``isPersist(head)``).
+
+Fault sites:
+
+``no-entry-persist``
+    Skip step 1's flush+fence: the head may persist before the entry —
+    the canonical ordering bug.
+``no-publish-fence``
+    Flush the head but skip the fence (durability bug).
+``count-no-flush``
+    Never flush the count update (durability bug).
+``double-flush-head``
+    Flush the head twice (performance bug: duplicate writeback).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.pmdk.objects import PStruct, PtrField, U64Field
+from repro.pmdk.pool import PMPool
+from repro.pmem.memory import PMImage
+from repro.structures.base import PersistentMap, ValueBuffer
+from repro.structures.hashmap_tx import DEFAULT_BUCKETS, hash_u64
+
+
+class AtomicTable(PStruct):
+    nbuckets = U64Field()
+    count = U64Field()
+    buckets = PtrField()
+
+
+class AtomicEntry(PStruct):
+    key = U64Field()
+    next = PtrField()
+    value = PtrField()
+
+
+class AtomicHashMap(PersistentMap):
+    """Low-level (non-transactional) chained hash map."""
+
+    NAME = "hashmap_atomic"
+
+    KNOWN_FAULTS = frozenset(
+        {
+            "no-entry-persist",
+            "no-publish-fence",
+            "count-no-flush",
+            "double-flush-head",
+            "double-flush-entry",
+        }
+    )
+
+    def __init__(
+        self,
+        pool: PMPool,
+        root_slot: int = 0,
+        value_size: int = 64,
+        faults=(),
+        nbuckets: int = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(pool, root_slot, value_size, faults)
+        addr = pool.read_root(root_slot)
+        if addr:
+            self.table = AtomicTable(pool, addr)
+        else:
+            self.table = self._create(nbuckets)
+
+    def _create(self, nbuckets: int) -> AtomicTable:
+        runtime = self.pool.runtime
+        table = AtomicTable.alloc(self.pool)
+        table.nbuckets = nbuckets
+        table.count = 0
+        table.buckets = self.pool.alloc(nbuckets * 8)
+        runtime.persist(table.addr, AtomicTable.SIZE)
+        self.pool.write_root(self.root_slot, table.addr)
+        return table
+
+    # ------------------------------------------------------------------
+    def _bucket_addr(self, key: int) -> int:
+        return self.table.buckets + (hash_u64(key) % self.table.nbuckets) * 8
+
+    def _find(self, key: int) -> Optional[AtomicEntry]:
+        runtime = self.pool.runtime
+        cursor = runtime.load_u64(self._bucket_addr(key))
+        while cursor:
+            entry = AtomicEntry(self.pool, cursor)
+            if entry.key == key:
+                return entry
+            cursor = entry.next
+        return None
+
+    # ------------------------------------------------------------------
+    def insert(self, key: int, payload: Optional[bytes] = None) -> None:
+        payload = payload if payload is not None else self.default_payload(key)
+        runtime = self.pool.runtime
+        session = runtime.session
+        existing = self._find(key)
+        if existing is not None:
+            # Build the new buffer, persist it, then swing the pointer.
+            buf = ValueBuffer.create(self.pool, payload)
+            runtime.persist(*buf.payload_range())
+            value_addr, _ = existing.field_range("value")
+            runtime.store_u64(value_addr, buf.addr)
+            runtime.persist(value_addr, 8)
+            if session is not None:
+                session.is_ordered_before(*buf.payload_range(), value_addr, 8)
+            return
+        # 1. Entry + value, persisted before publication.
+        buf = ValueBuffer.create(self.pool, payload)
+        entry = AtomicEntry.alloc(self.pool)
+        head_addr = self._bucket_addr(key)
+        entry.key = key
+        entry.value = buf.addr
+        entry.next = runtime.load_u64(head_addr)
+        if not self._fault("no-entry-persist"):
+            runtime.clwb(*buf.payload_range())
+            runtime.clwb(entry.addr, AtomicEntry.SIZE)
+            if self._fault("double-flush-entry"):
+                runtime.clwb(entry.addr, AtomicEntry.SIZE)
+            runtime.sfence()
+        # 2. Publication.
+        runtime.store_u64(head_addr, entry.addr)
+        runtime.clwb(head_addr, 8)
+        if self._fault("double-flush-head"):
+            runtime.clwb(head_addr, 8)
+        if not self._fault("no-publish-fence"):
+            runtime.sfence()
+        # 3. Count.
+        count_addr, _ = self.table.field_range("count")
+        self.table.count = self.table.count + 1
+        if not self._fault("count-no-flush"):
+            runtime.clwb(count_addr, 8)
+        runtime.sfence()
+        # Self-annotation: the crash-consistency requirements of the
+        # publication protocol, stated with the two low-level checkers.
+        if session is not None:
+            session.is_ordered_before(
+                entry.addr, AtomicEntry.SIZE, head_addr, 8
+            )
+            session.is_ordered_before(head_addr, 8, count_addr, 8)
+            session.is_persist(head_addr, 8)
+            session.is_persist(count_addr, 8)
+
+    def lookup(self, key: int) -> Optional[bytes]:
+        entry = self._find(key)
+        if entry is None:
+            return None
+        return ValueBuffer(self.pool, entry.value).read()
+
+    def remove(self, key: int) -> bool:
+        runtime = self.pool.runtime
+        head_addr = self._bucket_addr(key)
+        prev_slot = head_addr
+        cursor = runtime.load_u64(head_addr)
+        while cursor:
+            entry = AtomicEntry(self.pool, cursor)
+            if entry.key == key:
+                runtime.store_u64(prev_slot, entry.next)
+                runtime.persist(prev_slot, 8)
+                count_addr, _ = self.table.field_range("count")
+                self.table.count = self.table.count - 1
+                runtime.persist(count_addr, 8)
+                return True
+            prev_slot, _ = entry.field_range("next")
+            cursor = entry.next
+        return False
+
+    def items(self) -> Iterator[Tuple[int, bytes]]:
+        runtime = self.pool.runtime
+        for index in range(self.table.nbuckets):
+            cursor = runtime.load_u64(self.table.buckets + index * 8)
+            while cursor:
+                entry = AtomicEntry(self.pool, cursor)
+                yield entry.key, ValueBuffer(self.pool, entry.value).read()
+                cursor = entry.next
+
+
+def validate_image(image: PMImage, root_addr_value: int) -> bool:
+    """Crash-image consistency for the atomic map.
+
+    Published entries must be complete (non-null value pointer), chains
+    acyclic, and the persisted count may lag the reachable count by at
+    most the one in-flight insert (count persists after publication).
+    """
+    table_addr = root_addr_value
+    if table_addr == 0:
+        return True
+    nbuckets = image.read_u64(table_addr)
+    count = image.read_u64(table_addr + 8)
+    buckets = image.read_u64(table_addr + 16)
+    if nbuckets == 0 or nbuckets > 1 << 20 or buckets == 0:
+        return False
+    seen = set()
+    reachable = 0
+    for index in range(nbuckets):
+        cursor = image.read_u64(buckets + index * 8)
+        while cursor:
+            if cursor in seen or cursor + 24 > len(image):
+                return False
+            seen.add(cursor)
+            if image.read_u64(cursor + 16) == 0:
+                return False  # published but incomplete entry
+            reachable += 1
+            cursor = image.read_u64(cursor + 8)
+    return count <= reachable <= count + 1

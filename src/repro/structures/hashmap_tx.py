@@ -1,0 +1,208 @@
+"""A chained hash map where every operation is one PMDK transaction.
+
+This is the "HashMap (w/ TX)" microbenchmark of paper Figure 10.  The
+map is a fixed-size bucket array of entry-chain heads; inserts allocate
+an entry and a value buffer, link the entry at the bucket head, and bump
+the count — all inside a failure-atomic transaction with precise
+``TX_ADD`` snapshots.
+
+Fault sites (paper Table 5 bug classes):
+
+``no-log-head``
+    The bucket head pointer is modified without a snapshot — after a
+    crash the chain cannot be rolled back (missing backup).
+``no-log-count``
+    The count field is modified without a snapshot — the Figure 1b bug
+    (the programmer "forgets to backup the length").
+``dup-log-head``
+    The head pointer is snapshotted twice (duplicate log, performance).
+``skip-commit``
+    The transaction is never committed (incomplete transaction).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.pmdk.objects import PStruct, PtrField, U64Field
+from repro.pmdk.pool import PMPool
+from repro.pmem.memory import PMImage
+from repro.structures.base import PersistentMap, ValueBuffer
+
+DEFAULT_BUCKETS = 64
+
+
+class HashTable(PStruct):
+    """Table header: bucket count, entry count, bucket-array address."""
+
+    nbuckets = U64Field()
+    count = U64Field()
+    buckets = PtrField()
+
+
+class HashEntry(PStruct):
+    key = U64Field()
+    next = PtrField()
+    value = PtrField()
+
+
+class TxHashMap(PersistentMap):
+    """Transactional chained hash map."""
+
+    NAME = "hashmap_tx"
+
+    KNOWN_FAULTS = frozenset(
+        {
+            "no-log-head",
+            "no-log-count",
+            "no-log-value",
+            "no-log-prev",
+            "dup-log-head",
+            "skip-commit",
+        }
+    )
+
+    def __init__(
+        self,
+        pool: PMPool,
+        root_slot: int = 0,
+        value_size: int = 64,
+        faults=(),
+        nbuckets: int = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(pool, root_slot, value_size, faults)
+        addr = pool.read_root(root_slot)
+        if addr:
+            self.table = HashTable(pool, addr)
+        else:
+            self.table = self._create(nbuckets)
+
+    def _create(self, nbuckets: int) -> HashTable:
+        with self.pool.tx.transaction():
+            table = HashTable.alloc(self.pool)
+            table.nbuckets = nbuckets
+            table.count = 0
+            table.buckets = self.pool.alloc(nbuckets * 8)
+        self.pool.write_root(self.root_slot, table.addr)
+        return table
+
+    # ------------------------------------------------------------------
+    def _bucket_addr(self, key: int) -> int:
+        index = hash_u64(key) % self.table.nbuckets
+        return self.table.buckets + index * 8
+
+    def _find(self, key: int) -> Optional[HashEntry]:
+        runtime = self.pool.runtime
+        cursor = runtime.load_u64(self._bucket_addr(key))
+        while cursor:
+            entry = HashEntry(self.pool, cursor)
+            if entry.key == key:
+                return entry
+            cursor = entry.next
+        return None
+
+    # ------------------------------------------------------------------
+    def insert(self, key: int, payload: Optional[bytes] = None) -> None:
+        payload = payload if payload is not None else self.default_payload(key)
+        tx = self.pool.tx
+        tx.begin()
+        try:
+            existing = self._find(key)
+            if existing is not None:
+                buf = ValueBuffer.create(self.pool, payload)
+                if not self._fault("no-log-value"):
+                    tx.add_field(existing, "value")
+                existing.value = buf.addr
+            else:
+                buf = ValueBuffer.create(self.pool, payload)
+                entry = HashEntry.alloc(self.pool)
+                head_addr = self._bucket_addr(key)
+                entry.key = key
+                entry.value = buf.addr
+                entry.next = self.pool.runtime.load_u64(head_addr)
+                if not self._fault("no-log-head"):
+                    tx.add(head_addr, 8)
+                if self._fault("dup-log-head"):
+                    tx.add(head_addr, 8)
+                self.pool.runtime.store_u64(head_addr, entry.addr)
+                if not self._fault("no-log-count"):
+                    tx.add_field(self.table, "count")
+                self.table.count = self.table.count + 1
+        except BaseException:
+            tx.abort()
+            raise
+        if not self._fault("skip-commit"):
+            tx.commit()
+
+    def lookup(self, key: int) -> Optional[bytes]:
+        entry = self._find(key)
+        if entry is None:
+            return None
+        return ValueBuffer(self.pool, entry.value).read()
+
+    def remove(self, key: int) -> bool:
+        runtime = self.pool.runtime
+        with self.pool.tx.transaction() as tx:
+            head_addr = self._bucket_addr(key)
+            prev_slot = head_addr
+            cursor = runtime.load_u64(head_addr)
+            while cursor:
+                entry = HashEntry(self.pool, cursor)
+                if entry.key == key:
+                    if not self._fault("no-log-prev"):
+                        tx.add(prev_slot, 8)
+                    runtime.store_u64(prev_slot, entry.next)
+                    tx.add_field(self.table, "count")
+                    self.table.count = self.table.count - 1
+                    return True
+                prev_slot, _ = entry.field_range("next")
+                cursor = entry.next
+        return False
+
+    def items(self) -> Iterator[Tuple[int, bytes]]:
+        runtime = self.pool.runtime
+        for index in range(self.table.nbuckets):
+            cursor = runtime.load_u64(self.table.buckets + index * 8)
+            while cursor:
+                entry = HashEntry(self.pool, cursor)
+                yield entry.key, ValueBuffer(self.pool, entry.value).read()
+                cursor = entry.next
+
+
+def hash_u64(key: int) -> int:
+    """A 64-bit mix hash (splitmix64 finalizer)."""
+    key = (key + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    key = ((key ^ (key >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    key = ((key ^ (key >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return key ^ (key >> 31)
+
+
+def validate_image(image: PMImage, root_addr_value: int) -> bool:
+    """Structural consistency of a crash image (after recovery).
+
+    Checks that every chain is acyclic, entries are complete (non-null
+    value pointers, plausible lengths) and the stored count matches the
+    number of reachable entries.
+    """
+    table_addr = root_addr_value
+    if table_addr == 0:
+        return True  # never created: trivially consistent
+    nbuckets = image.read_u64(table_addr)
+    count = image.read_u64(table_addr + 8)
+    buckets = image.read_u64(table_addr + 16)
+    if nbuckets == 0 or nbuckets > 1 << 20 or buckets == 0:
+        return False
+    seen = set()
+    reachable = 0
+    for index in range(nbuckets):
+        cursor = image.read_u64(buckets + index * 8)
+        while cursor:
+            if cursor in seen or cursor + 24 > len(image):
+                return False
+            seen.add(cursor)
+            value = image.read_u64(cursor + 16)
+            if value == 0:
+                return False  # published entry without a value buffer
+            reachable += 1
+            cursor = image.read_u64(cursor + 8)
+    return reachable == count

@@ -1,0 +1,395 @@
+"""A red-black tree: the "RB-Tree" microbenchmark.
+
+Modelled on PMDK's ``rbtree_map`` example: a classic CLRS red-black tree
+with parent pointers and a persistent NIL sentinel.  Every field write
+inside the insert fix-up is preceded by a precise ``TX_ADD`` — except at
+the historical bug site:
+
+``rotate-no-log``
+    The rotation re-parents the pivot **without logging the field
+    first** — the Table 6 known bug (rbtree_map.c:379, "Modify a tree
+    node without logging it", fixed in pmem/pmdk@04ec84e2).
+``no-log-count``
+    The element count is modified without a snapshot (synthetic).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.pmdk.objects import PStruct, PtrField, U64Field
+from repro.pmdk.pool import PMPool
+from repro.pmem.memory import PMImage
+from repro.structures.base import PersistentMap, ValueBuffer
+
+RED = 1
+BLACK = 0
+
+
+class RBRoot(PStruct):
+    root = PtrField()
+    nil = PtrField()
+    count = U64Field()
+
+
+class RBNode(PStruct):
+    key = U64Field()
+    value = PtrField()
+    color = U64Field()
+    left = PtrField()
+    right = PtrField()
+    parent = PtrField()
+
+
+class RBTree(PersistentMap):
+    """Transactional red-black tree (insert/lookup/remove, as in PMDK's
+    rbtree_map example)."""
+
+    NAME = "rbtree"
+
+    KNOWN_FAULTS = frozenset(
+        {"rotate-no-log", "no-log-count", "no-log-value", "dup-log-set"}
+    )
+
+    def __init__(self, pool: PMPool, root_slot: int = 0, value_size: int = 64,
+                 faults=()) -> None:
+        super().__init__(pool, root_slot, value_size, faults)
+        addr = pool.read_root(root_slot)
+        if addr:
+            self.meta = RBRoot(pool, addr)
+        else:
+            with pool.tx.transaction():
+                self.meta = RBRoot.alloc(pool)
+                nil = RBNode.alloc(pool)
+                nil.color = BLACK
+                self.meta.nil = nil.addr
+                self.meta.root = nil.addr
+            pool.write_root(root_slot, self.meta.addr)
+        self.nil = self.meta.nil
+
+    # ------------------------------------------------------------------
+    # Logged field writes
+    # ------------------------------------------------------------------
+    def _set(self, node: RBNode, field: str, value: int, log: bool = True) -> None:
+        if log:
+            self.pool.tx.add_field_once(node, field)
+            if self._fault("dup-log-set"):
+                self.pool.tx.add_field(node, field)  # redundant snapshot
+        setattr(node, field, value)
+
+    def _set_root(self, addr: int) -> None:
+        self.pool.tx.add_field_once(self.meta, "root")
+        self.meta.root = addr
+
+    # ------------------------------------------------------------------
+    def _find(self, key: int) -> Optional[RBNode]:
+        cursor = self.meta.root
+        while cursor != self.nil:
+            node = RBNode(self.pool, cursor)
+            if node.key == key:
+                return node
+            cursor = node.left if key < node.key else node.right
+        return None
+
+    def insert(self, key: int, payload: Optional[bytes] = None) -> None:
+        payload = payload if payload is not None else self.default_payload(key)
+        tx = self.pool.tx
+        with tx.transaction():
+            buf = ValueBuffer.create(self.pool, payload)
+            existing = self._find(key)
+            if existing is not None:
+                if not self._fault("no-log-value"):
+                    tx.add_field(existing, "value")
+                existing.value = buf.addr
+                return
+            node = RBNode.alloc(self.pool)
+            node.key = key
+            node.value = buf.addr
+            node.color = RED
+            node.left = self.nil
+            node.right = self.nil
+            # BST insertion.
+            parent_addr = self.nil
+            cursor = self.meta.root
+            while cursor != self.nil:
+                parent_addr = cursor
+                current = RBNode(self.pool, cursor)
+                cursor = current.left if key < current.key else current.right
+            node.parent = parent_addr
+            if parent_addr == self.nil:
+                self._set_root(node.addr)
+            else:
+                parent = RBNode(self.pool, parent_addr)
+                side = "left" if key < parent.key else "right"
+                self._set(parent, side, node.addr)
+            self._fixup(node)
+            self._bump_count(+1)
+
+    def _fixup(self, node: RBNode) -> None:
+        while True:
+            parent_addr = node.parent
+            if parent_addr == self.nil:
+                break
+            parent = RBNode(self.pool, parent_addr)
+            if parent.color != RED:
+                break
+            grandparent = RBNode(self.pool, parent.parent)
+            if parent.addr == grandparent.left:
+                uncle = RBNode(self.pool, grandparent.right)
+                if uncle.color == RED:
+                    self._set(parent, "color", BLACK)
+                    self._set(uncle, "color", BLACK)
+                    self._set(grandparent, "color", RED)
+                    node = grandparent
+                    continue
+                if node.addr == parent.right:
+                    node = parent
+                    self._rotate_left(node)
+                    parent = RBNode(self.pool, node.parent)
+                    grandparent = RBNode(self.pool, parent.parent)
+                self._set(parent, "color", BLACK)
+                self._set(grandparent, "color", RED)
+                self._rotate_right(grandparent)
+            else:
+                uncle = RBNode(self.pool, grandparent.left)
+                if uncle.color == RED:
+                    self._set(parent, "color", BLACK)
+                    self._set(uncle, "color", BLACK)
+                    self._set(grandparent, "color", RED)
+                    node = grandparent
+                    continue
+                if node.addr == parent.left:
+                    node = parent
+                    self._rotate_right(node)
+                    parent = RBNode(self.pool, node.parent)
+                    grandparent = RBNode(self.pool, parent.parent)
+                self._set(parent, "color", BLACK)
+                self._set(grandparent, "color", RED)
+                self._rotate_left(grandparent)
+        root = RBNode(self.pool, self.meta.root)
+        if root.color != BLACK:
+            self._set(root, "color", BLACK)
+
+    def _rotate_left(self, x: RBNode) -> None:
+        y = RBNode(self.pool, x.right)
+        self._set(x, "right", y.left)
+        if y.left != self.nil:
+            self._set(RBNode(self.pool, y.left), "parent", x.addr)
+        # The historical bug: this re-parenting write is the one the
+        # original code issued without a snapshot.
+        self._set(y, "parent", x.parent, log=not self._fault("rotate-no-log"))
+        if x.parent == self.nil:
+            self._set_root(y.addr)
+        else:
+            parent = RBNode(self.pool, x.parent)
+            side = "left" if x.addr == parent.left else "right"
+            self._set(parent, side, y.addr)
+        self._set(y, "left", x.addr)
+        self._set(x, "parent", y.addr)
+
+    def _rotate_right(self, x: RBNode) -> None:
+        y = RBNode(self.pool, x.left)
+        self._set(x, "left", y.right)
+        if y.right != self.nil:
+            self._set(RBNode(self.pool, y.right), "parent", x.addr)
+        self._set(y, "parent", x.parent, log=not self._fault("rotate-no-log"))
+        if x.parent == self.nil:
+            self._set_root(y.addr)
+        else:
+            parent = RBNode(self.pool, x.parent)
+            side = "left" if x.addr == parent.left else "right"
+            self._set(parent, side, y.addr)
+        self._set(y, "right", x.addr)
+        self._set(x, "parent", y.addr)
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: int) -> Optional[bytes]:
+        node = self._find(key)
+        if node is None:
+            return None
+        return ValueBuffer(self.pool, node.value).read()
+
+    # ------------------------------------------------------------------
+    # Deletion (CLRS with the persistent NIL sentinel)
+    # ------------------------------------------------------------------
+    def remove(self, key: int) -> bool:
+        tx = self.pool.tx
+        with tx.transaction():
+            z = self._find(key)
+            if z is None:
+                return False
+            self._delete_node(z)
+            self.pool.free(z.addr)
+            self._bump_count(-1)
+            return True
+
+    def _node(self, addr: int) -> RBNode:
+        return RBNode(self.pool, addr)
+
+    def _transplant(self, u: RBNode, v_addr: int) -> None:
+        """Replace the subtree rooted at ``u`` with the one at ``v``."""
+        if u.parent == self.nil:
+            self._set_root(v_addr)
+        else:
+            parent = self._node(u.parent)
+            side = "left" if u.addr == parent.left else "right"
+            self._set(parent, side, v_addr)
+        # NIL's parent is used as fix-up scratch, exactly as in rbtree_map.
+        self._set(self._node(v_addr), "parent", u.parent)
+
+    def _minimum(self, node: RBNode) -> RBNode:
+        while node.left != self.nil:
+            node = self._node(node.left)
+        return node
+
+    def _delete_node(self, z: RBNode) -> None:
+        y = z
+        y_was_black = y.color == BLACK
+        if z.left == self.nil:
+            x_addr = z.right
+            self._transplant(z, z.right)
+        elif z.right == self.nil:
+            x_addr = z.left
+            self._transplant(z, z.left)
+        else:
+            y = self._minimum(self._node(z.right))
+            y_was_black = y.color == BLACK
+            x_addr = y.right
+            if y.parent == z.addr:
+                self._set(self._node(x_addr), "parent", y.addr)
+            else:
+                self._transplant(y, y.right)
+                self._set(y, "right", z.right)
+                self._set(self._node(y.right), "parent", y.addr)
+            self._transplant(z, y.addr)
+            self._set(y, "left", z.left)
+            self._set(self._node(y.left), "parent", y.addr)
+            self._set(y, "color", z.color)
+        if y_was_black:
+            self._delete_fixup(self._node(x_addr))
+
+    def _delete_fixup(self, x: RBNode) -> None:
+        while x.addr != self.meta.root and x.color == BLACK:
+            parent = self._node(x.parent)
+            if x.addr == parent.left:
+                w = self._node(parent.right)
+                if w.color == RED:
+                    self._set(w, "color", BLACK)
+                    self._set(parent, "color", RED)
+                    self._rotate_left(parent)
+                    parent = self._node(x.parent)
+                    w = self._node(parent.right)
+                if (self._node(w.left).color == BLACK
+                        and self._node(w.right).color == BLACK):
+                    self._set(w, "color", RED)
+                    x = parent
+                    continue
+                if self._node(w.right).color == BLACK:
+                    self._set(self._node(w.left), "color", BLACK)
+                    self._set(w, "color", RED)
+                    self._rotate_right(w)
+                    parent = self._node(x.parent)
+                    w = self._node(parent.right)
+                self._set(w, "color", parent.color)
+                self._set(parent, "color", BLACK)
+                self._set(self._node(w.right), "color", BLACK)
+                self._rotate_left(parent)
+                x = self._node(self.meta.root)
+            else:
+                w = self._node(parent.left)
+                if w.color == RED:
+                    self._set(w, "color", BLACK)
+                    self._set(parent, "color", RED)
+                    self._rotate_right(parent)
+                    parent = self._node(x.parent)
+                    w = self._node(parent.left)
+                if (self._node(w.right).color == BLACK
+                        and self._node(w.left).color == BLACK):
+                    self._set(w, "color", RED)
+                    x = parent
+                    continue
+                if self._node(w.left).color == BLACK:
+                    self._set(self._node(w.right), "color", BLACK)
+                    self._set(w, "color", RED)
+                    self._rotate_left(w)
+                    parent = self._node(x.parent)
+                    w = self._node(parent.left)
+                self._set(w, "color", parent.color)
+                self._set(parent, "color", BLACK)
+                self._set(self._node(w.left), "color", BLACK)
+                self._rotate_right(parent)
+                x = self._node(self.meta.root)
+        if x.color != BLACK:
+            self._set(x, "color", BLACK)
+
+    def items(self) -> Iterator[Tuple[int, bytes]]:
+        def walk(addr: int) -> Iterator[Tuple[int, bytes]]:
+            if addr == self.nil:
+                return
+            node = RBNode(self.pool, addr)
+            yield from walk(node.left)
+            yield node.key, ValueBuffer(self.pool, node.value).read()
+            yield from walk(node.right)
+
+        yield from walk(self.meta.root)
+
+    def _bump_count(self, delta: int) -> None:
+        if not self._fault("no-log-count"):
+            self.pool.tx.add_field(self.meta, "count")
+        self.meta.count = self.meta.count + delta
+
+
+def validate_image(image: PMImage, root_addr_value: int) -> bool:
+    """Crash-image consistency: BST order, no red-red edge, uniform
+    black height, consistent parent pointers, count matching."""
+    if root_addr_value == 0:
+        return True
+    root = image.read_u64(root_addr_value)
+    nil = image.read_u64(root_addr_value + 8)
+    count = image.read_u64(root_addr_value + 16)
+    if nil == 0:
+        return False
+    if root == nil:
+        return count == 0
+
+    total = 0
+    seen = set()
+
+    def node_fields(addr: int):
+        return (
+            image.read_u64(addr),  # key
+            image.read_u64(addr + 8),  # value
+            image.read_u64(addr + 16),  # color
+            image.read_u64(addr + 24),  # left
+            image.read_u64(addr + 32),  # right
+            image.read_u64(addr + 40),  # parent
+        )
+
+    def walk(addr: int, lo: int, hi: int, parent_addr: int) -> Optional[int]:
+        """Returns the subtree's black height, or None if inconsistent."""
+        nonlocal total
+        if addr == nil:
+            return 1
+        if addr in seen or addr + RBNode.SIZE > len(image):
+            return None
+        seen.add(addr)
+        key, value, color, left, right, parent = node_fields(addr)
+        if not lo <= key < hi or value == 0 or parent != parent_addr:
+            return None
+        if color == RED:
+            for child in (left, right):
+                if child != nil and image.read_u64(child + 16) == RED:
+                    return None
+        total += 1
+        left_height = walk(left, lo, key, addr)
+        right_height = walk(right, key + 1, hi, addr)
+        if left_height is None or right_height is None:
+            return None
+        if left_height != right_height:
+            return None
+        return left_height + (1 if color == BLACK else 0)
+
+    if image.read_u64(root + 16) != BLACK:
+        return False
+    height = walk(root, 0, 1 << 64, nil)
+    return height is not None and total == count

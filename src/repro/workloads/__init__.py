@@ -1,0 +1,46 @@
+"""Real workloads (paper Table 4) and their load-generating clients.
+
+The paper's Figure 11/12 workloads, rebuilt on this repository's
+libraries:
+
+=================  ========================  ==========================
+Workload           Persistence library       Clients
+=================  ========================  ==========================
+``memcached``      Mnemosyne (raw word log)  Memslap (5% set),
+                                             YCSB (50% update, zipfian)
+``redis``          PMDK transactions         redis-cli LRU test
+PMFS (repro.pmfs)  low-level primitives      Filebench fileserver mix,
+                                             OLTP-complex row updates
+=================  ========================  ==========================
+
+Op counts are scaled down from the paper's (100k ops/client, 1M keys)
+by a harness parameter — the Python substrate is ~100× slower per op
+than the paper's C binaries, and relative slowdowns (the published
+quantity) are scale-invariant here, which EXPERIMENTS.md verifies.
+"""
+
+from repro.workloads.clients import (
+    ZipfSampler,
+    filebench_ops,
+    memslap_ops,
+    oltp_ops,
+    redis_lru_ops,
+    ycsb_ops,
+)
+from repro.workloads.memcached import MemcachedServer
+from repro.workloads.redis import RedisServer
+from repro.workloads.runner import drive_fs, drive_kv, run_client_threads
+
+__all__ = [
+    "MemcachedServer",
+    "RedisServer",
+    "ZipfSampler",
+    "drive_fs",
+    "drive_kv",
+    "filebench_ops",
+    "memslap_ops",
+    "oltp_ops",
+    "redis_lru_ops",
+    "run_client_threads",
+    "ycsb_ops",
+]

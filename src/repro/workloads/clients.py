@@ -1,0 +1,157 @@
+"""Load generators modelled on the paper's clients (Table 4).
+
+Each generator yields plain op tuples so the same stream can drive an
+instrumented run, an uninstrumented baseline run, and a pmemcheck run —
+the three legs of every slowdown measurement.
+
+KV ops: ``("set", key, value)`` / ``("get", key, None)`` /
+``("delete", key, None)``.
+FS ops: ``("create", name)``, ``("write", name, offset, data)``,
+``("read", name, offset, length)``, ``("fsync", name)``,
+``("delete", name)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Tuple
+
+KVOp = Tuple[str, bytes, Optional[bytes]]
+
+
+class ZipfSampler:
+    """Zipfian key sampler (YCSB's request distribution).
+
+    Precomputes the CDF for ``n`` ranks with exponent ``s`` and samples
+    by bisection — O(log n) per draw, deterministic under a seeded RNG.
+    """
+
+    def __init__(self, n: int, s: float = 0.99) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        weights = [1.0 / (rank**s) for rank in range(1, n + 1)]
+        total = sum(weights)
+        self.cdf: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self.cdf.append(acc)
+        self.cdf[-1] = 1.0
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw a rank in ``[0, n)`` (0 is the hottest key)."""
+        from bisect import bisect_left
+
+        return bisect_left(self.cdf, rng.random())
+
+
+def _value(rng: random.Random, size: int) -> bytes:
+    return bytes(rng.getrandbits(8) for _ in range(min(size, 16))).ljust(
+        size, b"\xab"
+    )
+
+
+def memslap_ops(
+    n_ops: int,
+    key_space: int = 1000,
+    set_ratio: float = 0.05,
+    value_size: int = 64,
+    seed: int = 0,
+) -> Iterator[KVOp]:
+    """Memslap's default mix: mostly gets, ``set_ratio`` sets (paper:
+    100k ops/client, 5% set), uniform keys."""
+    rng = random.Random(seed)
+    for _ in range(n_ops):
+        key = f"memslap-{rng.randrange(key_space)}".encode()
+        if rng.random() < set_ratio:
+            yield ("set", key, _value(rng, value_size))
+        else:
+            yield ("get", key, None)
+
+
+def ycsb_ops(
+    n_ops: int,
+    key_space: int = 1000,
+    update_ratio: float = 0.5,
+    value_size: int = 100,
+    seed: int = 0,
+    zipf_s: float = 0.99,
+) -> Iterator[KVOp]:
+    """YCSB workload A: 50% update / 50% read over a zipfian key
+    distribution (paper: 100k ops/client, 50% update)."""
+    rng = random.Random(seed)
+    zipf = ZipfSampler(key_space, zipf_s)
+    for _ in range(n_ops):
+        key = f"user{zipf.sample(rng)}".encode()
+        if rng.random() < update_ratio:
+            yield ("set", key, _value(rng, value_size))
+        else:
+            yield ("get", key, None)
+
+
+def redis_lru_ops(
+    n_keys: int,
+    value_size: int = 64,
+    get_ratio: float = 0.3,
+    seed: int = 0,
+) -> Iterator[KVOp]:
+    """redis-cli's LRU test shape: a stream of fresh inserts (forcing
+    eviction once past the cap) interleaved with gets of recent keys."""
+    rng = random.Random(seed)
+    written = 0
+    while written < n_keys:
+        if written and rng.random() < get_ratio:
+            recent = rng.randrange(max(1, written // 2), written + 1)
+            yield ("get", f"lru:{recent - 1}".encode(), None)
+        else:
+            yield ("set", f"lru:{written}".encode(), _value(rng, value_size))
+            written += 1
+
+
+def filebench_ops(
+    n_loops: int,
+    n_files: int = 16,
+    io_size: int = 256,
+    seed: int = 0,
+) -> Iterator[tuple]:
+    """A Filebench fileserver-style mix: create/write/read/append/
+    delete/stat over a working set of files."""
+    rng = random.Random(seed)
+    live: List[bytes] = []
+    serial = 0
+    for _ in range(n_loops):
+        roll = rng.random()
+        if not live or (roll < 0.25 and len(live) < n_files):
+            name = f"fb{serial}".encode()
+            serial += 1
+            live.append(name)
+            yield ("create", name)
+            yield ("write", name, 0, bytes([serial % 256]) * io_size)
+        elif roll < 0.55:
+            name = rng.choice(live)
+            yield ("write", name, 0, bytes([serial % 256]) * io_size)
+            yield ("fsync", name)
+        elif roll < 0.85:
+            yield ("read", rng.choice(live), 0, io_size)
+        else:
+            name = live.pop(rng.randrange(len(live)))
+            yield ("delete", name)
+
+
+def oltp_ops(
+    n_txns: int,
+    table_rows: int = 32,
+    row_size: int = 64,
+    seed: int = 0,
+) -> Iterator[tuple]:
+    """An OLTP-complex-style load (paper: MySQL on PMFS): random row
+    read-modify-writes against a table file, fsynced per transaction."""
+    rng = random.Random(seed)
+    yield ("create", b"oltp.tbl")
+    yield ("write", b"oltp.tbl", 0, b"\0" * min(table_rows * row_size, 2048))
+    for txn in range(n_txns):
+        row = rng.randrange(table_rows)
+        offset = (row * row_size) % 2048
+        yield ("read", b"oltp.tbl", offset, row_size)
+        yield ("write", b"oltp.tbl", offset, bytes([txn % 256]) * row_size)
+        yield ("fsync", b"oltp.tbl")

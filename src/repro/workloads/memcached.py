@@ -1,0 +1,88 @@
+"""A Memcached-like key-value server on Mnemosyne (paper Table 4).
+
+The server fronts a :class:`~repro.mnemosyne.pmap.MnemosyneMap` with the
+Memcached command set relevant to the evaluation (set/get/delete) and a
+global lock around persistent mutations — matching the paper's
+observation that multithreaded PM transactions are independent because
+"one thread writes back all its persistent data before releasing the
+lock" (Section 7.4).
+
+Server threads map onto the paper's "Memcached threads" axis in
+Figure 12: each thread consumes one client's op stream, tracking its own
+per-thread trace.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Optional
+
+from repro.core.api import PMTestSession
+from repro.mnemosyne.pmap import MnemosyneMap
+from repro.pmdk.pool import PMPool
+from repro.workloads.clients import KVOp
+
+
+class MemcachedServer:
+    """Minimal Memcached front-end over the Mnemosyne persistent map."""
+
+    def __init__(self, pool: PMPool, root_slot: int = 0,
+                 nbuckets: int = 256) -> None:
+        self.map = MnemosyneMap(pool, root_slot=root_slot, nbuckets=nbuckets)
+        self.lock = threading.Lock()
+        self.stats = {"set": 0, "get": 0, "delete": 0, "hit": 0, "miss": 0}
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+    def set(self, key: bytes, value: bytes) -> None:
+        with self.lock:
+            self.map.set(key, value)
+            self.stats["set"] += 1
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        with self.lock:
+            value = self.map.get(key)
+            self.stats["get"] += 1
+            self.stats["hit" if value is not None else "miss"] += 1
+            return value
+
+    def delete(self, key: bytes) -> bool:
+        with self.lock:
+            self.stats["delete"] += 1
+            return self.map.delete(key)
+
+    # ------------------------------------------------------------------
+    def process(self, op: KVOp) -> Optional[bytes]:
+        """Execute one client op tuple."""
+        kind, key, value = op
+        if kind == "set":
+            self.set(key, value or b"")
+            return None
+        if kind == "get":
+            return self.get(key)
+        if kind == "delete":
+            self.delete(key)
+            return None
+        raise ValueError(f"unknown memcached op {kind!r}")
+
+    def serve(
+        self,
+        ops: Iterable[KVOp],
+        session: Optional[PMTestSession] = None,
+        trace_every: int = 1,
+    ) -> int:
+        """Process a client's op stream on the calling thread.
+
+        ``trace_every`` batches that many ops per PMTest trace — the
+        SEND_TRACE granularity knob of the trace-batching ablation.
+        """
+        processed = 0
+        for op in ops:
+            self.process(op)
+            processed += 1
+            if session is not None and processed % trace_every == 0:
+                session.send_trace()
+        if session is not None:
+            session.send_trace()
+        return processed

@@ -1,0 +1,212 @@
+"""A Redis-like store on PMDK transactions with LRU eviction.
+
+The paper's Redis workload persists its keyspace through PMDK; the
+redis-cli client runs an LRU test over 1M keys.  This server stores
+string keys/values in a transactional chained hash table (every command
+is one failure-atomic transaction, checked with the high-level
+transaction checkers when a session is attached) and enforces a
+``maxkeys`` cap with LRU eviction — the eviction transaction is where
+the LRU test spends its time once the cap is hit.
+
+The LRU bookkeeping itself is volatile (as in Redis, where the LRU
+clock is approximate and rebuilt on restart); only the keyspace is
+persistent.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Iterator, Optional, Tuple
+
+from repro.core.api import PMTestSession
+from repro.mnemosyne.pmap import fnv1a_64
+from repro.pmdk.objects import PStruct, PtrField, U64Field
+from repro.pmdk.pool import PMPool
+from repro.workloads.clients import KVOp
+
+DEFAULT_BUCKETS = 256
+
+
+class RedisHeader(PStruct):
+    nbuckets = U64Field()
+    count = U64Field()
+    buckets = PtrField()
+
+
+class RedisEntry(PStruct):
+    key_hash = U64Field()
+    next = PtrField()
+    key = PtrField()  # length-prefixed byte buffer
+    value = PtrField()  # length-prefixed byte buffer
+
+
+class RedisServer:
+    """Persistent string KV store with transactional commands."""
+
+    def __init__(
+        self,
+        pool: PMPool,
+        root_slot: int = 0,
+        nbuckets: int = DEFAULT_BUCKETS,
+        maxkeys: Optional[int] = None,
+    ) -> None:
+        self.pool = pool
+        self.runtime = pool.runtime
+        self.maxkeys = maxkeys
+        self.lru: "OrderedDict[bytes, None]" = OrderedDict()
+        self.evictions = 0
+        addr = pool.read_root(root_slot)
+        if addr:
+            self.header = RedisHeader(pool, addr)
+            for key, _ in self.items():  # rebuild the volatile LRU clock
+                self.lru[key] = None
+        else:
+            with pool.tx.transaction():
+                self.header = RedisHeader.alloc(pool)
+                self.header.nbuckets = nbuckets
+                self.header.buckets = pool.alloc(nbuckets * 8)
+            pool.write_root(root_slot, self.header.addr)
+
+    # ------------------------------------------------------------------
+    # Buffers and chains
+    # ------------------------------------------------------------------
+    def _store_buffer(self, data: bytes) -> int:
+        addr = self.pool.alloc(8 + max(len(data), 1))
+        self.runtime.store_u64(addr, len(data))
+        if data:
+            self.runtime.store(addr + 8, data)
+        return addr
+
+    def _load_buffer(self, addr: int) -> bytes:
+        length = self.runtime.load_u64(addr)
+        return self.runtime.load(addr + 8, length) if length else b""
+
+    def _bucket_addr(self, key: bytes) -> int:
+        return self.header.buckets + (
+            fnv1a_64(key) % self.header.nbuckets
+        ) * 8
+
+    def _find(self, key: bytes) -> Optional[RedisEntry]:
+        digest = fnv1a_64(key)
+        cursor = self.runtime.load_u64(self._bucket_addr(key))
+        while cursor:
+            entry = RedisEntry(self.pool, cursor)
+            if entry.key_hash == digest and self._load_buffer(entry.key) == key:
+                return entry
+            cursor = entry.next
+        return None
+
+    # ------------------------------------------------------------------
+    # Commands (each one failure-atomic transaction)
+    # ------------------------------------------------------------------
+    def set(self, key: bytes, value: bytes) -> None:
+        tx = self.pool.tx
+        with tx.transaction():
+            existing = self._find(key)
+            if existing is not None:
+                buf = self._store_buffer(value)
+                tx.add_field(existing, "value")
+                existing.value = buf
+            else:
+                entry = RedisEntry.alloc(self.pool)
+                entry.key_hash = fnv1a_64(key)
+                entry.key = self._store_buffer(key)
+                entry.value = self._store_buffer(value)
+                head_addr = self._bucket_addr(key)
+                entry.next = self.runtime.load_u64(head_addr)
+                tx.add(head_addr, 8)
+                self.runtime.store_u64(head_addr, entry.addr)
+                tx.add_field(self.header, "count")
+                self.header.count = self.header.count + 1
+        self.lru[key] = None
+        self.lru.move_to_end(key)
+        if self.maxkeys is not None:
+            while self.header.count > self.maxkeys:
+                victim, _ = self.lru.popitem(last=False)
+                self._evict(victim)
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        entry = self._find(key)
+        if entry is None:
+            return None
+        if key in self.lru:
+            self.lru.move_to_end(key)
+        return self._load_buffer(entry.value)
+
+    def delete(self, key: bytes) -> bool:
+        removed = self._unlink(key)
+        if removed:
+            self.lru.pop(key, None)
+        return removed
+
+    def _evict(self, key: bytes) -> None:
+        if self._unlink(key):
+            self.evictions += 1
+
+    def _unlink(self, key: bytes) -> bool:
+        tx = self.pool.tx
+        digest = fnv1a_64(key)
+        with tx.transaction():
+            head_addr = self._bucket_addr(key)
+            prev_slot = head_addr
+            cursor = self.runtime.load_u64(head_addr)
+            while cursor:
+                entry = RedisEntry(self.pool, cursor)
+                if (
+                    entry.key_hash == digest
+                    and self._load_buffer(entry.key) == key
+                ):
+                    tx.add(prev_slot, 8)
+                    self.runtime.store_u64(prev_slot, entry.next)
+                    tx.add_field(self.header, "count")
+                    self.header.count = self.header.count - 1
+                    return True
+                prev_slot, _ = entry.field_range("next")
+                cursor = entry.next
+        return False
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        for index in range(self.header.nbuckets):
+            cursor = self.runtime.load_u64(self.header.buckets + index * 8)
+            while cursor:
+                entry = RedisEntry(self.pool, cursor)
+                yield self._load_buffer(entry.key), self._load_buffer(entry.value)
+                cursor = entry.next
+
+    def __len__(self) -> int:
+        return self.header.count
+
+    # ------------------------------------------------------------------
+    def process(self, op: KVOp) -> Optional[bytes]:
+        kind, key, value = op
+        if kind == "set":
+            self.set(key, value or b"")
+            return None
+        if kind == "get":
+            return self.get(key)
+        if kind == "delete":
+            self.delete(key)
+            return None
+        raise ValueError(f"unknown redis op {kind!r}")
+
+    def serve(
+        self,
+        ops: Iterable[KVOp],
+        session: Optional[PMTestSession] = None,
+        tx_check: bool = True,
+        trace_every: int = 1,
+    ) -> int:
+        """Process an op stream, optionally under the TX checkers."""
+        processed = 0
+        for op in ops:
+            if session is not None and tx_check:
+                session.tx_check_start()
+            self.process(op)
+            if session is not None and tx_check:
+                session.tx_check_end()
+            processed += 1
+            if session is not None and processed % trace_every == 0:
+                session.send_trace()
+        if session is not None:
+            session.send_trace()
+        return processed

@@ -1,0 +1,89 @@
+"""Harness helpers shared by tests and the benchmark suite."""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable, List, Optional
+
+from repro.core.api import PMTestSession
+from repro.pmfs.fs import PMFS
+from repro.workloads.clients import KVOp
+
+
+def drive_kv(
+    server,
+    ops: Iterable[KVOp],
+    session: Optional[PMTestSession] = None,
+    trace_every: int = 1,
+    **serve_kwargs,
+) -> int:
+    """Run a KV op stream against a server with a ``serve`` method."""
+    return server.serve(
+        ops, session=session, trace_every=trace_every, **serve_kwargs
+    )
+
+
+def drive_fs(
+    fs: PMFS,
+    ops: Iterable[tuple],
+    session: Optional[PMTestSession] = None,
+    trace_every: int = 1,
+) -> int:
+    """Run a filesystem op stream (filebench/oltp shapes) against PMFS."""
+    processed = 0
+    for op in ops:
+        kind = op[0]
+        if kind == "create":
+            fs.create(op[1])
+        elif kind == "write":
+            fs.write(op[1], op[2], op[3])
+        elif kind == "read":
+            fs.read(op[1], op[2], op[3])
+        elif kind == "fsync":
+            fs.fsync(op[1])
+        elif kind == "delete":
+            fs.unlink(op[1])
+        else:
+            raise ValueError(f"unknown fs op {kind!r}")
+        processed += 1
+        if session is not None and processed % trace_every == 0:
+            session.send_trace()
+    if session is not None:
+        session.send_trace()
+    return processed
+
+
+def run_client_threads(
+    worker: Callable[[int], object],
+    n_threads: int,
+    session: Optional[PMTestSession] = None,
+) -> List[object]:
+    """Run ``worker(thread_index)`` on ``n_threads`` threads.
+
+    Each thread registers with the session first (PMTest_THREAD_INIT +
+    PMTest_START), mirroring the paper's multithreaded tracking setup.
+    Worker exceptions propagate to the caller.
+    """
+    results: List[object] = [None] * n_threads
+    errors: List[BaseException] = []
+
+    def body(index: int) -> None:
+        try:
+            if session is not None:
+                session.thread_init(f"client-{index}")
+                session.start()
+            results[index] = worker(index)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=body, args=(i,), name=f"client-{i}")
+        for i in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return results

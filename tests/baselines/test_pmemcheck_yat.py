@@ -1,0 +1,186 @@
+"""Tests for the pmemcheck and Yat baseline tools."""
+
+import pytest
+
+from repro.baselines import PmemcheckTool, YatTester
+from repro.baselines.yat import YatBudgetExceeded
+from repro.instr.runtime import PMRuntime
+from repro.pmem.machine import PMMachine
+from repro.pmdk.pool import PMPool
+from repro.pmdk.tx import recover_image
+from repro.structures import AtomicHashMap
+from repro.structures.hashmap_atomic import validate_image as validate_atomic
+
+
+def runtime_with_tool(size=1 << 20):
+    tool = PmemcheckTool()
+    runtime = PMRuntime(machine=PMMachine(size), observers=[tool])
+    return runtime, tool
+
+
+class TestPmemcheck:
+    def test_clean_sequence_no_findings(self):
+        runtime, tool = runtime_with_tool()
+        runtime.store_u64(0, 1)
+        runtime.clwb(0, 8)
+        runtime.sfence()
+        assert tool.finish() == []
+
+    def test_unpersisted_store_reported(self):
+        runtime, tool = runtime_with_tool()
+        runtime.store_u64(0, 1)
+        findings = tool.finish()
+        assert [f.kind for f in findings] == ["not-persisted"]
+
+    def test_flush_without_fence_reported(self):
+        runtime, tool = runtime_with_tool()
+        runtime.store_u64(0, 1)
+        runtime.clwb(0, 8)
+        findings = tool.finish()
+        assert [f.kind for f in findings] == ["not-persisted"]
+
+    def test_nt_store_needs_only_fence(self):
+        runtime, tool = runtime_with_tool()
+        runtime.store_u64(0, 1, nt=True)
+        runtime.sfence()
+        assert tool.finish() == []
+
+    def test_redundant_flush_reported(self):
+        runtime, tool = runtime_with_tool()
+        runtime.store_u64(0, 1)
+        runtime.clwb(0, 8)
+        runtime.clwb(0, 8)
+        runtime.sfence()
+        kinds = [f.kind for f in tool.finish()]
+        assert kinds == ["redundant-flush"]
+
+    def test_unneeded_flush_reported(self):
+        runtime, tool = runtime_with_tool()
+        runtime.clwb(0x100, 8)
+        kinds = [f.kind for f in tool.finish()]
+        assert kinds == ["unneeded-flush"]
+
+    def test_multiline_store_flushed_once(self):
+        # A 128-byte store flushed by one 128-byte flush: no findings.
+        runtime, tool = runtime_with_tool()
+        runtime.store(0, b"x" * 128)
+        runtime.clwb(0, 128)
+        runtime.sfence()
+        assert tool.finish() == []
+
+    def test_dfence_retires_everything(self):
+        tool = PmemcheckTool()
+        runtime = PMRuntime(machine=PMMachine(1 << 20, model="hops"),
+                            observers=[tool])
+        runtime.store_u64(0, 1)
+        runtime.dfence()
+        assert tool.finish() == []
+
+    def test_ofence_retires_nothing(self):
+        tool = PmemcheckTool()
+        runtime = PMRuntime(machine=PMMachine(1 << 20, model="hops"),
+                            observers=[tool])
+        runtime.store_u64(0, 1)
+        runtime.ofence()
+        assert [f.kind for f in tool.finish()] == ["not-persisted"]
+
+    def test_counters(self):
+        runtime, tool = runtime_with_tool()
+        runtime.store_u64(0, 1)
+        runtime.clwb(0, 8)
+        runtime.sfence()
+        assert tool.stores_tracked == 1
+        assert tool.flushes_tracked == 1
+        assert tool.fences_tracked == 1
+
+
+class TestYat:
+    def _atomic_oplog(self, faults=(), n_keys=3):
+        """Record an atomic-hashmap run's machine op log, starting from
+        a quiescent checkpoint after setup (as Yat users do)."""
+        machine = PMMachine(1 << 20)
+        runtime = PMRuntime(machine=machine)
+        pool = PMPool(runtime, log_capacity=4096)
+        structure = AtomicHashMap(pool, value_size=8, faults=faults,
+                                  nbuckets=4)
+        root_addr = pool.root_slot_addr(0)
+        base = machine.begin_oplog()
+        for key in range(n_keys):
+            structure.insert(key)
+        return machine.oplog, root_addr, base
+
+    def test_clean_protocol_passes_exhaustively(self):
+        oplog, root_addr, base = self._atomic_oplog()
+        tester = YatTester(
+            1 << 20,
+            validate=lambda img: validate_atomic(img, img.read_u64(root_addr)),
+            state_budget=1 << 16,
+            base_image=base,
+        )
+        report = tester.run(oplog)
+        assert report.consistent
+        assert report.states_tested > 0
+        assert report.crash_points > 1
+
+    def test_buggy_protocol_caught(self):
+        oplog, root_addr, base = self._atomic_oplog(
+            faults=("no-entry-persist",)
+        )
+        tester = YatTester(
+            1 << 20,
+            validate=lambda img: validate_atomic(img, img.read_u64(root_addr)),
+            crash_at="ops",  # the bad window closes at the next fence
+            state_budget=1 << 18,
+            base_image=base,
+        )
+        report = tester.run(oplog)
+        assert report.violations
+
+    def test_budget_aborts_with_state_count(self):
+        oplog, root_addr, base = self._atomic_oplog()
+        tester = YatTester(
+            1 << 20,
+            validate=lambda img: True,
+            state_budget=1,
+            base_image=base,
+        )
+        report = tester.run(oplog)
+        assert report.aborted
+        assert report.states_needed > 1
+
+    def test_state_count_grows_with_trace(self):
+        short_log, _, base = self._atomic_oplog(n_keys=2)
+        long_log, _, base2 = self._atomic_oplog(n_keys=8)
+        tester = YatTester(1 << 20, validate=lambda img: True,
+                           base_image=base2)
+        short_tester = YatTester(1 << 20, validate=lambda img: True,
+                                 base_image=base)
+        assert tester.state_count(long_log) > short_tester.state_count(short_log)
+
+    def test_crash_at_validation(self):
+        with pytest.raises(ValueError):
+            YatTester(1 << 20, validate=lambda img: True, crash_at="never")
+
+    def test_yat_with_recovery(self):
+        """Yat + the PMDK recovery procedure: mid-transaction crashes
+        are repaired before validation, so the run is consistent."""
+        machine = PMMachine(1 << 20)
+        runtime = PMRuntime(machine=machine)
+        pool = PMPool(runtime, log_capacity=4096)
+        addr = pool.alloc(8)
+        runtime.store_u64(addr, 1)
+        runtime.persist(addr, 8)
+        base = machine.begin_oplog()
+        with pool.tx.transaction() as tx:
+            tx.add(addr, 8)
+            runtime.store_u64(addr, 2)
+        tester = YatTester(
+            1 << 20,
+            recover=lambda img: recover_image(img, pool.layout),
+            validate=lambda img: img.read_u64(addr) in (1, 2),
+            crash_at="ops",
+            state_budget=1 << 16,
+            base_image=base,
+        )
+        report = tester.run(machine.oplog)
+        assert report.consistent

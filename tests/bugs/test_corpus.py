@@ -1,0 +1,79 @@
+"""The Table 5 / Table 6 claim: PMTest reports every bug in the corpus.
+
+One test per bug case (so a regression names the exact case it broke),
+plus structural checks that the catalog matches the paper's counts and
+that fault-free versions of every target stay clean.
+"""
+
+import pytest
+
+from repro.bugs import HISTORICAL_BUGS, SYNTHETIC_BUGS, run_bug_case
+from repro.bugs.registry import EXPECTED_COUNTS, BugCase, bugs_by_category
+
+
+class TestCatalogShape:
+    def test_table5_counts(self):
+        grouped = bugs_by_category()
+        for category, count in EXPECTED_COUNTS.items():
+            assert len(grouped[category]) == count, category
+
+    def test_42_synthetic_cases(self):
+        assert len(SYNTHETIC_BUGS) == 42
+
+    def test_6_historical_cases(self):
+        assert len(HISTORICAL_BUGS) == 6
+        assert sum(1 for c in HISTORICAL_BUGS if c.category == "known") == 3
+        assert sum(1 for c in HISTORICAL_BUGS if c.category == "new") == 3
+
+    def test_45_manually_created_bugs(self):
+        """The abstract's accounting: 42 synthetic + 3 reproduced."""
+        reproduced = [c for c in HISTORICAL_BUGS if c.category == "known"]
+        assert len(SYNTHETIC_BUGS) + len(reproduced) == 45
+
+    def test_every_case_has_expectations(self):
+        for case in SYNTHETIC_BUGS + HISTORICAL_BUGS:
+            assert case.expected, case.bug_id
+            assert case.faults or case.tx_faults or case.log_faults
+
+
+@pytest.mark.parametrize(
+    "case", SYNTHETIC_BUGS, ids=[c.bug_id for c in SYNTHETIC_BUGS]
+)
+def test_synthetic_bug_detected(case: BugCase):
+    outcome = run_bug_case(case, scale=30)
+    assert outcome.detected, (
+        f"{case.bug_id} expected {sorted(c.value for c in case.expected)}, "
+        f"got {sorted(c.value for c in outcome.fired)}"
+    )
+
+
+@pytest.mark.parametrize(
+    "case", HISTORICAL_BUGS, ids=[c.bug_id for c in HISTORICAL_BUGS]
+)
+def test_historical_bug_detected(case: BugCase):
+    outcome = run_bug_case(case, scale=30)
+    assert outcome.detected, (
+        f"{case.bug_id} ({case.historical}) expected "
+        f"{sorted(c.value for c in case.expected)}, got "
+        f"{sorted(c.value for c in outcome.fired)}"
+    )
+
+
+@pytest.mark.parametrize(
+    "target,workload",
+    sorted(
+        {(c.target, c.workload) for c in SYNTHETIC_BUGS + HISTORICAL_BUGS}
+    ),
+)
+def test_fault_free_baseline_is_clean(target, workload):
+    """Control: the same drivers with no fault injected report nothing."""
+    clean = BugCase(
+        bug_id="CLEAN",
+        category="control",
+        target=target,
+        description="no fault injected",
+        workload=workload,
+        expected=frozenset(),
+    )
+    outcome = run_bug_case(clean, scale=30)
+    assert outcome.result.clean, [str(r) for r in outcome.result.reports[:5]]

@@ -1,0 +1,40 @@
+"""Shared fixtures for the PMTest reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.api import PMTestSession
+from repro.core.rules import HOPSRules, X86Rules
+from repro.instr.runtime import PMRuntime
+from repro.pmem.machine import PMMachine
+
+
+@pytest.fixture
+def session() -> PMTestSession:
+    """A synchronous x86 session, started and ready to record."""
+    s = PMTestSession(workers=0)
+    s.thread_init()
+    s.start()
+    return s
+
+
+@pytest.fixture
+def hops_session() -> PMTestSession:
+    """A synchronous HOPS session, started and ready to record."""
+    s = PMTestSession(rules=HOPSRules(), workers=0)
+    s.thread_init()
+    s.start()
+    return s
+
+
+@pytest.fixture
+def machine() -> PMMachine:
+    """A small x86 PM machine."""
+    return PMMachine(64 * 1024)
+
+
+@pytest.fixture
+def runtime(machine: PMMachine, session: PMTestSession) -> PMRuntime:
+    """A runtime driving the machine with PMTest attached."""
+    return PMRuntime(machine=machine, session=session)

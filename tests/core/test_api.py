@@ -1,0 +1,251 @@
+"""Tests for the session facade and the C-style interface (Table 2)."""
+
+import threading
+
+import pytest
+
+from repro.core import capi
+from repro.core.api import PMTestSession
+from repro.core.checkers import (
+    assert_ordered_chain,
+    assert_persisted,
+    assert_persisted_vars,
+    tx_checked,
+)
+from repro.core.reports import ReportCode
+
+
+class TestSessionLifecycle:
+    def test_tracking_disabled_until_start(self):
+        s = PMTestSession(workers=0)
+        s.thread_init()
+        s.write(0, 8)
+        assert s.pending_events == 0
+        s.start()
+        s.write(0, 8)
+        assert s.pending_events == 1
+        s.end()
+        s.write(0, 8)
+        assert s.pending_events == 1
+        s.exit()
+
+    def test_region_context_manager(self):
+        s = PMTestSession(workers=0)
+        s.thread_init()
+        with s.region():
+            s.write(0, 8)
+        s.write(8, 8)
+        assert s.pending_events == 1
+        s.exit()
+
+    def test_send_trace_splits_traces(self):
+        s = PMTestSession(workers=0)
+        s.thread_init()
+        s.start()
+        s.write(0, 8)
+        s.send_trace()
+        s.write(8, 8)
+        s.send_trace()
+        assert s.traces_sent == 2
+        s.exit()
+
+    def test_empty_trace_not_sent(self):
+        s = PMTestSession(workers=0)
+        s.thread_init()
+        s.start()
+        s.send_trace()
+        assert s.traces_sent == 0
+        s.exit()
+
+    def test_traces_have_independent_shadows(self):
+        s = PMTestSession(workers=0)
+        s.thread_init()
+        s.start()
+        s.write(0, 8)
+        s.send_trace()
+        # In a fresh trace the earlier write is invisible: isPersist passes.
+        s.is_persist(0, 8)
+        result = s.exit()
+        assert result.clean
+
+    def test_exit_flushes_pending_trace(self):
+        s = PMTestSession(workers=0)
+        s.thread_init()
+        s.start()
+        s.write(0, 8)
+        s.is_persist(0, 8)
+        result = s.exit()
+        assert result.count(ReportCode.NOT_PERSISTED) == 1
+
+    def test_context_manager_protocol(self):
+        with PMTestSession(workers=0) as s:
+            s.write(0, 8)
+            assert s.pending_events == 1
+
+    def test_lazy_thread_init(self):
+        s = PMTestSession(workers=0)
+        s.start()  # no explicit thread_init
+        s.write(0, 8)
+        assert s.pending_events == 1
+        s.exit()
+
+
+class TestVarRegistry:
+    def test_reg_get_unreg(self):
+        s = PMTestSession(workers=0)
+        s.reg_var("head", 0x40, 8)
+        assert s.get_var("head") == (0x40, 8)
+        s.unreg_var("head")
+        with pytest.raises(KeyError):
+            s.get_var("head")
+        s.exit()
+
+    def test_is_persist_var(self):
+        s = PMTestSession(workers=0)
+        s.thread_init()
+        s.start()
+        s.reg_var("obj", 0, 8)
+        s.write(0, 8)
+        s.is_persist_var("obj")
+        result = s.exit()
+        assert result.count(ReportCode.NOT_PERSISTED) == 1
+
+
+class TestMultithreadedTracking:
+    def test_threads_have_independent_traces(self):
+        s = PMTestSession(workers=0)
+        errors = []
+
+        def worker(base: int) -> None:
+            try:
+                s.thread_init(f"t{base}")
+                s.start()
+                for i in range(10):
+                    s.write(base + i * 8, 8)
+                s.send_trace()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(k * 4096,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert s.traces_sent == 4
+        result = s.exit()
+        assert result.traces_checked == 4
+        assert result.events_checked == 40
+
+
+class TestHighLevelCheckers:
+    def test_tx_checked_context_manager(self):
+        s = PMTestSession(workers=0)
+        s.thread_init()
+        s.start()
+        with tx_checked(s):
+            s.tx_begin()
+            s.write(0, 8)  # no TX_ADD
+            s.tx_end()
+        result = s.exit()
+        assert result.count(ReportCode.MISSING_LOG) == 1
+
+    def test_assert_persisted(self):
+        s = PMTestSession(workers=0)
+        s.thread_init()
+        s.start()
+        s.write(0, 8)
+        s.write(64, 8)
+        assert_persisted(s, [(0, 8), (64, 8)])
+        result = s.exit()
+        assert result.count(ReportCode.NOT_PERSISTED) == 2
+
+    def test_assert_persisted_vars(self):
+        s = PMTestSession(workers=0)
+        s.thread_init()
+        s.start()
+        s.reg_var("a", 0, 8)
+        s.write(0, 8)
+        s.clwb(0, 8)
+        s.sfence()
+        assert_persisted_vars(s, ["a"])
+        assert s.exit().clean
+
+    def test_assert_ordered_chain(self):
+        s = PMTestSession(workers=0)
+        s.thread_init()
+        s.start()
+        s.write(0, 8)
+        s.clwb(0, 8)
+        s.sfence()
+        s.write(64, 8)
+        s.clwb(64, 8)
+        s.sfence()
+        s.write(128, 8)
+        assert_ordered_chain(s, [(0, 8), (64, 8), (128, 8)])
+        result = s.exit()
+        assert not result.failures
+
+
+class TestCAPI:
+    def test_paper_style_usage(self):
+        capi.PMTest_INIT(workers=0)
+        try:
+            capi.PMTest_START()
+            capi.current_session().write(0x10, 64)
+            capi.current_session().clwb(0x10, 64)
+            capi.current_session().sfence()
+            capi.current_session().write(0x50, 64)
+            capi.isOrderedBefore(0x10, 64, 0x50, 64)
+            capi.isPersist(0x50, 64)
+            capi.PMTest_END()
+            capi.PMTest_SEND_TRACE()
+            result = capi.PMTest_GET_RESULT()
+            assert result.count(ReportCode.NOT_PERSISTED) == 1
+        finally:
+            capi.PMTest_EXIT()
+
+    def test_reg_var_roundtrip(self):
+        capi.PMTest_INIT(workers=0)
+        try:
+            capi.PMTest_REG_VAR("x", 0, 16)
+            assert capi.PMTest_GET_VAR("x") == (0, 16)
+            capi.PMTest_UNREG_VAR("x")
+        finally:
+            capi.PMTest_EXIT()
+
+    def test_double_init_rejected(self):
+        capi.PMTest_INIT(workers=0)
+        try:
+            with pytest.raises(RuntimeError):
+                capi.PMTest_INIT(workers=0)
+        finally:
+            capi.PMTest_EXIT()
+
+    def test_uninitialized_use_rejected(self):
+        with pytest.raises(RuntimeError):
+            capi.current_session()
+
+
+class TestSiteCapture:
+    def test_sites_recorded_when_enabled(self):
+        s = PMTestSession(workers=0, capture_sites=True)
+        s.thread_init()
+        s.start()
+        s.write(0, 8)
+        s.is_persist(0, 8)
+        result = s.exit()
+        [report] = result.failures
+        assert report.site is not None
+        assert report.site.file.endswith("test_api.py")
+        assert report.related_site is not None
+
+    def test_sites_omitted_by_default(self):
+        s = PMTestSession(workers=0)
+        s.thread_init()
+        s.start()
+        s.write(0, 8)
+        s.is_persist(0, 8)
+        result = s.exit()
+        [report] = result.failures
+        assert report.site is None

@@ -1,0 +1,99 @@
+"""Tests for the offline trace-checking CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.api import PMTestSession
+from repro.core.traceio import TraceRecorder, dump_traces
+
+
+def record_buggy_trace(path):
+    recorder = TraceRecorder()
+    session = PMTestSession(workers=0, sink=recorder)
+    session.thread_init()
+    session.start()
+    session.write(0x10, 8)
+    session.clwb(0x10, 8)
+    session.sfence()
+    session.write(0x50, 8)  # never flushed
+    session.is_persist(0x10, 8)
+    session.is_persist(0x50, 8)
+    session.exit()
+    dump_traces(recorder.traces, path)
+
+
+def record_clean_hops_trace(path):
+    recorder = TraceRecorder()
+    session = PMTestSession(workers=0, sink=recorder)
+    session.thread_init()
+    session.start()
+    session.write(0x10, 8)
+    session.ofence()
+    session.write(0x50, 8)
+    session.dfence()
+    session.is_ordered_before(0x10, 8, 0x50, 8)
+    session.exit()
+    dump_traces(recorder.traces, path)
+
+
+class TestCheckCommand:
+    def test_failing_trace_exits_1(self, tmp_path, capsys):
+        path = tmp_path / "run.pmtrace"
+        record_buggy_trace(path)
+        assert main(["check", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "1 FAIL" in out
+        assert "not-persisted" in out
+
+    def test_quiet_suppresses_reports(self, tmp_path, capsys):
+        path = tmp_path / "run.pmtrace"
+        record_buggy_trace(path)
+        main(["check", str(path), "--quiet"])
+        out = capsys.readouterr().out
+        assert "not-persisted" not in out
+        assert "FAIL" in out
+
+    def test_clean_trace_exits_0(self, tmp_path):
+        path = tmp_path / "hops.pmtrace"
+        record_clean_hops_trace(path)
+        assert main(["check", str(path), "--model", "hops"]) == 0
+
+    def test_model_selection_matters(self, tmp_path):
+        # The same x86 trace under eADR: the unflushed write IS durable
+        # after its fence... but there is no fence after it, so it still
+        # fails; the flushed one is fine and additionally warned about.
+        path = tmp_path / "run.pmtrace"
+        record_buggy_trace(path)
+        assert main(["check", str(path), "--model", "eadr"]) == 1
+
+    def test_workers_mode(self, tmp_path, capsys):
+        path = tmp_path / "run.pmtrace"
+        record_buggy_trace(path)
+        assert main(["check", str(path), "--workers", "2"]) == 1
+
+    def test_max_reports_truncates(self, tmp_path, capsys):
+        path = tmp_path / "run.pmtrace"
+        record_buggy_trace(path)
+        main(["check", str(path), "--max-reports", "0"])
+        out = capsys.readouterr().out
+        assert "more" in out
+
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["check", "/nonexistent.pmtrace"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_bad_format_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "junk.pmtrace"
+        path.write_text("not a trace\n")
+        assert main(["check", str(path)]) == 2
+
+
+class TestStatsCommand:
+    def test_stats_output(self, tmp_path, capsys):
+        path = tmp_path / "run.pmtrace"
+        record_buggy_trace(path)
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "traces:  1" in out
+        assert "WRITE" in out
+        assert "SFENCE" in out

@@ -1,0 +1,71 @@
+"""Tests for the eADR persistency model extension."""
+
+import pytest
+
+from repro.core.api import PMTestSession
+from repro.core.engine import CheckingEngine
+from repro.core.events import Event, Op, Trace
+from repro.core.reports import ReportCode
+from repro.core.rules.eadr import EADRRules
+
+
+def check(*ops):
+    trace = Trace(0)
+    for op in ops:
+        trace.append(op)
+    return CheckingEngine(EADRRules()).check_trace(trace)
+
+
+def W(addr, size=8):
+    return Event(Op.WRITE, addr, size)
+
+
+class TestEADR:
+    def test_fence_alone_persists(self):
+        result = check(W(0), Event(Op.SFENCE), Event(Op.CHECK_PERSIST, 0, 8))
+        assert result.clean
+
+    def test_unfenced_write_not_durable(self):
+        result = check(W(0), Event(Op.CHECK_PERSIST, 0, 8))
+        assert result.count(ReportCode.NOT_PERSISTED) == 1
+
+    def test_fence_orders(self):
+        result = check(
+            W(0),
+            Event(Op.SFENCE),
+            W(64),
+            Event(Op.CHECK_ORDER, 0, 8, 64, 8),
+        )
+        assert not result.failures
+
+    def test_same_epoch_unordered(self):
+        result = check(W(0), W(64), Event(Op.CHECK_ORDER, 0, 8, 64, 8))
+        assert result.count(ReportCode.NOT_ORDERED) == 1
+
+    def test_every_flush_is_flagged(self):
+        result = check(W(0), Event(Op.CLWB, 0, 8), Event(Op.SFENCE))
+        assert result.count(ReportCode.UNNECESSARY_FLUSH) == 1
+        assert result.passed  # a warning, not a failure
+
+    def test_porting_diagnosis(self):
+        """Port clwb-heavy x86 code to eADR: PMTest flags every flush
+        as removable while confirming durability still holds."""
+        session = PMTestSession(rules=EADRRules(), workers=0)
+        session.thread_init()
+        session.start()
+        for i in range(4):
+            session.write(i * 64, 8)
+            session.clwb(i * 64, 8)  # habit from the x86 build
+            session.sfence()
+            session.is_persist(i * 64, 8)
+        result = session.exit()
+        assert result.passed
+        assert result.count(ReportCode.UNNECESSARY_FLUSH) == 4
+
+    def test_rejects_hops_ops(self):
+        from repro.core.rules.base import UnsupportedOperation
+
+        rules = EADRRules()
+        shadow = rules.make_shadow()
+        with pytest.raises(UnsupportedOperation):
+            rules.apply_op(shadow, Event(Op.DFENCE))

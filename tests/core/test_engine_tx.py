@@ -1,0 +1,238 @@
+"""Engine tests for the transaction machinery (paper Section 5.1)."""
+
+import pytest
+
+from repro.core.engine import CheckingEngine, MalformedTrace
+from repro.core.events import Event, Op, Trace
+from repro.core.reports import ReportCode
+
+
+def trace_of(*ops):
+    trace = Trace(0)
+    for op in ops:
+        trace.append(op)
+    return trace
+
+
+def check(*ops):
+    return CheckingEngine().check_trace(trace_of(*ops))
+
+
+def W(addr, size=8):
+    return Event(Op.WRITE, addr, size)
+
+
+def CLWB(addr, size=8):
+    return Event(Op.CLWB, addr, size)
+
+
+def SFENCE():
+    return Event(Op.SFENCE)
+
+
+def TXADD(addr, size=8):
+    return Event(Op.TX_ADD, addr, size)
+
+
+BEGIN = lambda: Event(Op.TX_BEGIN)
+END = lambda: Event(Op.TX_END)
+CK_START = lambda: Event(Op.TX_CHECK_START)
+CK_END = lambda: Event(Op.TX_CHECK_END)
+
+
+def _good_tx(addr=0):
+    """A well-formed transaction body for one 8-byte object."""
+    return [
+        BEGIN(),
+        TXADD(addr),
+        W(addr),
+        CLWB(addr),
+        SFENCE(),
+        END(),
+    ]
+
+
+class TestTransactionCompleteness:
+    def test_complete_durable_tx_is_clean(self):
+        result = check(CK_START(), *_good_tx(), CK_END())
+        assert result.clean
+
+    def test_unflushed_update_fails_at_scope_end(self):
+        result = check(
+            CK_START(), BEGIN(), TXADD(0), W(0), END(), CK_END()
+        )
+        assert result.count(ReportCode.TX_NOT_PERSISTED) == 1
+
+    def test_unterminated_tx_reports_incomplete(self):
+        result = check(CK_START(), BEGIN(), TXADD(0), W(0), CK_END())
+        assert result.count(ReportCode.INCOMPLETE_TX) == 1
+
+    def test_trace_end_closes_open_scope(self):
+        # Program crashed before TX_CHECKER_END: still detected.
+        result = check(CK_START(), BEGIN(), TXADD(0), W(0))
+        assert result.count(ReportCode.INCOMPLETE_TX) == 1
+
+    def test_two_sequential_scopes_are_independent(self):
+        result = check(
+            CK_START(), *_good_tx(0), CK_END(),
+            CK_START(), BEGIN(), TXADD(64), W(64), END(), CK_END(),
+        )
+        # Only the second scope's update is non-durable.
+        assert result.count(ReportCode.TX_NOT_PERSISTED) == 1
+
+    def test_modifications_outside_scope_not_checked(self):
+        result = check(W(0), CK_START(), *_good_tx(64), CK_END())
+        assert result.clean
+
+
+class TestMissingLog:
+    def test_write_without_backup_fails(self):
+        result = check(CK_START(), BEGIN(), W(0), CLWB(0), SFENCE(), END(), CK_END())
+        assert result.count(ReportCode.MISSING_LOG) == 1
+
+    def test_partial_backup_fails_for_uncovered_part(self):
+        result = check(
+            CK_START(),
+            BEGIN(),
+            TXADD(0, 8),
+            W(0, 16),  # writes 8 bytes beyond the backup
+            CLWB(0, 16),
+            SFENCE(),
+            END(),
+            CK_END(),
+        )
+        assert result.count(ReportCode.MISSING_LOG) == 1
+
+    def test_every_unlogged_write_is_reported(self):
+        # The paper reports the bug "at line 4 and other lines that
+        # modify this object".
+        result = check(
+            CK_START(), BEGIN(), W(0), W(0), CLWB(0), SFENCE(), END(), CK_END()
+        )
+        assert result.count(ReportCode.MISSING_LOG) == 2
+
+    def test_log_tree_resets_between_transactions(self):
+        # Backup in TX1 does not cover a write in TX2.
+        result = check(
+            CK_START(),
+            *_good_tx(0),
+            BEGIN(),
+            W(0),
+            CLWB(0),
+            SFENCE(),
+            END(),
+            CK_END(),
+        )
+        assert result.count(ReportCode.MISSING_LOG) == 1
+
+    def test_nested_tx_shares_outer_log(self):
+        result = check(
+            CK_START(),
+            BEGIN(),
+            TXADD(0),
+            BEGIN(),
+            W(0),
+            CLWB(0),
+            SFENCE(),
+            END(),
+            END(),
+            CK_END(),
+        )
+        assert result.count(ReportCode.MISSING_LOG) == 0
+
+    def test_writes_outside_tx_need_no_log(self):
+        result = check(CK_START(), W(0), CLWB(0), SFENCE(), CK_END())
+        assert result.count(ReportCode.MISSING_LOG) == 0
+
+
+class TestDuplicateLog:
+    def test_duplicate_tx_add_warns(self):
+        result = check(
+            CK_START(),
+            BEGIN(),
+            TXADD(0),
+            TXADD(0),
+            W(0),
+            CLWB(0),
+            SFENCE(),
+            END(),
+            CK_END(),
+        )
+        assert result.count(ReportCode.DUP_LOG) == 1
+        assert result.passed
+
+    def test_duplicate_log_across_nested_tx_warns(self):
+        """The paper's Bug 3 shape: helper logs, caller logs again."""
+        result = check(
+            CK_START(),
+            BEGIN(),
+            TXADD(0),  # inside helper
+            W(0),
+            TXADD(0),  # caller logs the same node again
+            W(0),
+            CLWB(0),
+            SFENCE(),
+            END(),
+            CK_END(),
+        )
+        assert result.count(ReportCode.DUP_LOG) == 1
+
+    def test_no_warning_outside_check_scope(self):
+        result = check(BEGIN(), TXADD(0), TXADD(0), W(0), END())
+        assert result.count(ReportCode.DUP_LOG) == 0
+
+
+class TestExclusion:
+    def test_excluded_range_not_tx_checked(self):
+        result = check(
+            CK_START(),
+            Event(Op.EXCLUDE, 0, 8),
+            BEGIN(),
+            W(0),  # unlogged, unflushed -- but excluded
+            END(),
+            CK_END(),
+        )
+        assert result.clean
+
+    def test_include_restores_tracking(self):
+        result = check(
+            Event(Op.EXCLUDE, 0, 8),
+            Event(Op.INCLUDE, 0, 8),
+            CK_START(),
+            BEGIN(),
+            W(0),
+            END(),
+            CK_END(),
+        )
+        assert result.count(ReportCode.MISSING_LOG) == 1
+
+    def test_exclusion_is_range_based(self):
+        result = check(
+            CK_START(),
+            Event(Op.EXCLUDE, 0, 8),
+            BEGIN(),
+            W(0, 16),  # half excluded, half tracked
+            END(),
+            CK_END(),
+        )
+        assert result.count(ReportCode.MISSING_LOG) == 1
+        assert result.count(ReportCode.TX_NOT_PERSISTED) == 1
+
+    def test_excluded_then_checker_passes_over_it(self):
+        result = check(
+            Event(Op.EXCLUDE, 0, 8),
+            W(0),
+            Event(Op.CHECK_PERSIST, 0, 8),
+        )
+        # The write was never tracked, so isPersist sees untouched memory.
+        assert result.clean
+
+
+class TestMalformedTraces:
+    def test_unbalanced_tx_end_raises(self):
+        with pytest.raises(MalformedTrace):
+            check(END())
+
+    def test_balanced_nesting_ok(self):
+        result = check(BEGIN(), BEGIN(), END(), END())
+        assert result.clean

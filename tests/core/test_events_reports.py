@@ -1,0 +1,99 @@
+"""Tests for the trace vocabulary and report aggregation."""
+
+from repro.core.events import Event, Op, SourceSite, Trace
+from repro.core.reports import (
+    FAIL_CODES,
+    Level,
+    Report,
+    ReportCode,
+    TestResult,
+    merge_results,
+)
+
+
+class TestEvents:
+    def test_trace_assigns_sequence_numbers(self):
+        trace = Trace(7)
+        for _ in range(3):
+            trace.append(Event(Op.SFENCE))
+        assert [e.seq for e in trace.events] == [0, 1, 2]
+        assert len(trace) == 3
+
+    def test_range_helpers(self):
+        event = Event(Op.CHECK_ORDER, 0x10, 8, 0x40, 16)
+        assert event.end == 0x18
+        assert event.end2 == 0x50
+
+    def test_describe_formats(self):
+        site = SourceSite("x.c", 3)
+        write = Event(Op.WRITE, 0x10, 8, site=site)
+        assert "write([0x10, 0x18))" in write.describe()
+        assert "x.c:3" in write.describe()
+        fence = Event(Op.SFENCE)
+        assert fence.describe() == "sfence"
+        order = Event(Op.CHECK_ORDER, 0, 8, 16, 8)
+        assert "->" in order.describe()
+
+    def test_source_site_str(self):
+        assert str(SourceSite("f.py", 12, "g")) == "f.py:12"
+
+    def test_capture_names_this_file(self):
+        site = SourceSite.capture(1)
+        assert site.file.endswith("test_events_reports.py")
+        assert site.function == "test_capture_names_this_file"
+
+
+class TestReports:
+    def _fail(self, code=ReportCode.NOT_PERSISTED):
+        return Report(Level.FAIL, code, "boom")
+
+    def _warn(self, code=ReportCode.DUP_FLUSH):
+        return Report(Level.WARN, code, "meh")
+
+    def test_partition(self):
+        result = TestResult(reports=[self._fail(), self._warn()])
+        assert len(result.failures) == 1
+        assert len(result.warnings) == 1
+        assert not result.passed
+        assert not result.clean
+
+    def test_passed_with_only_warnings(self):
+        result = TestResult(reports=[self._warn()])
+        assert result.passed
+        assert not result.clean
+
+    def test_count_and_codes(self):
+        result = TestResult(reports=[self._fail(), self._fail(), self._warn()])
+        assert result.count(ReportCode.NOT_PERSISTED) == 2
+        assert result.codes().count(ReportCode.DUP_FLUSH) == 1
+
+    def test_merge_results(self):
+        a = TestResult(reports=[self._fail()], traces_checked=1,
+                       events_checked=10, checkers_evaluated=2)
+        b = TestResult(reports=[self._warn()], traces_checked=2,
+                       events_checked=5, checkers_evaluated=1)
+        merged = merge_results([a, b])
+        assert merged.traces_checked == 3
+        assert merged.events_checked == 15
+        assert merged.checkers_evaluated == 3
+        assert len(merged.reports) == 2
+
+    def test_summary_mentions_counts(self):
+        result = TestResult(reports=[self._fail()], traces_checked=1)
+        assert "1 FAIL" in result.summary()
+
+    def test_str_includes_sites(self):
+        report = Report(
+            Level.FAIL,
+            ReportCode.NOT_ORDERED,
+            "x",
+            site=SourceSite("a.c", 1),
+            related_site=SourceSite("b.c", 2),
+        )
+        text = str(report)
+        assert "a.c:1" in text
+        assert "b.c:2" in text
+
+    def test_fail_codes_are_fails_only(self):
+        assert ReportCode.NOT_PERSISTED in FAIL_CODES
+        assert ReportCode.DUP_FLUSH not in FAIL_CODES

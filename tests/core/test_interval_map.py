@@ -1,0 +1,212 @@
+"""Unit and property tests for the interval map (the "interval tree").
+
+The property tests validate every operation against a naive
+one-value-per-address dict model, which is the obviously-correct (but
+O(size)) specification.
+"""
+
+from typing import Dict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interval_map import IntervalMap
+
+
+class TestBasics:
+    def test_empty(self):
+        m: IntervalMap[int] = IntervalMap()
+        assert len(m) == 0
+        assert not m
+        assert m.get(0) is None
+        assert m.overlaps(0, 10) == []
+        assert m.gaps(0, 10) == [(0, 10)]
+        assert not m.covers(0, 10)
+
+    def test_single_assign(self):
+        m: IntervalMap[str] = IntervalMap()
+        m.assign(10, 20, "a")
+        assert m.get(10) == "a"
+        assert m.get(19) == "a"
+        assert m.get(20) is None
+        assert m.get(9) is None
+        assert m.covers(10, 20)
+        assert m.covers(12, 15)
+        assert not m.covers(5, 15)
+
+    def test_assign_overwrites_middle(self):
+        m: IntervalMap[str] = IntervalMap()
+        m.assign(0, 30, "a")
+        m.assign(10, 20, "b")
+        assert m.overlaps(0, 30, clip=False) == [
+            (0, 10, "a"),
+            (10, 20, "b"),
+            (20, 30, "a"),
+        ]
+
+    def test_assign_spanning_many(self):
+        m: IntervalMap[str] = IntervalMap()
+        for i in range(5):
+            m.assign(i * 10, i * 10 + 5, str(i))
+        m.assign(3, 43, "x")
+        assert m.overlaps(0, 50, clip=False) == [
+            (0, 3, "0"),
+            (3, 43, "x"),
+            (43, 45, "4"),
+        ]
+
+    def test_erase_splits(self):
+        m: IntervalMap[str] = IntervalMap()
+        m.assign(0, 30, "a")
+        m.erase(10, 20)
+        assert m.gaps(0, 30) == [(10, 20)]
+        assert m.total_span() == 20
+
+    def test_update_splits_partials(self):
+        m: IntervalMap[int] = IntervalMap()
+        m.assign(0, 30, 1)
+        m.update(10, 20, lambda lo, hi, v: v + 10)
+        assert m.overlaps(0, 30, clip=False) == [
+            (0, 10, 1),
+            (10, 20, 11),
+            (20, 30, 1),
+        ]
+
+    def test_update_skips_gaps(self):
+        m: IntervalMap[int] = IntervalMap()
+        m.assign(0, 5, 1)
+        m.assign(15, 20, 2)
+        m.update(0, 20, lambda lo, hi, v: -v)
+        assert m.gaps(0, 20) == [(5, 15)]
+        assert m.get(0) == -1
+        assert m.get(15) == -2
+
+    def test_clipping(self):
+        m: IntervalMap[str] = IntervalMap()
+        m.assign(0, 100, "a")
+        assert m.overlaps(40, 60) == [(40, 60, "a")]
+        assert m.overlaps(40, 60, clip=False) == [(0, 100, "a")]
+
+    def test_coalesce(self):
+        m: IntervalMap[bool] = IntervalMap()
+        m.assign(0, 10, True)
+        m.assign(10, 20, True)
+        m.assign(30, 40, True)
+        m.coalesce()
+        assert list(m) == [(0, 20, True), (30, 40, True)]
+
+    def test_invalid_range_rejected(self):
+        m: IntervalMap[int] = IntervalMap()
+        with pytest.raises(ValueError):
+            m.assign(5, 5, 1)
+        with pytest.raises(ValueError):
+            m.overlaps(7, 3)
+
+    def test_constructor_from_segments(self):
+        m = IntervalMap([(0, 5, "a"), (5, 9, "b")])
+        assert m.total_span() == 9
+
+    def test_clear(self):
+        m = IntervalMap([(0, 5, 1)])
+        m.clear()
+        assert len(m) == 0
+
+
+# ----------------------------------------------------------------------
+# Property tests against a naive per-address model
+# ----------------------------------------------------------------------
+
+_ADDR = st.integers(min_value=0, max_value=120)
+
+
+@st.composite
+def _ranges(draw):
+    lo = draw(_ADDR)
+    hi = draw(st.integers(min_value=lo + 1, max_value=128))
+    return lo, hi
+
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("assign"), _ranges(), st.integers(0, 5)),
+        st.tuples(st.just("erase"), _ranges(), st.just(0)),
+        st.tuples(st.just("update"), _ranges(), st.integers(0, 5)),
+    ),
+    max_size=40,
+)
+
+
+def _apply_model(model: Dict[int, int], op, rng, value):
+    lo, hi = rng
+    if op == "assign":
+        for a in range(lo, hi):
+            model[a] = value
+    elif op == "erase":
+        for a in range(lo, hi):
+            model.pop(a, None)
+    else:  # update
+        for a in range(lo, hi):
+            if a in model:
+                model[a] = model[a] + value
+
+
+class TestIntervalMapProperties:
+    @given(_OPS)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_naive_model(self, ops):
+        m: IntervalMap[int] = IntervalMap()
+        model: Dict[int, int] = {}
+        for op, rng, value in ops:
+            lo, hi = rng
+            if op == "assign":
+                m.assign(lo, hi, value)
+            elif op == "erase":
+                m.erase(lo, hi)
+            else:
+                m.update(lo, hi, lambda s, e, v: v + value)
+            _apply_model(model, op, rng, value)
+            # Point queries agree everywhere.
+            for a in range(0, 129):
+                assert m.get(a) == model.get(a), f"mismatch at {a} after {op}"
+
+    @given(_OPS, _ranges())
+    @settings(max_examples=200, deadline=None)
+    def test_gaps_and_overlaps_partition_queries(self, ops, query):
+        m: IntervalMap[int] = IntervalMap()
+        for op, rng, value in ops:
+            lo, hi = rng
+            if op == "assign":
+                m.assign(lo, hi, value)
+            elif op == "erase":
+                m.erase(lo, hi)
+            else:
+                m.update(lo, hi, lambda s, e, v: v + value)
+        lo, hi = query
+        pieces = [(s, e) for s, e, _ in m.overlaps(lo, hi)] + m.gaps(lo, hi)
+        pieces.sort()
+        # The clipped overlaps plus the gaps exactly tile [lo, hi).
+        cursor = lo
+        for s, e in pieces:
+            assert s == cursor
+            assert e > s
+            cursor = e
+        assert cursor == hi
+
+    @given(_OPS)
+    @settings(max_examples=100, deadline=None)
+    def test_segments_sorted_and_disjoint(self, ops):
+        m: IntervalMap[int] = IntervalMap()
+        for op, rng, value in ops:
+            lo, hi = rng
+            if op == "assign":
+                m.assign(lo, hi, value)
+            elif op == "erase":
+                m.erase(lo, hi)
+            else:
+                m.update(lo, hi, lambda s, e, v: v + value)
+        segments = list(m)
+        for (s1, e1, _), (s2, e2, _) in zip(segments, segments[1:]):
+            assert e1 <= s2
+        for s, e, _ in segments:
+            assert s < e

@@ -1,0 +1,40 @@
+"""Unit tests for epoch-interval arithmetic."""
+
+from repro.core.intervals import INF, Interval, span
+
+
+class TestInterval:
+    def test_closed(self):
+        assert Interval(0, 1).closed
+        assert not Interval(0, INF).closed
+
+    def test_ends_by(self):
+        assert Interval(0, 1).ends_by(1)
+        assert Interval(0, 1).ends_by(5)
+        assert not Interval(0, 2).ends_by(1)
+        assert not Interval(0, INF).ends_by(10**9)
+
+    def test_ordered_before_disjoint(self):
+        # Paper Figure 7 line 6: (0,1) before (1,inf) -- touching is ordered.
+        assert Interval(0, 1).ordered_before(Interval(1, INF))
+
+    def test_ordered_before_overlap(self):
+        # Paper Figure 4: (1,2) does not order before (1,inf).
+        assert not Interval(1, 2).ordered_before(Interval(1, INF))
+
+    def test_open_interval_orders_before_nothing(self):
+        assert not Interval(0, INF).ordered_before(Interval(5, 6))
+
+    def test_starts_before(self):
+        assert Interval(0, INF).starts_before(Interval(1, INF))
+        assert not Interval(1, INF).starts_before(Interval(1, INF))
+
+    def test_overlaps_symmetry(self):
+        a, b = Interval(0, 2), Interval(1, 3)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not Interval(0, 1).overlaps(Interval(1, 2))
+
+    def test_span_default_open(self):
+        assert span(3) == Interval(3, INF)
+        assert span(3, 4) == Interval(3, 4)

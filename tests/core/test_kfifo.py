@@ -1,0 +1,96 @@
+"""Tests for the kernel FIFO channel (paper Section 4.5)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.kfifo import FifoClosed, KernelFifo
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        fifo: KernelFifo[int] = KernelFifo(capacity=8)
+        for i in range(5):
+            fifo.put(i)
+        assert [fifo.get() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_len(self):
+        fifo: KernelFifo[int] = KernelFifo(capacity=8)
+        fifo.put(1)
+        fifo.put(2)
+        assert len(fifo) == 2
+
+    def test_get_timeout(self):
+        fifo: KernelFifo[int] = KernelFifo(capacity=8)
+        with pytest.raises(TimeoutError):
+            fifo.get(timeout=0.01)
+
+    def test_tiny_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            KernelFifo(capacity=1)
+
+
+class TestBackpressure:
+    def test_producer_blocks_when_full_and_wakes_below_half(self):
+        fifo: KernelFifo[int] = KernelFifo(capacity=4)
+        for i in range(4):
+            fifo.put(i)
+        produced = threading.Event()
+
+        def producer():
+            fifo.put(99)  # must block: fifo full
+            produced.set()
+
+        t = threading.Thread(target=producer, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        assert not produced.is_set()
+        # Draining one item (3 left, >= capacity//2 == 2) must NOT wake it.
+        fifo.get()
+        time.sleep(0.05)
+        assert not produced.is_set()
+        # Draining below half capacity wakes the producer (hysteresis).
+        fifo.get()
+        fifo.get()
+        t.join(timeout=1)
+        assert produced.is_set()
+        assert fifo.producer_waits == 1
+
+    def test_no_wait_when_not_full(self):
+        fifo: KernelFifo[int] = KernelFifo(capacity=4)
+        fifo.put(1)
+        assert fifo.producer_waits == 0
+
+
+class TestClose:
+    def test_close_wakes_blocked_consumer(self):
+        fifo: KernelFifo[int] = KernelFifo(capacity=4)
+        raised = threading.Event()
+
+        def consumer():
+            try:
+                fifo.get()
+            except FifoClosed:
+                raised.set()
+
+        t = threading.Thread(target=consumer, daemon=True)
+        t.start()
+        time.sleep(0.02)
+        fifo.close()
+        t.join(timeout=1)
+        assert raised.is_set()
+
+    def test_put_on_closed_raises(self):
+        fifo: KernelFifo[int] = KernelFifo(capacity=4)
+        fifo.close()
+        with pytest.raises(FifoClosed):
+            fifo.put(1)
+
+    def test_get_drains_before_raising(self):
+        fifo: KernelFifo[int] = KernelFifo(capacity=4)
+        fifo.put(1)
+        fifo.close()
+        assert fifo.get() == 1
+        with pytest.raises(FifoClosed):
+            fifo.get()

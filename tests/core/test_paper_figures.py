@@ -1,0 +1,129 @@
+"""Literal replays of the paper's worked examples (Figures 1, 3, 4, 7)."""
+
+from repro.core.api import PMTestSession
+from repro.core.reports import ReportCode
+from repro.core.rules import HOPSRules
+
+
+def x86_session() -> PMTestSession:
+    s = PMTestSession(workers=0)
+    s.thread_init()
+    s.start()
+    return s
+
+
+class TestFigure7:
+    """The trace of Figure 7 with its expected verdicts."""
+
+    def test_full_trace(self):
+        s = x86_session()
+        s.write(0x10, 64)
+        s.clwb(0x10, 64)
+        s.sfence()
+        s.write(0x50, 64)
+        s.is_persist(0x50, 64)  # line 5: FAIL
+        s.is_ordered_before(0x10, 64, 0x50, 64)  # line 6: pass
+        result = s.exit()
+        assert [r.code for r in result.failures] == [ReportCode.NOT_PERSISTED]
+        assert not result.warnings
+
+
+class TestFigure4:
+    """write A; clwb A; write B; sfence -- overlapping persist intervals."""
+
+    def test_a_may_not_persist_before_b(self):
+        s = x86_session()
+        s.sfence()
+        s.write(0xA0, 8)
+        s.clwb(0xA0, 8)
+        s.write(0xB0, 8)
+        s.sfence()
+        s.is_ordered_before(0xA0, 8, 0xB0, 8)
+        s.is_persist(0xB0, 8)
+        result = s.exit()
+        assert [r.code for r in result.failures] == [
+            ReportCode.NOT_ORDERED,
+            ReportCode.NOT_PERSISTED,
+        ]
+
+
+class TestFigure3:
+    """The same checkers work across persistency models."""
+
+    A, B = 0x100, 0x200
+
+    def test_x86_variant_passes(self):
+        s = x86_session()
+        s.write(self.A, 8)
+        s.clwb(self.A, 8)
+        s.sfence()
+        s.write(self.B, 8)
+        s.clwb(self.B, 8)
+        s.sfence()
+        s.is_ordered_before(self.A, 8, self.B, 8)
+        s.is_persist(self.A, 8)
+        s.is_persist(self.B, 8)
+        assert s.exit().clean
+
+    def test_hops_variant_passes(self):
+        s = PMTestSession(rules=HOPSRules(), workers=0)
+        s.thread_init()
+        s.start()
+        s.write(self.A, 8)
+        s.ofence()
+        s.write(self.B, 8)
+        s.dfence()
+        s.is_ordered_before(self.A, 8, self.B, 8)
+        s.is_persist(self.A, 8)
+        s.is_persist(self.B, 8)
+        assert s.exit().clean
+
+
+class TestFigure1a:
+    """The undo-logging array update with missing persist_barriers.
+
+    The buggy version misses the barrier between creating the backup and
+    setting it valid, and between the in-place update and invalidating
+    the backup; PMTest's ordering checkers expose both.
+    """
+
+    BACKUP_VAL, BACKUP_VALID, ARRAY = 0x00, 0x08, 0x40
+
+    def _array_update(self, s: PMTestSession, with_barriers: bool) -> None:
+        s.write(self.BACKUP_VAL, 8)  # backup.val = array[index]
+        if with_barriers:  # the first missing persist_barrier
+            s.clwb(self.BACKUP_VAL, 8)
+            s.sfence()
+        s.write(self.BACKUP_VALID, 8)  # backup.valid = true
+        if with_barriers:
+            s.clwb(self.BACKUP_VALID, 8)
+        else:
+            s.clwb(self.BACKUP_VAL, 16)
+        s.sfence()  # persist_barrier() (line 4)
+        # Requirement: the backup value persists before the valid flag.
+        s.is_ordered_before(self.BACKUP_VAL, 8, self.BACKUP_VALID, 8)
+        s.write(self.ARRAY, 8)  # array[index] = new_val
+        if with_barriers:  # the second missing persist_barrier
+            s.clwb(self.ARRAY, 8)
+            s.sfence()
+        s.write(self.BACKUP_VALID, 8)  # backup.valid = false
+        if with_barriers:
+            s.clwb(self.BACKUP_VALID, 8)
+        else:
+            s.clwb(self.ARRAY, 8)
+            s.clwb(self.BACKUP_VALID, 8)
+        s.sfence()  # persist_barrier() (line 7)
+        # Requirement: the update persists before the backup invalidation.
+        s.is_ordered_before(self.ARRAY, 8, self.BACKUP_VALID, 8)
+
+    def test_buggy_version_detected(self):
+        s = x86_session()
+        self._array_update(s, with_barriers=False)
+        result = s.exit()
+        assert result.count(ReportCode.NOT_ORDERED) == 2
+
+    def test_fixed_version_passes(self):
+        s = x86_session()
+        self._array_update(s, with_barriers=True)
+        result = s.exit()
+        assert not result.failures

@@ -1,0 +1,113 @@
+"""Unit tests for the HOPS checking rules (paper Section 5.2)."""
+
+import pytest
+
+from repro.core.engine import CheckingEngine
+from repro.core.events import Event, Op, Trace
+from repro.core.intervals import INF
+from repro.core.reports import ReportCode
+from repro.core.rules import HOPSRules, UnsupportedOperation
+
+
+def check(*ops):
+    trace = Trace(0)
+    for op in ops:
+        trace.append(op)
+    return CheckingEngine(HOPSRules()).check_trace(trace)
+
+
+def W(addr, size=8):
+    return Event(Op.WRITE, addr, size)
+
+
+def OFENCE():
+    return Event(Op.OFENCE)
+
+
+def DFENCE():
+    return Event(Op.DFENCE)
+
+
+def PERSIST(addr, size=8):
+    return Event(Op.CHECK_PERSIST, addr, size)
+
+
+def ORDER(a, sa, b, sb):
+    return Event(Op.CHECK_ORDER, a, sa, b, sb)
+
+
+class TestDurability:
+    def test_dfence_persists_prior_writes(self):
+        result = check(W(0), DFENCE(), PERSIST(0))
+        assert result.clean
+
+    def test_ofence_does_not_persist(self):
+        result = check(W(0), OFENCE(), PERSIST(0))
+        assert result.count(ReportCode.NOT_PERSISTED) == 1
+
+    def test_write_after_dfence_not_persistent(self):
+        result = check(W(0), DFENCE(), W(64), PERSIST(64))
+        assert result.count(ReportCode.NOT_PERSISTED) == 1
+
+    def test_dfence_covers_multiple_epochs(self):
+        result = check(W(0), OFENCE(), W(64), DFENCE(), PERSIST(0), PERSIST(64))
+        assert result.clean
+
+
+class TestOrdering:
+    def test_ofence_orders_writes(self):
+        """Figure 3b: write A; ofence; write B -> A ordered before B."""
+        result = check(W(0), OFENCE(), W(64), DFENCE(), ORDER(0, 8, 64, 8))
+        assert not result.failures
+
+    def test_ordering_needs_no_durability(self):
+        # Neither write is durable yet, but they are still ordered.
+        result = check(W(0), OFENCE(), W(64), ORDER(0, 8, 64, 8))
+        assert not result.failures
+
+    def test_same_epoch_not_ordered(self):
+        result = check(W(0), W(64), ORDER(0, 8, 64, 8))
+        assert result.count(ReportCode.NOT_ORDERED) == 1
+
+    def test_paper_figure3b_full(self):
+        """write A; ofence; write B; dfence; both checkers pass."""
+        result = check(
+            W(0),
+            OFENCE(),
+            W(64),
+            DFENCE(),
+            ORDER(0, 8, 64, 8),
+            PERSIST(0),
+            PERSIST(64),
+        )
+        assert result.clean
+
+
+class TestIntervalDerivation:
+    def test_intervals_close_at_first_later_dfence(self):
+        rules = HOPSRules()
+        shadow = rules.make_shadow()
+        rules.apply_op(shadow, W(0, 8))
+        rules.apply_op(shadow, DFENCE())
+        rules.apply_op(shadow, W(64, 8))
+        rules.apply_op(shadow, DFENCE())
+        [(_, _, iv0, _)] = rules.persist_intervals(shadow, 0, 8)
+        [(_, _, iv1, _)] = rules.persist_intervals(shadow, 64, 72)
+        assert (iv0.start, iv0.end) == (0, 1)
+        assert (iv1.start, iv1.end) == (1, 2)
+
+    def test_open_interval_without_dfence(self):
+        rules = HOPSRules()
+        shadow = rules.make_shadow()
+        rules.apply_op(shadow, W(0, 8))
+        rules.apply_op(shadow, OFENCE())
+        [(_, _, iv, _)] = rules.persist_intervals(shadow, 0, 8)
+        assert iv.end == INF
+
+    def test_rejects_x86_ops(self):
+        rules = HOPSRules()
+        shadow = rules.make_shadow()
+        with pytest.raises(UnsupportedOperation):
+            rules.apply_op(shadow, Event(Op.CLWB, 0, 8))
+        with pytest.raises(UnsupportedOperation):
+            rules.apply_op(shadow, Event(Op.SFENCE))

@@ -1,0 +1,174 @@
+"""Unit tests for the x86 checking rules (paper Section 4.4)."""
+
+import pytest
+
+from repro.core.engine import CheckingEngine
+from repro.core.events import Event, Op, Trace
+from repro.core.reports import Level, ReportCode
+from repro.core.rules import UnsupportedOperation, X86Rules
+from repro.core.rules.base import PersistencyRules
+from repro.core.intervals import INF
+
+
+def check(*ops) -> "TestResult":
+    trace = Trace(0)
+    for op in ops:
+        trace.append(op)
+    return CheckingEngine(X86Rules()).check_trace(trace)
+
+
+def W(addr, size=8):
+    return Event(Op.WRITE, addr, size)
+
+
+def NT(addr, size=8):
+    return Event(Op.WRITE_NT, addr, size)
+
+
+def CLWB(addr, size=8):
+    return Event(Op.CLWB, addr, size)
+
+
+def SFENCE():
+    return Event(Op.SFENCE)
+
+
+def PERSIST(addr, size=8):
+    return Event(Op.CHECK_PERSIST, addr, size)
+
+
+def ORDER(a, sa, b, sb):
+    return Event(Op.CHECK_ORDER, a, sa, b, sb)
+
+
+class TestDurability:
+    def test_write_flush_fence_is_persistent(self):
+        result = check(W(0), CLWB(0), SFENCE(), PERSIST(0))
+        assert result.clean
+
+    def test_unwritten_range_trivially_persistent(self):
+        result = check(W(0), CLWB(0), SFENCE(), PERSIST(0x1000))
+        assert result.clean
+
+    def test_write_without_flush_fails(self):
+        result = check(W(0), SFENCE(), PERSIST(0))
+        assert result.count(ReportCode.NOT_PERSISTED) == 1
+
+    def test_write_flush_without_fence_fails(self):
+        result = check(W(0), CLWB(0), PERSIST(0))
+        assert result.count(ReportCode.NOT_PERSISTED) == 1
+
+    def test_rewrite_after_persist_reopens_interval(self):
+        result = check(W(0), CLWB(0), SFENCE(), W(0), PERSIST(0))
+        assert result.count(ReportCode.NOT_PERSISTED) == 1
+
+    def test_partial_flush_fails_for_unflushed_part(self):
+        # Write 128 bytes, flush only the first 64.
+        result = check(W(0, 128), CLWB(0, 64), SFENCE(), PERSIST(0, 128))
+        assert result.count(ReportCode.NOT_PERSISTED) == 1
+
+    def test_nt_store_persists_with_fence_alone(self):
+        result = check(NT(0), SFENCE(), PERSIST(0))
+        assert result.clean
+
+    def test_nt_store_without_fence_fails(self):
+        result = check(NT(0), PERSIST(0))
+        assert result.count(ReportCode.NOT_PERSISTED) == 1
+
+    def test_clflushopt_and_clflush_count_as_flushes(self):
+        for op in (Op.CLFLUSHOPT, Op.CLFLUSH):
+            result = check(W(0), Event(op, 0, 8), SFENCE(), PERSIST(0))
+            assert result.clean, op
+
+
+class TestOrdering:
+    def test_ordered_when_fenced_between(self):
+        result = check(W(0), CLWB(0), SFENCE(), W(64), ORDER(0, 8, 64, 8))
+        assert not result.failures
+
+    def test_same_epoch_not_ordered(self):
+        result = check(W(0), W(64), CLWB(0), CLWB(64), SFENCE(), ORDER(0, 8, 64, 8))
+        assert result.count(ReportCode.NOT_ORDERED) == 1
+
+    def test_unflushed_first_write_not_ordered(self):
+        # A never guaranteed to persist: cannot be ordered before B.
+        result = check(W(0), SFENCE(), W(64), CLWB(64), SFENCE(), ORDER(0, 8, 64, 8))
+        assert result.count(ReportCode.NOT_ORDERED) == 1
+
+    def test_order_unknown_when_range_unwritten(self):
+        result = check(W(0), CLWB(0), SFENCE(), ORDER(0, 8, 0x500, 8))
+        assert result.count(ReportCode.ORDER_UNKNOWN) == 1
+        assert not result.failures
+
+    def test_order_checked_pairwise_over_subranges(self):
+        # Two writes on the B side; only one is unordered w.r.t. A.
+        result = check(
+            W(0),
+            CLWB(0),
+            W(64),  # same epoch as A -> unordered
+            SFENCE(),
+            W(128),  # next epoch -> ordered after A
+            ORDER(0, 8, 64, 72),
+        )
+        assert result.count(ReportCode.NOT_ORDERED) == 1
+
+
+class TestPerformanceWarnings:
+    def test_duplicate_flush_in_flight(self):
+        result = check(W(0), CLWB(0), CLWB(0), SFENCE(), PERSIST(0))
+        assert result.count(ReportCode.DUP_FLUSH) == 1
+        assert result.passed  # still crash consistent
+
+    def test_flush_of_unwritten_data_warns(self):
+        result = check(W(0), CLWB(0x100))
+        assert result.count(ReportCode.UNNECESSARY_FLUSH) == 1
+
+    def test_flush_of_already_persisted_data_warns(self):
+        result = check(W(0), CLWB(0), SFENCE(), CLWB(0))
+        assert result.count(ReportCode.UNNECESSARY_FLUSH) == 1
+
+    def test_duplicate_flush_keeps_original_guarantee(self):
+        # The dup flush must not delay the persist guarantee.
+        result = check(W(0), CLWB(0), CLWB(0), SFENCE(), PERSIST(0))
+        assert not result.failures
+
+    def test_clean_flush_no_warning(self):
+        result = check(W(0), CLWB(0), SFENCE(), W(0), CLWB(0), SFENCE())
+        assert result.clean
+
+
+class TestEpochSemantics:
+    def test_persist_interval_matches_figure7(self):
+        """Replay Figure 7's update table against the shadow directly."""
+        rules = X86Rules()
+        shadow = rules.make_shadow()
+        rules.apply_op(shadow, W(0x10, 64))
+        [(lo, hi, iv, _)] = rules.persist_intervals(shadow, 0x10, 0x50)
+        assert (iv.start, iv.end) == (0, INF)
+        rules.apply_op(shadow, CLWB(0x10, 64))
+        rules.apply_op(shadow, SFENCE())
+        [(lo, hi, iv, _)] = rules.persist_intervals(shadow, 0x10, 0x50)
+        assert (iv.start, iv.end) == (0, 1)
+        rules.apply_op(shadow, W(0x50, 64))
+        [(lo, hi, iv, _)] = rules.persist_intervals(shadow, 0x50, 0x90)
+        assert (iv.start, iv.end) == (1, INF)
+
+    def test_fence_only_closes_flushed_intervals(self):
+        rules = X86Rules()
+        shadow = rules.make_shadow()
+        rules.apply_op(shadow, W(0, 8))
+        rules.apply_op(shadow, SFENCE())
+        [(_, _, iv, _)] = rules.persist_intervals(shadow, 0, 8)
+        assert iv.end == INF
+
+    def test_rejects_hops_fences(self):
+        rules = X86Rules()
+        shadow = rules.make_shadow()
+        with pytest.raises(UnsupportedOperation):
+            rules.apply_op(shadow, Event(Op.OFENCE))
+
+    def test_supported_ops_declared(self):
+        rules = X86Rules()
+        assert rules.is_supported(Op.SFENCE)
+        assert not rules.is_supported(Op.DFENCE)
+        assert isinstance(rules, PersistencyRules)

@@ -1,0 +1,93 @@
+"""Direct tests for the shadow memory's lazy interval derivation."""
+
+from repro.core.events import SourceSite
+from repro.core.intervals import INF
+from repro.core.shadow import SegmentState, ShadowMemory
+
+
+class TestTimestamps:
+    def test_starts_at_zero(self):
+        assert ShadowMemory().timestamp == 0
+
+    def test_advance(self):
+        shadow = ShadowMemory()
+        assert shadow.advance() == 1
+        assert shadow.advance() == 2
+
+
+class TestX86Derivation:
+    def test_unflushed_write_is_open(self):
+        shadow = ShadowMemory()
+        state = SegmentState(write_epoch=0)
+        assert shadow.x86_interval(state).end == INF
+        assert shadow.x86_flush_interval(state) is None
+
+    def test_flushed_but_unfenced_is_open(self):
+        shadow = ShadowMemory()
+        state = SegmentState(write_epoch=0, flush_epoch=0)
+        # No fence has happened: timestamp == flush_epoch.
+        assert shadow.x86_interval(state).end == INF
+        assert not shadow.x86_flush_interval(state).closed
+
+    def test_fence_closes_at_flush_epoch_plus_one(self):
+        shadow = ShadowMemory()
+        state = SegmentState(write_epoch=0, flush_epoch=0)
+        shadow.advance()
+        assert shadow.x86_interval(state) == (0, 1)
+        assert shadow.x86_flush_interval(state) == (0, 1)
+
+    def test_later_fences_do_not_move_the_end(self):
+        shadow = ShadowMemory()
+        state = SegmentState(write_epoch=0, flush_epoch=0)
+        for _ in range(5):
+            shadow.advance()
+        assert shadow.x86_interval(state) == (0, 1)
+
+    def test_flush_in_later_epoch(self):
+        shadow = ShadowMemory()
+        shadow.advance()  # T=1
+        shadow.advance()  # T=2
+        state = SegmentState(write_epoch=0, flush_epoch=2)
+        assert shadow.x86_interval(state).end == INF
+        shadow.advance()  # T=3: the first fence after the flush
+        assert shadow.x86_interval(state) == (0, 3)
+
+    def test_with_flush_preserves_write_metadata(self):
+        site_w = SourceSite("a.c", 1)
+        site_f = SourceSite("a.c", 2)
+        state = SegmentState(3, None, site_w)
+        flushed = state.with_flush(5, site_f)
+        assert flushed.write_epoch == 3
+        assert flushed.flush_epoch == 5
+        assert flushed.write_site == site_w
+        assert flushed.flush_site == site_f
+
+
+class TestHOPSDerivation:
+    def test_no_dfence_is_open(self):
+        shadow = ShadowMemory()
+        state = SegmentState(write_epoch=0)
+        assert shadow.hops_interval(state).end == INF
+
+    def test_first_dfence_after_write_closes(self):
+        shadow = ShadowMemory()
+        shadow.record_dfence()  # T=1
+        state = SegmentState(write_epoch=1)
+        shadow.record_dfence()  # T=2
+        shadow.record_dfence()  # T=3
+        assert shadow.hops_interval(state) == (1, 2)
+
+    def test_dfence_before_write_does_not_close(self):
+        shadow = ShadowMemory()
+        shadow.record_dfence()  # T=1
+        state = SegmentState(write_epoch=1)
+        assert shadow.hops_interval(state).end == INF
+
+    def test_first_dfence_after(self):
+        shadow = ShadowMemory()
+        shadow.record_dfence()  # epochs: [1]
+        shadow.advance()  # ofence: T=2
+        shadow.record_dfence()  # epochs: [1, 3]
+        assert shadow.first_dfence_after(0) == 1
+        assert shadow.first_dfence_after(1) == 3
+        assert shadow.first_dfence_after(3) == INF

@@ -1,0 +1,154 @@
+"""Tests for trace serialization and offline re-checking."""
+
+import io
+
+import pytest
+
+from repro.core.api import PMTestSession
+from repro.core.engine import CheckingEngine
+from repro.core.events import Event, Op, SourceSite, Trace
+from repro.core.reports import ReportCode
+from repro.core.rules import HOPSRules
+from repro.core.traceio import (
+    TraceFormatError,
+    TraceRecorder,
+    dump_traces,
+    load_traces,
+)
+
+
+def sample_traces():
+    t0 = Trace(0, thread_name="main")
+    t0.append(Event(Op.WRITE, 0x10, 64, site=SourceSite("app.c", 12, "f")))
+    t0.append(Event(Op.CLWB, 0x10, 64))
+    t0.append(Event(Op.SFENCE))
+    t0.append(Event(Op.CHECK_ORDER, 0x10, 64, 0x50, 64))
+    t1 = Trace(1, thread_name="worker")
+    t1.append(Event(Op.CHECK_PERSIST, 0x10, 64))
+    return [t0, t1]
+
+
+class TestRoundTrip:
+    def test_dump_and_load(self, tmp_path):
+        path = tmp_path / "run.pmtrace"
+        assert dump_traces(sample_traces(), path) == 2
+        loaded = load_traces(path)
+        assert len(loaded) == 2
+        assert loaded[0].trace_id == 0
+        assert loaded[0].thread_name == "main"
+        assert loaded[1].thread_name == "worker"
+
+    def test_events_preserved(self):
+        buffer = io.StringIO()
+        dump_traces(sample_traces(), buffer)
+        buffer.seek(0)
+        [t0, t1] = load_traces(buffer)
+        assert [e.op for e in t0.events] == [
+            Op.WRITE, Op.CLWB, Op.SFENCE, Op.CHECK_ORDER
+        ]
+        assert t0.events[0].addr == 0x10
+        assert t0.events[0].site == SourceSite("app.c", 12, "f")
+        assert t0.events[3].addr2 == 0x50
+        assert t0.events[1].site is None
+
+    def test_seq_reassigned_on_load(self):
+        buffer = io.StringIO()
+        dump_traces(sample_traces(), buffer)
+        buffer.seek(0)
+        [t0, _] = load_traces(buffer)
+        assert [e.seq for e in t0.events] == [0, 1, 2, 3]
+
+    def test_checking_verdict_identical_after_roundtrip(self):
+        traces = sample_traces()
+        engine = CheckingEngine()
+        direct = engine.check_traces(traces)
+        buffer = io.StringIO()
+        dump_traces(sample_traces(), buffer)
+        buffer.seek(0)
+        replayed = engine.check_traces(load_traces(buffer))
+        assert [r.code for r in direct.reports] == [
+            r.code for r in replayed.reports
+        ]
+
+    def test_empty_dump(self, tmp_path):
+        path = tmp_path / "empty.pmtrace"
+        dump_traces([], path)
+        assert load_traces(path) == []
+
+
+class TestFormatErrors:
+    def test_missing_header(self):
+        with pytest.raises(TraceFormatError):
+            load_traces(io.StringIO('{"trace": 0}\n'))
+
+    def test_wrong_version(self):
+        with pytest.raises(TraceFormatError):
+            load_traces(
+                io.StringIO('{"format": "pmtest-trace", "version": 99}\n')
+            )
+
+    def test_event_before_trace(self):
+        data = (
+            '{"format": "pmtest-trace", "version": 1}\n'
+            '{"op": "WRITE", "addr": 0, "size": 8}\n'
+        )
+        with pytest.raises(TraceFormatError):
+            load_traces(io.StringIO(data))
+
+    def test_unknown_op(self):
+        data = (
+            '{"format": "pmtest-trace", "version": 1}\n'
+            '{"trace": 0}\n'
+            '{"op": "TELEPORT", "addr": 0, "size": 8}\n'
+        )
+        with pytest.raises(TraceFormatError):
+            load_traces(io.StringIO(data))
+
+    def test_bad_json(self):
+        with pytest.raises(TraceFormatError):
+            load_traces(io.StringIO("not json\n"))
+
+
+class TestRecorderWorkflow:
+    def test_record_then_check_offline(self, tmp_path):
+        """The offline-analysis workflow: capture now, check later —
+        under a different persistency model if desired."""
+        recorder = TraceRecorder()
+        session = PMTestSession(workers=0, sink=recorder)
+        session.thread_init()
+        session.start()
+        session.write(0x10, 8)
+        session.sfence()  # no flush: a durability bug under x86
+        session.is_persist(0x10, 8)
+        session.exit()
+
+        path = tmp_path / "captured.pmtrace"
+        dump_traces(recorder.traces, path)
+
+        offline = CheckingEngine().check_traces(load_traces(path))
+        assert offline.count(ReportCode.NOT_PERSISTED) == 1
+
+    def test_recorder_checks_nothing(self):
+        recorder = TraceRecorder()
+        session = PMTestSession(workers=0, sink=recorder)
+        session.thread_init()
+        session.start()
+        session.write(0, 8)
+        result = session.exit()
+        assert result.clean  # nothing checked, only recorded
+        assert recorder.dispatched == 1
+
+    def test_recheck_under_different_model_rejects_foreign_ops(self):
+        """A trace recorded on x86 replayed under HOPS rules raises: the
+        models speak different op vocabularies."""
+        from repro.core.rules.base import UnsupportedOperation
+
+        recorder = TraceRecorder()
+        session = PMTestSession(workers=0, sink=recorder)
+        session.thread_init()
+        session.start()
+        session.write(0, 8)
+        session.clwb(0, 8)
+        session.exit()
+        with pytest.raises(UnsupportedOperation):
+            CheckingEngine(HOPSRules()).check_traces(recorder.traces)

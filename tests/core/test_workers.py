@@ -1,0 +1,100 @@
+"""Tests for the master/worker checking runtime (paper Figure 8)."""
+
+import threading
+
+import pytest
+
+from repro.core.events import Event, Op, Trace
+from repro.core.reports import ReportCode
+from repro.core.workers import WorkerPool
+
+
+def bad_trace(trace_id: int) -> Trace:
+    trace = Trace(trace_id)
+    trace.append(Event(Op.WRITE, 0, 8))
+    trace.append(Event(Op.CHECK_PERSIST, 0, 8))
+    return trace
+
+
+def good_trace(trace_id: int) -> Trace:
+    trace = Trace(trace_id)
+    trace.append(Event(Op.WRITE, 0, 8))
+    trace.append(Event(Op.CLWB, 0, 8))
+    trace.append(Event(Op.SFENCE))
+    trace.append(Event(Op.CHECK_PERSIST, 0, 8))
+    return trace
+
+
+class TestSynchronousMode:
+    def test_inline_checking(self):
+        pool = WorkerPool(num_workers=0)
+        pool.submit(bad_trace(0))
+        result = pool.close()
+        assert result.count(ReportCode.NOT_PERSISTED) == 1
+        assert pool.synchronous
+
+
+class TestWorkerDispatch:
+    def test_round_robin(self):
+        with WorkerPool(num_workers=3) as pool:
+            for i in range(7):
+                pool.submit(good_trace(i))
+            pool.drain()
+            assert pool.worker_trace_counts() == [3, 2, 2]
+
+    def test_results_merged_across_workers(self):
+        with WorkerPool(num_workers=4) as pool:
+            for i in range(10):
+                pool.submit(bad_trace(i))
+            result = pool.drain()
+        assert result.traces_checked == 10
+        assert result.count(ReportCode.NOT_PERSISTED) == 10
+
+    def test_drain_blocks_until_done(self):
+        with WorkerPool(num_workers=2) as pool:
+            for i in range(50):
+                pool.submit(good_trace(i))
+            result = pool.drain()
+            assert result.traces_checked == 50
+
+    def test_drain_is_cumulative_snapshot(self):
+        with WorkerPool(num_workers=1) as pool:
+            pool.submit(bad_trace(0))
+            first = pool.drain()
+            pool.submit(bad_trace(1))
+            second = pool.drain()
+        assert first.traces_checked == 1
+        assert second.traces_checked == 2
+
+    def test_trace_ids_preserved_in_reports(self):
+        with WorkerPool(num_workers=2) as pool:
+            pool.submit(bad_trace(7))
+            result = pool.drain()
+        assert result.reports[0].trace_id == 7
+
+    def test_submit_after_close_rejected(self):
+        pool = WorkerPool(num_workers=1)
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.submit(good_trace(0))
+
+    def test_concurrent_submitters(self):
+        with WorkerPool(num_workers=2) as pool:
+            def producer(base):
+                for i in range(20):
+                    pool.submit(good_trace(base + i))
+
+            threads = [
+                threading.Thread(target=producer, args=(k * 100,)) for k in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            result = pool.drain()
+        assert result.traces_checked == 80
+        assert not result.failures
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(num_workers=-1)

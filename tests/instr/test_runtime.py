@@ -1,0 +1,150 @@
+"""Tests for the instrumentation runtime (the observer fan-out)."""
+
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro.core.api import PMTestSession
+from repro.core.events import SourceSite
+from repro.instr.runtime import PMRuntime, SessionObserver
+from repro.pmem.machine import PMMachine
+
+
+class RecordingObserver:
+    """Captures every callback for assertions."""
+
+    def __init__(self, wants_loads: bool = False) -> None:
+        self.wants_loads = wants_loads
+        self.calls: List[Tuple] = []
+
+    def on_store(self, addr, size, nt, site):
+        self.calls.append(("store", addr, size, nt))
+
+    def on_load(self, addr, size):
+        self.calls.append(("load", addr, size))
+
+    def on_flush(self, addr, size, kind, site):
+        self.calls.append(("flush", addr, size, kind))
+
+    def on_fence(self, kind, site):
+        self.calls.append(("fence", kind))
+
+    def on_tx_begin(self, site):
+        self.calls.append(("tx_begin",))
+
+    def on_tx_end(self, site):
+        self.calls.append(("tx_end",))
+
+    def on_tx_add(self, addr, size, site):
+        self.calls.append(("tx_add", addr, size))
+
+
+class TestFanOut:
+    def test_all_ops_reach_observer(self):
+        observer = RecordingObserver()
+        runtime = PMRuntime(machine=PMMachine(4096), observers=[observer])
+        runtime.store(0, b"ab")
+        runtime.store_u64(8, 7, nt=True)
+        runtime.clwb(0, 2)
+        runtime.clflushopt(0, 2)
+        runtime.clflush(0, 2)
+        runtime.sfence()
+        runtime.tx_begin()
+        runtime.tx_add(0, 2)
+        runtime.tx_end()
+        kinds = [call[0] for call in observer.calls]
+        assert kinds == [
+            "store", "store", "flush", "flush", "flush", "fence",
+            "tx_begin", "tx_add", "tx_end",
+        ]
+        assert observer.calls[1] == ("store", 8, 8, True)
+        assert observer.calls[2][3] == "clwb"
+        assert observer.calls[4][3] == "clflush"
+
+    def test_persist_is_flush_plus_fence(self):
+        observer = RecordingObserver()
+        runtime = PMRuntime(machine=PMMachine(4096), observers=[observer])
+        runtime.store(0, b"x")
+        runtime.persist(0, 1)
+        kinds = [call[0] for call in observer.calls]
+        assert kinds == ["store", "flush", "fence"]
+
+    def test_hops_fences(self):
+        observer = RecordingObserver()
+        runtime = PMRuntime(
+            machine=PMMachine(4096, model="hops"), observers=[observer]
+        )
+        runtime.ofence()
+        runtime.dfence()
+        assert observer.calls == [("fence", "ofence"), ("fence", "dfence")]
+
+    def test_loads_only_reach_opted_in_observers(self):
+        plain = RecordingObserver(wants_loads=False)
+        greedy = RecordingObserver(wants_loads=True)
+        runtime = PMRuntime(
+            machine=PMMachine(4096), observers=[plain, greedy]
+        )
+        runtime.store(0, b"x")
+        runtime.load(0, 1)
+        assert ("load", 0, 1) in greedy.calls
+        assert all(call[0] != "load" for call in plain.calls)
+
+    def test_machine_and_observer_see_same_ops(self):
+        observer = RecordingObserver()
+        machine = PMMachine(4096)
+        runtime = PMRuntime(machine=machine, observers=[observer])
+        runtime.store_u64(0, 42)
+        assert machine.volatile.read_u64(0) == 42
+        assert observer.calls[0] == ("store", 0, 8, False)
+
+    def test_machineless_runtime_rejects_loads(self):
+        runtime = PMRuntime(machine=None)
+        with pytest.raises(RuntimeError):
+            runtime.load(0, 1)
+
+    def test_machineless_runtime_records_ops(self):
+        observer = RecordingObserver()
+        runtime = PMRuntime(machine=None, observers=[observer])
+        runtime.store(0, b"x")
+        runtime.sfence()
+        assert [c[0] for c in observer.calls] == ["store", "fence"]
+
+    def test_session_attached_as_observer(self):
+        session = PMTestSession(workers=0)
+        session.thread_init()
+        session.start()
+        runtime = PMRuntime(machine=PMMachine(4096), session=session)
+        assert any(
+            isinstance(obs, SessionObserver) for obs in runtime.observers
+        )
+        runtime.store_u64(0, 1)
+        assert session.pending_events == 1
+        session.exit()
+
+
+class TestSiteCapture:
+    def test_runtime_site_capture(self):
+        session = PMTestSession(workers=0)
+        session.thread_init()
+        session.start()
+        runtime = PMRuntime(
+            machine=PMMachine(4096), session=session, capture_sites=True
+        )
+        runtime.store_u64(0, 1)
+        session.is_persist(0, 8)
+        result = session.exit()
+        [report] = result.failures
+        assert report.related_site is not None
+        assert report.related_site.file.endswith("test_runtime.py")
+
+    def test_explicit_site_passes_through(self):
+        observer = RecordingObserver()
+        runtime = PMRuntime(machine=PMMachine(4096), observers=[observer])
+        site = SourceSite("somewhere.c", 99)
+        session = PMTestSession(workers=0)
+        session.thread_init()
+        session.start()
+        session.write(0, 8, site=site)
+        session.is_persist(0, 8)
+        result = session.exit()
+        assert result.failures[0].related_site == site

@@ -1,0 +1,119 @@
+"""End-to-end integration: every layer of the stack in one scenario.
+
+A 'day in the life' test: a multi-threaded Memcached, a Redis with
+eviction, and a PMFS under filebench all run against their own PM
+machines under one shared checking configuration, traces flow through
+workers (and the kernel FIFO for PMFS), and everything comes back
+clean; then one fault is injected into each and each is caught.
+"""
+
+import pytest
+
+from repro.core.api import PMTestSession
+from repro.core.reports import ReportCode
+from repro.instr.runtime import PMRuntime
+from repro.pmem.machine import PMMachine
+from repro.pmdk.pool import PMPool
+from repro.pmfs import PMFS, KernelBridge
+from repro.workloads import (
+    MemcachedServer,
+    RedisServer,
+    drive_fs,
+    drive_kv,
+    filebench_ops,
+    memslap_ops,
+    redis_lru_ops,
+    run_client_threads,
+)
+
+
+def test_memcached_multithreaded_clean_through_workers():
+    session = PMTestSession(workers=3)
+    runtime = PMRuntime(machine=PMMachine(32 << 20), session=session)
+    pool = PMPool(runtime, log_capacity=512 * 1024)
+    server = MemcachedServer(pool)
+
+    def worker(index):
+        return drive_kv(
+            server,
+            memslap_ops(120, key_space=40, seed=index),
+            session=session,
+            trace_every=4,
+        )
+
+    run_client_threads(worker, 3, session=session)
+    result = session.exit()
+    assert result.clean
+    assert result.traces_checked >= 30
+    # Round-robin actually used multiple workers.
+    counts = session.pool.worker_trace_counts()
+    assert sum(1 for c in counts if c > 0) >= 2
+
+
+def test_redis_with_eviction_clean_under_tx_checkers():
+    session = PMTestSession(workers=2)
+    session.thread_init()
+    session.start()
+    runtime = PMRuntime(machine=PMMachine(32 << 20), session=session)
+    pool = PMPool(runtime, log_capacity=512 * 1024)
+    server = RedisServer(pool, maxkeys=25)
+    session.send_trace()
+    drive_kv(server, redis_lru_ops(120), session=session, trace_every=4)
+    result = session.exit()
+    assert result.clean
+    assert server.evictions > 0
+
+
+def test_pmfs_through_kernel_bridge_clean():
+    bridge = KernelBridge(num_workers=2, fifo_capacity=32)
+    session = PMTestSession(workers=0, sink=bridge)
+    session.thread_init()
+    session.start()
+    runtime = PMRuntime(machine=PMMachine(8 << 20), session=session)
+    fs = PMFS(runtime, journal_capacity=32 * 1024)
+    session.send_trace()
+    drive_fs(fs, filebench_ops(200, seed=9), session=session, trace_every=4)
+    result = session.exit()
+    assert result.clean
+    assert result.traces_checked > 10
+
+
+@pytest.mark.parametrize(
+    "layer,expected",
+    [
+        ("redis-tx", ReportCode.TX_NOT_PERSISTED),
+        ("pmfs-journal", ReportCode.DUP_FLUSH),
+        ("mnemosyne-log", ReportCode.NOT_PERSISTED),
+    ],
+)
+def test_one_fault_per_layer_detected(layer, expected):
+    session = PMTestSession(workers=1)
+    session.thread_init()
+    session.start()
+    runtime = PMRuntime(machine=PMMachine(32 << 20), session=session)
+    if layer == "redis-tx":
+        pool = PMPool(runtime, log_capacity=512 * 1024,
+                      tx_faults=("commit-no-flush",))
+        server = RedisServer(pool, maxkeys=30)
+        session.send_trace()
+        drive_kv(server, redis_lru_ops(40), session=session, trace_every=4)
+    elif layer == "pmfs-journal":
+        fs = PMFS(runtime, journal_capacity=32 * 1024,
+                  faults=("commit-dup-flush",))
+        session.send_trace()
+        drive_fs(fs, filebench_ops(60, seed=3), session=session,
+                 trace_every=4)
+    else:
+        pool = PMPool(runtime, log_capacity=512 * 1024)
+        server = MemcachedServer.__new__(MemcachedServer)
+        from repro.mnemosyne.pmap import MnemosyneMap
+        import threading
+
+        server.map = MnemosyneMap(pool, log_faults=("apply-no-flush",))
+        server.lock = threading.Lock()
+        server.stats = {"set": 0, "get": 0, "delete": 0, "hit": 0, "miss": 0}
+        session.send_trace()
+        drive_kv(server, memslap_ops(60, key_space=20, set_ratio=0.5),
+                 session=session, trace_every=4)
+    result = session.exit()
+    assert result.count(expected) >= 1, result.summary()

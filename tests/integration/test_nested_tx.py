@@ -1,0 +1,64 @@
+"""The paper's Section 7.1 discovery, reproduced as a test.
+
+"In a program with nested PMDK transactions ... PMTest reports that the
+updates in the inner transaction are not persisted before the end of
+the inner TX_END.  ...  Analyzing PMDK source code, we found that
+updates are guaranteed to be persisted only when the outermost
+transaction ends."
+
+PMTest is not only a bug finder: wrapping the checker pair around the
+inner vs the outer transaction reveals the library's real durability
+semantics.
+"""
+
+from repro.core.api import PMTestSession
+from repro.core.reports import ReportCode
+from repro.instr.runtime import PMRuntime
+from repro.pmem.machine import PMMachine
+from repro.pmdk.pool import PMPool
+
+
+def _nested_tx(session, check: str):
+    """Outer TX containing an inner TX that updates one object."""
+    runtime = PMRuntime(machine=PMMachine(1 << 20), session=session)
+    pool = PMPool(runtime, log_capacity=8 * 1024)
+    addr = pool.alloc(8)
+    session.send_trace()
+    tx = pool.tx
+    if check == "outer":
+        session.tx_check_start()
+    tx.begin()  # outer
+    if check == "inner":
+        session.tx_check_start()
+    tx.begin()  # inner
+    tx.add(addr, 8)
+    runtime.store_u64(addr, 42)
+    tx.commit()  # inner TX_END: nothing is durable yet
+    if check == "inner":
+        session.tx_check_end()
+    tx.commit()  # outer TX_END: now everything is flushed + fenced
+    if check == "outer":
+        session.tx_check_end()
+
+
+def test_inner_scope_reports_unpersisted_updates():
+    session = PMTestSession(workers=0)
+    session.thread_init()
+    session.start()
+    _nested_tx(session, check="inner")
+    result = session.exit()
+    # The checkers around the inner transaction report that its updates
+    # are not durable at the inner TX_END...
+    assert result.count(ReportCode.TX_NOT_PERSISTED) >= 1
+    assert result.count(ReportCode.INCOMPLETE_TX) >= 1  # still nested
+
+
+def test_outer_scope_is_clean():
+    session = PMTestSession(workers=0)
+    session.thread_init()
+    session.start()
+    _nested_tx(session, check="outer")
+    result = session.exit()
+    # ...but moving them to the outermost transaction passes: updates
+    # are guaranteed durable only when the outermost transaction ends.
+    assert result.clean, [str(r) for r in result.reports]

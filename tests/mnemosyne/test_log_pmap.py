@@ -1,0 +1,259 @@
+"""Tests for the Mnemosyne raw word log and persistent map."""
+
+import random
+
+import pytest
+
+from repro.core.api import PMTestSession
+from repro.core.reports import ReportCode
+from repro.instr.runtime import PMRuntime
+from repro.pmem.crash import CrashEnumerator
+from repro.pmem.machine import PMMachine
+from repro.pmdk.pool import PMPool
+from repro.mnemosyne.log import LogFull, RawWordLog, replay_log
+from repro.mnemosyne.pmap import (
+    MnemosyneMap,
+    fnv1a_64,
+    recover_map_image,
+    validate_image,
+)
+
+
+def make_runtime(session=None, size=16 << 20):
+    return PMRuntime(machine=PMMachine(size), session=session)
+
+
+def make_session():
+    session = PMTestSession(workers=0)
+    session.thread_init()
+    session.start()
+    return session
+
+
+class TestRawWordLog:
+    def _log(self, session=None, faults=()):
+        runtime = make_runtime(session)
+        pool = PMPool(runtime, log_capacity=4096)
+        base = pool.alloc(1024)
+        return runtime, RawWordLog(runtime, base, 1024, faults=faults)
+
+    def test_update_applies_words(self):
+        runtime, log = self._log()
+        a = 0x100000
+        log.update([(a, 7), (a + 8, 9)])
+        assert runtime.load_u64(a) == 7
+        assert runtime.load_u64(a + 8) == 9
+
+    def test_update_is_durable(self):
+        runtime, log = self._log()
+        a = 0x100000
+        log.update([(a, 7)])
+        assert runtime.machine.durable.read_u64(a) == 7
+
+    def test_commit_truncates(self):
+        runtime, log = self._log()
+        log.update([(0x100000, 7)])
+        assert runtime.load_u64(log.base) == 0
+
+    def test_abandon_discards(self):
+        runtime, log = self._log()
+        log.append(0x100000, 7)
+        log.abandon()
+        log.commit()  # no pending records: no-op
+        assert runtime.load_u64(0x100000) == 0
+
+    def test_log_full(self):
+        runtime, log = self._log()
+        with pytest.raises(LogFull):
+            for i in range(log.max_records + 1):
+                log.append(0x100000 + i * 8, i)
+
+    def test_unknown_fault_rejected(self):
+        runtime = make_runtime()
+        with pytest.raises(ValueError):
+            RawWordLog(runtime, 0x1000, 1024, faults=("bogus",))
+
+    def test_tiny_region_rejected(self):
+        runtime = make_runtime()
+        with pytest.raises(ValueError):
+            RawWordLog(runtime, 0x1000, 16)
+
+    def test_replay_committed_log(self):
+        """A crash after the commit marker but before the in-place redo
+        must be repaired by replay."""
+        runtime, log = self._log()
+        a = 0x100000
+        log.append(a, 42)
+        log.log_flush()
+        # Simulate the commit marker persisting without the redo: build
+        # the image by hand.
+        image = runtime.machine.durable.snapshot()
+        image.write_u64(log.base, 1)
+        replayed = replay_log(image, log.base)
+        assert replayed == 1
+        assert image.read_u64(a) == 42
+        assert image.read_u64(log.base) == 0
+
+    def test_replay_uncommitted_log_is_noop(self):
+        runtime, log = self._log()
+        log.append(0x100000, 42)
+        log.log_flush()
+        image = runtime.machine.volatile.snapshot()
+        image.write_u64(log.base, 0)
+        assert replay_log(image, log.base) == 0
+        # Value not applied.
+        assert image.read_u64(0x100000) == 0
+
+    @pytest.mark.parametrize(
+        "fault,code",
+        [
+            ("no-log-flush", ReportCode.NOT_ORDERED),
+            ("no-commit-fence", ReportCode.NOT_ORDERED),
+            ("apply-no-flush", ReportCode.NOT_PERSISTED),
+        ],
+    )
+    def test_faults_detected_by_self_annotation(self, fault, code):
+        session = make_session()
+        runtime, log = self._log(session=session, faults=(fault,))
+        log.update([(0x100000, 7)])
+        result = session.exit()
+        assert result.count(code) >= 1
+
+    def test_clean_log_passes_checkers(self):
+        session = make_session()
+        runtime, log = self._log(session=session)
+        log.update([(0x100000, 7), (0x100008, 8)])
+        assert session.exit().clean
+
+
+class TestMnemosyneMap:
+    def _map(self, session=None, log_faults=()):
+        runtime = make_runtime(session)
+        pool = PMPool(runtime, log_capacity=4096)
+        return MnemosyneMap(pool, log_faults=log_faults)
+
+    def test_set_get(self):
+        m = self._map()
+        m.set(b"hello", b"world")
+        assert m.get(b"hello") == b"world"
+        assert m.get(b"missing") is None
+
+    def test_update(self):
+        m = self._map()
+        m.set(b"k", b"v1")
+        m.set(b"k", b"v2")
+        assert m.get(b"k") == b"v2"
+        assert len(m) == 1
+
+    def test_delete(self):
+        m = self._map()
+        m.set(b"k", b"v")
+        assert m.delete(b"k")
+        assert not m.delete(b"k")
+        assert m.get(b"k") is None
+        assert len(m) == 0
+
+    def test_reopen_via_root(self):
+        m = self._map()
+        m.set(b"k", b"v")
+        again = MnemosyneMap(m.pool)
+        assert again.get(b"k") == b"v"
+
+    def test_model_random_ops(self):
+        m = self._map()
+        model = {}
+        rng = random.Random(11)
+        for i in range(250):
+            key = f"k{rng.randrange(40)}".encode()
+            if rng.random() < 0.6:
+                value = f"v{i}".encode()
+                m.set(key, value)
+                model[key] = value
+            else:
+                assert m.delete(key) == (key in model)
+                model.pop(key, None)
+        assert dict(m.items()) == model
+        assert len(m) == len(model)
+
+    def test_empty_values_and_keys(self):
+        m = self._map()
+        m.set(b"", b"")
+        assert m.get(b"") == b""
+
+    def test_clean_run_passes_pmtest(self):
+        session = make_session()
+        m = self._map(session=session)
+        for i in range(30):
+            m.set(f"key{i}".encode(), f"value{i}".encode())
+            session.send_trace()
+        assert session.exit().clean
+
+    def test_fnv_stability(self):
+        assert fnv1a_64(b"") == 0xCBF29CE484222325
+        assert fnv1a_64(b"a") != fnv1a_64(b"b")
+
+
+class TestMapCrashTruth:
+    def test_quiescent_consistent(self):
+        m = self._filled_map()
+        machine = m.pool.runtime.machine
+        root_addr = m.pool.root_slot_addr(0)
+        enum = CrashEnumerator(machine)
+        images = (
+            enum.iter_images()
+            if enum.count() <= 2048
+            else enum.sample(random.Random(0), 48)
+        )
+        for image in images:
+            recover_map_image(image, image.read_u64(root_addr))
+            assert validate_image(image, image.read_u64(root_addr))
+
+    def test_mid_splice_crash_consistent(self):
+        """Crash between log commit and redo: replay must finish the
+        splice (or the splice never happened); both are consistent."""
+        m = self._filled_map()
+        machine = m.pool.runtime.machine
+        root_addr = m.pool.root_slot_addr(0)
+        # Stage a new insert's log without committing the redo: append,
+        # flush, then stop before commit applies in place.
+        key, value = b"in-flight", b"data"
+        key_buf = m._store_buffer(key)
+        value_buf = m._store_buffer(value)
+        m.runtime.persist(key_buf, 8 + len(key))
+        m.runtime.persist(value_buf, 8 + len(value))
+        from repro.mnemosyne.pmap import MapEntry
+
+        entry = MapEntry.alloc(m.pool)
+        head_addr = m._bucket_addr(key)
+        entry.key_hash = fnv1a_64(key)
+        entry.key = key_buf
+        entry.value = value_buf
+        entry.next = m.runtime.load_u64(head_addr)
+        m.runtime.persist(entry.addr, MapEntry.SIZE)
+        count_slot, _ = m.header.field_range("count")
+        m.log.append(head_addr, entry.addr)
+        m.log.append(count_slot, m.header.count + 1)
+        m.log.log_flush()
+        # Commit marker persisted, redo not performed: crash here.
+        m.runtime.store_u64(m.log.base, 2)
+        m.runtime.persist(m.log.base, 8)
+        enum = CrashEnumerator(machine)
+        images = (
+            enum.iter_images()
+            if enum.count() <= 2048
+            else enum.sample(random.Random(1), 48)
+        )
+        checked = 0
+        for image in images:
+            recover_map_image(image, image.read_u64(root_addr))
+            assert validate_image(image, image.read_u64(root_addr))
+            checked += 1
+        assert checked
+
+    def _filled_map(self):
+        runtime = make_runtime()
+        pool = PMPool(runtime, log_capacity=4096)
+        m = MnemosyneMap(pool)
+        for i in range(8):
+            m.set(f"key{i}".encode(), f"value{i}".encode())
+        return m

@@ -1,0 +1,124 @@
+"""Tests for the persistent struct field system."""
+
+import pytest
+
+from repro.instr.runtime import PMRuntime
+from repro.pmem.machine import PMMachine
+from repro.pmdk.objects import (
+    ArrayField,
+    BytesField,
+    I64Field,
+    PStruct,
+    PtrField,
+    U64Field,
+)
+from repro.pmdk.pool import PMPool
+
+
+class Point(PStruct):
+    x = U64Field()
+    y = I64Field()
+    tag = BytesField(16)
+    neighbors = ArrayField(4)
+    owner = PtrField()
+
+
+@pytest.fixture
+def pool():
+    return PMPool(PMRuntime(machine=PMMachine(1 << 20)))
+
+
+class TestLayout:
+    def test_offsets_in_declaration_order(self):
+        assert Point._fields["x"].offset == 0
+        assert Point._fields["y"].offset == 8
+        assert Point._fields["tag"].offset == 16
+        assert Point._fields["neighbors"].offset == 32
+        assert Point._fields["owner"].offset == 64
+        assert Point.SIZE == 72
+
+    def test_inheritance_extends_layout(self):
+        class Extended(Point):
+            extra = U64Field()
+
+        assert Extended._fields["extra"].offset == Point.SIZE
+        assert Extended.SIZE == Point.SIZE + 8
+        assert Extended._fields["x"].offset == 0
+
+    def test_field_range(self, pool):
+        p = Point.alloc(pool)
+        addr, size = p.field_range("tag")
+        assert addr == p.addr + 16
+        assert size == 16
+
+    def test_invalid_field_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            BytesField(0)
+        with pytest.raises(ValueError):
+            ArrayField(0)
+
+
+class TestFieldAccess:
+    def test_u64_roundtrip(self, pool):
+        p = Point.alloc(pool)
+        p.x = 12345
+        assert p.x == 12345
+
+    def test_i64_negative(self, pool):
+        p = Point.alloc(pool)
+        p.y = -42 & ((1 << 64) - 1)
+        assert p.y == -42
+
+    def test_bytes_padded(self, pool):
+        p = Point.alloc(pool)
+        p.tag = b"abc"
+        assert p.tag == b"abc".ljust(16, b"\0")
+
+    def test_bytes_too_long_rejected(self, pool):
+        p = Point.alloc(pool)
+        with pytest.raises(ValueError):
+            p.tag = b"x" * 17
+
+    def test_array_elements(self, pool):
+        p = Point.alloc(pool)
+        p.neighbors[2] = 99
+        assert p.neighbors[2] == 99
+        assert p.neighbors[0] == 0
+        assert len(p.neighbors) == 4
+
+    def test_array_bounds(self, pool):
+        p = Point.alloc(pool)
+        with pytest.raises(IndexError):
+            p.neighbors[4] = 1
+
+    def test_array_not_assignable_directly(self, pool):
+        p = Point.alloc(pool)
+        with pytest.raises(AttributeError):
+            p.neighbors = [1, 2, 3, 4]
+
+    def test_array_range_of(self, pool):
+        p = Point.alloc(pool)
+        addr, size = p.neighbors.range_of(1)
+        assert addr == p.addr + 32 + 8
+        assert size == 8
+
+    def test_alloc_zeroes(self, pool):
+        p = Point.alloc(pool)
+        assert p.x == 0 and p.tag == b"\0" * 16
+
+    def test_at_views_existing(self, pool):
+        p = Point.alloc(pool)
+        p.x = 7
+        view = Point.at(pool, p.addr)
+        assert view.x == 7
+        assert view == p
+        assert hash(view) == hash(p)
+
+    def test_invalid_address_rejected(self, pool):
+        with pytest.raises(ValueError):
+            Point(pool, 0)
+
+    def test_writes_visible_through_machine(self, pool):
+        p = Point.alloc(pool)
+        p.x = 0xDEAD
+        assert pool.runtime.machine.volatile.read_u64(p.addr) == 0xDEAD

@@ -1,0 +1,205 @@
+"""Tests for crash-state enumeration, including hypothesis properties."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pmem.crash import (
+    CrashEnumerator,
+    CrashSpaceTooLarge,
+    best_case_image,
+    worst_case_image,
+)
+from repro.pmem.machine import PMMachine
+
+
+class TestX86Enumeration:
+    def test_no_pending_single_state(self):
+        m = PMMachine(1024)
+        m.store(0, b"a")
+        m.flush(0, 1)
+        m.sfence()
+        enum = CrashEnumerator(m)
+        assert enum.count() == 1
+        [image] = list(enum.iter_images())
+        assert image.read(0, 1) == b"a"
+
+    def test_one_pending_store_two_states(self):
+        m = PMMachine(1024)
+        m.store(0, b"a")
+        enum = CrashEnumerator(m)
+        assert enum.count() == 2
+        values = sorted(img.read(0, 1) for img in enum.iter_images())
+        assert values == [b"\0", b"a"]
+
+    def test_two_lines_independent(self):
+        m = PMMachine(1024)
+        m.store(0, b"a")
+        m.store(64, b"b")
+        enum = CrashEnumerator(m)
+        assert enum.count() == 4
+        states = {
+            (img.read(0, 1), img.read(64, 1)) for img in enum.iter_images()
+        }
+        assert states == {
+            (b"\0", b"\0"),
+            (b"a", b"\0"),
+            (b"\0", b"b"),
+            (b"a", b"b"),
+        }
+
+    def test_same_line_prefix_only(self):
+        # Two stores to one line: the later cannot persist without the
+        # earlier.
+        m = PMMachine(1024)
+        m.store(0, b"a")
+        m.store(8, b"b")
+        enum = CrashEnumerator(m)
+        assert enum.count() == 3
+        states = {(img.read(0, 1), img.read(8, 1)) for img in enum.iter_images()}
+        assert (b"\0", b"b") not in states
+        assert len(states) == 3
+
+    def test_budget_enforced(self):
+        m = PMMachine(64 * 32)
+        for line in range(10):
+            m.store(line * 64, b"x")
+        enum = CrashEnumerator(m)
+        assert enum.count() == 2**10
+        with pytest.raises(CrashSpaceTooLarge):
+            list(enum.iter_images(limit=100))
+
+    def test_enumeration_isolated_from_later_execution(self):
+        m = PMMachine(1024)
+        m.store(0, b"a")
+        enum = CrashEnumerator(m)
+        m.store(0, b"z")  # after the snapshot
+        values = sorted(img.read(0, 1) for img in enum.iter_images())
+        assert values == [b"\0", b"a"]
+
+    def test_sample_draws_valid_states(self):
+        m = PMMachine(1024)
+        m.store(0, b"a")
+        m.store(8, b"b")
+        enum = CrashEnumerator(m)
+        exhaustive = {bytes(img.data) for img in enum.iter_images()}
+        rng = random.Random(0)
+        for image in enum.sample(rng, 20):
+            assert bytes(image.data) in exhaustive
+
+
+class TestHOPSEnumeration:
+    def test_epoch_prefix_closed(self):
+        m = PMMachine(1024, model="hops")
+        m.store(0, b"a")
+        m.ofence()
+        m.store(64, b"b")
+        enum = CrashEnumerator(m)
+        states = {(img.read(0, 1), img.read(64, 1)) for img in enum.iter_images()}
+        # b persisted without a would violate the ofence ordering.
+        assert (b"\0", b"b") not in states
+        assert {(b"\0", b"\0"), (b"a", b"\0"), (b"a", b"b")} == states
+
+    def test_dfence_leaves_single_state(self):
+        m = PMMachine(1024, model="hops")
+        m.store(0, b"a")
+        m.dfence()
+        enum = CrashEnumerator(m)
+        images = list(enum.iter_images())
+        assert all(img.read(0, 1) == b"a" for img in images)
+
+    def test_hops_sampling(self):
+        m = PMMachine(1024, model="hops")
+        m.store(0, b"a")
+        m.ofence()
+        m.store(64, b"b")
+        enum = CrashEnumerator(m)
+        exhaustive = {bytes(img.data) for img in enum.iter_images()}
+        for image in enum.sample(random.Random(1), 20):
+            assert bytes(image.data) in exhaustive
+
+
+class TestExtremes:
+    def test_worst_case_is_durable_baseline(self):
+        m = PMMachine(1024)
+        m.store(0, b"a")
+        m.flush(0, 1)
+        m.sfence()
+        m.store(8, b"b")
+        image = worst_case_image(m)
+        assert image.read(0, 1) == b"a"
+        assert image.read(8, 1) == b"\0"
+
+    def test_best_case_equals_volatile(self):
+        m = PMMachine(1024)
+        m.store(0, b"a")
+        m.store(0, b"b")
+        m.store(70, b"c")
+        image = best_case_image(m)
+        assert bytes(image.data) == bytes(m.volatile.data)
+
+
+# ----------------------------------------------------------------------
+# Property tests
+# ----------------------------------------------------------------------
+
+_op = st.one_of(
+    st.tuples(
+        st.just("store"),
+        st.integers(0, 250),
+        st.binary(min_size=1, max_size=16),
+    ),
+    st.tuples(st.just("flush"), st.integers(0, 250), st.just(b"x")),
+    st.tuples(st.just("sfence"), st.just(0), st.just(b"")),
+)
+
+
+class TestCrashProperties:
+    @given(st.lists(_op, max_size=12))
+    @settings(max_examples=150, deadline=None)
+    def test_best_case_always_equals_volatile(self, ops):
+        m = PMMachine(512)
+        for kind, addr, payload in ops:
+            if kind == "store":
+                if addr + len(payload) <= 512:
+                    m.store(addr, payload)
+            elif kind == "flush":
+                m.flush(addr, 1)
+            else:
+                m.sfence()
+        assert bytes(best_case_image(m).data) == bytes(m.volatile.data)
+
+    @given(st.lists(_op, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_every_crash_state_within_extremes(self, ops):
+        """Each crash image agrees with durable or volatile at every byte
+        that differs between them (no invented values)."""
+        m = PMMachine(512)
+        for kind, addr, payload in ops:
+            if kind == "store":
+                if addr + len(payload) <= 512:
+                    m.store(addr, payload)
+            elif kind == "flush":
+                m.flush(addr, 1)
+            else:
+                m.sfence()
+        enum = CrashEnumerator(m)
+        if enum.count() > 256:
+            images = enum.sample(random.Random(0), 16)
+        else:
+            images = enum.iter_images()
+        durable = bytes(m.durable.data)
+        # Each byte of a crash image must be either the durable baseline
+        # value or a value some pending fragment wrote there; crash states
+        # never invent data.
+        allowed = [{durable[i]} for i in range(512)]
+        for fragments in m.pending.values():
+            for fragment in fragments:
+                for off, byte in enumerate(fragment.data):
+                    allowed[fragment.addr + off].add(byte)
+        for image in images:
+            data = bytes(image.data)
+            for i in range(512):
+                assert data[i] in allowed[i]

@@ -1,0 +1,50 @@
+"""Tests for cacheline geometry helpers."""
+
+import pytest
+
+from repro.pmem.layout import (
+    CACHELINE,
+    line_base,
+    line_index,
+    line_span,
+    split_by_line,
+)
+
+
+class TestLineMath:
+    def test_line_index(self):
+        assert line_index(0) == 0
+        assert line_index(63) == 0
+        assert line_index(64) == 1
+
+    def test_line_base(self):
+        assert line_base(0) == 0
+        assert line_base(100) == 64
+
+    def test_line_span_single(self):
+        assert list(line_span(0, 64)) == [0]
+        assert list(line_span(10, 8)) == [0]
+
+    def test_line_span_straddle(self):
+        assert list(line_span(60, 8)) == [0, 1]
+        assert list(line_span(0, 65)) == [0, 1]
+        assert list(line_span(0, 64 * 3)) == [0, 1, 2]
+
+    def test_line_span_rejects_empty(self):
+        with pytest.raises(ValueError):
+            line_span(0, 0)
+
+    def test_split_by_line_exact(self):
+        assert list(split_by_line(0, 64)) == [(0, 0, 64)]
+
+    def test_split_by_line_straddle(self):
+        assert list(split_by_line(60, 8)) == [(0, 60, 4), (1, 64, 4)]
+
+    def test_split_covers_whole_range(self):
+        for addr, size in [(0, 1), (63, 2), (5, 200), (64, 64)]:
+            frags = list(split_by_line(addr, size))
+            assert sum(s for _, _, s in frags) == size
+            assert frags[0][1] == addr
+            for (_, a1, s1), (_, a2, _) in zip(frags, frags[1:]):
+                assert a1 + s1 == a2
+                assert a2 % CACHELINE == 0

@@ -1,0 +1,153 @@
+"""Tests for the PM machine: volatile/durable split and retirement."""
+
+import pytest
+
+from repro.pmem.machine import PMMachine
+
+
+class TestVolatileDomain:
+    def test_store_visible_to_loads_immediately(self):
+        m = PMMachine(1024)
+        m.store(0, b"hello")
+        assert m.load(0, 5) == b"hello"
+
+    def test_store_not_durable_until_flushed_and_fenced(self):
+        m = PMMachine(1024)
+        m.store(0, b"hello")
+        assert m.durable.read(0, 5) == b"\0" * 5
+        m.flush(0, 5)
+        assert m.durable.read(0, 5) == b"\0" * 5
+        m.sfence()
+        assert m.durable.read(0, 5) == b"hello"
+
+    def test_fence_without_flush_retires_nothing(self):
+        m = PMMachine(1024)
+        m.store(0, b"x")
+        m.sfence()
+        assert m.durable.read(0, 1) == b"\0"
+        assert m.pending_fragments() == 1
+
+    def test_nt_store_durable_after_fence_alone(self):
+        m = PMMachine(1024)
+        m.store(0, b"y", nt=True)
+        m.sfence()
+        assert m.durable.read(0, 1) == b"y"
+
+    def test_flush_covers_whole_lines(self):
+        m = PMMachine(1024)
+        m.store(0, b"a")
+        m.store(32, b"b")  # same cache line
+        m.flush(0, 1)  # flushing any byte of the line flushes both stores
+        m.sfence()
+        assert m.durable.read(32, 1) == b"b"
+
+    def test_straddling_store_fragments_per_line(self):
+        m = PMMachine(1024)
+        m.store(60, b"12345678")  # 4 bytes in line 0, 4 in line 1
+        assert m.pending_lines() == 2
+        m.flush(60, 1)  # only line 0
+        m.sfence()
+        assert m.durable.read(60, 4) == b"1234"
+        assert m.durable.read(64, 4) == b"\0" * 4
+
+    def test_quiescent(self):
+        m = PMMachine(1024)
+        assert m.quiescent
+        m.store(0, b"z")
+        assert not m.quiescent
+        m.flush(0, 1)
+        m.sfence()
+        assert m.quiescent
+
+
+class TestLinePrefixInvariant:
+    def test_later_flush_retires_earlier_stores_of_line(self):
+        m = PMMachine(1024)
+        m.store(0, b"a")
+        m.store(8, b"b")
+        m.flush(8, 1)  # marks both: the flush writes the whole line back
+        m.sfence()
+        assert m.durable.read(0, 1) == b"a"
+        assert m.durable.read(8, 1) == b"b"
+
+    def test_store_after_flush_stays_pending(self):
+        m = PMMachine(1024)
+        m.store(0, b"a")
+        m.flush(0, 1)
+        m.store(8, b"b")  # after the flush: not covered by it
+        m.sfence()
+        assert m.durable.read(0, 1) == b"a"
+        assert m.durable.read(8, 1) == b"\0"
+        assert m.pending_fragments() == 1
+
+
+class TestHOPSMachine:
+    def test_dfence_drains_everything(self):
+        m = PMMachine(1024, model="hops")
+        m.store(0, b"a")
+        m.ofence()
+        m.store(64, b"b")
+        m.dfence()
+        assert m.durable.read(0, 1) == b"a"
+        assert m.durable.read(64, 1) == b"b"
+        assert m.quiescent
+
+    def test_ofence_only_advances_epoch(self):
+        m = PMMachine(1024, model="hops")
+        m.store(0, b"a")
+        m.ofence()
+        assert m.epoch == 1
+        assert not m.quiescent
+
+    def test_model_mismatch_raises(self):
+        x86 = PMMachine(64, model="x86")
+        with pytest.raises(RuntimeError):
+            x86.ofence()
+        hops = PMMachine(64, model="hops")
+        with pytest.raises(RuntimeError):
+            hops.flush(0, 8)
+        with pytest.raises(RuntimeError):
+            hops.sfence()
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            PMMachine(64, model="arm")
+
+
+class TestOpLog:
+    def test_disabled_by_default(self):
+        assert PMMachine(64).oplog is None
+
+    def test_records_all_ops(self):
+        m = PMMachine(1024, record_ops=True)
+        m.store(0, b"a")
+        m.flush(0, 1)
+        m.sfence()
+        m.store(8, b"b", nt=True)
+        assert [kind for kind, _, _ in m.oplog] == [
+            "store",
+            "flush",
+            "sfence",
+            "store_nt",
+        ]
+
+
+class TestStats:
+    def test_counters(self):
+        m = PMMachine(1024)
+        m.store(0, b"abcd")
+        m.load(0, 4)
+        m.flush(0, 4)
+        m.sfence()
+        assert m.stats.stores == 1
+        assert m.stats.loads == 1
+        assert m.stats.flushes == 1
+        assert m.stats.fences == 1
+        assert m.stats.bytes_stored == 4
+
+    def test_bounds_checked(self):
+        m = PMMachine(64)
+        with pytest.raises(IndexError):
+            m.store(60, b"123456789")
+        with pytest.raises(IndexError):
+            m.load(64, 1)

@@ -1,0 +1,145 @@
+"""Tests for the PM image and the arena allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pmem.arena import Arena, OutOfPMError
+from repro.pmem.memory import PMImage, pack_u64, unpack_u64
+
+
+class TestPMImage:
+    def test_zero_initialized(self):
+        image = PMImage(64)
+        assert image.read(0, 64) == b"\0" * 64
+
+    def test_write_read_roundtrip(self):
+        image = PMImage(64)
+        image.write(10, b"abc")
+        assert image.read(10, 3) == b"abc"
+
+    def test_u64_roundtrip(self):
+        image = PMImage(64)
+        image.write_u64(8, 0xDEADBEEF12345678)
+        assert image.read_u64(8) == 0xDEADBEEF12345678
+
+    def test_i64(self):
+        image = PMImage(64)
+        image.write_u64(0, (1 << 64) - 5)  # two's complement -5
+        assert image.read_i64(0) == -5
+
+    def test_snapshot_is_independent(self):
+        image = PMImage(64)
+        image.write(0, b"a")
+        snap = image.snapshot()
+        image.write(0, b"b")
+        assert snap.read(0, 1) == b"a"
+
+    def test_bounds(self):
+        image = PMImage(64)
+        with pytest.raises(IndexError):
+            image.read(60, 8)
+        with pytest.raises(IndexError):
+            image.write(-1, b"x")
+        with pytest.raises(ValueError):
+            image.read(0, 0)
+
+    def test_pack_unpack(self):
+        assert unpack_u64(pack_u64(42)) == 42
+        assert pack_u64(0) == b"\0" * 8
+
+
+class TestArena:
+    def test_alloc_within_bounds(self):
+        arena = Arena(100, 1000)
+        addr = arena.alloc(64)
+        assert arena.owns(addr)
+        assert addr >= 100
+
+    def test_alignment(self):
+        arena = Arena(0, 1024, align=8)
+        a = arena.alloc(3)
+        b = arena.alloc(3)
+        assert a % 8 == 0 and b % 8 == 0
+        assert b >= a + 8
+
+    def test_explicit_alignment(self):
+        arena = Arena(0, 1024)
+        arena.alloc(10)
+        addr = arena.alloc(64, align=64)
+        assert addr % 64 == 0
+
+    def test_free_and_reuse(self):
+        arena = Arena(0, 128)
+        a = arena.alloc(64)
+        arena.free(a)
+        b = arena.alloc(64)
+        assert b == a
+
+    def test_coalescing(self):
+        arena = Arena(0, 96)
+        a = arena.alloc(32)
+        b = arena.alloc(32)
+        c = arena.alloc(32)
+        arena.free(a)
+        arena.free(b)
+        arena.free(c)
+        # After coalescing the full extent is allocatable again.
+        assert arena.alloc(96) == 0
+
+    def test_exhaustion(self):
+        arena = Arena(0, 64)
+        arena.alloc(64)
+        with pytest.raises(OutOfPMError):
+            arena.alloc(8)
+
+    def test_double_free_rejected(self):
+        arena = Arena(0, 64)
+        a = arena.alloc(8)
+        arena.free(a)
+        with pytest.raises(ValueError):
+            arena.free(a)
+
+    def test_size_of(self):
+        arena = Arena(0, 64)
+        a = arena.alloc(10)  # rounded to 16
+        assert arena.size_of(a) == 16
+
+    def test_accounting(self):
+        arena = Arena(0, 128)
+        assert arena.free_bytes == 128
+        a = arena.alloc(32)
+        assert arena.allocated_bytes == 32
+        assert arena.free_bytes == 96
+        arena.free(a)
+        assert arena.allocated_bytes == 0
+
+    def test_reset(self):
+        arena = Arena(0, 128)
+        arena.alloc(64)
+        arena.reset()
+        assert arena.free_bytes == 128
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Arena(0, 0)
+        with pytest.raises(ValueError):
+            Arena(0, 64, align=3)
+        arena = Arena(0, 64)
+        with pytest.raises(ValueError):
+            arena.alloc(0)
+
+    @given(st.lists(st.integers(1, 40), min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_allocations_never_overlap(self, sizes):
+        arena = Arena(0, 4096)
+        live = []
+        for i, size in enumerate(sizes):
+            addr = arena.alloc(size)
+            live.append((addr, arena.size_of(addr)))
+            if i % 3 == 2:  # free every third allocation
+                victim = live.pop(0)
+                arena.free(victim[0])
+        live.sort()
+        for (a1, s1), (a2, _) in zip(live, live[1:]):
+            assert a1 + s1 <= a2

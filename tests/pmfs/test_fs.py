@@ -1,0 +1,329 @@
+"""Tests for the PMFS-like filesystem, journal, and kernel bridge."""
+
+import random
+
+import pytest
+
+from repro.core.api import PMTestSession
+from repro.core.reports import ReportCode
+from repro.instr.runtime import PMRuntime
+from repro.pmem.crash import CrashEnumerator
+from repro.pmem.machine import PMMachine
+from repro.pmfs import PMFS, FSError, KernelBridge
+from repro.pmfs.fs import recover_fs_image, validate_fs_image
+from repro.pmfs.journal import Journal, JournalFull, recover_journal
+
+
+def make_fs(session=None, faults=(), size=4 << 20):
+    runtime = PMRuntime(machine=PMMachine(size), session=session)
+    return PMFS(runtime, journal_capacity=8192, faults=faults)
+
+
+def make_session():
+    session = PMTestSession(workers=0)
+    session.thread_init()
+    session.start()
+    return session
+
+
+class TestFilesystemBasics:
+    def test_create_read_write(self):
+        fs = make_fs()
+        fs.create(b"hello.txt")
+        fs.write(b"hello.txt", 0, b"hello world")
+        assert fs.read(b"hello.txt") == b"hello world"
+        assert fs.stat(b"hello.txt")["size"] == 11
+
+    def test_write_at_offset(self):
+        fs = make_fs()
+        fs.create(b"f")
+        fs.write(b"f", 0, b"aaaa")
+        fs.write(b"f", 2, b"bb")
+        assert fs.read(b"f") == b"aabb"
+
+    def test_write_spanning_blocks(self):
+        fs = make_fs()
+        fs.create(b"f")
+        data = bytes(range(256)) * 3  # 768 bytes, 3+ blocks of 256
+        fs.write(b"f", 0, data)
+        assert fs.read(b"f") == data
+
+    def test_sparse_hole_reads_zero(self):
+        fs = make_fs()
+        fs.create(b"f")
+        fs.write(b"f", 600, b"x")
+        data = fs.read(b"f")
+        assert len(data) == 601
+        assert data[:600] == b"\0" * 600
+
+    def test_unlink(self):
+        fs = make_fs()
+        fs.create(b"f")
+        fs.write(b"f", 0, b"data")
+        fs.unlink(b"f")
+        assert b"f" not in fs.list_names()
+        with pytest.raises(FSError):
+            fs.read(b"f")
+
+    def test_unlink_frees_blocks(self):
+        fs = make_fs()
+        before = fs.arena.allocated_bytes
+        fs.create(b"f")
+        fs.write(b"f", 0, b"x" * 600)
+        fs.unlink(b"f")
+        assert fs.arena.allocated_bytes == before
+
+    def test_duplicate_create_rejected(self):
+        fs = make_fs()
+        fs.create(b"f")
+        with pytest.raises(FSError):
+            fs.create(b"f")
+
+    def test_missing_file_errors(self):
+        fs = make_fs()
+        for op in (
+            lambda: fs.read(b"nope"),
+            lambda: fs.write(b"nope", 0, b"x"),
+            lambda: fs.unlink(b"nope"),
+            lambda: fs.fsync(b"nope"),
+            lambda: fs.stat(b"nope"),
+        ):
+            with pytest.raises(FSError):
+                op()
+
+    def test_file_size_limit(self):
+        fs = make_fs()
+        fs.create(b"f")
+        with pytest.raises(FSError):
+            fs.write(b"f", 0, b"x" * (fs.max_file_size() + 1))
+
+    def test_long_name_rejected(self):
+        fs = make_fs()
+        with pytest.raises(FSError):
+            fs.create(b"x" * 25)
+
+    def test_out_of_inodes(self):
+        fs = make_fs()
+        for i in range(fs.ninodes):
+            fs.create(f"f{i}".encode())
+        with pytest.raises(FSError):
+            fs.create(b"one-too-many")
+
+    def test_many_files_roundtrip(self):
+        fs = make_fs()
+        contents = {}
+        rng = random.Random(2)
+        for i in range(20):
+            name = f"file{i}".encode()
+            data = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 900)))
+            fs.create(name)
+            fs.write(name, 0, data)
+            contents[name] = data
+        for name, data in contents.items():
+            assert fs.read(name) == data
+
+    def test_reopen_without_mkfs(self):
+        fs = make_fs()
+        fs.create(b"f")
+        fs.write(b"f", 0, b"keep")
+        again = PMFS(fs.runtime, journal_capacity=8192, mkfs=False)
+        assert again.read(b"f") == b"keep"
+
+    def test_open_unformatted_rejected(self):
+        runtime = PMRuntime(machine=PMMachine(4 << 20))
+        with pytest.raises(FSError):
+            PMFS(runtime, journal_capacity=8192, mkfs=False)
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ValueError):
+            make_fs(faults=("not-a-fault",))
+
+
+class TestPMTestDetection:
+    def _run(self, faults=()):
+        session = make_session()
+        fs = make_fs(session=session, faults=faults)
+        session.send_trace()
+        fs.create(b"f")
+        fs.write(b"f", 0, b"x" * 300)
+        fs.fsync(b"f")
+        fs.unlink(b"f")
+        return session.exit()
+
+    def test_clean_fs_produces_no_reports(self):
+        result = self._run()
+        assert result.clean, [str(r) for r in result.reports[:5]]
+
+    @pytest.mark.parametrize(
+        "fault,code",
+        [
+            ("commit-dup-flush", ReportCode.DUP_FLUSH),  # paper Bug 1
+            ("xip-dup-flush", ReportCode.DUP_FLUSH),  # xips.c
+            ("fsync-extra-flush", ReportCode.UNNECESSARY_FLUSH),  # files.c
+            ("write-no-flush", ReportCode.NOT_ORDERED),
+            ("size-early", ReportCode.NOT_ORDERED),
+            ("meta-no-fence", ReportCode.NOT_ORDERED),
+            ("log-no-flush", ReportCode.NOT_PERSISTED),
+            ("log-no-fence", ReportCode.NOT_PERSISTED),
+            ("no-commit-flush", ReportCode.NOT_PERSISTED),
+        ],
+    )
+    def test_fault_detected(self, fault, code):
+        result = self._run(faults=(fault,))
+        assert result.count(code) >= 1, result.codes()
+
+
+class TestJournalRecovery:
+    def test_uncommitted_transaction_rolled_back(self):
+        fs = make_fs()
+        fs.create(b"keep")
+        inode = fs.inode_addr(7)
+        tx = fs.journal.begin()
+        tx.log_range(inode, 16)
+        fs.runtime.store_u64(inode, 1)  # modify without commit
+        image = fs.runtime.machine.volatile.snapshot()
+        undone = recover_journal(image, fs.journal_base, fs.journal_capacity)
+        assert undone >= 1
+        assert image.read_u64(inode) == 0
+
+    def test_committed_transaction_not_rolled_back(self):
+        fs = make_fs()
+        inode = fs.inode_addr(7)
+        tx = fs.journal.begin()
+        tx.log_range(inode, 16)
+        fs.runtime.store_u64(inode, 1)
+        fs.runtime.persist(inode, 8)
+        tx.commit()
+        image = fs.runtime.machine.volatile.snapshot()
+        assert recover_journal(image, fs.journal_base, fs.journal_capacity) == 0
+        assert image.read_u64(inode) == 1
+
+    def test_generations_isolate_transactions(self):
+        fs = make_fs()
+        fs.create(b"a")  # committed tx, generation g
+        fs.create(b"b")  # committed tx, generation g+1
+        # A fresh uncommitted tx must not be confused by old entries.
+        inode = fs.inode_addr(9)
+        tx = fs.journal.begin()
+        tx.log_range(inode, 16)
+        fs.runtime.store_u64(inode, 1)
+        image = fs.runtime.machine.volatile.snapshot()
+        undone = recover_journal(image, fs.journal_base, fs.journal_capacity)
+        assert undone >= 1
+        assert image.read_u64(inode) == 0
+        # The committed files survive.
+        assert validate_fs_image(image, fs)
+
+    def test_journal_full(self):
+        fs = make_fs()
+        tx = fs.journal.begin()
+        with pytest.raises(JournalFull):
+            for _ in range(fs.journal.max_entries + 1):
+                tx.log_range(fs.inode_addr(0), 32)
+
+
+class TestCrashTruth:
+    def _images(self, machine, budget=2048, samples=48):
+        enum = CrashEnumerator(machine)
+        if enum.count() <= budget:
+            return list(enum.iter_images())
+        return list(enum.sample(random.Random(0), samples))
+
+    def test_quiescent_fs_consistent(self):
+        fs = make_fs()
+        for i in range(6):
+            name = f"f{i}".encode()
+            fs.create(name)
+            fs.write(name, 0, bytes([i]) * 100)
+        for image in self._images(fs.runtime.machine):
+            recover_fs_image(image, fs)
+            assert validate_fs_image(image, fs)
+
+    def test_mid_create_crash_consistent(self):
+        fs = make_fs()
+        fs.create(b"a")
+        inode = fs.inode_addr(5)
+        dirent = fs.dirent_addr(5)
+        tx = fs.journal.begin()
+        tx.log_range(inode, 96)
+        tx.log_range(dirent, 32)
+        fs.runtime.store_u64(inode, 1)
+        fs.runtime.store_u64(dirent, 6)
+        fs.runtime.store(dirent + 8, b"ghost".ljust(24, b"\0"))
+        # Crash before commit: every state must recover consistently.
+        for image in self._images(fs.runtime.machine):
+            recover_fs_image(image, fs)
+            assert validate_fs_image(image, fs)
+
+    def test_meta_no_fence_breaks_somewhere(self):
+        """The meta-no-fence fault (commit may beat the metadata) must
+        produce a real inconsistency in some crash state."""
+        fs = make_fs(faults=("meta-no-fence",))
+        fs.create(b"a")
+        # The last create left pending state behind only if the fence is
+        # missing; run another create and inspect its window: emulate the
+        # dangerous interleaving directly instead (deterministic): the
+        # dirent persisted, the inode did not, and the commit persisted.
+        image = fs.runtime.machine.durable.snapshot()
+        inode = fs.inode_addr(9)
+        dirent = fs.dirent_addr(9)
+        tx = fs.journal.begin()
+        tx.log_range(inode, 16)
+        tx.log_range(dirent, 32)
+        fs.runtime.store_u64(inode, 1)
+        fs.runtime.store_u64(dirent, 10)
+        fs.runtime.store(dirent + 8, b"torn".ljust(24, b"\0"))
+        fs.runtime.clwb(dirent, 32)
+        commit_entry = tx.commit()
+        found_bad = False
+        for image in self._images(fs.runtime.machine):
+            recover_fs_image(image, fs)
+            if not validate_fs_image(image, fs):
+                found_bad = True
+                break
+        assert found_bad
+
+
+class TestKernelBridge:
+    def test_traces_cross_the_fifo(self):
+        bridge = KernelBridge(num_workers=2, fifo_capacity=8)
+        session = PMTestSession(workers=0, sink=bridge)
+        session.thread_init()
+        session.start()
+        fs = make_fs(session=session)
+        session.send_trace()
+        for i in range(20):
+            fs.create(f"f{i}".encode())
+            fs.write(f"f{i}".encode(), 0, b"x" * 100)
+            session.send_trace()
+        result = session.exit()
+        assert result.clean
+        assert result.traces_checked >= 20
+
+    def test_backpressure_parks_the_kernel_side(self):
+        # A tiny FIFO with a slow consumer must trigger producer waits.
+        bridge = KernelBridge(num_workers=1, fifo_capacity=2)
+        session = PMTestSession(workers=0, sink=bridge)
+        session.thread_init()
+        session.start()
+        fs = make_fs(session=session)
+        session.send_trace()
+        for i in range(40):
+            fs.create(f"f{i}".encode())
+            session.send_trace()
+        result = session.exit()
+        assert result.clean
+        # Backpressure may or may not trigger depending on scheduling;
+        # the invariant is that nothing was lost either way.
+        assert bridge.pool.dispatched == bridge.dispatched
+
+    def test_bridge_detects_bugs_end_to_end(self):
+        bridge = KernelBridge(num_workers=1, fifo_capacity=8)
+        session = PMTestSession(workers=0, sink=bridge)
+        session.thread_init()
+        session.start()
+        fs = make_fs(session=session, faults=("commit-dup-flush",))
+        session.send_trace()
+        fs.create(b"f")
+        result = session.exit()
+        assert result.count(ReportCode.DUP_FLUSH) >= 1

@@ -1,0 +1,28 @@
+"""Shared helpers for structure tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.api import PMTestSession
+from repro.instr.runtime import PMRuntime
+from repro.pmem.machine import PMMachine
+from repro.pmdk.pool import PMPool
+
+
+def make_pool(session=None, size=16 << 20):
+    machine = PMMachine(size)
+    runtime = PMRuntime(machine=machine, session=session)
+    return PMPool(runtime, log_capacity=512 * 1024)
+
+
+def make_session():
+    session = PMTestSession(workers=0)
+    session.thread_init()
+    session.start()
+    return session
+
+
+@pytest.fixture
+def pool():
+    return make_pool()

@@ -1,0 +1,79 @@
+"""Tests for the structure base class and the value-buffer helper."""
+
+import pytest
+
+from repro.pmem.machine import PMMachine
+from repro.structures.base import PersistentMap, ValueBuffer
+from tests.structures.conftest import make_pool
+
+
+class TestValueBuffer:
+    def test_roundtrip(self):
+        pool = make_pool()
+        buf = ValueBuffer.create(pool, b"hello")
+        assert buf.read() == b"hello"
+        assert buf.length == 5
+
+    def test_empty_payload(self):
+        pool = make_pool()
+        buf = ValueBuffer.create(pool, b"")
+        assert buf.read() == b""
+        addr, size = buf.payload_range()
+        assert size == ValueBuffer.SIZE + 1  # header + 1 reserved byte
+
+    def test_payload_range_covers_data(self):
+        pool = make_pool()
+        buf = ValueBuffer.create(pool, b"x" * 100)
+        addr, size = buf.payload_range()
+        assert addr == buf.addr
+        assert size == ValueBuffer.SIZE + 100
+
+
+class TestDefaultPayload:
+    class Stub(PersistentMap):
+        NAME = "stub"
+
+        def insert(self, key, payload=None):
+            raise NotImplementedError
+
+        def lookup(self, key):
+            raise NotImplementedError
+
+        def items(self):
+            return iter(())
+
+    def test_payload_is_deterministic_and_sized(self):
+        stub = self.Stub(make_pool(), value_size=20)
+        a = stub.default_payload(7)
+        b = stub.default_payload(7)
+        assert a == b
+        assert len(a) == 20
+        assert stub.default_payload(8) != a
+
+    def test_remove_default_raises(self):
+        stub = self.Stub(make_pool())
+        with pytest.raises(NotImplementedError):
+            stub.remove(1)
+
+    def test_len_counts_items(self):
+        stub = self.Stub(make_pool())
+        assert len(stub) == 0
+
+
+class TestMachineOplogCheckpoint:
+    def test_begin_oplog_requires_quiescence(self):
+        machine = PMMachine(1024)
+        machine.store(0, b"x")  # pending
+        with pytest.raises(RuntimeError):
+            machine.begin_oplog()
+
+    def test_begin_oplog_returns_durable_snapshot(self):
+        machine = PMMachine(1024)
+        machine.store(0, b"x")
+        machine.flush(0, 1)
+        machine.sfence()
+        base = machine.begin_oplog()
+        assert base.read(0, 1) == b"x"
+        machine.store(0, b"y")
+        assert base.read(0, 1) == b"x"  # snapshot is isolated
+        assert machine.oplog == [("store", 0, b"y")]

@@ -1,0 +1,112 @@
+"""PMTest detection tests: clean structures pass, every fault is caught.
+
+This is the heart of the paper's Table 5/6 claim at the structure level:
+running each microbenchmark under PMTest with its transaction (or
+low-level) checkers yields no reports when the code is correct and the
+expected FAIL/WARN class when a specific bug is injected.
+"""
+
+import pytest
+
+from repro.core.reports import ReportCode
+from repro.pmdk.pool import PMPool
+from repro.instr.runtime import PMRuntime
+from repro.pmem.machine import PMMachine
+from repro.structures import ALL_STRUCTURES
+from tests.structures.conftest import make_session
+
+#: fault -> report codes at least one of which must appear
+EXPECTED_CODES = {
+    ("ctree", "no-log-splice"): {ReportCode.MISSING_LOG},
+    ("ctree", "no-log-count"): {ReportCode.MISSING_LOG},
+    ("ctree", "no-log-value"): {ReportCode.MISSING_LOG},
+    ("ctree", "dup-log-splice"): {ReportCode.DUP_LOG},
+    ("btree", "split-no-log"): {ReportCode.MISSING_LOG},
+    ("btree", "rotate-dup-log"): {ReportCode.DUP_LOG},
+    ("btree", "no-log-count"): {ReportCode.MISSING_LOG},
+    ("btree", "replace-no-log"): {ReportCode.MISSING_LOG},
+    ("rbtree", "rotate-no-log"): {ReportCode.MISSING_LOG},
+    ("rbtree", "no-log-count"): {ReportCode.MISSING_LOG},
+    ("rbtree", "no-log-value"): {ReportCode.MISSING_LOG},
+    ("rbtree", "dup-log-set"): {ReportCode.DUP_LOG},
+    ("hashmap_tx", "no-log-head"): {ReportCode.MISSING_LOG},
+    ("hashmap_tx", "no-log-count"): {ReportCode.MISSING_LOG},
+    ("hashmap_tx", "no-log-value"): {ReportCode.MISSING_LOG},
+    ("hashmap_tx", "no-log-prev"): {ReportCode.MISSING_LOG},
+    ("hashmap_tx", "dup-log-head"): {ReportCode.DUP_LOG},
+    ("hashmap_tx", "skip-commit"): {ReportCode.INCOMPLETE_TX},
+    ("hashmap_atomic", "no-entry-persist"): {ReportCode.NOT_ORDERED},
+    ("hashmap_atomic", "no-publish-fence"): {ReportCode.NOT_ORDERED},
+    ("hashmap_atomic", "count-no-flush"): {ReportCode.NOT_PERSISTED},
+    ("hashmap_atomic", "double-flush-head"): {ReportCode.DUP_FLUSH},
+    ("hashmap_atomic", "double-flush-entry"): {ReportCode.DUP_FLUSH},
+}
+
+
+def run_workload(name, faults=(), inserts=50, removes=True):
+    """Run a checked insert/remove workload; return the TestResult."""
+    session = make_session()
+    machine = PMMachine(16 << 20)
+    runtime = PMRuntime(machine=machine, session=session)
+    pool = PMPool(runtime, log_capacity=512 * 1024)
+    structure = ALL_STRUCTURES[name](pool, value_size=32, faults=faults)
+    session.send_trace()
+    transactional = name != "hashmap_atomic"
+    for i in range(inserts):
+        if transactional:
+            session.tx_check_start()
+        structure.insert((i * 13) % 40)
+        if transactional:
+            session.tx_check_end()
+        session.send_trace()
+    if removes and name in ("ctree", "btree", "rbtree", "hashmap_tx"):
+        for i in range(0, inserts, 2):
+            if transactional:
+                session.tx_check_start()
+            structure.remove((i * 13) % 40)
+            if transactional:
+                session.tx_check_end()
+            session.send_trace()
+    return session.exit()
+
+
+@pytest.mark.parametrize("name", sorted(ALL_STRUCTURES))
+def test_clean_structure_produces_no_reports(name):
+    result = run_workload(name)
+    assert result.clean, [str(r) for r in result.reports[:5]]
+
+
+@pytest.mark.parametrize("name,fault", sorted(EXPECTED_CODES))
+def test_fault_detected_with_expected_code(name, fault):
+    result = run_workload(name, faults=(fault,))
+    found = set(result.codes())
+    assert found & EXPECTED_CODES[(name, fault)], (
+        f"{name}/{fault}: expected one of "
+        f"{EXPECTED_CODES[(name, fault)]}, got {found or 'nothing'}"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(ALL_STRUCTURES))
+def test_every_known_fault_has_expectation(name):
+    """Guard: any new fault added to a structure must be covered here."""
+    for fault in ALL_STRUCTURES[name].KNOWN_FAULTS:
+        assert (name, fault) in EXPECTED_CODES
+
+
+def test_fault_reports_point_at_structure_source():
+    """With site capture on, the missing-log FAIL names the structure
+    module and line that performed the unlogged write."""
+    session = make_session()
+    session.capture_sites = True
+    machine = PMMachine(16 << 20)
+    runtime = PMRuntime(machine=machine, session=session, capture_sites=True)
+    pool = PMPool(runtime, log_capacity=512 * 1024)
+    structure = ALL_STRUCTURES["ctree"](pool, faults=("no-log-splice",))
+    session.tx_check_start()
+    structure.insert(1)
+    structure.insert(2)
+    session.tx_check_end()
+    result = session.exit()
+    missing = [r for r in result.reports if r.code is ReportCode.MISSING_LOG]
+    assert missing
+    assert any(r.site and r.site.file.endswith("ctree.py") for r in missing)

@@ -1,0 +1,174 @@
+"""Model-based correctness tests for all five persistent structures.
+
+Every structure is driven against a plain dict model with random and
+hypothesis-generated operation sequences; the persistent structure must
+agree with the model at every step.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures import ALL_STRUCTURES
+from tests.structures.conftest import make_pool
+
+STRUCTURES = sorted(ALL_STRUCTURES)
+
+
+def make_map(name, **kwargs):
+    return ALL_STRUCTURES[name](make_pool(), value_size=16, **kwargs)
+
+
+@pytest.mark.parametrize("name", STRUCTURES)
+class TestBasicOperations:
+    def test_insert_lookup(self, name):
+        m = make_map(name)
+        m.insert(5, b"five")
+        assert m.lookup(5) == b"five"
+        assert m.lookup(6) is None
+
+    def test_update_existing_key(self, name):
+        m = make_map(name)
+        m.insert(5, b"old")
+        m.insert(5, b"new")
+        assert m.lookup(5) == b"new"
+        assert len(m) == 1
+
+    def test_default_payload_size(self, name):
+        m = make_map(name)
+        m.insert(7)
+        assert len(m.lookup(7)) == 16
+
+    def test_items_matches_inserts(self, name):
+        m = make_map(name)
+        expected = {}
+        for key in [9, 3, 14, 1, 20, 6]:
+            m.insert(key)
+            expected[key] = m.default_payload(key)
+        assert dict(m.items()) == expected
+
+    def test_contains(self, name):
+        m = make_map(name)
+        m.insert(1)
+        assert 1 in m
+        assert 2 not in m
+
+    def test_empty_map(self, name):
+        m = make_map(name)
+        assert m.lookup(1) is None
+        assert list(m.items()) == []
+        assert len(m) == 0
+
+    def test_unknown_fault_rejected(self, name):
+        with pytest.raises(ValueError):
+            make_map(name, faults=("made-up-fault",))
+
+    def test_ascending_and_descending_inserts(self, name):
+        m = make_map(name)
+        for key in range(30):
+            m.insert(key)
+        for key in reversed(range(30, 60)):
+            m.insert(key)
+        assert sorted(k for k, _ in m.items()) == list(range(60))
+
+
+@pytest.mark.parametrize(
+    "name", ["ctree", "btree", "rbtree", "hashmap_tx", "hashmap_atomic"]
+)
+class TestRemove:
+    def test_remove_present(self, name):
+        m = make_map(name)
+        m.insert(5)
+        assert m.remove(5)
+        assert m.lookup(5) is None
+        assert len(m) == 0
+
+    def test_remove_absent(self, name):
+        m = make_map(name)
+        m.insert(5)
+        assert not m.remove(6)
+        assert len(m) == 1
+
+    def test_remove_all_then_reuse(self, name):
+        m = make_map(name)
+        for key in range(20):
+            m.insert(key)
+        for key in range(20):
+            assert m.remove(key)
+        assert len(m) == 0
+        m.insert(99)
+        assert m.lookup(99) is not None
+
+    def test_remove_interleaved(self, name):
+        m = make_map(name)
+        model = {}
+        rng = random.Random(13)
+        for step in range(300):
+            key = rng.randrange(40)
+            if rng.random() < 0.55:
+                payload = bytes([step % 256]) * 16
+                m.insert(key, payload)
+                model[key] = payload
+            else:
+                assert m.remove(key) == (key in model)
+                model.pop(key, None)
+        assert dict(m.items()) == model
+
+
+class TestOrderedIteration:
+    def test_btree_items_sorted(self):
+        m = make_map("btree")
+        rng = random.Random(3)
+        keys = rng.sample(range(1000), 120)
+        for key in keys:
+            m.insert(key)
+        assert [k for k, _ in m.items()] == sorted(keys)
+
+    def test_rbtree_items_sorted(self):
+        m = make_map("rbtree")
+        rng = random.Random(4)
+        keys = rng.sample(range(1000), 120)
+        for key in keys:
+            m.insert(key)
+        assert [k for k, _ in m.items()] == sorted(keys)
+
+
+@pytest.mark.parametrize("name", STRUCTURES)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "remove", "lookup"]),
+            st.integers(0, 30),
+        ),
+        max_size=60,
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_matches_dict_model(name, ops):
+    m = make_map(name)
+    model = {}
+    for op, key in ops:
+        if op == "insert":
+            payload = key.to_bytes(2, "little") * 8
+            m.insert(key, payload)
+            model[key] = payload
+        elif op == "remove":
+            try:
+                assert m.remove(key) == (key in model)
+                model.pop(key, None)
+            except NotImplementedError:
+                pass
+        else:
+            assert m.lookup(key) == model.get(key)
+    assert dict(m.items()) == model
+
+
+class TestLargePayloads:
+    @pytest.mark.parametrize("value_size", [64, 256, 1024, 4096])
+    def test_payload_size_sweep(self, value_size):
+        """The paper's transaction-size axis (Figure 10)."""
+        m = ALL_STRUCTURES["btree"](make_pool(), value_size=value_size)
+        m.insert(1)
+        assert len(m.lookup(1)) == value_size

@@ -1,0 +1,203 @@
+"""Tests for the real-workload servers and load generators."""
+
+import random
+
+import pytest
+
+from repro.core.api import PMTestSession
+from repro.instr.runtime import PMRuntime
+from repro.pmem.machine import PMMachine
+from repro.pmdk.pool import PMPool
+from repro.pmfs import PMFS
+from repro.workloads import (
+    MemcachedServer,
+    RedisServer,
+    ZipfSampler,
+    drive_fs,
+    drive_kv,
+    filebench_ops,
+    memslap_ops,
+    oltp_ops,
+    redis_lru_ops,
+    run_client_threads,
+    ycsb_ops,
+)
+
+
+def make_pool(session=None, size=32 << 20):
+    runtime = PMRuntime(machine=PMMachine(size), session=session)
+    return PMPool(runtime, log_capacity=256 * 1024)
+
+
+def make_session(workers=0):
+    session = PMTestSession(workers=workers)
+    session.thread_init()
+    session.start()
+    return session
+
+
+class TestClients:
+    def test_memslap_mix(self):
+        ops = list(memslap_ops(2000, set_ratio=0.05, seed=1))
+        sets = sum(1 for kind, _, _ in ops if kind == "set")
+        assert len(ops) == 2000
+        assert 40 <= sets <= 180  # ~5%
+
+    def test_ycsb_mix_and_skew(self):
+        ops = list(ycsb_ops(2000, key_space=100, update_ratio=0.5, seed=1))
+        updates = sum(1 for kind, _, _ in ops if kind == "set")
+        assert 850 <= updates <= 1150  # ~50%
+        # Zipfian: the hottest key dominates.
+        from collections import Counter
+
+        keys = Counter(key for _, key, _ in ops)
+        top = keys.most_common(1)[0][1]
+        assert top > len(ops) / 100  # far above uniform share
+
+    def test_zipf_sampler_bounds(self):
+        sampler = ZipfSampler(50)
+        rng = random.Random(0)
+        draws = [sampler.sample(rng) for _ in range(500)]
+        assert all(0 <= d < 50 for d in draws)
+        assert draws.count(0) > draws.count(49)
+
+    def test_zipf_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+
+    def test_redis_lru_reaches_key_count(self):
+        ops = list(redis_lru_ops(100, seed=2))
+        sets = [op for op in ops if op[0] == "set"]
+        assert len(sets) == 100
+
+    def test_filebench_ops_well_formed(self):
+        live = set()
+        for op in filebench_ops(300, seed=3):
+            if op[0] == "create":
+                assert op[1] not in live
+                live.add(op[1])
+            elif op[0] == "delete":
+                assert op[1] in live
+                live.remove(op[1])
+            else:
+                assert op[1] in live
+
+    def test_oltp_begins_with_table_setup(self):
+        ops = list(oltp_ops(10, seed=4))
+        assert ops[0][0] == "create"
+        assert ops[1][0] == "write"
+        assert sum(1 for op in ops if op[0] == "fsync") == 10
+
+
+class TestMemcachedServer:
+    def test_basic_commands(self):
+        server = MemcachedServer(make_pool())
+        server.set(b"k", b"v")
+        assert server.get(b"k") == b"v"
+        assert server.get(b"missing") is None
+        assert server.delete(b"k")
+        assert server.stats["set"] == 1
+        assert server.stats["miss"] == 1
+
+    def test_serve_clean_under_pmtest(self):
+        session = make_session()
+        server = MemcachedServer(make_pool(session=session))
+        session.send_trace()
+        n = drive_kv(server, memslap_ops(200, key_space=50), session=session,
+                     trace_every=10)
+        assert n == 200
+        assert session.exit().clean
+
+    def test_multithreaded_serving(self):
+        session = make_session(workers=2)
+        server = MemcachedServer(make_pool(session=session))
+        session.send_trace()
+
+        def worker(index):
+            return drive_kv(
+                server,
+                ycsb_ops(100, key_space=40, seed=index),
+                session=session,
+                trace_every=10,
+            )
+
+        counts = run_client_threads(worker, 3, session=session)
+        assert counts == [100, 100, 100]
+        result = session.exit()
+        assert result.clean
+        assert result.traces_checked >= 3
+
+
+class TestRedisServer:
+    def test_basic_commands(self):
+        server = RedisServer(make_pool())
+        server.set(b"a", b"1")
+        server.set(b"a", b"2")
+        assert server.get(b"a") == b"2"
+        assert len(server) == 1
+        assert server.delete(b"a")
+        assert len(server) == 0
+
+    def test_lru_eviction_holds_cap(self):
+        server = RedisServer(make_pool(), maxkeys=10)
+        for i in range(30):
+            server.set(f"k{i}".encode(), b"v")
+        assert len(server) == 10
+        assert server.evictions == 20
+        # The most recent keys survive.
+        assert server.get(b"k29") == b"v"
+        assert server.get(b"k0") is None
+
+    def test_get_refreshes_lru(self):
+        server = RedisServer(make_pool(), maxkeys=2)
+        server.set(b"a", b"1")
+        server.set(b"b", b"2")
+        server.get(b"a")  # refresh a
+        server.set(b"c", b"3")  # evicts b
+        assert server.get(b"a") == b"1"
+        assert server.get(b"b") is None
+
+    def test_reopen_rebuilds_lru(self):
+        pool = make_pool()
+        server = RedisServer(pool)
+        server.set(b"x", b"y")
+        again = RedisServer(pool)
+        assert again.get(b"x") == b"y"
+        assert len(again.lru) == 1
+
+    def test_serve_clean_with_tx_checkers(self):
+        session = make_session()
+        server = RedisServer(make_pool(session=session), maxkeys=20)
+        session.send_trace()
+        drive_kv(server, redis_lru_ops(60), session=session, trace_every=5)
+        result = session.exit()
+        assert result.clean, [str(r) for r in result.reports[:5]]
+        assert server.evictions > 0
+
+
+class TestFsWorkloads:
+    @pytest.mark.parametrize("gen", [filebench_ops(150, seed=5),
+                                     oltp_ops(40, seed=6)])
+    def test_fs_streams_clean_under_pmtest(self, gen):
+        session = make_session()
+        runtime = PMRuntime(machine=PMMachine(8 << 20), session=session)
+        fs = PMFS(runtime, journal_capacity=32 * 1024)
+        session.send_trace()
+        drive_fs(fs, gen, session=session, trace_every=5)
+        result = session.exit()
+        assert result.clean, [str(r) for r in result.reports[:5]]
+
+    def test_drive_fs_rejects_unknown_op(self):
+        runtime = PMRuntime(machine=PMMachine(8 << 20))
+        fs = PMFS(runtime, journal_capacity=32 * 1024)
+        with pytest.raises(ValueError):
+            drive_fs(fs, [("chmod", b"f")])
+
+
+class TestRunner:
+    def test_worker_errors_propagate(self):
+        def worker(index):
+            raise RuntimeError("client crashed")
+
+        with pytest.raises(RuntimeError):
+            run_client_threads(worker, 2)
