@@ -25,10 +25,13 @@ compared — slowdown ratios — are dimensionless.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+import os
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.baselines.pmemcheck import PmemcheckTool
 from repro.core.api import PMTestSession
+from repro.core.events import Event, Op, Trace
+from repro.core.workers import DEFAULT_BATCH_SIZE, WorkerPool
 from repro.instr.runtime import PMRuntime
 from repro.pmem.machine import PMMachine
 from repro.pmdk.pool import PMPool
@@ -48,6 +51,16 @@ from repro.workloads import (
 )
 
 TOOLS = ("none", "pmtest", "pmemcheck")
+
+
+def env_int(name: str, default: int) -> int:
+    """Benchmark sizing knob: ``PMTEST_BENCH_SMOKE=1`` shrinks every
+    workload to CI-smoke size; a specific ``name`` overrides further."""
+    if name in os.environ:
+        return int(os.environ[name])
+    if os.environ.get("PMTEST_BENCH_SMOKE"):
+        return max(default // 10, 2)
+    return default
 
 #: module-level result store: (figure, config) -> mean seconds
 RESULTS: Dict[Tuple[str, Tuple], float] = {}
@@ -207,12 +220,17 @@ def prepare_memcached_threads(
     ops_per_client: int = 120,
     with_pmtest: bool = True,
     mem_size: int = 16 << 20,
+    backend: Optional[str] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> Execute:
     """Memcached with N server threads and M PMTest workers."""
+    ops_per_client = env_int("PMTEST_BENCH_OPS", ops_per_client)
     machine = PMMachine(mem_size)
     session = None
     if with_pmtest:
-        session = PMTestSession(workers=n_workers)
+        session = PMTestSession(
+            workers=n_workers, backend=backend, batch_size=batch_size
+        )
         session.thread_init()
         session.start()
     runtime = PMRuntime(machine=machine, session=session)
@@ -233,5 +251,60 @@ def prepare_memcached_threads(
         run_client_threads(worker, n_threads, session=session)
         if session is not None:
             session.exit()
+
+    return execute
+
+
+# ----------------------------------------------------------------------
+# Backend scaling: pure checking throughput
+# ----------------------------------------------------------------------
+def make_checking_traces(
+    n_traces: int = 150, tx_per_trace: int = 20, span: int = 256
+) -> List[Trace]:
+    """Synthetic traces shaped like instrumented transactions.
+
+    Each trace is an independent checking unit (write/flush/fence/
+    checker over rotating cachelines), so total checking work scales
+    linearly with ``n_traces`` and the engine — not trace construction —
+    dominates.
+    """
+    traces = []
+    for t in range(n_traces):
+        trace = Trace(t)
+        for i in range(tx_per_trace):
+            base = ((t + i) % 16) * span
+            trace.append(Event(Op.WRITE, base, span))
+            trace.append(Event(Op.CLWB, base, span))
+            trace.append(Event(Op.SFENCE))
+            trace.append(Event(Op.CHECK_PERSIST, base, span))
+        traces.append(trace)
+    return traces
+
+
+def prepare_backend_throughput(
+    backend: str,
+    n_workers: int,
+    n_traces: int = 150,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Execute:
+    """Timed body: push pre-built traces through a fresh pool and drain.
+
+    This isolates the checking runtime (dispatch + engine + result
+    merge) from workload execution, which is what actually distinguishes
+    the thread and process backends: end-to-end workload timings blend
+    in tracked execution that is identical across backends.
+    """
+    n_traces = env_int("PMTEST_BENCH_TRACES", n_traces)
+    traces = make_checking_traces(n_traces)
+    pool = WorkerPool(
+        num_workers=n_workers, backend=backend, batch_size=batch_size
+    )
+
+    def execute() -> None:
+        for trace in traces:
+            pool.submit(trace)
+        result = pool.drain()
+        assert result.traces_checked == len(traces)
+        pool.close()
 
     return execute

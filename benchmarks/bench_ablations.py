@@ -59,6 +59,49 @@ def test_ablation_shadow_shape(benchmark):
     assert naive > 5 * interval, (interval, naive)
 
 
+def _query_heavy_trace(n_segments: int = 400, n_queries: int = 400) -> Trace:
+    """Many disjoint segments, then many point-ish checker queries.
+
+    This is the shape the ``overlaps`` tail-copy fix targets: every
+    query used to copy the segment list from the first hit to the end,
+    so low-address queries over a large shadow were O(segments).
+    """
+    trace = Trace(0)
+    for i in range(n_segments):
+        trace.append(Event(Op.WRITE, i * 128, 64))
+        trace.append(Event(Op.CLWB, i * 128, 64))
+    trace.append(Event(Op.SFENCE))
+    for i in range(n_queries):
+        # Cluster queries at low addresses (longest tail to mis-copy).
+        trace.append(Event(Op.CHECK_PERSIST, (i % 32) * 128, 64))
+    return trace
+
+
+@pytest.mark.parametrize("shadow", ["interval", "naive"])
+def test_ablation_interval_query(benchmark, bench_rounds, shadow):
+    rules = X86Rules() if shadow == "interval" else NaiveX86Rules()
+    engine = CheckingEngine(rules)
+    trace = _query_heavy_trace()
+
+    def run():
+        result = engine.check_trace(trace)
+        assert result.passed
+
+    benchmark.pedantic(run, rounds=bench_rounds, iterations=1)
+    record("ablation-intervalquery", (shadow,), benchmark)
+
+
+def test_ablation_interval_query_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    interval = RESULTS.get(("ablation-intervalquery", ("interval",)))
+    naive = RESULTS.get(("ablation-intervalquery", ("naive",)))
+    if interval is None or naive is None:
+        pytest.skip("interval query ablation did not run")
+    # With the bounded overlaps scan the margin on query-heavy traces is
+    # wider than the coarse-trace ablation's 5x floor.
+    assert naive > 8 * interval, (interval, naive)
+
+
 # ----------------------------------------------------------------------
 # 2. Trace batching (SEND_TRACE granularity)
 # ----------------------------------------------------------------------

@@ -6,18 +6,31 @@ Memcached threads, adding workers reduces the slowdown; (c) growing both
 together keeps slowdown roughly flat, rising slightly from inter-thread
 communication.
 
-Caveat recorded in DESIGN.md Section 6: CPython's GIL prevents true
-parallel checking, so the *worker* axis reproduces the dispatch
-behaviour but not the full parallel speedup; the thread axis (more
-client load per wall-second of tracked execution) reproduces cleanly.
+The worker axis depends on the checking backend (DESIGN.md Section 6):
+the ``thread`` backend reproduces the paper's dispatch architecture but
+the GIL keeps CPU-bound checking serialized, so its throughput stays
+flat as workers grow; the ``process`` backend checks on worker
+processes and is the one that scales with cores.  The ``fig12d`` sweep
+below measures exactly that: pure checking throughput per backend per
+worker count, the before/after comparison for the process backend.
 """
+
+import os
 
 import pytest
 
-from _harness import pedantic, prepare_memcached_threads, record, slowdown
+from _harness import (
+    pedantic,
+    prepare_backend_throughput,
+    prepare_memcached_threads,
+    record,
+    slowdown,
+    RESULTS,
+)
 
 THREADS = [1, 2, 4]
 WORKERS = [1, 2, 4]
+BACKENDS = ("thread", "process")
 
 
 @pytest.mark.parametrize("threads", THREADS)
@@ -63,6 +76,59 @@ def test_fig12c_joint_sweep(benchmark, bench_rounds, both):
         lambda: prepare_memcached_threads(both, both),
     )
     record("fig12", (both, both, "pmtest"), benchmark)
+
+
+@pytest.mark.parametrize("workers", WORKERS)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fig12d_backend_throughput(benchmark, bench_rounds, backend, workers):
+    """(d) pure checking throughput: backend x worker-count sweep."""
+    pedantic(
+        benchmark,
+        bench_rounds,
+        lambda: prepare_backend_throughput(backend, workers),
+    )
+    record("fig12-backend", (backend, workers), benchmark)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fig12e_backend_end_to_end(benchmark, bench_rounds, backend):
+    """Backends under the full Memcached workload (4 threads, 4 workers)."""
+    pedantic(
+        benchmark,
+        bench_rounds,
+        lambda: prepare_memcached_threads(4, 4, backend=backend),
+    )
+    record("fig12", (4, 4, f"pmtest-{backend}"), benchmark)
+
+
+def test_fig12d_backend_shape(benchmark):
+    """The tentpole claim: process-backend checking scales with workers
+    where the thread backend stays flat (GIL)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    times = {
+        (backend, workers): RESULTS.get(("fig12-backend", (backend, workers)))
+        for backend in BACKENDS
+        for workers in WORKERS
+    }
+    if any(value is None for value in times.values()):
+        pytest.skip("fig12d benchmarks did not run")
+    thread_scaling = times[("thread", 1)] / times[("thread", 4)]
+    process_scaling = times[("process", 1)] / times[("process", 4)]
+    # The thread backend must not magically beat the GIL.
+    assert thread_scaling < 1.5, thread_scaling
+    if (os.cpu_count() or 1) >= 4:
+        # On a multi-core host the process backend must actually scale.
+        assert process_scaling > 1.5, process_scaling
+        assert process_scaling > thread_scaling, (
+            process_scaling,
+            thread_scaling,
+        )
+    else:
+        pytest.skip(
+            f"only {os.cpu_count()} core(s): process-backend scaling "
+            f"measured {process_scaling:.2f}x but the >1.5x assertion "
+            "needs a multi-core host"
+        )
 
 
 def test_fig12_shape(benchmark):

@@ -8,6 +8,8 @@ figure/table rows, not just raw timings.
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 from pathlib import Path
 
@@ -116,6 +118,23 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
                              ("off", "none"))
             tr.write_line(f"capture_sites={mode:3s} PMTest {_fmt(ratio)}")
 
+    if "fig12-backend" in figures:
+        tr.section("Backend scaling: checking throughput (thread vs process)")
+        tr.write_line(f"{'backend':>8s} {'workers':>8s} {'seconds':>9s} "
+                      f"{'vs 1 worker':>12s}")
+        rows = sorted(
+            {cfg for fig, cfg in RESULTS if fig == "fig12-backend"}
+        )
+        for backend, workers in rows:
+            seconds = RESULTS.get(("fig12-backend", (backend, workers)))
+            base = RESULTS.get(("fig12-backend", (backend, 1)))
+            scaling = (
+                f"{base / seconds:10.2f}x" if seconds and base else "       n/a"
+            )
+            tr.write_line(
+                f"{backend:>8s} {workers:8d} {seconds:9.4f} {scaling:>12s}"
+            )
+
     if "ablation-shadow" in figures:
         tr.section("Ablation: interval-map vs per-byte shadow memory")
         interval = RESULTS.get(("ablation-shadow", ("interval",)))
@@ -126,3 +145,49 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
                 f"per-byte dict: {naive * 1000:8.2f} ms   "
                 f"speedup {naive / interval:5.1f}x"
             )
+
+    if "ablation-intervalquery" in figures:
+        tr.section("Ablation: bounded interval-map queries vs per-byte")
+        interval = RESULTS.get(("ablation-intervalquery", ("interval",)))
+        naive = RESULTS.get(("ablation-intervalquery", ("naive",)))
+        if interval and naive:
+            tr.write_line(
+                f"interval map: {interval * 1000:8.2f} ms   "
+                f"per-byte dict: {naive * 1000:8.2f} ms   "
+                f"speedup {naive / interval:5.1f}x"
+            )
+
+    _dump_json(tr)
+
+
+def _dump_json(tr) -> None:
+    """Write every recorded mean (plus derived scaling numbers) to the
+    path in ``PMTEST_BENCH_JSON`` so runs can be committed/compared."""
+    path = os.environ.get("PMTEST_BENCH_JSON")
+    if not path:
+        return
+    payload = {
+        "cpu_count": os.cpu_count(),
+        "mean_seconds": {
+            f"{figure}/{'/'.join(str(part) for part in config)}": seconds
+            for (figure, config), seconds in sorted(RESULTS.items())
+        },
+    }
+    backends = sorted(
+        {cfg[0] for fig, cfg in RESULTS if fig == "fig12-backend"}
+    )
+    if backends:
+        scaling = {}
+        for backend in backends:
+            base = RESULTS.get(("fig12-backend", (backend, 1)))
+            for fig, cfg in sorted(RESULTS):
+                if fig != "fig12-backend" or cfg[0] != backend or not base:
+                    continue
+                seconds = RESULTS[(fig, cfg)]
+                scaling[f"{backend}/{cfg[1]}-workers"] = (
+                    base / seconds if seconds else None
+                )
+        payload["backend_throughput_scaling_vs_1_worker"] = scaling
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    tr.write_line(f"benchmark JSON written to {path}")

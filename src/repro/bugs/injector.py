@@ -39,9 +39,15 @@ class BugRunOutcome:
         return f"{self.case.bug_id:4s} {status:8s} [{codes}] {self.case.description}"
 
 
-def run_bug_case(case: BugCase, scale: int = 40) -> BugRunOutcome:
-    """Execute one case; ``scale`` sizes the workload."""
-    session = PMTestSession(workers=0)
+def run_bug_case(case: BugCase, scale: int = 40, sink=None) -> BugRunOutcome:
+    """Execute one case; ``scale`` sizes the workload.
+
+    ``sink`` substitutes the session's trace sink — e.g. a
+    :class:`~repro.core.traceio.TraceRecorder` to capture the case's
+    traces instead of checking them (the cross-backend equivalence test
+    replays such recordings through every checking backend).
+    """
+    session = PMTestSession(workers=0, sink=sink)
     session.thread_init()
     session.start()
     runtime = PMRuntime(machine=PMMachine(32 << 20), session=session)

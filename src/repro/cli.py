@@ -3,8 +3,10 @@
 Usage::
 
     python -m repro check run.pmtrace [--model x86|hops|eadr|x86-naive]
-                                      [--workers N] [--max-reports K]
-                                      [--quiet]
+                                      [--workers N]
+                                      [--backend inline|thread|process]
+                                      [--batch-size K]
+                                      [--max-reports K] [--quiet]
     python -m repro stats run.pmtrace
 
 ``check`` replays every trace in the dump through the checking engine and
@@ -23,12 +25,11 @@ import sys
 from collections import Counter
 from typing import List, Optional
 
-from repro.core.engine import CheckingEngine
 from repro.core.rules import HOPSRules, PersistencyRules, X86Rules
 from repro.core.rules.eadr import EADRRules
 from repro.core.rules.naive import NaiveX86Rules
 from repro.core.traceio import TraceFormatError, load_traces
-from repro.core.workers import WorkerPool
+from repro.core.workers import BACKEND_NAMES, DEFAULT_BATCH_SIZE, WorkerPool
 
 MODELS = {
     "x86": X86Rules,
@@ -57,7 +58,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=0,
-        help="checking worker threads (default 0: synchronous)",
+        help="checking workers (default 0: synchronous)",
+    )
+    check.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help=(
+            "checking backend: inline (synchronous), thread (GIL-bound "
+            "worker threads), or process (true parallel worker "
+            "processes); default derives from --workers"
+        ),
+    )
+    check.add_argument(
+        "--batch-size",
+        type=int,
+        default=DEFAULT_BATCH_SIZE,
+        help=(
+            "traces per IPC message for --backend process "
+            f"(default {DEFAULT_BATCH_SIZE})"
+        ),
     )
     check.add_argument(
         "--max-reports",
@@ -93,14 +113,19 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _check(args: argparse.Namespace, traces) -> int:
+    if args.batch_size < 1:
+        print("error: --batch-size must be >= 1", file=sys.stderr)
+        return 2
     rules: PersistencyRules = MODELS[args.model]()
-    if args.workers > 0:
-        with WorkerPool(rules, num_workers=args.workers) as pool:
-            for trace in traces:
-                pool.submit(trace)
-            result = pool.drain()
-    else:
-        result = CheckingEngine(rules).check_traces(traces)
+    with WorkerPool(
+        rules,
+        num_workers=args.workers,
+        backend=args.backend,
+        batch_size=args.batch_size,
+    ) as pool:
+        for trace in traces:
+            pool.submit(trace)
+        result = pool.drain()
     print(f"{args.model}: {result.summary()}")
     if not args.quiet:
         for report in result.reports[: args.max_reports]:

@@ -44,7 +44,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.core.events import Event, Op, SourceSite, Trace
 from repro.core.reports import TestResult
 from repro.core.rules import PersistencyRules
-from repro.core.workers import WorkerPool
+from repro.core.workers import DEFAULT_BATCH_SIZE, WorkerPool
 
 
 class _ThreadState:
@@ -74,6 +74,14 @@ class PMTestSession:
         is the paper's per-op metadata; it makes reports actionable but
         is the most expensive part of tracking (measured by the
         site-capture ablation benchmark).
+    backend:
+        Checking backend: ``"inline"``, ``"thread"`` or ``"process"``
+        (see :mod:`repro.core.backends`).  ``None`` derives it from
+        ``workers``: ``0`` means inline, otherwise the thread pool.
+        The process backend checks traces on true parallel worker
+        processes.
+    batch_size:
+        Traces per IPC message (process backend only).
     sink:
         Where completed traces go.  Defaults to an in-process
         :class:`~repro.core.workers.WorkerPool`; kernel-module testing
@@ -88,11 +96,13 @@ class PMTestSession:
         rules: Optional[PersistencyRules] = None,
         workers: int = 1,
         capture_sites: bool = False,
+        backend: Optional[str] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
         sink=None,
     ) -> None:
         self.capture_sites = capture_sites
         self._pool = sink if sink is not None else WorkerPool(
-            rules, num_workers=workers
+            rules, num_workers=workers, backend=backend, batch_size=batch_size
         )
         self._trace_ids = itertools.count()
         self._local = threading.local()

@@ -1,0 +1,428 @@
+"""Checking backends: where submitted traces actually get validated.
+
+The paper's runtime (Section 4.4, Figure 8) decouples the program under
+test from the checkers so validation proceeds in parallel with
+execution.  How much parallelism that buys depends on *where* the
+checking runs, so the pool's execution strategy is a pluggable backend:
+
+``inline``
+    Traces are checked synchronously inside ``submit`` on the calling
+    thread.  Fully deterministic; what unit tests use (``workers=0``).
+``thread``
+    The paper's master/worker architecture with Python worker threads:
+    round-robin dispatch to per-worker queues.  Checking overlaps
+    program I/O and keeps ``submit`` cheap, but the GIL serializes the
+    CPU-bound engine, so throughput does not scale with workers.
+``process``
+    Worker *processes*: traces are flattened to the compact wire
+    encoding (:mod:`repro.core.traceio`), shipped in batches over a
+    ``multiprocessing`` queue, checked in true parallel, and the
+    results merged back.  This is the backend that reproduces the
+    paper's Fig. 12 worker-scaling claim on multi-core hosts.
+
+Every backend aggregates results in **submission order**: each trace's
+result is tagged with its submit sequence number, and ``drain`` merges
+them sorted by that tag.  Scheduling never leaks into the aggregate, so
+all three backends produce bit-identical :class:`TestResult`\\ s for the
+same trace stream (the cross-backend equivalence test asserts this over
+the whole bug corpus).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+from typing import Any, List, Optional, Protocol, Tuple, runtime_checkable
+
+from repro.core.engine import CheckingEngine
+from repro.core.events import Trace
+from repro.core.reports import TestResult
+from repro.core.rules import PersistencyRules
+from repro.core.traceio import (
+    decode_result,
+    decode_trace,
+    encode_result,
+    encode_trace,
+)
+
+#: Names accepted by :func:`make_backend` (and every ``backend=`` knob).
+BACKEND_NAMES = ("inline", "thread", "process")
+
+#: Traces per IPC message for the process backend.  Batching amortizes
+#: the per-message queue/pickle overhead; the ablation bench sweeps it.
+DEFAULT_BATCH_SIZE = 8
+
+#: ``(submit_seq, result)`` — the unit every backend aggregates.
+_SeqResult = Tuple[int, TestResult]
+
+
+class CheckingFailed(RuntimeError):
+    """A worker raised while checking a trace.
+
+    Raised from ``drain``/``close`` on the submitting side, carrying the
+    original error's description.  (Inline checking raises the original
+    exception directly from ``submit``.)
+    """
+
+
+@runtime_checkable
+class CheckingBackend(Protocol):
+    """What the :class:`~repro.core.workers.WorkerPool` facade drives."""
+
+    #: backend name, one of :data:`BACKEND_NAMES`
+    name: str
+
+    @property
+    def num_workers(self) -> int: ...
+
+    @property
+    def dispatched(self) -> int: ...
+
+    def worker_trace_counts(self) -> List[int]: ...
+
+    def submit(self, trace: Trace) -> None: ...
+
+    def drain(self) -> TestResult: ...
+
+    def close(self) -> TestResult: ...
+
+
+def make_backend(
+    name: Optional[str],
+    rules: Optional[PersistencyRules] = None,
+    num_workers: int = 1,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    thread_name: str = "pmtest",
+) -> "CheckingBackend":
+    """Build a backend by name.
+
+    ``name=None`` keeps the historical behaviour of the ``workers=``
+    knob: ``0`` means inline, anything else the thread pool.
+    """
+    if name is None:
+        name = "inline" if num_workers == 0 else "thread"
+    if name == "inline":
+        return InlineBackend(rules)
+    if name == "thread":
+        return ThreadBackend(rules, max(num_workers, 1), name=thread_name)
+    if name == "process":
+        return ProcessBackend(rules, max(num_workers, 1), batch_size=batch_size)
+    raise ValueError(
+        f"unknown checking backend {name!r}; expected one of {BACKEND_NAMES}"
+    )
+
+
+def _merge_ordered(pairs: List[_SeqResult]) -> TestResult:
+    """Aggregate per-trace results in submission order."""
+    snapshot = TestResult()
+    for _, result in sorted(pairs, key=lambda pair: pair[0]):
+        snapshot.merge(result)
+    return snapshot
+
+
+# ----------------------------------------------------------------------
+# Inline
+# ----------------------------------------------------------------------
+class InlineBackend:
+    """Synchronous checking on the submitting thread (``workers=0``)."""
+
+    name = "inline"
+
+    def __init__(self, rules: Optional[PersistencyRules] = None) -> None:
+        self._engine = CheckingEngine(rules)
+        self._lock = threading.Lock()
+        self._results: List[_SeqResult] = []
+        self._dispatched = 0
+
+    @property
+    def num_workers(self) -> int:
+        return 0
+
+    @property
+    def dispatched(self) -> int:
+        return self._dispatched
+
+    def worker_trace_counts(self) -> List[int]:
+        return []
+
+    def submit(self, trace: Trace) -> None:
+        with self._lock:
+            seq = self._dispatched
+            self._dispatched += 1
+            self._results.append((seq, self._engine.check_trace(trace)))
+
+    def drain(self) -> TestResult:
+        with self._lock:
+            return _merge_ordered(self._results)
+
+    def close(self) -> TestResult:
+        return self.drain()
+
+
+# ----------------------------------------------------------------------
+# Threads
+# ----------------------------------------------------------------------
+class ThreadBackend:
+    """The paper's worker pool: round-robin dispatch to worker threads.
+
+    ``submit`` takes the lock only for round-robin index bookkeeping;
+    each worker appends results to a list it alone writes, and ``drain``
+    aggregates those per-worker lists after the queues go idle.  The
+    checked results themselves never cross the lock.
+    """
+
+    name = "thread"
+
+    #: Sentinel pushed to a worker's queue to ask it to exit.
+    _STOP = None
+
+    def __init__(
+        self,
+        rules: Optional[PersistencyRules] = None,
+        num_workers: int = 1,
+        name: str = "pmtest",
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("thread backend needs at least one worker")
+        self._engine = CheckingEngine(rules)
+        self._num_workers = num_workers
+        self._lock = threading.Lock()
+        self._next_worker = 0
+        self._dispatched = 0
+        self._per_worker_counts = [0] * num_workers
+        #: per-worker result/error lists, written only by their worker
+        self._worker_results: List[List[_SeqResult]] = [
+            [] for _ in range(num_workers)
+        ]
+        self._worker_errors: List[List[Tuple[int, BaseException]]] = [
+            [] for _ in range(num_workers)
+        ]
+        self._queues: List["queue.Queue[Any]"] = []
+        self._threads: List[threading.Thread] = []
+        for i in range(num_workers):
+            q: "queue.Queue[Any]" = queue.Queue()
+            self._queues.append(q)
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(i, q),
+                name=f"{name}-worker-{i}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    @property
+    def num_workers(self) -> int:
+        return self._num_workers
+
+    @property
+    def dispatched(self) -> int:
+        return self._dispatched
+
+    def worker_trace_counts(self) -> List[int]:
+        return list(self._per_worker_counts)
+
+    def submit(self, trace: Trace) -> None:
+        with self._lock:
+            index = self._next_worker
+            self._next_worker = (index + 1) % self._num_workers
+            seq = self._dispatched
+            self._dispatched += 1
+            self._per_worker_counts[index] += 1
+        self._queues[index].put((seq, trace))
+
+    def drain(self) -> TestResult:
+        for q in self._queues:
+            q.join()
+        errors = [pair for worker in self._worker_errors for pair in worker]
+        if errors:
+            seq, error = min(errors, key=lambda pair: pair[0])
+            raise CheckingFailed(
+                f"checking trace (submit #{seq}) failed: {error!r}"
+            ) from error
+        pairs = [pair for worker in self._worker_results for pair in worker]
+        return _merge_ordered(pairs)
+
+    def close(self) -> TestResult:
+        try:
+            return self.drain()
+        finally:
+            # Stop workers even when drain() surfaces a checking error.
+            for q in self._queues:
+                q.put(self._STOP)
+            for thread in self._threads:
+                thread.join()
+
+    def _worker_loop(self, index: int, q: "queue.Queue[Any]") -> None:
+        engine = self._engine
+        results = self._worker_results[index]
+        errors = self._worker_errors[index]
+        while True:
+            item = q.get()
+            if item is self._STOP:
+                q.task_done()
+                return
+            seq, trace = item
+            try:
+                results.append((seq, engine.check_trace(trace)))
+            except BaseException as exc:  # surfaced from drain()
+                errors.append((seq, exc))
+            finally:
+                q.task_done()
+
+
+# ----------------------------------------------------------------------
+# Processes
+# ----------------------------------------------------------------------
+def _process_worker(index: int, task_q, result_q, rules) -> None:
+    """Worker-process main: decode, check, encode, repeat."""
+    engine = CheckingEngine(rules)
+    while True:
+        batch = task_q.get()
+        if batch is None:
+            return
+        out = []
+        for seq, wire in batch:
+            try:
+                result = engine.check_trace(decode_trace(wire))
+            except BaseException as exc:
+                out.append((seq, None, repr(exc)))
+            else:
+                out.append((seq, encode_result(result), None))
+        result_q.put((index, out))
+
+
+class ProcessBackend:
+    """True multi-core checking over a ``multiprocessing`` worker pool.
+
+    Traces are flattened with the compact wire encoding and grouped
+    ``batch_size`` per IPC message; workers pull batches from one shared
+    task queue (self-scheduling, no round-robin imbalance) and push
+    encoded results back.  A collector thread on the submitting side
+    decodes results as they arrive, so ``drain`` only has to wait for
+    the outstanding count to hit zero and merge.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        rules: Optional[PersistencyRules] = None,
+        num_workers: int = 1,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("process backend needs at least one worker")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self._num_workers = num_workers
+        self._batch_size = batch_size
+        # fork (where available) shares the already-imported modules;
+        # spawn works too since the worker fn and rules are picklable.
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        self._task_q = ctx.Queue()
+        self._result_q = ctx.Queue()
+        self._processes = [
+            ctx.Process(
+                target=_process_worker,
+                args=(i, self._task_q, self._result_q, rules),
+                name=f"pmtest-checker-{i}",
+                daemon=True,
+            )
+            for i in range(num_workers)
+        ]
+        for process in self._processes:
+            process.start()
+        self._lock = threading.Lock()
+        self._done = threading.Condition(self._lock)
+        self._dispatched = 0
+        self._completed = 0
+        self._pending: List[Tuple[int, tuple]] = []  # unflushed batch
+        self._results: List[_SeqResult] = []
+        self._errors: List[Tuple[int, str]] = []
+        self._per_worker_counts = [0] * num_workers
+        self._collector = threading.Thread(
+            target=self._collect, name="pmtest-collector", daemon=True
+        )
+        self._collector.start()
+
+    @property
+    def num_workers(self) -> int:
+        return self._num_workers
+
+    @property
+    def batch_size(self) -> int:
+        return self._batch_size
+
+    @property
+    def dispatched(self) -> int:
+        return self._dispatched
+
+    def worker_trace_counts(self) -> List[int]:
+        """Traces checked per worker (self-scheduled, so load-dependent)."""
+        with self._lock:
+            return list(self._per_worker_counts)
+
+    def submit(self, trace: Trace) -> None:
+        wire = encode_trace(trace)
+        with self._lock:
+            seq = self._dispatched
+            self._dispatched += 1
+            self._pending.append((seq, wire))
+            if len(self._pending) >= self._batch_size:
+                batch, self._pending = self._pending, []
+            else:
+                return
+        self._task_q.put(batch)
+
+    def drain(self) -> TestResult:
+        with self._done:
+            if self._pending:
+                batch, self._pending = self._pending, []
+                self._task_q.put(batch)
+            self._done.wait_for(lambda: self._completed >= self._dispatched)
+            if self._errors:
+                seq, error = min(self._errors, key=lambda pair: pair[0])
+                raise CheckingFailed(
+                    f"checking trace (submit #{seq}) failed in worker "
+                    f"process: {error}"
+                )
+            return _merge_ordered(self._results)
+
+    def close(self) -> TestResult:
+        try:
+            return self.drain()
+        finally:
+            # Stop workers even when drain() surfaces a checking error.
+            for _ in self._processes:
+                self._task_q.put(None)
+            for process in self._processes:
+                process.join(timeout=10)
+            self._result_q.put(None)  # stop the collector
+            self._collector.join(timeout=10)
+            self._task_q.close()
+            self._result_q.close()
+
+    def _collect(self) -> None:
+        while True:
+            message = self._result_q.get()
+            if message is None:
+                return
+            index, batch = message
+            decoded = [
+                (seq, None if wire is None else decode_result(wire), error)
+                for seq, wire, error in batch
+            ]
+            with self._done:
+                for seq, result, error in decoded:
+                    if error is not None:
+                        self._errors.append((seq, error))
+                    else:
+                        self._results.append((seq, result))
+                self._per_worker_counts[index] += len(decoded)
+                self._completed += len(decoded)
+                self._done.notify_all()

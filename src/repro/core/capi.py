@@ -25,6 +25,7 @@ from typing import Optional, Tuple
 from repro.core.api import PMTestSession
 from repro.core.reports import TestResult
 from repro.core.rules import PersistencyRules
+from repro.core.workers import DEFAULT_BATCH_SIZE
 
 _session: Optional[PMTestSession] = None
 
@@ -33,12 +34,26 @@ def PMTest_INIT(
     rules: Optional[PersistencyRules] = None,
     workers: int = 1,
     capture_sites: bool = False,
+    backend: Optional[str] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> PMTestSession:
-    """Create (and install) the global session."""
+    """Create (and install) the global session.
+
+    ``backend`` selects the checking backend (``inline``/``thread``/
+    ``process``; ``None`` derives it from ``workers``), and
+    ``batch_size`` tunes traces-per-IPC-message for the process
+    backend.
+    """
     global _session
     if _session is not None:
         raise RuntimeError("PMTest already initialized; call PMTest_EXIT first")
-    _session = PMTestSession(rules, workers=workers, capture_sites=capture_sites)
+    _session = PMTestSession(
+        rules,
+        workers=workers,
+        capture_sites=capture_sites,
+        backend=backend,
+        batch_size=batch_size,
+    )
     _session.thread_init()
     return _session
 

@@ -59,6 +59,7 @@ class _TraceChecker:
     def __init__(self, rules: PersistencyRules, trace: Trace) -> None:
         self.rules = rules
         self.trace = trace
+        self.trace_id = trace.trace_id
         self.shadow = rules.make_shadow()
         self.result = TestResult(traces_checked=1)
         # Transaction machinery (Section 5.1)
@@ -73,86 +74,105 @@ class _TraceChecker:
 
     # ------------------------------------------------------------------
     def run(self) -> TestResult:
-        for event in self.trace.events:
-            self._dispatch(event)
-            self.result.events_checked += 1
+        # Per-op handler table instead of an if/elif ladder: one dict
+        # lookup per event on the hot path.
+        handlers = self._HANDLERS
+        events = self.trace.events
+        result = self.result
+        for event in events:
+            handler = handlers.get(event.op)
+            if handler is None:
+                raise MalformedTrace(f"unknown trace op {event.op!r}")
+            handler(self, event)
         self._finish()
-        for i, report in enumerate(self.result.reports):
+        result.events_checked += len(events)
+        # Engine-made reports carry the trace id already; only reports
+        # produced by the (trace-id-agnostic) rules need the rewrap.
+        trace_id = self.trace_id
+        reports = result.reports
+        for i, report in enumerate(reports):
             if report.trace_id == -1:
-                self.result.reports[i] = _with_trace_id(report, self.trace.trace_id)
-        return self.result
-
-    # ------------------------------------------------------------------
-    def _dispatch(self, event: Event) -> None:
-        op = event.op
-        if op is Op.WRITE or op is Op.WRITE_NT:
-            self._on_write(event)
-        elif op in FLUSH_OPS:
-            self._apply_in_scope(event)
-        elif op in FENCE_OPS:
-            self.result.reports.extend(self.rules.apply_op(self.shadow, event))
-        elif op is Op.TX_BEGIN:
-            self._on_tx_begin()
-        elif op is Op.TX_END:
-            self._on_tx_end(event)
-        elif op is Op.TX_ADD:
-            self._on_tx_add(event)
-        elif op is Op.EXCLUDE:
-            self.excluded.assign(event.addr, event.end, True)
-            if self.tx_check_active:
-                self.modified.erase(event.addr, event.end)
-        elif op is Op.INCLUDE:
-            self.excluded.erase(event.addr, event.end)
-        elif op is Op.CHECK_PERSIST:
-            self.result.checkers_evaluated += 1
-            self.result.reports.extend(self.rules.check_persist(self.shadow, event))
-        elif op is Op.CHECK_ORDER:
-            self.result.checkers_evaluated += 1
-            self.result.reports.extend(self.rules.check_order(self.shadow, event))
-        elif op is Op.TX_CHECK_START:
-            self.tx_check_active = True
-            self.tx_check_site = event.site
-            self.modified.clear()
-        elif op is Op.TX_CHECK_END:
-            self._on_tx_check_end(event.site, event.seq)
-        else:  # pragma: no cover - vocabulary is closed
-            raise MalformedTrace(f"unknown trace op {op!r}")
+                reports[i] = _with_trace_id(report, trace_id)
+        return result
 
     # ------------------------------------------------------------------
     # PM operations
     # ------------------------------------------------------------------
     def _on_write(self, event: Event) -> None:
-        for lo, hi in self._active(event.addr, event.end):
+        if not self.excluded:
+            # Common case: no exclusions — no gap scan, no subrange
+            # Event reallocation.
+            self.result.reports.extend(self.rules.apply_op(self.shadow, event))
+            if self.tx_check_active:
+                self._track_tx_write(event.addr, event.end, event)
+            return
+        for lo, hi in self.excluded.gaps(event.addr, event.end):
             sub = self._subrange_event(event, lo, hi)
             self.result.reports.extend(self.rules.apply_op(self.shadow, sub))
-            if not self.tx_check_active:
-                continue
-            self.modified.assign(lo, hi, event.site)
-            if self.tx_depth > 0:
-                for bad_lo, bad_hi in self.log_tree.uncovered(lo, hi):
-                    self.result.reports.append(
-                        Report(
-                            level=Level.FAIL,
-                            code=ReportCode.MISSING_LOG,
-                            message=(
-                                f"transaction modifies [{bad_lo:#x}, "
-                                f"{bad_hi:#x}) without a prior TX_ADD "
-                                "backup; it cannot be rolled back"
-                            ),
-                            site=event.site,
-                            seq=event.seq,
-                        )
+            if self.tx_check_active:
+                self._track_tx_write(lo, hi, event)
+
+    def _track_tx_write(self, lo: int, hi: int, event: Event) -> None:
+        self.modified.assign(lo, hi, event.site)
+        if self.tx_depth > 0:
+            for bad_lo, bad_hi in self.log_tree.uncovered(lo, hi):
+                self.result.reports.append(
+                    Report(
+                        level=Level.FAIL,
+                        code=ReportCode.MISSING_LOG,
+                        message=(
+                            f"transaction modifies [{bad_lo:#x}, "
+                            f"{bad_hi:#x}) without a prior TX_ADD "
+                            "backup; it cannot be rolled back"
+                        ),
+                        site=event.site,
+                        trace_id=self.trace_id,
+                        seq=event.seq,
                     )
+                )
 
     def _apply_in_scope(self, event: Event) -> None:
-        for lo, hi in self._active(event.addr, event.end):
+        if not self.excluded:
+            self.result.reports.extend(self.rules.apply_op(self.shadow, event))
+            return
+        for lo, hi in self.excluded.gaps(event.addr, event.end):
             sub = self._subrange_event(event, lo, hi)
             self.result.reports.extend(self.rules.apply_op(self.shadow, sub))
+
+    def _on_fence(self, event: Event) -> None:
+        self.result.reports.extend(self.rules.apply_op(self.shadow, event))
+
+    # ------------------------------------------------------------------
+    # Scope bookkeeping
+    # ------------------------------------------------------------------
+    def _on_exclude(self, event: Event) -> None:
+        self.excluded.assign(event.addr, event.end, True)
+        if self.tx_check_active:
+            self.modified.erase(event.addr, event.end)
+
+    def _on_include(self, event: Event) -> None:
+        self.excluded.erase(event.addr, event.end)
+
+    # ------------------------------------------------------------------
+    # Checkers
+    # ------------------------------------------------------------------
+    def _on_check_persist(self, event: Event) -> None:
+        self.result.checkers_evaluated += 1
+        self.result.reports.extend(self.rules.check_persist(self.shadow, event))
+
+    def _on_check_order(self, event: Event) -> None:
+        self.result.checkers_evaluated += 1
+        self.result.reports.extend(self.rules.check_order(self.shadow, event))
+
+    def _on_tx_check_start(self, event: Event) -> None:
+        self.tx_check_active = True
+        self.tx_check_site = event.site
+        self.modified.clear()
 
     # ------------------------------------------------------------------
     # Transactions
     # ------------------------------------------------------------------
-    def _on_tx_begin(self) -> None:
+    def _on_tx_begin(self, event: Event) -> None:
         self.tx_depth += 1
         if self.tx_depth == 1:
             self.log_tree.reset()
@@ -177,9 +197,13 @@ class _TraceChecker:
                         f"the same transaction{where}"
                     ),
                     site=event.site,
+                    trace_id=self.trace_id,
                     seq=event.seq,
                 )
             )
+
+    def _on_tx_check_end_event(self, event: Event) -> None:
+        self._on_tx_check_end(event.site, event.seq)
 
     def _on_tx_check_end(self, site: Optional[SourceSite], seq: int) -> None:
         self.result.checkers_evaluated += 1
@@ -194,12 +218,15 @@ class _TraceChecker:
                         "checked scope; it was not properly terminated"
                     ),
                     site=site,
+                    trace_id=self.trace_id,
                     seq=seq,
                 )
             )
         # The injected isPersist over every modified (non-excluded) object
         # (paper Section 5.1.1, "Check Incomplete Transactions").
-        for lo, hi, write_site in list(self.modified):
+        # ``persist_intervals`` only reads ``self.modified``, so iterate
+        # it directly — no defensive copy.
+        for lo, hi, write_site in self.modified:
             for sub_lo, sub_hi, interval, state in self.rules.persist_intervals(
                 self.shadow, lo, hi
             ):
@@ -216,6 +243,7 @@ class _TraceChecker:
                             ),
                             site=site,
                             related_site=state.write_site or write_site,
+                            trace_id=self.trace_id,
                             seq=seq,
                         )
                     )
@@ -229,17 +257,33 @@ class _TraceChecker:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    def _active(self, lo: int, hi: int) -> List[Tuple[int, int]]:
-        """Subranges of ``[lo, hi)`` inside the testing scope."""
-        if not self.excluded:
-            return [(lo, hi)]
-        return self.excluded.gaps(lo, hi)
-
     @staticmethod
     def _subrange_event(event: Event, lo: int, hi: int) -> Event:
         if lo == event.addr and hi == event.end:
             return event
         return Event(event.op, lo, hi - lo, site=event.site, seq=event.seq)
+
+    # Per-op dispatch table (the hot path in ``run``).  Built in the
+    # class body so entries are plain functions called as
+    # ``handler(self, event)``.
+    _HANDLERS = {
+        Op.WRITE: _on_write,
+        Op.WRITE_NT: _on_write,
+        Op.TX_BEGIN: _on_tx_begin,
+        Op.TX_END: _on_tx_end,
+        Op.TX_ADD: _on_tx_add,
+        Op.EXCLUDE: _on_exclude,
+        Op.INCLUDE: _on_include,
+        Op.CHECK_PERSIST: _on_check_persist,
+        Op.CHECK_ORDER: _on_check_order,
+        Op.TX_CHECK_START: _on_tx_check_start,
+        Op.TX_CHECK_END: _on_tx_check_end_event,
+    }
+    for _op in FLUSH_OPS:
+        _HANDLERS[_op] = _apply_in_scope
+    for _op in FENCE_OPS:
+        _HANDLERS[_op] = _on_fence
+    del _op
 
 
 def _with_trace_id(report: Report, trace_id: int) -> Report:

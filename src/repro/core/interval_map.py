@@ -15,7 +15,7 @@ same.  All ranges are half-open ``[start, end)`` over integer addresses.
 
 from __future__ import annotations
 
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from typing import Callable, Generic, Iterable, Iterator, List, Optional, Tuple, TypeVar
 
 V = TypeVar("V")
@@ -72,15 +72,20 @@ class IntervalMap(Generic[V]):
         query range; otherwise the stored bounds are returned.
         """
         _check_range(lo, hi)
+        # Bound the scan with bisection on segment starts: slicing
+        # ``self._segments[i0:]`` would copy every remaining segment on
+        # every query, turning point queries over a large map into O(n).
         i0 = self._first_overlap(lo)
+        i1 = bisect_left(self._starts, hi, i0)
+        segments = self._segments
+        if not clip:
+            return segments[i0:i1]
         out: List[Segment] = []
-        for start, end, value in self._segments[i0:]:
-            if start >= hi:
-                break
-            if clip:
-                out.append((max(start, lo), min(end, hi), value))
-            else:
-                out.append((start, end, value))
+        for i in range(i0, i1):
+            start, end, value = segments[i]
+            out.append(
+                (start if start > lo else lo, end if end < hi else hi, value)
+            )
         return out
 
     def gaps(self, lo: int, hi: int) -> List[Tuple[int, int]]:
@@ -183,12 +188,9 @@ class IntervalMap(Generic[V]):
         the sub-segment of the last overlapping segment right of ``hi``.
         """
         i0 = self._first_overlap(lo)
-        i1 = i0
+        i1 = bisect_left(self._starts, hi, i0)
         prefix: List[Segment] = []
         suffix: List[Segment] = []
-        n = len(self._segments)
-        while i1 < n and self._segments[i1][0] < hi:
-            i1 += 1
         if i0 < i1:
             fstart, fend, fvalue = self._segments[i0]
             if fstart < lo:

@@ -24,9 +24,10 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, List, Optional, TextIO, Union
+from typing import Iterable, List, Optional, TextIO, Tuple, Union
 
 from repro.core.events import Event, Op, SourceSite, Trace
+from repro.core.reports import Level, Report, ReportCode, TestResult
 
 FORMAT_NAME = "pmtest-trace"
 FORMAT_VERSION = 1
@@ -131,6 +132,121 @@ def _parse_line(line: str) -> dict:
     if not isinstance(record, dict):
         raise TraceFormatError("trace lines must be JSON objects")
     return record
+
+
+# ----------------------------------------------------------------------
+# Compact wire encoding (cross-process IPC)
+# ----------------------------------------------------------------------
+# The process checking backend ships traces to worker processes and
+# results back.  Pickling the dataclass object graph (one ``Event``
+# instance per record, each holding an ``Op`` enum and an optional
+# ``SourceSite``) costs far more than checking small traces does, so
+# the wire format flattens everything to tuples of ints and strings:
+#
+#     event   = (op_value, addr, size, addr2, size2, site, seq)
+#     trace   = (trace_id, thread_name, (event, ...))
+#     report  = (level_value, code_value, message, site, rel_site,
+#                trace_id, seq)
+#     result  = ((report, ...), traces, events, checkers)
+#
+# where ``site`` is ``(file, line, function)`` or ``None``.  Tuples of
+# primitives hit pickle's fast paths and decode without any per-field
+# dispatch.  ``decode_*(encode_*(x)) == x`` is property-tested.
+
+_WireSite = Optional[Tuple[str, int, str]]
+
+
+def _encode_site(site: Optional[SourceSite]) -> _WireSite:
+    if site is None:
+        return None
+    return (site.file, site.line, site.function)
+
+
+def _decode_site(wire: _WireSite) -> Optional[SourceSite]:
+    if wire is None:
+        return None
+    return SourceSite(wire[0], wire[1], wire[2])
+
+
+def encode_event(event: Event) -> tuple:
+    """Flatten one :class:`Event` to a picklable tuple."""
+    return (
+        event.op.value,
+        event.addr,
+        event.size,
+        event.addr2,
+        event.size2,
+        _encode_site(event.site),
+        event.seq,
+    )
+
+
+def decode_event(wire: tuple) -> Event:
+    op, addr, size, addr2, size2, site, seq = wire
+    return Event(Op(op), addr, size, addr2, size2, _decode_site(site), seq)
+
+
+def encode_trace(trace: Trace) -> tuple:
+    """Flatten one :class:`Trace` (with event ``seq`` preserved)."""
+    return (
+        trace.trace_id,
+        trace.thread_name,
+        tuple(encode_event(event) for event in trace.events),
+    )
+
+
+def decode_trace(wire: tuple) -> Trace:
+    trace_id, thread_name, events = wire
+    trace = Trace(trace_id, thread_name=thread_name)
+    # Bypass Trace.append: it would renumber seq, which the wire format
+    # preserves verbatim.
+    trace.events = [decode_event(event) for event in events]
+    return trace
+
+
+def encode_report(report: Report) -> tuple:
+    return (
+        report.level.value,
+        report.code.value,
+        report.message,
+        _encode_site(report.site),
+        _encode_site(report.related_site),
+        report.trace_id,
+        report.seq,
+    )
+
+
+def decode_report(wire: tuple) -> Report:
+    level, code, message, site, related_site, trace_id, seq = wire
+    return Report(
+        level=Level(level),
+        code=ReportCode(code),
+        message=message,
+        site=_decode_site(site),
+        related_site=_decode_site(related_site),
+        trace_id=trace_id,
+        seq=seq,
+    )
+
+
+def encode_result(result: TestResult) -> tuple:
+    """Flatten one :class:`TestResult` to a picklable tuple."""
+    return (
+        tuple(encode_report(report) for report in result.reports),
+        result.traces_checked,
+        result.events_checked,
+        result.checkers_evaluated,
+    )
+
+
+def decode_result(wire: tuple) -> TestResult:
+    reports, traces_checked, events_checked, checkers_evaluated = wire
+    return TestResult(
+        reports=[decode_report(report) for report in reports],
+        traces_checked=traces_checked,
+        events_checked=events_checked,
+        checkers_evaluated=checkers_evaluated,
+    )
 
 
 class TraceRecorder:

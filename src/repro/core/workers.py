@@ -2,142 +2,124 @@
 
 PMTest decouples program execution from checker validation: the program
 pushes completed traces (``PMTest_SEND_TRACE``) to a master, the master
-dispatches them round-robin to a pool of worker threads, each worker checks
-its traces independently against a fresh shadow memory, and results flow
-back to a result queue.  ``PMTest_GET_RESULT`` blocks until every trace
-submitted so far has been tested.
+dispatches them to a pool of checking workers, and
+``PMTest_GET_RESULT`` blocks until every trace submitted so far has
+been tested.  Traces are independent, so this parallelism is
+embarrassingly safe.
 
-Traces are independent, so this parallelism is embarrassingly safe.  (In
-CPython the GIL limits the *speedup* — see DESIGN.md Section 6 — but the
-dispatch architecture, per-worker queues and blocking semantics are
-reproduced faithfully, and a ``workers=0`` synchronous mode is provided
-for deterministic unit testing.)
+*Where* the checking runs is a pluggable strategy
+(:mod:`repro.core.backends`): inline on the submitting thread
+(``workers=0``, deterministic unit-test mode), on Python worker threads
+(the paper's architecture; concurrency but no parallel speedup under
+the GIL), or on worker *processes* (true multi-core checking — the
+backend that reproduces Fig. 12's worker-scaling on a multi-core
+host).  :class:`WorkerPool` is the facade the rest of the system
+drives; it owns backend selection and the closed-pool guard.
 """
 
 from __future__ import annotations
 
-import queue
-import threading
 from typing import List, Optional
 
-from repro.core.engine import CheckingEngine
+from repro.core.backends import (
+    BACKEND_NAMES,
+    DEFAULT_BATCH_SIZE,
+    CheckingBackend,
+    make_backend,
+)
 from repro.core.events import Trace
 from repro.core.reports import TestResult
 from repro.core.rules import PersistencyRules
 
-#: Sentinel pushed to a worker's queue to ask it to exit.
-_STOP = None
+__all__ = ["WorkerPool", "BACKEND_NAMES", "DEFAULT_BATCH_SIZE"]
 
 
 class WorkerPool:
-    """Round-robin dispatch of traces to checking worker threads."""
+    """Dispatch of traces to checking workers, behind a backend strategy.
+
+    Parameters
+    ----------
+    rules:
+        Persistency-model checking rules (default x86).
+    num_workers:
+        Checking workers.  With ``backend=None``, ``0`` selects the
+        ``inline`` backend and anything else the ``thread`` backend
+        (the historical knob).
+    backend:
+        ``"inline"``, ``"thread"`` or ``"process"`` to pick the
+        checking backend explicitly; ``None`` derives it from
+        ``num_workers`` as above.
+    batch_size:
+        Traces per IPC message (process backend only).
+    """
 
     def __init__(
         self,
         rules: Optional[PersistencyRules] = None,
         num_workers: int = 1,
         name: str = "pmtest",
+        backend: Optional[str] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0")
-        self._engine = CheckingEngine(rules)
-        self._num_workers = num_workers
-        self._queues: List["queue.Queue[Optional[Trace]]"] = []
-        self._threads: List[threading.Thread] = []
-        self._next_worker = 0
-        self._lock = threading.Lock()
-        self._result = TestResult()
-        self._dispatched = 0
-        self._per_worker_counts = [0] * num_workers
+        self._backend: CheckingBackend = make_backend(
+            backend,
+            rules,
+            num_workers=num_workers,
+            batch_size=batch_size,
+            thread_name=name,
+        )
         self._closed = False
-        for i in range(num_workers):
-            q: "queue.Queue[Optional[Trace]]" = queue.Queue()
-            self._queues.append(q)
-            thread = threading.Thread(
-                target=self._worker_loop,
-                args=(i, q),
-                name=f"{name}-worker-{i}",
-                daemon=True,
-            )
-            thread.start()
-            self._threads.append(thread)
 
     # ------------------------------------------------------------------
     @property
+    def backend_name(self) -> str:
+        """Which checking backend is active (inline/thread/process)."""
+        return self._backend.name
+
+    @property
     def num_workers(self) -> int:
-        return self._num_workers
+        return self._backend.num_workers
 
     @property
     def synchronous(self) -> bool:
         """Whether traces are checked inline on the submitting thread."""
-        return self._num_workers == 0
+        return self._backend.name == "inline"
 
     @property
     def dispatched(self) -> int:
-        return self._dispatched
+        return self._backend.dispatched
 
     def worker_trace_counts(self) -> List[int]:
-        """How many traces each worker has been handed (round-robin)."""
-        return list(self._per_worker_counts)
+        """How many traces each worker has been handed."""
+        return self._backend.worker_trace_counts()
 
     # ------------------------------------------------------------------
     def submit(self, trace: Trace) -> None:
         """Dispatch one trace for checking (non-blocking with workers)."""
         if self._closed:
             raise RuntimeError("worker pool is closed")
-        if self.synchronous:
-            result = self._engine.check_trace(trace)
-            with self._lock:
-                self._dispatched += 1
-                self._result.merge(result)
-            return
-        with self._lock:
-            index = self._next_worker
-            self._next_worker = (index + 1) % self._num_workers
-            self._dispatched += 1
-            self._per_worker_counts[index] += 1
-        self._queues[index].put(trace)
+        self._backend.submit(trace)
 
     def drain(self) -> TestResult:
         """Block until all submitted traces are checked; return a snapshot.
 
         This is ``PMTest_GET_RESULT``: the snapshot aggregates every trace
-        checked since the pool was created.
+        checked since the pool was created, merged in submission order
+        regardless of which worker checked what.
         """
-        for q in self._queues:
-            q.join()
-        with self._lock:
-            snapshot = TestResult()
-            snapshot.merge(self._result)
-            return snapshot
+        return self._backend.drain()
 
     def close(self) -> TestResult:
         """Drain, stop all workers, and return the final result."""
-        final = self.drain()
-        if not self._closed:
-            self._closed = True
-            for q in self._queues:
-                q.put(_STOP)
-            for thread in self._threads:
-                thread.join()
-        return final
+        if self._closed:
+            return self._backend.drain()
+        self._closed = True
+        return self._backend.close()
 
     def __enter__(self) -> "WorkerPool":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
-
-    # ------------------------------------------------------------------
-    def _worker_loop(self, index: int, q: "queue.Queue[Optional[Trace]]") -> None:
-        while True:
-            trace = q.get()
-            if trace is _STOP:
-                q.task_done()
-                return
-            try:
-                result = self._engine.check_trace(trace)
-                with self._lock:
-                    self._result.merge(result)
-            finally:
-                q.task_done()

@@ -24,7 +24,7 @@ from repro.core.events import Trace
 from repro.core.kfifo import DEFAULT_CAPACITY, FifoClosed, KernelFifo
 from repro.core.reports import TestResult
 from repro.core.rules import PersistencyRules
-from repro.core.workers import WorkerPool
+from repro.core.workers import DEFAULT_BATCH_SIZE, WorkerPool
 
 
 class KernelBridge:
@@ -35,9 +35,16 @@ class KernelBridge:
         rules: Optional[PersistencyRules] = None,
         num_workers: int = 1,
         fifo_capacity: int = DEFAULT_CAPACITY,
+        backend: Optional[str] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> None:
         self.fifo: KernelFifo[Trace] = KernelFifo(fifo_capacity)
-        self.pool = WorkerPool(rules, num_workers=max(num_workers, 0))
+        self.pool = WorkerPool(
+            rules,
+            num_workers=max(num_workers, 0),
+            backend=backend,
+            batch_size=batch_size,
+        )
         self._submitted = 0
         self._lock = threading.Lock()
         self._consumer = threading.Thread(

@@ -1,0 +1,190 @@
+"""Tests for the pluggable checking backends (inline/thread/process).
+
+The contract under test: every backend checks every submitted trace,
+aggregates results in **submission order**, and therefore produces
+bit-identical :class:`TestResult`s for the same trace stream.  The
+heavyweight equivalence test replays traces recorded from the entire
+Table 5/6 bug corpus through all three backends.
+"""
+
+import pytest
+
+from repro.bugs import HISTORICAL_BUGS, SYNTHETIC_BUGS, run_bug_case
+from repro.core.backends import (
+    BACKEND_NAMES,
+    CheckingBackend,
+    CheckingFailed,
+    InlineBackend,
+    ProcessBackend,
+    ThreadBackend,
+    make_backend,
+)
+from repro.core.events import Event, Op, Trace
+from repro.core.reports import ReportCode
+from repro.core.traceio import TraceRecorder, encode_result
+from repro.core.workers import WorkerPool
+
+
+def bad_trace(trace_id: int) -> Trace:
+    trace = Trace(trace_id)
+    trace.append(Event(Op.WRITE, 0, 8))
+    trace.append(Event(Op.CHECK_PERSIST, 0, 8))
+    return trace
+
+
+def good_trace(trace_id: int) -> Trace:
+    trace = Trace(trace_id)
+    trace.append(Event(Op.WRITE, 0, 8))
+    trace.append(Event(Op.CLWB, 0, 8))
+    trace.append(Event(Op.SFENCE))
+    trace.append(Event(Op.CHECK_PERSIST, 0, 8))
+    return trace
+
+
+def malformed_trace(trace_id: int) -> Trace:
+    trace = Trace(trace_id)
+    trace.append(Event(Op.TX_END))  # TX_END without TX_BEGIN raises
+    return trace
+
+
+@pytest.fixture(params=BACKEND_NAMES)
+def backend_pool(request):
+    pool = WorkerPool(num_workers=2, backend=request.param, batch_size=3)
+    yield pool
+    pool.close()
+
+
+class TestBackendContract:
+    def test_checks_every_trace(self, backend_pool):
+        for i in range(10):
+            backend_pool.submit(bad_trace(i))
+        result = backend_pool.drain()
+        assert result.traces_checked == 10
+        assert result.count(ReportCode.NOT_PERSISTED) == 10
+
+    def test_reports_in_submission_order(self, backend_pool):
+        for i in range(17):  # not a multiple of batch_size or workers
+            backend_pool.submit(bad_trace(i))
+        result = backend_pool.drain()
+        assert [r.trace_id for r in result.reports] == list(range(17))
+
+    def test_drain_is_cumulative_snapshot(self, backend_pool):
+        backend_pool.submit(bad_trace(0))
+        first = backend_pool.drain()
+        backend_pool.submit(bad_trace(1))
+        second = backend_pool.drain()
+        assert first.traces_checked == 1
+        assert second.traces_checked == 2
+
+    def test_dispatched_counts_submissions(self, backend_pool):
+        for i in range(5):
+            backend_pool.submit(good_trace(i))
+        assert backend_pool.dispatched == 5
+
+    def test_protocol_conformance(self, backend_pool):
+        assert isinstance(backend_pool._backend, CheckingBackend)
+
+
+class TestBackendSelection:
+    def test_default_zero_workers_is_inline(self):
+        pool = WorkerPool(num_workers=0)
+        assert pool.backend_name == "inline"
+        assert pool.synchronous
+        pool.close()
+
+    def test_default_with_workers_is_thread(self):
+        pool = WorkerPool(num_workers=2)
+        assert pool.backend_name == "thread"
+        assert not pool.synchronous
+        pool.close()
+
+    def test_explicit_backends(self):
+        assert isinstance(make_backend("inline"), InlineBackend)
+        thread = make_backend("thread", num_workers=2)
+        assert isinstance(thread, ThreadBackend)
+        thread.close()
+        process = make_backend("process", num_workers=1)
+        assert isinstance(process, ProcessBackend)
+        process.close()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            make_backend("gpu")
+
+    def test_process_clamps_zero_workers(self):
+        pool = WorkerPool(num_workers=0, backend="process")
+        assert pool.backend_name == "process"
+        assert pool.num_workers == 1
+        pool.close()
+
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessBackend(num_workers=1, batch_size=0)
+
+
+class TestProcessBackend:
+    def test_partial_batch_flushed_on_drain(self):
+        with WorkerPool(num_workers=2, backend="process", batch_size=64) as pool:
+            for i in range(5):  # far below one batch
+                pool.submit(bad_trace(i))
+            result = pool.drain()
+        assert result.traces_checked == 5
+
+    def test_worker_error_surfaces_at_drain(self):
+        pool = WorkerPool(num_workers=1, backend="process", batch_size=2)
+        pool.submit(good_trace(0))
+        pool.submit(malformed_trace(1))
+        with pytest.raises(CheckingFailed, match="submit #1"):
+            pool.drain()
+        with pytest.raises(CheckingFailed):  # close still stops workers
+            pool.close()
+
+    def test_worker_counts_cover_all_batches(self):
+        with WorkerPool(num_workers=2, backend="process", batch_size=1) as pool:
+            for i in range(8):
+                pool.submit(good_trace(i))
+            pool.drain()
+            assert sum(pool.worker_trace_counts()) == 8
+
+
+class TestThreadBackendErrors:
+    def test_worker_error_surfaces_at_drain(self):
+        pool = WorkerPool(num_workers=1, backend="thread")
+        pool.submit(malformed_trace(0))
+        with pytest.raises(CheckingFailed, match="submit #0"):
+            pool.drain()
+        with pytest.raises(CheckingFailed):
+            pool.close()
+
+
+# ----------------------------------------------------------------------
+# Cross-backend equivalence over the whole bug corpus (Tables 5 and 6)
+# ----------------------------------------------------------------------
+def _record_corpus_traces():
+    traces = []
+    for case in SYNTHETIC_BUGS + HISTORICAL_BUGS:
+        recorder = TraceRecorder()
+        run_bug_case(case, scale=8, sink=recorder)
+        traces.extend(recorder.traces)
+    return traces
+
+
+def test_backends_bit_identical_on_bug_corpus():
+    """inline, thread and process agree bit-for-bit on Tables 5/6."""
+    traces = _record_corpus_traces()
+    assert len(traces) > 100  # the corpus is not trivially empty
+    encoded = {}
+    for backend in BACKEND_NAMES:
+        workers = 0 if backend == "inline" else 2
+        with WorkerPool(
+            num_workers=workers, backend=backend, batch_size=5
+        ) as pool:
+            for trace in traces:
+                pool.submit(trace)
+            encoded[backend] = encode_result(pool.drain())
+    assert encoded["inline"] == encoded["thread"]
+    assert encoded["inline"] == encoded["process"]
+    # And the corpus actually exercises the checkers.
+    reports, traces_checked, _, checkers = encoded["inline"]
+    assert traces_checked == len(traces)
+    assert reports and checkers

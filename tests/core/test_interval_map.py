@@ -210,3 +210,67 @@ class TestIntervalMapProperties:
             assert e1 <= s2
         for s, e, _ in segments:
             assert s < e
+
+
+class TestOverlapsBounds:
+    """Regression tests for the bounded overlaps/carve scan.
+
+    ``overlaps`` used to slice ``self._segments[i0:]``, copying every
+    segment from the first hit to the end of the map on every query —
+    O(n) point queries over a large map.  The scan must stay
+    proportional to the number of segments actually intersecting the
+    query range.
+    """
+
+    @staticmethod
+    def _dense_map(n: int) -> IntervalMap:
+        m: IntervalMap[int] = IntervalMap()
+        for i in range(n):
+            m.assign(i * 10, i * 10 + 5, i)
+        return m
+
+    def test_query_boundaries(self):
+        m = self._dense_map(100)
+        # Exactly one segment, clipped both sides.
+        assert m.overlaps(502, 504) == [(502, 504, 50)]
+        # Query ending exactly at a segment start excludes it.
+        assert m.overlaps(495, 500) == []
+        # Query starting exactly at a segment end excludes it.
+        assert m.overlaps(505, 510) == []
+        # Query past the last segment.
+        assert m.overlaps(10**6, 10**6 + 10) == []
+        # Query covering everything returns everything.
+        assert len(m.overlaps(0, 100 * 10)) == 100
+
+    def test_unclipped_bounds(self):
+        m = self._dense_map(100)
+        assert m.overlaps(502, 513, clip=False) == [
+            (500, 505, 50),
+            (510, 515, 51),
+        ]
+
+    def test_scan_is_bounded_by_hits_not_map_size(self):
+        """A 2-segment query over a 5000-segment map must not walk (or
+        copy) the tail of the segment list."""
+
+        class CountingList(list):
+            touched = 0
+
+            def __getitem__(self, key):
+                out = super().__getitem__(key)
+                if isinstance(key, slice):
+                    CountingList.touched += len(out)
+                else:
+                    CountingList.touched += 1
+                return out
+
+        m = self._dense_map(5000)
+        m._segments = CountingList(m._segments)
+        CountingList.touched = 0
+        hits = m.overlaps(100 * 10, 102 * 10)
+        assert [value for _, _, value in hits] == [100, 101]
+        assert CountingList.touched < 20, CountingList.touched
+        # gaps() rides on overlaps and must stay bounded too.
+        CountingList.touched = 0
+        assert m.gaps(1005, 1010) == [(1005, 1010)]
+        assert CountingList.touched < 20, CountingList.touched

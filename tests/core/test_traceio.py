@@ -1,18 +1,27 @@
 """Tests for trace serialization and offline re-checking."""
 
 import io
+import pickle
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.api import PMTestSession
 from repro.core.engine import CheckingEngine
 from repro.core.events import Event, Op, SourceSite, Trace
-from repro.core.reports import ReportCode
+from repro.core.reports import Level, Report, ReportCode, TestResult
 from repro.core.rules import HOPSRules
 from repro.core.traceio import (
     TraceFormatError,
     TraceRecorder,
+    decode_event,
+    decode_result,
+    decode_trace,
     dump_traces,
+    encode_event,
+    encode_result,
+    encode_trace,
     load_traces,
 )
 
@@ -152,3 +161,96 @@ class TestRecorderWorkflow:
         session.exit()
         with pytest.raises(UnsupportedOperation):
             CheckingEngine(HOPSRules()).check_traces(recorder.traces)
+
+
+# ----------------------------------------------------------------------
+# Compact wire encoding (the process backend's IPC format)
+# ----------------------------------------------------------------------
+_sites = st.one_of(
+    st.none(),
+    st.builds(
+        SourceSite,
+        file=st.text(min_size=1, max_size=20),
+        line=st.integers(min_value=0, max_value=10**6),
+        function=st.text(max_size=12),
+    ),
+)
+
+_events = st.builds(
+    Event,
+    op=st.sampled_from(list(Op)),
+    addr=st.integers(min_value=0, max_value=2**40),
+    size=st.integers(min_value=0, max_value=2**20),
+    addr2=st.integers(min_value=0, max_value=2**40),
+    size2=st.integers(min_value=0, max_value=2**20),
+    site=_sites,
+    seq=st.integers(min_value=-1, max_value=10**6),
+)
+
+_traces = st.builds(
+    lambda trace_id, thread_name, events: Trace(
+        trace_id, events=events, thread_name=thread_name
+    ),
+    trace_id=st.integers(min_value=0, max_value=2**31),
+    thread_name=st.text(min_size=1, max_size=16),
+    events=st.lists(_events, max_size=12),
+)
+
+_reports = st.builds(
+    Report,
+    level=st.sampled_from(list(Level)),
+    code=st.sampled_from(list(ReportCode)),
+    message=st.text(max_size=40),
+    site=_sites,
+    related_site=_sites,
+    trace_id=st.integers(min_value=-1, max_value=2**31),
+    seq=st.integers(min_value=-1, max_value=10**6),
+)
+
+_results = st.builds(
+    TestResult,
+    reports=st.lists(_reports, max_size=8),
+    traces_checked=st.integers(min_value=0, max_value=10**6),
+    events_checked=st.integers(min_value=0, max_value=10**9),
+    checkers_evaluated=st.integers(min_value=0, max_value=10**6),
+)
+
+
+class TestWireEncoding:
+    """decode(encode(x)) == x, and the wire form survives pickling."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(_events)
+    def test_event_roundtrip(self, event):
+        wire = encode_event(event)
+        assert decode_event(pickle.loads(pickle.dumps(wire))) == event
+
+    @settings(max_examples=100, deadline=None)
+    @given(_traces)
+    def test_trace_roundtrip(self, trace):
+        wire = encode_trace(trace)
+        decoded = decode_trace(pickle.loads(pickle.dumps(wire)))
+        assert decoded == trace
+        # Event seq is preserved verbatim, not renumbered.
+        assert [e.seq for e in decoded.events] == [
+            e.seq for e in trace.events
+        ]
+
+    @settings(max_examples=100, deadline=None)
+    @given(_results)
+    def test_result_roundtrip(self, result):
+        wire = encode_result(result)
+        assert decode_result(pickle.loads(pickle.dumps(wire))) == result
+
+    def test_wire_form_is_flat(self):
+        """The encoding must stay primitive tuples (cheap to pickle)."""
+        trace = Trace(3)
+        trace.append(Event(Op.WRITE, 0x10, 64, site=SourceSite("a.c", 1)))
+        wire = encode_trace(trace)
+
+        def flat(obj):
+            if obj is None or isinstance(obj, (int, str)):
+                return True
+            return isinstance(obj, tuple) and all(flat(x) for x in obj)
+
+        assert flat(wire)
