@@ -6,6 +6,10 @@ Usage::
                                       [--workers N]
                                       [--backend inline|thread|process]
                                       [--batch-size K]
+                                      [--check-timeout SECONDS]
+                                      [--max-retries N]
+                                      [--fallback | --no-fallback]
+                                      [--chaos-seed SEED]
                                       [--max-reports K] [--quiet]
     python -m repro stats run.pmtrace
 
@@ -25,6 +29,8 @@ import sys
 from collections import Counter
 from typing import List, Optional
 
+from repro.core.backends import CheckingFailed
+from repro.core.faults import plan_from_seed
 from repro.core.rules import HOPSRules, PersistencyRules, X86Rules
 from repro.core.rules.eadr import EADRRules
 from repro.core.rules.naive import NaiveX86Rules
@@ -80,6 +86,56 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     check.add_argument(
+        "--check-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "watchdog timeout for the checking drain: after this long "
+            "with no progress, outstanding traces are requeued once, "
+            "then the backend degrades or the check fails (default: "
+            "wait forever)"
+        ),
+    )
+    check.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "dead checking workers respawned per backend before it is "
+            "declared unhealthy (default 2)"
+        ),
+    )
+    fb = check.add_mutually_exclusive_group()
+    fb.add_argument(
+        "--fallback",
+        dest="fallback",
+        action="store_true",
+        default=True,
+        help=(
+            "degrade process -> thread -> inline when a backend cannot "
+            "spawn or turns unhealthy (default)"
+        ),
+    )
+    fb.add_argument(
+        "--no-fallback",
+        dest="fallback",
+        action="store_false",
+        help="fail the check instead of degrading the backend",
+    )
+    check.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help=(
+            "inject a deterministic, recoverable fault plan derived "
+            "from SEED into the checking pipeline (for testing the "
+            "recovery machinery; verdicts are unaffected)"
+        ),
+    )
+    check.add_argument(
         "--max-reports",
         type=int,
         default=20,
@@ -116,16 +172,30 @@ def _check(args: argparse.Namespace, traces) -> int:
     if args.batch_size < 1:
         print("error: --batch-size must be >= 1", file=sys.stderr)
         return 2
+    if args.max_retries < 0:
+        print("error: --max-retries must be >= 0", file=sys.stderr)
+        return 2
     rules: PersistencyRules = MODELS[args.model]()
-    with WorkerPool(
-        rules,
-        num_workers=args.workers,
-        backend=args.backend,
-        batch_size=args.batch_size,
-    ) as pool:
-        for trace in traces:
-            pool.submit(trace)
-        result = pool.drain()
+    faults = (
+        plan_from_seed(args.chaos_seed) if args.chaos_seed is not None else None
+    )
+    try:
+        with WorkerPool(
+            rules,
+            num_workers=args.workers,
+            backend=args.backend,
+            batch_size=args.batch_size,
+            check_timeout=args.check_timeout,
+            max_retries=args.max_retries,
+            fallback=args.fallback,
+            faults=faults,
+        ) as pool:
+            for trace in traces:
+                pool.submit(trace)
+            result = pool.drain()
+    except CheckingFailed as exc:
+        print(f"error: checking failed: {exc}", file=sys.stderr)
+        return 2
     print(f"{args.model}: {result.summary()}")
     if not args.quiet:
         for report in result.reports[: args.max_reports]:
@@ -133,6 +203,8 @@ def _check(args: argparse.Namespace, traces) -> int:
         hidden = len(result.reports) - args.max_reports
         if hidden > 0:
             print(f"  ... and {hidden} more")
+        for line in result.diagnostics:
+            print(f"  [recovery] {line}")
     return 0 if result.passed else 1
 
 

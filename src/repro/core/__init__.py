@@ -27,6 +27,11 @@ The pieces map onto the paper as follows:
 ``workers``
     The master/worker runtime that decouples program execution from
     checking (Section 4.4, "Execution of The Checking Engine").
+``faults``
+    Deterministic chaos injection for the checking pipeline: seed-driven
+    fault plans (worker crash/hang/slow, queue stalls, wire corruption,
+    FIFO starvation) and the ``Resilience`` recovery policy consulted by
+    the supervised backends (see DESIGN.md section 6b).
 ``kfifo``
     The bounded kernel-FIFO channel used by kernel-module integration
     (Section 4.5).

@@ -82,6 +82,20 @@ class PMTestSession:
         processes.
     batch_size:
         Traces per IPC message (process backend only).
+    check_timeout:
+        Per-drain watchdog (seconds) for ``get_result``: an
+        unrecoverable checking-pipeline hang surfaces within this bound
+        instead of blocking forever (``None``: wait forever).
+    max_retries:
+        Dead checking workers respawned per backend before it is
+        declared unhealthy.
+    fallback:
+        Degrade the checking backend along process -> thread -> inline
+        when spawning fails or the backend turns unhealthy mid-run; the
+        degradation is recorded in the result's ``diagnostics``.
+    faults:
+        Deterministic chaos plan (:mod:`repro.core.faults`) consulted
+        by the checking pipeline's fault points.
     sink:
         Where completed traces go.  Defaults to an in-process
         :class:`~repro.core.workers.WorkerPool`; kernel-module testing
@@ -98,11 +112,22 @@ class PMTestSession:
         capture_sites: bool = False,
         backend: Optional[str] = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        check_timeout: Optional[float] = None,
+        max_retries: int = 2,
+        fallback: bool = True,
+        faults=None,
         sink=None,
     ) -> None:
         self.capture_sites = capture_sites
         self._pool = sink if sink is not None else WorkerPool(
-            rules, num_workers=workers, backend=backend, batch_size=batch_size
+            rules,
+            num_workers=workers,
+            backend=backend,
+            batch_size=batch_size,
+            check_timeout=check_timeout,
+            max_retries=max_retries,
+            fallback=fallback,
+            faults=faults,
         )
         self._trace_ids = itertools.count()
         self._local = threading.local()

@@ -26,20 +26,62 @@ them sorted by that tag.  Scheduling never leaks into the aggregate, so
 all three backends produce bit-identical :class:`TestResult`\\ s for the
 same trace stream (the cross-backend equivalence test asserts this over
 the whole bug corpus).
+
+Fault tolerance
+---------------
+``PMTest_GET_RESULT`` must never hang forever and a dead worker must
+never silently drop traces, so the thread and process backends are
+*supervised* (policy in :class:`~repro.core.faults.Resilience`):
+
+* every submitted trace is retained (thread: the trace, process: its
+  wire encoding) until its result arrives, so outstanding work is
+  always requeueable;
+* worker liveness is monitored during ``drain``; a dead worker is
+  respawned (bounded by ``max_retries``, with exponential backoff) and
+  its undrained traces are requeued — sequence-number merge plus
+  de-duplication by sequence number make replay order- and
+  duplicate-safe, so recovery cannot change a verdict;
+* a ``check_timeout`` watchdog bounds drains: after that long with no
+  completed trace, everything outstanding is requeued once, and if that
+  brings no progress either the backend raises
+  :class:`BackendUnhealthy` carrying its partial results and unchecked
+  traces so the :class:`~repro.core.workers.WorkerPool` can degrade to
+  the next backend in the chain (process -> thread -> inline);
+* ``close``/``stop`` are idempotent and safe after a failed drain.
+
+Chaos injection (:mod:`repro.core.faults`) drives these paths
+deterministically: workers consult the session's fault plan at
+``worker.batch``, the submitter at ``wire.encode``/``queue.put``, and
+``make_backend`` at ``backend.spawn``.  Respawned workers are never
+re-injected.  The inline backend is the deterministic reference and has
+no fault points.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-import queue
+import os
 import threading
-from typing import Any, List, Optional, Protocol, Tuple, runtime_checkable
+import time
+import queue
+from typing import Any, Dict, List, Optional, Protocol, Set, Tuple, runtime_checkable
 
 from repro.core.engine import CheckingEngine
 from repro.core.events import Trace
+from repro.core.faults import (
+    DEFAULT_RESILIENCE,
+    FaultError,
+    FaultKind,
+    FaultPlan,
+    FaultPoint,
+    HANG_SECONDS,
+    Resilience,
+)
 from repro.core.reports import TestResult
 from repro.core.rules import PersistencyRules
 from repro.core.traceio import (
+    TraceDecodeError,
+    corrupt_wire,
     decode_result,
     decode_trace,
     encode_result,
@@ -49,9 +91,16 @@ from repro.core.traceio import (
 #: Names accepted by :func:`make_backend` (and every ``backend=`` knob).
 BACKEND_NAMES = ("inline", "thread", "process")
 
+#: The degradation ladder: who picks up the work when a backend cannot
+#: be spawned or is declared unhealthy mid-run.
+FALLBACK_CHAIN = {"process": "thread", "thread": "inline", "inline": None}
+
 #: Traces per IPC message for the process backend.  Batching amortizes
 #: the per-message queue/pickle overhead; the ablation bench sweeps it.
 DEFAULT_BATCH_SIZE = 8
+
+#: Supervision poll interval while a drain is waiting (seconds).
+_POLL = 0.02
 
 #: ``(submit_seq, result)`` — the unit every backend aggregates.
 _SeqResult = Tuple[int, TestResult]
@@ -66,12 +115,38 @@ class CheckingFailed(RuntimeError):
     """
 
 
+class BackendUnhealthy(RuntimeError):
+    """The backend cannot finish its work and should be replaced.
+
+    Raised from ``drain`` when recovery is exhausted (respawn budget
+    spent, or the watchdog fired twice without progress).  Carries
+    everything the pool needs to degrade honestly: the per-trace results
+    already salvaged (``pairs``), the traces that were never checked
+    (``unchecked``), and the recovery diagnostics accumulated so far.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        pairs: Tuple[_SeqResult, ...] = (),
+        unchecked: Tuple[Tuple[int, Trace], ...] = (),
+        diagnostics: Tuple[str, ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.pairs: List[_SeqResult] = list(pairs)
+        self.unchecked: List[Tuple[int, Trace]] = list(unchecked)
+        self.diagnostics: List[str] = list(diagnostics)
+
+
 @runtime_checkable
 class CheckingBackend(Protocol):
     """What the :class:`~repro.core.workers.WorkerPool` facade drives."""
 
     #: backend name, one of :data:`BACKEND_NAMES`
     name: str
+
+    #: infrastructure events (respawns, requeues, watchdog sweeps)
+    diagnostics: List[str]
 
     @property
     def num_workers(self) -> int: ...
@@ -83,9 +158,13 @@ class CheckingBackend(Protocol):
 
     def submit(self, trace: Trace) -> None: ...
 
+    def drain_pairs(self) -> List[_SeqResult]: ...
+
     def drain(self) -> TestResult: ...
 
     def close(self) -> TestResult: ...
+
+    def stop(self) -> None: ...
 
 
 def make_backend(
@@ -94,23 +173,97 @@ def make_backend(
     num_workers: int = 1,
     batch_size: int = DEFAULT_BATCH_SIZE,
     thread_name: str = "pmtest",
+    resilience: Optional[Resilience] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> "CheckingBackend":
     """Build a backend by name.
 
     ``name=None`` keeps the historical behaviour of the ``workers=``
-    knob: ``0`` means inline, anything else the thread pool.
+    knob: ``0`` means inline, anything else the thread pool.  A
+    ``backend.spawn`` FAIL fault (or a real spawn error) propagates to
+    the caller; :func:`make_backend_with_fallback` turns it into
+    degradation along :data:`FALLBACK_CHAIN`.
     """
-    if name is None:
-        name = "inline" if num_workers == 0 else "thread"
+    name = resolve_backend_name(name, num_workers)
     if name == "inline":
         return InlineBackend(rules)
+    if faults is not None:
+        rule = faults.fire(FaultPoint.SPAWN)
+        if rule is not None and rule.kind is FaultKind.FAIL:
+            raise FaultError(f"injected spawn failure for {name!r} backend")
     if name == "thread":
-        return ThreadBackend(rules, max(num_workers, 1), name=thread_name)
+        return ThreadBackend(
+            rules,
+            max(num_workers, 1),
+            name=thread_name,
+            resilience=resilience,
+            faults=faults,
+        )
     if name == "process":
-        return ProcessBackend(rules, max(num_workers, 1), batch_size=batch_size)
+        return ProcessBackend(
+            rules,
+            max(num_workers, 1),
+            batch_size=batch_size,
+            resilience=resilience,
+            faults=faults,
+        )
     raise ValueError(
         f"unknown checking backend {name!r}; expected one of {BACKEND_NAMES}"
     )
+
+
+def resolve_backend_name(name: Optional[str], num_workers: int) -> str:
+    """Resolve the historical ``workers=`` knob to a backend name."""
+    if name is None:
+        return "inline" if num_workers == 0 else "thread"
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown checking backend {name!r}; expected one of {BACKEND_NAMES}"
+        )
+    return name
+
+
+def make_backend_with_fallback(
+    name: Optional[str],
+    rules: Optional[PersistencyRules] = None,
+    num_workers: int = 1,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    thread_name: str = "pmtest",
+    resilience: Optional[Resilience] = None,
+    faults: Optional[FaultPlan] = None,
+) -> Tuple["CheckingBackend", List[str]]:
+    """Build a backend, degrading along the chain when spawning fails.
+
+    Returns ``(backend, diagnostics)`` where diagnostics record every
+    degradation step taken.  With ``resilience.fallback`` off, spawn
+    errors propagate unchanged.
+    """
+    resilience = resilience or DEFAULT_RESILIENCE
+    current = resolve_backend_name(name, num_workers)
+    diagnostics: List[str] = []
+    while True:
+        try:
+            backend = make_backend(
+                current,
+                rules,
+                num_workers=num_workers,
+                batch_size=batch_size,
+                thread_name=thread_name,
+                resilience=resilience,
+                faults=faults,
+            )
+            return backend, diagnostics
+        except ValueError:
+            raise
+        except Exception as exc:
+            nxt = FALLBACK_CHAIN.get(current)
+            if not resilience.fallback or nxt is None:
+                raise
+            diagnostics.append(
+                f"backend {current!r} unavailable at spawn ({exc!r}); "
+                f"degraded to {nxt!r}"
+            )
+            current = nxt
 
 
 def _merge_ordered(pairs: List[_SeqResult]) -> TestResult:
@@ -125,7 +278,12 @@ def _merge_ordered(pairs: List[_SeqResult]) -> TestResult:
 # Inline
 # ----------------------------------------------------------------------
 class InlineBackend:
-    """Synchronous checking on the submitting thread (``workers=0``)."""
+    """Synchronous checking on the submitting thread (``workers=0``).
+
+    The deterministic reference backend: no workers, no fault points,
+    and the last rung of the degradation ladder (it must never fail to
+    spawn).
+    """
 
     name = "inline"
 
@@ -134,6 +292,7 @@ class InlineBackend:
         self._lock = threading.Lock()
         self._results: List[_SeqResult] = []
         self._dispatched = 0
+        self.diagnostics: List[str] = []
 
     @property
     def num_workers(self) -> int:
@@ -152,12 +311,20 @@ class InlineBackend:
             self._dispatched += 1
             self._results.append((seq, self._engine.check_trace(trace)))
 
-    def drain(self) -> TestResult:
+    def drain_pairs(self) -> List[_SeqResult]:
         with self._lock:
-            return _merge_ordered(self._results)
+            return list(self._results)
+
+    def drain(self) -> TestResult:
+        result = _merge_ordered(self.drain_pairs())
+        result.diagnostics.extend(self.diagnostics)
+        return result
 
     def close(self) -> TestResult:
         return self.drain()
+
+    def stop(self) -> None:
+        pass
 
 
 # ----------------------------------------------------------------------
@@ -168,8 +335,17 @@ class ThreadBackend:
 
     ``submit`` takes the lock only for round-robin index bookkeeping;
     each worker appends results to a list it alone writes, and ``drain``
-    aggregates those per-worker lists after the queues go idle.  The
-    checked results themselves never cross the lock.
+    aggregates those per-worker lists once every submitted sequence
+    number is accounted for.  The checked results themselves never cross
+    the lock.
+
+    Supervision: each submitted trace is retained in ``_incomplete``
+    until checked, workers publish a per-slot heartbeat and in-flight
+    sequence number, and ``drain`` polls worker liveness.  A dead worker
+    thread is replaced on the same queue (its queued work survives; only
+    the in-flight trace needs requeueing); a hung worker's queue is
+    redistributed by the watchdog sweep.  Duplicate results from replays
+    are dropped by sequence number before merging.
     """
 
     name = "thread"
@@ -182,11 +358,15 @@ class ThreadBackend:
         rules: Optional[PersistencyRules] = None,
         num_workers: int = 1,
         name: str = "pmtest",
+        resilience: Optional[Resilience] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("thread backend needs at least one worker")
         self._engine = CheckingEngine(rules)
+        self._resilience = resilience or DEFAULT_RESILIENCE
         self._num_workers = num_workers
+        self._thread_name = name
         self._lock = threading.Lock()
         self._next_worker = 0
         self._dispatched = 0
@@ -198,19 +378,35 @@ class ThreadBackend:
         self._worker_errors: List[List[Tuple[int, BaseException]]] = [
             [] for _ in range(num_workers)
         ]
+        #: seq -> trace for everything not yet checked (requeue source)
+        self._incomplete: Dict[int, Trace] = {}
+        #: per-slot in-flight seq (written by the worker, read by drain)
+        self._current: List[Optional[int]] = [None] * num_workers
+        self._heartbeat: List[float] = [time.monotonic()] * num_workers
+        self._progress = threading.Event()
+        self._stopping = threading.Event()
+        self._respawns = 0
+        self._stopped = False
+        self._final: Optional[Tuple[str, Any]] = None
+        self.diagnostics: List[str] = []
         self._queues: List["queue.Queue[Any]"] = []
         self._threads: List[threading.Thread] = []
         for i in range(num_workers):
             q: "queue.Queue[Any]" = queue.Queue()
             self._queues.append(q)
-            thread = threading.Thread(
-                target=self._worker_loop,
-                args=(i, q),
-                name=f"{name}-worker-{i}",
-                daemon=True,
-            )
-            thread.start()
-            self._threads.append(thread)
+            self._threads.append(self._spawn(i, q, faults))
+
+    def _spawn(
+        self, index: int, q: "queue.Queue[Any]", faults: Optional[FaultPlan]
+    ) -> threading.Thread:
+        thread = threading.Thread(
+            target=self._worker_loop,
+            args=(index, q, faults),
+            name=f"{self._thread_name}-worker-{index}",
+            daemon=True,
+        )
+        thread.start()
+        return thread
 
     @property
     def num_workers(self) -> int:
@@ -223,6 +419,10 @@ class ThreadBackend:
     def worker_trace_counts(self) -> List[int]:
         return list(self._per_worker_counts)
 
+    def heartbeats(self) -> List[float]:
+        """Monotonic timestamp of each worker's last completed trace."""
+        return list(self._heartbeat)
+
     def submit(self, trace: Trace) -> None:
         with self._lock:
             index = self._next_worker
@@ -230,58 +430,253 @@ class ThreadBackend:
             seq = self._dispatched
             self._dispatched += 1
             self._per_worker_counts[index] += 1
+            self._incomplete[seq] = trace
         self._queues[index].put((seq, trace))
 
+    # ------------------------------------------------------------------
+    def _collected(
+        self,
+    ) -> Tuple[Dict[int, TestResult], List[Tuple[int, BaseException]]]:
+        """Snapshot worker output, de-duplicated by sequence number."""
+        pairs: Dict[int, TestResult] = {}
+        errors: List[Tuple[int, BaseException]] = []
+        for worker in self._worker_results:
+            for seq, result in list(worker):
+                if seq not in pairs:
+                    pairs[seq] = result
+        for worker in self._worker_errors:
+            errors.extend(list(worker))
+        return pairs, errors
+
+    def drain_pairs(self) -> List[_SeqResult]:
+        res = self._resilience
+        last_progress = time.monotonic()
+        last_done = -1
+        swept = False
+        while True:
+            pairs, errors = self._collected()
+            done: Set[int] = set(pairs)
+            done.update(seq for seq, _ in errors)
+            for seq in done:
+                self._incomplete.pop(seq, None)
+            if errors:
+                seq, error = min(errors, key=lambda pair: pair[0])
+                raise CheckingFailed(
+                    f"checking trace (submit #{seq}) failed: {error!r}"
+                ) from error
+            if len(done) >= self._dispatched:
+                return sorted(pairs.items())
+            now = time.monotonic()
+            if len(done) != last_done:
+                last_done = len(done)
+                last_progress = now
+                swept = False
+            self._supervise(done, pairs)
+            if (
+                res.check_timeout is not None
+                and now - last_progress > res.check_timeout
+            ):
+                if not swept:
+                    n = self._redistribute(done)
+                    self.diagnostics.append(
+                        f"watchdog: no checking progress for "
+                        f"{res.check_timeout:g}s; redistributed {n} "
+                        f"outstanding trace(s)"
+                    )
+                    swept = True
+                    last_progress = now
+                else:
+                    self._unhealthy(
+                        pairs,
+                        done,
+                        f"watchdog timeout: no checking progress for "
+                        f"{res.check_timeout:g}s after redistributing "
+                        f"outstanding traces",
+                    )
+            self._progress.wait(_POLL)
+            self._progress.clear()
+
+    def _supervise(self, done: Set[int], pairs: Dict[int, TestResult]) -> None:
+        """Respawn dead worker threads and requeue their in-flight trace."""
+        if self._stopping.is_set():
+            return
+        res = self._resilience
+        for index in range(self._num_workers):
+            if self._threads[index].is_alive():
+                continue
+            inflight = self._current[index]
+            if self._respawns >= res.max_retries:
+                self._unhealthy(
+                    pairs,
+                    done,
+                    f"checking worker thread {index} died and the retry "
+                    f"budget ({res.max_retries}) is exhausted",
+                )
+            self._respawns += 1
+            time.sleep(res.backoff_base * (2 ** (self._respawns - 1)))
+            # Respawned workers are never re-injected (faults=None); the
+            # same queue is reused, so queued work survives the death.
+            self._threads[index] = self._spawn(index, self._queues[index], None)
+            requeued = 0
+            if inflight is not None and inflight not in done:
+                trace = self._incomplete.get(inflight)
+                if trace is not None:
+                    self._current[index] = None
+                    self._queues[index].put((inflight, trace))
+                    requeued = 1
+            self.diagnostics.append(
+                f"respawned checking worker thread {index}; requeued "
+                f"{requeued} in-flight trace(s) "
+                f"(retry {self._respawns}/{res.max_retries})"
+            )
+
+    def _redistribute(self, done: Set[int]) -> int:
+        """Watchdog sweep: resend every outstanding trace to live workers."""
+        alive = [
+            i for i in range(self._num_workers) if self._threads[i].is_alive()
+        ]
+        if not alive:
+            return 0
+        # Prefer idle workers; a hung worker has its in-flight seq set.
+        targets = [i for i in alive if self._current[i] is None] or alive
+        n = 0
+        for seq, trace in sorted(self._incomplete.items()):
+            if seq in done:
+                continue
+            self._queues[targets[n % len(targets)]].put((seq, trace))
+            n += 1
+        return n
+
+    def _unhealthy(
+        self, pairs: Dict[int, TestResult], done: Set[int], message: str
+    ) -> None:
+        unchecked = [
+            (seq, trace)
+            for seq, trace in sorted(self._incomplete.items())
+            if seq not in done
+        ]
+        raise BackendUnhealthy(
+            message,
+            pairs=tuple(sorted(pairs.items())),
+            unchecked=tuple(unchecked),
+            diagnostics=tuple(self.diagnostics),
+        )
+
+    # ------------------------------------------------------------------
     def drain(self) -> TestResult:
-        for q in self._queues:
-            q.join()
-        errors = [pair for worker in self._worker_errors for pair in worker]
-        if errors:
-            seq, error = min(errors, key=lambda pair: pair[0])
-            raise CheckingFailed(
-                f"checking trace (submit #{seq}) failed: {error!r}"
-            ) from error
-        pairs = [pair for worker in self._worker_results for pair in worker]
-        return _merge_ordered(pairs)
+        result = _merge_ordered(self.drain_pairs())
+        result.diagnostics.extend(self.diagnostics)
+        return result
 
     def close(self) -> TestResult:
+        if self._final is not None:
+            kind, value = self._final
+            if kind == "err":
+                raise value
+            return value
         try:
-            return self.drain()
+            result = self.drain()
+        except BaseException as exc:
+            self._final = ("err", exc)
+            raise
+        else:
+            self._final = ("ok", result)
+            return result
         finally:
             # Stop workers even when drain() surfaces a checking error.
-            for q in self._queues:
-                q.put(self._STOP)
-            for thread in self._threads:
-                thread.join()
+            self.stop()
 
-    def _worker_loop(self, index: int, q: "queue.Queue[Any]") -> None:
+    def stop(self) -> None:
+        """Stop all workers without draining.  Idempotent, never raises."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._stopping.set()
+        for q in self._queues:
+            q.put(self._STOP)
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def _worker_loop(
+        self, index: int, q: "queue.Queue[Any]", faults: Optional[FaultPlan]
+    ) -> None:
         engine = self._engine
         results = self._worker_results[index]
         errors = self._worker_errors[index]
         while True:
             item = q.get()
             if item is self._STOP:
-                q.task_done()
                 return
             seq, trace = item
+            self._current[index] = seq
+            if faults is not None:
+                rule = faults.fire(FaultPoint.WORKER_BATCH, worker=index)
+                if rule is not None:
+                    if rule.kind is FaultKind.CRASH:
+                        return  # die with the trace in flight
+                    if rule.kind is FaultKind.HANG:
+                        deadline = time.monotonic() + (
+                            rule.delay or HANG_SECONDS
+                        )
+                        while (
+                            not self._stopping.is_set()
+                            and time.monotonic() < deadline
+                        ):
+                            time.sleep(0.01)
+                    elif rule.kind is FaultKind.SLOW:
+                        time.sleep(rule.delay)
+                    elif rule.kind is FaultKind.FAIL:
+                        errors.append((seq, FaultError("injected worker failure")))
+                        self._current[index] = None
+                        self._heartbeat[index] = time.monotonic()
+                        self._progress.set()
+                        continue
             try:
                 results.append((seq, engine.check_trace(trace)))
             except BaseException as exc:  # surfaced from drain()
                 errors.append((seq, exc))
-            finally:
-                q.task_done()
+            self._current[index] = None
+            self._heartbeat[index] = time.monotonic()
+            self._progress.set()
 
 
 # ----------------------------------------------------------------------
 # Processes
 # ----------------------------------------------------------------------
-def _process_worker(index: int, task_q, result_q, rules) -> None:
-    """Worker-process main: decode, check, encode, repeat."""
+def _process_worker(index: int, task_q, result_q, rules, faults) -> None:
+    """Worker-process main: ack, decode, check, encode, repeat.
+
+    The ack message doubles as a heartbeat and tells the supervisor
+    which sequence numbers this worker holds, so a crash mid-batch can
+    be recovered by requeueing exactly the acked-but-unfinished traces.
+    """
     engine = CheckingEngine(rules)
     while True:
         batch = task_q.get()
         if batch is None:
             return
+        result_q.put(("ack", index, [seq for seq, _ in batch]))
+        if faults is not None:
+            rule = faults.fire(FaultPoint.WORKER_BATCH, worker=index)
+            if rule is not None:
+                if rule.kind is FaultKind.CRASH:
+                    os._exit(17)
+                if rule.kind is FaultKind.HANG:
+                    time.sleep(rule.delay or HANG_SECONDS)
+                elif rule.kind is FaultKind.SLOW:
+                    time.sleep(rule.delay)
+                elif rule.kind is FaultKind.FAIL:
+                    result_q.put(
+                        (
+                            "res",
+                            index,
+                            [
+                                (seq, None, "FaultError('injected worker failure')")
+                                for seq, _ in batch
+                            ],
+                        )
+                    )
+                    continue
         out = []
         for seq, wire in batch:
             try:
@@ -290,7 +685,7 @@ def _process_worker(index: int, task_q, result_q, rules) -> None:
                 out.append((seq, None, repr(exc)))
             else:
                 out.append((seq, encode_result(result), None))
-        result_q.put((index, out))
+        result_q.put(("res", index, out))
 
 
 class ProcessBackend:
@@ -302,6 +697,17 @@ class ProcessBackend:
     encoded results back.  A collector thread on the submitting side
     decodes results as they arrive, so ``drain`` only has to wait for
     the outstanding count to hit zero and merge.
+
+    Supervision: wires are retained in ``_incomplete`` until their
+    results arrive, workers announce the sequence numbers of every batch
+    they pick up (the ack doubles as a heartbeat), and ``drain``
+    monitors process liveness.  A dead worker is respawned (bounded by
+    ``max_retries``, exponential backoff) and its acked-but-unfinished
+    traces requeued; the ``check_timeout`` watchdog requeues *all*
+    outstanding traces once (covering a crash in the unobservable window
+    between dequeue and ack, and hung workers) before declaring the
+    backend unhealthy.  The collector drops duplicate results by
+    sequence number, so replays cannot change the aggregate.
     """
 
     name = "process"
@@ -311,44 +717,63 @@ class ProcessBackend:
         rules: Optional[PersistencyRules] = None,
         num_workers: int = 1,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        resilience: Optional[Resilience] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("process backend needs at least one worker")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        self._rules = rules
         self._num_workers = num_workers
         self._batch_size = batch_size
+        self._resilience = resilience or DEFAULT_RESILIENCE
+        self._faults = faults
         # fork (where available) shares the already-imported modules;
         # spawn works too since the worker fn and rules are picklable.
         methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context(
+        self._ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else None
         )
-        self._task_q = ctx.Queue()
-        self._result_q = ctx.Queue()
+        self._task_q = self._ctx.Queue()
+        self._result_q = self._ctx.Queue()
         self._processes = [
-            ctx.Process(
-                target=_process_worker,
-                args=(i, self._task_q, self._result_q, rules),
-                name=f"pmtest-checker-{i}",
-                daemon=True,
-            )
-            for i in range(num_workers)
+            self._spawn_worker(i, faults) for i in range(num_workers)
         ]
-        for process in self._processes:
-            process.start()
         self._lock = threading.Lock()
         self._done = threading.Condition(self._lock)
         self._dispatched = 0
-        self._completed = 0
+        self._completed: Set[int] = set()
         self._pending: List[Tuple[int, tuple]] = []  # unflushed batch
         self._results: List[_SeqResult] = []
         self._errors: List[Tuple[int, str]] = []
-        self._per_worker_counts = [0] * num_workers
+        #: seq -> wire for everything not yet checked (requeue source)
+        self._incomplete: Dict[int, tuple] = {}
+        #: worker index -> seqs acked but not yet completed
+        self._outstanding: Dict[int, Set[int]] = {}
+        self._last_seen: Dict[int, float] = {}
+        self._per_worker_counts: Dict[int, int] = {
+            i: 0 for i in range(num_workers)
+        }
+        self._dead_handled: Set[int] = set()
+        self._respawns = 0
+        self._stopped = False
+        self._final: Optional[Tuple[str, Any]] = None
+        self.diagnostics: List[str] = []
         self._collector = threading.Thread(
             target=self._collect, name="pmtest-collector", daemon=True
         )
         self._collector.start()
+
+    def _spawn_worker(self, index: int, faults: Optional[FaultPlan]):
+        process = self._ctx.Process(
+            target=_process_worker,
+            args=(index, self._task_q, self._result_q, self._rules, faults),
+            name=f"pmtest-checker-{index}",
+            daemon=True,
+        )
+        process.start()
+        return process
 
     @property
     def num_workers(self) -> int:
@@ -365,64 +790,255 @@ class ProcessBackend:
     def worker_trace_counts(self) -> List[int]:
         """Traces checked per worker (self-scheduled, so load-dependent)."""
         with self._lock:
-            return list(self._per_worker_counts)
+            return [
+                self._per_worker_counts.get(i, 0)
+                for i in range(len(self._processes))
+            ]
+
+    def heartbeats(self) -> Dict[int, float]:
+        """Monotonic timestamp of each worker's last message."""
+        with self._lock:
+            return dict(self._last_seen)
 
     def submit(self, trace: Trace) -> None:
         wire = encode_trace(trace)
-        with self._lock:
+        if self._faults is not None:
+            rule = self._faults.fire(FaultPoint.WIRE_ENCODE)
+            if rule is not None and rule.kind is FaultKind.CORRUPT:
+                wire = corrupt_wire(wire)
+        with self._done:
             seq = self._dispatched
             self._dispatched += 1
+            self._incomplete[seq] = wire
             self._pending.append((seq, wire))
             if len(self._pending) >= self._batch_size:
                 batch, self._pending = self._pending, []
             else:
                 return
+        if self._faults is not None:
+            rule = self._faults.fire(FaultPoint.QUEUE_PUT)
+            if rule is not None:
+                if rule.kind in (FaultKind.STALL, FaultKind.SLOW):
+                    time.sleep(rule.delay)
+                elif rule.kind is FaultKind.FAIL:
+                    raise FaultError("injected task-queue failure")
         self._task_q.put(batch)
 
-    def drain(self) -> TestResult:
+    # ------------------------------------------------------------------
+    def drain_pairs(self) -> List[_SeqResult]:
+        res = self._resilience
         with self._done:
             if self._pending:
                 batch, self._pending = self._pending, []
                 self._task_q.put(batch)
-            self._done.wait_for(lambda: self._completed >= self._dispatched)
-            if self._errors:
-                seq, error = min(self._errors, key=lambda pair: pair[0])
-                raise CheckingFailed(
-                    f"checking trace (submit #{seq}) failed in worker "
-                    f"process: {error}"
+            last_progress = time.monotonic()
+            last_done = len(self._completed)
+            swept = False
+            while True:
+                if self._errors:
+                    seq, error = min(self._errors, key=lambda pair: pair[0])
+                    raise CheckingFailed(
+                        f"checking trace (submit #{seq}) failed in worker "
+                        f"process: {error}"
+                    )
+                if len(self._completed) >= self._dispatched:
+                    return sorted(self._results, key=lambda pair: pair[0])
+                self._done.wait(timeout=_POLL)
+                now = time.monotonic()
+                if len(self._completed) != last_done:
+                    last_done = len(self._completed)
+                    last_progress = now
+                    swept = False
+                self._supervise_locked()
+                if (
+                    res.check_timeout is not None
+                    and now - last_progress > res.check_timeout
+                ):
+                    if not swept:
+                        n = self._requeue_locked(
+                            set(self._incomplete) - self._completed
+                        )
+                        self.diagnostics.append(
+                            f"watchdog: no checking progress for "
+                            f"{res.check_timeout:g}s; requeued {n} "
+                            f"outstanding trace(s)"
+                        )
+                        swept = True
+                        last_progress = now
+                    else:
+                        self._raise_unhealthy_locked(
+                            f"watchdog timeout: no checking progress for "
+                            f"{res.check_timeout:g}s after requeueing "
+                            f"outstanding traces"
+                        )
+
+    def _supervise_locked(self) -> None:
+        """Respawn dead worker processes and requeue outstanding work.
+
+        A worker that dies right after dequeueing a batch may die before
+        its ack reaches us (the queue feeder flushes asynchronously), so
+        the acked set understates what the corpse held.  The only safe
+        recovery is to requeue *every* trace not yet completed —
+        duplicate results from traces that were merely queued or in
+        flight elsewhere are dropped by sequence number, so
+        over-requeueing cannot change the aggregate.
+        """
+        if self._stopped:
+            return
+        res = self._resilience
+        for index, process in enumerate(self._processes):
+            if index in self._dead_handled or process.is_alive():
+                continue
+            self._dead_handled.add(index)
+            exitcode = process.exitcode
+            self._outstanding.pop(index, None)
+            if self._respawns >= res.max_retries:
+                self._raise_unhealthy_locked(
+                    f"checking worker process {index} died "
+                    f"(exit code {exitcode}) and the retry budget "
+                    f"({res.max_retries}) is exhausted"
                 )
-            return _merge_ordered(self._results)
+            self._respawns += 1
+            # Backoff on the condition so the collector keeps running.
+            self._done.wait(
+                timeout=res.backoff_base * (2 ** (self._respawns - 1))
+            )
+            new_index = len(self._processes)
+            # Respawned workers are never re-injected (faults=None).
+            self._processes.append(self._spawn_worker(new_index, None))
+            self._per_worker_counts.setdefault(new_index, 0)
+            requeued = self._requeue_locked(
+                set(self._incomplete) - self._completed
+            )
+            self.diagnostics.append(
+                f"respawned checking worker process {index} as "
+                f"{new_index} after exit code {exitcode}; requeued "
+                f"{requeued} trace(s) "
+                f"(retry {self._respawns}/{res.max_retries})"
+            )
+
+    def _requeue_locked(self, seqs: Set[int]) -> int:
+        batch: List[Tuple[int, tuple]] = []
+        n = 0
+        for seq in sorted(seqs):
+            wire = self._incomplete.get(seq)
+            if wire is None:
+                continue
+            batch.append((seq, wire))
+            n += 1
+            if len(batch) >= self._batch_size:
+                self._task_q.put(batch)
+                batch = []
+        if batch:
+            self._task_q.put(batch)
+        return n
+
+    def _raise_unhealthy_locked(self, message: str) -> None:
+        unchecked: List[Tuple[int, Trace]] = []
+        for seq in sorted(set(self._incomplete) - self._completed):
+            try:
+                unchecked.append((seq, decode_trace(self._incomplete[seq])))
+            except TraceDecodeError as exc:
+                raise CheckingFailed(
+                    f"trace (submit #{seq}) corrupted in transit: {exc}"
+                ) from exc
+        raise BackendUnhealthy(
+            message,
+            pairs=tuple(sorted(self._results, key=lambda pair: pair[0])),
+            unchecked=tuple(unchecked),
+            diagnostics=tuple(self.diagnostics),
+        )
+
+    # ------------------------------------------------------------------
+    def drain(self) -> TestResult:
+        result = _merge_ordered(self.drain_pairs())
+        result.diagnostics.extend(self.diagnostics)
+        return result
 
     def close(self) -> TestResult:
+        if self._final is not None:
+            kind, value = self._final
+            if kind == "err":
+                raise value
+            return value
         try:
-            return self.drain()
+            result = self.drain()
+        except BaseException as exc:
+            self._final = ("err", exc)
+            raise
+        else:
+            self._final = ("ok", result)
+            return result
         finally:
             # Stop workers even when drain() surfaces a checking error.
-            for _ in self._processes:
+            self.stop()
+
+    def stop(self) -> None:
+        """Stop all workers without draining.  Idempotent, never raises,
+        and safe when workers are already dead or hung (they are
+        terminated rather than joined forever)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        alive = [p for p in self._processes if p.is_alive()]
+        for _ in alive:
+            try:
                 self._task_q.put(None)
-            for process in self._processes:
-                process.join(timeout=10)
+            except (OSError, ValueError):
+                break
+        for process in alive:
+            process.join(timeout=1.0)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+            if process.is_alive():  # pragma: no cover - last resort
+                process.kill()
+                process.join(timeout=1.0)
+        try:
             self._result_q.put(None)  # stop the collector
-            self._collector.join(timeout=10)
-            self._task_q.close()
-            self._result_q.close()
+        except (OSError, ValueError):
+            pass
+        self._collector.join(timeout=2.0)
+        for q in (self._task_q, self._result_q):
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except (OSError, ValueError):
+                pass
 
     def _collect(self) -> None:
         while True:
             message = self._result_q.get()
             if message is None:
                 return
-            index, batch = message
-            decoded = [
-                (seq, None if wire is None else decode_result(wire), error)
-                for seq, wire, error in batch
-            ]
+            kind, index, payload = message
             with self._done:
-                for seq, result, error in decoded:
+                self._last_seen[index] = time.monotonic()
+                if kind == "ack":
+                    self._outstanding.setdefault(index, set()).update(payload)
+                    self._done.notify_all()
+                    continue
+                outstanding = self._outstanding.get(index)
+                fresh = 0
+                for seq, wire, error in payload:
+                    if outstanding is not None:
+                        outstanding.discard(seq)
+                    if seq in self._completed:
+                        continue  # duplicate from a requeue replay
+                    self._completed.add(seq)
+                    self._incomplete.pop(seq, None)
                     if error is not None:
                         self._errors.append((seq, error))
                     else:
-                        self._results.append((seq, result))
-                self._per_worker_counts[index] += len(decoded)
-                self._completed += len(decoded)
+                        try:
+                            self._results.append((seq, decode_result(wire)))
+                        except TraceDecodeError as exc:
+                            self._errors.append(
+                                (seq, f"result decode failed: {exc}")
+                            )
+                    fresh += 1
+                self._per_worker_counts[index] = (
+                    self._per_worker_counts.get(index, 0) + fresh
+                )
                 self._done.notify_all()

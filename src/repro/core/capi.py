@@ -36,13 +36,20 @@ def PMTest_INIT(
     capture_sites: bool = False,
     backend: Optional[str] = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    check_timeout: Optional[float] = None,
+    max_retries: int = 2,
+    fallback: bool = True,
+    faults=None,
 ) -> PMTestSession:
     """Create (and install) the global session.
 
     ``backend`` selects the checking backend (``inline``/``thread``/
     ``process``; ``None`` derives it from ``workers``), and
     ``batch_size`` tunes traces-per-IPC-message for the process
-    backend.
+    backend.  ``check_timeout``/``max_retries``/``fallback`` configure
+    the checking pipeline's watchdog, worker-respawn budget, and
+    backend degradation ladder; ``faults`` installs a deterministic
+    chaos plan (:mod:`repro.core.faults`).
     """
     global _session
     if _session is not None:
@@ -53,6 +60,10 @@ def PMTest_INIT(
         capture_sites=capture_sites,
         backend=backend,
         batch_size=batch_size,
+        check_timeout=check_timeout,
+        max_retries=max_retries,
+        fallback=fallback,
+        faults=faults,
     )
     _session.thread_init()
     return _session

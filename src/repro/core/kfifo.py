@@ -11,13 +11,23 @@ backpressure.  The producer (the simulated kernel module) blocks in
 :meth:`KernelFifo.put` when full and is only released once the consumer
 has drained the FIFO below half capacity — exactly the paper's wake-up
 condition, which avoids thrashing at the full mark.
+
+Hardening: both :meth:`KernelFifo.put` and :meth:`KernelFifo.get` accept
+deadlines (a parked producer is a classic livelock source if the
+consumer dies), :meth:`KernelFifo.close` promptly wakes parked producers
+and consumers with :class:`FifoClosed`, and the producer path consults
+the session's chaos plan at the ``kfifo.put`` fault point so producer
+starvation is testable deterministically.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Deque, Generic, Optional, TypeVar
+
+from repro.core.faults import FaultPlan, FaultPoint
 
 T = TypeVar("T")
 
@@ -32,10 +42,15 @@ class FifoClosed(Exception):
 class KernelFifo(Generic[T]):
     """Bounded FIFO with half-full wake-up hysteresis."""
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
         if capacity < 2:
             raise ValueError("capacity must be at least 2")
         self.capacity = capacity
+        self._faults = faults
         self._items: Deque[T] = deque()
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
@@ -55,17 +70,34 @@ class KernelFifo(Generic[T]):
             return self._closed
 
     # ------------------------------------------------------------------
-    def put(self, item: T) -> None:
+    def put(self, item: T, timeout: Optional[float] = None) -> None:
         """Enqueue; block on the wait queue while the FIFO is full.
 
         A parked producer resumes only once the FIFO has drained below
         half capacity (the paper's interruptible wait queue behaviour).
+        Raises :class:`FifoClosed` promptly if the channel is closed —
+        including while parked — and :class:`TimeoutError` when a
+        ``timeout`` deadline expires before space frees up.
         """
+        if self._faults is not None:
+            # Producer starvation / stall injection happens before the
+            # lock: a starved kernel producer is slow, not deadlocked.
+            self._faults.sleep_if_told(FaultPoint.KFIFO_PUT)
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
             if len(self._items) >= self.capacity:
                 self.producer_waits += 1
                 while not self._closed and len(self._items) >= self.capacity // 2:
-                    self._below_half.wait()
+                    if deadline is None:
+                        self._below_half.wait()
+                    else:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or not self._below_half.wait(
+                            timeout=remaining
+                        ):
+                            raise TimeoutError(
+                                "kernel FIFO put timed out while parked"
+                            )
             if self._closed:
                 raise FifoClosed("put on closed kernel FIFO")
             self._items.append(item)
@@ -74,19 +106,31 @@ class KernelFifo(Generic[T]):
     def get(self, timeout: Optional[float] = None) -> T:
         """Dequeue; block while empty.  Raises :class:`FifoClosed` when the
         channel is closed and drained."""
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
             while not self._items:
                 if self._closed:
                     raise FifoClosed("kernel FIFO closed and empty")
-                if not self._not_empty.wait(timeout=timeout):
-                    raise TimeoutError("kernel FIFO get timed out")
+                if deadline is None:
+                    self._not_empty.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._not_empty.wait(
+                        timeout=remaining
+                    ):
+                        raise TimeoutError("kernel FIFO get timed out")
             item = self._items.popleft()
             if len(self._items) < self.capacity // 2:
                 self._below_half.notify_all()
             return item
 
     def close(self) -> None:
-        """Close the channel, waking all blocked producers and consumers."""
+        """Close the channel, waking all blocked producers and consumers.
+
+        Parked producers raise :class:`FifoClosed` from ``put`` rather
+        than staying blocked; consumers drain remaining items first and
+        then raise from ``get``.
+        """
         with self._lock:
             self._closed = True
             self._not_empty.notify_all()

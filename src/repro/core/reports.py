@@ -86,6 +86,12 @@ class TestResult:
     traces_checked: int = 0
     events_checked: int = 0
     checkers_evaluated: int = 0
+    #: infrastructure events (worker respawns, backend degradation, ...)
+    #: observed while producing this result.  Diagnostics keep verdicts
+    #: honest after recovery but are *not* part of the verdict: they are
+    #: excluded from the wire encoding and from cross-backend
+    #: equivalence comparisons.
+    diagnostics: List[str] = field(default_factory=list)
 
     @property
     def failures(self) -> List[Report]:
@@ -117,6 +123,7 @@ class TestResult:
         self.traces_checked += other.traces_checked
         self.events_checked += other.events_checked
         self.checkers_evaluated += other.checkers_evaluated
+        self.diagnostics.extend(other.diagnostics)
 
     def summary(self) -> str:
         return (

@@ -37,6 +37,16 @@ class TraceFormatError(Exception):
     """The file is not a valid PMTest trace dump."""
 
 
+class TraceDecodeError(Exception):
+    """A wire-encoded trace/result tuple is truncated or garbage.
+
+    The process backend ships traces and results between processes as
+    flattened tuples; a corrupted message must fail *here*, with a typed
+    error naming what was malformed, rather than as an arbitrary
+    exception from deep inside the checking engine.
+    """
+
+
 def dump_traces(traces: Iterable[Trace], destination: Union[str, Path, TextIO]) -> int:
     """Write traces to a file or file-like object; returns trace count."""
     if isinstance(destination, (str, Path)):
@@ -165,7 +175,24 @@ def _encode_site(site: Optional[SourceSite]) -> _WireSite:
 def _decode_site(wire: _WireSite) -> Optional[SourceSite]:
     if wire is None:
         return None
+    if (
+        not isinstance(wire, (tuple, list))
+        or len(wire) != 3
+        or not isinstance(wire[0], str)
+        or not isinstance(wire[1], int)
+        or not isinstance(wire[2], str)
+    ):
+        raise TraceDecodeError(f"malformed source site: {wire!r}")
     return SourceSite(wire[0], wire[1], wire[2])
+
+
+def _expect_tuple(wire, arity: int, what: str) -> tuple:
+    if not isinstance(wire, (tuple, list)) or len(wire) != arity:
+        raise TraceDecodeError(
+            f"malformed wire {what}: expected a {arity}-tuple, "
+            f"got {wire!r:.80}"
+        )
+    return tuple(wire)
 
 
 def encode_event(event: Event) -> tuple:
@@ -182,8 +209,16 @@ def encode_event(event: Event) -> tuple:
 
 
 def decode_event(wire: tuple) -> Event:
-    op, addr, size, addr2, size2, site, seq = wire
-    return Event(Op(op), addr, size, addr2, size2, _decode_site(site), seq)
+    op, addr, size, addr2, size2, site, seq = _expect_tuple(wire, 7, "event")
+    try:
+        op = Op(op)
+    except ValueError as exc:
+        raise TraceDecodeError(f"unknown op value {op!r}") from exc
+    for name, value in (("addr", addr), ("size", size), ("addr2", addr2),
+                        ("size2", size2), ("seq", seq)):
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise TraceDecodeError(f"event {name} must be an int, got {value!r}")
+    return Event(op, addr, size, addr2, size2, _decode_site(site), seq)
 
 
 def encode_trace(trace: Trace) -> tuple:
@@ -196,7 +231,15 @@ def encode_trace(trace: Trace) -> tuple:
 
 
 def decode_trace(wire: tuple) -> Trace:
-    trace_id, thread_name, events = wire
+    trace_id, thread_name, events = _expect_tuple(wire, 3, "trace")
+    if not isinstance(trace_id, int) or isinstance(trace_id, bool):
+        raise TraceDecodeError(f"trace id must be an int, got {trace_id!r}")
+    if not isinstance(thread_name, str):
+        raise TraceDecodeError(
+            f"trace thread name must be a str, got {thread_name!r}"
+        )
+    if not isinstance(events, (tuple, list)):
+        raise TraceDecodeError(f"trace events must be a sequence, got {events!r:.80}")
     trace = Trace(trace_id, thread_name=thread_name)
     # Bypass Trace.append: it would renumber seq, which the wire format
     # preserves verbatim.
@@ -217,10 +260,19 @@ def encode_report(report: Report) -> tuple:
 
 
 def decode_report(wire: tuple) -> Report:
-    level, code, message, site, related_site, trace_id, seq = wire
+    level, code, message, site, related_site, trace_id, seq = _expect_tuple(
+        wire, 7, "report"
+    )
+    try:
+        level = Level(level)
+        code = ReportCode(code)
+    except ValueError as exc:
+        raise TraceDecodeError(f"unknown report level/code: {exc}") from exc
+    if not isinstance(message, str):
+        raise TraceDecodeError(f"report message must be a str, got {message!r}")
     return Report(
-        level=Level(level),
-        code=ReportCode(code),
+        level=level,
+        code=code,
         message=message,
         site=_decode_site(site),
         related_site=_decode_site(related_site),
@@ -240,13 +292,41 @@ def encode_result(result: TestResult) -> tuple:
 
 
 def decode_result(wire: tuple) -> TestResult:
-    reports, traces_checked, events_checked, checkers_evaluated = wire
+    reports, traces_checked, events_checked, checkers_evaluated = _expect_tuple(
+        wire, 4, "result"
+    )
+    if not isinstance(reports, (tuple, list)):
+        raise TraceDecodeError(
+            f"result reports must be a sequence, got {reports!r:.80}"
+        )
+    for name, value in (
+        ("traces_checked", traces_checked),
+        ("events_checked", events_checked),
+        ("checkers_evaluated", checkers_evaluated),
+    ):
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise TraceDecodeError(f"result {name} must be an int, got {value!r}")
     return TestResult(
         reports=[decode_report(report) for report in reports],
         traces_checked=traces_checked,
         events_checked=events_checked,
         checkers_evaluated=checkers_evaluated,
     )
+
+
+def corrupt_wire(wire: tuple) -> tuple:
+    """Deterministically mangle a wire-encoded trace (chaos CORRUPT fault).
+
+    Truncates the first event tuple so decoding fails with
+    :class:`TraceDecodeError` — the typed, recognizable failure the
+    decode-validation layer guarantees for garbage in transit.
+    """
+    trace_id, thread_name, events = wire
+    if events:
+        events = (events[0][:3],) + tuple(events[1:])
+    else:
+        events = (("garbage",),)
+    return (trace_id, thread_name, events)
 
 
 class TraceRecorder:

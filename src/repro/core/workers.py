@@ -14,24 +14,55 @@ embarrassingly safe.
 the GIL), or on worker *processes* (true multi-core checking — the
 backend that reproduces Fig. 12's worker-scaling on a multi-core
 host).  :class:`WorkerPool` is the facade the rest of the system
-drives; it owns backend selection and the closed-pool guard.
+drives; it owns backend selection, the closed-pool guard, and the
+**degradation ladder**: when a backend cannot be spawned or declares
+itself unhealthy mid-run (worker crashed beyond the retry budget,
+watchdog fired with no progress), the pool salvages the partial
+results, replaces the backend with the next one in the chain
+(process -> thread -> inline), resubmits every unchecked trace, and
+records the event in the result's diagnostics — verdicts stay
+bit-identical to a fault-free run, and stay honest about how they were
+produced.
+
+Environment overrides (for chaos CI runs):
+
+``PMTEST_BACKEND``
+    Overrides the *derived* backend for pools created with
+    ``backend=None`` and ``num_workers > 0`` (i.e. the pools that would
+    historically get the thread backend).  Explicit ``backend=`` and
+    synchronous ``workers=0`` pools are untouched.
+``PMTEST_CHAOS_SEED``
+    Installs :func:`repro.core.faults.plan_from_seed` (recoverable
+    faults only) on every pool that was not given an explicit plan.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import os
+from typing import List, Optional, Tuple
 
 from repro.core.backends import (
     BACKEND_NAMES,
     DEFAULT_BATCH_SIZE,
+    FALLBACK_CHAIN,
+    BackendUnhealthy,
     CheckingBackend,
+    CheckingFailed,
     make_backend,
+    make_backend_with_fallback,
+    resolve_backend_name,
+    _merge_ordered,
 )
 from repro.core.events import Trace
+from repro.core.faults import FaultPlan, Resilience, plan_from_seed
 from repro.core.reports import TestResult
 from repro.core.rules import PersistencyRules
 
 __all__ = ["WorkerPool", "BACKEND_NAMES", "DEFAULT_BATCH_SIZE"]
+
+#: ``(global submit seq, per-trace result)`` salvaged from a degraded
+#: backend, merged back in at drain time.
+_CarryPair = Tuple[int, TestResult]
 
 
 class WorkerPool:
@@ -51,6 +82,23 @@ class WorkerPool:
         ``num_workers`` as above.
     batch_size:
         Traces per IPC message (process backend only).
+    check_timeout:
+        Per-drain watchdog (seconds).  After this long with no trace
+        completing, outstanding work is requeued once; if that brings
+        no progress either, the backend is declared unhealthy and the
+        pool degrades (or raises ``CheckingFailed`` with ``fallback``
+        off).  ``None`` (default) waits forever.
+    max_retries:
+        Dead-worker respawns tolerated per backend before it is
+        declared unhealthy.
+    fallback:
+        Degrade along ``process -> thread -> inline`` on spawn failure
+        or mid-run unhealthiness instead of raising.  Every
+        degradation is recorded in the result's ``diagnostics``.
+    faults:
+        A :class:`~repro.core.faults.FaultPlan` for deterministic chaos
+        injection (``None``: no injected faults, unless
+        ``PMTEST_CHAOS_SEED`` is set).
     """
 
     def __init__(
@@ -60,17 +108,49 @@ class WorkerPool:
         name: str = "pmtest",
         backend: Optional[str] = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        check_timeout: Optional[float] = None,
+        max_retries: int = 2,
+        fallback: bool = True,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0")
-        self._backend: CheckingBackend = make_backend(
+        if backend is None and num_workers > 0:
+            override = os.environ.get("PMTEST_BACKEND")
+            if override:
+                backend = resolve_backend_name(override, num_workers)
+        if faults is None:
+            chaos_seed = os.environ.get("PMTEST_CHAOS_SEED")
+            if chaos_seed:
+                faults = plan_from_seed(int(chaos_seed))
+        self._rules = rules
+        self._num_workers = num_workers
+        self._name = name
+        self._batch_size = batch_size
+        self._resilience = Resilience(
+            check_timeout=check_timeout,
+            max_retries=max_retries,
+            fallback=fallback,
+        )
+        self._diags: List[str] = []
+        backend_obj, spawn_diags = make_backend_with_fallback(
             backend,
             rules,
             num_workers=num_workers,
             batch_size=batch_size,
             thread_name=name,
+            resilience=self._resilience,
+            faults=faults,
         )
+        self._backend: CheckingBackend = backend_obj
+        self._diags.extend(spawn_diags)
+        #: global submit sequence number per current-backend sequence
+        self._seq_map: List[int] = []
+        self._global_seq = 0
+        #: per-trace results salvaged from backends that were replaced
+        self._carry: List[_CarryPair] = []
         self._closed = False
+        self._final: Optional[Tuple[str, object]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -89,7 +169,17 @@ class WorkerPool:
 
     @property
     def dispatched(self) -> int:
-        return self._backend.dispatched
+        return self._global_seq
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the pool has fallen back from its requested backend."""
+        return bool(self._diags)
+
+    @property
+    def diagnostics(self) -> List[str]:
+        """Pool-level recovery events (spawn fallbacks, degradations)."""
+        return list(self._diags)
 
     def worker_trace_counts(self) -> List[int]:
         """How many traces each worker has been handed."""
@@ -101,22 +191,96 @@ class WorkerPool:
         if self._closed:
             raise RuntimeError("worker pool is closed")
         self._backend.submit(trace)
+        self._seq_map.append(self._global_seq)
+        self._global_seq += 1
 
     def drain(self) -> TestResult:
         """Block until all submitted traces are checked; return a snapshot.
 
         This is ``PMTest_GET_RESULT``: the snapshot aggregates every trace
         checked since the pool was created, merged in submission order
-        regardless of which worker checked what.
+        regardless of which worker (or, after a degradation, which
+        *backend*) checked what.  With ``check_timeout`` configured this
+        call is bounded: an unrecoverable hang surfaces as degradation
+        or ``CheckingFailed`` instead of blocking forever.
         """
-        return self._backend.drain()
+        pairs = self._drain_pairs_degrading()
+        result = _merge_ordered(self._carry + pairs)
+        result.diagnostics.extend(self._diags)
+        result.diagnostics.extend(self._backend.diagnostics)
+        return result
+
+    def _drain_pairs_degrading(self) -> List[_CarryPair]:
+        """Drain the active backend, walking the fallback chain on failure."""
+        while True:
+            try:
+                pairs = self._backend.drain_pairs()
+                return [(self._seq_map[seq], result) for seq, result in pairs]
+            except BackendUnhealthy as exc:
+                nxt = FALLBACK_CHAIN.get(self._backend.name)
+                if not self._resilience.fallback or nxt is None:
+                    raise CheckingFailed(
+                        f"checking backend {self._backend.name!r} is "
+                        f"unhealthy and fallback is disabled: {exc}"
+                    ) from exc
+                self._degrade_to(nxt, exc)
+
+    def _degrade_to(self, name: str, exc: BackendUnhealthy) -> None:
+        """Replace the unhealthy backend, salvaging its finished work."""
+        old = self._backend
+        # Salvage partial results and remember every recovery event.
+        self._carry.extend(
+            (self._seq_map[seq], result) for seq, result in exc.pairs
+        )
+        self._diags.extend(exc.diagnostics)
+        self._diags.append(
+            f"degraded checking backend {old.name!r} -> {name!r}: {exc}; "
+            f"salvaged {len(exc.pairs)} result(s), resubmitting "
+            f"{len(exc.unchecked)} unchecked trace(s)"
+        )
+        unchecked = [
+            (self._seq_map[seq], trace) for seq, trace in exc.unchecked
+        ]
+        old.stop()
+        # Respawned fallbacks are not re-injected with faults: the chaos
+        # plan applies to the first-choice backend only.
+        self._backend, spawn_diags = make_backend_with_fallback(
+            name,
+            self._rules,
+            num_workers=max(self._num_workers, 1),
+            batch_size=self._batch_size,
+            thread_name=self._name,
+            resilience=self._resilience,
+        )
+        self._diags.extend(spawn_diags)
+        self._seq_map = []
+        for global_seq, trace in sorted(unchecked, key=lambda pair: pair[0]):
+            self._backend.submit(trace)
+            self._seq_map.append(global_seq)
 
     def close(self) -> TestResult:
-        """Drain, stop all workers, and return the final result."""
-        if self._closed:
-            return self._backend.drain()
+        """Drain, stop all workers, and return the final result.
+
+        Idempotent: a second ``close`` (or a close after a failed
+        drain) replays the first outcome without touching the stopped
+        workers or their dead queues.
+        """
+        if self._final is not None:
+            kind, value = self._final
+            if kind == "err":
+                raise value  # type: ignore[misc]
+            return value  # type: ignore[return-value]
         self._closed = True
-        return self._backend.close()
+        try:
+            result = self.drain()
+        except BaseException as exc:
+            self._final = ("err", exc)
+            raise
+        else:
+            self._final = ("ok", result)
+            return result
+        finally:
+            self._backend.stop()
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -20,6 +20,7 @@ from repro.core.backends import (
     make_backend,
 )
 from repro.core.events import Event, Op, Trace
+from repro.core.faults import FaultKind, FaultPlan, FaultPoint, FaultRule
 from repro.core.reports import ReportCode
 from repro.core.traceio import TraceRecorder, encode_result
 from repro.core.workers import WorkerPool
@@ -92,7 +93,8 @@ class TestBackendSelection:
         assert pool.synchronous
         pool.close()
 
-    def test_default_with_workers_is_thread(self):
+    def test_default_with_workers_is_thread(self, monkeypatch):
+        monkeypatch.delenv("PMTEST_BACKEND", raising=False)
         pool = WorkerPool(num_workers=2)
         assert pool.backend_name == "thread"
         assert not pool.synchronous
@@ -155,6 +157,100 @@ class TestThreadBackendErrors:
             pool.drain()
         with pytest.raises(CheckingFailed):
             pool.close()
+        # Satellite regression: the close outcome is cached, so further
+        # closes replay the error instead of re-draining stopped workers.
+        with pytest.raises(CheckingFailed):
+            pool.close()
+
+
+# ----------------------------------------------------------------------
+# Fault matrix: injected infrastructure faults must not change verdicts
+# ----------------------------------------------------------------------
+def _inline_reference(traces):
+    with WorkerPool(num_workers=0) as pool:
+        for trace in traces:
+            pool.submit(trace)
+        return encode_result(pool.drain())
+
+
+class TestFaultMatrix:
+    """Worker killed mid-batch, slow worker under a watchdog, and the
+    fallback chain engaging — each produces a TestResult bit-identical
+    to the inline reference."""
+
+    def _traces(self, n=10):
+        return [bad_trace(i) if i % 2 else good_trace(i) for i in range(n)]
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_worker_killed_mid_batch(self, backend):
+        traces = self._traces()
+        plan = FaultPlan(
+            rules=[
+                FaultRule(
+                    FaultPoint.WORKER_BATCH,
+                    FaultKind.CRASH,
+                    at=0,
+                    worker=0 if backend == "thread" else None,
+                )
+            ]
+        )
+        pool = WorkerPool(
+            num_workers=2 if backend == "thread" else 1,
+            backend=backend,
+            batch_size=2,
+            check_timeout=10.0,
+            faults=plan,
+        )
+        try:
+            for trace in traces:
+                pool.submit(trace)
+            result = pool.drain()
+        finally:
+            pool._backend.stop()
+        assert encode_result(result) == _inline_reference(traces)
+        assert any("respawned" in d for d in result.diagnostics)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_slow_worker_does_not_trip_watchdog(self, backend):
+        traces = self._traces()
+        plan = FaultPlan(
+            rules=[
+                FaultRule(
+                    FaultPoint.WORKER_BATCH,
+                    FaultKind.SLOW,
+                    at=0,
+                    count=2,
+                    delay=0.02,
+                )
+            ]
+        )
+        pool = WorkerPool(
+            num_workers=2,
+            backend=backend,
+            batch_size=2,
+            check_timeout=10.0,
+            faults=plan,
+        )
+        try:
+            for trace in traces:
+                pool.submit(trace)
+            result = pool.drain()
+        finally:
+            pool._backend.stop()
+        assert encode_result(result) == _inline_reference(traces)
+        # Slowness within the watchdog budget is not a recovery event.
+        assert not any("watchdog" in d for d in result.diagnostics)
+
+    def test_fallback_chain_engaged(self):
+        traces = self._traces()
+        plan = FaultPlan(rules=[FaultRule(FaultPoint.SPAWN, FaultKind.FAIL)])
+        with WorkerPool(num_workers=2, backend="process", faults=plan) as pool:
+            assert pool.backend_name == "thread"
+            for trace in traces:
+                pool.submit(trace)
+            result = pool.drain()
+        assert encode_result(result) == _inline_reference(traces)
+        assert any("unavailable at spawn" in d for d in result.diagnostics)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,343 @@
+"""End-to-end chaos tests: the checking pipeline under injected faults.
+
+The contract: every *recoverable* fault (worker crash, slow worker,
+queue stall, FIFO starvation) is absorbed by supervision — respawn,
+requeue, watchdog sweep, backend degradation — and the final
+:class:`TestResult` stays **bit-identical** to a fault-free inline run,
+with the recovery visible in ``result.diagnostics``.  Unrecoverable
+faults (hangs with fallback disabled, corrupted wire encodings) must
+surface as :class:`CheckingFailed` within the configured watchdog
+bound, never as an indefinite hang.
+"""
+
+import time
+
+import pytest
+
+from repro.core.backends import CheckingFailed
+from repro.core.events import Event, Op, Trace
+from repro.core.faults import (
+    FaultError,
+    FaultKind,
+    FaultPlan,
+    FaultPoint,
+    FaultRule,
+    plan_from_seed,
+)
+from repro.core.kfifo import KernelFifo
+from repro.core.traceio import encode_result
+from repro.core.workers import WorkerPool
+from repro.pmfs.kernel import KernelBridge
+
+
+def bad_trace(trace_id: int) -> Trace:
+    trace = Trace(trace_id)
+    trace.append(Event(Op.WRITE, trace_id * 64, 8))
+    trace.append(Event(Op.CHECK_PERSIST, trace_id * 64, 8))
+    return trace
+
+
+def good_trace(trace_id: int) -> Trace:
+    trace = Trace(trace_id)
+    trace.append(Event(Op.WRITE, trace_id * 64, 8))
+    trace.append(Event(Op.CLWB, trace_id * 64, 8))
+    trace.append(Event(Op.SFENCE))
+    trace.append(Event(Op.CHECK_PERSIST, trace_id * 64, 8))
+    return trace
+
+
+def mixed_traces(n: int):
+    return [bad_trace(i) if i % 2 else good_trace(i) for i in range(n)]
+
+
+def inline_reference(traces) -> tuple:
+    with WorkerPool(num_workers=0) as pool:
+        for trace in traces:
+            pool.submit(trace)
+        return encode_result(pool.drain())
+
+
+def run_under_faults(traces, **pool_kwargs):
+    pool = WorkerPool(**pool_kwargs)
+    try:
+        for trace in traces:
+            pool.submit(trace)
+        return pool.drain()
+    finally:
+        pool._backend.stop()
+
+
+class TestCrashRecovery:
+    def test_process_worker_killed_mid_run_is_bit_identical(self):
+        """The acceptance scenario: a chaos plan kills one process worker
+        mid-run; the supervisor requeues its traces and respawns it, and
+        the final result is bit-identical to the inline reference."""
+        traces = mixed_traces(10)
+        plan = FaultPlan(
+            rules=[FaultRule(FaultPoint.WORKER_BATCH, FaultKind.CRASH, at=0)]
+        )
+        result = run_under_faults(
+            traces,
+            num_workers=1,
+            backend="process",
+            batch_size=2,
+            check_timeout=10.0,
+            faults=plan,
+        )
+        assert encode_result(result) == inline_reference(traces)
+        assert any("respawned checking worker process" in d
+                   for d in result.diagnostics)
+
+    def test_thread_worker_killed_mid_run_is_bit_identical(self):
+        traces = mixed_traces(9)
+        plan = FaultPlan(
+            rules=[
+                FaultRule(
+                    FaultPoint.WORKER_BATCH, FaultKind.CRASH, at=0, worker=0
+                )
+            ]
+        )
+        result = run_under_faults(
+            traces,
+            num_workers=2,
+            backend="thread",
+            check_timeout=10.0,
+            faults=plan,
+        )
+        assert encode_result(result) == inline_reference(traces)
+        assert any("respawned checking worker thread 0" in d
+                   for d in result.diagnostics)
+
+    def test_crashes_beyond_retry_budget_degrade_to_fallback(self):
+        """Every first-generation process worker crashes; with a retry
+        budget of one, the backend is declared unhealthy and the pool
+        degrades to the thread backend — verdicts unchanged."""
+        traces = mixed_traces(10)
+        plan = FaultPlan(
+            rules=[FaultRule(FaultPoint.WORKER_BATCH, FaultKind.CRASH, at=0)]
+        )
+        result = run_under_faults(
+            traces,
+            num_workers=3,
+            backend="process",
+            batch_size=1,
+            max_retries=1,
+            check_timeout=10.0,
+            faults=plan,
+        )
+        assert encode_result(result) == inline_reference(traces)
+        assert any("degraded checking backend 'process' -> 'thread'" in d
+                   for d in result.diagnostics)
+
+
+class TestSlowAndHungWorkers:
+    def test_slow_workers_are_harmless(self):
+        traces = mixed_traces(12)
+        plan = FaultPlan(
+            rules=[
+                FaultRule(
+                    FaultPoint.WORKER_BATCH,
+                    FaultKind.SLOW,
+                    at=0,
+                    count=3,
+                    delay=0.01,
+                )
+            ]
+        )
+        result = run_under_faults(
+            traces,
+            num_workers=2,
+            backend="thread",
+            check_timeout=10.0,
+            faults=plan,
+        )
+        assert encode_result(result) == inline_reference(traces)
+
+    def test_hung_thread_worker_recovered_by_watchdog_sweep(self):
+        """Worker 0 hangs on its first trace; the watchdog redistributes
+        its outstanding traces to the live worker and the drain
+        completes — no degradation needed."""
+        traces = mixed_traces(8)
+        plan = FaultPlan(
+            rules=[
+                FaultRule(
+                    FaultPoint.WORKER_BATCH, FaultKind.HANG, at=0, worker=0
+                )
+            ]
+        )
+        result = run_under_faults(
+            traces,
+            num_workers=2,
+            backend="thread",
+            check_timeout=0.3,
+            faults=plan,
+        )
+        assert encode_result(result) == inline_reference(traces)
+        assert any("watchdog" in d for d in result.diagnostics)
+
+    def test_unrecoverable_hang_bounded_by_check_timeout(self):
+        """The acceptance bound: with fallback disabled and every worker
+        hung, ``drain`` raises within ~2x check_timeout instead of
+        blocking forever."""
+        traces = mixed_traces(4)
+        plan = FaultPlan(
+            rules=[FaultRule(FaultPoint.WORKER_BATCH, FaultKind.HANG, at=0)]
+        )
+        pool = WorkerPool(
+            num_workers=1,
+            backend="thread",
+            check_timeout=0.25,
+            fallback=False,
+            faults=plan,
+        )
+        start = time.monotonic()
+        try:
+            for trace in traces:
+                pool.submit(trace)
+            with pytest.raises(CheckingFailed, match="watchdog timeout"):
+                pool.drain()
+        finally:
+            pool._backend.stop()
+        assert time.monotonic() - start < 8.0
+
+    def test_hang_degrades_to_inline_when_fallback_enabled(self):
+        traces = mixed_traces(4)
+        plan = FaultPlan(
+            rules=[FaultRule(FaultPoint.WORKER_BATCH, FaultKind.HANG, at=0)]
+        )
+        result = run_under_faults(
+            traces,
+            num_workers=1,
+            backend="thread",
+            check_timeout=0.25,
+            faults=plan,
+        )
+        assert encode_result(result) == inline_reference(traces)
+        assert any("degraded checking backend 'thread' -> 'inline'" in d
+                   for d in result.diagnostics)
+
+
+class TestCorruption:
+    def test_corrupted_wire_encoding_fails_typed(self):
+        """A trace mangled in transit surfaces as CheckingFailed naming
+        TraceDecodeError — never an arbitrary exception or a hang."""
+        plan = FaultPlan(
+            rules=[FaultRule(FaultPoint.WIRE_ENCODE, FaultKind.CORRUPT, at=0)]
+        )
+        pool = WorkerPool(
+            num_workers=1, backend="process", batch_size=1, faults=plan
+        )
+        try:
+            for trace in mixed_traces(3):
+                pool.submit(trace)
+            with pytest.raises(CheckingFailed, match="TraceDecodeError"):
+                pool.drain()
+        finally:
+            pool._backend.stop()
+
+
+class TestSpawnFallback:
+    def test_spawn_failure_degrades_one_step(self):
+        plan = FaultPlan(rules=[FaultRule(FaultPoint.SPAWN, FaultKind.FAIL)])
+        traces = mixed_traces(6)
+        pool = WorkerPool(num_workers=2, backend="process", faults=plan)
+        try:
+            assert pool.backend_name == "thread"
+            assert pool.degraded
+            assert any("unavailable at spawn" in d for d in pool.diagnostics)
+            for trace in traces:
+                pool.submit(trace)
+            result = pool.drain()
+        finally:
+            pool._backend.stop()
+        assert encode_result(result) == inline_reference(traces)
+        assert any("unavailable at spawn" in d for d in result.diagnostics)
+
+    def test_spawn_failure_walks_whole_chain(self):
+        plan = FaultPlan(
+            rules=[FaultRule(FaultPoint.SPAWN, FaultKind.FAIL, count=2)]
+        )
+        pool = WorkerPool(num_workers=2, backend="process", faults=plan)
+        assert pool.backend_name == "inline"
+        assert len(pool.diagnostics) == 2
+        pool.close()
+
+    def test_spawn_failure_raises_with_fallback_disabled(self):
+        plan = FaultPlan(rules=[FaultRule(FaultPoint.SPAWN, FaultKind.FAIL)])
+        with pytest.raises(FaultError):
+            WorkerPool(
+                num_workers=2, backend="process", fallback=False, faults=plan
+            )
+
+
+class TestKernelFifoStarvation:
+    def test_starved_producer_still_delivers_in_order(self):
+        plan = FaultPlan(
+            rules=[
+                FaultRule(
+                    FaultPoint.KFIFO_PUT, FaultKind.STALL, at=0, count=2,
+                    delay=0.001,
+                )
+            ]
+        )
+        fifo: KernelFifo[int] = KernelFifo(capacity=4, faults=plan)
+        for i in range(3):
+            fifo.put(i)
+        assert [fifo.get() for _ in range(3)] == [0, 1, 2]
+        assert plan._hits[(FaultPoint.KFIFO_PUT, None)] == 3
+
+    def test_kernel_bridge_survives_seeded_chaos(self):
+        """The whole kernel path (FIFO producer stalls + a worker crash)
+        under a seed-derived plan still matches the inline reference."""
+        traces = mixed_traces(12)
+        bridge = KernelBridge(
+            num_workers=2,
+            backend="thread",
+            fifo_capacity=4,
+            check_timeout=10.0,
+            faults=plan_from_seed(5),
+        )
+        try:
+            for trace in traces:
+                bridge.submit(trace)
+            result = bridge.close()
+        finally:
+            bridge.fifo.close()
+        assert encode_result(result) == inline_reference(traces)
+        assert any("respawned" in d for d in result.diagnostics)
+
+
+class TestEnvironmentOverrides:
+    def test_backend_env_overrides_derived_backend(self, monkeypatch):
+        monkeypatch.setenv("PMTEST_BACKEND", "process")
+        monkeypatch.delenv("PMTEST_CHAOS_SEED", raising=False)
+        pool = WorkerPool(num_workers=2)
+        assert pool.backend_name == "process"
+        pool.close()
+
+    def test_backend_env_does_not_override_explicit_choice(self, monkeypatch):
+        monkeypatch.setenv("PMTEST_BACKEND", "process")
+        pool = WorkerPool(num_workers=2, backend="thread")
+        assert pool.backend_name == "thread"
+        pool.close()
+
+    def test_backend_env_ignores_synchronous_pools(self, monkeypatch):
+        monkeypatch.setenv("PMTEST_BACKEND", "process")
+        pool = WorkerPool(num_workers=0)
+        assert pool.backend_name == "inline"
+        pool.close()
+
+    def test_invalid_backend_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("PMTEST_BACKEND", "gpu")
+        with pytest.raises(ValueError):
+            WorkerPool(num_workers=1)
+
+    def test_chaos_seed_env_injects_recoverable_faults(self, monkeypatch):
+        monkeypatch.delenv("PMTEST_BACKEND", raising=False)
+        monkeypatch.setenv("PMTEST_CHAOS_SEED", "3")
+        traces = mixed_traces(12)
+        result = run_under_faults(
+            traces, num_workers=2, backend="thread", check_timeout=10.0
+        )
+        assert encode_result(result) == inline_reference(traces)
+        assert any("respawned" in d for d in result.diagnostics)

@@ -88,6 +88,37 @@ class TestCheckCommand:
         assert main(["check", str(path)]) == 2
 
 
+class TestResilienceFlags:
+    def test_check_timeout_and_retries_accepted(self, tmp_path):
+        path = tmp_path / "run.pmtrace"
+        record_buggy_trace(path)
+        assert main([
+            "check", str(path), "--workers", "2", "--backend", "thread",
+            "--check-timeout", "30", "--max-retries", "3",
+        ]) == 1
+
+    def test_no_fallback_accepted(self, tmp_path):
+        path = tmp_path / "run.pmtrace"
+        record_buggy_trace(path)
+        assert main(["check", str(path), "--no-fallback"]) == 1
+
+    def test_negative_max_retries_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "run.pmtrace"
+        record_buggy_trace(path)
+        assert main(["check", str(path), "--max-retries", "-1"]) == 2
+        assert "--max-retries" in capsys.readouterr().err
+
+    def test_chaos_seed_does_not_change_the_verdict(self, tmp_path, capsys):
+        path = tmp_path / "run.pmtrace"
+        record_buggy_trace(path)
+        assert main([
+            "check", str(path), "--workers", "2", "--backend", "thread",
+            "--chaos-seed", "3", "--check-timeout", "30",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "1 FAIL" in out
+
+
 class TestStatsCommand:
     def test_stats_output(self, tmp_path, capsys):
         path = tmp_path / "run.pmtrace"

@@ -94,3 +94,80 @@ class TestClose:
         assert fifo.get() == 1
         with pytest.raises(FifoClosed):
             fifo.get()
+
+    def test_close_wakes_parked_producer(self):
+        """Satellite regression: a producer parked on a full FIFO must be
+        released promptly by close() with FifoClosed, not left blocked
+        forever on a dead consumer."""
+        fifo: KernelFifo[int] = KernelFifo(capacity=4)
+        for i in range(4):
+            fifo.put(i)
+        outcome = []
+
+        def producer():
+            try:
+                fifo.put(99)
+            except FifoClosed:
+                outcome.append("closed")
+
+        t = threading.Thread(target=producer, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        assert not outcome  # parked: FIFO full, nothing drained
+        fifo.close()
+        t.join(timeout=2)
+        assert outcome == ["closed"]
+
+
+class TestHardening:
+    def test_put_timeout_while_parked(self):
+        fifo: KernelFifo[int] = KernelFifo(capacity=4)
+        for i in range(4):
+            fifo.put(i)
+        start = time.monotonic()
+        with pytest.raises(TimeoutError):
+            fifo.put(99, timeout=0.05)
+        assert time.monotonic() - start < 2.0
+        # The timed-out item was never enqueued.
+        assert len(fifo) == 4
+
+    def test_put_with_timeout_succeeds_when_space_frees(self):
+        fifo: KernelFifo[int] = KernelFifo(capacity=4)
+        for i in range(4):
+            fifo.put(i)
+
+        def consumer():
+            time.sleep(0.02)
+            for _ in range(4):
+                fifo.get()
+
+        t = threading.Thread(target=consumer, daemon=True)
+        t.start()
+        fifo.put(99, timeout=5.0)  # parks, then space frees up
+        t.join(timeout=2)
+        assert fifo.get() == 99
+
+    def test_capacity_two_hysteresis_edge(self):
+        """capacity=2 is the degenerate hysteresis case: half capacity
+        is 1, so a parked producer wakes only once the FIFO is empty."""
+        fifo: KernelFifo[int] = KernelFifo(capacity=2)
+        fifo.put(0)
+        fifo.put(1)
+        produced = threading.Event()
+
+        def producer():
+            fifo.put(2)
+            produced.set()
+
+        t = threading.Thread(target=producer, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        assert not produced.is_set()
+        assert fifo.get() == 0  # one item left == capacity // 2: no wake
+        time.sleep(0.05)
+        assert not produced.is_set()
+        assert fifo.get() == 1  # empty: below half, producer wakes
+        t.join(timeout=2)
+        assert produced.is_set()
+        assert fifo.get() == 2
+        assert fifo.producer_waits == 1

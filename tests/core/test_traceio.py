@@ -4,7 +4,7 @@ import io
 import pickle
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.core.api import PMTestSession
@@ -13,8 +13,10 @@ from repro.core.events import Event, Op, SourceSite, Trace
 from repro.core.reports import Level, Report, ReportCode, TestResult
 from repro.core.rules import HOPSRules
 from repro.core.traceio import (
+    TraceDecodeError,
     TraceFormatError,
     TraceRecorder,
+    corrupt_wire,
     decode_event,
     decode_result,
     decode_trace,
@@ -254,3 +256,101 @@ class TestWireEncoding:
             return isinstance(obj, tuple) and all(flat(x) for x in obj)
 
         assert flat(wire)
+
+
+# ----------------------------------------------------------------------
+# Decode-side validation: garbage on the wire fails with a *typed* error
+# ----------------------------------------------------------------------
+_junk = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(),
+        st.floats(allow_nan=False),
+        st.text(max_size=8),
+    ),
+    lambda children: st.lists(children, max_size=7).map(tuple),
+    max_leaves=15,
+)
+
+
+class TestDecodeValidation:
+    """A corrupted wire message must raise TraceDecodeError — never an
+    arbitrary exception from deep inside the decoder or the engine."""
+
+    def test_truncated_event_tuple(self):
+        wire = encode_event(Event(Op.WRITE, 0x10, 64))
+        with pytest.raises(TraceDecodeError, match="7-tuple"):
+            decode_event(wire[:4])
+
+    def test_unknown_op_value(self):
+        wire = list(encode_event(Event(Op.WRITE, 0x10, 64)))
+        wire[0] = 10**9
+        with pytest.raises(TraceDecodeError, match="unknown op"):
+            decode_event(tuple(wire))
+
+    def test_bool_is_not_an_int_field(self):
+        wire = list(encode_event(Event(Op.WRITE, 0x10, 64)))
+        wire[1] = True
+        with pytest.raises(TraceDecodeError, match="addr"):
+            decode_event(tuple(wire))
+
+    def test_malformed_site(self):
+        wire = list(encode_event(Event(Op.WRITE, 0x10, 64)))
+        wire[5] = ("file.c",)  # site must be (file, line, function)
+        with pytest.raises(TraceDecodeError, match="site"):
+            decode_event(tuple(wire))
+
+    def test_non_string_thread_name(self):
+        with pytest.raises(TraceDecodeError, match="thread name"):
+            decode_trace((0, 42, ()))
+
+    def test_result_counter_type_checked(self):
+        with pytest.raises(TraceDecodeError, match="traces_checked"):
+            decode_result(((), "3", 0, 0))
+
+    def test_corrupt_wire_is_deterministic_and_typed(self):
+        trace = sample_traces()[0]
+        wire = encode_trace(trace)
+        corrupted = corrupt_wire(wire)
+        assert corrupted == corrupt_wire(wire)  # deterministic mangling
+        with pytest.raises(TraceDecodeError):
+            decode_trace(corrupted)
+
+    def test_corrupt_wire_on_empty_trace(self):
+        corrupted = corrupt_wire(encode_trace(Trace(0)))
+        with pytest.raises(TraceDecodeError):
+            decode_trace(corrupted)
+
+    @settings(max_examples=200, deadline=None)
+    @given(_junk)
+    def test_event_decoder_never_raises_untyped(self, junk):
+        try:
+            decode_event(junk)
+        except TraceDecodeError:
+            pass
+
+    @settings(max_examples=200, deadline=None)
+    @given(_junk)
+    def test_trace_decoder_never_raises_untyped(self, junk):
+        try:
+            decode_trace(junk)
+        except TraceDecodeError:
+            pass
+
+    @settings(max_examples=200, deadline=None)
+    @given(_junk)
+    def test_result_decoder_never_raises_untyped(self, junk):
+        try:
+            decode_result(junk)
+        except TraceDecodeError:
+            pass
+
+    @settings(max_examples=60, deadline=None)
+    @given(_traces, st.integers(min_value=0, max_value=6))
+    def test_truncating_any_event_is_detected(self, trace, arity):
+        assume(trace.events)
+        wire = encode_trace(trace)
+        events = (wire[2][0][:arity],) + tuple(wire[2][1:])
+        with pytest.raises(TraceDecodeError):
+            decode_trace((wire[0], wire[1], events))

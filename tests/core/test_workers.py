@@ -36,7 +36,9 @@ class TestSynchronousMode:
 
 class TestWorkerDispatch:
     def test_round_robin(self):
-        with WorkerPool(num_workers=3) as pool:
+        # Explicit thread backend: round-robin dispatch is its contract
+        # (the process backend self-schedules, so counts are load-based).
+        with WorkerPool(num_workers=3, backend="thread") as pool:
             for i in range(7):
                 pool.submit(good_trace(i))
             pool.drain()
@@ -98,3 +100,47 @@ class TestWorkerDispatch:
     def test_negative_workers_rejected(self):
         with pytest.raises(ValueError):
             WorkerPool(num_workers=-1)
+
+
+def malformed_trace(trace_id: int) -> Trace:
+    trace = Trace(trace_id)
+    trace.append(Event(Op.TX_END))  # TX_END without TX_BEGIN raises
+    return trace
+
+
+class TestIdempotentClose:
+    """Satellite regression: close() is safe to call repeatedly, even
+    after a drain that raised CheckingFailed."""
+
+    def test_close_twice_replays_the_result(self):
+        pool = WorkerPool(num_workers=2, backend="thread")
+        pool.submit(bad_trace(0))
+        first = pool.close()
+        second = pool.close()
+        assert second is first
+        assert first.count(ReportCode.NOT_PERSISTED) == 1
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_close_after_failed_drain_replays_the_error(self, backend):
+        from repro.core.backends import CheckingFailed
+
+        pool = WorkerPool(num_workers=1, backend=backend)
+        pool.submit(malformed_trace(0))
+        with pytest.raises(CheckingFailed):
+            pool.close()
+        # Workers are stopped; a second close must replay the cached
+        # error instead of draining dead queues (which would hang).
+        with pytest.raises(CheckingFailed):
+            pool.close()
+        with pytest.raises(RuntimeError):
+            pool.submit(bad_trace(1))
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_backend_stop_is_idempotent(self, backend):
+        pool = WorkerPool(num_workers=1, backend=backend)
+        pool.submit(good_trace(0))
+        result = pool.close()
+        assert result.traces_checked == 1
+        # close() already stopped the backend; more stops are no-ops.
+        pool._backend.stop()
+        pool._backend.stop()
