@@ -65,12 +65,25 @@ def env_int(name: str, default: int) -> int:
 #: module-level result store: (figure, config) -> mean seconds
 RESULTS: Dict[Tuple[str, Tuple], float] = {}
 
+#: metrics registries captured per benchmark config (JSON form); only
+#: populated when the run records metrics (PMTEST_METRICS=basic|full)
+METRICS: Dict[Tuple[str, Tuple], dict] = {}
+
 Execute = Callable[[], None]
 
 
 def record(figure: str, config: Tuple, benchmark) -> None:
     """Stash a benchmark's mean runtime for the figure report."""
     RESULTS[(figure, config)] = benchmark.stats.stats.mean
+
+
+def record_metrics(figure: str, config: Tuple, source) -> None:
+    """Stash ``source``'s metrics snapshot (a session/pool exposing
+    ``metrics_snapshot``) for the JSON dump; no-op when metrics are off."""
+    snapshot_fn = getattr(source, "metrics_snapshot", None)
+    snapshot = snapshot_fn() if snapshot_fn is not None else None
+    if snapshot is not None:
+        METRICS[(figure, config)] = snapshot.to_dict()
 
 
 def slowdown(figure: str, config: Tuple,
@@ -125,9 +138,16 @@ def prepare_micro(
     n_ops: int = 100,
     mem_size: int = 16 << 20,
     capture_sites: bool = False,
+    figure: Optional[str] = None,
+    config: Optional[Tuple] = None,
 ) -> Execute:
     """Build one microbenchmark configuration; returns the timed body
-    (``n_ops`` insertions, one transaction each, plus result drain)."""
+    (``n_ops`` insertions, one transaction each, plus result drain).
+
+    With ``figure``/``config`` given, the session's metrics registry is
+    captured into :data:`METRICS` after the (untimed) drain, so a run
+    under ``PMTEST_METRICS=full`` ships per-stage breakdowns alongside
+    the timings in the benchmark JSON."""
     runtime, session, finish = make_runtime(tool, mem_size)
     runtime.capture_sites = capture_sites
     pool = PMPool(runtime, log_capacity=256 * 1024)
@@ -147,6 +167,8 @@ def prepare_micro(
             if session is not None:
                 session.send_trace()
         finish()
+        if figure is not None and session is not None:
+            record_metrics(figure, config, session)
 
     return execute
 

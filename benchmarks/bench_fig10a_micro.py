@@ -12,9 +12,22 @@ reproduced quantities are the slowdown ratios printed in the terminal
 summary, whose *shape* must match the paper.
 """
 
+import time
+
 import pytest
 
-from _harness import pedantic, prepare_micro, record, slowdown
+from _harness import (
+    RESULTS,
+    env_int,
+    make_checking_traces,
+    pedantic,
+    prepare_micro,
+    record,
+    slowdown,
+)
+from repro.core.engine import CheckingEngine, _TraceChecker
+from repro.core.metrics import MetricsLevel, MetricsRegistry
+from repro.core.rules import X86Rules
 
 STRUCTURES = ["ctree", "btree", "rbtree", "hashmap_tx", "hashmap_atomic"]
 TX_SIZES = [64, 256, 1024, 4096]
@@ -28,9 +41,57 @@ def test_fig10a(benchmark, bench_rounds, structure, value_size, tool):
     pedantic(
         benchmark,
         bench_rounds,
-        lambda: prepare_micro(structure, value_size, tool, n_ops=100),
+        lambda: prepare_micro(
+            structure, value_size, tool, n_ops=100,
+            figure="fig10a", config=(structure, value_size, tool),
+        ),
     )
     record("fig10a", (structure, value_size, tool), benchmark)
+
+
+def test_metrics_off_overhead():
+    """The metrics-off path must cost no more than the unhooked loop.
+
+    The off path is one ``metrics is None`` branch per trace; this pits
+    ``check_trace`` with no registry against a replica of the historical
+    replay loop (no metrics code at all) over identical traces, using
+    interleaved min-of-rounds to squeeze out scheduler noise.  The
+    off/full ratio is recorded alongside for the benchmark JSON.
+    """
+    traces = make_checking_traces(env_int("PMTEST_BENCH_TRACES", 60))
+    rules = X86Rules()
+    engine_off = CheckingEngine(rules, metrics=None)
+    registry = MetricsRegistry(MetricsLevel.FULL)
+    engine_full = CheckingEngine(rules, registry)
+
+    def run_off():
+        for trace in traces:
+            engine_off.check_trace(trace)
+
+    def run_plain():
+        for trace in traces:
+            checker = _TraceChecker(rules, trace)
+            checker._run_plain(trace.events)
+            checker._finish()
+            checker.result.events_checked += len(trace.events)
+
+    def run_full():
+        for trace in traces:
+            engine_full.check_trace(trace)
+
+    clock = time.perf_counter
+    best = {"plain": float("inf"), "off": float("inf"), "full": float("inf")}
+    for _ in range(7):
+        for name, body in (("plain", run_plain), ("off", run_off),
+                           ("full", run_full)):
+            start = clock()
+            body()
+            best[name] = min(best[name], clock() - start)
+    for name, seconds in best.items():
+        RESULTS[("metrics-overhead", (name,))] = seconds
+    # <2% relative, with a small absolute floor so a sub-millisecond
+    # smoke run cannot flake on timer granularity.
+    assert best["off"] <= best["plain"] * 1.02 + 0.002, best
 
 
 def test_fig10a_shape(benchmark):

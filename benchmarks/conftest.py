@@ -18,7 +18,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 import pytest
 
-from _harness import RESULTS, slowdown  # noqa: E402
+from _harness import METRICS, RESULTS, slowdown  # noqa: E402
 
 
 @pytest.fixture(scope="session")
@@ -188,6 +188,11 @@ def _dump_json(tr) -> None:
                     base / seconds if seconds else None
                 )
         payload["backend_throughput_scaling_vs_1_worker"] = scaling
+    if METRICS:
+        payload["metrics"] = {
+            f"{figure}/{'/'.join(str(part) for part in config)}": data
+            for (figure, config), data in sorted(METRICS.items())
+        }
     Path(path).parent.mkdir(parents=True, exist_ok=True)
     Path(path).write_text(json.dumps(payload, indent=2) + "\n")
     tr.write_line(f"benchmark JSON written to {path}")

@@ -10,12 +10,18 @@ Usage::
                                       [--max-retries N]
                                       [--fallback | --no-fallback]
                                       [--chaos-seed SEED]
+                                      [--metrics-json PATH]
+                                      [--trace-out PATH]
                                       [--max-reports K] [--quiet]
     python -m repro stats run.pmtrace
+    python -m repro stats metrics.json
 
 ``check`` replays every trace in the dump through the checking engine and
 prints the reports (exit status 1 if any FAIL was found, 2 for usage or
-format errors); ``stats`` summarizes a dump without checking it.
+format errors); ``stats`` summarizes a dump without checking it.  When
+``stats`` is pointed at a metrics dump written by ``check
+--metrics-json`` it prints the per-stage latency breakdown instead
+(paper Figure 10b's stage decomposition).
 
 Traces are produced with :class:`repro.core.traceio.TraceRecorder` (or any
 tool emitting the documented JSON-lines format), which makes the classic
@@ -25,16 +31,25 @@ record-in-production / analyze-later workflow possible.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections import Counter
 from typing import List, Optional
 
 from repro.core.backends import CheckingFailed
 from repro.core.faults import plan_from_seed
+from repro.core.metrics import (
+    JSON_FORMAT,
+    MetricsLevel,
+    MetricsRegistry,
+    make_registry,
+    stage_breakdown,
+)
 from repro.core.rules import HOPSRules, PersistencyRules, X86Rules
 from repro.core.rules.eadr import EADRRules
 from repro.core.rules.naive import NaiveX86Rules
 from repro.core.traceio import TraceFormatError, load_traces
+from repro.core.tracing import Tracer
 from repro.core.workers import BACKEND_NAMES, DEFAULT_BATCH_SIZE, WorkerPool
 
 MODELS = {
@@ -136,6 +151,25 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     check.add_argument(
+        "--metrics-json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the merged metrics registry to PATH as JSON after the "
+            "check (forces full metrics for this run; inspect with "
+            "'repro stats PATH')"
+        ),
+    )
+    check.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a chrome://tracing / Perfetto-compatible span trace "
+            "of the checking pipeline to PATH"
+        ),
+    )
+    check.add_argument(
         "--max-reports",
         type=int,
         default=20,
@@ -147,13 +181,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="print only the summary line",
     )
 
-    stats = sub.add_parser("stats", help="summarize a trace dump")
-    stats.add_argument("trace_file", help="path to a .pmtrace dump")
+    stats = sub.add_parser(
+        "stats", help="summarize a trace dump or a metrics JSON dump"
+    )
+    stats.add_argument(
+        "trace_file",
+        help="path to a .pmtrace dump or a 'check --metrics-json' output",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "stats":
+        return _stats(args.trace_file)
     try:
         traces = load_traces(args.trace_file)
     except FileNotFoundError:
@@ -162,9 +203,6 @@ def main(argv: Optional[List[str]] = None) -> int:
     except TraceFormatError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-
-    if args.command == "stats":
-        return _stats(traces)
     return _check(args, traces)
 
 
@@ -179,6 +217,13 @@ def _check(args: argparse.Namespace, traces) -> int:
     faults = (
         plan_from_seed(args.chaos_seed) if args.chaos_seed is not None else None
     )
+    # --metrics-json forces a full-level registry so the dump always has
+    # the per-stage timings; otherwise the PMTEST_METRICS env decides.
+    metrics = make_registry()
+    if args.metrics_json is not None and (metrics is None or not metrics.full):
+        metrics = MetricsRegistry(MetricsLevel.FULL)
+    tracer = Tracer() if args.trace_out is not None else None
+    snapshot: Optional[MetricsRegistry] = None
     try:
         with WorkerPool(
             rules,
@@ -189,13 +234,39 @@ def _check(args: argparse.Namespace, traces) -> int:
             max_retries=args.max_retries,
             fallback=args.fallback,
             faults=faults,
+            metrics=metrics,
+            tracer=tracer,
         ) as pool:
             for trace in traces:
                 pool.submit(trace)
             result = pool.drain()
+            snapshot = pool.metrics_snapshot()
     except CheckingFailed as exc:
         print(f"error: checking failed: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if tracer is not None:
+            tracer.finish()
+            try:
+                tracer.write(args.trace_out)
+            except OSError as exc:
+                print(
+                    f"error: cannot write {args.trace_out}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+    if args.metrics_json is not None:
+        payload = snapshot.to_dict() if snapshot is not None else {}
+        try:
+            with open(args.metrics_json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as exc:
+            print(
+                f"error: cannot write {args.metrics_json}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
     print(f"{args.model}: {result.summary()}")
     if not args.quiet:
         for report in result.reports[: args.max_reports]:
@@ -208,7 +279,76 @@ def _check(args: argparse.Namespace, traces) -> int:
     return 0 if result.passed else 1
 
 
-def _stats(traces) -> int:
+def _stats(path: str) -> int:
+    """Summarize either a trace dump or a metrics JSON dump.
+
+    The file is sniffed, not switched on extension: a JSON object whose
+    ``format`` field is the metrics marker gets the stage-breakdown
+    rendering, anything else goes through the trace loader.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            head = handle.read()
+    except FileNotFoundError:
+        print(f"error: no such file: {path}", file=sys.stderr)
+        return 2
+    except UnicodeDecodeError:
+        head = None  # not UTF-8 text, so certainly not a metrics dump
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    payload = None
+    if head is not None:
+        try:
+            payload = json.loads(head)
+        except ValueError:
+            pass
+    if isinstance(payload, dict) and payload.get("format") == JSON_FORMAT:
+        try:
+            registry = MetricsRegistry.from_dict(payload)
+        except (ValueError, KeyError, TypeError) as exc:
+            print(f"error: bad metrics dump: {exc}", file=sys.stderr)
+            return 2
+        return _metrics_stats(registry)
+    try:
+        traces = load_traces(path)
+    except TraceFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return _trace_stats(traces)
+
+
+def _metrics_stats(registry: MetricsRegistry) -> int:
+    """Print the Figure-10b-style per-stage latency breakdown."""
+    print(f"metrics level: {registry.level.value}")
+    for name in ("engine.traces", "engine.events", "engine.checkers",
+                 "engine.reports"):
+        value = registry.counter_value(name)
+        if value:
+            print(f"{name.split('.', 1)[1] + ':':10s}{value}")
+    rows = stage_breakdown(registry)
+    grand_total = sum(total for _, total, _ in rows)
+    print()
+    print(
+        f"{'stage':18s} {'total(ms)':>10s} {'count':>8s} "
+        f"{'mean(us)':>10s} {'share':>7s}"
+    )
+    for label, total_ns, count in rows:
+        mean_us = (total_ns / count) / 1e3 if count else 0.0
+        share = (total_ns / grand_total) * 100.0 if grand_total else 0.0
+        print(
+            f"{label:18s} {total_ns / 1e6:>10.3f} {count:>8d} "
+            f"{mean_us:>10.2f} {share:>6.1f}%"
+        )
+    if grand_total == 0:
+        print(
+            "(no stage timings recorded -- rerun the check with "
+            "PMTEST_METRICS=full or --metrics-json)"
+        )
+    return 0
+
+
+def _trace_stats(traces) -> int:
     events = sum(len(trace) for trace in traces)
     ops = Counter(
         event.op.name for trace in traces for event in trace.events

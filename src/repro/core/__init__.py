@@ -35,6 +35,10 @@ The pieces map onto the paper as follows:
 ``kfifo``
     The bounded kernel-FIFO channel used by kernel-module integration
     (Section 4.5).
+``metrics`` / ``tracing`` / ``recovery``
+    Observability: mergeable counters/gauges/histograms with an
+    environment switch (``PMTEST_METRICS``), chrome://tracing span
+    output, and typed recovery-event records (DESIGN.md section 7).
 ``tracker`` / ``api``
     Per-thread trace construction and the user-facing facade implementing
     the full function table of the paper (Table 2).
@@ -46,20 +50,36 @@ The pieces map onto the paper as follows:
 from repro.core.api import PMTestSession
 from repro.core.engine import CheckingEngine
 from repro.core.events import Event, Op, SourceSite
+from repro.core.metrics import (
+    MetricsLevel,
+    MetricsRegistry,
+    make_registry,
+    stage_breakdown,
+)
+from repro.core.recovery import RecoveryEvent, RecoveryKind
 from repro.core.reports import Level, Report, ReportCode, TestResult
 from repro.core.rules import HOPSRules, PersistencyRules, X86Rules
+from repro.core.tracing import Tracer, TracingError
 
 __all__ = [
     "CheckingEngine",
     "Event",
     "HOPSRules",
     "Level",
+    "MetricsLevel",
+    "MetricsRegistry",
     "Op",
     "PMTestSession",
     "PersistencyRules",
+    "RecoveryEvent",
+    "RecoveryKind",
     "Report",
     "ReportCode",
     "SourceSite",
     "TestResult",
+    "Tracer",
+    "TracingError",
     "X86Rules",
+    "make_registry",
+    "stage_breakdown",
 ]

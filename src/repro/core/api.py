@@ -42,9 +42,11 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.events import Event, Op, SourceSite, Trace
+from repro.core.metrics import MetricsRegistry
 from repro.core.reports import TestResult
 from repro.core.rules import PersistencyRules
-from repro.core.workers import DEFAULT_BATCH_SIZE, WorkerPool
+from repro.core.tracing import Tracer
+from repro.core.workers import DEFAULT_BATCH_SIZE, WorkerPool, _METRICS_FROM_ENV
 
 
 class _ThreadState:
@@ -103,6 +105,14 @@ class PMTestSession:
         routes traces through the bounded kernel FIFO first (paper
         Section 4.5).  Any object with ``submit``/``drain``/``close``
         and a ``dispatched`` count works.
+    metrics:
+        A :class:`~repro.core.metrics.MetricsRegistry` for pipeline
+        telemetry, ``None`` to disable, or omitted to follow the
+        ``PMTEST_METRICS`` environment switch.  Ignored when an
+        explicit ``sink`` is supplied (configure the sink directly).
+    tracer:
+        An optional :class:`~repro.core.tracing.Tracer` threaded down
+        to the worker pool.
     """
 
     def __init__(
@@ -117,6 +127,8 @@ class PMTestSession:
         fallback: bool = True,
         faults=None,
         sink=None,
+        metrics: Optional[MetricsRegistry] = _METRICS_FROM_ENV,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.capture_sites = capture_sites
         self._pool = sink if sink is not None else WorkerPool(
@@ -128,6 +140,8 @@ class PMTestSession:
             max_retries=max_retries,
             fallback=fallback,
             faults=faults,
+            metrics=metrics,
+            tracer=tracer,
         )
         self._trace_ids = itertools.count()
         self._local = threading.local()
@@ -321,6 +335,12 @@ class PMTestSession:
     @property
     def pool(self) -> WorkerPool:
         return self._pool
+
+    def metrics_snapshot(self) -> Optional[MetricsRegistry]:
+        """Merged registry copy from the sink, or ``None`` (metrics off
+        or a sink that records none)."""
+        snapshot_fn = getattr(self._pool, "metrics_snapshot", None)
+        return snapshot_fn() if snapshot_fn is not None else None
 
     # ------------------------------------------------------------------
     # Internals

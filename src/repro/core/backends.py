@@ -64,6 +64,7 @@ import os
 import threading
 import time
 import queue
+from time import perf_counter_ns
 from typing import Any, Dict, List, Optional, Protocol, Set, Tuple, runtime_checkable
 
 from repro.core.engine import CheckingEngine
@@ -77,13 +78,17 @@ from repro.core.faults import (
     HANG_SECONDS,
     Resilience,
 )
+from repro.core.metrics import MetricsLevel, MetricsRegistry
+from repro.core.recovery import RecoveryEvent, render_events
 from repro.core.reports import TestResult
 from repro.core.rules import PersistencyRules
 from repro.core.traceio import (
     TraceDecodeError,
     corrupt_wire,
+    decode_registry,
     decode_result,
     decode_trace,
+    encode_registry,
     encode_result,
     encode_trace,
 )
@@ -122,7 +127,8 @@ class BackendUnhealthy(RuntimeError):
     spent, or the watchdog fired twice without progress).  Carries
     everything the pool needs to degrade honestly: the per-trace results
     already salvaged (``pairs``), the traces that were never checked
-    (``unchecked``), and the recovery diagnostics accumulated so far.
+    (``unchecked``), and the typed recovery events accumulated so far
+    (``events``; ``diagnostics`` is their legacy string rendering).
     """
 
     def __init__(
@@ -130,12 +136,16 @@ class BackendUnhealthy(RuntimeError):
         message: str,
         pairs: Tuple[_SeqResult, ...] = (),
         unchecked: Tuple[Tuple[int, Trace], ...] = (),
-        diagnostics: Tuple[str, ...] = (),
+        events: Tuple[RecoveryEvent, ...] = (),
     ) -> None:
         super().__init__(message)
         self.pairs: List[_SeqResult] = list(pairs)
         self.unchecked: List[Tuple[int, Trace]] = list(unchecked)
-        self.diagnostics: List[str] = list(diagnostics)
+        self.events: List[RecoveryEvent] = list(events)
+
+    @property
+    def diagnostics(self) -> List[str]:
+        return render_events(self.events)
 
 
 @runtime_checkable
@@ -145,8 +155,11 @@ class CheckingBackend(Protocol):
     #: backend name, one of :data:`BACKEND_NAMES`
     name: str
 
-    #: infrastructure events (respawns, requeues, watchdog sweeps)
-    diagnostics: List[str]
+    #: typed infrastructure events (respawns, requeues, watchdog sweeps)
+    events: List[RecoveryEvent]
+
+    @property
+    def diagnostics(self) -> List[str]: ...
 
     @property
     def num_workers(self) -> int: ...
@@ -155,6 +168,8 @@ class CheckingBackend(Protocol):
     def dispatched(self) -> int: ...
 
     def worker_trace_counts(self) -> List[int]: ...
+
+    def metrics_registries(self) -> List[MetricsRegistry]: ...
 
     def submit(self, trace: Trace) -> None: ...
 
@@ -175,6 +190,7 @@ def make_backend(
     thread_name: str = "pmtest",
     resilience: Optional[Resilience] = None,
     faults: Optional[FaultPlan] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> "CheckingBackend":
     """Build a backend by name.
 
@@ -183,10 +199,13 @@ def make_backend(
     ``backend.spawn`` FAIL fault (or a real spawn error) propagates to
     the caller; :func:`make_backend_with_fallback` turns it into
     degradation along :data:`FALLBACK_CHAIN`.
+
+    ``metrics`` is the caller-owned submit-side registry; workers get
+    registries of their own (see ``metrics_registries``).
     """
     name = resolve_backend_name(name, num_workers)
     if name == "inline":
-        return InlineBackend(rules)
+        return InlineBackend(rules, metrics=metrics)
     if faults is not None:
         rule = faults.fire(FaultPoint.SPAWN)
         if rule is not None and rule.kind is FaultKind.FAIL:
@@ -198,6 +217,7 @@ def make_backend(
             name=thread_name,
             resilience=resilience,
             faults=faults,
+            metrics=metrics,
         )
     if name == "process":
         return ProcessBackend(
@@ -206,6 +226,7 @@ def make_backend(
             batch_size=batch_size,
             resilience=resilience,
             faults=faults,
+            metrics=metrics,
         )
     raise ValueError(
         f"unknown checking backend {name!r}; expected one of {BACKEND_NAMES}"
@@ -231,16 +252,18 @@ def make_backend_with_fallback(
     thread_name: str = "pmtest",
     resilience: Optional[Resilience] = None,
     faults: Optional[FaultPlan] = None,
-) -> Tuple["CheckingBackend", List[str]]:
+    metrics: Optional[MetricsRegistry] = None,
+) -> Tuple["CheckingBackend", List[RecoveryEvent]]:
     """Build a backend, degrading along the chain when spawning fails.
 
-    Returns ``(backend, diagnostics)`` where diagnostics record every
+    Returns ``(backend, events)`` where the typed
+    :class:`~repro.core.recovery.RecoveryEvent` list records every
     degradation step taken.  With ``resilience.fallback`` off, spawn
     errors propagate unchanged.
     """
     resilience = resilience or DEFAULT_RESILIENCE
     current = resolve_backend_name(name, num_workers)
-    diagnostics: List[str] = []
+    events: List[RecoveryEvent] = []
     while True:
         try:
             backend = make_backend(
@@ -251,18 +274,16 @@ def make_backend_with_fallback(
                 thread_name=thread_name,
                 resilience=resilience,
                 faults=faults,
+                metrics=metrics,
             )
-            return backend, diagnostics
+            return backend, events
         except ValueError:
             raise
         except Exception as exc:
             nxt = FALLBACK_CHAIN.get(current)
             if not resilience.fallback or nxt is None:
                 raise
-            diagnostics.append(
-                f"backend {current!r} unavailable at spawn ({exc!r}); "
-                f"degraded to {nxt!r}"
-            )
+            events.append(RecoveryEvent.spawn_fallback(current, exc, nxt))
             current = nxt
 
 
@@ -287,12 +308,21 @@ class InlineBackend:
 
     name = "inline"
 
-    def __init__(self, rules: Optional[PersistencyRules] = None) -> None:
-        self._engine = CheckingEngine(rules)
+    def __init__(
+        self,
+        rules: Optional[PersistencyRules] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._engine = CheckingEngine(rules, metrics)
+        self._metrics = metrics
         self._lock = threading.Lock()
         self._results: List[_SeqResult] = []
         self._dispatched = 0
-        self.diagnostics: List[str] = []
+        self.events: List[RecoveryEvent] = []
+
+    @property
+    def diagnostics(self) -> List[str]:
+        return render_events(self.events)
 
     @property
     def num_workers(self) -> int:
@@ -305,7 +335,17 @@ class InlineBackend:
     def worker_trace_counts(self) -> List[int]:
         return []
 
+    def metrics_registries(self) -> List[MetricsRegistry]:
+        # The inline engine records straight into the caller's registry;
+        # there is nothing worker-owned to merge.
+        return []
+
     def submit(self, trace: Trace) -> None:
+        metrics = self._metrics
+        if metrics is not None:
+            # Inline has no ingest cost by construction (no encoding, no
+            # queue); only the handoff count is meaningful.
+            metrics.counter("stage.trace_ingest.count").inc(1)
         with self._lock:
             seq = self._dispatched
             self._dispatched += 1
@@ -360,10 +400,18 @@ class ThreadBackend:
         name: str = "pmtest",
         resilience: Optional[Resilience] = None,
         faults: Optional[FaultPlan] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("thread backend needs at least one worker")
-        self._engine = CheckingEngine(rules)
+        self._rules = rules
+        self._metrics = metrics
+        self._metrics_level: Optional[MetricsLevel] = (
+            metrics.level if metrics is not None else None
+        )
+        #: per-spawned-worker registries (each written only by its
+        #: worker thread; appended on worker startup)
+        self._worker_registries: List[MetricsRegistry] = []
         self._resilience = resilience or DEFAULT_RESILIENCE
         self._num_workers = num_workers
         self._thread_name = name
@@ -388,13 +436,20 @@ class ThreadBackend:
         self._respawns = 0
         self._stopped = False
         self._final: Optional[Tuple[str, Any]] = None
-        self.diagnostics: List[str] = []
+        self.events: List[RecoveryEvent] = []
         self._queues: List["queue.Queue[Any]"] = []
         self._threads: List[threading.Thread] = []
         for i in range(num_workers):
             q: "queue.Queue[Any]" = queue.Queue()
             self._queues.append(q)
             self._threads.append(self._spawn(i, q, faults))
+
+    @property
+    def diagnostics(self) -> List[str]:
+        return render_events(self.events)
+
+    def metrics_registries(self) -> List[MetricsRegistry]:
+        return list(self._worker_registries)
 
     def _spawn(
         self, index: int, q: "queue.Queue[Any]", faults: Optional[FaultPlan]
@@ -424,6 +479,27 @@ class ThreadBackend:
         return list(self._heartbeat)
 
     def submit(self, trace: Trace) -> None:
+        metrics = self._metrics
+        if metrics is not None and metrics.full:
+            start = perf_counter_ns()
+            index, seq = self._submit_bookkeeping(trace)
+            q = self._queues[index]
+            # Depth seen by the enqueued trace: how many items wait
+            # ahead of it on its worker's queue.
+            metrics.histogram("thread.queue_depth").record(q.qsize())
+            # The third element timestamps the enqueue so the worker can
+            # attribute queue wait (requeue paths stay 2-tuples).
+            q.put((seq, trace, perf_counter_ns()))
+            counter = metrics.counter
+            counter("stage.trace_ingest.ns").inc(perf_counter_ns() - start)
+            counter("stage.trace_ingest.count").inc(1)
+            return
+        if metrics is not None:
+            metrics.counter("stage.trace_ingest.count").inc(1)
+        index, seq = self._submit_bookkeeping(trace)
+        self._queues[index].put((seq, trace))
+
+    def _submit_bookkeeping(self, trace: Trace) -> Tuple[int, int]:
         with self._lock:
             index = self._next_worker
             self._next_worker = (index + 1) % self._num_workers
@@ -431,7 +507,7 @@ class ThreadBackend:
             self._dispatched += 1
             self._per_worker_counts[index] += 1
             self._incomplete[seq] = trace
-        self._queues[index].put((seq, trace))
+        return index, seq
 
     # ------------------------------------------------------------------
     def _collected(
@@ -478,10 +554,10 @@ class ThreadBackend:
             ):
                 if not swept:
                     n = self._redistribute(done)
-                    self.diagnostics.append(
-                        f"watchdog: no checking progress for "
-                        f"{res.check_timeout:g}s; redistributed {n} "
-                        f"outstanding trace(s)"
+                    self.events.append(
+                        RecoveryEvent.watchdog_redistribute(
+                            res.check_timeout, n
+                        )
                     )
                     swept = True
                     last_progress = now
@@ -524,10 +600,10 @@ class ThreadBackend:
                     self._current[index] = None
                     self._queues[index].put((inflight, trace))
                     requeued = 1
-            self.diagnostics.append(
-                f"respawned checking worker thread {index}; requeued "
-                f"{requeued} in-flight trace(s) "
-                f"(retry {self._respawns}/{res.max_retries})"
+            self.events.append(
+                RecoveryEvent.respawn_thread(
+                    index, requeued, self._respawns, res.max_retries
+                )
             )
 
     def _redistribute(self, done: Set[int]) -> int:
@@ -559,7 +635,7 @@ class ThreadBackend:
             message,
             pairs=tuple(sorted(pairs.items())),
             unchecked=tuple(unchecked),
-            diagnostics=tuple(self.diagnostics),
+            events=tuple(self.events),
         )
 
     # ------------------------------------------------------------------
@@ -600,14 +676,26 @@ class ThreadBackend:
     def _worker_loop(
         self, index: int, q: "queue.Queue[Any]", faults: Optional[FaultPlan]
     ) -> None:
-        engine = self._engine
+        # Each spawned worker owns its engine and (when metrics are on)
+        # its registry — recording never crosses threads; aggregation is
+        # a commutative registry merge at snapshot time.
+        registry = None
+        wait_hist = None
+        if self._metrics_level is not None:
+            registry = MetricsRegistry(self._metrics_level)
+            self._worker_registries.append(registry)
+            if registry.full:
+                wait_hist = registry.histogram("thread.queue_wait_ns")
+        engine = CheckingEngine(self._rules, registry)
         results = self._worker_results[index]
         errors = self._worker_errors[index]
         while True:
             item = q.get()
             if item is self._STOP:
                 return
-            seq, trace = item
+            seq, trace = item[0], item[1]
+            if wait_hist is not None and len(item) > 2:
+                wait_hist.record(perf_counter_ns() - item[2])
             self._current[index] = seq
             if faults is not None:
                 rule = faults.fire(FaultPoint.WORKER_BATCH, worker=index)
@@ -643,19 +731,34 @@ class ThreadBackend:
 # ----------------------------------------------------------------------
 # Processes
 # ----------------------------------------------------------------------
-def _process_worker(index: int, task_q, result_q, rules, faults) -> None:
+def _process_worker(
+    index: int, task_q, result_q, rules, faults, metrics_level=None
+) -> None:
     """Worker-process main: ack, decode, check, encode, repeat.
 
     The ack message doubles as a heartbeat and tells the supervisor
     which sequence numbers this worker holds, so a crash mid-batch can
     be recovered by requeueing exactly the acked-but-unfinished traces.
+
+    With ``metrics_level`` set (a :class:`MetricsLevel` value string)
+    the worker records into a local registry and ships it as a *delta*
+    piggybacked on each result message, clearing afterwards — the
+    submitting side merges deltas, so worker metrics survive everything
+    short of a crash between checking and sending.
     """
-    engine = CheckingEngine(rules)
+    registry = None
+    if metrics_level is not None:
+        registry = MetricsRegistry(MetricsLevel(metrics_level))
+    engine = CheckingEngine(rules, registry)
     while True:
         batch = task_q.get()
         if batch is None:
             return
         result_q.put(("ack", index, [seq for seq, _ in batch]))
+        if registry is not None:
+            registry.counter("process.worker_batches").inc(1)
+            if registry.full:
+                registry.histogram("process.batch_traces").record(len(batch))
         if faults is not None:
             rule = faults.fire(FaultPoint.WORKER_BATCH, worker=index)
             if rule is not None:
@@ -685,7 +788,11 @@ def _process_worker(index: int, task_q, result_q, rules, faults) -> None:
                 out.append((seq, None, repr(exc)))
             else:
                 out.append((seq, encode_result(result), None))
-        result_q.put(("res", index, out))
+        if registry is not None and registry:
+            result_q.put(("res", index, out, encode_registry(registry)))
+            registry.clear()
+        else:
+            result_q.put(("res", index, out))
 
 
 class ProcessBackend:
@@ -719,12 +826,20 @@ class ProcessBackend:
         batch_size: int = DEFAULT_BATCH_SIZE,
         resilience: Optional[Resilience] = None,
         faults: Optional[FaultPlan] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("process backend needs at least one worker")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self._rules = rules
+        self._metrics = metrics
+        #: accumulated worker-registry deltas plus collector-side
+        #: counters; written only by the collector thread (under the
+        #: lock), read via :meth:`metrics_registries`
+        self._remote_metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry(metrics.level) if metrics is not None else None
+        )
         self._num_workers = num_workers
         self._batch_size = batch_size
         self._resilience = resilience or DEFAULT_RESILIENCE
@@ -759,16 +874,28 @@ class ProcessBackend:
         self._respawns = 0
         self._stopped = False
         self._final: Optional[Tuple[str, Any]] = None
-        self.diagnostics: List[str] = []
+        self.events: List[RecoveryEvent] = []
         self._collector = threading.Thread(
             target=self._collect, name="pmtest-collector", daemon=True
         )
         self._collector.start()
 
+    @property
+    def diagnostics(self) -> List[str]:
+        return render_events(self.events)
+
+    def metrics_registries(self) -> List[MetricsRegistry]:
+        if self._remote_metrics is None:
+            return []
+        with self._lock:
+            return [self._remote_metrics.snapshot()]
+
     def _spawn_worker(self, index: int, faults: Optional[FaultPlan]):
+        level = self._metrics.level.value if self._metrics is not None else None
         process = self._ctx.Process(
             target=_process_worker,
-            args=(index, self._task_q, self._result_q, self._rules, faults),
+            args=(index, self._task_q, self._result_q, self._rules, faults,
+                  level),
             name=f"pmtest-checker-{index}",
             daemon=True,
         )
@@ -801,6 +928,22 @@ class ProcessBackend:
             return dict(self._last_seen)
 
     def submit(self, trace: Trace) -> None:
+        metrics = self._metrics
+        if metrics is None:
+            self._submit_impl(trace)
+        elif metrics.full:
+            # Ingest for the process backend is the real cost the paper's
+            # Fig. 10b calls tracking: wire-encode plus queue handoff.
+            start = perf_counter_ns()
+            self._submit_impl(trace)
+            counter = metrics.counter
+            counter("stage.trace_ingest.ns").inc(perf_counter_ns() - start)
+            counter("stage.trace_ingest.count").inc(1)
+        else:
+            self._submit_impl(trace)
+            metrics.counter("stage.trace_ingest.count").inc(1)
+
+    def _submit_impl(self, trace: Trace) -> None:
         wire = encode_trace(trace)
         if self._faults is not None:
             rule = self._faults.fire(FaultPoint.WIRE_ENCODE)
@@ -823,6 +966,8 @@ class ProcessBackend:
                 elif rule.kind is FaultKind.FAIL:
                     raise FaultError("injected task-queue failure")
         self._task_q.put(batch)
+        if self._metrics is not None:
+            self._metrics.counter("process.batches").inc(1)
 
     # ------------------------------------------------------------------
     def drain_pairs(self) -> List[_SeqResult]:
@@ -858,10 +1003,10 @@ class ProcessBackend:
                         n = self._requeue_locked(
                             set(self._incomplete) - self._completed
                         )
-                        self.diagnostics.append(
-                            f"watchdog: no checking progress for "
-                            f"{res.check_timeout:g}s; requeued {n} "
-                            f"outstanding trace(s)"
+                        self.events.append(
+                            RecoveryEvent.watchdog_requeue(
+                                res.check_timeout, n
+                            )
                         )
                         swept = True
                         last_progress = now
@@ -910,11 +1055,15 @@ class ProcessBackend:
             requeued = self._requeue_locked(
                 set(self._incomplete) - self._completed
             )
-            self.diagnostics.append(
-                f"respawned checking worker process {index} as "
-                f"{new_index} after exit code {exitcode}; requeued "
-                f"{requeued} trace(s) "
-                f"(retry {self._respawns}/{res.max_retries})"
+            self.events.append(
+                RecoveryEvent.respawn_process(
+                    index,
+                    new_index,
+                    exitcode,
+                    requeued,
+                    self._respawns,
+                    res.max_retries,
+                )
             )
 
     def _requeue_locked(self, seqs: Set[int]) -> int:
@@ -946,7 +1095,7 @@ class ProcessBackend:
             message,
             pairs=tuple(sorted(self._results, key=lambda pair: pair[0])),
             unchecked=tuple(unchecked),
-            diagnostics=tuple(self.diagnostics),
+            events=tuple(self.events),
         )
 
     # ------------------------------------------------------------------
@@ -1012,13 +1161,23 @@ class ProcessBackend:
             message = self._result_q.get()
             if message is None:
                 return
-            kind, index, payload = message
+            # Result messages optionally carry a worker-registry delta
+            # as a fourth element; acks stay 3-tuples.
+            kind, index, payload = message[0], message[1], message[2]
             with self._done:
                 self._last_seen[index] = time.monotonic()
+                remote = self._remote_metrics
                 if kind == "ack":
+                    if remote is not None:
+                        remote.counter("process.acks").inc(1)
                     self._outstanding.setdefault(index, set()).update(payload)
                     self._done.notify_all()
                     continue
+                if remote is not None and len(message) > 3:
+                    try:
+                        remote.merge(decode_registry(message[3]))
+                    except TraceDecodeError:
+                        remote.counter("process.registry_decode_errors").inc(1)
                 outstanding = self._outstanding.get(index)
                 fresh = 0
                 for seq, wire, error in payload:

@@ -15,11 +15,21 @@ independent units, split by the program at ``PMTest_SEND_TRACE`` points
 
 from __future__ import annotations
 
+from time import perf_counter_ns
 from typing import Iterable, List, Optional, Tuple
 
-from repro.core.events import Event, FENCE_OPS, FLUSH_OPS, Op, SourceSite, Trace
-from repro.core.interval_map import IntervalMap
+from repro.core.events import (
+    CHECKER_OPS,
+    Event,
+    FENCE_OPS,
+    FLUSH_OPS,
+    Op,
+    SourceSite,
+    Trace,
+)
+from repro.core.interval_map import IntervalMap, QueryStats
 from repro.core.logtree import LogTree
+from repro.core.metrics import MetricsRegistry
 from repro.core.reports import Level, Report, ReportCode, TestResult
 from repro.core.rules import PersistencyRules, X86Rules
 
@@ -33,17 +43,29 @@ class MalformedTrace(Exception):
 
 
 class CheckingEngine:
-    """Validates traces under a persistency model's checking rules."""
+    """Validates traces under a persistency model's checking rules.
 
-    def __init__(self, rules: Optional[PersistencyRules] = None) -> None:
+    ``metrics`` (a :class:`~repro.core.metrics.MetricsRegistry`, or
+    ``None``) selects the instrumentation level once per trace: with no
+    registry the replay loop is the historical unhooked one, at
+    ``basic`` per-opcode counters are kept, and at ``full`` every
+    dispatch is timed and attributed to its pipeline stage.
+    """
+
+    def __init__(
+        self,
+        rules: Optional[PersistencyRules] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.rules = rules if rules is not None else X86Rules()
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def check_trace(self, trace: Trace) -> TestResult:
         """Replay one trace; return all FAIL/WARN reports."""
-        return _TraceChecker(self.rules, trace).run()
+        return _TraceChecker(self.rules, trace, self.metrics).run()
 
     def check_traces(self, traces: Iterable[Trace]) -> TestResult:
         """Replay several independent traces and merge their results."""
@@ -56,11 +78,17 @@ class CheckingEngine:
 class _TraceChecker:
     """State for checking a single trace (one shadow memory)."""
 
-    def __init__(self, rules: PersistencyRules, trace: Trace) -> None:
+    def __init__(
+        self,
+        rules: PersistencyRules,
+        trace: Trace,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.rules = rules
         self.trace = trace
         self.trace_id = trace.trace_id
         self.shadow = rules.make_shadow()
+        self.metrics = metrics
         self.result = TestResult(traces_checked=1)
         # Transaction machinery (Section 5.1)
         self.tx_depth = 0
@@ -74,18 +102,42 @@ class _TraceChecker:
 
     # ------------------------------------------------------------------
     def run(self) -> TestResult:
-        # Per-op handler table instead of an if/elif ladder: one dict
-        # lookup per event on the hot path.
-        handlers = self._HANDLERS
         events = self.trace.events
         result = self.result
-        for event in events:
-            handler = handlers.get(event.op)
-            if handler is None:
-                raise MalformedTrace(f"unknown trace op {event.op!r}")
-            handler(self, event)
-        self._finish()
+        # One branch per trace picks the replay loop; the metrics-off
+        # path below is the historical unhooked loop, untouched.
+        metrics = self.metrics
+        if metrics is None:
+            self._run_plain(events)
+            self._finish()
+        elif metrics.full:
+            qstats = QueryStats()
+            self.shadow.pm.stats = qstats
+            shadow_ns, shadow_n, checker_ns, checker_n = self._run_timed(
+                events, metrics
+            )
+            # The implicit close of an open checker scope is checker work.
+            t0 = perf_counter_ns()
+            self._finish()
+            checker_ns += perf_counter_ns() - t0
+            counter = metrics.counter
+            counter("stage.shadow_update.ns").inc(shadow_ns)
+            counter("stage.shadow_update.count").inc(shadow_n)
+            counter("stage.checker_validate.ns").inc(checker_ns)
+            counter("stage.checker_validate.count").inc(checker_n)
+            counter("engine.interval_queries").inc(qstats.queries)
+            counter("engine.interval_scanned").inc(qstats.scanned)
+            metrics.gauge("engine.shadow_segments").observe(len(self.shadow.pm))
+        else:
+            self._run_counted(events, metrics)
+            self._finish()
         result.events_checked += len(events)
+        if metrics is not None:
+            counter = metrics.counter
+            counter("engine.traces").inc(1)
+            counter("engine.events").inc(len(events))
+            counter("engine.checkers").inc(result.checkers_evaluated)
+            counter("engine.reports").inc(len(result.reports))
         # Engine-made reports carry the trace id already; only reports
         # produced by the (trace-id-agnostic) rules need the rewrap.
         trace_id = self.trace_id
@@ -94,6 +146,72 @@ class _TraceChecker:
             if report.trace_id == -1:
                 reports[i] = _with_trace_id(report, trace_id)
         return result
+
+    # ------------------------------------------------------------------
+    # Replay loops (one per metrics level)
+    # ------------------------------------------------------------------
+    def _run_plain(self, events: List[Event]) -> None:
+        """The historical unhooked replay loop (metrics off)."""
+        handlers = self._HANDLERS
+        for event in events:
+            handler = handlers.get(event.op)
+            if handler is None:
+                raise MalformedTrace(f"unknown trace op {event.op!r}")
+            handler(self, event)
+
+    def _run_counted(self, events: List[Event], metrics: MetricsRegistry) -> None:
+        """Basic level: per-opcode counts, no timing."""
+        handlers = self._HANDLERS
+        op_counts: dict = {}
+        for event in events:
+            op = event.op
+            handler = handlers.get(op)
+            if handler is None:
+                raise MalformedTrace(f"unknown trace op {op!r}")
+            op_counts[op] = op_counts.get(op, 0) + 1
+            handler(self, event)
+        for op, count in op_counts.items():
+            metrics.counter(f"engine.op.{op.name}").inc(count)
+
+    def _run_timed(
+        self, events: List[Event], metrics: MetricsRegistry
+    ) -> Tuple[int, int, int, int]:
+        """Full level: per-dispatch timing attributed to pipeline stages.
+
+        Returns ``(shadow_ns, shadow_n, checker_ns, checker_n)`` — the
+        caller folds the implicit end-of-trace checker close into the
+        checker stage before flushing the stage counters.
+        """
+        handlers = self._HANDLERS
+        checker_ops = CHECKER_OPS
+        clock = perf_counter_ns
+        op_counts: dict = {}
+        histograms: dict = {}
+        shadow_ns = shadow_n = checker_ns = checker_n = 0
+        for event in events:
+            op = event.op
+            handler = handlers.get(op)
+            if handler is None:
+                raise MalformedTrace(f"unknown trace op {op!r}")
+            op_counts[op] = op_counts.get(op, 0) + 1
+            start = clock()
+            handler(self, event)
+            elapsed = clock() - start
+            histogram = histograms.get(op)
+            if histogram is None:
+                histogram = histograms[op] = metrics.histogram(
+                    f"engine.op_ns.{op.name}"
+                )
+            histogram.record(elapsed)
+            if op in checker_ops:
+                checker_ns += elapsed
+                checker_n += 1
+            else:
+                shadow_ns += elapsed
+                shadow_n += 1
+        for op, count in op_counts.items():
+            metrics.counter(f"engine.op.{op.name}").inc(count)
+        return shadow_ns, shadow_n, checker_ns, checker_n
 
     # ------------------------------------------------------------------
     # PM operations

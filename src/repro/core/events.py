@@ -64,6 +64,13 @@ FLUSH_OPS = frozenset({Op.CLWB, Op.CLFLUSHOPT, Op.CLFLUSH})
 #: Ordering fences (all advance the global timestamp).
 FENCE_OPS = frozenset({Op.SFENCE, Op.OFENCE, Op.DFENCE})
 
+#: Checker records: they validate against the shadow instead of updating
+#: it.  The metrics layer attributes their cost to the "checker
+#: validate" stage; everything else is "shadow update".
+CHECKER_OPS = frozenset(
+    {Op.CHECK_PERSIST, Op.CHECK_ORDER, Op.TX_CHECK_START, Op.TX_CHECK_END}
+)
+
 
 @dataclass(frozen=True, slots=True)
 class SourceSite:

@@ -23,6 +23,23 @@ V = TypeVar("V")
 Segment = Tuple[int, int, V]
 
 
+class QueryStats:
+    """Per-map query-depth accounting (attached only when metrics=full).
+
+    ``queries`` counts range queries answered; ``scanned`` sums the
+    number of segments each query had to walk — the paper's
+    interval-tree "query depth", the quantity that distinguishes the
+    O(log n + k) interval map from a per-byte shadow.  Kept as two plain
+    ints so the hot-path hook is one attribute test plus two adds.
+    """
+
+    __slots__ = ("queries", "scanned")
+
+    def __init__(self) -> None:
+        self.queries = 0
+        self.scanned = 0
+
+
 class IntervalMap(Generic[V]):
     """Map disjoint integer ranges ``[start, end)`` to values.
 
@@ -31,11 +48,14 @@ class IntervalMap(Generic[V]):
     share value objects between segments.
     """
 
-    __slots__ = ("_starts", "_segments")
+    __slots__ = ("_starts", "_segments", "stats")
 
     def __init__(self, segments: Optional[Iterable[Segment]] = None) -> None:
         self._starts: List[int] = []
         self._segments: List[Segment] = []
+        #: optional :class:`QueryStats`; ``None`` (the default) keeps the
+        #: query path at a single extra branch
+        self.stats: Optional[QueryStats] = None
         if segments is not None:
             for start, end, value in segments:
                 self.assign(start, end, value)
@@ -77,6 +97,10 @@ class IntervalMap(Generic[V]):
         # every query, turning point queries over a large map into O(n).
         i0 = self._first_overlap(lo)
         i1 = bisect_left(self._starts, hi, i0)
+        stats = self.stats
+        if stats is not None:
+            stats.queries += 1
+            stats.scanned += i1 - i0
         segments = self._segments
         if not clip:
             return segments[i0:i1]

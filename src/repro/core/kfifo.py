@@ -25,9 +25,11 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+from time import perf_counter_ns
 from typing import Deque, Generic, Optional, TypeVar
 
 from repro.core.faults import FaultPlan, FaultPoint
+from repro.core.metrics import MetricsRegistry
 
 T = TypeVar("T")
 
@@ -46,11 +48,15 @@ class KernelFifo(Generic[T]):
         self,
         capacity: int = DEFAULT_CAPACITY,
         faults: Optional[FaultPlan] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if capacity < 2:
             raise ValueError("capacity must be at least 2")
         self.capacity = capacity
         self._faults = faults
+        # All recording happens under self._lock, so a registry shared
+        # with other FIFO users is safe; the off path is one branch.
+        self._metrics = metrics
         self._items: Deque[T] = deque()
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
@@ -85,8 +91,14 @@ class KernelFifo(Generic[T]):
             self._faults.sleep_if_told(FaultPoint.KFIFO_PUT)
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
+            metrics = self._metrics
             if len(self._items) >= self.capacity:
                 self.producer_waits += 1
+                wait_start = 0
+                if metrics is not None:
+                    metrics.counter("kfifo.producer_waits").inc(1)
+                    if metrics.full:
+                        wait_start = perf_counter_ns()
                 while not self._closed and len(self._items) >= self.capacity // 2:
                     if deadline is None:
                         self._below_half.wait()
@@ -98,9 +110,19 @@ class KernelFifo(Generic[T]):
                             raise TimeoutError(
                                 "kernel FIFO put timed out while parked"
                             )
+                if wait_start:
+                    metrics.histogram("kfifo.put_wait_ns").record(
+                        perf_counter_ns() - wait_start
+                    )
             if self._closed:
                 raise FifoClosed("put on closed kernel FIFO")
             self._items.append(item)
+            if metrics is not None:
+                metrics.counter("kfifo.puts").inc(1)
+                if metrics.full:
+                    metrics.histogram("kfifo.occupancy").record(
+                        len(self._items)
+                    )
             self._not_empty.notify()
 
     def get(self, timeout: Optional[float] = None) -> T:
@@ -120,6 +142,8 @@ class KernelFifo(Generic[T]):
                     ):
                         raise TimeoutError("kernel FIFO get timed out")
             item = self._items.popleft()
+            if self._metrics is not None:
+                self._metrics.counter("kfifo.gets").inc(1)
             if len(self._items) < self.capacity // 2:
                 self._below_half.notify_all()
             return item

@@ -1,0 +1,353 @@
+"""Process-wide metrics: counters, gauges and log-scale histograms.
+
+The paper's evaluation decomposes runtime cost into tracking vs. checker
+time (Fig. 10b) and measures how the decoupled worker pool scales
+(Fig. 12).  Reproducing those measurements — and trusting any further
+performance work — needs first-class telemetry rather than ad-hoc prints,
+so the checking pipeline records into a :class:`MetricsRegistry`:
+
+``Counter``
+    A monotonically increasing integer (events checked, nanoseconds
+    spent in a stage, ...).  Merging sums.
+``Gauge``
+    A high-water mark (peak queue depth, peak shadow-segment count).
+    Merging takes the maximum, which keeps merge commutative.
+``Histogram``
+    A distribution over non-negative integers (per-op dispatch latency
+    in nanoseconds, FIFO occupancy) with **preallocated log2 buckets**:
+    value ``v`` lands in bucket ``v.bit_length()`` (bucket 0 holds
+    ``v <= 0``, the last bucket is the overflow bucket).  Recording is
+    O(1) with no allocation; merging sums bucket-wise.
+
+Registries are plain picklable data and **mergeable**: every worker
+(thread or process) records into its own registry and the aggregate is
+the commutative merge of all of them — the process backend ships worker
+deltas back over the existing wire encoding
+(:func:`repro.core.traceio.encode_registry`).
+
+Cost discipline (the ``PMTEST_METRICS`` switch):
+
+``off``
+    No registry exists.  Every hook in the pipeline is a single
+    ``is None`` branch, so tier-1 timings do not regress.
+``basic``
+    Counters and gauges only — no clock reads on per-event paths.
+``full``
+    Everything: per-opcode latency histograms, per-stage nanosecond
+    totals, queue wait times, interval-map query depth.
+"""
+
+from __future__ import annotations
+
+import os
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+ENV_VAR = "PMTEST_METRICS"
+
+#: Histogram bucket count: bucket ``i`` holds values with
+#: ``bit_length() == i`` (i.e. ``[2**(i-1), 2**i)``); bucket 0 holds
+#: ``v <= 0`` and the last bucket collects everything that would land
+#: beyond it (the overflow bucket).  64 buckets cover every nanosecond
+#: duration a 63-bit clock can produce.
+NUM_BUCKETS = 64
+
+JSON_FORMAT = "pmtest-metrics"
+JSON_VERSION = 1
+
+
+class MetricsLevel(Enum):
+    """How much the pipeline records (see module docstring)."""
+
+    OFF = "off"
+    BASIC = "basic"
+    FULL = "full"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def level_from_env(default: MetricsLevel = MetricsLevel.OFF) -> MetricsLevel:
+    """Parse ``PMTEST_METRICS`` (unset or empty means ``default``)."""
+    raw = os.environ.get(ENV_VAR, "").strip().lower()
+    if not raw:
+        return default
+    try:
+        return MetricsLevel(raw)
+    except ValueError:
+        raise ValueError(
+            f"bad {ENV_VAR}={raw!r}; expected one of "
+            f"{', '.join(level.value for level in MetricsLevel)}"
+        ) from None
+
+
+def make_registry(
+    level: Optional[MetricsLevel] = None,
+) -> Optional["MetricsRegistry"]:
+    """Build a registry for ``level`` (default: from the environment).
+
+    Returns ``None`` for :data:`MetricsLevel.OFF` — the pipeline's off
+    path is "no registry object", so every hook costs one branch.
+    """
+    if level is None:
+        level = level_from_env()
+    if level is MetricsLevel.OFF:
+        return None
+    return MetricsRegistry(level)
+
+
+class Counter:
+    """A summed, monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = value
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """A high-water mark.  ``observe`` keeps the maximum ever seen."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = value
+
+    def observe(self, v: int) -> None:
+        if v > self.value:
+            self.value = v
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.value})"
+
+
+def bucket_index(value: int) -> int:
+    """Log2 bucket for ``value``: 0 for ``v <= 0``, capped at overflow."""
+    if value <= 0:
+        return 0
+    i = value.bit_length()
+    return i if i < NUM_BUCKETS else NUM_BUCKETS - 1
+
+
+def bucket_bound(index: int) -> int:
+    """Exclusive upper bound of bucket ``index`` (`` <= 0`` for bucket 0)."""
+    if index == 0:
+        return 0
+    return 1 << index
+
+
+class Histogram:
+    """Distribution over non-negative ints in preallocated log2 buckets."""
+
+    __slots__ = ("counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self) -> None:
+        self.counts: List[int] = [0] * NUM_BUCKETS
+        self.count = 0
+        self.total = 0
+        self.vmin: Optional[int] = None
+        self.vmax: Optional[int] = None
+
+    def record(self, value: int) -> None:
+        # A clock can report a 0-ns span (same counter read twice);
+        # clamp anything non-positive into bucket 0 rather than raising
+        # on a hot path.
+        if value < 0:
+            value = 0
+        self.counts[bucket_index(value)] += 1
+        self.count += 1
+        self.total += value
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        for i, n in enumerate(other.counts):
+            if n:
+                self.counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        for theirs in (other.vmin,):
+            if theirs is not None and (self.vmin is None or theirs < self.vmin):
+                self.vmin = theirs
+        for theirs in (other.vmax,):
+            if theirs is not None and (self.vmax is None or theirs > self.vmax):
+                self.vmax = theirs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram(count={self.count}, total={self.total})"
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms.
+
+    Not thread-safe by design: every recording site (the submitting
+    thread, each worker thread, each worker process) owns its own
+    registry, and aggregation happens by :meth:`merge`, which is
+    commutative — the merged totals are independent of worker
+    completion order.
+    """
+
+    __slots__ = ("level", "_counters", "_gauges", "_histograms")
+
+    def __init__(self, level: MetricsLevel = MetricsLevel.BASIC) -> None:
+        if level is MetricsLevel.OFF:
+            raise ValueError("an OFF-level registry must not exist; use None")
+        self.level = level
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    @property
+    def full(self) -> bool:
+        return self.level is MetricsLevel.FULL
+
+    # ------------------------------------------------------------------
+    # Metric access (get-or-create; hot paths cache the returned object)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram()
+        return h
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str, default: int = 0) -> int:
+        c = self._counters.get(name)
+        return c.value if c is not None else default
+
+    def counters(self) -> Dict[str, int]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def gauges(self) -> Dict[str, int]:
+        return {name: g.value for name, g in sorted(self._gauges.items())}
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(sorted(self._histograms.items()))
+
+    def __bool__(self) -> bool:
+        return bool(self._counters or self._gauges or self._histograms)
+
+    # ------------------------------------------------------------------
+    # Merge / copy
+    # ------------------------------------------------------------------
+    def merge(self, other: Optional["MetricsRegistry"]) -> "MetricsRegistry":
+        """Fold ``other`` into this registry (commutative; returns self)."""
+        if other is None:
+            return self
+        if other.level is MetricsLevel.FULL:
+            self.level = MetricsLevel.FULL
+        for name, c in other._counters.items():
+            self.counter(name).inc(c.value)
+        for name, g in other._gauges.items():
+            self.gauge(name).observe(g.value)
+        for name, h in other._histograms.items():
+            self.histogram(name).merge(h)
+        return self
+
+    def snapshot(self) -> "MetricsRegistry":
+        """A deep copy, safe to merge further without aliasing."""
+        return MetricsRegistry(self.level).merge(self)
+
+    def clear(self) -> None:
+        """Forget everything recorded (used for delta shipping)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # ------------------------------------------------------------------
+    # JSON form (the ``--metrics-json`` artifact; stable key order)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        histograms = {}
+        for name, h in sorted(self._histograms.items()):
+            histograms[name] = {
+                "count": h.count,
+                "total": h.total,
+                "min": h.vmin,
+                "max": h.vmax,
+                # Sparse: bucket index -> count, only non-empty buckets.
+                "buckets": {
+                    str(i): n for i, n in enumerate(h.counts) if n
+                },
+            }
+        return {
+            "format": JSON_FORMAT,
+            "version": JSON_VERSION,
+            "level": self.level.value,
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "histograms": histograms,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsRegistry":
+        if data.get("format") != JSON_FORMAT:
+            raise ValueError("not a pmtest-metrics document")
+        if data.get("version") != JSON_VERSION:
+            raise ValueError(
+                f"unsupported metrics version {data.get('version')!r}"
+            )
+        reg = cls(MetricsLevel(data.get("level", "basic")))
+        for name, value in data.get("counters", {}).items():
+            reg.counter(name).inc(int(value))
+        for name, value in data.get("gauges", {}).items():
+            reg.gauge(name).observe(int(value))
+        for name, payload in data.get("histograms", {}).items():
+            h = reg.histogram(name)
+            h.count = int(payload["count"])
+            h.total = int(payload["total"])
+            h.vmin = payload.get("min")
+            h.vmax = payload.get("max")
+            for index, n in payload.get("buckets", {}).items():
+                h.counts[int(index)] = int(n)
+        return reg
+
+
+#: The pipeline stages of the Fig. 10b-style breakdown, in pipeline
+#: order, mapped to their counter-name prefix.  ``<prefix>.ns`` holds
+#: total nanoseconds (full level only) and ``<prefix>.count`` the number
+#: of timed operations.
+STAGES: Tuple[Tuple[str, str], ...] = (
+    ("trace ingest", "stage.trace_ingest"),
+    ("shadow update", "stage.shadow_update"),
+    ("checker validate", "stage.checker_validate"),
+    ("drain", "stage.drain"),
+)
+
+
+def stage_breakdown(registry: MetricsRegistry) -> List[Tuple[str, int, int]]:
+    """Rows of ``(stage, total_ns, count)`` for the breakdown table."""
+    return [
+        (
+            label,
+            registry.counter_value(prefix + ".ns"),
+            registry.counter_value(prefix + ".count"),
+        )
+        for label, prefix in STAGES
+    ]

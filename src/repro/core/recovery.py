@@ -1,0 +1,198 @@
+"""Typed recovery events for the fault-tolerant checking pipeline.
+
+The supervised backends (:mod:`repro.core.backends`) and the
+:class:`~repro.core.workers.WorkerPool` used to append free-text strings
+to ``diagnostics`` when they recovered from an infrastructure fault.
+Strings are fine for humans but opaque to telemetry: the metrics layer
+wants to count respawns per worker, the tracer wants to mark them on a
+timeline, and tests want to assert on *kinds*, not substrings.
+
+A :class:`RecoveryEvent` is the structured record — kind, worker id,
+monotonic timestamp, plus the kind-specific fields — and
+:meth:`RecoveryEvent.render` reproduces the exact legacy string, so
+``TestResult.diagnostics`` (which remains a list of strings, excluded
+from the wire encoding and from cross-backend equivalence) is
+byte-identical to what the free-text era produced.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Iterable, List, Optional
+
+
+class RecoveryKind(Enum):
+    """What happened.  One template per kind (see ``_TEMPLATES``)."""
+
+    #: thread backend watchdog resent outstanding traces to live workers
+    WATCHDOG_REDISTRIBUTE = "watchdog-redistribute"
+    #: process backend watchdog requeued all outstanding traces
+    WATCHDOG_REQUEUE = "watchdog-requeue"
+    #: a dead worker thread was replaced on its queue
+    RESPAWN_THREAD = "respawn-thread"
+    #: a dead worker process was replaced by a fresh one
+    RESPAWN_PROCESS = "respawn-process"
+    #: a backend could not be spawned; the chain stepped down
+    SPAWN_FALLBACK = "spawn-fallback"
+    #: a backend was declared unhealthy mid-run and replaced
+    DEGRADED = "degraded"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Render templates.  These reproduce the historical diagnostic strings
+#: byte for byte — the chaos equivalence suite asserts on them.
+_TEMPLATES: Dict[RecoveryKind, str] = {
+    RecoveryKind.WATCHDOG_REDISTRIBUTE: (
+        "watchdog: no checking progress for {timeout:g}s; "
+        "redistributed {requeued} outstanding trace(s)"
+    ),
+    RecoveryKind.WATCHDOG_REQUEUE: (
+        "watchdog: no checking progress for {timeout:g}s; "
+        "requeued {requeued} outstanding trace(s)"
+    ),
+    RecoveryKind.RESPAWN_THREAD: (
+        "respawned checking worker thread {worker}; requeued "
+        "{requeued} in-flight trace(s) "
+        "(retry {retry}/{max_retries})"
+    ),
+    RecoveryKind.RESPAWN_PROCESS: (
+        "respawned checking worker process {worker} as "
+        "{new_worker} after exit code {exitcode}; requeued "
+        "{requeued} trace(s) "
+        "(retry {retry}/{max_retries})"
+    ),
+    RecoveryKind.SPAWN_FALLBACK: (
+        "backend {backend!r} unavailable at spawn ({error}); "
+        "degraded to {fallback!r}"
+    ),
+    RecoveryKind.DEGRADED: (
+        "degraded checking backend {backend!r} -> {fallback!r}: {error}; "
+        "salvaged {salvaged} result(s), resubmitting "
+        "{resubmitted} unchecked trace(s)"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One recovery action taken by the checking infrastructure.
+
+    ``timestamp`` is ``time.monotonic()`` at the moment the action was
+    taken — comparable within a process, meaningless across machines.
+    ``data`` holds the kind-specific fields used by :meth:`render`.
+    """
+
+    kind: RecoveryKind
+    timestamp: float
+    worker: Optional[int] = None
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """The legacy diagnostic string for this event (byte-identical)."""
+        return _TEMPLATES[self.kind].format(worker=self.worker, **self.data)
+
+    # ------------------------------------------------------------------
+    # Factories (one per kind, with typed arguments)
+    # ------------------------------------------------------------------
+    @classmethod
+    def watchdog_redistribute(
+        cls, timeout: float, requeued: int
+    ) -> "RecoveryEvent":
+        return cls(
+            RecoveryKind.WATCHDOG_REDISTRIBUTE,
+            time.monotonic(),
+            data={"timeout": timeout, "requeued": requeued},
+        )
+
+    @classmethod
+    def watchdog_requeue(cls, timeout: float, requeued: int) -> "RecoveryEvent":
+        return cls(
+            RecoveryKind.WATCHDOG_REQUEUE,
+            time.monotonic(),
+            data={"timeout": timeout, "requeued": requeued},
+        )
+
+    @classmethod
+    def respawn_thread(
+        cls, worker: int, requeued: int, retry: int, max_retries: int
+    ) -> "RecoveryEvent":
+        return cls(
+            RecoveryKind.RESPAWN_THREAD,
+            time.monotonic(),
+            worker=worker,
+            data={
+                "requeued": requeued,
+                "retry": retry,
+                "max_retries": max_retries,
+            },
+        )
+
+    @classmethod
+    def respawn_process(
+        cls,
+        worker: int,
+        new_worker: int,
+        exitcode: Optional[int],
+        requeued: int,
+        retry: int,
+        max_retries: int,
+    ) -> "RecoveryEvent":
+        return cls(
+            RecoveryKind.RESPAWN_PROCESS,
+            time.monotonic(),
+            worker=worker,
+            data={
+                "new_worker": new_worker,
+                "exitcode": exitcode,
+                "requeued": requeued,
+                "retry": retry,
+                "max_retries": max_retries,
+            },
+        )
+
+    @classmethod
+    def spawn_fallback(
+        cls, backend: str, error: BaseException, fallback: str
+    ) -> "RecoveryEvent":
+        # The repr is captured eagerly: the exception object itself must
+        # not be retained (it pins tracebacks and is not picklable in
+        # general).
+        return cls(
+            RecoveryKind.SPAWN_FALLBACK,
+            time.monotonic(),
+            data={
+                "backend": backend,
+                "error": repr(error),
+                "fallback": fallback,
+            },
+        )
+
+    @classmethod
+    def degraded(
+        cls,
+        backend: str,
+        fallback: str,
+        error: BaseException,
+        salvaged: int,
+        resubmitted: int,
+    ) -> "RecoveryEvent":
+        return cls(
+            RecoveryKind.DEGRADED,
+            time.monotonic(),
+            data={
+                "backend": backend,
+                "fallback": fallback,
+                "error": str(error),
+                "salvaged": salvaged,
+                "resubmitted": resubmitted,
+            },
+        )
+
+
+def render_events(events: Iterable[RecoveryEvent]) -> List[str]:
+    """The legacy ``diagnostics`` string list for a stream of events."""
+    return [event.render() for event in events]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.core.events import SourceSite
 
@@ -92,6 +92,12 @@ class TestResult:
     #: excluded from the wire encoding and from cross-backend
     #: equivalence comparisons.
     diagnostics: List[str] = field(default_factory=list)
+    #: descriptive facts about how the result was produced (backend
+    #: name, degradation flag, per-backend details).  Like diagnostics,
+    #: metadata is not part of the verdict and is excluded from the wire
+    #: encoding; unlike diagnostics it is keyed, so merging is
+    #: deterministic regardless of worker completion order.
+    metadata: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def failures(self) -> List[Report]:
@@ -124,6 +130,8 @@ class TestResult:
         self.events_checked += other.events_checked
         self.checkers_evaluated += other.checkers_evaluated
         self.diagnostics.extend(other.diagnostics)
+        if other.metadata:
+            self.metadata = _merge_metadata(self.metadata, other.metadata)
 
     def summary(self) -> str:
         return (
@@ -131,6 +139,55 @@ class TestResult:
             f"{self.checkers_evaluated} checker(s): "
             f"{len(self.failures)} FAIL, {len(self.warnings)} WARN"
         )
+
+
+def _merge_metadata(
+    ours: Dict[str, Any], theirs: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Deterministically combine two metadata dicts.
+
+    Worker results arrive in completion order, which varies run to run;
+    the merged metadata must not.  Keys are emitted in sorted order and
+    every per-key combination rule is symmetric except the scalar
+    conflict case, which is resolved by ordering the *values* (via their
+    ``repr``), not by which side arrived first:
+
+    * booleans OR — a flag raised by either side stays raised;
+    * numbers (non-bool) add — counts and nanoseconds accumulate;
+    * lists concatenate, then sort by ``repr`` — multiset semantics;
+    * dicts merge recursively;
+    * equal values collapse to that value;
+    * anything else keeps the side whose ``repr`` sorts first.
+    """
+    merged: Dict[str, Any] = {}
+    for key in sorted(set(ours) | set(theirs)):
+        if key not in ours:
+            merged[key] = theirs[key]
+        elif key not in theirs:
+            merged[key] = ours[key]
+        else:
+            merged[key] = _merge_metadata_value(ours[key], theirs[key])
+    return merged
+
+
+def _merge_metadata_value(a: Any, b: Any) -> Any:
+    numeric = (int, float)
+    if isinstance(a, bool) and isinstance(b, bool):
+        return a or b
+    if (
+        isinstance(a, numeric)
+        and isinstance(b, numeric)
+        and not isinstance(a, bool)
+        and not isinstance(b, bool)
+    ):
+        return a + b
+    if isinstance(a, list) and isinstance(b, list):
+        return sorted(a + b, key=repr)
+    if isinstance(a, dict) and isinstance(b, dict):
+        return _merge_metadata(a, b)
+    if a == b:
+        return a
+    return min(a, b, key=repr)
 
 
 def merge_results(results: Iterable[TestResult]) -> TestResult:

@@ -314,6 +314,106 @@ def decode_result(wire: tuple) -> TestResult:
     )
 
 
+def encode_registry(registry: "MetricsRegistry") -> tuple:
+    """Flatten a :class:`~repro.core.metrics.MetricsRegistry` delta.
+
+    Worker processes ship their registries back piggybacked on result
+    messages; the same flat-tuple discipline as the rest of the wire
+    format applies (primitives only, pickle fast path)::
+
+        registry  = (level, counters, gauges, histograms)
+        counters  = ((name, value), ...)
+        gauges    = ((name, value), ...)
+        histogram = (name, count, total, vmin, vmax, ((bucket, n), ...))
+    """
+    return (
+        registry.level.value,
+        tuple(sorted((n, c.value) for n, c in registry._counters.items())),
+        tuple(sorted((n, g.value) for n, g in registry._gauges.items())),
+        tuple(
+            (
+                name,
+                h.count,
+                h.total,
+                h.vmin,
+                h.vmax,
+                tuple((i, n) for i, n in enumerate(h.counts) if n),
+            )
+            for name, h in sorted(registry._histograms.items())
+        ),
+    )
+
+
+def decode_registry(wire: tuple) -> "MetricsRegistry":
+    from repro.core.metrics import (
+        NUM_BUCKETS,
+        MetricsLevel,
+        MetricsRegistry,
+    )
+
+    level, counters, gauges, histograms = _expect_tuple(wire, 4, "registry")
+    try:
+        level = MetricsLevel(level)
+    except ValueError as exc:
+        raise TraceDecodeError(f"unknown metrics level {level!r}") from exc
+    if level is MetricsLevel.OFF:
+        raise TraceDecodeError("an OFF-level registry cannot travel the wire")
+    for name, seq in (("counters", counters), ("gauges", gauges),
+                      ("histograms", histograms)):
+        if not isinstance(seq, (tuple, list)):
+            raise TraceDecodeError(
+                f"registry {name} must be a sequence, got {seq!r:.80}"
+            )
+    registry = MetricsRegistry(level)
+    for entry in counters:
+        name, value = _expect_tuple(entry, 2, "registry counter")
+        _check_metric_name(name)
+        _check_metric_int("counter value", value)
+        registry.counter(name).inc(value)
+    for entry in gauges:
+        name, value = _expect_tuple(entry, 2, "registry gauge")
+        _check_metric_name(name)
+        _check_metric_int("gauge value", value)
+        registry.gauge(name).observe(value)
+    for entry in histograms:
+        name, count, total, vmin, vmax, buckets = _expect_tuple(
+            entry, 6, "registry histogram"
+        )
+        _check_metric_name(name)
+        _check_metric_int("histogram count", count)
+        _check_metric_int("histogram total", total)
+        for bound_name, bound in (("min", vmin), ("max", vmax)):
+            if bound is not None:
+                _check_metric_int(f"histogram {bound_name}", bound)
+        if not isinstance(buckets, (tuple, list)):
+            raise TraceDecodeError(
+                f"histogram buckets must be a sequence, got {buckets!r:.80}"
+            )
+        h = registry.histogram(name)
+        h.count = count
+        h.total = total
+        h.vmin = vmin
+        h.vmax = vmax
+        for bucket in buckets:
+            index, n = _expect_tuple(bucket, 2, "histogram bucket")
+            _check_metric_int("bucket index", index)
+            _check_metric_int("bucket count", n)
+            if not 0 <= index < NUM_BUCKETS:
+                raise TraceDecodeError(f"bucket index {index} out of range")
+            h.counts[index] = n
+    return registry
+
+
+def _check_metric_name(name) -> None:
+    if not isinstance(name, str) or not name:
+        raise TraceDecodeError(f"metric name must be a non-empty str, got {name!r}")
+
+
+def _check_metric_int(what: str, value) -> None:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TraceDecodeError(f"{what} must be an int, got {value!r}")
+
+
 def corrupt_wire(wire: tuple) -> tuple:
     """Deterministically mangle a wire-encoded trace (chaos CORRUPT fault).
 

@@ -1,0 +1,215 @@
+"""Lightweight span tracing for the checking pipeline.
+
+Where :mod:`repro.core.metrics` aggregates (how much time went into each
+stage overall), tracing preserves *sequence*: a :class:`Tracer` records
+named spans with begin/end timestamps and writes them out in the Chrome
+trace event format, so a run can be opened in ``chrome://tracing`` (or
+Perfetto) and read as a timeline — which trace was being checked while
+``drain`` was blocked, how long each backend submit took, and so on.
+
+Design constraints:
+
+* **Explicit clocks.**  The tracer never calls ``time`` directly except
+  through its injected ``clock`` (default ``time.perf_counter_ns``), so
+  tests install a deterministic fake clock and assert exact durations.
+* **Cheap when absent.**  Nothing in the pipeline owns a tracer by
+  default; every hook is a ``tracer is not None`` branch.
+* **Misuse is loud.**  A span left open when the tracer is finished
+  raises :class:`TracingError` in strict mode (tests) and emits a
+  ``RuntimeWarning`` otherwise (production keeps going and the partial
+  span is still written, with its end clamped to the finish time).
+
+Output format: one JSON object per line, wrapped in a JSON array —
+valid JSON for tooling, and still greppable/streamable line by line.
+Durations use the Chrome convention (microseconds, ``X`` events).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import warnings
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, TextIO, Union
+
+
+class TracingError(Exception):
+    """Span misuse: unbalanced begin/end or an unclosed span at finish."""
+
+
+class _OpenSpan:
+    __slots__ = ("name", "start_ns", "args")
+
+    def __init__(self, name: str, start_ns: int, args: Dict[str, Any]) -> None:
+        self.name = name
+        self.start_ns = start_ns
+        self.args = args
+
+
+class Tracer:
+    """Collects spans/instants/counter samples; writes Chrome trace JSON.
+
+    Thread-safe: spans opened on different threads nest independently
+    (per-thread stacks) and carry their thread id in the output.
+    """
+
+    def __init__(
+        self,
+        clock=time.perf_counter_ns,
+        strict: bool = False,
+        process_name: str = "pmtest",
+    ) -> None:
+        self._clock = clock
+        self._strict = strict
+        self._process_name = process_name
+        self._lock = threading.Lock()
+        self._events: List[dict] = []
+        self._stacks: Dict[int, List[_OpenSpan]] = {}
+        self._finished = False
+        self._epoch_ns = clock()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **args: Any) -> Iterator[None]:
+        """``with tracer.span("drain"):`` — a timed, nested span."""
+        self.begin(name, **args)
+        try:
+            yield
+        finally:
+            self.end(name)
+
+    def begin(self, name: str, **args: Any) -> None:
+        """Open a span explicitly (must be closed by :meth:`end`)."""
+        tid = threading.get_ident()
+        start = self._clock()
+        with self._lock:
+            self._check_not_finished()
+            self._stacks.setdefault(tid, []).append(
+                _OpenSpan(name, start, args)
+            )
+
+    def end(self, name: Optional[str] = None) -> None:
+        """Close the innermost open span on the calling thread.
+
+        With ``name`` given, the innermost span must carry that name —
+        mismatches raise :class:`TracingError` in strict mode and warn
+        otherwise (the span is closed anyway so the timeline stays
+        parseable).
+        """
+        tid = threading.get_ident()
+        now = self._clock()
+        with self._lock:
+            stack = self._stacks.get(tid)
+            if not stack:
+                self._misuse(f"end({name!r}) with no open span")
+                return
+            span = stack.pop()
+            if name is not None and span.name != name:
+                self._misuse(
+                    f"end({name!r}) closes span {span.name!r} "
+                    f"(unbalanced nesting)"
+                )
+            self._emit_complete(span, now, tid)
+
+    def instant(self, name: str, **args: Any) -> None:
+        """A zero-duration marker (worker respawned, backend degraded)."""
+        now = self._clock()
+        with self._lock:
+            self._check_not_finished()
+            event = self._base_event("i", name, now, threading.get_ident())
+            event["s"] = "t"  # thread-scoped marker
+            if args:
+                event["args"] = args
+            self._events.append(event)
+
+    def counter(self, name: str, **values: Union[int, float]) -> None:
+        """A counter sample (queue depth over time renders as a graph)."""
+        now = self._clock()
+        with self._lock:
+            self._check_not_finished()
+            event = self._base_event("C", name, now, threading.get_ident())
+            event["args"] = dict(values)
+            self._events.append(event)
+
+    # ------------------------------------------------------------------
+    # Introspection / output
+    # ------------------------------------------------------------------
+    @property
+    def open_spans(self) -> int:
+        with self._lock:
+            return sum(len(stack) for stack in self._stacks.values())
+
+    def events(self) -> List[dict]:
+        with self._lock:
+            return list(self._events)
+
+    def finish(self) -> None:
+        """Close the tracer; unclosed spans raise (strict) or warn.
+
+        Idempotent.  Leaked spans are force-closed at the finish
+        timestamp so the written timeline still contains them.
+        """
+        now = self._clock()
+        with self._lock:
+            if self._finished:
+                return
+            leaked = [
+                (tid, span)
+                for tid, stack in self._stacks.items()
+                for span in stack
+            ]
+            for tid, span in leaked:
+                self._emit_complete(span, now, tid)
+            self._stacks.clear()
+            self._finished = True
+        if leaked:
+            names = ", ".join(repr(span.name) for _, span in leaked)
+            self._misuse(f"{len(leaked)} span(s) never closed: {names}")
+
+    def write(self, destination: Union[str, Path, TextIO]) -> int:
+        """Write the Chrome trace (finishing first); returns event count."""
+        self.finish()
+        if isinstance(destination, (str, Path)):
+            with open(destination, "w", encoding="utf-8") as handle:
+                return self.write(handle)
+        with self._lock:
+            events = list(self._events)
+        meta = self._base_event("M", "process_name", self._epoch_ns, 0)
+        meta["args"] = {"name": self._process_name}
+        lines = [json.dumps(meta)] + [json.dumps(e) for e in events]
+        destination.write("[\n" + ",\n".join(lines) + "\n]\n")
+        return len(events)
+
+    # ------------------------------------------------------------------
+    # Internals (all called with the lock held except _misuse)
+    # ------------------------------------------------------------------
+    def _base_event(self, phase: str, name: str, ts_ns: int, tid: int) -> dict:
+        return {
+            "ph": phase,
+            "name": name,
+            "pid": os.getpid(),
+            "tid": tid,
+            "ts": (ts_ns - self._epoch_ns) / 1000.0,
+        }
+
+    def _emit_complete(self, span: _OpenSpan, end_ns: int, tid: int) -> None:
+        event = self._base_event("X", span.name, span.start_ns, tid)
+        event["dur"] = (end_ns - span.start_ns) / 1000.0
+        if span.args:
+            event["args"] = span.args
+        self._events.append(event)
+
+    def _check_not_finished(self) -> None:
+        if self._finished:
+            raise TracingError("tracer already finished")
+
+    def _misuse(self, message: str) -> None:
+        if self._strict:
+            raise TracingError(message)
+        warnings.warn(f"pmtest tracing: {message}", RuntimeWarning,
+                      stacklevel=3)

@@ -39,7 +39,8 @@ Environment overrides (for chaos CI runs):
 from __future__ import annotations
 
 import os
-from typing import List, Optional, Tuple
+from time import perf_counter_ns
+from typing import Any, List, Optional, Tuple
 
 from repro.core.backends import (
     BACKEND_NAMES,
@@ -55,10 +56,18 @@ from repro.core.backends import (
 )
 from repro.core.events import Trace
 from repro.core.faults import FaultPlan, Resilience, plan_from_seed
+from repro.core.metrics import MetricsRegistry, make_registry
+from repro.core.recovery import RecoveryEvent, render_events
 from repro.core.reports import TestResult
 from repro.core.rules import PersistencyRules
+from repro.core.tracing import Tracer
 
 __all__ = ["WorkerPool", "BACKEND_NAMES", "DEFAULT_BATCH_SIZE"]
+
+#: Sentinel for "no explicit registry passed": the pool then builds one
+#: from ``PMTEST_METRICS`` (``None`` stays "metrics off" for callers
+#: that explicitly opt out).
+_METRICS_FROM_ENV: Any = object()
 
 #: ``(global submit seq, per-trace result)`` salvaged from a degraded
 #: backend, merged back in at drain time.
@@ -99,6 +108,14 @@ class WorkerPool:
         A :class:`~repro.core.faults.FaultPlan` for deterministic chaos
         injection (``None``: no injected faults, unless
         ``PMTEST_CHAOS_SEED`` is set).
+    metrics:
+        A :class:`~repro.core.metrics.MetricsRegistry` to record
+        pipeline telemetry into, or ``None`` to disable recording.
+        When omitted entirely, the registry is built from the
+        ``PMTEST_METRICS`` environment switch (off by default).
+    tracer:
+        An optional :class:`~repro.core.tracing.Tracer`; submit/drain
+        get spans and degradations get instant markers.
     """
 
     def __init__(
@@ -112,6 +129,8 @@ class WorkerPool:
         max_retries: int = 2,
         fallback: bool = True,
         faults: Optional[FaultPlan] = None,
+        metrics: Optional[MetricsRegistry] = _METRICS_FROM_ENV,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0")
@@ -132,8 +151,12 @@ class WorkerPool:
             max_retries=max_retries,
             fallback=fallback,
         )
-        self._diags: List[str] = []
-        backend_obj, spawn_diags = make_backend_with_fallback(
+        if metrics is _METRICS_FROM_ENV:
+            metrics = make_registry()
+        self._metrics: Optional[MetricsRegistry] = metrics
+        self._tracer = tracer
+        self._events: List[RecoveryEvent] = []
+        backend_obj, spawn_events = make_backend_with_fallback(
             backend,
             rules,
             num_workers=num_workers,
@@ -141,9 +164,10 @@ class WorkerPool:
             thread_name=name,
             resilience=self._resilience,
             faults=faults,
+            metrics=metrics,
         )
         self._backend: CheckingBackend = backend_obj
-        self._diags.extend(spawn_diags)
+        self._events.extend(spawn_events)
         #: global submit sequence number per current-backend sequence
         self._seq_map: List[int] = []
         self._global_seq = 0
@@ -174,12 +198,37 @@ class WorkerPool:
     @property
     def degraded(self) -> bool:
         """Whether the pool has fallen back from its requested backend."""
-        return bool(self._diags)
+        return bool(self._events)
 
     @property
     def diagnostics(self) -> List[str]:
         """Pool-level recovery events (spawn fallbacks, degradations)."""
-        return list(self._diags)
+        return render_events(self._events)
+
+    @property
+    def recovery_events(self) -> List[RecoveryEvent]:
+        """Typed recovery records: pool-level plus active-backend ones."""
+        return list(self._events) + list(self._backend.events)
+
+    @property
+    def metrics(self) -> Optional[MetricsRegistry]:
+        """The pool's submit-side registry (``None`` when metrics are off)."""
+        return self._metrics
+
+    def metrics_snapshot(self) -> Optional[MetricsRegistry]:
+        """A merged copy of every registry the pipeline recorded into.
+
+        Combines the pool/submit-side registry with the per-worker
+        registries of the active backend (registries of degraded,
+        replaced backends were already absorbed at degradation time).
+        Safe to call repeatedly; each call starts from a fresh copy.
+        """
+        if self._metrics is None:
+            return None
+        snapshot = self._metrics.snapshot()
+        for registry in self._backend.metrics_registries():
+            snapshot.merge(registry)
+        return snapshot
 
     def worker_trace_counts(self) -> List[int]:
         """How many traces each worker has been handed."""
@@ -190,7 +239,14 @@ class WorkerPool:
         """Dispatch one trace for checking (non-blocking with workers)."""
         if self._closed:
             raise RuntimeError("worker pool is closed")
-        self._backend.submit(trace)
+        tracer = self._tracer
+        if tracer is None:
+            self._backend.submit(trace)
+        else:
+            with tracer.span(
+                "submit", trace_id=trace.trace_id, events=len(trace.events)
+            ):
+                self._backend.submit(trace)
         self._seq_map.append(self._global_seq)
         self._global_seq += 1
 
@@ -204,10 +260,27 @@ class WorkerPool:
         call is bounded: an unrecoverable hang surfaces as degradation
         or ``CheckingFailed`` instead of blocking forever.
         """
-        pairs = self._drain_pairs_degrading()
+        metrics = self._metrics
+        tracer = self._tracer
+        timed = metrics is not None and metrics.full
+        start = perf_counter_ns() if timed else 0
+        if tracer is not None:
+            tracer.begin("drain", dispatched=self._global_seq)
+        try:
+            pairs = self._drain_pairs_degrading()
+        finally:
+            if tracer is not None:
+                tracer.end("drain")
+        if metrics is not None:
+            counter = metrics.counter
+            if timed:
+                counter("stage.drain.ns").inc(perf_counter_ns() - start)
+            counter("stage.drain.count").inc(1)
         result = _merge_ordered(self._carry + pairs)
-        result.diagnostics.extend(self._diags)
+        result.diagnostics.extend(self.diagnostics)
         result.diagnostics.extend(self._backend.diagnostics)
+        result.metadata["backend"] = self._backend.name
+        result.metadata["degraded"] = self.degraded
         return result
 
     def _drain_pairs_degrading(self) -> List[_CarryPair]:
@@ -232,27 +305,37 @@ class WorkerPool:
         self._carry.extend(
             (self._seq_map[seq], result) for seq, result in exc.pairs
         )
-        self._diags.extend(exc.diagnostics)
-        self._diags.append(
-            f"degraded checking backend {old.name!r} -> {name!r}: {exc}; "
-            f"salvaged {len(exc.pairs)} result(s), resubmitting "
-            f"{len(exc.unchecked)} unchecked trace(s)"
+        self._events.extend(exc.events)
+        self._events.append(
+            RecoveryEvent.degraded(
+                old.name, name, exc, len(exc.pairs), len(exc.unchecked)
+            )
         )
+        if self._tracer is not None:
+            self._tracer.instant(
+                "backend.degraded", old=old.name, new=name
+            )
         unchecked = [
             (self._seq_map[seq], trace) for seq, trace in exc.unchecked
         ]
         old.stop()
+        # Absorb the dying backend's worker registries now; after the
+        # swap only the new backend is consulted at snapshot time.
+        if self._metrics is not None:
+            for registry in old.metrics_registries():
+                self._metrics.merge(registry)
         # Respawned fallbacks are not re-injected with faults: the chaos
         # plan applies to the first-choice backend only.
-        self._backend, spawn_diags = make_backend_with_fallback(
+        self._backend, spawn_events = make_backend_with_fallback(
             name,
             self._rules,
             num_workers=max(self._num_workers, 1),
             batch_size=self._batch_size,
             thread_name=self._name,
             resilience=self._resilience,
+            metrics=self._metrics,
         )
-        self._diags.extend(spawn_diags)
+        self._events.extend(spawn_events)
         self._seq_map = []
         for global_seq, trace in sorted(unchecked, key=lambda pair: pair[0]):
             self._backend.submit(trace)

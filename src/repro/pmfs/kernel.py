@@ -31,9 +31,11 @@ from repro.core.backends import CheckingFailed
 from repro.core.events import Trace
 from repro.core.faults import FaultPlan
 from repro.core.kfifo import DEFAULT_CAPACITY, FifoClosed, KernelFifo
+from repro.core.metrics import MetricsRegistry, make_registry
 from repro.core.reports import TestResult
 from repro.core.rules import PersistencyRules
-from repro.core.workers import DEFAULT_BATCH_SIZE, WorkerPool
+from repro.core.tracing import Tracer
+from repro.core.workers import DEFAULT_BATCH_SIZE, WorkerPool, _METRICS_FROM_ENV
 
 
 class KernelBridge:
@@ -51,8 +53,21 @@ class KernelBridge:
         fallback: bool = True,
         faults: Optional[FaultPlan] = None,
         put_timeout: Optional[float] = None,
+        metrics: Optional[MetricsRegistry] = _METRICS_FROM_ENV,
+        tracer: Optional[Tracer] = None,
     ) -> None:
-        self.fifo: KernelFifo[Trace] = KernelFifo(fifo_capacity, faults=faults)
+        if metrics is _METRICS_FROM_ENV:
+            metrics = make_registry()
+        # The FIFO gets its own registry: its producer is the "kernel"
+        # thread, and FIFO recording happens under the FIFO lock — kept
+        # apart from the pool's submit-side registry and merged in
+        # :meth:`metrics_snapshot`.
+        self._fifo_metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry(metrics.level) if metrics is not None else None
+        )
+        self.fifo: KernelFifo[Trace] = KernelFifo(
+            fifo_capacity, faults=faults, metrics=self._fifo_metrics
+        )
         self.pool = WorkerPool(
             rules,
             num_workers=max(num_workers, 0),
@@ -62,6 +77,8 @@ class KernelBridge:
             max_retries=max_retries,
             fallback=fallback,
             faults=faults,
+            metrics=metrics,
+            tracer=tracer,
         )
         self._check_timeout = check_timeout
         self._put_timeout = put_timeout
@@ -86,6 +103,13 @@ class KernelBridge:
     def diagnostics(self) -> List[str]:
         """Recovery events observed by the pool below the bridge."""
         return self.pool.diagnostics
+
+    def metrics_snapshot(self) -> Optional[MetricsRegistry]:
+        """Pool registries plus the kernel-FIFO registry, merged."""
+        snapshot = self.pool.metrics_snapshot()
+        if snapshot is not None and self._fifo_metrics is not None:
+            snapshot.merge(self._fifo_metrics)
+        return snapshot
 
     def submit(self, trace: Trace) -> None:
         """Kernel side: push a trace, blocking on FIFO backpressure.

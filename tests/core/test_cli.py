@@ -1,5 +1,7 @@
 """Tests for the offline trace-checking CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -128,3 +130,58 @@ class TestStatsCommand:
         assert "traces:  1" in out
         assert "WRITE" in out
         assert "SFENCE" in out
+
+    def test_stats_missing_file_exits_2(self, capsys):
+        assert main(["stats", "/nonexistent.pmtrace"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    def test_metrics_json_and_stats_breakdown(self, tmp_path, capsys):
+        trace = tmp_path / "run.pmtrace"
+        metrics = tmp_path / "metrics.json"
+        record_buggy_trace(trace)
+        assert main(
+            ["check", str(trace), "--metrics-json", str(metrics), "--quiet"]
+        ) == 1
+        payload = json.loads(metrics.read_text())
+        assert payload["format"] == "pmtest-metrics"
+        assert payload["level"] == "full"  # forced even with metrics off
+        assert payload["counters"]["engine.traces"] == 1
+        capsys.readouterr()
+        assert main(["stats", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        for stage in ("trace ingest", "shadow update",
+                      "checker validate", "drain"):
+            assert stage in out
+        assert "metrics level: full" in out
+
+    def test_trace_out_writes_chrome_trace(self, tmp_path):
+        trace = tmp_path / "run.pmtrace"
+        out = tmp_path / "spans.json"
+        record_buggy_trace(trace)
+        main(["check", str(trace), "--trace-out", str(out), "--quiet"])
+        events = json.loads(out.read_text())
+        names = [e["name"] for e in events]
+        assert "submit" in names
+        assert "drain" in names
+
+    def test_metrics_json_with_workers(self, tmp_path):
+        trace = tmp_path / "run.pmtrace"
+        metrics = tmp_path / "metrics.json"
+        record_buggy_trace(trace)
+        assert main([
+            "check", str(trace), "--workers", "2", "--backend", "thread",
+            "--metrics-json", str(metrics), "--quiet",
+        ]) == 1
+        payload = json.loads(metrics.read_text())
+        assert payload["counters"]["engine.traces"] == 1
+
+    def test_metrics_json_unwritable_exits_2(self, tmp_path, capsys):
+        trace = tmp_path / "run.pmtrace"
+        record_buggy_trace(trace)
+        bad = tmp_path / "no" / "such" / "dir" / "m.json"
+        assert main(
+            ["check", str(trace), "--metrics-json", str(bad), "--quiet"]
+        ) == 2
+        assert "cannot write" in capsys.readouterr().err

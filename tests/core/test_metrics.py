@@ -1,0 +1,256 @@
+"""Tests for the metrics registry: buckets, merging, wire/JSON forms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    ENV_VAR,
+    NUM_BUCKETS,
+    Histogram,
+    MetricsLevel,
+    MetricsRegistry,
+    bucket_bound,
+    bucket_index,
+    level_from_env,
+    make_registry,
+    stage_breakdown,
+)
+from repro.core.traceio import (
+    TraceDecodeError,
+    decode_registry,
+    encode_registry,
+)
+
+
+class TestBuckets:
+    def test_zero_lands_in_bucket_zero(self):
+        assert bucket_index(0) == 0
+
+    def test_negative_clamps_to_bucket_zero(self):
+        assert bucket_index(-5) == 0
+
+    def test_small_values(self):
+        # bucket i holds values with bit_length() == i: [2**(i-1), 2**i)
+        assert bucket_index(1) == 1
+        assert bucket_index(2) == 2
+        assert bucket_index(3) == 2
+        assert bucket_index(4) == 3
+        assert bucket_index(1023) == 10
+        assert bucket_index(1024) == 11
+
+    def test_overflow_bucket(self):
+        huge = 1 << 200
+        assert bucket_index(huge) == NUM_BUCKETS - 1
+        assert bucket_index(2**62) == 63
+        assert bucket_index(2**63) == NUM_BUCKETS - 1
+
+    def test_bucket_bounds_are_exclusive_upper(self):
+        for i in range(1, 10):
+            below = bucket_bound(i) - 1
+            assert bucket_index(below) == i
+            assert bucket_index(bucket_bound(i)) == i + 1
+
+    @given(st.integers(min_value=-(2**70), max_value=2**70))
+    def test_every_value_has_a_bucket(self, value):
+        assert 0 <= bucket_index(value) < NUM_BUCKETS
+
+
+class TestHistogram:
+    def test_record_zero_nanosecond_span(self):
+        h = Histogram()
+        h.record(0)
+        assert h.count == 1
+        assert h.total == 0
+        assert h.counts[0] == 1
+        assert h.vmin == 0 and h.vmax == 0
+
+    def test_negative_clamped_not_raised(self):
+        h = Histogram()
+        h.record(-7)  # clock skew must not blow up a hot path
+        assert h.counts[0] == 1
+        assert h.total == 0
+        assert h.vmin == 0
+
+    def test_overflow_recorded_in_last_bucket(self):
+        h = Histogram()
+        h.record(1 << 100)
+        assert h.counts[NUM_BUCKETS - 1] == 1
+        assert h.total == 1 << 100
+
+    def test_mean(self):
+        h = Histogram()
+        assert h.mean == 0.0
+        h.record(10)
+        h.record(30)
+        assert h.mean == 20.0
+
+    def test_merge_sums_buckets_and_extremes(self):
+        a, b = Histogram(), Histogram()
+        a.record(5)
+        b.record(1000)
+        b.record(2)
+        a.merge(b)
+        assert a.count == 3
+        assert a.total == 1007
+        assert a.vmin == 2 and a.vmax == 1000
+        assert sum(a.counts) == 3
+
+    def test_merge_with_empty_is_identity(self):
+        a = Histogram()
+        a.record(42)
+        before = (list(a.counts), a.count, a.total, a.vmin, a.vmax)
+        a.merge(Histogram())
+        assert (list(a.counts), a.count, a.total, a.vmin, a.vmax) == before
+
+
+class TestLevels:
+    def test_off_registry_must_not_exist(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(MetricsLevel.OFF)
+
+    def test_make_registry_off_is_none(self):
+        assert make_registry(MetricsLevel.OFF) is None
+
+    def test_make_registry_full(self):
+        reg = make_registry(MetricsLevel.FULL)
+        assert reg is not None and reg.full
+
+    def test_level_from_env(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert level_from_env() is MetricsLevel.OFF
+        monkeypatch.setenv(ENV_VAR, "basic")
+        assert level_from_env() is MetricsLevel.BASIC
+        monkeypatch.setenv(ENV_VAR, "  FULL  ")
+        assert level_from_env() is MetricsLevel.FULL
+        monkeypatch.setenv(ENV_VAR, "")
+        assert level_from_env(MetricsLevel.BASIC) is MetricsLevel.BASIC
+
+    def test_level_from_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "verbose")
+        with pytest.raises(ValueError, match=ENV_VAR):
+            level_from_env()
+
+
+def _registries(draw_level=True):
+    """Hypothesis strategy for small populated registries."""
+    names = st.sampled_from(
+        ["a.count", "a.ns", "queue.depth", "x", "stage.drain.ns"]
+    )
+    level = (
+        st.sampled_from([MetricsLevel.BASIC, MetricsLevel.FULL])
+        if draw_level
+        else st.just(MetricsLevel.BASIC)
+    )
+
+    @st.composite
+    def build(draw):
+        reg = MetricsRegistry(draw(level))
+        for name in draw(st.lists(names, max_size=4)):
+            reg.counter(name).inc(draw(st.integers(0, 1000)))
+        for name in draw(st.lists(names, max_size=3)):
+            reg.gauge(name).observe(draw(st.integers(0, 1000)))
+        for name in draw(st.lists(names, max_size=3)):
+            h = reg.histogram(name)
+            for v in draw(st.lists(st.integers(-5, 2**66), max_size=5)):
+                h.record(v)
+        return reg
+
+    return build()
+
+
+class TestRegistryMerge:
+    @settings(max_examples=60, deadline=None)
+    @given(_registries(), _registries())
+    def test_merge_is_commutative(self, a, b):
+        left = a.snapshot().merge(b.snapshot())
+        right = b.snapshot().merge(a.snapshot())
+        assert left.to_dict() == right.to_dict()
+
+    @settings(max_examples=30, deadline=None)
+    @given(_registries(), _registries(), _registries())
+    def test_merge_is_associative(self, a, b, c):
+        one = a.snapshot().merge(b.snapshot()).merge(c.snapshot())
+        two = a.snapshot().merge(b.snapshot().merge(c.snapshot()))
+        assert one.to_dict() == two.to_dict()
+
+    def test_merge_upgrades_level_to_full(self):
+        basic = MetricsRegistry(MetricsLevel.BASIC)
+        full = MetricsRegistry(MetricsLevel.FULL)
+        assert basic.merge(full).level is MetricsLevel.FULL
+
+    def test_merge_none_is_noop(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(3)
+        assert reg.merge(None) is reg
+        assert reg.counter_value("n") == 3
+
+    def test_snapshot_does_not_alias(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(1)
+        reg.histogram("h").record(4)
+        snap = reg.snapshot()
+        reg.counter("n").inc(1)
+        reg.histogram("h").record(4)
+        assert snap.counter_value("n") == 1
+        assert snap.histograms()["h"].count == 1
+
+    def test_clear_forgets_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(1)
+        reg.gauge("g").observe(2)
+        reg.histogram("h").record(3)
+        reg.clear()
+        assert not reg
+
+
+class TestSerialization:
+    @settings(max_examples=50, deadline=None)
+    @given(_registries())
+    def test_wire_roundtrip(self, reg):
+        decoded = decode_registry(encode_registry(reg))
+        assert decoded.to_dict() == reg.to_dict()
+
+    @settings(max_examples=50, deadline=None)
+    @given(_registries())
+    def test_json_roundtrip(self, reg):
+        restored = MetricsRegistry.from_dict(reg.to_dict())
+        assert restored.to_dict() == reg.to_dict()
+
+    def test_decode_rejects_garbage(self):
+        for wire in (
+            None,
+            42,
+            (),
+            ("off", (), (), ()),  # OFF must not cross the wire
+            ("nope", (), (), ()),
+            ("basic", ((42, 1),), (), ()),  # non-string name
+            ("basic", (("n", "x"),), (), ()),  # non-int value
+        ):
+            with pytest.raises(TraceDecodeError):
+                decode_registry(wire)
+
+    def test_from_dict_rejects_wrong_format(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry.from_dict({"format": "something-else"})
+        with pytest.raises(ValueError):
+            MetricsRegistry.from_dict(
+                {"format": "pmtest-metrics", "version": 99}
+            )
+
+
+class TestStageBreakdown:
+    def test_rows_in_pipeline_order(self):
+        reg = MetricsRegistry(MetricsLevel.FULL)
+        reg.counter("stage.shadow_update.ns").inc(500)
+        reg.counter("stage.shadow_update.count").inc(4)
+        reg.counter("stage.drain.count").inc(1)
+        rows = stage_breakdown(reg)
+        assert [label for label, _, _ in rows] == [
+            "trace ingest",
+            "shadow update",
+            "checker validate",
+            "drain",
+        ]
+        assert rows[1] == ("shadow update", 500, 4)
+        assert rows[3] == ("drain", 0, 1)

@@ -1,0 +1,85 @@
+"""Typed recovery events must render the legacy strings byte for byte."""
+
+from repro.core.recovery import RecoveryEvent, RecoveryKind, render_events
+
+
+class TestRendering:
+    def test_watchdog_redistribute(self):
+        event = RecoveryEvent.watchdog_redistribute(timeout=2.5, requeued=3)
+        assert event.kind is RecoveryKind.WATCHDOG_REDISTRIBUTE
+        assert event.render() == (
+            "watchdog: no checking progress for 2.5s; "
+            "redistributed 3 outstanding trace(s)"
+        )
+
+    def test_watchdog_requeue_formats_timeout_compactly(self):
+        event = RecoveryEvent.watchdog_requeue(timeout=30.0, requeued=1)
+        # %g drops the trailing .0 exactly like the legacy f-string did
+        assert event.render() == (
+            "watchdog: no checking progress for 30s; "
+            "requeued 1 outstanding trace(s)"
+        )
+
+    def test_respawn_thread(self):
+        event = RecoveryEvent.respawn_thread(
+            worker=2, requeued=4, retry=1, max_retries=2
+        )
+        assert event.worker == 2
+        assert event.render() == (
+            "respawned checking worker thread 2; requeued "
+            "4 in-flight trace(s) (retry 1/2)"
+        )
+
+    def test_respawn_process(self):
+        event = RecoveryEvent.respawn_process(
+            worker=0,
+            new_worker=3,
+            exitcode=-9,
+            requeued=7,
+            retry=2,
+            max_retries=2,
+        )
+        assert event.render() == (
+            "respawned checking worker process 0 as 3 after exit code -9; "
+            "requeued 7 trace(s) (retry 2/2)"
+        )
+
+    def test_spawn_fallback_captures_error_repr(self):
+        error = OSError("no forks left")
+        event = RecoveryEvent.spawn_fallback("process", error, "thread")
+        assert event.data["error"] == repr(error)
+        assert event.render() == (
+            "backend 'process' unavailable at spawn "
+            "(OSError('no forks left')); degraded to 'thread'"
+        )
+
+    def test_degraded_uses_error_str(self):
+        error = RuntimeError("3 worker(s) died")
+        event = RecoveryEvent.degraded(
+            "thread", "inline", error, salvaged=5, resubmitted=2
+        )
+        assert event.render() == (
+            "degraded checking backend 'thread' -> 'inline': "
+            "3 worker(s) died; salvaged 5 result(s), resubmitting "
+            "2 unchecked trace(s)"
+        )
+
+
+class TestEventStream:
+    def test_render_events_preserves_order(self):
+        events = [
+            RecoveryEvent.watchdog_requeue(1.0, 2),
+            RecoveryEvent.respawn_thread(0, 1, 1, 2),
+        ]
+        lines = render_events(events)
+        assert lines == [e.render() for e in events]
+
+    def test_events_are_frozen_records(self):
+        event = RecoveryEvent.watchdog_requeue(1.0, 2)
+        assert event.timestamp > 0
+        try:
+            event.kind = RecoveryKind.DEGRADED
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("RecoveryEvent should be immutable")

@@ -1,0 +1,133 @@
+"""Tests for the span tracer: fake clocks, nesting, misuse, output."""
+
+import json
+
+import pytest
+
+from repro.core.tracing import Tracer, TracingError
+
+
+class FakeClock:
+    """Deterministic nanosecond clock: each read advances by ``step``."""
+
+    def __init__(self, step=1000):
+        self.now = 0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def make_tracer(**kwargs):
+    clock = FakeClock()
+    kwargs.setdefault("clock", clock)
+    return Tracer(**kwargs), clock
+
+
+class TestSpans:
+    def test_span_duration_from_injected_clock(self):
+        tracer, clock = make_tracer()
+        clock.step = 0
+        clock.now = 5_000
+        with tracer.span("check"):
+            clock.now = 12_000
+        (event,) = tracer.events()
+        assert event["ph"] == "X"
+        assert event["name"] == "check"
+        assert event["dur"] == pytest.approx(7.0)  # microseconds
+
+    def test_nested_spans_close_lifo(self):
+        tracer, _ = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [e["name"] for e in tracer.events()]
+        assert names == ["inner", "outer"]  # inner ends first
+        assert tracer.open_spans == 0
+
+    def test_span_args_survive(self):
+        tracer, _ = make_tracer()
+        with tracer.span("submit", trace_id=7):
+            pass
+        (event,) = tracer.events()
+        assert event["args"] == {"trace_id": 7}
+
+    def test_instant_and_counter_events(self):
+        tracer, _ = make_tracer()
+        tracer.instant("backend.degraded", old="process")
+        tracer.counter("queue", depth=3)
+        kinds = [e["ph"] for e in tracer.events()]
+        assert kinds == ["i", "C"]
+        assert tracer.events()[1]["args"] == {"depth": 3}
+
+
+class TestMisuse:
+    def test_strict_unbalanced_end_raises(self):
+        tracer, _ = make_tracer(strict=True)
+        tracer.begin("a")
+        with pytest.raises(TracingError, match="unbalanced"):
+            tracer.end("b")
+
+    def test_strict_end_without_begin_raises(self):
+        tracer, _ = make_tracer(strict=True)
+        with pytest.raises(TracingError, match="no open span"):
+            tracer.end("a")
+
+    def test_strict_leak_at_finish_raises(self):
+        tracer, _ = make_tracer(strict=True)
+        tracer.begin("leaky")
+        with pytest.raises(TracingError, match="never closed"):
+            tracer.finish()
+
+    def test_production_leak_warns_and_force_closes(self):
+        tracer, _ = make_tracer(strict=False)
+        tracer.begin("leaky")
+        with pytest.warns(RuntimeWarning, match="never closed"):
+            tracer.finish()
+        (event,) = tracer.events()
+        assert event["name"] == "leaky"
+        assert event["ph"] == "X"  # still a complete span in the timeline
+
+    def test_production_unbalanced_end_warns_but_closes(self):
+        tracer, _ = make_tracer(strict=False)
+        tracer.begin("a")
+        with pytest.warns(RuntimeWarning, match="unbalanced"):
+            tracer.end("b")
+        assert tracer.open_spans == 0
+
+    def test_finish_is_idempotent(self):
+        tracer, _ = make_tracer()
+        tracer.finish()
+        tracer.finish()
+
+    def test_recording_after_finish_raises(self):
+        tracer, _ = make_tracer()
+        tracer.finish()
+        with pytest.raises(TracingError, match="finished"):
+            tracer.begin("late")
+
+
+class TestOutput:
+    def test_write_emits_valid_chrome_trace(self, tmp_path):
+        tracer, _ = make_tracer(process_name="unit-test")
+        with tracer.span("drain"):
+            tracer.instant("mark")
+        path = tmp_path / "trace.json"
+        count = tracer.write(path)
+        assert count == 2
+        data = json.loads(path.read_text())
+        assert isinstance(data, list)
+        assert data[0]["ph"] == "M"
+        assert data[0]["args"] == {"name": "unit-test"}
+        for event in data[1:]:
+            assert {"ph", "name", "pid", "tid", "ts"} <= set(event)
+
+    def test_write_finishes_first(self, tmp_path):
+        tracer, _ = make_tracer()
+        tracer.begin("open")
+        with pytest.warns(RuntimeWarning):
+            tracer.write(tmp_path / "t.json")
+        data = json.loads((tmp_path / "t.json").read_text())
+        assert any(e.get("name") == "open" for e in data)
