@@ -26,11 +26,13 @@ compared — slowdown ratios — are dimensionless.
 from __future__ import annotations
 
 import os
+import pickle
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.baselines.pmemcheck import PmemcheckTool
 from repro.core.api import PMTestSession
 from repro.core.events import Event, Op, Trace
+from repro.core.traceio import encode_task_message, encode_trace
 from repro.core.workers import DEFAULT_BATCH_SIZE, WorkerPool
 from repro.instr.runtime import PMRuntime
 from repro.pmem.machine import PMMachine
@@ -68,6 +70,10 @@ RESULTS: Dict[Tuple[str, Tuple], float] = {}
 #: metrics registries captured per benchmark config (JSON form); only
 #: populated when the run records metrics (PMTEST_METRICS=basic|full)
 METRICS: Dict[Tuple[str, Tuple], dict] = {}
+
+#: wire-codec measurement: codec name -> bytes per trace on the fig12
+#: checking workload (populated by the transport ablation)
+WIRE_BYTES: Dict[str, float] = {}
 
 Execute = Callable[[], None]
 
@@ -308,18 +314,26 @@ def prepare_backend_throughput(
     n_workers: int,
     n_traces: int = 150,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    transport: Optional[str] = None,
+    codec: Optional[str] = None,
 ) -> Execute:
     """Timed body: push pre-built traces through a fresh pool and drain.
 
     This isolates the checking runtime (dispatch + engine + result
     merge) from workload execution, which is what actually distinguishes
     the thread and process backends: end-to-end workload timings blend
-    in tracked execution that is identical across backends.
+    in tracked execution that is identical across backends.  The
+    ``transport``/``codec`` knobs select the process backend's IPC
+    channel and wire encoding for the transport ablation.
     """
     n_traces = env_int("PMTEST_BENCH_TRACES", n_traces)
     traces = make_checking_traces(n_traces)
     pool = WorkerPool(
-        num_workers=n_workers, backend=backend, batch_size=batch_size
+        num_workers=n_workers,
+        backend=backend,
+        batch_size=batch_size,
+        transport=transport,
+        codec=codec,
     )
 
     def execute() -> None:
@@ -330,3 +344,28 @@ def prepare_backend_throughput(
         pool.close()
 
     return execute
+
+
+def measure_wire_bytes(
+    n_traces: int = 150, batch_size: int = DEFAULT_BATCH_SIZE
+) -> Dict[str, float]:
+    """Bytes per trace each codec ships for the fig12 checking workload.
+
+    Batches are built exactly as the process backend builds them —
+    ``(seq, tuple-wire)`` pairs, ``batch_size`` traces per message — and
+    encoded both ways: the queue transport pickles the batch (that *is*
+    the multiprocessing.Queue wire), the binary codec frames it with
+    :func:`encode_task_message`.  Results land in :data:`WIRE_BYTES` for
+    the terminal summary and the benchmark JSON.
+    """
+    n_traces = env_int("PMTEST_BENCH_TRACES", n_traces)
+    traces = make_checking_traces(n_traces)
+    wires = [(seq, encode_trace(trace)) for seq, trace in enumerate(traces)]
+    totals = {"pickle": 0, "binary": 0}
+    for start in range(0, len(wires), batch_size):
+        batch = wires[start:start + batch_size]
+        totals["pickle"] += len(pickle.dumps(batch, pickle.HIGHEST_PROTOCOL))
+        totals["binary"] += len(encode_task_message(batch))
+    per_trace = {name: total / len(wires) for name, total in totals.items()}
+    WIRE_BYTES.update(per_trace)
+    return per_trace

@@ -20,6 +20,7 @@ import os
 import pytest
 
 from _harness import (
+    measure_wire_bytes,
     pedantic,
     prepare_backend_throughput,
     prepare_memcached_threads,
@@ -31,6 +32,8 @@ from _harness import (
 THREADS = [1, 2, 4]
 WORKERS = [1, 2, 4]
 BACKENDS = ("thread", "process")
+#: transport x codec combinations the process backend supports
+TRANSPORT_COMBOS = [("queue", "pickle"), ("queue", "binary"), ("shm", "binary")]
 
 
 @pytest.mark.parametrize("threads", THREADS)
@@ -127,6 +130,52 @@ def test_fig12d_backend_shape(benchmark):
         pytest.skip(
             f"only {os.cpu_count()} core(s): process-backend scaling "
             f"measured {process_scaling:.2f}x but the >1.5x assertion "
+            "needs a multi-core host"
+        )
+
+
+@pytest.mark.parametrize("transport,codec", TRANSPORT_COMBOS)
+def test_fig12f_transport_ablation(benchmark, bench_rounds, transport, codec):
+    """(f) transport/codec ablation: the same pure-checking drain as
+    fig12d, process backend, 4 workers, varying only the IPC channel
+    (queue vs shm ring) and the wire encoding (pickle vs binary)."""
+    pedantic(
+        benchmark,
+        bench_rounds,
+        lambda: prepare_backend_throughput(
+            "process", 4, transport=transport, codec=codec
+        ),
+    )
+    record("fig12-transport", (transport, codec), benchmark)
+
+
+def test_fig12f_wire_bytes(benchmark):
+    """The codec claim: struct-packed binary ships >= 3x fewer bytes per
+    trace than the pickled-tuple wire on the fig12 checking workload.
+    This is a deterministic byte count, so it holds on any host."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    per_trace = measure_wire_bytes()
+    ratio = per_trace["pickle"] / per_trace["binary"]
+    assert ratio >= 3.0, per_trace
+
+
+def test_fig12f_transport_shape(benchmark):
+    """The transport claim: with real parallelism available, shm+binary
+    drains the same workload faster than queue+pickle."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    times = {
+        combo: RESULTS.get(("fig12-transport", combo))
+        for combo in TRANSPORT_COMBOS
+    }
+    if any(value is None for value in times.values()):
+        pytest.skip("fig12f benchmarks did not run")
+    if (os.cpu_count() or 1) >= 4:
+        assert times[("shm", "binary")] < times[("queue", "pickle")], times
+    else:
+        ratio = times[("queue", "pickle")] / times[("shm", "binary")]
+        pytest.skip(
+            f"only {os.cpu_count()} core(s): shm+binary measured "
+            f"{ratio:.2f}x queue+pickle but the faster-drain assertion "
             "needs a multi-core host"
         )
 

@@ -48,9 +48,10 @@ from repro.core.metrics import (
 from repro.core.rules import HOPSRules, PersistencyRules, X86Rules
 from repro.core.rules.eadr import EADRRules
 from repro.core.rules.naive import NaiveX86Rules
-from repro.core.traceio import TraceFormatError, load_traces
+from repro.core.backends import TRANSPORT_NAMES
+from repro.core.traceio import TraceFormatError, load_traces_auto
 from repro.core.tracing import Tracer
-from repro.core.workers import BACKEND_NAMES, DEFAULT_BATCH_SIZE, WorkerPool
+from repro.core.workers import BACKEND_NAMES, WorkerPool
 
 MODELS = {
     "x86": X86Rules,
@@ -94,10 +95,21 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--batch-size",
         type=int,
-        default=DEFAULT_BATCH_SIZE,
+        default=None,
         help=(
-            "traces per IPC message for --backend process "
-            f"(default {DEFAULT_BATCH_SIZE})"
+            "pin traces per IPC message for --backend process "
+            "(default: adapts to backpressure)"
+        ),
+    )
+    check.add_argument(
+        "--transport",
+        choices=TRANSPORT_NAMES,
+        default=None,
+        help=(
+            "IPC channel for --backend process: queue "
+            "(multiprocessing.Queue) or shm (shared-memory ring "
+            "buffers with the binary wire codec); default: "
+            "PMTEST_TRANSPORT or queue"
         ),
     )
     check.add_argument(
@@ -196,7 +208,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "stats":
         return _stats(args.trace_file)
     try:
-        traces = load_traces(args.trace_file)
+        traces = load_traces_auto(args.trace_file)
     except FileNotFoundError:
         print(f"error: no such file: {args.trace_file}", file=sys.stderr)
         return 2
@@ -207,7 +219,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _check(args: argparse.Namespace, traces) -> int:
-    if args.batch_size < 1:
+    if args.batch_size is not None and args.batch_size < 1:
         print("error: --batch-size must be >= 1", file=sys.stderr)
         return 2
     if args.max_retries < 0:
@@ -230,6 +242,7 @@ def _check(args: argparse.Namespace, traces) -> int:
             num_workers=args.workers,
             backend=args.backend,
             batch_size=args.batch_size,
+            transport=args.transport,
             check_timeout=args.check_timeout,
             max_retries=args.max_retries,
             fallback=args.fallback,
@@ -311,7 +324,7 @@ def _stats(path: str) -> int:
             return 2
         return _metrics_stats(registry)
     try:
-        traces = load_traces(path)
+        traces = load_traces_auto(path)
     except TraceFormatError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

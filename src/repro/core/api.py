@@ -46,7 +46,7 @@ from repro.core.metrics import MetricsRegistry
 from repro.core.reports import TestResult
 from repro.core.rules import PersistencyRules
 from repro.core.tracing import Tracer
-from repro.core.workers import DEFAULT_BATCH_SIZE, WorkerPool, _METRICS_FROM_ENV
+from repro.core.workers import WorkerPool, _METRICS_FROM_ENV
 
 
 class _ThreadState:
@@ -83,7 +83,11 @@ class PMTestSession:
         The process backend checks traces on true parallel worker
         processes.
     batch_size:
-        Traces per IPC message (process backend only).
+        Traces per IPC message (process backend only).  ``None``
+        (default) adapts to backpressure; an integer pins it.
+    transport:
+        Process-backend IPC channel: ``"queue"`` or ``"shm"``
+        (shared-memory rings).  ``None`` consults ``PMTEST_TRANSPORT``.
     check_timeout:
         Per-drain watchdog (seconds) for ``get_result``: an
         unrecoverable checking-pipeline hang surfaces within this bound
@@ -121,7 +125,8 @@ class PMTestSession:
         workers: int = 1,
         capture_sites: bool = False,
         backend: Optional[str] = None,
-        batch_size: int = DEFAULT_BATCH_SIZE,
+        batch_size: Optional[int] = None,
+        transport: Optional[str] = None,
         check_timeout: Optional[float] = None,
         max_retries: int = 2,
         fallback: bool = True,
@@ -136,6 +141,7 @@ class PMTestSession:
             num_workers=workers,
             backend=backend,
             batch_size=batch_size,
+            transport=transport,
             check_timeout=check_timeout,
             max_retries=max_retries,
             fallback=fallback,

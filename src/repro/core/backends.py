@@ -55,12 +55,34 @@ deterministically: workers consult the session's fault plan at
 ``make_backend`` at ``backend.spawn``.  Respawned workers are never
 re-injected.  The inline backend is the deterministic reference and has
 no fault points.
+
+Transports and codecs
+---------------------
+*How* batches cross the process boundary is independent of the
+supervision above and is selected per :data:`TRANSPORT_NAMES`:
+
+``queue`` (default)
+    ``multiprocessing.Queue`` — a feeder thread pickles each message
+    into a pipe.  Pairs with either codec: ``pickle`` (the tuple wire
+    as-is) or ``binary`` (the struct-packed codec from
+    :mod:`repro.core.traceio`, 3-5x fewer bytes per trace).
+``shm``
+    Shared-memory ring buffers (:mod:`repro.core.shm_ring`): one task
+    ring, one result ring, messages always in the binary codec.  No
+    feeder threads, no pickling — a batch is one ``bytes`` copy in and
+    one copy out.
+
+Either way the backend retains the *tuple* wire of every outstanding
+trace, so requeue/replay and the corrupted-in-transit diagnosis work
+identically across transports, and batch size adapts to backpressure
+(:class:`AdaptiveBatch`) unless pinned with an explicit ``batch_size``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import threading
 import time
 import queue
@@ -82,27 +104,44 @@ from repro.core.metrics import MetricsLevel, MetricsRegistry
 from repro.core.recovery import RecoveryEvent, render_events
 from repro.core.reports import TestResult
 from repro.core.rules import PersistencyRules
+from repro.core.shm_ring import DEFAULT_RING_BYTES, RingClosed, ShmRing
 from repro.core.traceio import (
     TraceDecodeError,
     corrupt_wire,
+    corrupt_wire_framed,
+    decode_message,
     decode_registry,
     decode_result,
     decode_trace,
+    encode_ack_message,
     encode_registry,
     encode_result,
+    encode_result_message,
+    encode_task_message,
     encode_trace,
 )
 
 #: Names accepted by :func:`make_backend` (and every ``backend=`` knob).
 BACKEND_NAMES = ("inline", "thread", "process")
 
+#: Transports for the process backend's task/result channels.
+TRANSPORT_NAMES = ("queue", "shm")
+
+#: Wire codecs for the process backend (``shm`` implies ``binary``).
+CODEC_NAMES = ("pickle", "binary")
+
 #: The degradation ladder: who picks up the work when a backend cannot
 #: be spawned or is declared unhealthy mid-run.
 FALLBACK_CHAIN = {"process": "thread", "thread": "inline", "inline": None}
 
-#: Traces per IPC message for the process backend.  Batching amortizes
-#: the per-message queue/pickle overhead; the ablation bench sweeps it.
+#: Initial traces per IPC message for the process backend.  Batching
+#: amortizes the per-message transport overhead; by default the size
+#: then adapts between 1 and :data:`MAX_BATCH_SIZE` (an explicit
+#: ``batch_size=`` pins it).
 DEFAULT_BATCH_SIZE = 8
+
+#: Upper bound for adaptive batch growth.
+MAX_BATCH_SIZE = 64
 
 #: Supervision poll interval while a drain is waiting (seconds).
 _POLL = 0.02
@@ -182,15 +221,66 @@ class CheckingBackend(Protocol):
     def stop(self) -> None: ...
 
 
+class AdaptiveBatch:
+    """Batch-size controller for the process backend.
+
+    Constructed with an explicit size it is *pinned* (the historical
+    fixed ``batch_size`` behaviour); constructed with ``None`` it
+    adapts multiplicatively between 1 and :data:`MAX_BATCH_SIZE`:
+
+    * **backpressure** (more unconsumed batches in the task channel
+      than ``2 x workers``): submissions outrun the workers, so double
+      the batch to amortize per-message transport cost;
+    * **starvation** (the channel is empty the moment we flush):
+      workers are waiting on us, so halve the batch to cut the latency
+      between a trace being submitted and a worker seeing it.
+
+    ``observe`` is called after each flush with a racy channel-depth
+    estimate — precision is irrelevant, the signal only has to point
+    in the right direction often enough for the size to settle.
+    """
+
+    __slots__ = ("size", "fixed")
+
+    def __init__(self, size: Optional[int] = None) -> None:
+        if size is not None and size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.fixed = size is not None
+        self.size = size if size is not None else DEFAULT_BATCH_SIZE
+
+    def observe(self, backlog: int, workers: int) -> None:
+        if self.fixed:
+            return
+        if backlog > 2 * max(workers, 1):
+            self.size = min(self.size * 2, MAX_BATCH_SIZE)
+        elif backlog == 0:
+            self.size = max(self.size // 2, 1)
+
+
+def resolve_transport_name(name: Optional[str]) -> str:
+    """Resolve the process-backend transport, honouring the
+    ``PMTEST_TRANSPORT`` environment override when the caller did not
+    choose one explicitly."""
+    if name is None:
+        name = os.environ.get("PMTEST_TRANSPORT") or "queue"
+    if name not in TRANSPORT_NAMES:
+        raise ValueError(
+            f"unknown transport {name!r}; expected one of {TRANSPORT_NAMES}"
+        )
+    return name
+
+
 def make_backend(
     name: Optional[str],
     rules: Optional[PersistencyRules] = None,
     num_workers: int = 1,
-    batch_size: int = DEFAULT_BATCH_SIZE,
+    batch_size: Optional[int] = None,
     thread_name: str = "pmtest",
     resilience: Optional[Resilience] = None,
     faults: Optional[FaultPlan] = None,
     metrics: Optional[MetricsRegistry] = None,
+    transport: Optional[str] = None,
+    codec: Optional[str] = None,
 ) -> "CheckingBackend":
     """Build a backend by name.
 
@@ -202,6 +292,11 @@ def make_backend(
 
     ``metrics`` is the caller-owned submit-side registry; workers get
     registries of their own (see ``metrics_registries``).
+
+    ``transport``/``codec`` select the process backend's IPC channel
+    and wire encoding (``None``: ``PMTEST_TRANSPORT`` or the
+    defaults); both are ignored by the in-process backends, which move
+    zero wire bytes by construction.
     """
     name = resolve_backend_name(name, num_workers)
     if name == "inline":
@@ -227,6 +322,8 @@ def make_backend(
             resilience=resilience,
             faults=faults,
             metrics=metrics,
+            transport=transport,
+            codec=codec,
         )
     raise ValueError(
         f"unknown checking backend {name!r}; expected one of {BACKEND_NAMES}"
@@ -248,11 +345,13 @@ def make_backend_with_fallback(
     name: Optional[str],
     rules: Optional[PersistencyRules] = None,
     num_workers: int = 1,
-    batch_size: int = DEFAULT_BATCH_SIZE,
+    batch_size: Optional[int] = None,
     thread_name: str = "pmtest",
     resilience: Optional[Resilience] = None,
     faults: Optional[FaultPlan] = None,
     metrics: Optional[MetricsRegistry] = None,
+    transport: Optional[str] = None,
+    codec: Optional[str] = None,
 ) -> Tuple["CheckingBackend", List[RecoveryEvent]]:
     """Build a backend, degrading along the chain when spawning fails.
 
@@ -275,6 +374,8 @@ def make_backend_with_fallback(
                 resilience=resilience,
                 faults=faults,
                 metrics=metrics,
+                transport=transport,
+                codec=codec,
             )
             return backend, events
         except ValueError:
@@ -732,7 +833,8 @@ class ThreadBackend:
 # Processes
 # ----------------------------------------------------------------------
 def _process_worker(
-    index: int, task_q, result_q, rules, faults, metrics_level=None
+    index: int, task_ch, result_ch, rules, faults, metrics_level=None,
+    transport: str = "queue", codec: str = "pickle",
 ) -> None:
     """Worker-process main: ack, decode, check, encode, repeat.
 
@@ -745,20 +847,70 @@ def _process_worker(
     piggybacked on each result message, clearing afterwards — the
     submitting side merges deltas, so worker metrics survive everything
     short of a crash between checking and sending.
+
+    ``task_ch``/``result_ch`` are ``multiprocessing`` queues for the
+    ``queue`` transport or :class:`~repro.core.shm_ring.ShmRing`\\ s for
+    ``shm``; with the ``binary`` codec every message is one ``bytes``
+    value of :func:`~repro.core.traceio.decode_message`'s format.
     """
     registry = None
     if metrics_level is not None:
         registry = MetricsRegistry(MetricsLevel(metrics_level))
     engine = CheckingEngine(rules, registry)
+    binary = codec == "binary"
+
+    def ship(message) -> None:
+        if transport == "shm":
+            try:
+                result_ch.push(message)
+            except RingClosed:  # backend is stopping; vanish quietly
+                os._exit(0)
+        else:
+            result_ch.put(message)
+
+    def count_sent(nbytes: int) -> None:
+        if registry is not None:
+            registry.counter("codec.worker_result_bytes").inc(nbytes)
+
     while True:
-        batch = task_q.get()
-        if batch is None:
-            return
-        result_q.put(("ack", index, [seq for seq, _ in batch]))
+        if transport == "shm":
+            try:
+                raw = task_ch.pop()
+            except RingClosed:
+                return
+        else:
+            raw = task_ch.get()
+            if raw is None:
+                return
+        if binary:
+            try:
+                message = decode_message(raw)
+            except TraceDecodeError:
+                # Framing damage: no sequence numbers to report against.
+                # Drop the message; the watchdog requeues its traces.
+                if registry is not None:
+                    registry.counter("codec.task_decode_errors").inc(1)
+                continue
+            if message[0] == "stop":
+                return
+            if message[0] != "task":
+                continue
+            pairs = message[1]  # [(seq, Trace | TraceDecodeError), ...]
+            if registry is not None:
+                registry.counter("codec.worker_task_bytes").inc(len(raw))
+        else:
+            pairs = raw  # [(seq, tuple wire), ...]
+        seqs = [seq for seq, _ in pairs]
+        if binary:
+            ack = encode_ack_message(index, seqs)
+            count_sent(len(ack))
+            ship(ack)
+        else:
+            ship(("ack", index, seqs))
         if registry is not None:
             registry.counter("process.worker_batches").inc(1)
             if registry.full:
-                registry.histogram("process.batch_traces").record(len(batch))
+                registry.histogram("process.batch_traces").record(len(pairs))
         if faults is not None:
             rule = faults.fire(FaultPoint.WORKER_BATCH, worker=index)
             if rule is not None:
@@ -769,41 +921,66 @@ def _process_worker(
                 elif rule.kind is FaultKind.SLOW:
                     time.sleep(rule.delay)
                 elif rule.kind is FaultKind.FAIL:
-                    result_q.put(
-                        (
-                            "res",
-                            index,
-                            [
-                                (seq, None, "FaultError('injected worker failure')")
-                                for seq, _ in batch
-                            ],
-                        )
-                    )
+                    failed = [
+                        (seq, None, "FaultError('injected worker failure')")
+                        for seq in seqs
+                    ]
+                    if binary:
+                        data = encode_result_message(index, failed)
+                        count_sent(len(data))
+                        ship(data)
+                    else:
+                        ship(("res", index, failed))
                     continue
         out = []
-        for seq, wire in batch:
+        for seq, item in pairs:
             try:
-                result = engine.check_trace(decode_trace(wire))
+                if binary:
+                    if isinstance(item, TraceDecodeError):
+                        raise item
+                    result = engine.check_trace(item)
+                else:
+                    result = engine.check_trace(decode_trace(item))
             except BaseException as exc:
                 out.append((seq, None, repr(exc)))
             else:
-                out.append((seq, encode_result(result), None))
-        if registry is not None and registry:
-            result_q.put(("res", index, out, encode_registry(registry)))
+                out.append((seq, result if binary else encode_result(result),
+                            None))
+        delta = registry if registry is not None and registry else None
+        if binary:
+            data = encode_result_message(index, out, delta)
+            if delta is not None:
+                registry.clear()
+            # Counted after the clear: this message's own size rides the
+            # *next* shipped delta, so the worker-side echo undercounts
+            # by the final message.  codec.result_bytes (collector side)
+            # is the authoritative total.
+            count_sent(len(data))
+            ship(data)
+        elif delta is not None:
+            ship(("res", index, out, encode_registry(delta)))
             registry.clear()
         else:
-            result_q.put(("res", index, out))
+            ship(("res", index, out))
 
 
 class ProcessBackend:
     """True multi-core checking over a ``multiprocessing`` worker pool.
 
     Traces are flattened with the compact wire encoding and grouped
-    ``batch_size`` per IPC message; workers pull batches from one shared
-    task queue (self-scheduling, no round-robin imbalance) and push
-    encoded results back.  A collector thread on the submitting side
-    decodes results as they arrive, so ``drain`` only has to wait for
-    the outstanding count to hit zero and merge.
+    into batches per IPC message (adaptive size unless pinned; see
+    :class:`AdaptiveBatch`); workers pull batches from one shared task
+    channel (self-scheduling, no round-robin imbalance) and push
+    results back.  A collector thread on the submitting side decodes
+    results as they arrive, so ``drain`` only has to wait for the
+    outstanding count to hit zero and merge.
+
+    The channels are ``multiprocessing`` queues (``transport="queue"``)
+    or shared-memory rings (``transport="shm"``); with the ``binary``
+    codec (always on for ``shm``) batches travel as struct-packed byte
+    strings instead of pickled tuples.  Outstanding traces are retained
+    as *tuple* wires in every combination, so requeueing and the
+    corrupted-in-transit diagnosis below are transport-independent.
 
     Supervision: wires are retained in ``_incomplete`` until their
     results arrive, workers announce the sequence numbers of every batch
@@ -823,15 +1000,27 @@ class ProcessBackend:
         self,
         rules: Optional[PersistencyRules] = None,
         num_workers: int = 1,
-        batch_size: int = DEFAULT_BATCH_SIZE,
+        batch_size: Optional[int] = None,
         resilience: Optional[Resilience] = None,
         faults: Optional[FaultPlan] = None,
         metrics: Optional[MetricsRegistry] = None,
+        transport: Optional[str] = None,
+        codec: Optional[str] = None,
+        ring_bytes: int = DEFAULT_RING_BYTES,
     ) -> None:
         if num_workers < 1:
             raise ValueError("process backend needs at least one worker")
-        if batch_size < 1:
-            raise ValueError("batch_size must be >= 1")
+        self._batch = AdaptiveBatch(batch_size)
+        self._transport = resolve_transport_name(transport)
+        if codec is None:
+            codec = "binary" if self._transport == "shm" else "pickle"
+        if codec not in CODEC_NAMES:
+            raise ValueError(
+                f"unknown wire codec {codec!r}; expected one of {CODEC_NAMES}"
+            )
+        if self._transport == "shm" and codec != "binary":
+            raise ValueError("the shm transport requires the binary codec")
+        self._codec = codec
         self._rules = rules
         self._metrics = metrics
         #: accumulated worker-registry deltas plus collector-side
@@ -841,17 +1030,23 @@ class ProcessBackend:
             MetricsRegistry(metrics.level) if metrics is not None else None
         )
         self._num_workers = num_workers
-        self._batch_size = batch_size
         self._resilience = resilience or DEFAULT_RESILIENCE
         self._faults = faults
         # fork (where available) shares the already-imported modules;
-        # spawn works too since the worker fn and rules are picklable.
+        # spawn works too since the worker fn, rules, and rings are
+        # picklable (rings re-attach by segment name).
         methods = multiprocessing.get_all_start_methods()
         self._ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else None
         )
-        self._task_q = self._ctx.Queue()
-        self._result_q = self._ctx.Queue()
+        self._task_q = self._result_q = None
+        self._task_ring = self._result_ring = None
+        if self._transport == "shm":
+            self._task_ring = ShmRing(ring_bytes, ctx=self._ctx)
+            self._result_ring = ShmRing(ring_bytes, ctx=self._ctx)
+        else:
+            self._task_q = self._ctx.Queue()
+            self._result_q = self._ctx.Queue()
         self._processes = [
             self._spawn_worker(i, faults) for i in range(num_workers)
         ]
@@ -892,10 +1087,13 @@ class ProcessBackend:
 
     def _spawn_worker(self, index: int, faults: Optional[FaultPlan]):
         level = self._metrics.level.value if self._metrics is not None else None
+        shm = self._transport == "shm"
         process = self._ctx.Process(
             target=_process_worker,
-            args=(index, self._task_q, self._result_q, self._rules, faults,
-                  level),
+            args=(index,
+                  self._task_ring if shm else self._task_q,
+                  self._result_ring if shm else self._result_q,
+                  self._rules, faults, level, self._transport, self._codec),
             name=f"pmtest-checker-{index}",
             daemon=True,
         )
@@ -908,7 +1106,16 @@ class ProcessBackend:
 
     @property
     def batch_size(self) -> int:
-        return self._batch_size
+        """Current traces-per-message (moves when adaptive)."""
+        return self._batch.size
+
+    @property
+    def transport(self) -> str:
+        return self._transport
+
+    @property
+    def codec(self) -> str:
+        return self._codec
 
     @property
     def dispatched(self) -> int:
@@ -948,13 +1155,20 @@ class ProcessBackend:
         if self._faults is not None:
             rule = self._faults.fire(FaultPoint.WIRE_ENCODE)
             if rule is not None and rule.kind is FaultKind.CORRUPT:
-                wire = corrupt_wire(wire)
+                # The pickle wire is corrupted structurally; the binary
+                # codec needs its framing intact to *encode*, so the
+                # poison there is an opcode no decoder accepts.
+                corrupt = (
+                    corrupt_wire if self._codec == "pickle"
+                    else corrupt_wire_framed
+                )
+                wire = corrupt(wire)
         with self._done:
             seq = self._dispatched
             self._dispatched += 1
             self._incomplete[seq] = wire
             self._pending.append((seq, wire))
-            if len(self._pending) >= self._batch_size:
+            if len(self._pending) >= self._batch.size:
                 batch, self._pending = self._pending, []
             else:
                 return
@@ -965,17 +1179,74 @@ class ProcessBackend:
                     time.sleep(rule.delay)
                 elif rule.kind is FaultKind.FAIL:
                     raise FaultError("injected task-queue failure")
-        self._task_q.put(batch)
-        if self._metrics is not None:
-            self._metrics.counter("process.batches").inc(1)
+        self._send_batch(batch)
+
+    def _send_batch(self, batch: List[Tuple[int, tuple]],
+                    timeout: Optional[float] = None) -> bool:
+        """Encode and ship one batch on the task channel.
+
+        Returns ``False`` only when an ``shm`` push gives up (timeout
+        while requeueing against a wedged ring, or the ring closed
+        under us); the queue transport always succeeds.
+        """
+        metrics = self._metrics
+        nbytes = None
+        if self._codec == "binary":
+            payload = encode_task_message(batch)
+            nbytes = len(payload)
+        else:
+            payload = batch
+            if metrics is not None and metrics.full:
+                # The pickle wire's size is only observable by paying
+                # for a pickle, so it is metered at full level only.
+                nbytes = len(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))
+        if self._transport == "shm":
+            try:
+                self._task_ring.push(payload, timeout=timeout)
+            except (TimeoutError, RingClosed):
+                return False
+        else:
+            self._task_q.put(payload)
+        if metrics is not None:
+            counter = metrics.counter
+            counter("process.batches").inc(1)
+            if nbytes is not None:
+                counter("codec.task_bytes").inc(nbytes)
+                counter("codec.task_traces").inc(len(batch))
+            if metrics.full and self._transport == "shm":
+                metrics.histogram("shm.task_ring_used").record(
+                    self._task_ring.used_bytes()
+                )
+        self._observe_backpressure(payload, metrics)
+        return True
+
+    def _observe_backpressure(self, payload, metrics) -> None:
+        """Feed the adaptive batcher a channel-depth estimate."""
+        batcher = self._batch
+        if batcher.fixed:
+            return
+        if self._transport == "shm":
+            backlog = self._task_ring.used_bytes() // max(len(payload), 1)
+        else:
+            try:
+                backlog = self._task_q.qsize()
+            except NotImplementedError:  # pragma: no cover - macOS
+                return
+        batcher.observe(backlog, self._num_workers)
+        if metrics is not None:
+            metrics.gauge("process.batch_size").observe(batcher.size)
 
     # ------------------------------------------------------------------
     def drain_pairs(self) -> List[_SeqResult]:
         res = self._resilience
+        # Flush the partial batch outside the lock: an shm push may have
+        # to wait for ring space, and the workers freeing that space
+        # post results through _collect, which needs the lock.
         with self._done:
-            if self._pending:
-                batch, self._pending = self._pending, []
-                self._task_q.put(batch)
+            batch, self._pending = self._pending, []
+        if batch:
+            self._send_batch(batch)
+        with self._done:
             last_progress = time.monotonic()
             last_done = len(self._completed)
             swept = False
@@ -1067,6 +1338,11 @@ class ProcessBackend:
             )
 
     def _requeue_locked(self, seqs: Set[int]) -> int:
+        # Requeue sends use a bounded timeout: if every worker is dead
+        # and the ring is full, blocking forever under the lock would
+        # wedge the watchdog that is trying to recover.  A partial
+        # requeue is fine — the watchdog escalates to unhealthy on its
+        # next firing if progress still stalls.
         batch: List[Tuple[int, tuple]] = []
         n = 0
         for seq in sorted(seqs):
@@ -1074,12 +1350,15 @@ class ProcessBackend:
             if wire is None:
                 continue
             batch.append((seq, wire))
-            n += 1
-            if len(batch) >= self._batch_size:
-                self._task_q.put(batch)
+            if len(batch) >= self._batch.size:
+                if not self._send_batch(batch, timeout=1.0):
+                    return n
+                n += len(batch)
                 batch = []
         if batch:
-            self._task_q.put(batch)
+            if not self._send_batch(batch, timeout=1.0):
+                return n
+            n += len(batch)
         return n
 
     def _raise_unhealthy_locked(self, message: str) -> None:
@@ -1129,6 +1408,26 @@ class ProcessBackend:
         if self._stopped:
             return
         self._stopped = True
+        if self._transport == "shm":
+            # Closing the task ring is the stop signal: workers drain
+            # what is left, hit RingClosed, and exit.
+            self._task_ring.close()
+            for process in self._processes:
+                process.join(timeout=1.0)
+            for process in self._processes:
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=1.0)
+                if process.is_alive():  # pragma: no cover - last resort
+                    process.kill()
+                    process.join(timeout=1.0)
+            # Workers are gone; closing the result ring lets the
+            # collector drain stragglers and return.
+            self._result_ring.close()
+            self._collector.join(timeout=2.0)
+            self._task_ring.release()
+            self._result_ring.release()
+            return
         alive = [p for p in self._processes if p.is_alive()]
         for _ in alive:
             try:
@@ -1158,15 +1457,47 @@ class ProcessBackend:
 
     def _collect(self) -> None:
         while True:
-            message = self._result_q.get()
-            if message is None:
-                return
-            # Result messages optionally carry a worker-registry delta
-            # as a fourth element; acks stay 3-tuples.
+            raw = None
+            if self._transport == "shm":
+                try:
+                    raw = self._result_ring.pop(timeout=0.5)
+                except TimeoutError:
+                    if self._stopped:
+                        return
+                    continue
+                except RingClosed:
+                    return
+                except Exception:  # pragma: no cover - teardown races
+                    if self._stopped:
+                        return
+                    raise
+            else:
+                message = self._result_q.get()
+                if message is None:
+                    return
+                if isinstance(message, bytes):
+                    raw = message  # binary codec over the queue transport
+            if raw is not None:
+                try:
+                    message = decode_message(raw)
+                except TraceDecodeError:
+                    with self._done:
+                        if self._remote_metrics is not None:
+                            self._remote_metrics.counter(
+                                "process.result_decode_errors"
+                            ).inc(1)
+                    continue
+                if message[0] == "stop":  # pragma: no cover - defensive
+                    return
+            # Tuple result messages optionally carry a worker-registry
+            # delta as a fourth element; acks stay 3-tuples.  Binary
+            # messages decode to ("res", index, items, registry|None).
             kind, index, payload = message[0], message[1], message[2]
             with self._done:
                 self._last_seen[index] = time.monotonic()
                 remote = self._remote_metrics
+                if remote is not None and raw is not None:
+                    remote.counter("codec.result_bytes").inc(len(raw))
                 if kind == "ack":
                     if remote is not None:
                         remote.counter("process.acks").inc(1)
@@ -1174,10 +1505,18 @@ class ProcessBackend:
                     self._done.notify_all()
                     continue
                 if remote is not None and len(message) > 3:
-                    try:
-                        remote.merge(decode_registry(message[3]))
-                    except TraceDecodeError:
-                        remote.counter("process.registry_decode_errors").inc(1)
+                    delta = message[3]
+                    if delta is None:
+                        pass
+                    elif isinstance(delta, MetricsRegistry):
+                        remote.merge(delta)
+                    else:
+                        try:
+                            remote.merge(decode_registry(delta))
+                        except TraceDecodeError:
+                            remote.counter(
+                                "process.registry_decode_errors"
+                            ).inc(1)
                 outstanding = self._outstanding.get(index)
                 fresh = 0
                 for seq, wire, error in payload:
@@ -1189,6 +1528,9 @@ class ProcessBackend:
                     self._incomplete.pop(seq, None)
                     if error is not None:
                         self._errors.append((seq, error))
+                    elif isinstance(wire, TestResult):
+                        # Binary messages decode straight to results.
+                        self._results.append((seq, wire))
                     else:
                         try:
                             self._results.append((seq, decode_result(wire)))

@@ -25,7 +25,6 @@ from typing import Optional, Tuple
 from repro.core.api import PMTestSession
 from repro.core.reports import TestResult
 from repro.core.rules import PersistencyRules
-from repro.core.workers import DEFAULT_BATCH_SIZE
 
 _session: Optional[PMTestSession] = None
 
@@ -35,7 +34,8 @@ def PMTest_INIT(
     workers: int = 1,
     capture_sites: bool = False,
     backend: Optional[str] = None,
-    batch_size: int = DEFAULT_BATCH_SIZE,
+    batch_size: Optional[int] = None,
+    transport: Optional[str] = None,
     check_timeout: Optional[float] = None,
     max_retries: int = 2,
     fallback: bool = True,
@@ -44,12 +44,13 @@ def PMTest_INIT(
     """Create (and install) the global session.
 
     ``backend`` selects the checking backend (``inline``/``thread``/
-    ``process``; ``None`` derives it from ``workers``), and
-    ``batch_size`` tunes traces-per-IPC-message for the process
-    backend.  ``check_timeout``/``max_retries``/``fallback`` configure
-    the checking pipeline's watchdog, worker-respawn budget, and
-    backend degradation ladder; ``faults`` installs a deterministic
-    chaos plan (:mod:`repro.core.faults`).
+    ``process``; ``None`` derives it from ``workers``),
+    ``batch_size`` pins traces-per-IPC-message for the process backend
+    (``None``: adaptive), and ``transport`` picks its IPC channel
+    (``queue``/``shm``).  ``check_timeout``/``max_retries``/
+    ``fallback`` configure the checking pipeline's watchdog,
+    worker-respawn budget, and backend degradation ladder; ``faults``
+    installs a deterministic chaos plan (:mod:`repro.core.faults`).
     """
     global _session
     if _session is not None:
@@ -60,6 +61,7 @@ def PMTest_INIT(
         capture_sites=capture_sites,
         backend=backend,
         batch_size=batch_size,
+        transport=transport,
         check_timeout=check_timeout,
         max_retries=max_retries,
         fallback=fallback,

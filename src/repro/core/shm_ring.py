@@ -1,0 +1,275 @@
+"""Shared-memory ring buffers: IPC without the serializer round trip.
+
+``multiprocessing.Queue`` moves every message through a feeder thread,
+a pipe write, and a pipe read — three copies and two thread wakeups per
+batch.  For the checking pipeline's hot path that is most of the
+transport cost, so the ``shm`` transport replaces the queues with a
+byte ring in a :class:`multiprocessing.shared_memory.SharedMemory`
+segment: producers copy an encoded message in, consumers copy it out,
+and nothing else moves.
+
+Protocol (single segment, MPMC via one lock)::
+
+    [header: 32 bytes][data: capacity bytes]
+    header = tail u64 | head u64 | closed u8 | pad
+
+``tail`` and ``head`` are *monotonic byte counters* (total bytes ever
+written/read); the occupied region is ``tail - head`` and positions
+wrap modulo ``capacity``.  Records are length-framed (``u32 len`` +
+payload) and may wrap around the end of the data area.  One
+``multiprocessing.Lock`` guards the header and the copy — with the
+small messages this pipeline ships, copy-under-lock is cheaper than a
+reservation protocol, and it keeps readers from observing half-written
+records.  Progress is therefore monotonic: every push/pop completes in
+bounded time once space/data exists.
+
+Waiting is futex-free busy/park hybrid: a short spin of ``sleep(0)``
+yields (cheap when the peer is actively draining, the common case at
+high throughput), then exponentially backed-off parking from 50us to
+2ms (bounded wakeup latency when the pipeline idles).  ``close()``
+wakes every waiter: producers get :class:`RingClosed` immediately,
+consumers drain remaining records first.
+
+Rings pickle by segment *name*: sending one to a spawned worker
+re-attaches to the same memory.  Workers share the creator's
+``resource_tracker`` (fork inherits it, spawn ships its fd), so the
+attach-side registration is a set-add no-op and only the creator's
+``release()`` unlinks the segment.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from multiprocessing import shared_memory
+from typing import Optional
+
+__all__ = ["DEFAULT_RING_BYTES", "RingClosed", "ShmRing"]
+
+#: 1 MiB per ring: ~2500 fig12-shaped binary traces in flight.
+DEFAULT_RING_BYTES = 1 << 20
+
+_HEADER = 32
+_OFF_TAIL = 0
+_OFF_HEAD = 8
+_OFF_CLOSED = 16
+_U64 = struct.Struct("<Q")
+_LEN = struct.Struct("<I")
+
+#: spin iterations before parking; parking backoff bounds (seconds).
+_SPINS = 64
+_PARK_MIN = 0.00005
+_PARK_MAX = 0.002
+
+
+class RingClosed(Exception):
+    """Push on a closed ring, or pop on a closed *and drained* ring."""
+
+
+class ShmRing:
+    """A byte ring over shared memory; see the module docstring."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_RING_BYTES,
+        *,
+        ctx=None,
+        name: Optional[str] = None,
+        _lock=None,
+    ) -> None:
+        if name is None:
+            if capacity < 16:
+                raise ValueError(f"ring capacity too small: {capacity}")
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=_HEADER + capacity
+            )
+            self._shm.buf[:_HEADER] = bytes(_HEADER)
+            self._creator = True
+            if _lock is not None:
+                self._lock = _lock
+            else:
+                if ctx is None:
+                    import multiprocessing as ctx
+                self._lock = ctx.Lock()
+        else:  # re-attach (pickle path: spawned workers)
+            # Attaching re-registers the name with the resource tracker,
+            # which workers *share* with the creator (fork inherits it,
+            # spawn ships its fd), so the set-add is a no-op and the
+            # creator's unlink balances it.  Do not unregister here: that
+            # would strip the shared entry and break the creator's unlink.
+            self._shm = shared_memory.SharedMemory(name=name)
+            self._creator = False
+            self._lock = _lock
+        self._capacity = capacity
+        self._name = self._shm.name
+        self._released = False
+
+    # --- pickling (ships the segment name, re-attaches on arrival) ----
+    def __getstate__(self):
+        return {"name": self._name, "capacity": self._capacity,
+                "lock": self._lock}
+
+    def __setstate__(self, state):
+        self.__init__(state["capacity"], name=state["name"],
+                      _lock=state["lock"])
+
+    # --- header accessors (caller holds the lock) ---------------------
+    def _get(self, offset: int) -> int:
+        return _U64.unpack_from(self._shm.buf, offset)[0]
+
+    def _set(self, offset: int, value: int) -> None:
+        _U64.pack_into(self._shm.buf, offset, value)
+
+    @property
+    def _closed(self) -> bool:
+        return self._shm.buf[_OFF_CLOSED] != 0
+
+    # --- introspection ------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def used_bytes(self) -> int:
+        """Occupied bytes; racy-but-monotonic without the lock, which is
+        fine for the metrics/backpressure reads that call it."""
+        return self._get(_OFF_TAIL) - self._get(_OFF_HEAD)
+
+    def free_bytes(self) -> int:
+        return self._capacity - self.used_bytes()
+
+    # --- data plane ---------------------------------------------------
+    def _copy_in(self, position: int, payload) -> None:
+        start = position % self._capacity
+        end = start + len(payload)
+        buf = self._shm.buf
+        if end <= self._capacity:
+            buf[_HEADER + start:_HEADER + end] = payload
+        else:
+            split = self._capacity - start
+            buf[_HEADER + start:_HEADER + self._capacity] = payload[:split]
+            buf[_HEADER:_HEADER + end - self._capacity] = payload[split:]
+
+    def _copy_out(self, position: int, length: int) -> bytes:
+        start = position % self._capacity
+        end = start + length
+        buf = self._shm.buf
+        if end <= self._capacity:
+            return bytes(buf[_HEADER + start:_HEADER + end])
+        split = self._capacity - start
+        return bytes(buf[_HEADER + start:_HEADER + self._capacity]) + bytes(
+            buf[_HEADER:_HEADER + end - self._capacity]
+        )
+
+    def try_push(self, payload: bytes) -> bool:
+        """Push without waiting; False when the ring lacks space."""
+        need = _LEN.size + len(payload)
+        if need > self._capacity:
+            raise ValueError(
+                f"record of {len(payload)} bytes cannot fit a "
+                f"{self._capacity}-byte ring"
+            )
+        with self._lock:
+            if self._closed:
+                raise RingClosed(f"ring {self._name} is closed")
+            tail = self._get(_OFF_TAIL)
+            if self._capacity - (tail - self._get(_OFF_HEAD)) < need:
+                return False
+            self._copy_in(tail, _LEN.pack(len(payload)))
+            self._copy_in(tail + _LEN.size, payload)
+            self._set(_OFF_TAIL, tail + need)
+        return True
+
+    def push(self, payload: bytes, timeout: Optional[float] = None) -> None:
+        """Copy one record in, hybrid-waiting for space.
+
+        Raises :class:`RingClosed` if the ring closes, ``TimeoutError``
+        past ``timeout`` seconds.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        spins = 0
+        park = _PARK_MIN
+        while True:
+            if self.try_push(payload):
+                return
+            spins, park = self._wait_step(spins, park, deadline, "push")
+
+    def try_pop(self) -> Optional[bytes]:
+        """Pop without waiting; None when the ring is empty."""
+        with self._lock:
+            head = self._get(_OFF_HEAD)
+            used = self._get(_OFF_TAIL) - head
+            if used == 0:
+                if self._closed:
+                    raise RingClosed(f"ring {self._name} is closed")
+                return None
+            (length,) = _LEN.unpack(self._copy_out(head, _LEN.size))
+            payload = self._copy_out(head + _LEN.size, length)
+            self._set(_OFF_HEAD, head + _LEN.size + length)
+            return payload
+
+    def pop(self, timeout: Optional[float] = None) -> bytes:
+        """Copy the oldest record out, hybrid-waiting for data.
+
+        Drains remaining records after :meth:`close`; raises
+        :class:`RingClosed` once closed *and* empty, ``TimeoutError``
+        past ``timeout`` seconds.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        spins = 0
+        park = _PARK_MIN
+        while True:
+            payload = self.try_pop()
+            if payload is not None:
+                return payload
+            spins, park = self._wait_step(spins, park, deadline, "pop")
+
+    @staticmethod
+    def _wait_step(spins: int, park: float, deadline, what: str):
+        if deadline is not None and time.monotonic() >= deadline:
+            raise TimeoutError(f"shm ring {what} timed out")
+        if spins < _SPINS:
+            time.sleep(0)  # yield: peer is likely mid-copy
+            return spins + 1, park
+        time.sleep(park)
+        return spins + 1, min(park * 2, _PARK_MAX)
+
+    # --- lifecycle ----------------------------------------------------
+    def close(self) -> None:
+        """Mark the ring closed, waking every parked producer/consumer.
+
+        Best-effort under contention: if the lock cannot be acquired
+        promptly (e.g. a worker was killed mid-copy), the closed flag is
+        stored anyway — a single-byte write that every wait loop
+        observes on its next iteration.
+        """
+        acquired = self._lock.acquire(timeout=0.5) if self._lock else False
+        try:
+            self._shm.buf[_OFF_CLOSED] = 1
+        finally:
+            if acquired:
+                self._lock.release()
+
+    def release(self) -> None:
+        """Detach from the segment; the creator also unlinks it."""
+        if self._released:
+            return
+        self._released = True
+        try:
+            self._shm.close()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
+        if self._creator:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+    def __del__(self):  # pragma: no cover - GC-timing dependent
+        try:
+            self.release()
+        except Exception:
+            pass

@@ -429,6 +429,664 @@ def corrupt_wire(wire: tuple) -> tuple:
     return (trace_id, thread_name, events)
 
 
+# ----------------------------------------------------------------------
+# Binary wire codec (struct-packed, versioned)
+# ----------------------------------------------------------------------
+# The tuple wire above still rides pickle, which spends 25-30 bytes per
+# event on framing and memo bookkeeping.  The binary codec below packs
+# the same information into a self-describing byte string:
+#
+#     message := magic "PMTB" | version u8 | kind u8
+#                | string-table | body
+#     string-table := uvarint count | (uvarint len | utf-8 bytes)*
+#
+# All integers are LEB128 varints (``uvarint``); signed fields use the
+# zigzag mapping (``svarint``).  Strings (site files/functions, thread
+# names, report messages) are interned once per message in the string
+# table and referenced by index, so a batch of traces from one call
+# site pays for its strings once.  Event records are flag-packed::
+#
+#     event := op u8 | flags u8
+#              | [addr svarint | size svarint]      (flags & RANGE1)
+#              | [addr2 svarint | size2 svarint]    (flags & RANGE2)
+#              | [file ref | line svarint | fn ref] (flags & SITE)
+#              | [seq svarint]                      (flags & SEQ, i.e.
+#                 seq differs from the event's position in the trace)
+#
+# Versioning: the version byte is bumped on any layout change; decoders
+# reject versions they do not understand with TraceDecodeError (never a
+# silent misparse).  Message kinds share the framing so the process
+# backend's task/ack/result/stop channel and the on-disk trace format
+# are the same codec.
+
+BINARY_MAGIC = b"PMTB"
+BINARY_VERSION = 1
+
+_KIND_TRACES = 1
+_KIND_TASK = 2
+_KIND_ACK = 3
+_KIND_RESULT = 4
+_KIND_STOP = 5
+
+_EV_RANGE1 = 0x01
+_EV_RANGE2 = 0x02
+_EV_SITE = 0x04
+_EV_SEQ = 0x08
+_EV_KNOWN = _EV_RANGE1 | _EV_RANGE2 | _EV_SITE | _EV_SEQ
+
+_LEVEL_TAGS = {Level.FAIL: 0, Level.WARN: 1}
+_TAG_LEVELS = {tag: level for level, tag in _LEVEL_TAGS.items()}
+
+#: opcode used by the framing-preserving CORRUPT fault; no Op uses it.
+_POISON_OP = 0xFF
+
+
+class _UnknownOpError(TraceDecodeError):
+    """Raised by event decode *after* the record's bytes are consumed,
+    so a caller can skip the bad trace and keep decoding the batch."""
+
+
+def _uv(out: bytearray, value: int) -> None:
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+class _BinWriter:
+    """Accumulates a message body plus its per-message string table."""
+
+    __slots__ = ("body", "_strings", "_refs")
+
+    def __init__(self) -> None:
+        self.body = bytearray()
+        self._strings: List[str] = []
+        self._refs: dict = {}
+
+    def u8(self, value: int) -> None:
+        self.body.append(value)
+
+    def uvarint(self, value: int) -> None:
+        _uv(self.body, value)
+
+    def svarint(self, value: int) -> None:
+        _uv(self.body, value * 2 if value >= 0 else -value * 2 - 1)
+
+    def string(self, value: str) -> None:
+        ref = self._refs.get(value)
+        if ref is None:
+            ref = self._refs[value] = len(self._strings)
+            self._strings.append(value)
+        _uv(self.body, ref)
+
+    def finish(self, kind: int) -> bytes:
+        head = bytearray(BINARY_MAGIC)
+        head.append(BINARY_VERSION)
+        head.append(kind)
+        _uv(head, len(self._strings))
+        for value in self._strings:
+            raw = value.encode("utf-8")
+            _uv(head, len(raw))
+            head += raw
+        return bytes(head + self.body)
+
+
+class _BinReader:
+    """Cursor over one binary message; every misstep raises
+    :class:`TraceDecodeError` naming the field being read."""
+
+    __slots__ = ("buf", "pos", "kind", "strings")
+
+    def __init__(self, data) -> None:
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TraceDecodeError(
+                f"binary message must be bytes, got {type(data).__name__}"
+            )
+        self.buf = bytes(data)
+        if len(self.buf) < 6 or self.buf[:4] != BINARY_MAGIC:
+            raise TraceDecodeError("missing PMTB magic: not a binary message")
+        if self.buf[4] != BINARY_VERSION:
+            raise TraceDecodeError(
+                f"unsupported binary format version {self.buf[4]}"
+            )
+        self.kind = self.buf[5]
+        self.pos = 6
+        count = self.uvarint("string count")
+        if count > len(self.buf):
+            raise TraceDecodeError(f"string count {count} exceeds buffer")
+        strings: List[str] = []
+        for _ in range(count):
+            length = self.uvarint("string length")
+            raw = self.take(length, "string")
+            try:
+                strings.append(raw.decode("utf-8"))
+            except UnicodeDecodeError as exc:
+                raise TraceDecodeError(f"invalid utf-8 string: {exc}") from exc
+        self.strings = strings
+
+    def remaining(self) -> int:
+        return len(self.buf) - self.pos
+
+    def take(self, n: int, what: str) -> bytes:
+        end = self.pos + n
+        if end > len(self.buf):
+            raise TraceDecodeError(f"truncated {what}: wanted {n} bytes")
+        raw = self.buf[self.pos:end]
+        self.pos = end
+        return raw
+
+    def u8(self, what: str) -> int:
+        if self.pos >= len(self.buf):
+            raise TraceDecodeError(f"truncated {what}")
+        value = self.buf[self.pos]
+        self.pos += 1
+        return value
+
+    def uvarint(self, what: str) -> int:
+        value = 0
+        shift = 0
+        while True:
+            byte = self.u8(what)
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+            if shift > 128:
+                raise TraceDecodeError(f"varint too long for {what}")
+
+    def svarint(self, what: str) -> int:
+        raw = self.uvarint(what)
+        return raw >> 1 if not raw & 1 else -((raw + 1) >> 1)
+
+    def string(self, what: str) -> str:
+        ref = self.uvarint(what)
+        if ref >= len(self.strings):
+            raise TraceDecodeError(
+                f"string ref {ref} out of table range for {what}"
+            )
+        return self.strings[ref]
+
+    def count(self, what: str) -> int:
+        """A list length, sanity-bounded by the bytes left (every
+        element costs at least one byte, so anything larger is garbage
+        and would otherwise drive a huge allocation)."""
+        n = self.uvarint(what)
+        if n > self.remaining():
+            raise TraceDecodeError(f"{what} {n} exceeds buffer")
+        return n
+
+
+# --- events/traces ----------------------------------------------------
+def _write_site(w: _BinWriter, site: SourceSite) -> None:
+    w.string(site.file)
+    w.svarint(site.line)
+    w.string(site.function)
+
+
+def _write_event_fields(
+    w: _BinWriter,
+    op_value: int,
+    addr: int,
+    size: int,
+    addr2: int,
+    size2: int,
+    site: Optional[SourceSite],
+    seq: int,
+    implied_seq: int,
+) -> None:
+    flags = 0
+    if addr or size:
+        flags |= _EV_RANGE1
+    if addr2 or size2:
+        flags |= _EV_RANGE2
+    if site is not None:
+        flags |= _EV_SITE
+    if seq != implied_seq:
+        flags |= _EV_SEQ
+    w.u8(op_value)
+    w.u8(flags)
+    if flags & _EV_RANGE1:
+        w.svarint(addr)
+        w.svarint(size)
+    if flags & _EV_RANGE2:
+        w.svarint(addr2)
+        w.svarint(size2)
+    if flags & _EV_SITE:
+        _write_site(w, site)
+    if flags & _EV_SEQ:
+        w.svarint(seq)
+
+
+def _write_trace_obj(w: _BinWriter, trace: Trace) -> None:
+    w.svarint(trace.trace_id)
+    w.string(trace.thread_name)
+    w.uvarint(len(trace.events))
+    for index, event in enumerate(trace.events):
+        _write_event_fields(
+            w, event.op.value, event.addr, event.size, event.addr2,
+            event.size2, event.site, event.seq, index,
+        )
+
+
+def _write_trace_wire(w: _BinWriter, wire: tuple) -> None:
+    """Encode a tuple-wire trace (the process backend keeps traces in
+    tuple form for requeue); validates structure but *not* opcode
+    membership, so the CORRUPT chaos fault can ship a poison opcode
+    that fails typed at decode time."""
+    trace_id, thread_name, events = _expect_tuple(wire, 3, "trace")
+    if not isinstance(trace_id, int) or isinstance(trace_id, bool):
+        raise TraceDecodeError(f"trace id must be an int, got {trace_id!r}")
+    if not isinstance(thread_name, str):
+        raise TraceDecodeError(
+            f"trace thread name must be a str, got {thread_name!r}"
+        )
+    if not isinstance(events, (tuple, list)):
+        raise TraceDecodeError(
+            f"trace events must be a sequence, got {events!r:.80}"
+        )
+    w.svarint(trace_id)
+    w.string(thread_name)
+    w.uvarint(len(events))
+    for index, event in enumerate(events):
+        op, addr, size, addr2, size2, site, seq = _expect_tuple(
+            event, 7, "event"
+        )
+        if (not isinstance(op, int) or isinstance(op, bool)
+                or not 0 <= op <= 0xFF):
+            raise TraceDecodeError(f"event op must fit one byte, got {op!r}")
+        for name, value in (("addr", addr), ("size", size),
+                            ("addr2", addr2), ("size2", size2),
+                            ("seq", seq)):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise TraceDecodeError(
+                    f"event {name} must be an int, got {value!r}"
+                )
+        _write_event_fields(
+            w, op, addr, size, addr2, size2, _decode_site(site), seq, index
+        )
+
+
+def _read_event(r: _BinReader, implied_seq: int) -> Event:
+    op_value = r.u8("event op")
+    flags = r.u8("event flags")
+    if flags & ~_EV_KNOWN:
+        raise TraceDecodeError(f"unknown event flag bits {flags:#04x}")
+    addr = size = addr2 = size2 = 0
+    if flags & _EV_RANGE1:
+        addr = r.svarint("event addr")
+        size = r.svarint("event size")
+    if flags & _EV_RANGE2:
+        addr2 = r.svarint("event addr2")
+        size2 = r.svarint("event size2")
+    site = None
+    if flags & _EV_SITE:
+        site = SourceSite(
+            r.string("site file"),
+            r.svarint("site line"),
+            r.string("site function"),
+        )
+    seq = r.svarint("event seq") if flags & _EV_SEQ else implied_seq
+    try:
+        op = Op(op_value)
+    except ValueError:
+        # Raised only after the record's bytes are fully consumed: the
+        # cursor is at the next record, so batch decoding can isolate
+        # the poisoned trace instead of losing the whole message.
+        raise _UnknownOpError(f"unknown op value {op_value}") from None
+    return Event(op, addr, size, addr2, size2, site, seq)
+
+
+def _read_trace(r: _BinReader) -> Trace:
+    trace_id = r.svarint("trace id")
+    thread_name = r.string("trace thread name")
+    n = r.count("event count")
+    events: List[Event] = []
+    bad: Optional[_UnknownOpError] = None
+    for index in range(n):
+        try:
+            events.append(_read_event(r, index))
+        except _UnknownOpError as exc:
+            if bad is None:
+                bad = exc
+    if bad is not None:
+        raise bad
+    trace = Trace(trace_id, thread_name=thread_name)
+    trace.events = events  # wire discipline: seq preserved verbatim
+    return trace
+
+
+# --- reports/results --------------------------------------------------
+def _write_report(w: _BinWriter, report: Report) -> None:
+    w.u8(_LEVEL_TAGS[report.level])
+    w.string(report.code.value)
+    w.string(report.message)
+    flags = (1 if report.site is not None else 0) | (
+        2 if report.related_site is not None else 0
+    )
+    w.u8(flags)
+    if report.site is not None:
+        _write_site(w, report.site)
+    if report.related_site is not None:
+        _write_site(w, report.related_site)
+    w.svarint(report.trace_id)
+    w.svarint(report.seq)
+
+
+def _read_site(r: _BinReader) -> SourceSite:
+    return SourceSite(
+        r.string("site file"), r.svarint("site line"),
+        r.string("site function"),
+    )
+
+
+def _read_report(r: _BinReader) -> Report:
+    tag = r.u8("report level")
+    level = _TAG_LEVELS.get(tag)
+    if level is None:
+        raise TraceDecodeError(f"unknown report level tag {tag}")
+    code_value = r.string("report code")
+    try:
+        code = ReportCode(code_value)
+    except ValueError as exc:
+        raise TraceDecodeError(f"unknown report code {code_value!r}") from exc
+    message = r.string("report message")
+    flags = r.u8("report site flags")
+    if flags & ~3:
+        raise TraceDecodeError(f"unknown report flag bits {flags:#04x}")
+    site = _read_site(r) if flags & 1 else None
+    related = _read_site(r) if flags & 2 else None
+    return Report(
+        level=level, code=code, message=message, site=site,
+        related_site=related, trace_id=r.svarint("report trace id"),
+        seq=r.svarint("report seq"),
+    )
+
+
+def _write_result(w: _BinWriter, result: TestResult) -> None:
+    w.uvarint(len(result.reports))
+    for report in result.reports:
+        _write_report(w, report)
+    w.svarint(result.traces_checked)
+    w.svarint(result.events_checked)
+    w.svarint(result.checkers_evaluated)
+
+
+def _read_result(r: _BinReader) -> TestResult:
+    n = r.count("report count")
+    reports = [_read_report(r) for _ in range(n)]
+    return TestResult(
+        reports=reports,
+        traces_checked=r.svarint("traces checked"),
+        events_checked=r.svarint("events checked"),
+        checkers_evaluated=r.svarint("checkers evaluated"),
+    )
+
+
+# --- metrics registries -----------------------------------------------
+def _write_registry(w: _BinWriter, registry: "MetricsRegistry") -> None:
+    from repro.core.metrics import MetricsLevel
+
+    w.u8(2 if registry.level is MetricsLevel.FULL else 1)
+    counters = sorted((n, c.value) for n, c in registry._counters.items())
+    w.uvarint(len(counters))
+    for name, value in counters:
+        w.string(name)
+        w.svarint(value)
+    gauges = sorted((n, g.value) for n, g in registry._gauges.items())
+    w.uvarint(len(gauges))
+    for name, value in gauges:
+        w.string(name)
+        w.svarint(value)
+    histograms = sorted(registry._histograms.items())
+    w.uvarint(len(histograms))
+    for name, h in histograms:
+        w.string(name)
+        w.svarint(h.count)
+        w.svarint(h.total)
+        flags = (1 if h.vmin is not None else 0) | (
+            2 if h.vmax is not None else 0
+        )
+        w.u8(flags)
+        if h.vmin is not None:
+            w.svarint(h.vmin)
+        if h.vmax is not None:
+            w.svarint(h.vmax)
+        buckets = [(i, n) for i, n in enumerate(h.counts) if n]
+        w.uvarint(len(buckets))
+        for index, count in buckets:
+            w.uvarint(index)
+            w.svarint(count)
+
+
+def _read_registry(r: _BinReader) -> "MetricsRegistry":
+    from repro.core.metrics import (
+        NUM_BUCKETS,
+        MetricsLevel,
+        MetricsRegistry,
+    )
+
+    tag = r.u8("registry level")
+    level = {1: MetricsLevel.BASIC, 2: MetricsLevel.FULL}.get(tag)
+    if level is None:
+        raise TraceDecodeError(f"unknown metrics level tag {tag}")
+    registry = MetricsRegistry(level)
+    for _ in range(r.count("counter count")):
+        name = r.string("counter name")
+        registry.counter(name).inc(r.svarint("counter value"))
+    for _ in range(r.count("gauge count")):
+        name = r.string("gauge name")
+        registry.gauge(name).observe(r.svarint("gauge value"))
+    for _ in range(r.count("histogram count")):
+        h = registry.histogram(r.string("histogram name"))
+        h.count = r.svarint("histogram count")
+        h.total = r.svarint("histogram total")
+        flags = r.u8("histogram bound flags")
+        if flags & ~3:
+            raise TraceDecodeError(
+                f"unknown histogram flag bits {flags:#04x}"
+            )
+        h.vmin = r.svarint("histogram min") if flags & 1 else None
+        h.vmax = r.svarint("histogram max") if flags & 2 else None
+        for _ in range(r.count("bucket count")):
+            index = r.uvarint("bucket index")
+            if index >= NUM_BUCKETS:
+                raise TraceDecodeError(f"bucket index {index} out of range")
+            h.counts[index] = r.svarint("bucket value")
+    return registry
+
+
+# --- public binary API ------------------------------------------------
+def encode_traces_binary(traces: Iterable[Trace]) -> bytes:
+    """Encode :class:`Trace` objects to one binary ``traces`` message."""
+    traces = list(traces)
+    w = _BinWriter()
+    w.uvarint(len(traces))
+    for trace in traces:
+        _write_trace_obj(w, trace)
+    return w.finish(_KIND_TRACES)
+
+
+def decode_traces_binary(data) -> List[Trace]:
+    r = _BinReader(data)
+    if r.kind != _KIND_TRACES:
+        raise TraceDecodeError(f"expected a traces message, got kind {r.kind}")
+    return [_read_trace(r) for _ in range(r.count("trace count"))]
+
+
+def encode_trace_binary(trace: Trace) -> bytes:
+    """Encode a single trace (the shared-memory KernelFifo payload)."""
+    return encode_traces_binary([trace])
+
+
+def decode_trace_binary(data) -> Trace:
+    traces = decode_traces_binary(data)
+    if len(traces) != 1:
+        raise TraceDecodeError(
+            f"expected exactly one trace, got {len(traces)}"
+        )
+    return traces[0]
+
+
+def dump_traces_binary(traces: Iterable[Trace],
+                       destination: Union[str, Path]) -> int:
+    """Write traces in the compact binary format; returns trace count.
+
+    The binary dump is a single ``traces`` message — the same codec the
+    process backend uses on the wire — so it is typically 5-10x smaller
+    than the JSON-lines dump for site-free traces.
+    """
+    traces = list(traces)
+    data = encode_traces_binary(traces)
+    Path(destination).write_bytes(data)
+    return len(traces)
+
+
+def load_traces_binary(source: Union[str, Path]) -> List[Trace]:
+    try:
+        return decode_traces_binary(Path(source).read_bytes())
+    except TraceDecodeError as exc:
+        raise TraceFormatError(f"bad binary trace file: {exc}") from exc
+
+
+def load_traces_auto(source: Union[str, Path]) -> List[Trace]:
+    """Load a trace dump in either format, sniffing the magic bytes."""
+    path = Path(source)
+    with open(path, "rb") as handle:
+        magic = handle.read(4)
+    if magic == BINARY_MAGIC:
+        return load_traces_binary(path)
+    return load_traces(path)
+
+
+# --- IPC messages (process-backend channels) --------------------------
+def encode_task_message(batch: Iterable[Tuple[int, tuple]]) -> bytes:
+    """Encode a task batch of ``(seq, tuple-wire trace)`` pairs."""
+    batch = list(batch)
+    w = _BinWriter()
+    w.uvarint(len(batch))
+    for seq, wire in batch:
+        w.svarint(seq)
+        _write_trace_wire(w, wire)
+    return w.finish(_KIND_TASK)
+
+
+def encode_ack_message(worker: int, seqs: Iterable[int]) -> bytes:
+    seqs = list(seqs)
+    w = _BinWriter()
+    w.uvarint(worker)
+    w.uvarint(len(seqs))
+    for seq in seqs:
+        w.svarint(seq)
+    return w.finish(_KIND_ACK)
+
+
+def encode_result_message(
+    worker: int,
+    items: Iterable[Tuple[int, Optional[TestResult], Optional[str]]],
+    registry: "Optional[MetricsRegistry]" = None,
+) -> bytes:
+    """Encode a result batch: ``(seq, result-or-None, error-or-None)``
+    triples plus an optional piggybacked metrics-registry delta."""
+    items = list(items)
+    w = _BinWriter()
+    w.uvarint(worker)
+    w.u8(1 if registry is not None else 0)
+    w.uvarint(len(items))
+    for seq, result, error in items:
+        w.svarint(seq)
+        if error is not None:
+            w.u8(1)
+            w.string(error)
+        else:
+            w.u8(0)
+            _write_result(w, result)
+    if registry is not None:
+        _write_registry(w, registry)
+    return w.finish(_KIND_RESULT)
+
+
+def encode_stop_message() -> bytes:
+    return _BinWriter().finish(_KIND_STOP)
+
+
+def decode_message(data) -> tuple:
+    """Decode any binary message; the first element names its kind.
+
+    Returns one of::
+
+        ("traces", [Trace, ...])
+        ("task", [(seq, Trace | TraceDecodeError), ...])
+        ("ack", worker, [seq, ...])
+        ("res", worker, [(seq, TestResult|None, error|None), ...],
+         registry | None)
+        ("stop",)
+
+    A poisoned trace inside a task batch (unknown opcode — the CORRUPT
+    chaos fault) decodes to its per-seq :class:`TraceDecodeError` while
+    the rest of the batch survives; framing damage fails the whole
+    message with :class:`TraceDecodeError`.
+    """
+    r = _BinReader(data)
+    if r.kind == _KIND_TRACES:
+        return ("traces", [_read_trace(r) for _ in range(r.count("trace count"))])
+    if r.kind == _KIND_TASK:
+        pairs: List[Tuple[int, object]] = []
+        for _ in range(r.count("task count")):
+            seq = r.svarint("task seq")
+            try:
+                pairs.append((seq, _read_trace(r)))
+            except _UnknownOpError as exc:
+                # Hand callers the plain base class: _UnknownOpError is
+                # an internal cursor-is-still-consistent marker, and
+                # worker error strings are built from repr(), which
+                # should show the stable TraceDecodeError name.
+                pairs.append((seq, TraceDecodeError(str(exc))))
+        return ("task", pairs)
+    if r.kind == _KIND_ACK:
+        worker = r.uvarint("ack worker")
+        return ("ack", worker,
+                [r.svarint("ack seq") for _ in range(r.count("ack count"))])
+    if r.kind == _KIND_RESULT:
+        worker = r.uvarint("result worker")
+        has_registry = r.u8("registry flag")
+        if has_registry > 1:
+            raise TraceDecodeError(f"bad registry flag {has_registry}")
+        items: List[Tuple[int, Optional[TestResult], Optional[str]]] = []
+        for _ in range(r.count("result count")):
+            seq = r.svarint("result seq")
+            tag = r.u8("result tag")
+            if tag == 0:
+                items.append((seq, _read_result(r), None))
+            elif tag == 1:
+                items.append((seq, None, r.string("result error")))
+            else:
+                raise TraceDecodeError(f"unknown result tag {tag}")
+        registry = _read_registry(r) if has_registry else None
+        return ("res", worker, items, registry)
+    if r.kind == _KIND_STOP:
+        return ("stop",)
+    raise TraceDecodeError(f"unknown binary message kind {r.kind}")
+
+
+def corrupt_wire_framed(wire: tuple) -> tuple:
+    """CORRUPT chaos fault for binary-codec transports.
+
+    :func:`corrupt_wire` truncates a tuple, which the binary encoder
+    would reject at *encode* time — the wrong side.  This variant keeps
+    the tuple well-formed but swaps the first event's opcode for a
+    value no :class:`Op` member uses, so the trace encodes fine and
+    fails with :class:`TraceDecodeError` at decode, exercising the
+    corruption-in-transit path end to end.
+    """
+    trace_id, thread_name, events = wire
+    if events:
+        first = (_POISON_OP,) + tuple(events[0])[1:]
+        events = (first,) + tuple(events[1:])
+    else:
+        events = ((_POISON_OP, 0, 0, 0, 0, None, 0),)
+    return (trace_id, thread_name, events)
+
+
 class TraceRecorder:
     """A trace sink that archives instead of checking.
 

@@ -90,7 +90,16 @@ class WorkerPool:
         checking backend explicitly; ``None`` derives it from
         ``num_workers`` as above.
     batch_size:
-        Traces per IPC message (process backend only).
+        Traces per IPC message (process backend only).  ``None``
+        (default) lets the batch size adapt to backpressure between 1
+        and ``MAX_BATCH_SIZE``; an explicit integer pins it.
+    transport:
+        ``"queue"`` or ``"shm"`` — how process-backend batches cross
+        the process boundary (``None`` consults ``PMTEST_TRANSPORT``,
+        defaulting to ``queue``).  Ignored by inline/thread backends.
+    codec:
+        ``"pickle"`` or ``"binary"`` wire codec for the process
+        backend (``None`` picks the transport's native codec).
     check_timeout:
         Per-drain watchdog (seconds).  After this long with no trace
         completing, outstanding work is requeued once; if that brings
@@ -124,7 +133,9 @@ class WorkerPool:
         num_workers: int = 1,
         name: str = "pmtest",
         backend: Optional[str] = None,
-        batch_size: int = DEFAULT_BATCH_SIZE,
+        batch_size: Optional[int] = None,
+        transport: Optional[str] = None,
+        codec: Optional[str] = None,
         check_timeout: Optional[float] = None,
         max_retries: int = 2,
         fallback: bool = True,
@@ -146,6 +157,8 @@ class WorkerPool:
         self._num_workers = num_workers
         self._name = name
         self._batch_size = batch_size
+        self._transport = transport
+        self._codec = codec
         self._resilience = Resilience(
             check_timeout=check_timeout,
             max_retries=max_retries,
@@ -161,6 +174,8 @@ class WorkerPool:
             rules,
             num_workers=num_workers,
             batch_size=batch_size,
+            transport=transport,
+            codec=codec,
             thread_name=name,
             resilience=self._resilience,
             faults=faults,
@@ -181,6 +196,12 @@ class WorkerPool:
     def backend_name(self) -> str:
         """Which checking backend is active (inline/thread/process)."""
         return self._backend.name
+
+    @property
+    def transport(self) -> str:
+        """The active backend's transport (``queue`` for in-process
+        backends, which never cross a process boundary)."""
+        return getattr(self._backend, "transport", "queue")
 
     @property
     def num_workers(self) -> int:
@@ -331,6 +352,8 @@ class WorkerPool:
             self._rules,
             num_workers=max(self._num_workers, 1),
             batch_size=self._batch_size,
+            transport=self._transport,
+            codec=self._codec,
             thread_name=self._name,
             resilience=self._resilience,
             metrics=self._metrics,

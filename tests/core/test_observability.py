@@ -31,11 +31,13 @@ def record_traces(n=6):
     return traces
 
 
-def run_backend(backend, traces, workers=2):
+def run_backend(backend, traces, workers=2, transport=None, codec=None):
     registry = MetricsRegistry(MetricsLevel.FULL)
     with WorkerPool(
         num_workers=workers if backend != "inline" else 0,
         backend=backend,
+        transport=transport,
+        codec=codec,
         metrics=registry,
     ) as pool:
         for trace in traces:
@@ -70,6 +72,23 @@ class TestBackendRegistryEquivalence:
             traces
         )
         assert other_snap.counter_value("stage.drain.count") == 1
+
+    @pytest.mark.parametrize(
+        "transport,codec",
+        [("queue", "pickle"), ("queue", "binary"), ("shm", "binary")],
+    )
+    def test_totals_match_inline_across_transports(self, transport, codec):
+        """Engine counter totals are transport- and codec-independent:
+        the wire layer must not change what the workers computed."""
+        traces = record_traces()
+        _, inline_snap = run_backend("inline", traces)
+        _, other_snap = run_backend(
+            "process", traces, transport=transport, codec=codec
+        )
+        for name in ENGINE_COUNTERS:
+            assert other_snap.counter_value(name) == inline_snap.counter_value(
+                name
+            ), name
 
     def test_full_level_records_stage_nanoseconds(self):
         traces = record_traces()

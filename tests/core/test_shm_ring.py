@@ -1,0 +1,185 @@
+"""Tests for the shared-memory ring buffer (the shm transport's core)."""
+
+import multiprocessing
+import threading
+import time
+
+import pytest
+
+from repro.core.shm_ring import RingClosed, ShmRing
+
+
+@pytest.fixture
+def ring():
+    r = ShmRing(4096)
+    yield r
+    r.release()
+
+
+class TestBasics:
+    def test_fifo_order(self, ring):
+        for i in range(10):
+            assert ring.try_push(b"rec-%d" % i)
+        for i in range(10):
+            assert ring.try_pop() == b"rec-%d" % i
+
+    def test_empty_pop_is_none(self, ring):
+        assert ring.try_pop() is None
+
+    def test_empty_payload(self, ring):
+        assert ring.try_push(b"")
+        assert ring.try_pop() == b""
+
+    def test_byte_accounting(self, ring):
+        assert ring.used_bytes() == 0
+        ring.try_push(b"x" * 100)
+        assert ring.used_bytes() == 104  # 4-byte length frame
+        assert ring.free_bytes() == ring.capacity - 104
+        ring.try_pop()
+        assert ring.used_bytes() == 0
+
+    def test_oversized_record_rejected(self, ring):
+        with pytest.raises(ValueError, match="cannot fit"):
+            ring.try_push(b"x" * ring.capacity)
+
+    def test_tiny_capacity_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            ShmRing(8)
+
+
+class TestWraparound:
+    def test_many_records_through_small_ring(self):
+        """Total bytes pushed far exceed capacity, forcing the length
+        frame and the payload to straddle the wrap point repeatedly."""
+        ring = ShmRing(256)
+        try:
+            for i in range(1000):
+                payload = bytes([i % 251]) * (i % 97)
+                assert ring.push(payload, timeout=1.0) is None
+                assert ring.pop(timeout=1.0) == payload
+        finally:
+            ring.release()
+
+    def test_interleaved_partial_drain(self):
+        ring = ShmRing(512)
+        try:
+            expected = []
+            pushed = popped = 0
+            for round_no in range(50):
+                while pushed - popped < 4:
+                    payload = b"%d:%d" % (round_no, pushed)
+                    if not ring.try_push(payload):
+                        break
+                    expected.append(payload)
+                    pushed += 1
+                assert ring.try_pop() == expected[popped]
+                popped += 1
+            while popped < pushed:
+                assert ring.try_pop() == expected[popped]
+                popped += 1
+        finally:
+            ring.release()
+
+
+class TestBackpressure:
+    def test_try_push_full_returns_false(self):
+        ring = ShmRing(64)
+        try:
+            assert ring.try_push(b"x" * 50)
+            assert not ring.try_push(b"y" * 50)
+        finally:
+            ring.release()
+
+    def test_push_timeout(self):
+        ring = ShmRing(64)
+        try:
+            ring.try_push(b"x" * 50)
+            with pytest.raises(TimeoutError):
+                ring.push(b"y" * 50, timeout=0.05)
+        finally:
+            ring.release()
+
+    def test_pop_timeout(self, ring):
+        with pytest.raises(TimeoutError):
+            ring.pop(timeout=0.05)
+
+    def test_parked_producer_resumes(self):
+        ring = ShmRing(64)
+        try:
+            ring.try_push(b"x" * 50)
+
+            def drain_soon():
+                time.sleep(0.05)
+                ring.try_pop()
+
+            t = threading.Thread(target=drain_soon)
+            t.start()
+            ring.push(b"y" * 50, timeout=2.0)  # must not raise
+            t.join()
+            assert ring.try_pop() == b"y" * 50
+        finally:
+            ring.release()
+
+
+class TestClose:
+    def test_push_on_closed_raises(self, ring):
+        ring.close()
+        with pytest.raises(RingClosed):
+            ring.try_push(b"data")
+
+    def test_pop_drains_then_raises(self, ring):
+        ring.try_push(b"last")
+        ring.close()
+        assert ring.try_pop() == b"last"
+        with pytest.raises(RingClosed):
+            ring.try_pop()
+
+    def test_close_wakes_parked_consumer(self, ring):
+        def close_soon():
+            time.sleep(0.05)
+            ring.close()
+
+        t = threading.Thread(target=close_soon)
+        t.start()
+        with pytest.raises(RingClosed):
+            ring.pop(timeout=5.0)
+        t.join()
+
+    def test_release_is_idempotent(self):
+        ring = ShmRing(1024)
+        ring.release()
+        ring.release()
+
+
+def _child_pushes(ring, n):
+    for i in range(n):
+        ring.push(b"child-%d" % i, timeout=10.0)
+
+
+class TestCrossProcess:
+    def test_fork_transfer(self):
+        ctx = multiprocessing.get_context("fork")
+        ring = ShmRing(4096, ctx=ctx)
+        try:
+            p = ctx.Process(target=_child_pushes, args=(ring, 20))
+            p.start()
+            got = [ring.pop(timeout=10.0) for _ in range(20)]
+            p.join(timeout=10.0)
+            assert got == [b"child-%d" % i for i in range(20)]
+            assert p.exitcode == 0
+        finally:
+            ring.release()
+
+    def test_spawn_transfer(self):
+        """Pickling ships the segment name; the child re-attaches."""
+        ctx = multiprocessing.get_context("spawn")
+        ring = ShmRing(4096, ctx=ctx)
+        try:
+            p = ctx.Process(target=_child_pushes, args=(ring, 5))
+            p.start()
+            got = [ring.pop(timeout=30.0) for _ in range(5)]
+            p.join(timeout=30.0)
+            assert got == [b"child-%d" % i for i in range(5)]
+            assert p.exitcode == 0
+        finally:
+            ring.release()

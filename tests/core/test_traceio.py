@@ -12,19 +12,35 @@ from repro.core.engine import CheckingEngine
 from repro.core.events import Event, Op, SourceSite, Trace
 from repro.core.reports import Level, Report, ReportCode, TestResult
 from repro.core.rules import HOPSRules
+from repro.core.metrics import MetricsLevel, MetricsRegistry
 from repro.core.traceio import (
+    BINARY_MAGIC,
     TraceDecodeError,
     TraceFormatError,
     TraceRecorder,
     corrupt_wire,
+    corrupt_wire_framed,
     decode_event,
+    decode_message,
+    decode_registry,
     decode_result,
     decode_trace,
+    decode_trace_binary,
+    decode_traces_binary,
     dump_traces,
+    dump_traces_binary,
+    encode_ack_message,
     encode_event,
+    encode_registry,
     encode_result,
+    encode_result_message,
+    encode_task_message,
     encode_trace,
+    encode_trace_binary,
+    encode_traces_binary,
     load_traces,
+    load_traces_auto,
+    load_traces_binary,
 )
 
 
@@ -354,3 +370,263 @@ class TestDecodeValidation:
         events = (wire[2][0][:arity],) + tuple(wire[2][1:])
         with pytest.raises(TraceDecodeError):
             decode_trace((wire[0], wire[1], events))
+
+
+# ----------------------------------------------------------------------
+# Binary codec (the zero-copy transport's wire and disk format)
+# ----------------------------------------------------------------------
+def _append_built(trace_id, thread_name, events):
+    """A trace built through append(), i.e. with canonical seq numbers —
+    the only kind the JSON-lines format can represent losslessly."""
+    trace = Trace(trace_id, thread_name=thread_name)
+    for event in events:
+        trace.append(event)
+    return trace
+
+
+#: Events as the instrumentation API produces them: an address is only
+#: meaningful with a size (the JSON-lines dump elides zero-size ranges).
+_ranges = st.one_of(
+    st.just((0, 0)),
+    st.tuples(
+        st.integers(min_value=0, max_value=2**40),
+        st.integers(min_value=1, max_value=2**20),
+    ),
+)
+
+_canonical_events = st.builds(
+    lambda op, r1, r2, site: Event(op, r1[0], r1[1], r2[0], r2[1], site),
+    op=st.sampled_from(list(Op)),
+    r1=_ranges,
+    r2=_ranges,
+    site=_sites,
+)
+
+_canonical_traces = st.builds(
+    _append_built,
+    trace_id=st.integers(min_value=0, max_value=2**31),
+    thread_name=st.text(min_size=1, max_size=16),
+    events=st.lists(_canonical_events, max_size=12),
+)
+
+
+class TestBinaryRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(_traces)
+    def test_single_trace(self, trace):
+        decoded = decode_trace_binary(encode_trace_binary(trace))
+        assert decoded == trace
+        # seq survives verbatim, exactly like the tuple wire.
+        assert [e.seq for e in decoded.events] == [
+            e.seq for e in trace.events
+        ]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(_traces, max_size=5))
+    def test_trace_batch(self, traces):
+        assert decode_traces_binary(encode_traces_binary(traces)) == traces
+
+    def test_disk_roundtrip_and_sniffing(self, tmp_path):
+        traces = sample_traces()
+        bin_path = tmp_path / "run.pmtb"
+        json_path = tmp_path / "run.pmtrace"
+        dump_traces_binary(traces, bin_path)
+        dump_traces(traces, json_path)
+        assert bin_path.read_bytes()[:4] == BINARY_MAGIC
+        assert load_traces_binary(bin_path) == traces
+        # load_traces_auto dispatches on the magic, not the extension.
+        assert load_traces_auto(bin_path) == load_traces_auto(json_path)
+
+    def test_binary_dump_is_smaller_than_json(self, tmp_path):
+        traces = sample_traces()
+        bin_path = tmp_path / "run.pmtb"
+        json_path = tmp_path / "run.pmtrace"
+        dump_traces_binary(traces, bin_path)
+        dump_traces(traces, json_path)
+        assert bin_path.stat().st_size < json_path.stat().st_size
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_canonical_traces, max_size=4))
+    def test_differential_binary_vs_json_vs_memory(self, traces):
+        """Satellite: both serializations agree with the in-memory form
+        for any append-built trace (ops, sites, TX markers)."""
+        binary = decode_traces_binary(encode_traces_binary(traces))
+        buffer = io.StringIO()
+        dump_traces(traces, buffer)
+        buffer.seek(0)
+        json_side = load_traces(buffer)
+        assert binary == traces
+        assert json_side == traces
+        assert binary == json_side
+
+    def test_golden_v1_file_decodes(self):
+        """Cross-version safety net: a committed v1 binary dump must
+        decode identically forever (version bumps add formats, they do
+        not reinterpret old bytes)."""
+        from pathlib import Path
+
+        golden = Path(__file__).parent / "data" / "golden_v1.pmtb"
+        assert load_traces_binary(golden) == sample_traces()
+
+
+class TestBinaryMessages:
+    def test_task_message_roundtrip(self):
+        traces = sample_traces()
+        batch = [(7, encode_trace(traces[0])), (9, encode_trace(traces[1]))]
+        kind, pairs = decode_message(encode_task_message(batch))
+        assert kind == "task"
+        assert [seq for seq, _ in pairs] == [7, 9]
+        assert [t for _, t in pairs] == traces
+
+    def test_ack_message_roundtrip(self):
+        assert decode_message(encode_ack_message(3, [5, 6, 11])) == (
+            "ack", 3, [5, 6, 11]
+        )
+
+    def test_result_message_roundtrip(self):
+        result = TestResult(traces_checked=2, events_checked=10)
+        data = encode_result_message(
+            1, [(4, result, None), (5, None, "boom")]
+        )
+        kind, worker, items, registry = decode_message(data)
+        assert (kind, worker) == ("res", 1)
+        assert items[0] == (4, result, None)
+        assert items[1] == (5, None, "boom")
+        assert registry is None
+
+    def test_result_message_carries_registry(self):
+        registry = MetricsRegistry(MetricsLevel.FULL)
+        registry.counter("engine.traces").inc(3)
+        registry.histogram("engine.latency").record(17)
+        data = encode_result_message(0, [], registry=registry)
+        _, _, _, decoded = decode_message(data)
+        assert decoded.counter_value("engine.traces") == 3
+        assert decoded.to_dict() == registry.to_dict()
+
+    def test_poisoned_trace_is_isolated_in_batch(self):
+        """corrupt_wire_framed's poison op fails only its own trace;
+        neighbours in the same message decode fine."""
+        traces = sample_traces()
+        batch = [
+            (0, corrupt_wire_framed(encode_trace(traces[0]))),
+            (1, encode_trace(traces[1])),
+        ]
+        kind, pairs = decode_message(encode_task_message(batch))
+        assert kind == "task"
+        assert isinstance(pairs[0][1], TraceDecodeError)
+        assert "TraceDecodeError" in repr(pairs[0][1])
+        assert pairs[1][1] == traces[1]
+
+    def test_poisoned_wire_also_fails_tuple_decode(self):
+        """The stored tuple wire of a poisoned trace must fail
+        decode_trace too, so the corrupted-in-transit diagnosis is
+        transport-independent."""
+        poisoned = corrupt_wire_framed(encode_trace(sample_traces()[0]))
+        with pytest.raises(TraceDecodeError, match="unknown op"):
+            decode_trace(poisoned)
+
+    def test_corrupt_wire_framed_on_empty_trace(self):
+        """Even an empty trace gets a poison event appended, so the
+        corruption is never a silent no-op."""
+        poisoned = corrupt_wire_framed(encode_trace(Trace(0)))
+        with pytest.raises(TraceDecodeError):
+            decode_trace(poisoned)
+        _, pairs = decode_message(encode_task_message([(0, poisoned)]))
+        assert isinstance(pairs[0][1], TraceDecodeError)
+
+    def test_corrupt_wire_framed_is_deterministic(self):
+        wire = encode_trace(sample_traces()[0])
+        assert corrupt_wire_framed(wire) == corrupt_wire_framed(wire)
+
+
+class TestBinaryCorruption:
+    """Damaged binary wire fails with TraceDecodeError — never an
+    IndexError/struct.error/UnicodeDecodeError from inside the reader."""
+
+    def _payloads(self):
+        traces = sample_traces()
+        registry = MetricsRegistry(MetricsLevel.FULL)
+        registry.counter("c").inc(2)
+        registry.gauge("g").observe(5)
+        registry.histogram("h").record(9)
+        return [
+            encode_traces_binary(traces),
+            encode_task_message([(3, encode_trace(traces[0]))]),
+            encode_ack_message(1, [2, 3]),
+            encode_result_message(
+                0,
+                [(1, TestResult(traces_checked=1), None)],
+                registry=registry,
+            ),
+        ]
+
+    @settings(max_examples=120, deadline=None)
+    @given(st.data())
+    def test_truncation_is_typed(self, data):
+        payload = data.draw(st.sampled_from(self._payloads()))
+        cut = data.draw(st.integers(min_value=0, max_value=len(payload) - 1))
+        try:
+            decode_message(payload[:cut])
+        except TraceDecodeError:
+            pass
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.data())
+    def test_byte_flips_are_typed(self, data):
+        payload = bytearray(data.draw(st.sampled_from(self._payloads())))
+        pos = data.draw(st.integers(min_value=0, max_value=len(payload) - 1))
+        flip = data.draw(st.integers(min_value=1, max_value=255))
+        payload[pos] ^= flip
+        try:
+            decode_message(bytes(payload))
+        except TraceDecodeError:
+            pass
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.binary(max_size=60))
+    def test_arbitrary_bytes_are_typed(self, blob):
+        try:
+            decode_message(blob)
+        except TraceDecodeError:
+            pass
+
+    def test_bad_magic(self):
+        with pytest.raises(TraceDecodeError, match="magic"):
+            decode_message(b"NOPE" + b"\x01\x01\x00")
+
+    def test_future_version_rejected(self):
+        data = bytearray(encode_traces_binary([]))
+        data[4] = 99
+        with pytest.raises(TraceDecodeError, match="version"):
+            decode_message(bytes(data))
+
+
+class TestRegistryWireValidation:
+    """Satellite: registry- and result-wire junk raises TraceDecodeError
+    (not KeyError/IndexError), same as trace-wire."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(_junk)
+    def test_registry_decoder_never_raises_untyped(self, junk):
+        try:
+            decode_registry(junk)
+        except TraceDecodeError:
+            pass
+
+    def test_unknown_metrics_level(self):
+        wire = list(encode_registry(MetricsRegistry(MetricsLevel.BASIC)))
+        wire[0] = "turbo"
+        with pytest.raises(TraceDecodeError):
+            decode_registry(tuple(wire))
+
+    def test_short_registry_tuple(self):
+        with pytest.raises(TraceDecodeError):
+            decode_registry(("full",))
+
+    @settings(max_examples=120, deadline=None)
+    @given(_junk)
+    def test_report_junk_inside_result_is_typed(self, junk):
+        try:
+            decode_result(((junk,), 0, 0, 0))
+        except TraceDecodeError:
+            pass
