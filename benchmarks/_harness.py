@@ -31,8 +31,11 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.baselines.pmemcheck import PmemcheckTool
 from repro.core.api import PMTestSession
-from repro.core.events import Event, Op, Trace
+from repro.core.engine import CheckingEngine
+from repro.core.events import Event, Op, SourceSite, Trace
+from repro.core.rules import X86Rules
 from repro.core.traceio import encode_task_message, encode_trace
+from repro.core.verdict_cache import VerdictCache
 from repro.core.workers import DEFAULT_BATCH_SIZE, WorkerPool
 from repro.instr.runtime import PMRuntime
 from repro.pmem.machine import PMMachine
@@ -74,6 +77,10 @@ METRICS: Dict[Tuple[str, Tuple], dict] = {}
 #: wire-codec measurement: codec name -> bytes per trace on the fig12
 #: checking workload (populated by the transport ablation)
 WIRE_BYTES: Dict[str, float] = {}
+
+#: verdict-cache measurement: hit rate and coalesced-write count on the
+#: repeated-trace workload (populated by the fig10c ablation)
+VERDICT_CACHE: Dict[str, float] = {}
 
 Execute = Callable[[], None]
 
@@ -342,6 +349,74 @@ def prepare_backend_throughput(
         result = pool.drain()
         assert result.traces_checked == len(traces)
         pool.close()
+
+    return execute
+
+
+# ----------------------------------------------------------------------
+# Verdict-cache ablation: repeated-trace checking throughput
+# ----------------------------------------------------------------------
+_INSERT_SITE = SourceSite("bench_workload.c", 42, "tx_insert")
+
+
+def make_repeated_tx_traces(
+    n_traces: int = 400, tx_per_trace: int = 20
+) -> List[Trace]:
+    """Structurally identical transactional traces at distinct bases.
+
+    The repeated-trace workload the verdict cache targets: every trace
+    is the same PMDK-style insert skeleton (tx-checked undo-logged
+    writes, then a non-transactional header epilogue) relocated to a
+    fresh allocation, so all traces share one canonical fingerprint and
+    every trace after the first is a cache hit.  The epilogue writes
+    the header small-then-whole, giving epoch coalescing one dead write
+    per trace to eliminate.
+    """
+    traces = []
+    for t in range(n_traces):
+        base = 0x100000 * (t + 1)
+        trace = Trace(t)
+        trace.append(Event(Op.TX_CHECK_START, site=_INSERT_SITE))
+        trace.append(Event(Op.TX_BEGIN, site=_INSERT_SITE))
+        for i in range(tx_per_trace):
+            node = base + i * 0x100
+            trace.append(Event(Op.TX_ADD, node, 64, site=_INSERT_SITE))
+            trace.append(Event(Op.WRITE, node, 8, site=_INSERT_SITE))
+            trace.append(Event(Op.WRITE, node + 8, 56, site=_INSERT_SITE))
+            trace.append(Event(Op.CLWB, node, 64, site=_INSERT_SITE))
+            trace.append(Event(Op.SFENCE, site=_INSERT_SITE))
+        trace.append(Event(Op.TX_END, site=_INSERT_SITE))
+        trace.append(Event(Op.TX_CHECK_END, site=_INSERT_SITE))
+        header = base + tx_per_trace * 0x100
+        trace.append(Event(Op.WRITE, header, 8, site=_INSERT_SITE))
+        trace.append(Event(Op.WRITE, header, 64, site=_INSERT_SITE))
+        trace.append(Event(Op.CLWB, header, 64, site=_INSERT_SITE))
+        trace.append(Event(Op.SFENCE, site=_INSERT_SITE))
+        trace.append(Event(Op.CHECK_PERSIST, header, 64, site=_INSERT_SITE))
+        traces.append(trace)
+    return traces
+
+
+def prepare_verdict_cache(cache_size: int) -> Execute:
+    """Timed body: check the repeated-trace workload on one engine.
+
+    A single inline engine (no worker pool) so exactly one cache serves
+    every trace and the hit rate is deterministic: the first occurrence
+    misses, every repeat hits.  The cache's own counters land in
+    :data:`VERDICT_CACHE` for the terminal summary and benchmark JSON.
+    """
+    n_traces = env_int("PMTEST_BENCH_TRACES", 400)
+    traces = make_repeated_tx_traces(n_traces)
+    cache = VerdictCache(cache_size) if cache_size else None
+    engine = CheckingEngine(X86Rules(), cache=cache)
+
+    def execute() -> None:
+        check = engine.check_trace
+        for trace in traces:
+            check(trace)
+        if cache is not None:
+            VERDICT_CACHE["hit_rate"] = cache.hit_rate()
+            VERDICT_CACHE["writes_merged"] = float(engine.writes_merged)
 
     return execute
 

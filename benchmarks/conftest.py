@@ -18,7 +18,13 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 import pytest
 
-from _harness import METRICS, RESULTS, WIRE_BYTES, slowdown  # noqa: E402
+from _harness import (  # noqa: E402
+    METRICS,
+    RESULTS,
+    VERDICT_CACHE,
+    WIRE_BYTES,
+    slowdown,
+)
 
 
 @pytest.fixture(scope="session")
@@ -69,6 +75,23 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
             tr.write_line(
                 f"{structure:16s} {size:7d} {_fmt(framework):>10s} "
                 f"{_fmt(full):>10s}"
+            )
+
+    if "fig10c" in figures:
+        tr.section("Ablation: cross-trace verdict cache (repeated traces)")
+        off = RESULTS.get(("fig10c", ("cache-off",)))
+        on = RESULTS.get(("fig10c", ("cache-on",)))
+        if off and on:
+            tr.write_line(
+                f"cache-off: {off * 1000:8.2f} ms   "
+                f"cache-on: {on * 1000:8.2f} ms   "
+                f"speedup {off / on:5.2f}x"
+            )
+        if VERDICT_CACHE:
+            tr.write_line(
+                f"hit rate {VERDICT_CACHE.get('hit_rate', 0.0):.1%}   "
+                f"dead writes coalesced "
+                f"{int(VERDICT_CACHE.get('writes_merged', 0))}"
             )
 
     if "fig11" in figures:
@@ -224,6 +247,11 @@ def _dump_json(tr) -> None:
         payload["wire_bytes_ratio_pickle_over_binary"] = (
             WIRE_BYTES["pickle"] / WIRE_BYTES["binary"]
         )
+    cache_off = RESULTS.get(("fig10c", ("cache-off",)))
+    cache_on = RESULTS.get(("fig10c", ("cache-on",)))
+    if cache_off and cache_on:
+        payload["verdict_cache_speedup"] = cache_off / cache_on
+        payload["verdict_cache"] = dict(sorted(VERDICT_CACHE.items()))
     if METRICS:
         payload["metrics"] = {
             f"{figure}/{'/'.join(str(part) for part in config)}": data

@@ -9,6 +9,8 @@ Usage::
                                       [--check-timeout SECONDS]
                                       [--max-retries N]
                                       [--fallback | --no-fallback]
+                                      [--verdict-cache | --no-verdict-cache]
+                                      [--verdict-cache-size N]
                                       [--chaos-seed SEED]
                                       [--metrics-json PATH]
                                       [--trace-out PATH]
@@ -151,6 +153,31 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_false",
         help="fail the check instead of degrading the backend",
     )
+    vc = check.add_mutually_exclusive_group()
+    vc.add_argument(
+        "--verdict-cache",
+        dest="verdict_cache",
+        action="store_true",
+        default=None,
+        help=(
+            "answer structurally identical traces from the per-worker "
+            "verdict cache instead of replaying them (default: "
+            "PMTEST_VERDICT_CACHE, on when unset)"
+        ),
+    )
+    vc.add_argument(
+        "--no-verdict-cache",
+        dest="verdict_cache",
+        action="store_false",
+        help="replay every trace in full",
+    )
+    check.add_argument(
+        "--verdict-cache-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-worker verdict-cache capacity in entries (default 1024)",
+    )
     check.add_argument(
         "--chaos-seed",
         type=int,
@@ -225,6 +252,9 @@ def _check(args: argparse.Namespace, traces) -> int:
     if args.max_retries < 0:
         print("error: --max-retries must be >= 0", file=sys.stderr)
         return 2
+    if args.verdict_cache_size is not None and args.verdict_cache_size < 0:
+        print("error: --verdict-cache-size must be >= 0", file=sys.stderr)
+        return 2
     rules: PersistencyRules = MODELS[args.model]()
     faults = (
         plan_from_seed(args.chaos_seed) if args.chaos_seed is not None else None
@@ -249,6 +279,8 @@ def _check(args: argparse.Namespace, traces) -> int:
             faults=faults,
             metrics=metrics,
             tracer=tracer,
+            verdict_cache=args.verdict_cache,
+            verdict_cache_size=args.verdict_cache_size,
         ) as pool:
             for trace in traces:
                 pool.submit(trace)
@@ -339,6 +371,21 @@ def _metrics_stats(registry: MetricsRegistry) -> int:
         value = registry.counter_value(name)
         if value:
             print(f"{name.split('.', 1)[1] + ':':10s}{value}")
+    # Verdict-cache and write-coalescing effectiveness (only shown when
+    # the run actually consulted the cache / merged writes, so dumps
+    # from cache-off runs render exactly as before).
+    cache_rows = [
+        (name, registry.counter_value(name))
+        for name in ("cache.hits", "cache.misses", "cache.evictions",
+                     "coalesce.writes_merged")
+    ]
+    if any(value for _, value in cache_rows):
+        for name, value in cache_rows:
+            print(f"{name + ':':24s}{value}")
+        hits = registry.counter_value("cache.hits")
+        lookups = hits + registry.counter_value("cache.misses")
+        if lookups:
+            print(f"{'cache.hit_rate:':24s}{hits / lookups:.1%}")
     rows = stage_breakdown(registry)
     grand_total = sum(total for _, total, _ in rows)
     print()

@@ -117,6 +117,14 @@ class PMTestSession:
     tracer:
         An optional :class:`~repro.core.tracing.Tracer` threaded down
         to the worker pool.
+    verdict_cache:
+        On/off switch for the per-worker verdict cache
+        (:mod:`repro.core.verdict_cache`): structurally identical
+        traces are answered from a fingerprint-keyed cache instead of
+        replayed, with byte-identical verdicts.  ``None`` (default)
+        consults ``PMTEST_VERDICT_CACHE``; unset means on.
+    verdict_cache_size:
+        Per-worker verdict-cache capacity in entries (default 1024).
     """
 
     def __init__(
@@ -134,6 +142,8 @@ class PMTestSession:
         sink=None,
         metrics: Optional[MetricsRegistry] = _METRICS_FROM_ENV,
         tracer: Optional[Tracer] = None,
+        verdict_cache: Optional[bool] = None,
+        verdict_cache_size: Optional[int] = None,
     ) -> None:
         self.capture_sites = capture_sites
         self._pool = sink if sink is not None else WorkerPool(
@@ -148,6 +158,8 @@ class PMTestSession:
             faults=faults,
             metrics=metrics,
             tracer=tracer,
+            verdict_cache=verdict_cache,
+            verdict_cache_size=verdict_cache_size,
         )
         self._trace_ids = itertools.count()
         self._local = threading.local()

@@ -105,6 +105,7 @@ from repro.core.recovery import RecoveryEvent, render_events
 from repro.core.reports import TestResult
 from repro.core.rules import PersistencyRules
 from repro.core.shm_ring import DEFAULT_RING_BYTES, RingClosed, ShmRing
+from repro.core.verdict_cache import VerdictCache, resolve_cache_size
 from repro.core.traceio import (
     TraceDecodeError,
     corrupt_wire,
@@ -281,6 +282,7 @@ def make_backend(
     metrics: Optional[MetricsRegistry] = None,
     transport: Optional[str] = None,
     codec: Optional[str] = None,
+    cache_size: Optional[int] = None,
 ) -> "CheckingBackend":
     """Build a backend by name.
 
@@ -297,10 +299,16 @@ def make_backend(
     and wire encoding (``None``: ``PMTEST_TRANSPORT`` or the
     defaults); both are ignored by the in-process backends, which move
     zero wire bytes by construction.
+
+    ``cache_size`` is the per-worker verdict-cache capacity (0
+    disables it; ``None``: resolve the ``PMTEST_VERDICT_CACHE``
+    environment knob, default on).
     """
     name = resolve_backend_name(name, num_workers)
+    if cache_size is None:
+        cache_size = resolve_cache_size()
     if name == "inline":
-        return InlineBackend(rules, metrics=metrics)
+        return InlineBackend(rules, metrics=metrics, cache_size=cache_size)
     if faults is not None:
         rule = faults.fire(FaultPoint.SPAWN)
         if rule is not None and rule.kind is FaultKind.FAIL:
@@ -313,6 +321,7 @@ def make_backend(
             resilience=resilience,
             faults=faults,
             metrics=metrics,
+            cache_size=cache_size,
         )
     if name == "process":
         return ProcessBackend(
@@ -324,6 +333,7 @@ def make_backend(
             metrics=metrics,
             transport=transport,
             codec=codec,
+            cache_size=cache_size,
         )
     raise ValueError(
         f"unknown checking backend {name!r}; expected one of {BACKEND_NAMES}"
@@ -352,6 +362,7 @@ def make_backend_with_fallback(
     metrics: Optional[MetricsRegistry] = None,
     transport: Optional[str] = None,
     codec: Optional[str] = None,
+    cache_size: Optional[int] = None,
 ) -> Tuple["CheckingBackend", List[RecoveryEvent]]:
     """Build a backend, degrading along the chain when spawning fails.
 
@@ -376,6 +387,7 @@ def make_backend_with_fallback(
                 metrics=metrics,
                 transport=transport,
                 codec=codec,
+                cache_size=cache_size,
             )
             return backend, events
         except ValueError:
@@ -413,8 +425,10 @@ class InlineBackend:
         self,
         rules: Optional[PersistencyRules] = None,
         metrics: Optional[MetricsRegistry] = None,
+        cache_size: int = 0,
     ) -> None:
-        self._engine = CheckingEngine(rules, metrics)
+        cache = VerdictCache(cache_size) if cache_size > 0 else None
+        self._engine = CheckingEngine(rules, metrics, cache=cache)
         self._metrics = metrics
         self._lock = threading.Lock()
         self._results: List[_SeqResult] = []
@@ -502,11 +516,15 @@ class ThreadBackend:
         resilience: Optional[Resilience] = None,
         faults: Optional[FaultPlan] = None,
         metrics: Optional[MetricsRegistry] = None,
+        cache_size: int = 0,
     ) -> None:
         if num_workers < 1:
             raise ValueError("thread backend needs at least one worker")
         self._rules = rules
         self._metrics = metrics
+        #: per-worker verdict-cache capacity (0: no cache); each worker
+        #: builds its own cache so no synchronisation is needed
+        self._cache_size = cache_size
         self._metrics_level: Optional[MetricsLevel] = (
             metrics.level if metrics is not None else None
         )
@@ -787,7 +805,10 @@ class ThreadBackend:
             self._worker_registries.append(registry)
             if registry.full:
                 wait_hist = registry.histogram("thread.queue_wait_ns")
-        engine = CheckingEngine(self._rules, registry)
+        cache = (
+            VerdictCache(self._cache_size) if self._cache_size > 0 else None
+        )
+        engine = CheckingEngine(self._rules, registry, cache=cache)
         results = self._worker_results[index]
         errors = self._worker_errors[index]
         while True:
@@ -834,7 +855,7 @@ class ThreadBackend:
 # ----------------------------------------------------------------------
 def _process_worker(
     index: int, task_ch, result_ch, rules, faults, metrics_level=None,
-    transport: str = "queue", codec: str = "pickle",
+    transport: str = "queue", codec: str = "pickle", cache_size: int = 0,
 ) -> None:
     """Worker-process main: ack, decode, check, encode, repeat.
 
@@ -856,7 +877,8 @@ def _process_worker(
     registry = None
     if metrics_level is not None:
         registry = MetricsRegistry(MetricsLevel(metrics_level))
-    engine = CheckingEngine(rules, registry)
+    cache = VerdictCache(cache_size) if cache_size > 0 else None
+    engine = CheckingEngine(rules, registry, cache=cache)
     binary = codec == "binary"
 
     def ship(message) -> None:
@@ -1007,9 +1029,11 @@ class ProcessBackend:
         transport: Optional[str] = None,
         codec: Optional[str] = None,
         ring_bytes: int = DEFAULT_RING_BYTES,
+        cache_size: int = 0,
     ) -> None:
         if num_workers < 1:
             raise ValueError("process backend needs at least one worker")
+        self._cache_size = cache_size
         self._batch = AdaptiveBatch(batch_size)
         self._transport = resolve_transport_name(transport)
         if codec is None:
@@ -1093,7 +1117,8 @@ class ProcessBackend:
             args=(index,
                   self._task_ring if shm else self._task_q,
                   self._result_ring if shm else self._result_q,
-                  self._rules, faults, level, self._transport, self._codec),
+                  self._rules, faults, level, self._transport, self._codec,
+                  self._cache_size),
             name=f"pmtest-checker-{index}",
             daemon=True,
         )

@@ -1,0 +1,309 @@
+"""Canonical trace form: relocatable renaming plus a structural fingerprint.
+
+The redis- and memcached-style workloads emit thousands of structurally
+identical traces: the same op skeleton over different base addresses
+(each insert touches a freshly allocated node).  The checking verdict is
+a pure function of the trace, and — because every shadow-memory
+operation is driven by segment *ordering and overlap*, never by absolute
+address values — it is invariant under any renaming that maps each
+contiguous address cluster by a constant offset.  This module computes
+that renaming:
+
+* Pass 1 collects every address range an event touches and merges
+  overlapping **and touching** ranges into maximal segments.  An event
+  range is contiguous, so it always lands inside exactly one segment,
+  which means segments never interact during replay: the verdict only
+  depends on offsets *within* each segment.
+* Pass 2 streams the renamed events through the binary codec's
+  flag-packed per-event layout (the flag bits are
+  :data:`repro.core.traceio._EV_RANGE1` and friends, reused verbatim)
+  and hashes the bytes with blake2b.  Addresses are encoded as
+  ``(segment index, offset within segment)`` pairs — the cheapest
+  bijective spelling of the canonical renaming, one or two varint
+  bytes instead of the seven a 47-bit canonical address would cost on
+  the fingerprint hot path.  Source sites are interned verbatim — two
+  traces only share a fingerprint when their reports would point at
+  the same code.
+
+The resulting :class:`CanonicalForm` carries the fingerprint (the
+verdict-cache key) and the :class:`Relocation` table that maps addresses
+— and the ``{:#x}``-formatted hex literals embedded in report messages —
+between the original and canonical address spaces in both directions.
+
+Mapping uses *closed* ranges ``[lo, hi]``: report messages print the
+exclusive end of half-open ranges, which for a segment-spanning range is
+the segment end itself.  The canonical inter-segment gap keeps those
+closed ranges disjoint.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_right
+from hashlib import blake2b
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.events import Event, Op
+from repro.core.traceio import _EV_RANGE1, _EV_RANGE2, _EV_SEQ, _EV_SITE
+
+#: Base of the canonical address space: far above any address a
+#: simulated PM pool hands out, so canonical hex literals can never be
+#: mistaken for original ones while validating a template round trip.
+CANON_BASE = 1 << 47
+
+#: Gap between canonical segments.  Any value >= 1 preserves
+#: disjointness of the closed mapping ranges; a page keeps canonical
+#: dumps readable.
+CANON_GAP = 1 << 12
+
+#: ``Op -> wire value`` resolved once: ``event.op.value`` costs two
+#: descriptor lookups per event on the fingerprint hot path.
+_OP_VALUE = {op: op.value for op in Op}
+
+#: Hex literals as ``format(value, "#x")`` prints them (lowercase, no
+#: padding) — the one way addresses ever appear in report messages.
+_HEX_RE = re.compile(r"0x[0-9a-f]+")
+
+
+class Relocation:
+    """Bidirectional per-segment affine address mapping.
+
+    ``segments`` is a sorted list of ``(orig_lo, orig_hi, canon_lo)``
+    with half-open ``[orig_lo, orig_hi)`` extents; lookups accept the
+    closed range ``[lo, hi]`` in either space (see module docstring).
+    """
+
+    __slots__ = ("segments", "_orig_los", "_canon_los")
+
+    def __init__(self, segments: List[Tuple[int, int, int]]) -> None:
+        self.segments = segments
+        self._orig_los = [lo for lo, _, _ in segments]
+        self._canon_los = [canon for _, _, canon in segments]
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    def to_canon(self, value: int) -> Optional[int]:
+        """Map an original address to canonical space (``None``: unmapped)."""
+        i = _bisect(self._orig_los, value)
+        if i >= 0:
+            lo, hi, canon = self.segments[i]
+            if value <= hi:  # closed range: the exclusive end maps too
+                return canon + (value - lo)
+        return None
+
+    def to_orig(self, value: int) -> Optional[int]:
+        """Map a canonical address back to the original space."""
+        i = _bisect(self._canon_los, value)
+        if i >= 0:
+            lo, hi, canon = self.segments[i]
+            if value <= canon + (hi - lo):
+                return lo + (value - canon)
+        return None
+
+    # ------------------------------------------------------------------
+    def rewrite_to_canon(self, message: str) -> Optional[str]:
+        """Rewrite every hex literal in ``message`` into canonical space.
+
+        Returns ``None`` when any literal falls outside the relocation
+        table — the caller must treat the report as non-relocatable.
+        """
+        return _rewrite(message, self.to_canon)
+
+    def rewrite_to_orig(self, message: str) -> Optional[str]:
+        """Rewrite every hex literal back into the original space."""
+        return _rewrite(message, self.to_orig)
+
+
+def _bisect(los: List[int], value: int) -> int:
+    """Index of the last entry with ``lo <= value`` (or -1)."""
+    return bisect_right(los, value) - 1
+
+
+def _rewrite(message: str, mapper) -> Optional[str]:
+    ok = True
+
+    def replace(match: "re.Match[str]") -> str:
+        nonlocal ok
+        mapped = mapper(int(match.group(0), 16))
+        if mapped is None:
+            ok = False
+            return match.group(0)
+        return format(mapped, "#x")
+
+    out = _HEX_RE.sub(replace, message)
+    return out if ok else None
+
+
+class CanonicalForm:
+    """A trace's structural fingerprint plus its relocation table."""
+
+    __slots__ = ("fingerprint", "relocation")
+
+    def __init__(self, fingerprint: bytes, relocation: Relocation) -> None:
+        self.fingerprint = fingerprint
+        self.relocation = relocation
+
+
+def collect_segments(events: Sequence[Event]) -> List[Tuple[int, int]]:
+    """Maximal merged address ranges the events touch, sorted.
+
+    Overlapping and *touching* ranges merge: two clusters separated by
+    even one byte stay separate segments (their relative distance can
+    never influence the verdict), while touching ranges must share a
+    segment so their relative offset is pinned by the canonical form.
+    """
+    # Dedup first: flush/check events revisit the ranges writes already
+    # pinned, so the sort sees each distinct range once.  ``end`` is a
+    # property — computing ``addr + size`` inline keeps this pass cheap
+    # on the cache hot path.
+    distinct = set()
+    add = distinct.add
+    for event in events:
+        addr = event.addr
+        size = event.size
+        if addr or size:
+            # A zero-size range still pins its address (the replay will
+            # reject it, but the fingerprint must see it).
+            add((addr, addr + size if size > 0 else addr + 1))
+        addr = event.addr2
+        size = event.size2
+        if addr or size:
+            add((addr, addr + size if size > 0 else addr + 1))
+    if not distinct:
+        return []
+    ranges = sorted(distinct)
+    merged: List[Tuple[int, int]] = [ranges[0]]
+    for lo, hi in ranges[1:]:
+        last_lo, last_hi = merged[-1]
+        if lo <= last_hi:  # overlap or touch
+            if hi > last_hi:
+                merged[-1] = (last_lo, hi)
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def canonicalize(events: Sequence[Event]) -> CanonicalForm:
+    """Compute the canonical fingerprint and relocation for ``events``.
+
+    ``events`` is the exact list the engine will replay (after any
+    write-coalescing), so equal fingerprints mean equal replays up to
+    the relocation.  Trace id and thread name are deliberately absent:
+    they never influence the verdict beyond the trace-id rewrap, which
+    the cache re-applies on rehydration.
+
+    The encoder is deliberately hand-inlined: this runs once per trace
+    on the cache hot path, where every per-event function call shows up
+    directly as lost hit-path speedup.  The byte layout per event is
+    traceio's flag scheme — ``flags, op``, then for each flagged range
+    ``segment-index, offset, size`` varints, then the interned site
+    index and explicit seq — followed by the site string table.
+    """
+    merged = collect_segments(events)
+    segments: List[Tuple[int, int, int]] = []
+    base = CANON_BASE
+    for lo, hi in merged:
+        segments.append((lo, hi, base))
+        base += (hi - lo) + CANON_GAP
+    relocation = Relocation(segments)
+    los = relocation._orig_los
+    buf = bytearray()
+    append = buf.append
+    site_ids: dict = {}
+    # Identity overlay over the content-keyed intern table: tracers
+    # reuse one SourceSite object per call site, and the frozen
+    # dataclass recomputes its tuple hash on every content lookup.
+    site_ref_by_id: dict = {}
+    index = 0
+    for event in events:
+        addr = event.addr
+        size = event.size
+        addr2 = event.addr2
+        size2 = event.size2
+        site = event.site
+        seq = event.seq
+        flags = 0
+        if addr or size:
+            flags |= _EV_RANGE1
+        if addr2 or size2:
+            flags |= _EV_RANGE2
+        if site is not None:
+            flags |= _EV_SITE
+        if seq != index:
+            flags |= _EV_SEQ
+        append(flags)
+        append(_OP_VALUE[event.op])
+        if flags & _EV_RANGE1:
+            i = bisect_right(los, addr) - 1
+            value = i
+            while value > 0x7F:
+                append((value & 0x7F) | 0x80)
+                value >>= 7
+            append(value)
+            value = addr - los[i]
+            while value > 0x7F:
+                append((value & 0x7F) | 0x80)
+                value >>= 7
+            append(value)
+            value = size
+            while value > 0x7F:
+                append((value & 0x7F) | 0x80)
+                value >>= 7
+            append(value)
+        if flags & _EV_RANGE2:
+            i = bisect_right(los, addr2) - 1
+            value = i
+            while value > 0x7F:
+                append((value & 0x7F) | 0x80)
+                value >>= 7
+            append(value)
+            value = addr2 - los[i]
+            while value > 0x7F:
+                append((value & 0x7F) | 0x80)
+                value >>= 7
+            append(value)
+            value = size2
+            while value > 0x7F:
+                append((value & 0x7F) | 0x80)
+                value >>= 7
+            append(value)
+        if flags & _EV_SITE:
+            ref = site_ref_by_id.get(id(site))
+            if ref is None:
+                ref = site_ids.get(site)
+                if ref is None:
+                    ref = site_ids[site] = len(site_ids)
+                site_ref_by_id[id(site)] = ref
+            value = ref
+            while value > 0x7F:
+                append((value & 0x7F) | 0x80)
+                value >>= 7
+            append(value)
+        if flags & _EV_SEQ:
+            value = (seq << 1) if seq >= 0 else ((-seq << 1) - 1)  # zigzag
+            while value > 0x7F:
+                append((value & 0x7F) | 0x80)
+                value >>= 7
+            append(value)
+        index += 1
+    # Trailer: the event count (so a prefix can never alias a shorter
+    # trace) and the interned site table in first-use order.
+    value = index
+    while value > 0x7F:
+        append((value & 0x7F) | 0x80)
+        value >>= 7
+    append(value)
+    for site in site_ids:
+        buf += site.file.encode("utf-8", "surrogatepass")
+        append(0)
+        buf += site.function.encode("utf-8", "surrogatepass")
+        append(0)
+        line = site.line
+        value = (line << 1) if line >= 0 else ((-line << 1) - 1)
+        while value > 0x7F:
+            append((value & 0x7F) | 0x80)
+            value >>= 7
+        append(value)
+    digest = blake2b(bytes(buf), digest_size=16).digest()
+    return CanonicalForm(digest, relocation)

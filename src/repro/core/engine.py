@@ -18,6 +18,7 @@ from __future__ import annotations
 from time import perf_counter_ns
 from typing import Iterable, List, Optional, Tuple
 
+from repro.core.canon import canonicalize
 from repro.core.events import (
     CHECKER_OPS,
     Event,
@@ -32,6 +33,103 @@ from repro.core.logtree import LogTree
 from repro.core.metrics import MetricsRegistry
 from repro.core.reports import Level, Report, ReportCode, TestResult
 from repro.core.rules import PersistencyRules, X86Rules
+from repro.core.verdict_cache import VerdictCache, build_template, rehydrate
+
+
+def coalesce_events(events: List[Event]) -> Tuple[List[Event], int]:
+    """Epoch write-coalescing: drop dead writes between barriers.
+
+    Within a maximal run of consecutive ``WRITE``/``WRITE_NT`` events
+    (every other op — flushes, fences, checkers, transaction and scope
+    bookkeeping — is a barrier), a write whose range is fully covered by
+    the union of *later* writes in the same run contributes nothing to
+    the verdict: the shadow's ``assign`` replaces the whole range with
+    the latest writer's state, and writes themselves never produce
+    reports under any model.  Such dead writes are dropped before the
+    replay touches the shadow ``IntervalMap``.
+
+    Anything stronger provably changes verdicts, so it is not done
+    here: merging adjacent writes would collapse shadow segments (and
+    with them per-segment report granularity and recorded write sites),
+    and deduplicating flushes would suppress the duplicate/unnecessary
+    flush diagnostics.  Runs inside an active ``TX_CHECKER`` scope are
+    left untouched, because there every write additionally emits its
+    own missing-log report.
+
+    Returns ``(events, dropped)`` — the input list itself when nothing
+    was dropped.
+    """
+    # Fast reject: elimination needs two consecutive writes somewhere.
+    write = Op.WRITE
+    write_nt = Op.WRITE_NT
+    previous_write = False
+    for event in events:
+        op = event.op
+        is_write = op is write or op is write_nt
+        if is_write and previous_write:
+            break
+        previous_write = is_write
+    else:
+        return events, 0
+    out: List[Event] = []
+    dropped = 0
+    tx_check = False
+    n = len(events)
+    i = 0
+    while i < n:
+        event = events[i]
+        op = event.op
+        if op is not Op.WRITE and op is not Op.WRITE_NT:
+            if op is Op.TX_CHECK_START:
+                tx_check = True
+            elif op is Op.TX_CHECK_END:
+                tx_check = False
+            out.append(event)
+            i += 1
+            continue
+        j = i + 1
+        while j < n:
+            nxt = events[j].op
+            if nxt is not Op.WRITE and nxt is not Op.WRITE_NT:
+                break
+            j += 1
+        if j == i + 1 or tx_check:
+            out.extend(events[i:j])
+        elif j == i + 2:
+            # The overwhelmingly common run length; covering a single
+            # earlier write needs no interval map.
+            first, second = events[i], events[i + 1]
+            if (
+                first.size > 0
+                and second.addr <= first.addr
+                and first.end <= second.end
+            ):
+                dropped += 1
+            else:
+                out.append(first)
+            out.append(second)
+        else:
+            run = events[i:j]
+            kept = _eliminate_dead_writes(run)
+            dropped += len(run) - len(kept)
+            out.extend(kept)
+        i = j
+    return (out, dropped) if dropped else (events, 0)
+
+
+def _eliminate_dead_writes(run: List[Event]) -> List[Event]:
+    """Keep only writes not fully covered by later writes in the run."""
+    coverage: IntervalMap[bool] = IntervalMap()
+    keep = [True] * len(run)
+    for k in range(len(run) - 1, -1, -1):
+        event = run[k]
+        if event.size <= 0:
+            continue  # structurally invalid; let the replay reject it
+        if coverage.covers(event.addr, event.end):
+            keep[k] = False
+        else:
+            coverage.assign(event.addr, event.end, True)
+    return [event for event, flag in zip(run, keep) if flag]
 
 
 class MalformedTrace(Exception):
@@ -50,22 +148,140 @@ class CheckingEngine:
     registry the replay loop is the historical unhooked one, at
     ``basic`` per-opcode counters are kept, and at ``full`` every
     dispatch is timed and attributed to its pipeline stage.
+
+    ``cache`` is an optional :class:`~repro.core.verdict_cache
+    .VerdictCache`: structurally identical traces (equal canonical
+    fingerprints, see :mod:`repro.core.canon`) are answered from it by
+    relocating the cached report template instead of replaying, with
+    verdicts byte-identical to a fresh replay.  The engine owns the
+    cache exclusively — backends create one per worker.  ``coalesce``
+    enables the dead-write elimination of :func:`coalesce_events`
+    before each replay.
     """
 
     def __init__(
         self,
         rules: Optional[PersistencyRules] = None,
         metrics: Optional[MetricsRegistry] = None,
+        cache: Optional[VerdictCache] = None,
+        coalesce: bool = True,
     ) -> None:
         self.rules = rules if rules is not None else X86Rules()
         self.metrics = metrics
+        self.cache = cache
+        self.coalesce = coalesce
+        #: dead writes dropped by coalescing (kept as a plain int so the
+        #: ablation benchmarks can read it with metrics off)
+        self.writes_merged = 0
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def check_trace(self, trace: Trace) -> TestResult:
         """Replay one trace; return all FAIL/WARN reports."""
-        return _TraceChecker(self.rules, trace, self.metrics).run()
+        metrics = self.metrics
+        events = trace.events
+        original_len = len(events)
+        if self.coalesce:
+            events, dropped = coalesce_events(events)
+            if dropped:
+                self.writes_merged += dropped
+                if metrics is not None:
+                    metrics.counter("coalesce.writes_merged").inc(dropped)
+        cache = self.cache
+        if cache is None:
+            return _TraceChecker(
+                self.rules, trace, metrics,
+                events=events, events_checked=original_len,
+            ).run()
+        # The fingerprint is taken over the events actually replayed, so
+        # traces differing only in eliminated dead writes share entries.
+        form = canonicalize(events)
+        template = cache.lookup(form.fingerprint)
+        if template is not None:
+            result = rehydrate(
+                template, form.relocation, trace.trace_id, original_len
+            )
+            if result is not None:
+                if metrics is not None:
+                    metrics.counter("cache.hits").inc(1)
+                    self._record_hit(metrics, events, template, result)
+                return result
+            # A canonical literal this trace's table cannot map back:
+            # impossible for a true fingerprint match, but fail safe
+            # into a fresh replay rather than a wrong verdict.
+            cache.hits -= 1
+            cache.misses += 1
+            cache.uncacheable += 1
+        if metrics is not None:
+            metrics.counter("cache.misses").inc(1)
+        checker = _TraceChecker(
+            self.rules, trace, metrics,
+            events=events, events_checked=original_len,
+        )
+        result = checker.run()
+        qstats = checker.qstats
+        new_template = build_template(
+            result,
+            form.relocation,
+            trace.trace_id,
+            queries=qstats.queries if qstats is not None else None,
+            scanned=qstats.scanned if qstats is not None else None,
+            shadow_segments=(
+                len(checker.shadow.pm) if qstats is not None else None
+            ),
+        )
+        if new_template is not None:
+            evicted = cache.store(form.fingerprint, new_template)
+            if evicted and metrics is not None:
+                metrics.counter("cache.evictions").inc(evicted)
+        else:
+            cache.uncacheable += 1
+            if metrics is not None:
+                metrics.counter("cache.uncacheable").inc(1)
+        return result
+
+    @staticmethod
+    def _record_hit(
+        metrics: MetricsRegistry,
+        events: List[Event],
+        template,
+        result: TestResult,
+    ) -> None:
+        """Book a cache hit as the replay it stands for.
+
+        Engine counter totals must be independent of how traces were
+        distributed over workers (each worker cache sees a different
+        mix of hits and misses), so a hit increments exactly what a
+        fresh replay would have: aggregate counters from the result,
+        per-opcode counts from the replayed event list, and the
+        interval-map accounting captured in the template (query depth
+        is a function of the canonical form, so it relocates for
+        free).  Only timings stay at zero — the honest cost of a hit.
+        """
+        counter = metrics.counter
+        counter("engine.traces").inc(1)
+        counter("engine.events").inc(result.events_checked)
+        counter("engine.checkers").inc(result.checkers_evaluated)
+        counter("engine.reports").inc(len(result.reports))
+        op_counts: dict = {}
+        for event in events:
+            op = event.op
+            op_counts[op] = op_counts.get(op, 0) + 1
+        for op, count in op_counts.items():
+            counter(f"engine.op.{op.name}").inc(count)
+        if metrics.full:
+            if template.queries is not None:
+                counter("engine.interval_queries").inc(template.queries)
+                counter("engine.interval_scanned").inc(template.scanned)
+            if template.shadow_segments is not None:
+                metrics.gauge("engine.shadow_segments").observe(
+                    template.shadow_segments
+                )
+            for op, count in op_counts.items():
+                histogram = metrics.histogram(f"engine.op_ns.{op.name}")
+                for _ in range(count):
+                    histogram.record(0)
 
     def check_traces(self, traces: Iterable[Trace]) -> TestResult:
         """Replay several independent traces and merge their results."""
@@ -83,12 +299,25 @@ class _TraceChecker:
         rules: PersistencyRules,
         trace: Trace,
         metrics: Optional[MetricsRegistry] = None,
+        events: Optional[List[Event]] = None,
+        events_checked: Optional[int] = None,
     ) -> None:
         self.rules = rules
         self.trace = trace
         self.trace_id = trace.trace_id
         self.shadow = rules.make_shadow()
         self.metrics = metrics
+        #: the event list to replay — possibly the coalesced one; event
+        #: accounting always reports the original trace length so
+        #: coalescing is invisible in ``events_checked``/``engine.events``
+        self.events = events if events is not None else trace.events
+        self.events_checked = (
+            events_checked if events_checked is not None
+            else len(trace.events)
+        )
+        #: interval-map accounting of the run (full metrics only) — read
+        #: by the engine when building a verdict-cache template
+        self.qstats: Optional[QueryStats] = None
         self.result = TestResult(traces_checked=1)
         # Transaction machinery (Section 5.1)
         self.tx_depth = 0
@@ -102,7 +331,7 @@ class _TraceChecker:
 
     # ------------------------------------------------------------------
     def run(self) -> TestResult:
-        events = self.trace.events
+        events = self.events
         result = self.result
         # One branch per trace picks the replay loop; the metrics-off
         # path below is the historical unhooked loop, untouched.
@@ -113,6 +342,7 @@ class _TraceChecker:
         elif metrics.full:
             qstats = QueryStats()
             self.shadow.pm.stats = qstats
+            self.qstats = qstats
             shadow_ns, shadow_n, checker_ns, checker_n = self._run_timed(
                 events, metrics
             )
@@ -131,11 +361,11 @@ class _TraceChecker:
         else:
             self._run_counted(events, metrics)
             self._finish()
-        result.events_checked += len(events)
+        result.events_checked += self.events_checked
         if metrics is not None:
             counter = metrics.counter
             counter("engine.traces").inc(1)
-            counter("engine.events").inc(len(events))
+            counter("engine.events").inc(self.events_checked)
             counter("engine.checkers").inc(result.checkers_evaluated)
             counter("engine.reports").inc(len(result.reports))
         # Engine-made reports carry the trace id already; only reports
@@ -232,7 +462,7 @@ class _TraceChecker:
 
     def _track_tx_write(self, lo: int, hi: int, event: Event) -> None:
         self.modified.assign(lo, hi, event.site)
-        if self.tx_depth > 0:
+        if self.tx_depth > 0 and not self.log_tree.covers(lo, hi):
             for bad_lo, bad_hi in self.log_tree.uncovered(lo, hi):
                 self.result.reports.append(
                     Report(

@@ -126,8 +126,29 @@ class IntervalMap(Generic[V]):
         return out
 
     def covers(self, lo: int, hi: int) -> bool:
-        """Whether every address in ``[lo, hi)`` is mapped."""
-        return not self.gaps(lo, hi)
+        """Whether every address in ``[lo, hi)`` is mapped.
+
+        A non-allocating early-exit scan: unlike ``not gaps(lo, hi)``
+        it builds no clipped segment list and stops at the first hole,
+        so the common fully-covered/immediately-uncovered cases cost a
+        bisection plus the segments actually walked.
+        """
+        _check_range(lo, hi)
+        segments = self._segments
+        n = len(segments)
+        i = i0 = self._first_overlap(lo)
+        cursor = lo
+        while i < n and cursor < hi:
+            start, end, _ = segments[i]
+            if start > cursor:
+                break  # hole before this segment
+            cursor = end
+            i += 1
+        stats = self.stats
+        if stats is not None:
+            stats.queries += 1
+            stats.scanned += i - i0
+        return cursor >= hi
 
     def total_span(self) -> int:
         """Total number of addresses mapped."""
@@ -155,13 +176,23 @@ class IntervalMap(Generic[V]):
         ``fn`` receives the clipped ``(start, end, value)`` of each
         overlapping piece; unmapped gaps are left unmapped.  Segments
         partially inside the range are split at the range boundary.
+
+        A mutation, not a query: it does not count into ``stats`` (the
+        paper's query-depth metric) and clips the overlapping segments
+        straight off ``_carve``'s one bisection pass instead of running
+        a second one through ``overlaps``.
         """
         _check_range(lo, hi)
         i0, i1, prefix, suffix = self._carve(lo, hi)
-        middle = [
-            (start, end, fn(start, end, value))
-            for start, end, value in self.overlaps(lo, hi)
-        ]
+        segments = self._segments
+        middle: List[Segment] = []
+        for i in range(i0, i1):
+            start, end, value = segments[i]
+            if start < lo:
+                start = lo
+            if end > hi:
+                end = hi
+            middle.append((start, end, fn(start, end, value)))
         self._splice(i0, i1, prefix + middle + suffix)
 
     def update_all(self, fn: Callable[[int, int, V], V]) -> None:

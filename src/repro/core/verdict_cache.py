@@ -1,0 +1,309 @@
+"""Cross-trace verdict cache: fingerprint -> relocatable result template.
+
+Structurally identical traces (same canonical form, see
+:mod:`repro.core.canon`) provably produce the same verdict up to the
+address relocation, so the engine can answer the second and every later
+occurrence from a cache instead of replaying.  Entries are keyed by the
+canonical fingerprint — pure content addressing — which is what makes
+the cache trivially coherent under the recovery machinery: a trace
+requeued to a different worker, or resubmitted to a degraded fallback
+backend, either misses (fresh replay, correct by construction) or hits
+an entry built from a trace with the *same* canonical form (correct by
+the relocation argument).  There is no invalidation and there are no
+stale entries, because entries never outlive the (rules, canonical
+form) pair that defines them: each engine owns a private cache created
+with it.
+
+Templates store reports in **canonical** message form.  A template is
+only stored after a round-trip validation: the fresh result is mapped
+into canonical space and back, and must reproduce itself byte for byte
+— anything non-relocatable (a hex literal outside the trace's address
+segments) is declared uncacheable rather than cached wrong.  On a hit
+the template is mapped through the *hitting* trace's relocation table,
+so cached verdicts are byte-identical to a fresh replay.
+
+Knobs
+-----
+``PMTEST_VERDICT_CACHE``
+    ``off``/``0``/``false``/``no`` disables the cache; an integer sets
+    the per-engine capacity; ``on``/``true``/``yes`` (or unset) keeps
+    the default capacity.  The CLI mirrors this as
+    ``--verdict-cache/--no-verdict-cache`` and ``--verdict-cache-size``.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_right
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from repro.core.canon import _HEX_RE, Relocation
+from repro.core.reports import Report, TestResult
+
+#: Per-engine entry capacity when the cache is on and unsized.
+DEFAULT_CACHE_SIZE = 1024
+
+ENV_VAR = "PMTEST_VERDICT_CACHE"
+
+_OFF_VALUES = frozenset({"off", "0", "false", "no"})
+_ON_VALUES = frozenset({"on", "true", "yes", ""})
+
+
+def resolve_cache_size(
+    enabled: Optional[bool] = None, size: Optional[int] = None
+) -> int:
+    """Resolve the cache knobs to an effective capacity (0 = disabled).
+
+    ``enabled`` is the explicit on/off request (``None``: consult
+    ``PMTEST_VERDICT_CACHE``, default on); ``size`` overrides the
+    capacity when the cache is on.
+    """
+    if size is not None and size < 0:
+        raise ValueError("verdict cache size must be >= 0")
+    if enabled is False:
+        return 0
+    if enabled is None:
+        env = os.environ.get(ENV_VAR)
+        if env is not None:
+            value = env.strip().lower()
+            if value in _OFF_VALUES:
+                return 0
+            if value not in _ON_VALUES:
+                try:
+                    env_size = int(value)
+                except ValueError:
+                    raise ValueError(
+                        f"bad {ENV_VAR} value {env!r}: expected on/off "
+                        "or an integer capacity"
+                    ) from None
+                if env_size <= 0:
+                    return 0
+                return size if size is not None else env_size
+    if size is not None:
+        return size
+    return DEFAULT_CACHE_SIZE
+
+
+class VerdictTemplate:
+    """A relocatable per-trace result: reports in canonical form.
+
+    ``queries``/``scanned``/``shadow_segments`` replay the interval-map
+    accounting a fresh full-metrics replay would have produced — those
+    counts are a function of the canonical form (segment ordering and
+    overlap), so they relocate for free.  They are ``None`` when the
+    template was built without full metrics.
+
+    ``compiled`` is the hit-path rendering plan: one
+    ``(level, code, site, related_site, seq, pieces, values)`` entry
+    per canonical report, where ``pieces`` are the message fragments
+    around its hex literals and ``values`` the literals as canonical
+    ints.  Rehydration joins the fragments around each relocated
+    literal instead of re-running the regex rewrite on every hit.
+    """
+
+    __slots__ = (
+        "reports",
+        "compiled",
+        "checkers_evaluated",
+        "queries",
+        "scanned",
+        "shadow_segments",
+    )
+
+    def __init__(
+        self,
+        reports: Tuple[Report, ...],
+        checkers_evaluated: int,
+        queries: Optional[int] = None,
+        scanned: Optional[int] = None,
+        shadow_segments: Optional[int] = None,
+    ) -> None:
+        self.reports = reports
+        self.compiled = tuple(
+            (
+                report.level,
+                report.code,
+                report.site,
+                report.related_site,
+                report.seq,
+                tuple(_HEX_RE.split(report.message)),
+                tuple(int(m, 16) for m in _HEX_RE.findall(report.message)),
+            )
+            for report in reports
+        )
+        self.checkers_evaluated = checkers_evaluated
+        self.queries = queries
+        self.scanned = scanned
+        self.shadow_segments = shadow_segments
+
+
+def build_template(
+    result: TestResult,
+    relocation: Relocation,
+    trace_id: int,
+    queries: Optional[int] = None,
+    scanned: Optional[int] = None,
+    shadow_segments: Optional[int] = None,
+) -> Optional[VerdictTemplate]:
+    """Turn a fresh single-trace result into a relocatable template.
+
+    Returns ``None`` — uncacheable — when any report message carries a
+    hex literal outside the relocation table, or when the round trip
+    through canonical space fails to reproduce the fresh reports byte
+    for byte.  The fresh result is never modified.
+    """
+    canon_reports: List[Report] = []
+    for report in result.reports:
+        message = relocation.rewrite_to_canon(report.message)
+        if message is None:
+            return None
+        canon_reports.append(
+            Report(
+                level=report.level,
+                code=report.code,
+                message=message,
+                site=report.site,
+                related_site=report.related_site,
+                trace_id=-1,
+                seq=report.seq,
+            )
+        )
+    template = VerdictTemplate(
+        tuple(canon_reports),
+        result.checkers_evaluated,
+        queries=queries,
+        scanned=scanned,
+        shadow_segments=shadow_segments,
+    )
+    # Round-trip validation: a template we cannot rehydrate into the
+    # exact fresh result must not be cached.
+    check = rehydrate(template, relocation, trace_id, result.events_checked)
+    if check is None or check.reports != result.reports:
+        return None
+    return template
+
+
+def rehydrate(
+    template: VerdictTemplate,
+    relocation: Relocation,
+    trace_id: int,
+    events_checked: int,
+) -> Optional[TestResult]:
+    """Materialize a cached verdict for a concrete trace.
+
+    Maps every canonical report message through the hitting trace's
+    relocation table and stamps the trace id.  Returns ``None`` when a
+    canonical literal is not covered by this trace's table (the
+    fingerprint should make that impossible; the ``None`` forces a
+    fresh replay rather than a wrong answer).
+
+    Messages are rendered from the template's precompiled fragments —
+    the relocation math for each literal is inlined here because this
+    is the cache hit path, where regex rewriting and per-literal method
+    calls were the dominant cost.
+    """
+    segments = relocation.segments
+    canon_los = relocation._canon_los
+    # Reports within one trace keep citing the same few addresses, so a
+    # per-call memo of formatted literals skips most of the relocation
+    # and formatting work.  Single-segment traces (the common shape for
+    # repeated allocator-style workloads) skip the bisect entirely.
+    memo: dict = {}
+    single = len(segments) == 1
+    if single:
+        lo0, hi0, canon0 = segments[0]
+        limit0 = canon0 + (hi0 - lo0)
+        delta0 = lo0 - canon0
+    reports: List[Report] = []
+    append = reports.append
+    for level, code, site, related_site, seq, pieces, values in (
+        template.compiled
+    ):
+        if values:
+            parts = [pieces[0]]
+            k = 1
+            for value in values:
+                text = memo.get(value)
+                if text is None:
+                    if single:
+                        if value < canon0 or value > limit0:
+                            return None
+                        orig = value + delta0
+                    else:
+                        i = bisect_right(canon_los, value) - 1
+                        if i < 0:
+                            return None
+                        lo, hi, canon = segments[i]
+                        if value > canon + (hi - lo):  # closed range
+                            return None
+                        orig = lo + (value - canon)
+                    text = memo[value] = format(orig, "#x")
+                parts.append(text)
+                parts.append(pieces[k])
+                k += 1
+            message = "".join(parts)
+        else:
+            message = pieces[0]
+        append(Report(level, code, message, site, related_site, trace_id, seq))
+    return TestResult(
+        reports=reports,
+        traces_checked=1,
+        events_checked=events_checked,
+        checkers_evaluated=template.checkers_evaluated,
+    )
+
+
+class VerdictCache:
+    """Bounded LRU of fingerprint -> :class:`VerdictTemplate`.
+
+    Single-owner by design: each engine (one per worker thread/process)
+    creates its own cache, so no locking is needed and the hit/miss/
+    eviction counters can be plain ints.  The owning engine mirrors
+    them into its :class:`~repro.core.metrics.MetricsRegistry`, which
+    merges per-worker counts over the existing wire.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "uncacheable",
+                 "_entries")
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_SIZE) -> None:
+        if capacity < 1:
+            raise ValueError("verdict cache capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: results that failed template building or round-trip validation
+        self.uncacheable = 0
+        self._entries: "OrderedDict[bytes, VerdictTemplate]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, fingerprint: bytes) -> Optional[VerdictTemplate]:
+        """Return the template for ``fingerprint`` (counts hit/miss)."""
+        template = self._entries.get(fingerprint)
+        if template is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(fingerprint)
+        self.hits += 1
+        return template
+
+    def store(self, fingerprint: bytes, template: VerdictTemplate) -> int:
+        """Insert an entry; returns how many entries were evicted."""
+        entries = self._entries
+        entries[fingerprint] = template
+        entries.move_to_end(fingerprint)
+        evicted = 0
+        while len(entries) > self.capacity:
+            entries.popitem(last=False)
+            evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -61,6 +61,7 @@ from repro.core.recovery import RecoveryEvent, render_events
 from repro.core.reports import TestResult
 from repro.core.rules import PersistencyRules
 from repro.core.tracing import Tracer
+from repro.core.verdict_cache import resolve_cache_size
 
 __all__ = ["WorkerPool", "BACKEND_NAMES", "DEFAULT_BATCH_SIZE"]
 
@@ -125,6 +126,13 @@ class WorkerPool:
     tracer:
         An optional :class:`~repro.core.tracing.Tracer`; submit/drain
         get spans and degradations get instant markers.
+    verdict_cache:
+        Explicit on/off switch for the per-worker verdict cache
+        (:mod:`repro.core.verdict_cache`).  ``None`` (default)
+        consults ``PMTEST_VERDICT_CACHE``; unset means **on**.
+    verdict_cache_size:
+        Per-worker cache capacity in entries (default 1024 when the
+        cache is on).
     """
 
     def __init__(
@@ -142,6 +150,8 @@ class WorkerPool:
         faults: Optional[FaultPlan] = None,
         metrics: Optional[MetricsRegistry] = _METRICS_FROM_ENV,
         tracer: Optional[Tracer] = None,
+        verdict_cache: Optional[bool] = None,
+        verdict_cache_size: Optional[int] = None,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0")
@@ -159,6 +169,10 @@ class WorkerPool:
         self._batch_size = batch_size
         self._transport = transport
         self._codec = codec
+        #: resolved once so degradation rebuilds use the same capacity
+        self._cache_size = resolve_cache_size(
+            verdict_cache, verdict_cache_size
+        )
         self._resilience = Resilience(
             check_timeout=check_timeout,
             max_retries=max_retries,
@@ -180,6 +194,7 @@ class WorkerPool:
             resilience=self._resilience,
             faults=faults,
             metrics=metrics,
+            cache_size=self._cache_size,
         )
         self._backend: CheckingBackend = backend_obj
         self._events.extend(spawn_events)
@@ -357,6 +372,7 @@ class WorkerPool:
             thread_name=self._name,
             resilience=self._resilience,
             metrics=self._metrics,
+            cache_size=self._cache_size,
         )
         self._events.extend(spawn_events)
         self._seq_map = []

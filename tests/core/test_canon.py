@@ -1,0 +1,264 @@
+"""Canonical trace form: segment collection, relocation, fingerprints.
+
+The contract under test (see :mod:`repro.core.canon`): two traces get
+the same fingerprint exactly when they are the same replay up to a
+per-segment constant offset, and the relocation table maps addresses —
+and the hex literals in report messages — losslessly in both
+directions.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.canon import (
+    CANON_BASE,
+    Relocation,
+    canonicalize,
+    collect_segments,
+)
+from repro.core.events import Event, Op, SourceSite
+
+
+def _events(base, site=None):
+    """A small realistic skeleton over addresses derived from ``base``."""
+    return [
+        Event(Op.WRITE, base, 8, site=site, seq=0),
+        Event(Op.WRITE, base + 8, 8, site=site, seq=1),
+        Event(Op.CLWB, base, 16, site=site, seq=2),
+        Event(Op.SFENCE, seq=3),
+        Event(Op.CHECK_PERSIST, base, 16, site=site, seq=4),
+        Event(Op.CHECK_ORDER, base, 8, base + 8, 8, site=site, seq=5),
+    ]
+
+
+class TestCollectSegments:
+    def test_empty(self):
+        assert collect_segments([]) == []
+        assert collect_segments([Event(Op.SFENCE)]) == []
+
+    def test_merges_overlapping_and_touching(self):
+        events = [
+            Event(Op.WRITE, 0x100, 8),
+            Event(Op.WRITE, 0x108, 8),  # touches the first
+            Event(Op.WRITE, 0x104, 16),  # overlaps both
+            Event(Op.WRITE, 0x200, 4),  # separate cluster
+        ]
+        assert collect_segments(events) == [(0x100, 0x114), (0x200, 0x204)]
+
+    def test_second_range_contributes(self):
+        events = [Event(Op.CHECK_ORDER, 0x10, 4, 0x50, 4)]
+        assert collect_segments(events) == [(0x10, 0x14), (0x50, 0x54)]
+
+    def test_zero_size_range_pins_address(self):
+        events = [Event(Op.WRITE, 0x40, 0)]
+        assert collect_segments(events) == [(0x40, 0x41)]
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        a = canonicalize(_events(0x1000))
+        b = canonicalize(_events(0x1000))
+        assert a.fingerprint == b.fingerprint
+
+    def test_invariant_under_global_shift(self):
+        a = canonicalize(_events(0x1000))
+        b = canonicalize(_events(0xDEAD000))
+        assert a.fingerprint == b.fingerprint
+
+    def test_invariant_under_per_segment_shift(self):
+        def two_clusters(base1, base2):
+            return [
+                Event(Op.WRITE, base1, 8, seq=0),
+                Event(Op.WRITE, base2, 8, seq=1),
+                Event(Op.SFENCE, seq=2),
+            ]
+
+        a = canonicalize(two_clusters(0x1000, 0x9000))
+        b = canonicalize(two_clusters(0x4000, 0x5000))  # different distance
+        assert a.fingerprint == b.fingerprint
+
+    def test_sensitive_to_op_change(self):
+        a = canonicalize(_events(0x1000))
+        events = _events(0x1000)
+        events[0] = Event(Op.WRITE_NT, 0x1000, 8, seq=0)
+        assert canonicalize(events).fingerprint != a.fingerprint
+
+    def test_sensitive_to_size_change(self):
+        a = canonicalize(_events(0x1000))
+        events = _events(0x1000)
+        events[0] = Event(Op.WRITE, 0x1000, 4, seq=0)
+        assert canonicalize(events).fingerprint != a.fingerprint
+
+    def test_sensitive_to_order(self):
+        events = _events(0x1000)
+        swapped = [events[1], events[0]] + events[2:]
+        assert (
+            canonicalize(events).fingerprint
+            != canonicalize(swapped).fingerprint
+        )
+
+    def test_sensitive_to_intra_segment_offset(self):
+        # Touching vs overlapping writes differ within one segment.
+        a = canonicalize(
+            [Event(Op.WRITE, 0x100, 8, seq=0), Event(Op.WRITE, 0x108, 8, seq=1)]
+        )
+        b = canonicalize(
+            [Event(Op.WRITE, 0x100, 8, seq=0), Event(Op.WRITE, 0x104, 8, seq=1)]
+        )
+        assert a.fingerprint != b.fingerprint
+
+    def test_touching_vs_gapped_clusters_differ(self):
+        # Touching ranges share a segment (their offset is pinned by the
+        # canonical form); gapped ranges get independent segments — the
+        # two traces must not collide even though a naive "shift every
+        # cluster to zero" canonicalization would conflate them.
+        touching = canonicalize(
+            [Event(Op.WRITE, 0x100, 8, seq=0), Event(Op.WRITE, 0x108, 8, seq=1)]
+        )
+        gapped = canonicalize(
+            [Event(Op.WRITE, 0x100, 8, seq=0), Event(Op.WRITE, 0x110, 8, seq=1)]
+        )
+        assert touching.fingerprint != gapped.fingerprint
+
+    def test_sensitive_to_sites(self):
+        site_a = SourceSite("a.c", 1)
+        site_b = SourceSite("a.c", 2)
+        a = canonicalize(_events(0x1000, site_a))
+        b = canonicalize(_events(0x1000, site_b))
+        assert a.fingerprint != b.fingerprint
+        # ... but sites do not defeat address invariance.
+        c = canonicalize(_events(0x8000, site_a))
+        assert a.fingerprint == c.fingerprint
+
+    def test_sensitive_to_explicit_seq_gaps(self):
+        dense = [Event(Op.WRITE, 0x100, 8, seq=0), Event(Op.SFENCE, seq=1)]
+        gapped = [Event(Op.WRITE, 0x100, 8, seq=0), Event(Op.SFENCE, seq=5)]
+        assert (
+            canonicalize(dense).fingerprint
+            != canonicalize(gapped).fingerprint
+        )
+
+
+class TestRelocation:
+    def test_round_trip_all_addresses(self):
+        form = canonicalize(_events(0x1000))
+        reloc = form.relocation
+        # Closed-range mapping: interior addresses and the exclusive end.
+        for addr in range(0x1000, 0x1010 + 1):
+            canon = reloc.to_canon(addr)
+            assert canon is not None and canon >= CANON_BASE
+            assert reloc.to_orig(canon) == addr
+
+    def test_outside_addresses_unmapped(self):
+        reloc = canonicalize(_events(0x1000)).relocation
+        assert reloc.to_canon(0xFFF) is None
+        assert reloc.to_canon(0x1012) is None
+        assert reloc.to_orig(0x1000) is None  # original space, not canonical
+
+    def test_per_segment_offsets_preserved(self):
+        events = [
+            Event(Op.WRITE, 0x1000, 8, seq=0),
+            Event(Op.WRITE, 0x9000, 8, seq=1),
+        ]
+        reloc = canonicalize(events).relocation
+        assert len(reloc) == 2
+        # Offsets within a segment survive the mapping.
+        assert reloc.to_canon(0x1004) - reloc.to_canon(0x1000) == 4
+        assert reloc.to_canon(0x9004) - reloc.to_canon(0x9000) == 4
+        # Canonical segments never collide.
+        assert reloc.to_canon(0x9000) > reloc.to_canon(0x1008)
+
+    def test_message_rewrite_round_trip(self):
+        reloc = canonicalize(_events(0x1000)).relocation
+        message = "range [0x1000, 0x1010) overlaps [0x1008, 0x1010)"
+        canon = reloc.rewrite_to_canon(message)
+        assert canon is not None and canon != message
+        assert reloc.rewrite_to_orig(canon) == message
+
+    def test_message_with_foreign_literal_rejected(self):
+        reloc = canonicalize(_events(0x1000)).relocation
+        assert reloc.rewrite_to_canon("stray pointer 0xdead0000") is None
+
+    def test_message_without_literals_unchanged(self):
+        reloc = canonicalize(_events(0x1000)).relocation
+        msg = "transaction is still open at the end of the checked scope"
+        assert reloc.rewrite_to_canon(msg) == msg
+
+    def test_empty_relocation(self):
+        reloc = Relocation([])
+        assert reloc.to_canon(0) is None
+        assert reloc.rewrite_to_canon("no addresses here") == "no addresses here"
+
+
+# ----------------------------------------------------------------------
+# Property: fingerprints are invariant under random per-cluster shifts
+# and the relocation round trip is lossless.
+# ----------------------------------------------------------------------
+
+_OPS_WITH_RANGE = [Op.WRITE, Op.WRITE_NT, Op.CLWB, Op.CLFLUSH, Op.CHECK_PERSIST]
+
+
+@st.composite
+def _random_trace(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    events = []
+    for seq in range(n):
+        if draw(st.booleans()):
+            op = draw(st.sampled_from(_OPS_WITH_RANGE))
+            offset = draw(st.integers(min_value=0, max_value=64))
+            size = draw(st.integers(min_value=1, max_value=32))
+            events.append(Event(op, 0x1000 + offset, size, seq=seq))
+        else:
+            events.append(Event(Op.SFENCE, seq=seq))
+    return events
+
+
+class TestCanonProperties:
+    @given(_random_trace(), st.integers(min_value=0, max_value=1 << 30))
+    @settings(max_examples=150, deadline=None)
+    def test_fingerprint_shift_invariant(self, events, shift):
+        shifted = [
+            Event(e.op, e.addr + shift if (e.addr or e.size) else e.addr,
+                  e.size, e.addr2, e.size2, e.site, e.seq)
+            for e in events
+        ]
+        a = canonicalize(events)
+        b = canonicalize(shifted)
+        assert a.fingerprint == b.fingerprint
+
+    @given(_random_trace())
+    @settings(max_examples=150, deadline=None)
+    def test_relocation_round_trip(self, events):
+        reloc = canonicalize(events).relocation
+        for lo, hi in collect_segments(events):
+            for addr in (lo, (lo + hi) // 2, hi):  # closed range incl. end
+                canon = reloc.to_canon(addr)
+                assert canon is not None
+                assert reloc.to_orig(canon) == addr
+
+
+def test_canonicalize_rejects_nothing():
+    # Structural sanity: a fence-only trace still fingerprints.
+    form = canonicalize([Event(Op.SFENCE, seq=0)])
+    assert isinstance(form.fingerprint, bytes) and len(form.fingerprint) == 16
+    assert len(form.relocation) == 0
+
+
+def test_fingerprint_distinguishes_event_count():
+    one = canonicalize([Event(Op.SFENCE, seq=0)])
+    two = canonicalize([Event(Op.SFENCE, seq=0), Event(Op.SFENCE, seq=1)])
+    assert one.fingerprint != two.fingerprint
+
+
+def test_invalid_range_never_raises():
+    # canonicalize must tolerate structurally invalid events (the replay
+    # rejects them later); zero-size ranges are pinned, not dropped.
+    form = canonicalize([Event(Op.WRITE, 0x10, 0, seq=0)])
+    assert form.relocation.to_canon(0x10) is not None
+
+
+@pytest.mark.parametrize("base", [0, 1, 0x7FFFFFFF])
+def test_extreme_bases(base):
+    a = canonicalize(_events(base if base else 0x10))
+    assert a.fingerprint

@@ -11,7 +11,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.interval_map import IntervalMap
+from repro.core.interval_map import IntervalMap, QueryStats
 
 
 class TestBasics:
@@ -274,3 +274,74 @@ class TestOverlapsBounds:
         CountingList.touched = 0
         assert m.gaps(1005, 1010) == [(1005, 1010)]
         assert CountingList.touched < 20, CountingList.touched
+
+    def test_covers_scan_is_bounded(self):
+        """``covers`` must stop at the first hole instead of walking or
+        allocating the full clipped gap list."""
+
+        class CountingList(list):
+            touched = 0
+
+            def __getitem__(self, key):
+                out = super().__getitem__(key)
+                if isinstance(key, slice):
+                    CountingList.touched += len(out)
+                else:
+                    CountingList.touched += 1
+                return out
+
+        m = self._dense_map(5000)
+        m._segments = CountingList(m._segments)
+        # The very first gap (at offset 5) disproves coverage; the 4999
+        # later segments must not be touched.
+        CountingList.touched = 0
+        assert not m.covers(0, 5000 * 10)
+        assert CountingList.touched < 20, CountingList.touched
+
+
+class TestQueryStatsAccounting:
+    def test_update_does_not_count_as_query(self):
+        """Regression: ``update`` used to call ``overlaps`` internally,
+        billing a mutation to the paper's query-depth metric."""
+        m: IntervalMap[int] = IntervalMap()
+        m.assign(0, 30, 1)
+        m.stats = stats = QueryStats()
+        m.update(5, 25, lambda lo, hi, v: v + 1)
+        assert stats.queries == 0
+        assert stats.scanned == 0
+        # The mutation itself still happened.
+        assert m.get(10) == 2
+
+    def test_covers_counts_one_query(self):
+        m: IntervalMap[int] = IntervalMap()
+        m.assign(0, 10, 1)
+        m.assign(10, 20, 2)
+        m.stats = stats = QueryStats()
+        assert m.covers(0, 20)
+        assert stats.queries == 1
+        assert stats.scanned == 2
+
+    def test_overlaps_still_counts(self):
+        m: IntervalMap[int] = IntervalMap()
+        m.assign(0, 10, 1)
+        m.stats = stats = QueryStats()
+        m.overlaps(0, 10)
+        assert stats.queries == 1
+        assert stats.scanned == 1
+
+
+class TestCoversProperties:
+    @given(_OPS, _ranges())
+    @settings(max_examples=200, deadline=None)
+    def test_covers_agrees_with_gaps(self, ops, query):
+        m: IntervalMap[int] = IntervalMap()
+        for op, rng, value in ops:
+            lo, hi = rng
+            if op == "assign":
+                m.assign(lo, hi, value)
+            elif op == "erase":
+                m.erase(lo, hi)
+            else:
+                m.update(lo, hi, lambda s, e, v: v + value)
+        lo, hi = query
+        assert m.covers(lo, hi) == (not m.gaps(lo, hi))
