@@ -32,9 +32,17 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.baselines.pmemcheck import PmemcheckTool
 from repro.core.api import PMTestSession
 from repro.core.engine import CheckingEngine
+from repro.core.engine_columnar import make_engine
 from repro.core.events import Event, Op, SourceSite, Trace
 from repro.core.rules import X86Rules
-from repro.core.traceio import encode_task_message, encode_trace
+from repro.core.traceio import (
+    decode_message,
+    decode_traces_binary,
+    decode_traces_binary_columnar,
+    encode_task_message,
+    encode_trace,
+    encode_traces_binary,
+)
 from repro.core.verdict_cache import VerdictCache
 from repro.core.workers import DEFAULT_BATCH_SIZE, WorkerPool
 from repro.instr.runtime import PMRuntime
@@ -81,6 +89,15 @@ WIRE_BYTES: Dict[str, float] = {}
 #: verdict-cache measurement: hit rate and coalesced-write count on the
 #: repeated-trace workload (populated by the fig10c ablation)
 VERDICT_CACHE: Dict[str, float] = {}
+
+#: per-engine decode-vs-replay time split over the fig12 checking
+#: workload's task batches (populated by the engine ablation); keyed by
+#: engine name, each value carries totals plus per-batch timings
+DECODE_REPLAY: Dict[str, dict] = {}
+
+#: interleaved min-of-rounds engine comparison on the fig10a-shaped
+#: micro workload: engine name -> best decode+check seconds
+ENGINE_BEST: Dict[str, float] = {}
 
 Execute = Callable[[], None]
 
@@ -323,6 +340,9 @@ def prepare_backend_throughput(
     batch_size: int = DEFAULT_BATCH_SIZE,
     transport: Optional[str] = None,
     codec: Optional[str] = None,
+    engine: Optional[str] = None,
+    shard_min_events: Optional[int] = None,
+    tx_per_trace: int = 20,
 ) -> Execute:
     """Timed body: push pre-built traces through a fresh pool and drain.
 
@@ -331,16 +351,21 @@ def prepare_backend_throughput(
     the thread and process backends: end-to-end workload timings blend
     in tracked execution that is identical across backends.  The
     ``transport``/``codec`` knobs select the process backend's IPC
-    channel and wire encoding for the transport ablation.
+    channel and wire encoding for the transport ablation; ``engine``/
+    ``shard_min_events`` select the replay engine and the epoch-shard
+    threshold for the columnar/sharding sweeps (``tx_per_trace`` sizes
+    individual traces — sharding only pays on large ones).
     """
     n_traces = env_int("PMTEST_BENCH_TRACES", n_traces)
-    traces = make_checking_traces(n_traces)
+    traces = make_checking_traces(n_traces, tx_per_trace=tx_per_trace)
     pool = WorkerPool(
         num_workers=n_workers,
         backend=backend,
         batch_size=batch_size,
         transport=transport,
         codec=codec,
+        engine=engine,
+        shard_min_events=shard_min_events,
     )
 
     def execute() -> None:
@@ -351,6 +376,125 @@ def prepare_backend_throughput(
         pool.close()
 
     return execute
+
+
+# ----------------------------------------------------------------------
+# Engine ablation: columnar vs object decode + replay
+# ----------------------------------------------------------------------
+def prepare_engine_replay(
+    engine: str, n_traces: int = 150, tx_per_trace: int = 20
+) -> Execute:
+    """Timed body: decode one binary traces message and check every
+    trace with the selected engine — the single-worker replay path with
+    dispatch and pool machinery stripped away, which is what the
+    ``--engine`` knob actually changes."""
+    n_traces = env_int("PMTEST_BENCH_TRACES", n_traces)
+    data = encode_traces_binary(
+        make_checking_traces(n_traces, tx_per_trace=tx_per_trace)
+    )
+    columnar = engine == "columnar"
+
+    def execute() -> None:
+        checker = make_engine(engine, X86Rules())
+        check = checker.check_trace
+        traces = (
+            decode_traces_binary_columnar(data)
+            if columnar
+            else decode_traces_binary(data)
+        )
+        for trace in traces:
+            check(trace)
+
+    return execute
+
+
+def measure_decode_replay_split(
+    n_traces: int = 150, batch_size: int = DEFAULT_BATCH_SIZE
+) -> Dict[str, dict]:
+    """Per-batch decode-vs-replay time split for both engines.
+
+    Task batches are built exactly as the process backend ships them
+    (``encode_task_message`` over ``batch_size`` traces), then each
+    batch is decoded and replayed separately per engine, timing the two
+    phases independently: the object engine decodes to per-event
+    :class:`Event` objects, the columnar engine decodes straight into
+    struct-of-arrays columns.  Results land in :data:`DECODE_REPLAY`
+    (totals plus the per-batch nanosecond rows) for the terminal
+    summary and the benchmark JSON.
+    """
+    from time import perf_counter_ns
+
+    n_traces = env_int("PMTEST_BENCH_TRACES", n_traces)
+    traces = make_checking_traces(n_traces)
+    wires = [(seq, encode_trace(trace)) for seq, trace in enumerate(traces)]
+    messages = [
+        encode_task_message(wires[start:start + batch_size])
+        for start in range(0, len(wires), batch_size)
+    ]
+    for engine_name in ("object", "columnar"):
+        columnar = engine_name == "columnar"
+        engine = make_engine(engine_name, X86Rules())
+        check = engine.check_trace
+        per_batch = []
+        for message in messages:
+            t0 = perf_counter_ns()
+            _, pairs = decode_message(message, columnar=columnar)
+            t1 = perf_counter_ns()
+            for _, trace in pairs:
+                check(trace)
+            t2 = perf_counter_ns()
+            per_batch.append(
+                {"decode_ns": t1 - t0, "replay_ns": t2 - t1,
+                 "traces": len(pairs)}
+            )
+        DECODE_REPLAY[engine_name] = {
+            "batches": len(per_batch),
+            "decode_seconds": sum(b["decode_ns"] for b in per_batch) / 1e9,
+            "replay_seconds": sum(b["replay_ns"] for b in per_batch) / 1e9,
+            "per_batch": per_batch,
+        }
+    return DECODE_REPLAY
+
+
+def measure_engine_speedup(
+    n_traces: int = 60, tx_per_trace: int = 40, rounds: int = 5
+) -> Dict[str, float]:
+    """Interleaved min-of-rounds decode+check comparison of the engines.
+
+    The fig10a-shaped micro workload (write/clwb/sfence/isPersist over
+    rotating cachelines) is encoded to one binary traces message, then
+    each engine alternately decodes and checks the whole corpus; the
+    best round per engine lands in :data:`ENGINE_BEST`.  Interleaving
+    plus min-of-rounds makes the ratio robust to CI-host noise.  No
+    verdict cache: this measures honest replay.
+    """
+    from time import perf_counter
+
+    traces = make_checking_traces(n_traces, tx_per_trace=tx_per_trace)
+    data = encode_traces_binary(traces)
+
+    def run_object() -> None:
+        engine = CheckingEngine(X86Rules())
+        check = engine.check_trace
+        for trace in decode_traces_binary(data):
+            check(trace)
+
+    def run_columnar() -> None:
+        engine = make_engine("columnar", X86Rules())
+        check = engine.check_trace
+        for cols in decode_traces_binary_columnar(data):
+            check(cols)
+
+    best = {"object": float("inf"), "columnar": float("inf")}
+    for _ in range(rounds):
+        start = perf_counter()
+        run_object()
+        best["object"] = min(best["object"], perf_counter() - start)
+        start = perf_counter()
+        run_columnar()
+        best["columnar"] = min(best["columnar"], perf_counter() - start)
+    ENGINE_BEST.update(best)
+    return best
 
 
 # ----------------------------------------------------------------------

@@ -20,20 +20,28 @@ import os
 import pytest
 
 from _harness import (
+    measure_decode_replay_split,
+    measure_engine_speedup,
     measure_wire_bytes,
     pedantic,
     prepare_backend_throughput,
+    prepare_engine_replay,
     prepare_memcached_threads,
     record,
     slowdown,
     RESULTS,
 )
+from repro.core.engine_columnar import ENGINE_NAMES
 
 THREADS = [1, 2, 4]
 WORKERS = [1, 2, 4]
 BACKENDS = ("thread", "process")
 #: transport x codec combinations the process backend supports
 TRANSPORT_COMBOS = [("queue", "pickle"), ("queue", "binary"), ("shm", "binary")]
+#: the epoch-sharding sweep ships a few large traces instead of many
+#: small ones: sharding only engages above the per-trace threshold
+SHARD_TRACES = 8
+SHARD_TX_PER_TRACE = 400
 
 
 @pytest.mark.parametrize("threads", THREADS)
@@ -176,6 +184,96 @@ def test_fig12f_transport_shape(benchmark):
         pytest.skip(
             f"only {os.cpu_count()} core(s): shm+binary measured "
             f"{ratio:.2f}x queue+pickle but the faster-drain assertion "
+            "needs a multi-core host"
+        )
+
+
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+def test_fig12g_engine_ablation(benchmark, bench_rounds, engine):
+    """(g) replay-engine ablation: decode one binary trace batch and
+    check every trace, single worker, varying only ``--engine``.  The
+    fig10a-shaped micro workload (write/clwb/sfence/isPersist over
+    rotating cachelines) is where per-event object overhead is purest."""
+    pedantic(
+        benchmark,
+        bench_rounds,
+        lambda: prepare_engine_replay(engine),
+    )
+    record("fig12-engine", (engine,), benchmark)
+
+
+def test_fig12g_engine_shape(benchmark):
+    """The tentpole claim: columnar decode+replay is >= 2x the object
+    engine on the fig10a micro workload.  Measured with interleaved
+    min-of-rounds (robust to CI-host noise) on a fixed workload size,
+    independent of the smoke-scaling env knobs."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    best = measure_engine_speedup()
+    speedup = best["object"] / best["columnar"]
+    assert speedup >= 2.0, (
+        f"columnar engine {speedup:.2f}x object on the fig10a micro "
+        f"workload; the columnar decode+replay claim needs >= 2x ({best})"
+    )
+
+
+def test_fig12g_decode_replay_split(benchmark):
+    """Populate the per-batch decode-vs-replay split for the dumped
+    JSON: per engine, how much of each task batch went to wire decoding
+    vs shadow replay."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    split = measure_decode_replay_split()
+    for engine, row in split.items():
+        assert row["batches"] > 0, engine
+        assert len(row["per_batch"]) == row["batches"], engine
+
+
+@pytest.mark.parametrize("workers", WORKERS)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fig12h_sharded_throughput(benchmark, bench_rounds, backend, workers):
+    """(h) epoch-sharded checking: a few large multi-epoch traces are
+    split at fence boundaries across the worker pool (columnar engine,
+    ``shard_min_events=1``); the process rows use the shm+binary
+    transport, the pairing the sharding design targets."""
+    transport, codec = ("shm", "binary") if backend == "process" else (None, None)
+    pedantic(
+        benchmark,
+        bench_rounds,
+        lambda: prepare_backend_throughput(
+            backend,
+            workers,
+            n_traces=SHARD_TRACES,
+            transport=transport,
+            codec=codec,
+            engine="columnar",
+            shard_min_events=1,
+            tx_per_trace=SHARD_TX_PER_TRACE,
+        ),
+    )
+    record("fig12-shard", (backend, workers), benchmark)
+
+
+def test_fig12h_shm_vs_thread_shape(benchmark):
+    """The sharding claim: with real parallelism, epoch-sharded
+    checking over process+shm beats the thread backend on the same
+    large traces (the GIL serializes thread-backend shards)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    times = {
+        (backend, workers): RESULTS.get(("fig12-shard", (backend, workers)))
+        for backend in BACKENDS
+        for workers in (1, 4)
+    }
+    if any(value is None for value in times.values()):
+        pytest.skip("fig12h benchmarks did not run")
+    process_scaling = times[("process", 1)] / times[("process", 4)]
+    if (os.cpu_count() or 1) >= 4:
+        assert times[("process", 4)] < times[("thread", 4)], times
+        assert process_scaling > 1.0, process_scaling
+    else:
+        ratio = times[("thread", 4)] / times[("process", 4)]
+        pytest.skip(
+            f"only {os.cpu_count()} core(s): sharded process+shm measured "
+            f"{ratio:.2f}x the thread backend (scaling "
+            f"{process_scaling:.2f}x) but the faster-drain assertion "
             "needs a multi-core host"
         )
 

@@ -19,6 +19,8 @@ sys.path.insert(0, str(Path(__file__).parent))
 import pytest
 
 from _harness import (  # noqa: E402
+    DECODE_REPLAY,
+    ENGINE_BEST,
     METRICS,
     RESULTS,
     VERDICT_CACHE,
@@ -182,6 +184,42 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
             ratio = WIRE_BYTES.get("pickle", 0) / WIRE_BYTES["binary"]
             tr.write_line(f"binary ships {ratio:.2f}x fewer bytes per trace")
 
+    if "fig12-engine" in figures or ENGINE_BEST:
+        tr.section("Ablation: replay engine (object vs columnar)")
+        for engine in sorted(
+            {cfg[0] for fig, cfg in RESULTS if fig == "fig12-engine"}
+        ):
+            seconds = RESULTS.get(("fig12-engine", (engine,)))
+            tr.write_line(f"{engine:>9s} decode+check: {seconds:9.4f} s")
+        if ENGINE_BEST.get("columnar"):
+            speedup = ENGINE_BEST["object"] / ENGINE_BEST["columnar"]
+            tr.write_line(
+                f"columnar best-of-rounds speedup {speedup:5.2f}x "
+                "(fig10a micro workload)"
+            )
+        for engine in sorted(DECODE_REPLAY):
+            row = DECODE_REPLAY[engine]
+            tr.write_line(
+                f"{engine:>9s} split: decode {row['decode_seconds']*1000:8.2f} ms"
+                f"   replay {row['replay_seconds']*1000:8.2f} ms"
+                f"   ({row['batches']} batches)"
+            )
+
+    if "fig12-shard" in figures:
+        tr.section("Epoch-sharded checking: large traces split across workers")
+        tr.write_line(f"{'backend':>8s} {'workers':>8s} {'seconds':>9s} "
+                      f"{'vs 1 worker':>12s}")
+        rows = sorted({cfg for fig, cfg in RESULTS if fig == "fig12-shard"})
+        for backend, workers in rows:
+            seconds = RESULTS.get(("fig12-shard", (backend, workers)))
+            base = RESULTS.get(("fig12-shard", (backend, 1)))
+            scaling = (
+                f"{base / seconds:10.2f}x" if seconds and base else "       n/a"
+            )
+            tr.write_line(
+                f"{backend:>8s} {workers:8d} {seconds:9.4f} {scaling:>12s}"
+            )
+
     if "ablation-shadow" in figures:
         tr.section("Ablation: interval-map vs per-byte shadow memory")
         interval = RESULTS.get(("ablation-shadow", ("interval",)))
@@ -235,6 +273,36 @@ def _dump_json(tr) -> None:
                     base / seconds if seconds else None
                 )
         payload["backend_throughput_scaling_vs_1_worker"] = scaling
+    engine_base = RESULTS.get(("fig12-engine", ("object",)))
+    engine_col = RESULTS.get(("fig12-engine", ("columnar",)))
+    if engine_base and engine_col:
+        payload["engine_replay_speedup_columnar_vs_object"] = (
+            engine_base / engine_col
+        )
+    if ENGINE_BEST.get("columnar"):
+        payload["engine_best_of_rounds"] = dict(sorted(ENGINE_BEST.items()))
+        payload["engine_best_speedup_columnar_vs_object"] = (
+            ENGINE_BEST["object"] / ENGINE_BEST["columnar"]
+        )
+    if DECODE_REPLAY:
+        payload["decode_replay_split"] = {
+            engine: DECODE_REPLAY[engine] for engine in sorted(DECODE_REPLAY)
+        }
+    shard_backends = sorted(
+        {cfg[0] for fig, cfg in RESULTS if fig == "fig12-shard"}
+    )
+    if shard_backends:
+        scaling = {}
+        for backend in shard_backends:
+            base = RESULTS.get(("fig12-shard", (backend, 1)))
+            for fig, cfg in sorted(RESULTS):
+                if fig != "fig12-shard" or cfg[0] != backend or not base:
+                    continue
+                seconds = RESULTS[(fig, cfg)]
+                scaling[f"{backend}/{cfg[1]}-workers"] = (
+                    base / seconds if seconds else None
+                )
+        payload["sharded_checking_scaling_vs_1_worker"] = scaling
     transport_base = RESULTS.get(("fig12-transport", ("queue", "pickle")))
     if transport_base:
         payload["transport_drain_speedup_vs_queue_pickle"] = {

@@ -51,6 +51,7 @@ from repro.core.rules import HOPSRules, PersistencyRules, X86Rules
 from repro.core.rules.eadr import EADRRules
 from repro.core.rules.naive import NaiveX86Rules
 from repro.core.backends import TRANSPORT_NAMES
+from repro.core.engine_columnar import ENGINE_NAMES
 from repro.core.traceio import TraceFormatError, load_traces_auto
 from repro.core.tracing import Tracer
 from repro.core.workers import BACKEND_NAMES, WorkerPool
@@ -112,6 +113,27 @@ def build_parser() -> argparse.ArgumentParser:
             "(multiprocessing.Queue) or shm (shared-memory ring "
             "buffers with the binary wire codec); default: "
             "PMTEST_TRANSPORT or queue"
+        ),
+    )
+    check.add_argument(
+        "--engine",
+        choices=ENGINE_NAMES,
+        default=None,
+        help=(
+            "replay engine: object (per-event dispatch) or columnar "
+            "(struct-of-arrays batch replay; faster on large traces, "
+            "identical verdicts); default: PMTEST_ENGINE or object"
+        ),
+    )
+    check.add_argument(
+        "--shard-min-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "epoch-shard traces with at least N events across the "
+            "workers (columnar engine only; default: "
+            "PMTEST_SHARD_MIN_EVENTS or off)"
         ),
     )
     check.add_argument(
@@ -255,6 +277,9 @@ def _check(args: argparse.Namespace, traces) -> int:
     if args.verdict_cache_size is not None and args.verdict_cache_size < 0:
         print("error: --verdict-cache-size must be >= 0", file=sys.stderr)
         return 2
+    if args.shard_min_events is not None and args.shard_min_events < 1:
+        print("error: --shard-min-events must be >= 1", file=sys.stderr)
+        return 2
     rules: PersistencyRules = MODELS[args.model]()
     faults = (
         plan_from_seed(args.chaos_seed) if args.chaos_seed is not None else None
@@ -281,11 +306,17 @@ def _check(args: argparse.Namespace, traces) -> int:
             tracer=tracer,
             verdict_cache=args.verdict_cache,
             verdict_cache_size=args.verdict_cache_size,
+            engine=args.engine,
+            shard_min_events=args.shard_min_events,
         ) as pool:
             for trace in traces:
                 pool.submit(trace)
             result = pool.drain()
             snapshot = pool.metrics_snapshot()
+    except ValueError as exc:
+        # e.g. --shard-min-events without --engine columnar
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except CheckingFailed as exc:
         print(f"error: checking failed: {exc}", file=sys.stderr)
         return 2

@@ -125,6 +125,18 @@ class PMTestSession:
         consults ``PMTEST_VERDICT_CACHE``; unset means on.
     verdict_cache_size:
         Per-worker verdict-cache capacity in entries (default 1024).
+    engine:
+        Replay engine: ``"object"`` (per-event dispatch, the default)
+        or ``"columnar"`` (struct-of-arrays batch replay,
+        :mod:`repro.core.engine_columnar`).  Verdict-neutral — both
+        engines produce identical results; columnar is faster on large
+        traces.  ``None`` consults ``PMTEST_ENGINE``.
+    shard_min_events:
+        Epoch-shard threshold in events (columnar engine only): traces
+        at least this large are split at fence boundaries across the
+        workers and the per-shard results folded back into one
+        per-trace result.  ``None`` consults
+        ``PMTEST_SHARD_MIN_EVENTS`` (unset: sharding off).
     """
 
     def __init__(
@@ -144,6 +156,8 @@ class PMTestSession:
         tracer: Optional[Tracer] = None,
         verdict_cache: Optional[bool] = None,
         verdict_cache_size: Optional[int] = None,
+        engine: Optional[str] = None,
+        shard_min_events: Optional[int] = None,
     ) -> None:
         self.capture_sites = capture_sites
         self._pool = sink if sink is not None else WorkerPool(
@@ -160,6 +174,8 @@ class PMTestSession:
             tracer=tracer,
             verdict_cache=verdict_cache,
             verdict_cache_size=verdict_cache_size,
+            engine=engine,
+            shard_min_events=shard_min_events,
         )
         self._trace_ids = itertools.count()
         self._local = threading.local()

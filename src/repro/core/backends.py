@@ -90,6 +90,7 @@ from time import perf_counter_ns
 from typing import Any, Dict, List, Optional, Protocol, Set, Tuple, runtime_checkable
 
 from repro.core.engine import CheckingEngine
+from repro.core.engine_columnar import make_engine, resolve_engine_name
 from repro.core.events import Trace
 from repro.core.faults import (
     DEFAULT_RESILIENCE,
@@ -283,6 +284,7 @@ def make_backend(
     transport: Optional[str] = None,
     codec: Optional[str] = None,
     cache_size: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> "CheckingBackend":
     """Build a backend by name.
 
@@ -303,12 +305,22 @@ def make_backend(
     ``cache_size`` is the per-worker verdict-cache capacity (0
     disables it; ``None``: resolve the ``PMTEST_VERDICT_CACHE``
     environment knob, default on).
+
+    ``engine`` selects the replay engine every worker builds —
+    ``"object"`` (per-event dispatch, the default) or ``"columnar"``
+    (struct-of-arrays batch replay); ``None`` resolves the
+    ``PMTEST_ENGINE`` environment knob.  Resolved here, once, so all
+    workers of one backend run the same engine even if the environment
+    changes later.
     """
     name = resolve_backend_name(name, num_workers)
+    engine = resolve_engine_name(engine)
     if cache_size is None:
         cache_size = resolve_cache_size()
     if name == "inline":
-        return InlineBackend(rules, metrics=metrics, cache_size=cache_size)
+        return InlineBackend(
+            rules, metrics=metrics, cache_size=cache_size, engine=engine
+        )
     if faults is not None:
         rule = faults.fire(FaultPoint.SPAWN)
         if rule is not None and rule.kind is FaultKind.FAIL:
@@ -322,6 +334,7 @@ def make_backend(
             faults=faults,
             metrics=metrics,
             cache_size=cache_size,
+            engine=engine,
         )
     if name == "process":
         return ProcessBackend(
@@ -334,6 +347,7 @@ def make_backend(
             transport=transport,
             codec=codec,
             cache_size=cache_size,
+            engine=engine,
         )
     raise ValueError(
         f"unknown checking backend {name!r}; expected one of {BACKEND_NAMES}"
@@ -363,6 +377,7 @@ def make_backend_with_fallback(
     transport: Optional[str] = None,
     codec: Optional[str] = None,
     cache_size: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> Tuple["CheckingBackend", List[RecoveryEvent]]:
     """Build a backend, degrading along the chain when spawning fails.
 
@@ -388,6 +403,7 @@ def make_backend_with_fallback(
                 transport=transport,
                 codec=codec,
                 cache_size=cache_size,
+                engine=engine,
             )
             return backend, events
         except ValueError:
@@ -426,9 +442,13 @@ class InlineBackend:
         rules: Optional[PersistencyRules] = None,
         metrics: Optional[MetricsRegistry] = None,
         cache_size: int = 0,
+        engine: Optional[str] = None,
     ) -> None:
         cache = VerdictCache(cache_size) if cache_size > 0 else None
-        self._engine = CheckingEngine(rules, metrics, cache=cache)
+        self.engine_name = resolve_engine_name(engine)
+        self._engine = make_engine(
+            self.engine_name, rules, metrics, cache=cache
+        )
         self._metrics = metrics
         self._lock = threading.Lock()
         self._results: List[_SeqResult] = []
@@ -517,11 +537,13 @@ class ThreadBackend:
         faults: Optional[FaultPlan] = None,
         metrics: Optional[MetricsRegistry] = None,
         cache_size: int = 0,
+        engine: Optional[str] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("thread backend needs at least one worker")
         self._rules = rules
         self._metrics = metrics
+        self.engine_name = resolve_engine_name(engine)
         #: per-worker verdict-cache capacity (0: no cache); each worker
         #: builds its own cache so no synchronisation is needed
         self._cache_size = cache_size
@@ -808,7 +830,9 @@ class ThreadBackend:
         cache = (
             VerdictCache(self._cache_size) if self._cache_size > 0 else None
         )
-        engine = CheckingEngine(self._rules, registry, cache=cache)
+        engine = make_engine(
+            self.engine_name, self._rules, registry, cache=cache
+        )
         results = self._worker_results[index]
         errors = self._worker_errors[index]
         while True:
@@ -856,6 +880,7 @@ class ThreadBackend:
 def _process_worker(
     index: int, task_ch, result_ch, rules, faults, metrics_level=None,
     transport: str = "queue", codec: str = "pickle", cache_size: int = 0,
+    engine_name: str = "object",
 ) -> None:
     """Worker-process main: ack, decode, check, encode, repeat.
 
@@ -878,8 +903,13 @@ def _process_worker(
     if metrics_level is not None:
         registry = MetricsRegistry(MetricsLevel(metrics_level))
     cache = VerdictCache(cache_size) if cache_size > 0 else None
-    engine = CheckingEngine(rules, registry, cache=cache)
+    engine = make_engine(engine_name, rules, registry, cache=cache)
     binary = codec == "binary"
+    # The columnar engine decodes binary batches straight into columns
+    # (zero per-event objects); epoch shards in a task batch decode
+    # columnar regardless, which is safe because only columnar pools
+    # ever ship shards.
+    columnar = engine_name == "columnar"
 
     def ship(message) -> None:
         if transport == "shm":
@@ -906,7 +936,7 @@ def _process_worker(
                 return
         if binary:
             try:
-                message = decode_message(raw)
+                message = decode_message(raw, columnar=columnar)
             except TraceDecodeError:
                 # Framing damage: no sequence numbers to report against.
                 # Drop the message; the watchdog requeues its traces.
@@ -1030,10 +1060,12 @@ class ProcessBackend:
         codec: Optional[str] = None,
         ring_bytes: int = DEFAULT_RING_BYTES,
         cache_size: int = 0,
+        engine: Optional[str] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("process backend needs at least one worker")
         self._cache_size = cache_size
+        self.engine_name = resolve_engine_name(engine)
         self._batch = AdaptiveBatch(batch_size)
         self._transport = resolve_transport_name(transport)
         if codec is None:
@@ -1118,7 +1150,7 @@ class ProcessBackend:
                   self._task_ring if shm else self._task_q,
                   self._result_ring if shm else self._result_q,
                   self._rules, faults, level, self._transport, self._codec,
-                  self._cache_size),
+                  self._cache_size, self.engine_name),
             name=f"pmtest-checker-{index}",
             daemon=True,
         )

@@ -307,3 +307,151 @@ def canonicalize(events: Sequence[Event]) -> CanonicalForm:
         append(value)
     digest = blake2b(bytes(buf), digest_size=16).digest()
     return CanonicalForm(digest, relocation)
+
+
+def canonicalize_columns(cols) -> CanonicalForm:
+    """:func:`canonicalize` over a columnar trace, byte-identical.
+
+    ``cols`` is a :class:`~repro.core.columns.ColumnarTrace` holding the
+    rows the engine will replay.  The emitted canonical byte stream —
+    and therefore the fingerprint — is exactly what :func:`canonicalize`
+    produces for the object form of the same rows, so the two engines
+    share verdict-cache entries (and the differential suite can compare
+    their hit/miss counters directly).
+    """
+    addrs = cols.addrs
+    sizes = cols.sizes
+    addr2s = cols.addr2s
+    size2s = cols.size2s
+    ops = cols.ops
+    site_idx = cols.site_idx
+    site_table = cols.site_table
+    seqs = cols.seqs
+    n = len(ops)
+    # Pass 1: segment collection (the column form of collect_segments).
+    distinct = set()
+    add = distinct.add
+    for i in range(n):
+        addr = addrs[i]
+        size = sizes[i]
+        if addr or size:
+            add((addr, addr + size if size > 0 else addr + 1))
+        addr = addr2s[i]
+        size = size2s[i]
+        if addr or size:
+            add((addr, addr + size if size > 0 else addr + 1))
+    merged: List[Tuple[int, int]] = []
+    if distinct:
+        ranges = sorted(distinct)
+        merged.append(ranges[0])
+        for lo, hi in ranges[1:]:
+            last_lo, last_hi = merged[-1]
+            if lo <= last_hi:
+                if hi > last_hi:
+                    merged[-1] = (last_lo, hi)
+            else:
+                merged.append((lo, hi))
+    segments: List[Tuple[int, int, int]] = []
+    base = CANON_BASE
+    for lo, hi in merged:
+        segments.append((lo, hi, base))
+        base += (hi - lo) + CANON_GAP
+    relocation = Relocation(segments)
+    los = relocation._orig_los
+    # Pass 2: the hand-inlined canonical byte stream (layout shared with
+    # canonicalize above; keep the two in lockstep).
+    buf = bytearray()
+    append = buf.append
+    site_ids: dict = {}
+    #: table-index overlay over the content-keyed table — the columnar
+    #: analogue of the id() overlay in :func:`canonicalize`
+    site_ref_by_index: dict = {}
+    for index in range(n):
+        addr = addrs[index]
+        size = sizes[index]
+        addr2 = addr2s[index]
+        size2 = size2s[index]
+        table_ref = site_idx[index]
+        seq = seqs[index] if seqs is not None else index
+        flags = 0
+        if addr or size:
+            flags |= _EV_RANGE1
+        if addr2 or size2:
+            flags |= _EV_RANGE2
+        if table_ref >= 0:
+            flags |= _EV_SITE
+        if seq != index:
+            flags |= _EV_SEQ
+        append(flags)
+        append(ops[index])
+        if flags & _EV_RANGE1:
+            i = bisect_right(los, addr) - 1
+            value = i
+            while value > 0x7F:
+                append((value & 0x7F) | 0x80)
+                value >>= 7
+            append(value)
+            value = addr - los[i]
+            while value > 0x7F:
+                append((value & 0x7F) | 0x80)
+                value >>= 7
+            append(value)
+            value = size
+            while value > 0x7F:
+                append((value & 0x7F) | 0x80)
+                value >>= 7
+            append(value)
+        if flags & _EV_RANGE2:
+            i = bisect_right(los, addr2) - 1
+            value = i
+            while value > 0x7F:
+                append((value & 0x7F) | 0x80)
+                value >>= 7
+            append(value)
+            value = addr2 - los[i]
+            while value > 0x7F:
+                append((value & 0x7F) | 0x80)
+                value >>= 7
+            append(value)
+            value = size2
+            while value > 0x7F:
+                append((value & 0x7F) | 0x80)
+                value >>= 7
+            append(value)
+        if flags & _EV_SITE:
+            ref = site_ref_by_index.get(table_ref)
+            if ref is None:
+                site = site_table[table_ref]
+                ref = site_ids.get(site)
+                if ref is None:
+                    ref = site_ids[site] = len(site_ids)
+                site_ref_by_index[table_ref] = ref
+            value = ref
+            while value > 0x7F:
+                append((value & 0x7F) | 0x80)
+                value >>= 7
+            append(value)
+        if flags & _EV_SEQ:
+            value = (seq << 1) if seq >= 0 else ((-seq << 1) - 1)  # zigzag
+            while value > 0x7F:
+                append((value & 0x7F) | 0x80)
+                value >>= 7
+            append(value)
+    value = n
+    while value > 0x7F:
+        append((value & 0x7F) | 0x80)
+        value >>= 7
+    append(value)
+    for site in site_ids:
+        buf += site.file.encode("utf-8", "surrogatepass")
+        append(0)
+        buf += site.function.encode("utf-8", "surrogatepass")
+        append(0)
+        line = site.line
+        value = (line << 1) if line >= 0 else ((-line << 1) - 1)
+        while value > 0x7F:
+            append((value & 0x7F) | 0x80)
+            value >>= 7
+        append(value)
+    digest = blake2b(bytes(buf), digest_size=16).digest()
+    return CanonicalForm(digest, relocation)

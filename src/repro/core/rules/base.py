@@ -60,6 +60,18 @@ class PersistencyRules(ABC):
     def apply_op(self, shadow: ShadowMemory, event: Event) -> List[Report]:
         """Update the shadow for one PM operation; return any warnings."""
 
+    def apply_op_silent(self, shadow: ShadowMemory, event: Event) -> None:
+        """Apply an op for its *state effects only*, discarding reports.
+
+        Used by epoch-shard replay to reconstruct shadow state over a
+        prefix that an earlier shard has already checked.  Shadow
+        mutations must be identical to :meth:`apply_op`'s; the default
+        simply delegates and drops the reports (reports are apply_op's
+        only output besides the mutation, so this is always correct).
+        Models may override to skip diagnostic-only scans.
+        """
+        self.apply_op(shadow, event)
+
     # ------------------------------------------------------------------
     # Interval derivation
     # ------------------------------------------------------------------

@@ -69,6 +69,44 @@ class X86Rules(PersistencyRules):
         self.reject(event)
         return []  # pragma: no cover - reject always raises
 
+    def apply_op_silent(self, shadow: ShadowMemory, event: Event) -> None:
+        """State-only :meth:`apply_op` for epoch-shard prefix replay.
+
+        Identical shadow mutations with the diagnostic passes skipped:
+        the gap/overlap scans in :meth:`_apply_flush` only *read* the
+        map to build warnings, so dropping them cannot change state.
+        """
+        op = event.op
+        if op is Op.WRITE:
+            shadow.pm.assign(
+                event.addr,
+                event.end,
+                SegmentState(shadow.timestamp, None, event.site),
+            )
+            return
+        if op is Op.WRITE_NT:
+            shadow.pm.assign(
+                event.addr,
+                event.end,
+                SegmentState(shadow.timestamp, shadow.timestamp, event.site, event.site),
+            )
+            return
+        if op in FLUSH_OPS:
+            now = shadow.timestamp
+            site = event.site
+
+            def record(lo: int, hi: int, state: SegmentState) -> SegmentState:
+                if state.flush_epoch is not None:
+                    return state
+                return state.with_flush(now, site)
+
+            shadow.pm.update(event.addr, event.end, record)
+            return
+        if op is Op.SFENCE:
+            shadow.advance()
+            return
+        self.reject(event)
+
     def _apply_flush(self, shadow: ShadowMemory, event: Event) -> List[Report]:
         """Record a writeback and diagnose redundant ones."""
         reports: List[Report] = []
@@ -115,6 +153,71 @@ class X86Rules(PersistencyRules):
             return state.with_flush(now, event.site)
 
         shadow.pm.update(event.addr, event.end, record)
+        return reports
+
+    def apply_flush_fused(
+        self, shadow: ShadowMemory, event: Event
+    ) -> List[Report]:
+        """:meth:`_apply_flush` with the gap scan derived from the
+        overlap scan — one map walk instead of two, identical reports
+        in identical order (gap warnings first, ascending; then overlap
+        diagnostics, ascending).  Used by the columnar engine's bulk
+        replay loop; the differential suite pins the equivalence.
+        """
+        reports: List[Report] = []
+        now = shadow.timestamp
+        lo = event.addr
+        hi = event.end
+        segments = shadow.pm.overlaps(lo, hi)
+        prev = lo
+        for seg_lo, seg_hi, _ in segments:
+            if seg_lo > prev:
+                reports.append(
+                    _warn(
+                        ReportCode.UNNECESSARY_FLUSH,
+                        f"writeback of [{prev:#x}, {seg_lo:#x}) which was "
+                        "never modified in this trace",
+                        event,
+                    )
+                )
+            prev = seg_hi
+        if prev < hi:
+            reports.append(
+                _warn(
+                    ReportCode.UNNECESSARY_FLUSH,
+                    f"writeback of [{prev:#x}, {hi:#x}) which was never "
+                    "modified in this trace",
+                    event,
+                )
+            )
+        for seg_lo, seg_hi, state in segments:
+            flush_iv = shadow.x86_flush_interval(state)
+            if flush_iv is not None and not flush_iv.closed:
+                reports.append(
+                    _warn(
+                        ReportCode.DUP_FLUSH,
+                        f"[{seg_lo:#x}, {seg_hi:#x}) already has a "
+                        f"writeback in flight (issued at {state.flush_site})",
+                        event,
+                    )
+                )
+            elif flush_iv is not None:
+                reports.append(
+                    _warn(
+                        ReportCode.UNNECESSARY_FLUSH,
+                        f"[{seg_lo:#x}, {seg_hi:#x}) is already persistent; "
+                        "this writeback is redundant",
+                        event,
+                    )
+                )
+        site = event.site
+
+        def record(s_lo: int, s_hi: int, state: SegmentState) -> SegmentState:
+            if state.flush_epoch is not None:
+                return state
+            return state.with_flush(now, site)
+
+        shadow.pm.update(lo, hi, record)
         return reports
 
     def persist_intervals(

@@ -26,6 +26,7 @@ import json
 from pathlib import Path
 from typing import Iterable, List, Optional, TextIO, Tuple, Union
 
+from repro.core.columns import OPS_BY_VALUE, ColumnarTrace
 from repro.core.events import Event, Op, SourceSite, Trace
 from repro.core.reports import Level, Report, ReportCode, TestResult
 
@@ -221,8 +222,23 @@ def decode_event(wire: tuple) -> Event:
     return Event(op, addr, size, addr2, size2, _decode_site(site), seq)
 
 
-def encode_trace(trace: Trace) -> tuple:
-    """Flatten one :class:`Trace` (with event ``seq`` preserved)."""
+def encode_trace(trace: Union[Trace, ColumnarTrace]) -> tuple:
+    """Flatten one :class:`Trace` (with event ``seq`` preserved).
+
+    A :class:`~repro.core.columns.ColumnarTrace` flattens to the same
+    3-tuple; an epoch *shard* gains a fourth ``check_from`` element so
+    the shard boundary survives the wire (plain traces stay 3-tuples —
+    existing consumers and golden encodings are unaffected).
+    """
+    if isinstance(trace, ColumnarTrace):
+        base = (
+            trace.trace_id,
+            trace.thread_name,
+            tuple(trace.event_tuples()),
+        )
+        if trace.is_shard or trace.check_from:
+            return base + (trace.check_from,)
+        return base
     return (
         trace.trace_id,
         trace.thread_name,
@@ -230,7 +246,27 @@ def encode_trace(trace: Trace) -> tuple:
     )
 
 
-def decode_trace(wire: tuple) -> Trace:
+def decode_trace(wire: tuple) -> Union[Trace, ColumnarTrace]:
+    """Decode a tuple-wire trace.
+
+    3-tuples decode to object-form :class:`Trace`; 4-tuples (epoch
+    shards) decode to a :class:`~repro.core.columns.ColumnarTrace`
+    carrying its ``check_from`` mark, since only the columnar engine
+    can replay a shard.
+    """
+    if isinstance(wire, (tuple, list)) and len(wire) == 4:
+        trace_id, thread_name, events, check_from = wire
+        if (not isinstance(check_from, int) or isinstance(check_from, bool)
+                or check_from < 0):
+            raise TraceDecodeError(
+                f"shard check_from must be a non-negative int, "
+                f"got {check_from!r}"
+            )
+        trace = decode_trace((trace_id, thread_name, events))
+        cols = ColumnarTrace.from_trace(trace)
+        cols.check_from = check_from
+        cols.is_shard = True
+        return cols
     trace_id, thread_name, events = _expect_tuple(wire, 3, "trace")
     if not isinstance(trace_id, int) or isinstance(trace_id, bool):
         raise TraceDecodeError(f"trace id must be an int, got {trace_id!r}")
@@ -421,12 +457,13 @@ def corrupt_wire(wire: tuple) -> tuple:
     :class:`TraceDecodeError` — the typed, recognizable failure the
     decode-validation layer guarantees for garbage in transit.
     """
-    trace_id, thread_name, events = wire
+    trace_id, thread_name, events = wire[0], wire[1], wire[2]
     if events:
         events = (events[0][:3],) + tuple(events[1:])
     else:
         events = (("garbage",),)
-    return (trace_id, thread_name, events)
+    # A shard's trailing check_from rides along untouched.
+    return (trace_id, thread_name, events) + tuple(wire[3:])
 
 
 # ----------------------------------------------------------------------
@@ -755,6 +792,236 @@ def _read_trace(r: _BinReader) -> Trace:
     return trace
 
 
+def _read_trace_columnar(
+    r: _BinReader, check_from: int = 0, is_shard: bool = False
+) -> ColumnarTrace:
+    """Decode one trace record straight into struct-of-arrays columns.
+
+    This is the columnar engine's ingest hot path, so it is hand-inlined
+    the way :func:`repro.core.canon.canonicalize` is: the varint loops
+    run on local ``buf``/``pos`` with no per-field method calls, no
+    per-event :class:`Event`/:class:`SourceSite` allocation (sites are
+    interned per ``(file, line, function)`` ref triple), and column
+    preallocation from the leading event count.  Field layout and error
+    semantics mirror :func:`_read_event` — including the deferred
+    :class:`_UnknownOpError` that lets a batch skip one poisoned trace.
+    """
+    buf = r.buf
+    pos = r.pos
+    limit = len(buf)
+    strings = r.strings
+    n_strings = len(strings)
+    try:
+        # trace id: svarint
+        raw = 0
+        shift = 0
+        while True:
+            byte = buf[pos]
+            pos += 1
+            raw |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+            if shift > 128:
+                raise TraceDecodeError("varint too long for trace id")
+        trace_id = raw >> 1 if not raw & 1 else -((raw + 1) >> 1)
+        # thread name: string ref
+        ref = 0
+        shift = 0
+        while True:
+            byte = buf[pos]
+            pos += 1
+            ref |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+            if shift > 128:
+                raise TraceDecodeError("varint too long for trace thread name")
+        if ref >= n_strings:
+            raise TraceDecodeError(
+                f"string ref {ref} out of table range for trace thread name"
+            )
+        thread_name = strings[ref]
+        # event count
+        n = 0
+        shift = 0
+        while True:
+            byte = buf[pos]
+            pos += 1
+            n |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+            if shift > 128:
+                raise TraceDecodeError("varint too long for event count")
+        if n > limit - pos:
+            raise TraceDecodeError(f"event count {n} exceeds buffer")
+        ops = bytearray(n)
+        flag_col = bytearray(n)
+        addrs = [0] * n
+        sizes = [0] * n
+        addr2s = [0] * n
+        size2s = [0] * n
+        site_idx = [-1] * n
+        site_table: List[SourceSite] = []
+        site_refs: dict = {}
+        seqs: Optional[List[int]] = None
+        bad_op = -1
+        n_ops = len(OPS_BY_VALUE)
+        for index in range(n):
+            op_value = buf[pos]
+            flags = buf[pos + 1]
+            pos += 2
+            if flags & ~_EV_KNOWN:
+                raise TraceDecodeError(f"unknown event flag bits {flags:#04x}")
+            ops[index] = op_value
+            flag_col[index] = flags
+            if flags & _EV_RANGE1:
+                raw = 0
+                shift = 0
+                while True:
+                    byte = buf[pos]
+                    pos += 1
+                    raw |= (byte & 0x7F) << shift
+                    if not byte & 0x80:
+                        break
+                    shift += 7
+                    if shift > 128:
+                        raise TraceDecodeError("varint too long for event addr")
+                addrs[index] = raw >> 1 if not raw & 1 else -((raw + 1) >> 1)
+                raw = 0
+                shift = 0
+                while True:
+                    byte = buf[pos]
+                    pos += 1
+                    raw |= (byte & 0x7F) << shift
+                    if not byte & 0x80:
+                        break
+                    shift += 7
+                    if shift > 128:
+                        raise TraceDecodeError("varint too long for event size")
+                sizes[index] = raw >> 1 if not raw & 1 else -((raw + 1) >> 1)
+            if flags & _EV_RANGE2:
+                raw = 0
+                shift = 0
+                while True:
+                    byte = buf[pos]
+                    pos += 1
+                    raw |= (byte & 0x7F) << shift
+                    if not byte & 0x80:
+                        break
+                    shift += 7
+                    if shift > 128:
+                        raise TraceDecodeError("varint too long for event addr2")
+                addr2s[index] = raw >> 1 if not raw & 1 else -((raw + 1) >> 1)
+                raw = 0
+                shift = 0
+                while True:
+                    byte = buf[pos]
+                    pos += 1
+                    raw |= (byte & 0x7F) << shift
+                    if not byte & 0x80:
+                        break
+                    shift += 7
+                    if shift > 128:
+                        raise TraceDecodeError("varint too long for event size2")
+                size2s[index] = raw >> 1 if not raw & 1 else -((raw + 1) >> 1)
+            if flags & _EV_SITE:
+                file_ref = 0
+                shift = 0
+                while True:
+                    byte = buf[pos]
+                    pos += 1
+                    file_ref |= (byte & 0x7F) << shift
+                    if not byte & 0x80:
+                        break
+                    shift += 7
+                    if shift > 128:
+                        raise TraceDecodeError("varint too long for site file")
+                raw = 0
+                shift = 0
+                while True:
+                    byte = buf[pos]
+                    pos += 1
+                    raw |= (byte & 0x7F) << shift
+                    if not byte & 0x80:
+                        break
+                    shift += 7
+                    if shift > 128:
+                        raise TraceDecodeError("varint too long for site line")
+                line = raw >> 1 if not raw & 1 else -((raw + 1) >> 1)
+                fn_ref = 0
+                shift = 0
+                while True:
+                    byte = buf[pos]
+                    pos += 1
+                    fn_ref |= (byte & 0x7F) << shift
+                    if not byte & 0x80:
+                        break
+                    shift += 7
+                    if shift > 128:
+                        raise TraceDecodeError(
+                            "varint too long for site function"
+                        )
+                key = (file_ref, line, fn_ref)
+                ref = site_refs.get(key)
+                if ref is None:
+                    if file_ref >= n_strings or fn_ref >= n_strings:
+                        raise TraceDecodeError(
+                            f"string ref {max(file_ref, fn_ref)} out of "
+                            "table range for site"
+                        )
+                    ref = site_refs[key] = len(site_table)
+                    site_table.append(
+                        SourceSite(strings[file_ref], line, strings[fn_ref])
+                    )
+                site_idx[index] = ref
+            if flags & _EV_SEQ:
+                raw = 0
+                shift = 0
+                while True:
+                    byte = buf[pos]
+                    pos += 1
+                    raw |= (byte & 0x7F) << shift
+                    if not byte & 0x80:
+                        break
+                    shift += 7
+                    if shift > 128:
+                        raise TraceDecodeError("varint too long for event seq")
+                seq = raw >> 1 if not raw & 1 else -((raw + 1) >> 1)
+                if seqs is None:
+                    seqs = list(range(index))
+                seqs.append(seq)
+            elif seqs is not None:
+                seqs.append(index)
+            if (op_value >= n_ops or OPS_BY_VALUE[op_value] is None) \
+                    and bad_op < 0:
+                bad_op = op_value
+    except IndexError:
+        r.pos = limit
+        raise TraceDecodeError("truncated event") from None
+    r.pos = pos
+    if bad_op >= 0:
+        # Deferred like _read_event: the cursor sits at the next record,
+        # so the rest of a task batch survives one poisoned trace.
+        raise _UnknownOpError(f"unknown op value {bad_op}")
+    return ColumnarTrace(
+        trace_id,
+        thread_name,
+        ops,
+        flag_col,
+        addrs,
+        sizes,
+        addr2s,
+        size2s,
+        site_idx,
+        site_table,
+        seqs,
+        check_from,
+        is_shard,
+    )
+
+
 # --- reports/results --------------------------------------------------
 def _write_report(w: _BinWriter, report: Report) -> None:
     w.u8(_LEVEL_TAGS[report.level])
@@ -913,6 +1180,19 @@ def decode_traces_binary(data) -> List[Trace]:
     return [_read_trace(r) for _ in range(r.count("trace count"))]
 
 
+def decode_traces_binary_columnar(data) -> List[ColumnarTrace]:
+    """Decode a binary ``traces`` message straight into columns.
+
+    Same wire format as :func:`decode_traces_binary`, but each trace
+    lands as a :class:`ColumnarTrace` with no per-event allocation —
+    the columnar engine's bulk ingest entry point.
+    """
+    r = _BinReader(data)
+    if r.kind != _KIND_TRACES:
+        raise TraceDecodeError(f"expected a traces message, got kind {r.kind}")
+    return [_read_trace_columnar(r) for _ in range(r.count("trace count"))]
+
+
 def encode_trace_binary(trace: Trace) -> bytes:
     """Encode a single trace (the shared-memory KernelFifo payload)."""
     return encode_traces_binary([trace])
@@ -948,25 +1228,113 @@ def load_traces_binary(source: Union[str, Path]) -> List[Trace]:
         raise TraceFormatError(f"bad binary trace file: {exc}") from exc
 
 
-def load_traces_auto(source: Union[str, Path]) -> List[Trace]:
-    """Load a trace dump in either format, sniffing the magic bytes."""
+class LazyBinaryTraces:
+    """A PMTB trace file decoded on demand, one trace at a time.
+
+    Holds the raw message bytes and decodes lazily on each iteration,
+    so checking a million-event dump never materializes the whole
+    ``List[Trace]`` alongside the file bytes (the old 2x peak).  The
+    header (magic, version, kind, string table, trace count) is
+    validated eagerly in the constructor so a damaged file still fails
+    at load time, like the eager loader; per-trace damage surfaces as
+    :class:`TraceFormatError` during iteration.
+
+    Re-iterable: every ``__iter__`` starts a fresh decode, so callers
+    may make multiple passes (``repro stats`` does).  ``columnar=True``
+    yields :class:`ColumnarTrace` columns instead of :class:`Trace`
+    objects — the columnar engine's zero-object ingest path.
+    """
+
+    __slots__ = ("_data", "_count", "_columnar")
+
+    def __init__(self, data: bytes, columnar: bool = False) -> None:
+        try:
+            r = _BinReader(data)
+            if r.kind != _KIND_TRACES:
+                raise TraceDecodeError(
+                    f"expected a traces message, got kind {r.kind}"
+                )
+            count = r.count("trace count")
+        except TraceDecodeError as exc:
+            raise TraceFormatError(f"bad binary trace file: {exc}") from exc
+        self._data = data
+        self._count = count
+        self._columnar = columnar
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self):
+        r = _BinReader(self._data)
+        read = _read_trace_columnar if self._columnar else _read_trace
+        r.count("trace count")
+        for _ in range(self._count):
+            try:
+                yield read(r)
+            except TraceDecodeError as exc:
+                raise TraceFormatError(
+                    f"bad binary trace file: {exc}"
+                ) from exc
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LazyBinaryTraces):
+            return list(self) == list(other)
+        if isinstance(other, (list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LazyBinaryTraces count={self._count} "
+            f"bytes={len(self._data)}>"
+        )
+
+
+def load_traces_auto(source: Union[str, Path], columnar: bool = False):
+    """Load a trace dump in either format, sniffing the magic bytes.
+
+    JSON-lines dumps decode eagerly to ``List[Trace]``; binary (PMTB)
+    dumps return a re-iterable :class:`LazyBinaryTraces` view that
+    decodes per trace during iteration, keeping peak memory at one
+    decoded trace instead of the whole list.  ``columnar=True`` makes
+    the lazy view yield :class:`ColumnarTrace` columns (binary dumps
+    only; JSON dumps always yield :class:`Trace`).
+    """
     path = Path(source)
     with open(path, "rb") as handle:
         magic = handle.read(4)
     if magic == BINARY_MAGIC:
-        return load_traces_binary(path)
+        return LazyBinaryTraces(path.read_bytes(), columnar=columnar)
     return load_traces(path)
 
 
 # --- IPC messages (process-backend channels) --------------------------
 def encode_task_message(batch: Iterable[Tuple[int, tuple]]) -> bytes:
-    """Encode a task batch of ``(seq, tuple-wire trace)`` pairs."""
+    """Encode a task batch of ``(seq, tuple-wire trace)`` pairs.
+
+    Each trace carries a leading *shard tag*: ``0`` for a plain trace,
+    ``check_from + 1`` for an epoch shard (4-tuple wire) — one varint
+    byte in the common case, and the tag travels outside the trace
+    record so the columnar decoder stays oblivious to it.
+    """
     batch = list(batch)
     w = _BinWriter()
     w.uvarint(len(batch))
     for seq, wire in batch:
         w.svarint(seq)
-        _write_trace_wire(w, wire)
+        if isinstance(wire, (tuple, list)) and len(wire) == 4:
+            check_from = wire[3]
+            if (not isinstance(check_from, int)
+                    or isinstance(check_from, bool) or check_from < 0):
+                raise TraceDecodeError(
+                    f"shard check_from must be a non-negative int, "
+                    f"got {check_from!r}"
+                )
+            w.uvarint(check_from + 1)
+            _write_trace_wire(w, tuple(wire[:3]))
+        else:
+            w.uvarint(0)
+            _write_trace_wire(w, wire)
     return w.finish(_KIND_TASK)
 
 
@@ -1009,17 +1377,23 @@ def encode_stop_message() -> bytes:
     return _BinWriter().finish(_KIND_STOP)
 
 
-def decode_message(data) -> tuple:
+def decode_message(data, columnar: bool = False) -> tuple:
     """Decode any binary message; the first element names its kind.
 
     Returns one of::
 
         ("traces", [Trace, ...])
-        ("task", [(seq, Trace | TraceDecodeError), ...])
+        ("task", [(seq, Trace | ColumnarTrace | TraceDecodeError), ...])
         ("ack", worker, [seq, ...])
         ("res", worker, [(seq, TestResult|None, error|None), ...],
          registry | None)
         ("stop",)
+
+    ``columnar=True`` decodes task/traces payloads straight into
+    :class:`ColumnarTrace` columns (no per-event objects) — the fast
+    ingest path for the columnar engine.  Epoch shards (non-zero shard
+    tag in a task batch) always decode columnar, since only the
+    columnar engine replays them.
 
     A poisoned trace inside a task batch (unknown opcode — the CORRUPT
     chaos fault) decodes to its per-seq :class:`TraceDecodeError` while
@@ -1028,13 +1402,24 @@ def decode_message(data) -> tuple:
     """
     r = _BinReader(data)
     if r.kind == _KIND_TRACES:
+        if columnar:
+            return ("traces", [_read_trace_columnar(r)
+                               for _ in range(r.count("trace count"))])
         return ("traces", [_read_trace(r) for _ in range(r.count("trace count"))])
     if r.kind == _KIND_TASK:
         pairs: List[Tuple[int, object]] = []
         for _ in range(r.count("task count")):
             seq = r.svarint("task seq")
+            tag = r.uvarint("task shard tag")
             try:
-                pairs.append((seq, _read_trace(r)))
+                if tag or columnar:
+                    pairs.append((seq, _read_trace_columnar(
+                        r,
+                        check_from=tag - 1 if tag else 0,
+                        is_shard=bool(tag),
+                    )))
+                else:
+                    pairs.append((seq, _read_trace(r)))
             except _UnknownOpError as exc:
                 # Hand callers the plain base class: _UnknownOpError is
                 # an internal cursor-is-still-consistent marker, and
@@ -1078,13 +1463,13 @@ def corrupt_wire_framed(wire: tuple) -> tuple:
     fails with :class:`TraceDecodeError` at decode, exercising the
     corruption-in-transit path end to end.
     """
-    trace_id, thread_name, events = wire
+    trace_id, thread_name, events = wire[0], wire[1], wire[2]
     if events:
         first = (_POISON_OP,) + tuple(events[0])[1:]
         events = (first,) + tuple(events[1:])
     else:
         events = ((_POISON_OP, 0, 0, 0, 0, None, 0),)
-    return (trace_id, thread_name, events)
+    return (trace_id, thread_name, events) + tuple(wire[3:])
 
 
 class TraceRecorder:

@@ -54,6 +54,8 @@ from repro.core.backends import (
     resolve_backend_name,
     _merge_ordered,
 )
+from repro.core.columns import ColumnarTrace
+from repro.core.engine_columnar import merge_shard_results, resolve_engine_name
 from repro.core.events import Trace
 from repro.core.faults import FaultPlan, Resilience, plan_from_seed
 from repro.core.metrics import MetricsRegistry, make_registry
@@ -63,7 +65,13 @@ from repro.core.rules import PersistencyRules
 from repro.core.tracing import Tracer
 from repro.core.verdict_cache import resolve_cache_size
 
-__all__ = ["WorkerPool", "BACKEND_NAMES", "DEFAULT_BATCH_SIZE"]
+__all__ = ["WorkerPool", "BACKEND_NAMES", "DEFAULT_BATCH_SIZE",
+           "SHARD_ENV_VAR"]
+
+#: Environment override for the epoch-shard threshold (events); unset
+#: or empty means sharding stays off unless ``shard_min_events`` is
+#: passed explicitly.
+SHARD_ENV_VAR = "PMTEST_SHARD_MIN_EVENTS"
 
 #: Sentinel for "no explicit registry passed": the pool then builds one
 #: from ``PMTEST_METRICS`` (``None`` stays "metrics off" for callers
@@ -133,6 +141,21 @@ class WorkerPool:
     verdict_cache_size:
         Per-worker cache capacity in entries (default 1024 when the
         cache is on).
+    engine:
+        Replay engine the checking workers build: ``"object"``
+        (per-event dispatch, the default) or ``"columnar"``
+        (struct-of-arrays batch replay, :mod:`repro.core
+        .engine_columnar`).  ``None`` consults ``PMTEST_ENGINE``.
+        Verdict-neutral: both engines produce identical results.
+    shard_min_events:
+        Epoch-shard threshold.  A submitted trace with at least this
+        many events is split at fence-delimited epoch boundaries into
+        one shard per worker, checked in parallel, and the per-shard
+        results folded back into a single per-trace
+        :class:`~repro.core.reports.TestResult` at drain — verdicts
+        stay byte-identical to unsharded replay.  Requires the
+        columnar engine.  ``None`` consults ``PMTEST_SHARD_MIN_EVENTS``
+        (unset: sharding off).
     """
 
     def __init__(
@@ -152,9 +175,28 @@ class WorkerPool:
         tracer: Optional[Tracer] = None,
         verdict_cache: Optional[bool] = None,
         verdict_cache_size: Optional[int] = None,
+        engine: Optional[str] = None,
+        shard_min_events: Optional[int] = None,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0")
+        self._engine_name = resolve_engine_name(engine)
+        if shard_min_events is None:
+            env = os.environ.get(SHARD_ENV_VAR)
+            if env:
+                shard_min_events = int(env)
+        if shard_min_events is not None:
+            if shard_min_events < 1:
+                raise ValueError("shard_min_events must be >= 1")
+            if self._engine_name != "columnar":
+                raise ValueError(
+                    "epoch sharding (shard_min_events) requires "
+                    "engine='columnar'"
+                )
+        self._shard_min_events = shard_min_events
+        #: ``(start global seq, shard count)`` per split trace, folded
+        #: back into one result at drain time
+        self._shard_spans: List[Tuple[int, int]] = []
         if backend is None and num_workers > 0:
             override = os.environ.get("PMTEST_BACKEND")
             if override:
@@ -195,6 +237,7 @@ class WorkerPool:
             faults=faults,
             metrics=metrics,
             cache_size=self._cache_size,
+            engine=self._engine_name,
         )
         self._backend: CheckingBackend = backend_obj
         self._events.extend(spawn_events)
@@ -221,6 +264,11 @@ class WorkerPool:
     @property
     def num_workers(self) -> int:
         return self._backend.num_workers
+
+    @property
+    def engine_name(self) -> str:
+        """Which replay engine the workers run (object/columnar)."""
+        return self._engine_name
 
     @property
     def synchronous(self) -> bool:
@@ -272,19 +320,63 @@ class WorkerPool:
 
     # ------------------------------------------------------------------
     def submit(self, trace: Trace) -> None:
-        """Dispatch one trace for checking (non-blocking with workers)."""
+        """Dispatch one trace for checking (non-blocking with workers).
+
+        With epoch sharding on (``shard_min_events``), a large trace is
+        split at fence boundaries into one
+        :class:`~repro.core.columns.ColumnarTrace` shard per worker,
+        each dispatched under its own consecutive sequence number;
+        :meth:`drain` folds the span back into one per-trace result.
+        """
         if self._closed:
             raise RuntimeError("worker pool is closed")
         tracer = self._tracer
+        shards = self._maybe_split(trace)
+        if shards is not None:
+            start = self._global_seq
+            if tracer is not None:
+                tracer.instant(
+                    "submit.sharded",
+                    trace_id=trace.trace_id,
+                    events=len(trace),
+                    shards=len(shards),
+                )
+            for shard in shards:
+                self._backend.submit(shard)
+                self._seq_map.append(self._global_seq)
+                self._global_seq += 1
+            self._shard_spans.append((start, len(shards)))
+            if self._metrics is not None:
+                counter = self._metrics.counter
+                counter("shard.traces").inc(1)
+                counter("shard.shards").inc(len(shards))
+            return
         if tracer is None:
             self._backend.submit(trace)
         else:
             with tracer.span(
-                "submit", trace_id=trace.trace_id, events=len(trace.events)
+                "submit", trace_id=trace.trace_id, events=len(trace)
             ):
                 self._backend.submit(trace)
         self._seq_map.append(self._global_seq)
         self._global_seq += 1
+
+    def _maybe_split(self, trace) -> Optional[List[ColumnarTrace]]:
+        """Epoch-split a large trace, or ``None`` for the plain path."""
+        threshold = self._shard_min_events
+        if threshold is None or len(trace) < threshold:
+            return None
+        workers = self._backend.num_workers
+        if workers < 2:
+            return None
+        cols = (
+            trace if isinstance(trace, ColumnarTrace)
+            else ColumnarTrace.from_trace(trace)
+        )
+        shards = cols.split(workers)
+        if len(shards) < 2:
+            return None  # no usable epoch boundary: check whole
+        return shards
 
     def drain(self) -> TestResult:
         """Block until all submitted traces are checked; return a snapshot.
@@ -312,12 +404,41 @@ class WorkerPool:
             if timed:
                 counter("stage.drain.ns").inc(perf_counter_ns() - start)
             counter("stage.drain.count").inc(1)
-        result = _merge_ordered(self._carry + pairs)
+        result = _merge_ordered(self._fold_shards(self._carry + pairs))
         result.diagnostics.extend(self.diagnostics)
         result.diagnostics.extend(self._backend.diagnostics)
         result.metadata["backend"] = self._backend.name
         result.metadata["degraded"] = self.degraded
+        if self._shard_spans:
+            result.metadata["epoch_shards"] = sum(
+                count for _, count in self._shard_spans
+            )
         return result
+
+    def _fold_shards(self, pairs: List[_CarryPair]) -> List[_CarryPair]:
+        """Collapse each shard span into one per-trace result.
+
+        Per-shard results are merged in sequence order (shard order ==
+        epoch order), so the folded reports are byte-identical to the
+        single-worker replay of the whole trace regardless of which
+        worker — or which backend, after a degradation — checked each
+        shard.  Requeue replays were already de-duplicated upstream.
+        """
+        if not self._shard_spans:
+            return pairs
+        by_seq = dict(pairs)
+        folded: List[_CarryPair] = []
+        consumed: set = set()
+        for start, count in self._shard_spans:
+            span = [by_seq[seq] for seq in range(start, start + count)
+                    if seq in by_seq]
+            consumed.update(range(start, start + count))
+            if span:
+                folded.append((start, merge_shard_results(span)))
+        for seq, result in pairs:
+            if seq not in consumed:
+                folded.append((seq, result))
+        return folded
 
     def _drain_pairs_degrading(self) -> List[_CarryPair]:
         """Drain the active backend, walking the fallback chain on failure."""
@@ -373,6 +494,7 @@ class WorkerPool:
             resilience=self._resilience,
             metrics=self._metrics,
             cache_size=self._cache_size,
+            engine=self._engine_name,
         )
         self._events.extend(spawn_events)
         self._seq_map = []

@@ -1,0 +1,224 @@
+"""Epoch-sharded replay: split one big trace, merge back bit-identically.
+
+The contract under test (DESIGN.md §10): when ``shard_min_events`` is
+set on a columnar pool, a large trace is cut at fence-delimited epoch
+boundaries into per-worker shards.  Each shard silently replays its
+prefix to reconstruct shadow state and checks only its own range; the
+pool folds shard results in shard order before the ordinary
+deterministic merge.  The outcome — the wire-encoded
+:class:`TestResult` — must be byte-identical to unsharded replay on a
+single worker, for any worker count, backend, and under chaos-injected
+worker crashes; only the (non-verdict) ``epoch_shards`` metadata key
+betrays that sharding happened.
+"""
+
+import pytest
+
+from repro.core.columns import ColumnarTrace
+from repro.core.events import Event, Op, SourceSite, Trace
+from repro.core.faults import FaultKind, FaultPlan, FaultPoint, FaultRule
+from repro.core.metrics import MetricsLevel, MetricsRegistry
+from repro.core.traceio import encode_result
+from repro.core.workers import SHARD_ENV_VAR, WorkerPool
+
+
+def big_trace(trace_id: int = 1, epochs: int = 60) -> Trace:
+    """One multi-epoch trace mixing passes, failures and transactions.
+
+    Every fourth epoch omits its fence so the following ``isPersist``
+    fails, and every fifth epoch wraps its writes in a logged
+    transaction with a checker scope — the shard cutter must keep
+    those blocks intact.
+    """
+    trace = Trace(trace_id)
+    seq = 0
+
+    def emit(op, *args, site=None):
+        nonlocal seq
+        trace.append(Event(op, *args, site=site, seq=seq))
+        seq += 1
+
+    for e in range(epochs):
+        base = 0x1000 + (e % 16) * 0x40
+        site = SourceSite("store.c", e, "commit")
+        if e % 5 == 0:
+            emit(Op.TX_CHECK_START)
+            emit(Op.TX_BEGIN)
+            emit(Op.TX_ADD, base, 0x20)
+            emit(Op.WRITE, base, 16, site=site)
+            emit(Op.WRITE, base + 4, 4)  # dead sub-write
+            emit(Op.CLWB, base, 16)
+            emit(Op.SFENCE)
+            emit(Op.TX_END)
+            emit(Op.TX_CHECK_END)
+            emit(Op.CHECK_PERSIST, base, 16)
+        else:
+            emit(Op.WRITE, base, 8, site=site)
+            emit(Op.CLWB, base, 8)
+            if e % 4 != 0:
+                emit(Op.SFENCE)
+            emit(Op.CHECK_PERSIST, base, 8)
+    return trace
+
+
+def reference_wire(trace) -> bytes:
+    with WorkerPool(num_workers=0, engine="columnar") as pool:
+        pool.submit(trace)
+        return encode_result(pool.drain())
+
+
+def object_reference_wire(trace) -> bytes:
+    with WorkerPool(num_workers=0, engine="object") as pool:
+        pool.submit(trace)
+        return encode_result(pool.drain())
+
+
+def run_sharded(trace, **pool_kwargs) -> tuple:
+    pool = WorkerPool(engine="columnar", shard_min_events=1, **pool_kwargs)
+    try:
+        pool.submit(trace)
+        result = pool.drain()
+        return encode_result(result), result.metadata
+    finally:
+        pool._backend.stop()
+
+
+class TestShardEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_thread_pool_bit_identical(self, workers):
+        trace = big_trace()
+        wire, metadata = run_sharded(trace, num_workers=workers,
+                                     backend="thread")
+        assert wire == reference_wire(big_trace())
+        if workers >= 2:
+            assert metadata["epoch_shards"] == workers
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_process_shm_pool_bit_identical(self, workers):
+        trace = big_trace()
+        wire, metadata = run_sharded(
+            trace, num_workers=workers, backend="process",
+            transport="shm", codec="binary",
+        )
+        assert wire == reference_wire(big_trace())
+        assert metadata["epoch_shards"] == workers
+
+    def test_sharded_equals_object_engine(self):
+        """The full chain: epoch-sharded columnar == plain object."""
+        wire, _ = run_sharded(big_trace(), num_workers=4, backend="thread")
+        assert wire == object_reference_wire(big_trace())
+
+    def test_single_worker_pool_does_not_shard(self):
+        trace = big_trace()
+        wire, metadata = run_sharded(trace, num_workers=1, backend="thread")
+        assert "epoch_shards" not in metadata
+        assert wire == reference_wire(big_trace())
+
+    def test_mixed_sizes_only_large_traces_shard(self):
+        small = Trace(9)
+        small.append(Event(Op.WRITE, 0x40, 8, seq=0))
+        small.append(Event(Op.CLWB, 0x40, 8, seq=1))
+        small.append(Event(Op.SFENCE, seq=2))
+        small.append(Event(Op.CHECK_PERSIST, 0x40, 8, seq=3))
+        big = big_trace(2)
+        pool = WorkerPool(num_workers=2, backend="thread", engine="columnar",
+                          shard_min_events=50)
+        try:
+            pool.submit(small)
+            pool.submit(big)
+            result = pool.drain()
+        finally:
+            pool._backend.stop()
+        assert result.metadata["epoch_shards"] == 2
+        with WorkerPool(num_workers=0, engine="columnar") as ref:
+            ref.submit(small)
+            ref.submit(big_trace(2))
+            assert encode_result(result) == encode_result(ref.drain())
+
+
+class TestShardMergeMetadata:
+    def test_metadata_merge_is_deterministic(self):
+        """Repeated sharded runs produce identical metadata (modulo
+        nothing: the keyed merge cannot depend on completion order)."""
+        runs = [
+            run_sharded(big_trace(), num_workers=4, backend="thread")[1]
+            for _ in range(3)
+        ]
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_shard_counters(self):
+        registry = MetricsRegistry(MetricsLevel.BASIC)
+        pool = WorkerPool(num_workers=4, backend="thread", engine="columnar",
+                          shard_min_events=1, metrics=registry)
+        try:
+            pool.submit(big_trace())
+            pool.drain()
+        finally:
+            pool._backend.stop()
+        assert registry.counter_value("shard.traces") == 1
+        assert registry.counter_value("shard.shards") == 4
+
+
+class TestShardChaos:
+    def test_worker_crash_mid_shard_is_bit_identical(self):
+        """A chaos-killed process worker loses its shard; supervision
+        requeues and respawns, and the folded result is unchanged."""
+        plan = FaultPlan(
+            rules=[FaultRule(FaultPoint.WORKER_BATCH, FaultKind.CRASH, at=0)]
+        )
+        wire, metadata = run_sharded(
+            big_trace(), num_workers=2, backend="process",
+            batch_size=1, check_timeout=10.0, faults=plan,
+        )
+        assert wire == reference_wire(big_trace())
+        assert metadata["epoch_shards"] == 2
+
+    def test_chaos_seed_env_matches_reference(self, monkeypatch):
+        """The CI chaos matrix path: a seeded random fault plan from
+        ``PMTEST_CHAOS_SEED`` leaves sharded verdicts bit-identical."""
+        monkeypatch.setenv("PMTEST_CHAOS_SEED", "3")
+        wire, _ = run_sharded(
+            big_trace(), num_workers=2, backend="process",
+            batch_size=1, check_timeout=10.0,
+        )
+        assert wire == reference_wire(big_trace())
+
+
+class TestShardGuards:
+    def test_shard_without_columnar_engine_rejected(self):
+        with pytest.raises(ValueError, match="requires engine='columnar'"):
+            WorkerPool(num_workers=2, backend="thread", engine="object",
+                       shard_min_events=1)
+
+    def test_nonpositive_threshold_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            WorkerPool(num_workers=2, backend="thread", engine="columnar",
+                       shard_min_events=0)
+
+    def test_env_threshold(self, monkeypatch):
+        monkeypatch.setenv(SHARD_ENV_VAR, "1")
+        trace = big_trace()
+        pool = WorkerPool(num_workers=2, backend="thread", engine="columnar")
+        try:
+            pool.submit(trace)
+            result = pool.drain()
+        finally:
+            pool._backend.stop()
+        assert result.metadata["epoch_shards"] == 2
+        assert encode_result(result) == reference_wire(big_trace())
+
+    def test_split_respects_epoch_boundaries(self):
+        cols = ColumnarTrace.from_trace(big_trace())
+        shards = cols.split(4)
+        assert len(shards) == 4
+        assert shards[0].check_from == 0
+        total = 0
+        for shard in shards:
+            assert shard.is_shard
+            checked = len(shard) - shard.check_from
+            assert checked > 0
+            total += checked
+            if shard.check_from:
+                # every cut lands just after an epoch-closing fence
+                assert shard.ops[shard.check_from - 1] == Op.SFENCE.value
+        assert total == len(cols)
