@@ -99,6 +99,10 @@ DECODE_REPLAY: Dict[str, dict] = {}
 #: micro workload: engine name -> best decode+check seconds
 ENGINE_BEST: Dict[str, float] = {}
 
+#: daemon load-generator measurement (fig12i): sustained traces/sec,
+#: per-frame latency quantiles, and shed counts under 2x overload
+DAEMON_LOAD: Dict[str, float] = {}
+
 Execute = Callable[[], None]
 
 

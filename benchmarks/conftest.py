@@ -19,6 +19,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 import pytest
 
 from _harness import (  # noqa: E402
+    DAEMON_LOAD,
     DECODE_REPLAY,
     ENGINE_BEST,
     METRICS,
@@ -242,6 +243,29 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
                 f"speedup {naive / interval:5.1f}x"
             )
 
+    if "fig12i" in figures or DAEMON_LOAD:
+        tr.section("Fig 12i: checking-as-a-service daemon load")
+        for cfg in ("library", "daemon-uds", "daemon-overload"):
+            seconds = RESULTS.get(("fig12i", (cfg,)))
+            if seconds:
+                tr.write_line(f"{cfg:>16s}: {seconds * 1000:8.2f} ms")
+        if DAEMON_LOAD:
+            rate = DAEMON_LOAD.get("sustained_traces_per_sec")
+            p99 = DAEMON_LOAD.get("frame_p99_ms")
+            if rate is not None and p99 is not None:
+                tr.write_line(
+                    f"sustained {rate:8.0f} traces/s   "
+                    f"frame p50 {DAEMON_LOAD.get('frame_p50_ms', 0):.2f} ms   "
+                    f"p99 {p99:.2f} ms"
+                )
+            sheds = DAEMON_LOAD.get("overload_sheds_per_round")
+            if sheds is not None:
+                tr.write_line(
+                    f"2x overload: {sheds:6.1f} sheds/round, still "
+                    f"{DAEMON_LOAD.get('overload_traces_per_sec', 0):8.0f}"
+                    " traces/s to verdict"
+                )
+
     _dump_json(tr)
 
 
@@ -320,6 +344,12 @@ def _dump_json(tr) -> None:
     if cache_off and cache_on:
         payload["verdict_cache_speedup"] = cache_off / cache_on
         payload["verdict_cache"] = dict(sorted(VERDICT_CACHE.items()))
+    if DAEMON_LOAD:
+        payload["daemon_load"] = dict(sorted(DAEMON_LOAD.items()))
+        library = RESULTS.get(("fig12i", ("library",)))
+        daemon = RESULTS.get(("fig12i", ("daemon-uds",)))
+        if library and daemon:
+            payload["daemon_overhead_vs_library"] = daemon / library
     if METRICS:
         payload["metrics"] = {
             f"{figure}/{'/'.join(str(part) for part in config)}": data

@@ -17,13 +17,24 @@ Usage::
                                       [--max-reports K] [--quiet]
     python -m repro stats run.pmtrace
     python -m repro stats metrics.json
+    python -m repro serve --uds /tmp/pmtestd.sock [--model ...]
+                          [--workers N] [--backend ...]
+                          [--max-sessions N] [--inflight-bytes N]
+                          [--rate-limit-bytes N] [--queue-timeout S]
+                          [--retry-after-ms MS] [--max-sheds N]
+    python -m repro submit run.pmtrace --connect unix:///tmp/pmtestd.sock
+                                       [--tenant NAME] [--deadline S]
+                                       [--batch-size K]
 
 ``check`` replays every trace in the dump through the checking engine and
 prints the reports (exit status 1 if any FAIL was found, 2 for usage or
 format errors); ``stats`` summarizes a dump without checking it.  When
 ``stats`` is pointed at a metrics dump written by ``check
 --metrics-json`` it prints the per-stage latency breakdown instead
-(paper Figure 10b's stage decomposition).
+(paper Figure 10b's stage decomposition).  ``serve`` runs the checking
+daemon (:mod:`repro.daemon`) until SIGTERM/SIGINT, and ``submit``
+streams a dump through a running daemon — same verdicts, same exit
+codes as ``check``.
 
 Traces are produced with :class:`repro.core.traceio.TraceRecorder` (or any
 tool emitting the documented JSON-lines format), which makes the classic
@@ -33,13 +44,14 @@ record-in-production / analyze-later workflow possible.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 from collections import Counter
 from typing import List, Optional
 
 from repro.core.backends import CheckingFailed
-from repro.core.faults import plan_from_seed
+from repro.core.faults import FaultPoint, Resilience, plan_from_seed
 from repro.core.metrics import (
     JSON_FORMAT,
     MetricsLevel,
@@ -249,6 +261,206 @@ def build_parser() -> argparse.ArgumentParser:
         "trace_file",
         help="path to a .pmtrace dump or a 'check --metrics-json' output",
     )
+
+    serve = sub.add_parser(
+        "serve", help="run the checking daemon (checking-as-a-service)"
+    )
+    serve.add_argument(
+        "--uds",
+        default=None,
+        metavar="PATH",
+        help="listen on a Unix domain socket at PATH",
+    )
+    serve.add_argument(
+        "--host",
+        default=None,
+        help="listen on TCP at this host (with --port)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port for --host (default 0: ephemeral, printed on start)",
+    )
+    serve.add_argument(
+        "--model",
+        choices=sorted(MODELS),
+        default="x86",
+        help="persistency model every session checks under (default: x86)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="checking workers per session pool (default 1)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="checking backend for session pools (default from --workers)",
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=None,
+        help="traces per IPC message for --backend process",
+    )
+    serve.add_argument(
+        "--transport", choices=TRANSPORT_NAMES, default=None,
+        help="IPC channel for --backend process (queue or shm)",
+    )
+    serve.add_argument(
+        "--engine", choices=ENGINE_NAMES, default=None,
+        help="replay engine (object or columnar)",
+    )
+    vc2 = serve.add_mutually_exclusive_group()
+    vc2.add_argument(
+        "--verdict-cache", dest="verdict_cache", action="store_true",
+        default=None, help="enable the per-worker verdict cache",
+    )
+    vc2.add_argument(
+        "--no-verdict-cache", dest="verdict_cache", action="store_false",
+        help="replay every trace in full",
+    )
+    serve.add_argument(
+        "--check-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-session checking watchdog (see 'check --check-timeout')",
+    )
+    serve.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="worker respawns per session backend (default 2)",
+    )
+    fb2 = serve.add_mutually_exclusive_group()
+    fb2.add_argument(
+        "--fallback", dest="fallback", action="store_true", default=True,
+        help=(
+            "degrade overloaded/unhealthy stages instead of failing: "
+            "session pools fall back process -> thread -> inline, and "
+            "admission sheds with retry-after before rejecting (default)"
+        ),
+    )
+    fb2.add_argument(
+        "--no-fallback", dest="fallback", action="store_false",
+        help=(
+            "fail fast: no backend degradation and no shed rung "
+            "(admission rejects as soon as the budget is exhausted)"
+        ),
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=64, metavar="N",
+        help="concurrent session ceiling (default 64)",
+    )
+    serve.add_argument(
+        "--inflight-bytes", type=int, default=32 * 1024 * 1024, metavar="N",
+        help=(
+            "global budget of admitted-but-unchecked frame bytes — the "
+            "daemon's RSS guardrail (default 32 MiB)"
+        ),
+    )
+    serve.add_argument(
+        "--rate-limit-bytes", type=int, default=None, metavar="N",
+        help="per-tenant sustained frame bytes per second (default: off)",
+    )
+    serve.add_argument(
+        "--burst-bytes", type=int, default=None, metavar="N",
+        help="per-tenant token-bucket capacity (default: 2x rate)",
+    )
+    serve.add_argument(
+        "--queue-timeout", type=float, default=0.5, metavar="SECONDS",
+        help=(
+            "how long an over-budget frame may wait (rung 0) before "
+            "being shed (default 0.5)"
+        ),
+    )
+    serve.add_argument(
+        "--retry-after-ms", type=int, default=50, metavar="MS",
+        help=(
+            "base retry-after hint on a shed; doubles per consecutive "
+            "shed (default 50)"
+        ),
+    )
+    serve.add_argument(
+        "--max-sheds", type=int, default=8, metavar="N",
+        help=(
+            "consecutive sheds before a session is rejected outright "
+            "(default 8)"
+        ),
+    )
+    serve.add_argument(
+        "--checkpoint-bytes", type=int, default=1024 * 1024, metavar="N",
+        help=(
+            "admitted bytes a session may accumulate before an "
+            "intermediate drain releases them (default 1 MiB)"
+        ),
+    )
+    serve.add_argument(
+        "--handshake-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="seconds a new connection gets to say hello (default 5)",
+    )
+    serve.add_argument(
+        "--idle-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="seconds of session silence before disconnect (default 60)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help=(
+            "seconds SIGTERM waits for live sessions to finish before "
+            "cancelling them (default 30)"
+        ),
+    )
+    serve.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help=(
+            "write the server's merged metrics registry to PATH on "
+            "shutdown (forces full metrics)"
+        ),
+    )
+    serve.add_argument(
+        "--chaos-seed", type=int, default=None, metavar="SEED",
+        help="inject a deterministic fault plan (testing only)",
+    )
+    serve.add_argument(
+        "--chaos-points", default=None, metavar="P1,P2,...",
+        help=(
+            "restrict the chaos plan to these fault points "
+            f"(valid: {', '.join(FaultPoint.ALL)})"
+        ),
+    )
+
+    submit = sub.add_parser(
+        "submit", help="stream a trace dump through a running daemon"
+    )
+    submit.add_argument("trace_file", help="path to a .pmtrace dump")
+    submit.add_argument(
+        "--connect",
+        required=True,
+        metavar="ADDR",
+        help=(
+            "daemon address: unix:///path, tcp://host:port, host:port "
+            "or a bare socket path"
+        ),
+    )
+    submit.add_argument(
+        "--tenant", default="cli",
+        help="tenant name for admission accounting (default: cli)",
+    )
+    submit.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help=(
+            "overall budget for connect, backoff and verdict waits; "
+            "exceeded -> exit 2 (default: wait forever)"
+        ),
+    )
+    submit.add_argument(
+        "--batch-size", type=int, default=16,
+        help="traces per frame (default 16)",
+    )
+    submit.add_argument(
+        "--max-reports", type=int, default=20,
+        help="print at most this many reports (default 20)",
+    )
+    submit.add_argument(
+        "--quiet", action="store_true", help="print only the summary line"
+    )
     return parser
 
 
@@ -256,6 +468,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "stats":
         return _stats(args.trace_file)
+    if args.command == "serve":
+        return _serve(args)
     try:
         traces = load_traces_auto(args.trace_file)
     except FileNotFoundError:
@@ -264,6 +478,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     except TraceFormatError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.command == "submit":
+        return _submit(args, traces)
     return _check(args, traces)
 
 
@@ -343,16 +559,162 @@ def _check(args: argparse.Namespace, traces) -> int:
                 file=sys.stderr,
             )
             return 2
-    print(f"{args.model}: {result.summary()}")
-    if not args.quiet:
-        for report in result.reports[: args.max_reports]:
+    return _print_result(result, args.model, args.max_reports, args.quiet)
+
+
+def _print_result(result, label: str, max_reports: int, quiet: bool) -> int:
+    print(f"{label}: {result.summary()}")
+    if not quiet:
+        for report in result.reports[:max_reports]:
             print(f"  {report}")
-        hidden = len(result.reports) - args.max_reports
+        hidden = len(result.reports) - max_reports
         if hidden > 0:
             print(f"  ... and {hidden} more")
         for line in result.diagnostics:
             print(f"  [recovery] {line}")
     return 0 if result.passed else 1
+
+
+def _serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the checking daemon until SIGTERM/SIGINT."""
+    from repro.daemon import AdmissionPolicy, CheckingServer
+
+    if args.uds is None and args.host is None:
+        print("error: serve needs --uds and/or --host", file=sys.stderr)
+        return 2
+    points = None
+    if args.chaos_points is not None:
+        if args.chaos_seed is None:
+            print(
+                "error: --chaos-points requires --chaos-seed",
+                file=sys.stderr,
+            )
+            return 2
+        points = [p.strip() for p in args.chaos_points.split(",") if p.strip()]
+    try:
+        faults = (
+            plan_from_seed(args.chaos_seed, points)
+            if args.chaos_seed is not None
+            else None
+        )
+        policy = AdmissionPolicy(
+            max_sessions=args.max_sessions,
+            max_inflight_bytes=args.inflight_bytes,
+            tenant_rate_bytes=args.rate_limit_bytes,
+            tenant_burst_bytes=args.burst_bytes,
+            queue_timeout=args.queue_timeout,
+            retry_after_ms=args.retry_after_ms,
+            max_sheds=args.max_sheds,
+            checkpoint_bytes=args.checkpoint_bytes,
+        )
+        metrics = make_registry()
+        if args.metrics_json is not None and (
+            metrics is None or not metrics.full
+        ):
+            metrics = MetricsRegistry(MetricsLevel.FULL)
+        server = CheckingServer(
+            MODELS[args.model],
+            host=args.host,
+            port=args.port,
+            uds=args.uds,
+            workers=args.workers,
+            backend=args.backend,
+            transport=args.transport,
+            engine=args.engine,
+            batch_size=args.batch_size,
+            verdict_cache=args.verdict_cache,
+            policy=policy,
+            resilience=Resilience(
+                check_timeout=args.check_timeout,
+                max_retries=args.max_retries,
+                fallback=args.fallback,
+            ),
+            faults=faults,
+            metrics=metrics,
+            handshake_timeout=args.handshake_timeout,
+            idle_timeout=args.idle_timeout,
+            drain_timeout=args.drain_timeout,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        return asyncio.run(_serve_async(server, args.metrics_json))
+    except OSError as exc:  # bind failure, stale socket, ...
+        print(f"error: cannot listen: {exc}", file=sys.stderr)
+        return 2
+
+
+async def _serve_async(server, metrics_json: Optional[str]) -> int:
+    await server.start()
+    server.install_signal_handlers()
+    if server.uds_path is not None:
+        print(f"listening on unix://{server.uds_path}", flush=True)
+    address = server.tcp_address
+    if address is not None:
+        print(f"listening on tcp://{address[0]}:{address[1]}", flush=True)
+    await server.serve_forever()
+    admission = server.admission
+    print(
+        f"drained: {server.sessions_served} session(s), "
+        f"{server.traces_accepted} trace(s), "
+        f"{admission.frames_shed} shed frame(s), "
+        f"{admission.sessions_rejected} rejection(s)",
+        flush=True,
+    )
+    if metrics_json is not None:
+        snapshot = server.metrics_snapshot()
+        payload = snapshot.to_dict() if snapshot is not None else {}
+        try:
+            with open(metrics_json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as exc:
+            print(
+                f"error: cannot write {metrics_json}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    return 0
+
+
+def _submit(args: argparse.Namespace, traces) -> int:
+    """``repro submit``: stream a dump through a running daemon."""
+    from repro.client import (
+        CheckingClient,
+        DaemonError,
+        DeadlineExceeded,
+    )
+
+    if args.batch_size < 1:
+        print("error: --batch-size must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        client = CheckingClient(
+            args.connect,
+            tenant=args.tenant,
+            deadline=args.deadline,
+            batch_size=args.batch_size,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except DaemonError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        for trace in traces:
+            client.submit(trace)
+        result = client.close()
+    except DeadlineExceeded as exc:
+        client.abort()
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except DaemonError as exc:
+        client.abort()
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return _print_result(result, "daemon", args.max_reports, args.quiet)
 
 
 def _stats(path: str) -> int:

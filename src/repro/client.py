@@ -1,0 +1,22 @@
+"""Public client entry point for the checking daemon.
+
+``from repro.client import CheckingClient`` is the supported import
+path for instrumented programs; the implementation lives in
+:mod:`repro.daemon.client`.
+"""
+
+from repro.daemon.client import (  # noqa: F401
+    CheckingClient,
+    DaemonError,
+    DaemonOverloaded,
+    DeadlineExceeded,
+    parse_address,
+)
+
+__all__ = [
+    "CheckingClient",
+    "DaemonError",
+    "DaemonOverloaded",
+    "DeadlineExceeded",
+    "parse_address",
+]

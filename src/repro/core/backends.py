@@ -212,6 +212,8 @@ class CheckingBackend(Protocol):
 
     def metrics_registries(self) -> List[MetricsRegistry]: ...
 
+    def backlog(self) -> int: ...
+
     def submit(self, trace: Trace) -> None: ...
 
     def drain_pairs(self) -> List[_SeqResult]: ...
@@ -475,6 +477,11 @@ class InlineBackend:
         # there is nothing worker-owned to merge.
         return []
 
+    def backlog(self) -> int:
+        """Traces submitted but not yet checked (always 0: inline
+        checking completes inside ``submit``)."""
+        return 0
+
     def submit(self, trace: Trace) -> None:
         metrics = self._metrics
         if metrics is not None:
@@ -618,6 +625,16 @@ class ThreadBackend:
     def heartbeats(self) -> List[float]:
         """Monotonic timestamp of each worker's last completed trace."""
         return list(self._heartbeat)
+
+    def backlog(self) -> int:
+        """Estimated traces submitted but not yet checked.
+
+        Computed as dispatched minus results appended so far; requeue
+        replays can briefly overstate completion, so the value is a
+        backpressure signal, not an exact count.
+        """
+        done = sum(len(results) for results in self._worker_results)
+        return max(0, self._dispatched - done)
 
     def submit(self, trace: Trace) -> None:
         metrics = self._metrics
@@ -1190,6 +1207,11 @@ class ProcessBackend:
         """Monotonic timestamp of each worker's last message."""
         with self._lock:
             return dict(self._last_seen)
+
+    def backlog(self) -> int:
+        """Traces submitted but not yet completed by any worker."""
+        with self._lock:
+            return max(0, self._dispatched - len(self._completed))
 
     def submit(self, trace: Trace) -> None:
         metrics = self._metrics

@@ -74,8 +74,15 @@ class FaultPoint:
     WIRE_ENCODE = "wire.encode"
     #: the kernel-FIFO producer (simulated kernel module) enqueueing
     KFIFO_PUT = "kfifo.put"
+    #: the checking daemon accepting a new client connection
+    DAEMON_ACCEPT = "daemon.accept"
+    #: the daemon decoding one framed message from a session socket
+    DAEMON_SESSION_DECODE = "daemon.session_decode"
+    #: the daemon's admission ladder deciding whether to shed a frame
+    DAEMON_SHED = "daemon.shed"
 
-    ALL = (WORKER_BATCH, SPAWN, QUEUE_PUT, WIRE_ENCODE, KFIFO_PUT)
+    ALL = (WORKER_BATCH, SPAWN, QUEUE_PUT, WIRE_ENCODE, KFIFO_PUT,
+           DAEMON_ACCEPT, DAEMON_SESSION_DECODE, DAEMON_SHED)
 
 
 #: Kinds the pipeline is expected to recover from without changing the
@@ -148,7 +155,69 @@ class FaultPlan:
         self._hits.clear()
 
 
-def plan_from_seed(seed: Optional[int]) -> Optional[FaultPlan]:
+def _seeded_point_rules(point: str, seed: int) -> List[FaultRule]:
+    """The canonical seeded rule(s) for one fault point.
+
+    Each point draws from its own ``Random(f"{seed}:{point}")`` stream,
+    so the schedule a point gets is independent of which *other* points
+    were requested — ``points=["daemon.shed"]`` fires the same shed as
+    ``points=FaultPoint.ALL`` with the same seed.
+    """
+    rng = random.Random(f"{seed}:{point}")
+    if point == FaultPoint.WORKER_BATCH:
+        return [
+            FaultRule(point, FaultKind.CRASH, at=rng.randint(0, 2), worker=0),
+            FaultRule(
+                point,
+                FaultKind.SLOW,
+                at=rng.randint(0, 4),
+                count=2,
+                delay=rng.uniform(0.001, 0.01),
+                worker=rng.randint(0, 3),
+            ),
+        ]
+    if point == FaultPoint.SPAWN:
+        return [FaultRule(point, FaultKind.FAIL, at=0)]
+    if point == FaultPoint.QUEUE_PUT:
+        return [
+            FaultRule(
+                point,
+                FaultKind.STALL,
+                at=rng.randint(0, 3),
+                delay=rng.uniform(0.001, 0.005),
+            )
+        ]
+    if point == FaultPoint.WIRE_ENCODE:
+        return [FaultRule(point, FaultKind.CORRUPT, at=rng.randint(0, 3))]
+    if point == FaultPoint.KFIFO_PUT:
+        return [
+            FaultRule(
+                point,
+                FaultKind.STALL,
+                at=rng.randint(0, 3),
+                count=2,
+                delay=rng.uniform(0.0005, 0.002),
+            )
+        ]
+    if point == FaultPoint.DAEMON_ACCEPT:
+        return [
+            FaultRule(
+                point,
+                FaultKind.SLOW,
+                at=rng.randint(0, 1),
+                delay=rng.uniform(0.001, 0.01),
+            )
+        ]
+    if point == FaultPoint.DAEMON_SESSION_DECODE:
+        return [FaultRule(point, FaultKind.CRASH, at=rng.randint(1, 3))]
+    if point == FaultPoint.DAEMON_SHED:
+        return [FaultRule(point, FaultKind.FAIL, at=rng.randint(0, 2))]
+    raise AssertionError(f"no seeded rule for fault point {point!r}")
+
+
+def plan_from_seed(
+    seed: Optional[int], points: Optional[List[str]] = None
+) -> Optional[FaultPlan]:
     """Derive a *recoverable-only* chaos plan from a seed.
 
     This is what ``--chaos-seed`` and ``PMTEST_CHAOS_SEED`` install: one
@@ -158,9 +227,38 @@ def plan_from_seed(seed: Optional[int]) -> Optional[FaultPlan]:
     under this plan must produce results bit-identical to a fault-free
     run — which is exactly what the chaos CI job asserts by running the
     ordinary test suite under it.
+
+    ``points`` restricts the plan to an explicit allowlist of fault
+    point names drawn from :data:`FaultPoint.ALL` — including the
+    daemon points ``daemon.accept`` (slow accept), ``daemon.session_decode``
+    (a session killed mid-stream) and ``daemon.shed`` (a forced shed;
+    the client's retry machinery recovers).  Point names outside the
+    allowlist raise :class:`ValueError` rather than silently never
+    firing; rules are generated in :data:`FaultPoint.ALL` order from
+    per-point rng streams, so each point's schedule is the same whether
+    it is requested alone or with others.  Note that with an explicit
+    allowlist, ``backend.spawn`` draws a spawn failure (recovered by
+    the fallback chain) and ``wire.encode`` draws an in-transit
+    corruption (surfaced as a typed decode error) — faults the default
+    plan deliberately omits.
     """
+    if points is not None:
+        points = list(points)
+        unknown = sorted(set(points) - set(FaultPoint.ALL))
+        if unknown:
+            raise ValueError(
+                f"unknown fault point name(s): {', '.join(unknown)}; "
+                f"valid points: {', '.join(FaultPoint.ALL)}"
+            )
     if seed is None:
         return None
+    if points is not None:
+        wanted = set(points)
+        rules: List[FaultRule] = []
+        for point in FaultPoint.ALL:
+            if point in wanted:
+                rules.extend(_seeded_point_rules(point, seed))
+        return FaultPlan(rules=rules, seed=seed)
     rng = random.Random(seed)
     rules = [
         FaultRule(

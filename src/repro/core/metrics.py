@@ -172,6 +172,30 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> int:
+        """Estimate the ``q``-quantile from the log2 buckets.
+
+        Returns the exclusive upper bound of the bucket holding the
+        rank-``q`` sample, clamped to the observed maximum — a
+        conservative (never-understated beyond ``vmax``) estimate with
+        at most one power of two of resolution error, which is what a
+        p99-latency readout needs from O(1) recording.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return 0
+        rank = min(self.count - 1, int(q * self.count))
+        cumulative = 0
+        for index, n in enumerate(self.counts):
+            cumulative += n
+            if rank < cumulative:
+                bound = bucket_bound(index)
+                if self.vmax is not None and bound > self.vmax:
+                    return self.vmax
+                return bound
+        return self.vmax if self.vmax is not None else 0
+
     def merge(self, other: "Histogram") -> None:
         for i, n in enumerate(other.counts):
             if n:

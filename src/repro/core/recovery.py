@@ -38,6 +38,12 @@ class RecoveryKind(Enum):
     SPAWN_FALLBACK = "spawn-fallback"
     #: a backend was declared unhealthy mid-run and replaced
     DEGRADED = "degraded"
+    #: the daemon shed a frame under overload, asking the client to retry
+    SHED = "shed"
+    #: the daemon rejected a session outright (overload rung 2 or policy)
+    SESSION_REJECTED = "session-rejected"
+    #: a session died mid-stream and its partial state was discarded
+    SESSION_ABORTED = "session-aborted"
 
     def __str__(self) -> str:
         return self.value
@@ -73,6 +79,17 @@ _TEMPLATES: Dict[RecoveryKind, str] = {
         "degraded checking backend {backend!r} -> {fallback!r}: {error}; "
         "salvaged {salvaged} result(s), resubmitting "
         "{resubmitted} unchecked trace(s)"
+    ),
+    RecoveryKind.SHED: (
+        "admission: shed {nbytes} byte(s) from tenant {tenant!r} "
+        "session {session} ({reason}); retry after {retry_after_ms}ms"
+    ),
+    RecoveryKind.SESSION_REJECTED: (
+        "admission: rejected session from tenant {tenant!r}: {reason}"
+    ),
+    RecoveryKind.SESSION_ABORTED: (
+        "session {session} (tenant {tenant!r}) aborted mid-stream: "
+        "{reason}; released {nbytes} inflight byte(s)"
     ),
 }
 
@@ -189,6 +206,51 @@ class RecoveryEvent:
                 "error": str(error),
                 "salvaged": salvaged,
                 "resubmitted": resubmitted,
+            },
+        )
+
+
+    @classmethod
+    def shed(
+        cls,
+        session: int,
+        tenant: str,
+        nbytes: int,
+        retry_after_ms: int,
+        reason: str,
+    ) -> "RecoveryEvent":
+        return cls(
+            RecoveryKind.SHED,
+            time.monotonic(),
+            data={
+                "session": session,
+                "tenant": tenant,
+                "nbytes": nbytes,
+                "retry_after_ms": retry_after_ms,
+                "reason": reason,
+            },
+        )
+
+    @classmethod
+    def session_rejected(cls, tenant: str, reason: str) -> "RecoveryEvent":
+        return cls(
+            RecoveryKind.SESSION_REJECTED,
+            time.monotonic(),
+            data={"tenant": tenant, "reason": reason},
+        )
+
+    @classmethod
+    def session_aborted(
+        cls, session: int, tenant: str, reason: str, nbytes: int
+    ) -> "RecoveryEvent":
+        return cls(
+            RecoveryKind.SESSION_ABORTED,
+            time.monotonic(),
+            data={
+                "session": session,
+                "tenant": tenant,
+                "reason": reason,
+                "nbytes": nbytes,
             },
         )
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, List, Optional, TextIO, Tuple, Union
+from typing import Dict, Iterable, List, Optional, TextIO, Tuple, Union
 
 from repro.core.columns import OPS_BY_VALUE, ColumnarTrace
 from repro.core.events import Event, Op, SourceSite, Trace
@@ -504,6 +504,16 @@ _KIND_TASK = 2
 _KIND_ACK = 3
 _KIND_RESULT = 4
 _KIND_STOP = 5
+# Daemon session frames (repro.daemon): the checking service speaks the
+# same codec over stream sockets, one length-prefixed message per frame.
+_KIND_HELLO = 6
+_KIND_WELCOME = 7
+_KIND_DRAIN = 8
+_KIND_VERDICT = 9
+_KIND_SHED = 10
+_KIND_ERROR = 11
+_KIND_BYE = 12
+_KIND_SESSION_ACK = 13
 
 _EV_RANGE1 = 0x01
 _EV_RANGE2 = 0x02
@@ -1221,11 +1231,46 @@ def dump_traces_binary(traces: Iterable[Trace],
     return len(traces)
 
 
+def _file_decode_error(
+    exc: TraceDecodeError,
+    source: Optional[str],
+    offset: int,
+) -> TraceFormatError:
+    """Wrap a decode failure from an on-disk PMTB file with context.
+
+    The underlying :class:`TraceDecodeError` gains ``source``/``offset``
+    attributes (path and byte position of the failing read), and the
+    raised :class:`TraceFormatError` carries the same attributes plus a
+    message naming both — so daemon logs and CLI errors say *which*
+    file broke and *where*, not just that one did.
+    """
+    exc.source = source
+    exc.offset = offset
+    if source is not None:
+        wrapped = TraceFormatError(
+            f"bad binary trace file {source} at byte offset {offset}: {exc}"
+        )
+    else:
+        wrapped = TraceFormatError(f"bad binary trace file: {exc}")
+    wrapped.source = source
+    wrapped.offset = offset
+    return wrapped
+
+
 def load_traces_binary(source: Union[str, Path]) -> List[Trace]:
+    data = Path(source).read_bytes()
+    r: Optional[_BinReader] = None
     try:
-        return decode_traces_binary(Path(source).read_bytes())
+        r = _BinReader(data)
+        if r.kind != _KIND_TRACES:
+            raise TraceDecodeError(
+                f"expected a traces message, got kind {r.kind}"
+            )
+        return [_read_trace(r) for _ in range(r.count("trace count"))]
     except TraceDecodeError as exc:
-        raise TraceFormatError(f"bad binary trace file: {exc}") from exc
+        raise _file_decode_error(
+            exc, str(source), r.pos if r is not None else 0
+        ) from exc
 
 
 class LazyBinaryTraces:
@@ -1245,9 +1290,16 @@ class LazyBinaryTraces:
     objects — the columnar engine's zero-object ingest path.
     """
 
-    __slots__ = ("_data", "_count", "_columnar")
+    __slots__ = ("_data", "_count", "_columnar", "_source")
 
-    def __init__(self, data: bytes, columnar: bool = False) -> None:
+    def __init__(
+        self,
+        data: bytes,
+        columnar: bool = False,
+        source: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self._source = str(source) if source is not None else None
+        r: Optional[_BinReader] = None
         try:
             r = _BinReader(data)
             if r.kind != _KIND_TRACES:
@@ -1256,7 +1308,9 @@ class LazyBinaryTraces:
                 )
             count = r.count("trace count")
         except TraceDecodeError as exc:
-            raise TraceFormatError(f"bad binary trace file: {exc}") from exc
+            raise _file_decode_error(
+                exc, self._source, r.pos if r is not None else 0
+            ) from exc
         self._data = data
         self._count = count
         self._columnar = columnar
@@ -1272,9 +1326,7 @@ class LazyBinaryTraces:
             try:
                 yield read(r)
             except TraceDecodeError as exc:
-                raise TraceFormatError(
-                    f"bad binary trace file: {exc}"
-                ) from exc
+                raise _file_decode_error(exc, self._source, r.pos) from exc
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, LazyBinaryTraces):
@@ -1304,7 +1356,9 @@ def load_traces_auto(source: Union[str, Path], columnar: bool = False):
     with open(path, "rb") as handle:
         magic = handle.read(4)
     if magic == BINARY_MAGIC:
-        return LazyBinaryTraces(path.read_bytes(), columnar=columnar)
+        return LazyBinaryTraces(
+            path.read_bytes(), columnar=columnar, source=path
+        )
     return load_traces(path)
 
 
@@ -1377,6 +1431,75 @@ def encode_stop_message() -> bytes:
     return _BinWriter().finish(_KIND_STOP)
 
 
+# --- daemon session messages (repro.daemon) ---------------------------
+def encode_hello_message(
+    tenant: str, options: Optional[Dict[str, str]] = None
+) -> bytes:
+    """Session opener: tenant identity plus free-form string options."""
+    w = _BinWriter()
+    w.string(tenant)
+    options = dict(options or {})
+    w.uvarint(len(options))
+    for key in sorted(options):
+        w.string(key)
+        w.string(options[key])
+    return w.finish(_KIND_HELLO)
+
+
+def encode_welcome_message(session_id: int, max_frame: int) -> bytes:
+    """Server's handshake reply: session id and frame size ceiling."""
+    w = _BinWriter()
+    w.uvarint(session_id)
+    w.uvarint(max_frame)
+    return w.finish(_KIND_WELCOME)
+
+
+def encode_drain_message() -> bytes:
+    """Client request: check everything submitted, send the verdict."""
+    return _BinWriter().finish(_KIND_DRAIN)
+
+
+def encode_verdict_message(
+    result: TestResult, diagnostics: Iterable[str] = ()
+) -> bytes:
+    """A drain's answer.  ``TestResult`` wire form excludes diagnostics
+    by design, so recovery lines travel alongside, explicitly."""
+    w = _BinWriter()
+    _write_result(w, result)
+    diagnostics = list(diagnostics)
+    w.uvarint(len(diagnostics))
+    for line in diagnostics:
+        w.string(line)
+    return w.finish(_KIND_VERDICT)
+
+
+def encode_shed_message(retry_after_ms: int, reason: str) -> bytes:
+    """Overload rung 1: the frame was dropped; resend after the hint."""
+    w = _BinWriter()
+    w.uvarint(retry_after_ms)
+    w.string(reason)
+    return w.finish(_KIND_SHED)
+
+
+def encode_error_message(message: str) -> bytes:
+    """Fatal session error; the server closes after sending it."""
+    w = _BinWriter()
+    w.string(message)
+    return w.finish(_KIND_ERROR)
+
+
+def encode_bye_message() -> bytes:
+    """Orderly session close (either direction)."""
+    return _BinWriter().finish(_KIND_BYE)
+
+
+def encode_session_ack_message(accepted: int) -> bytes:
+    """Per-frame flow control: cumulative traces accepted this session."""
+    w = _BinWriter()
+    w.uvarint(accepted)
+    return w.finish(_KIND_SESSION_ACK)
+
+
 def decode_message(data, columnar: bool = False) -> tuple:
     """Decode any binary message; the first element names its kind.
 
@@ -1388,6 +1511,14 @@ def decode_message(data, columnar: bool = False) -> tuple:
         ("res", worker, [(seq, TestResult|None, error|None), ...],
          registry | None)
         ("stop",)
+        ("hello", tenant, {option: value, ...})
+        ("welcome", session_id, max_frame)
+        ("drain",)
+        ("verdict", TestResult, [diagnostic, ...])
+        ("shed", retry_after_ms, reason)
+        ("error", message)
+        ("bye",)
+        ("sack", accepted)
 
     ``columnar=True`` decodes task/traces payloads straight into
     :class:`ColumnarTrace` columns (no per-event objects) — the fast
@@ -1450,6 +1581,40 @@ def decode_message(data, columnar: bool = False) -> tuple:
         return ("res", worker, items, registry)
     if r.kind == _KIND_STOP:
         return ("stop",)
+    if r.kind == _KIND_HELLO:
+        tenant = r.string("hello tenant")
+        options: Dict[str, str] = {}
+        for _ in range(r.count("hello option count")):
+            key = r.string("hello option key")
+            options[key] = r.string("hello option value")
+        return ("hello", tenant, options)
+    if r.kind == _KIND_WELCOME:
+        return (
+            "welcome",
+            r.uvarint("welcome session id"),
+            r.uvarint("welcome max frame"),
+        )
+    if r.kind == _KIND_DRAIN:
+        return ("drain",)
+    if r.kind == _KIND_VERDICT:
+        result = _read_result(r)
+        diagnostics = [
+            r.string("verdict diagnostic")
+            for _ in range(r.count("verdict diagnostic count"))
+        ]
+        return ("verdict", result, diagnostics)
+    if r.kind == _KIND_SHED:
+        return (
+            "shed",
+            r.uvarint("shed retry-after"),
+            r.string("shed reason"),
+        )
+    if r.kind == _KIND_ERROR:
+        return ("error", r.string("error message"))
+    if r.kind == _KIND_BYE:
+        return ("bye",)
+    if r.kind == _KIND_SESSION_ACK:
+        return ("sack", r.uvarint("session ack count"))
     raise TraceDecodeError(f"unknown binary message kind {r.kind}")
 
 

@@ -318,6 +318,15 @@ class WorkerPool:
         """How many traces each worker has been handed."""
         return self._backend.worker_trace_counts()
 
+    def backlog(self) -> int:
+        """Traces submitted but not yet checked (0 for inline).
+
+        A cheap backpressure signal: the daemon polls it to decide when
+        to stop reading a session's socket instead of letting unchecked
+        traces pile up in the task queues.
+        """
+        return self._backend.backlog()
+
     # ------------------------------------------------------------------
     def submit(self, trace: Trace) -> None:
         """Dispatch one trace for checking (non-blocking with workers).

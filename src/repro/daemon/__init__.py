@@ -1,0 +1,35 @@
+"""Checking-as-a-service: the PMTest daemon (``repro serve``).
+
+The library's :class:`~repro.core.workers.WorkerPool` assumes the
+checker lives in the instrumented process.  This package turns it into
+a long-running network service: an asyncio server that speaks the PMTB
+binary codec over TCP and Unix domain sockets, multiplexes many client
+sessions, applies admission control under overload (queue -> shed ->
+reject), and propagates backpressure to clients instead of buffering
+unbounded work.  Verdicts are byte-identical to library-mode checking:
+each session drives its own worker pool, so the service changes *where*
+checking happens, never *what* it concludes.
+"""
+
+from repro.daemon.admission import (  # noqa: F401
+    AdmissionController,
+    AdmissionPolicy,
+    Decision,
+    InflightBudget,
+    TokenBucket,
+)
+from repro.daemon.client import (  # noqa: F401
+    CheckingClient,
+    DaemonError,
+    DaemonOverloaded,
+    DeadlineExceeded,
+)
+from repro.daemon.protocol import (  # noqa: F401
+    DEFAULT_MAX_FRAME,
+    ProtocolError,
+)
+from repro.daemon.server import (  # noqa: F401
+    CheckingServer,
+    ServerHandle,
+    start_in_thread,
+)

@@ -1,0 +1,365 @@
+"""Admission control for the checking daemon.
+
+Overload policy is an explicit three-rung ladder, applied per trace
+frame *before* any decode work is spent on it:
+
+rung 0 — **queue**
+    Wait (bounded by ``queue_timeout``) for the per-tenant token bucket
+    and the global inflight-bytes budget.  While a session waits here
+    its socket is not being read, so TCP flow control pushes the stall
+    back into the client — bounded memory by construction.
+rung 1 — **shed**
+    Drop the frame and tell the client when to resend (a ``shed`` frame
+    carrying a retry-after hint that grows exponentially with
+    consecutive sheds, base ``Resilience.backoff_base``).  Nothing was
+    decoded, so shedding is cheap and verdict-neutral: the client
+    resends the identical frame.
+rung 2 — **reject**
+    After ``max_sheds`` consecutive sheds the session is told to go
+    away (``error`` frame, connection closed).  The client surfaces
+    :class:`~repro.daemon.client.DaemonOverloaded`.
+
+The ladder reuses the library's :class:`~repro.core.faults.Resilience`
+policy — ``backoff_base`` drives the retry-after growth and
+``fallback=False`` disables rung 1 entirely (an operator who would
+rather fail fast than degrade) — and every shed/reject is recorded as a
+typed :class:`~repro.core.recovery.RecoveryEvent`, same as the worker
+pool's own recovery machinery.
+
+All state is event-loop-confined: the server acquires and releases on
+the loop thread only, so there are no locks to get wrong.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.faults import (
+    DEFAULT_RESILIENCE,
+    FaultKind,
+    FaultPlan,
+    FaultPoint,
+    Resilience,
+)
+from repro.core.metrics import MetricsRegistry
+from repro.core.recovery import RecoveryEvent
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Tuning knobs for the admission ladder.
+
+    ``tenant_rate_bytes`` is the per-tenant sustained budget in bytes of
+    framed traces per second (``None``: unlimited); ``tenant_burst_bytes``
+    the bucket capacity (default ``2 * rate``).  ``max_inflight_bytes``
+    bounds the frame bytes admitted but not yet checked across *all*
+    sessions — the daemon's RSS guardrail.  ``checkpoint_bytes`` is how
+    many admitted bytes a session may accumulate before the server runs
+    an intermediate drain to release them (drains are cumulative, so
+    checkpoints never change the final verdict).
+    """
+
+    max_sessions: int = 64
+    max_inflight_bytes: int = 32 * 1024 * 1024
+    tenant_rate_bytes: Optional[int] = None
+    tenant_burst_bytes: Optional[int] = None
+    queue_timeout: float = 0.5
+    retry_after_ms: int = 50
+    max_retry_after_ms: int = 5_000
+    max_sheds: int = 8
+    checkpoint_bytes: int = 1024 * 1024
+
+
+#: What the ladder decided for one frame.
+@dataclass(frozen=True)
+class Decision:
+    action: str  # "admit" | "shed" | "reject"
+    retry_after_ms: int = 0
+    reason: str = ""
+
+    @property
+    def admitted(self) -> bool:
+        return self.action == "admit"
+
+
+class TokenBucket:
+    """A byte-based token bucket with debt semantics.
+
+    ``try_take(n)`` grants whenever the bucket is positive, letting the
+    balance go negative — a frame larger than the burst is admitted
+    once and then paid back, so oversized-but-legal frames never
+    starve.  When not granted it returns the seconds until the balance
+    turns positive again, which is exactly the retry-after hint the
+    shed rung wants.  The clock is injectable for deterministic tests.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_clock", "_last")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("token bucket rate must be > 0")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else 2.0 * self.rate
+        self._tokens = self.burst
+        self._clock = clock
+        self._last = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._last = now
+
+    def try_take(self, n: int) -> float:
+        """Grant ``n`` tokens (returns 0.0) or the seconds to wait."""
+        self._refill(self._clock())
+        if self._tokens > 0:
+            self._tokens -= n
+            return 0.0
+        return -self._tokens / self.rate
+
+    @property
+    def tokens(self) -> float:
+        """Current balance (may be negative: debt from a large frame)."""
+        self._refill(self._clock())
+        return self._tokens
+
+
+class InflightBudget:
+    """The global admitted-but-unchecked byte budget.
+
+    Loop-confined: ``acquire`` may only be awaited from the event loop
+    that created the internal condition, and ``release`` must be called
+    from the same loop.  A request larger than the whole limit is
+    granted only when nothing else is inflight (debt semantics again),
+    so one legal oversized frame cannot deadlock the daemon.
+    """
+
+    def __init__(self, limit: int) -> None:
+        if limit <= 0:
+            raise ValueError("inflight budget must be > 0 bytes")
+        self.limit = limit
+        self.used = 0
+        self._cond: Optional[asyncio.Condition] = None
+
+    def _condition(self) -> asyncio.Condition:
+        if self._cond is None:
+            self._cond = asyncio.Condition()
+        return self._cond
+
+    def _fits(self, n: int) -> bool:
+        if n > self.limit:
+            return self.used == 0
+        return self.used + n <= self.limit
+
+    def try_acquire(self, n: int) -> bool:
+        if self._fits(n):
+            self.used += n
+            return True
+        return False
+
+    async def acquire(self, n: int, timeout: float) -> bool:
+        """Rung 0: wait up to ``timeout`` seconds for budget."""
+        if self.try_acquire(n):
+            return True
+        cond = self._condition()
+        try:
+            async with cond:
+                await asyncio.wait_for(
+                    cond.wait_for(lambda: self._fits(n)), timeout
+                )
+                # Still under the condition lock: the predicate check
+                # and the reservation are atomic with respect to other
+                # waiters, so concurrent wake-ups cannot over-admit.
+                self.used += n
+        except asyncio.TimeoutError:
+            return False
+        return True
+
+    def release(self, n: int) -> None:
+        self.used = max(0, self.used - n)
+        cond = self._cond
+        if cond is not None:
+            try:
+                loop = asyncio.get_running_loop()
+            except RuntimeError:
+                return  # no loop, so no waiters to wake
+            loop.create_task(self._notify(cond))
+
+    async def _notify(self, cond: asyncio.Condition) -> None:
+        async with cond:
+            cond.notify_all()
+
+
+class AdmissionController:
+    """The ladder itself, shared by every session of one server."""
+
+    def __init__(
+        self,
+        policy: Optional[AdmissionPolicy] = None,
+        resilience: Resilience = DEFAULT_RESILIENCE,
+        faults: Optional[FaultPlan] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy or AdmissionPolicy()
+        self.resilience = resilience
+        self._faults = faults
+        self._metrics = metrics
+        self._clock = clock
+        self.budget = InflightBudget(self.policy.max_inflight_bytes)
+        self._buckets: Dict[str, TokenBucket] = {}
+        #: consecutive sheds per live session (reset on every admit)
+        self._sheds: Dict[int, int] = {}
+        self._sessions = 0
+        self.events: List[RecoveryEvent] = []
+        # Plain counters, so tests and the CLI summary never depend on
+        # the metrics level.
+        self.frames_admitted = 0
+        self.bytes_admitted = 0
+        self.frames_shed = 0
+        self.bytes_shed = 0
+        self.sessions_rejected = 0
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def admit_session(self, tenant: str) -> Optional[str]:
+        """``None`` to accept, else the rejection reason."""
+        if self._sessions >= self.policy.max_sessions:
+            reason = (
+                f"session limit reached "
+                f"({self._sessions}/{self.policy.max_sessions})"
+            )
+            self.reject_session(tenant, reason)
+            return reason
+        return None
+
+    def session_opened(self, session_id: int) -> None:
+        self._sessions += 1
+        self._sheds[session_id] = 0
+
+    def session_closed(self, session_id: int) -> None:
+        self._sessions = max(0, self._sessions - 1)
+        self._sheds.pop(session_id, None)
+
+    def reject_session(self, tenant: str, reason: str) -> None:
+        self.sessions_rejected += 1
+        self.events.append(RecoveryEvent.session_rejected(tenant, reason))
+        if self._metrics is not None:
+            self._metrics.counter("daemon.sessions_rejected").inc(1)
+
+    # ------------------------------------------------------------------
+    # Per-frame ladder
+    # ------------------------------------------------------------------
+    def _bucket(self, tenant: str) -> Optional[TokenBucket]:
+        rate = self.policy.tenant_rate_bytes
+        if rate is None:
+            return None
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                rate, self.policy.tenant_burst_bytes, clock=self._clock
+            )
+        return bucket
+
+    def _retry_after_ms(self, session_id: int, hint_s: float) -> int:
+        """Exponential retry-after: policy base, Resilience-style growth."""
+        sheds = self._sheds.get(session_id, 0)
+        backoff = self.policy.retry_after_ms * (2 ** min(sheds, 10))
+        hinted = int(hint_s * 1000) + 1 if hint_s > 0 else 0
+        return min(max(backoff, hinted), self.policy.max_retry_after_ms)
+
+    async def admit_frame(
+        self, session_id: int, tenant: str, nbytes: int
+    ) -> Decision:
+        """Run one trace frame of ``nbytes`` up the ladder."""
+        forced = None
+        if self._faults is not None:
+            rule = self._faults.fire(FaultPoint.DAEMON_SHED)
+            if rule is not None:
+                if rule.kind in (FaultKind.SLOW, FaultKind.STALL):
+                    await asyncio.sleep(rule.delay)
+                elif rule.kind is FaultKind.FAIL:
+                    forced = "chaos: forced shed"
+        reason = forced
+        hint_s = 0.0
+        bucket_charged: Optional[TokenBucket] = None
+        if reason is None:
+            bucket = self._bucket(tenant)
+            if bucket is not None:
+                hint_s = bucket.try_take(nbytes)
+                if hint_s > 0:
+                    reason = f"tenant {tenant!r} over byte rate"
+                else:
+                    bucket_charged = bucket
+        if reason is None:
+            if not self.resilience.fallback:
+                # fallback off: no shed rung, straight to reject when
+                # the budget cannot be taken immediately.
+                if not self.budget.try_acquire(nbytes):
+                    reason = (
+                        f"inflight budget exhausted "
+                        f"({self.budget.used}/{self.budget.limit} bytes) "
+                        f"and degradation is disabled"
+                    )
+                    self.reject_session(tenant, reason)
+                    return Decision("reject", reason=reason)
+            elif not await self.budget.acquire(
+                nbytes, self.policy.queue_timeout
+            ):
+                reason = (
+                    f"inflight budget exhausted "
+                    f"({self.budget.used}/{self.budget.limit} bytes)"
+                )
+                if bucket_charged is not None:
+                    # The retried frame will be charged again; refund so
+                    # budget sheds do not compound into rate sheds.
+                    bucket_charged._tokens += nbytes
+        if reason is None:
+            self._sheds[session_id] = 0
+            self.frames_admitted += 1
+            self.bytes_admitted += nbytes
+            if self._metrics is not None:
+                counter = self._metrics.counter
+                counter("daemon.frames_admitted").inc(1)
+                counter("daemon.bytes_admitted").inc(nbytes)
+                self._metrics.gauge("daemon.inflight_bytes").observe(
+                    self.budget.used
+                )
+            return Decision("admit")
+        sheds = self._sheds.get(session_id, 0) + 1
+        self._sheds[session_id] = sheds
+        if sheds > self.policy.max_sheds:
+            reason = (
+                f"{sheds - 1} consecutive sheds exceeded the "
+                f"{self.policy.max_sheds}-shed budget ({reason})"
+            )
+            self.reject_session(tenant, reason)
+            return Decision("reject", reason=reason)
+        retry_after_ms = self._retry_after_ms(session_id, hint_s)
+        self.frames_shed += 1
+        self.bytes_shed += nbytes
+        self.events.append(
+            RecoveryEvent.shed(
+                session_id, tenant, nbytes, retry_after_ms, reason
+            )
+        )
+        if self._metrics is not None:
+            counter = self._metrics.counter
+            counter("daemon.frames_shed").inc(1)
+            counter("daemon.bytes_shed").inc(nbytes)
+        return Decision("shed", retry_after_ms=retry_after_ms, reason=reason)
+
+    def release(self, nbytes: int) -> None:
+        """Return checked bytes to the global budget."""
+        if nbytes:
+            self.budget.release(nbytes)

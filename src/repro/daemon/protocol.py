@@ -1,0 +1,111 @@
+"""Stream framing for PMTB messages over sockets.
+
+A PMTB message (:mod:`repro.core.traceio`) is self-describing but not
+self-delimiting, so the daemon wraps each one in a 4-byte big-endian
+length prefix::
+
+    frame := u32 length | PMTB message bytes
+
+The length covers the message only (not the prefix).  Frames larger
+than the negotiated ceiling are a protocol error — the reader refuses
+to allocate for them, which is the first line of defence against both
+corrupt peers and memory-amplification abuse.
+
+Both a synchronous socket API (the client) and an asyncio streams API
+(the server) are provided; they are wire-compatible by construction
+because both call the same :func:`frame_bytes`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+from typing import Optional
+
+FRAME_HEADER = struct.Struct(">I")
+
+#: Default per-frame size ceiling (8 MiB).  Large enough for any sane
+#: trace batch, small enough that a garbage length cannot OOM the peer.
+DEFAULT_MAX_FRAME = 8 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """The byte stream violated the framing contract."""
+
+
+def frame_bytes(payload: bytes) -> bytes:
+    """One wire frame for ``payload`` (header + message, ready to send)."""
+    return FRAME_HEADER.pack(len(payload)) + payload
+
+
+# ----------------------------------------------------------------------
+# Synchronous sockets (client side)
+# ----------------------------------------------------------------------
+def write_frame(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(frame_bytes(payload))
+
+
+def _recv_exact(
+    sock: socket.socket, n: int, what: str, allow_eof: bool = False
+) -> Optional[bytes]:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if allow_eof and remaining == n:
+                return None
+            raise ProtocolError(
+                f"connection closed mid {what} "
+                f"({n - remaining}/{n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(
+    sock: socket.socket, max_frame: int = DEFAULT_MAX_FRAME
+) -> Optional[bytes]:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary."""
+    header = _recv_exact(sock, FRAME_HEADER.size, "frame header",
+                         allow_eof=True)
+    if header is None:
+        return None
+    (length,) = FRAME_HEADER.unpack(header)
+    if length > max_frame:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {max_frame}-byte ceiling"
+        )
+    return _recv_exact(sock, length, "frame body")
+
+
+# ----------------------------------------------------------------------
+# Asyncio streams (server side)
+# ----------------------------------------------------------------------
+async def aread_frame(
+    reader: asyncio.StreamReader, max_frame: int = DEFAULT_MAX_FRAME
+) -> Optional[bytes]:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(FRAME_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed mid frame header "
+            f"({len(exc.partial)}/{FRAME_HEADER.size} bytes read)"
+        ) from None
+    (length,) = FRAME_HEADER.unpack(header)
+    if length > max_frame:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {max_frame}-byte ceiling"
+        )
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid frame body "
+            f"({len(exc.partial)}/{length} bytes read)"
+        ) from None

@@ -185,3 +185,94 @@ class TestObservabilityFlags:
             ["check", str(trace), "--metrics-json", str(bad), "--quiet"]
         ) == 2
         assert "cannot write" in capsys.readouterr().err
+
+
+class TestServeAndSubmitCommands:
+    """The daemon subcommands: serve a UDS socket, submit a dump."""
+
+    @pytest.fixture
+    def serve_proc(self, tmp_path):
+        """A `repro serve` subprocess on a UDS, killed at teardown."""
+        import os
+        import subprocess
+        import sys
+        import time
+
+        import repro
+
+        uds = os.path.join(str(tmp_path), "d.sock")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.dirname(os.path.dirname(repro.__file__))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--uds", uds,
+             "--workers", "0"],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        deadline = time.monotonic() + 20.0
+        while not os.path.exists(uds):
+            if proc.poll() is not None or time.monotonic() > deadline:
+                out, err = proc.communicate(timeout=5)
+                raise RuntimeError(f"serve failed to start: {out} {err}")
+            time.sleep(0.05)
+        try:
+            yield proc, uds
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=10)
+
+    def test_submit_matches_check_and_sigterm_drains(
+        self, tmp_path, capsys, serve_proc
+    ):
+        import signal
+
+        proc, uds = serve_proc
+        path = tmp_path / "run.pmtrace"
+        record_buggy_trace(path)
+        assert main(["check", str(path), "--quiet"]) == 1
+        check_out = capsys.readouterr().out
+        assert main([
+            "submit", str(path), "--connect", f"unix://{uds}",
+            "--deadline", "60",
+        ]) == 1
+        submit_out = capsys.readouterr().out
+        # same verdict through the daemon as in-process
+        assert submit_out.split(": ", 1)[1].splitlines()[0] == \
+            check_out.split(": ", 1)[1].splitlines()[0]
+        assert submit_out.startswith("daemon: ")
+        assert "not-persisted" in submit_out
+        # SIGTERM: graceful drain, summary line, exit 0
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=30)
+        assert proc.returncode == 0, err
+        assert "drained: 1 session(s)" in out
+
+    def test_submit_to_missing_daemon_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "run.pmtrace"
+        record_buggy_trace(path)
+        assert main([
+            "submit", str(path),
+            "--connect", str(tmp_path / "nowhere.sock"),
+            "--deadline", "2",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_requires_a_listener(self, capsys):
+        assert main(["serve"]) == 2
+        assert "--uds and/or --host" in capsys.readouterr().err
+
+    def test_serve_rejects_unknown_chaos_point(self, capsys):
+        assert main([
+            "serve", "--uds", "/tmp/x.sock",
+            "--chaos-seed", "3", "--chaos-points", "bogus.point",
+        ]) == 2
+        assert "unknown fault point" in capsys.readouterr().err
+
+    def test_serve_chaos_points_require_seed(self, capsys):
+        assert main([
+            "serve", "--uds", "/tmp/x.sock", "--chaos-points", "daemon.shed",
+        ]) == 2
+        assert "--chaos-seed" in capsys.readouterr().err

@@ -113,6 +113,51 @@ class TestSeedDerivedPlans:
         kinds = {rule.kind for rule in plan_from_seed(3).rules}
         assert FaultKind.CRASH in kinds
 
+    def test_unknown_point_names_rejected(self):
+        with pytest.raises(ValueError) as excinfo:
+            plan_from_seed(3, points=["worker.batch", "nope.nothing"])
+        message = str(excinfo.value)
+        assert "nope.nothing" in message
+        # the error teaches the valid vocabulary
+        for point in FaultPoint.ALL:
+            assert point in message
+
+    def test_unknown_points_rejected_even_without_seed(self):
+        with pytest.raises(ValueError):
+            plan_from_seed(None, points=["bogus"])
+
+    def test_explicit_all_points_accepted(self):
+        plan = plan_from_seed(9, points=list(FaultPoint.ALL))
+        assert {rule.point for rule in plan.rules} == set(FaultPoint.ALL)
+
+    def test_point_selection_restricts_plan(self):
+        plan = plan_from_seed(9, points=["daemon.shed"])
+        assert plan.rules
+        assert {rule.point for rule in plan.rules} == {"daemon.shed"}
+
+    def test_point_schedule_independent_of_other_points(self):
+        # A point's rules depend only on (seed, point), not on which
+        # other points ride along in the same plan.
+        alone = plan_from_seed(5, points=["daemon.session_decode"]).rules
+        together = [
+            rule
+            for rule in plan_from_seed(5, points=list(FaultPoint.ALL)).rules
+            if rule.point == "daemon.session_decode"
+        ]
+        assert alone == together
+
+    def test_daemon_points_in_registry(self):
+        assert "daemon.accept" in FaultPoint.ALL
+        assert "daemon.session_decode" in FaultPoint.ALL
+        assert "daemon.shed" in FaultPoint.ALL
+
+    def test_default_points_unchanged_by_allowlist_feature(self):
+        # points=None must keep the exact legacy schedule: chaos CI
+        # seeds are pinned to it.
+        assert plan_from_seed(3, points=None).rules == plan_from_seed(3).rules
+        legacy_points = {rule.point for rule in plan_from_seed(3).rules}
+        assert "daemon.accept" not in legacy_points
+
 
 class TestResilience:
     def test_default_policy(self):

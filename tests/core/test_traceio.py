@@ -601,6 +601,66 @@ class TestBinaryCorruption:
             decode_message(bytes(data))
 
 
+class TestFileErrorContext:
+    """Satellite: errors from on-disk PMTB files carry the source path
+    and the byte offset where decoding stopped."""
+
+    def _write(self, tmp_path, data: bytes):
+        path = tmp_path / "run.pmtrace"
+        path.write_bytes(data)
+        return path
+
+    def test_truncated_file_reports_path_and_offset(self, tmp_path):
+        payload = dump_and_read(sample_traces())
+        path = self._write(tmp_path, payload[: len(payload) - 5])
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_traces_binary(path)
+        message = str(excinfo.value)
+        assert str(path) in message
+        assert "byte offset" in message
+        assert excinfo.value.source == str(path)
+        assert isinstance(excinfo.value.offset, int)
+        assert 0 < excinfo.value.offset <= len(payload)
+
+    def test_corrupt_header_reports_offset_zero_area(self, tmp_path):
+        path = self._write(tmp_path, b"PMTB\x63junkjunk")
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_traces_binary(path)
+        assert str(path) in str(excinfo.value)
+        assert excinfo.value.offset <= 6  # failed inside the header
+
+    def test_lazy_auto_load_reports_path_on_iteration(self, tmp_path):
+        payload = dump_and_read(sample_traces())
+        path = self._write(tmp_path, payload[: len(payload) - 3])
+        lazy = load_traces_auto(path)
+        with pytest.raises(TraceFormatError) as excinfo:
+            list(lazy)
+        assert str(path) in str(excinfo.value)
+        assert excinfo.value.source == str(path)
+        assert excinfo.value.offset > 0
+
+    def test_underlying_decode_error_carries_context_too(self, tmp_path):
+        payload = dump_and_read(sample_traces())
+        path = self._write(tmp_path, payload[:-4])
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_traces_binary(path)
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, TraceDecodeError)
+        assert cause.source == str(path)
+        assert cause.offset == excinfo.value.offset
+
+    def test_in_memory_decode_keeps_legacy_message(self):
+        # No file involved: the message must not grow a path/offset
+        # prefix (wire-level callers match on the legacy text).
+        payload = dump_and_read(sample_traces())
+        with pytest.raises(TraceDecodeError):
+            decode_message(payload[:10])
+
+
+def dump_and_read(traces) -> bytes:
+    return encode_traces_binary(traces)
+
+
 class TestRegistryWireValidation:
     """Satellite: registry- and result-wire junk raises TraceDecodeError
     (not KeyError/IndexError), same as trace-wire."""

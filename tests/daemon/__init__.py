@@ -1,0 +1,1 @@
+"""Tests for the checking daemon (repro.daemon)."""

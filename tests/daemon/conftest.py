@@ -1,0 +1,60 @@
+"""Shared helpers for daemon tests: workloads and server fixtures."""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+import pytest
+
+from repro.core.events import Event, Op, SourceSite, Trace
+from repro.core.rules import X86Rules
+from repro.core.workers import WorkerPool
+
+
+def make_traces(n: int = 10, *, offset: int = 0, broken_every: int = 2) -> List[Trace]:
+    """A deterministic mixed workload: every ``broken_every``-th trace
+    omits its flush, so verdicts carry real FAIL reports to compare."""
+    traces = []
+    for i in range(n):
+        trace_id = offset + i
+        addr = 0x1000 + trace_id * 0x40
+        t = Trace(trace_id, thread_name=f"t{trace_id}")
+        t.append(Event(Op.WRITE, addr, 64,
+                       site=SourceSite("app.c", trace_id, "update")))
+        if broken_every == 0 or i % broken_every:
+            t.append(Event(Op.CLWB, addr, 64))
+            t.append(Event(Op.SFENCE))
+        t.append(Event(Op.CHECK_PERSIST, addr, 64))
+        traces.append(t)
+    return traces
+
+
+def library_verdict(traces, **pool_kwargs):
+    """The in-process WorkerPool verdict for ``traces``."""
+    pool = WorkerPool(X86Rules(), **pool_kwargs)
+    try:
+        for trace in traces:
+            pool.submit(trace)
+        return pool.drain()
+    finally:
+        pool.close()
+
+
+def verdict_key(result):
+    """The comparable essence of a verdict (excludes diagnostics and
+    metadata, same as the wire format and cross-backend equivalence)."""
+    return (
+        result.summary(),
+        [
+            (r.level, r.code, r.message, r.site, r.related_site,
+             r.trace_id, r.seq)
+            for r in result.reports
+        ],
+    )
+
+
+@pytest.fixture
+def uds_path(tmp_path):
+    # Keep the socket path short: AF_UNIX paths cap at ~108 bytes.
+    return os.path.join(str(tmp_path), "d.sock")

@@ -1,0 +1,277 @@
+"""Unit tests for the admission ladder: token buckets, budgets, rungs."""
+
+import asyncio
+
+import pytest
+
+from repro.core.faults import FaultKind, FaultPlan, FaultPoint, FaultRule, Resilience
+from repro.core.recovery import RecoveryKind
+from repro.daemon.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    InflightBudget,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_grants_until_empty_then_hints_wait(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100, burst=100, clock=clock)
+        assert bucket.try_take(60) == 0.0
+        assert bucket.try_take(60) == 0.0  # balance 40 > 0: debt allowed
+        wait = bucket.try_take(10)
+        assert wait == pytest.approx(0.2)  # 20 tokens of debt at 100/s
+        assert bucket.tokens == pytest.approx(-20)
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100, burst=100, clock=clock)
+        bucket.try_take(150)  # balance -50
+        clock.advance(0.5)
+        assert bucket.tokens == pytest.approx(0.0)
+        clock.advance(0.25)
+        assert bucket.try_take(10) == 0.0  # balance 25 before the take
+
+    def test_burst_is_the_cap(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10, burst=30, clock=clock)
+        clock.advance(100)  # plenty of time; balance must cap at burst
+        assert bucket.tokens == pytest.approx(30)
+
+    def test_oversized_frame_admitted_once_then_paid_back(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10, burst=10, clock=clock)
+        assert bucket.try_take(1000) == 0.0  # larger than burst, one grant
+        assert bucket.try_take(1) > 0  # now deep in debt
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0)
+
+
+class TestInflightBudget:
+    def test_try_acquire_and_release(self):
+        budget = InflightBudget(100)
+        assert budget.try_acquire(60)
+        assert budget.try_acquire(40)
+        assert not budget.try_acquire(1)
+        budget.release(40)
+        assert budget.try_acquire(30)
+        assert budget.used == 90
+
+    def test_oversized_request_only_when_idle(self):
+        budget = InflightBudget(100)
+        assert budget.try_acquire(150)  # idle: debt allowed
+        assert budget.used == 150
+        budget.release(150)
+        assert budget.try_acquire(1)
+        assert not budget.try_acquire(150)  # no longer idle
+
+    def test_acquire_waits_for_release(self):
+        async def go():
+            budget = InflightBudget(100)
+            assert budget.try_acquire(100)
+
+            async def releaser():
+                await asyncio.sleep(0.01)
+                budget.release(100)
+
+            task = asyncio.ensure_future(releaser())
+            ok = await budget.acquire(50, timeout=5.0)
+            await task
+            return ok, budget.used
+
+        ok, used = asyncio.run(go())
+        assert ok
+        assert used == 50
+
+    def test_acquire_times_out(self):
+        async def go():
+            budget = InflightBudget(100)
+            assert budget.try_acquire(100)
+            return await budget.acquire(50, timeout=0.01)
+
+        assert asyncio.run(go()) is False
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError):
+            InflightBudget(0)
+
+
+def run_ladder(controller, session_id=1, tenant="t", nbytes=10, frames=1):
+    async def go():
+        return [
+            await controller.admit_frame(session_id, tenant, nbytes)
+            for _ in range(frames)
+        ]
+
+    return asyncio.run(go())
+
+
+class TestAdmissionLadder:
+    def test_admits_within_budget(self):
+        controller = AdmissionController(AdmissionPolicy())
+        [decision] = run_ladder(controller)
+        assert decision.admitted
+        assert controller.frames_admitted == 1
+        assert controller.bytes_admitted == 10
+
+    def test_sheds_when_budget_exhausted(self):
+        policy = AdmissionPolicy(
+            max_inflight_bytes=100, queue_timeout=0.01, retry_after_ms=50
+        )
+        controller = AdmissionController(policy)
+        first, second = run_ladder(controller, nbytes=100, frames=2)
+        assert first.admitted
+        assert second.action == "shed"
+        assert second.retry_after_ms >= 50
+        assert controller.frames_shed == 1
+        [event] = controller.events
+        assert event.kind is RecoveryKind.SHED
+        assert "inflight budget exhausted" in str(event)
+
+    def test_retry_after_grows_exponentially(self):
+        policy = AdmissionPolicy(
+            max_inflight_bytes=100,
+            queue_timeout=0.01,
+            retry_after_ms=50,
+            max_sheds=100,
+        )
+        controller = AdmissionController(policy)
+        assert run_ladder(controller, nbytes=100)[0].admitted  # fill budget
+        decisions = run_ladder(controller, nbytes=50, frames=4)
+        hints = [d.retry_after_ms for d in decisions]
+        assert hints[0] == 100  # base * 2^1 after the first shed
+        assert hints[1] == 200
+        assert hints[2] == 400
+
+    def test_retry_after_capped(self):
+        policy = AdmissionPolicy(
+            max_inflight_bytes=100,
+            queue_timeout=0.01,
+            retry_after_ms=50,
+            max_retry_after_ms=300,
+            max_sheds=100,
+        )
+        controller = AdmissionController(policy)
+        assert run_ladder(controller, nbytes=100)[0].admitted  # fill budget
+        decisions = run_ladder(controller, nbytes=50, frames=6)
+        assert decisions[-1].retry_after_ms == 300
+
+    def test_rejects_after_max_consecutive_sheds(self):
+        policy = AdmissionPolicy(
+            max_inflight_bytes=100, queue_timeout=0.01, max_sheds=2
+        )
+        controller = AdmissionController(policy)
+        controller.session_opened(1)
+        assert run_ladder(controller, nbytes=100)[0].admitted  # fill budget
+        decisions = run_ladder(controller, nbytes=50, frames=3)
+        assert [d.action for d in decisions] == ["shed", "shed", "reject"]
+        assert controller.sessions_rejected == 1
+        assert controller.events[-1].kind is RecoveryKind.SESSION_REJECTED
+
+    def test_admit_resets_shed_counter(self):
+        policy = AdmissionPolicy(
+            max_inflight_bytes=100, queue_timeout=0.01, max_sheds=2
+        )
+        controller = AdmissionController(policy)
+        controller.session_opened(1)
+
+        async def go():
+            async def admit(nbytes):
+                return await controller.admit_frame(1, "t", nbytes)
+
+            assert (await admit(100)).admitted  # fill budget
+            assert (await admit(50)).action == "shed"
+            controller.release(100)
+            assert (await admit(100)).admitted
+            # the earlier shed no longer counts toward the reject
+            # threshold: two more sheds stay on rung 1 instead of
+            # tripping max_sheds=2
+            assert (await admit(50)).action == "shed"
+            assert (await admit(50)).action == "shed"
+
+        asyncio.run(go())
+
+    def test_tenant_rate_limit_sheds(self):
+        clock = FakeClock()
+        policy = AdmissionPolicy(
+            tenant_rate_bytes=100, tenant_burst_bytes=100, queue_timeout=0.01
+        )
+        controller = AdmissionController(policy, clock=clock)
+        first, second, third = run_ladder(controller, nbytes=80, frames=3)
+        assert first.admitted
+        assert second.admitted  # debt
+        assert third.action == "shed"
+        assert "over byte rate" in third.reason
+        clock.advance(10.0)
+        [after] = run_ladder(controller, nbytes=80, frames=1)
+        assert after.admitted
+
+    def test_rate_limit_is_per_tenant(self):
+        clock = FakeClock()
+        policy = AdmissionPolicy(
+            tenant_rate_bytes=100, tenant_burst_bytes=100, queue_timeout=0.01
+        )
+        controller = AdmissionController(policy, clock=clock)
+        assert run_ladder(controller, tenant="a", nbytes=150)[0].admitted
+        assert run_ladder(controller, tenant="a", nbytes=150)[0].action == "shed"
+        assert run_ladder(controller, tenant="b", nbytes=150)[0].admitted
+
+    def test_no_fallback_rejects_instead_of_shedding(self):
+        policy = AdmissionPolicy(max_inflight_bytes=100, queue_timeout=0.01)
+        controller = AdmissionController(
+            policy, Resilience(fallback=False)
+        )
+        first, second = run_ladder(controller, nbytes=100, frames=2)
+        assert first.admitted
+        assert second.action == "reject"
+        assert "degradation is disabled" in second.reason
+
+    def test_session_limit(self):
+        policy = AdmissionPolicy(max_sessions=1)
+        controller = AdmissionController(policy)
+        assert controller.admit_session("a") is None
+        controller.session_opened(1)
+        reason = controller.admit_session("b")
+        assert reason is not None and "session limit" in reason
+        controller.session_closed(1)
+        assert controller.admit_session("c") is None
+
+    def test_chaos_forced_shed(self):
+        plan = FaultPlan(
+            [FaultRule(FaultPoint.DAEMON_SHED, FaultKind.FAIL, at=0, count=1)]
+        )
+        controller = AdmissionController(AdmissionPolicy(), faults=plan)
+        controller.session_opened(1)
+        first, second = run_ladder(controller, frames=2)
+        assert first.action == "shed"
+        assert "chaos" in first.reason
+        assert second.admitted  # the fault fired once; retry sails through
+
+    def test_budget_shed_refunds_token_bucket(self):
+        clock = FakeClock()
+        policy = AdmissionPolicy(
+            max_inflight_bytes=100,
+            queue_timeout=0.01,
+            tenant_rate_bytes=1000,
+            tenant_burst_bytes=1000,
+        )
+        controller = AdmissionController(policy, clock=clock)
+        assert run_ladder(controller, nbytes=100)[0].admitted
+        balance_before = controller._buckets["t"].tokens
+        assert run_ladder(controller, nbytes=100)[0].action == "shed"
+        # the shed frame will be resent and recharged; no double billing
+        assert controller._buckets["t"].tokens == pytest.approx(balance_before)

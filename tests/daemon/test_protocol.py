@@ -1,0 +1,196 @@
+"""Framing and handshake-message tests for the daemon wire protocol."""
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.core.reports import Level, Report, ReportCode, TestResult
+from repro.core.traceio import (
+    decode_message,
+    encode_bye_message,
+    encode_drain_message,
+    encode_error_message,
+    encode_hello_message,
+    encode_session_ack_message,
+    encode_shed_message,
+    encode_verdict_message,
+    encode_welcome_message,
+)
+from repro.daemon.protocol import (
+    DEFAULT_MAX_FRAME,
+    FRAME_HEADER,
+    ProtocolError,
+    aread_frame,
+    frame_bytes,
+    read_frame,
+    write_frame,
+)
+
+
+def socket_pair():
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    return a, b
+
+
+class TestSyncFraming:
+    def test_round_trip(self):
+        a, b = socket_pair()
+        try:
+            write_frame(a, b"hello world")
+            assert read_frame(b) == b"hello world"
+        finally:
+            a.close()
+            b.close()
+
+    def test_empty_payload(self):
+        a, b = socket_pair()
+        try:
+            write_frame(a, b"")
+            assert read_frame(b) == b""
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_is_none(self):
+        a, b = socket_pair()
+        a.close()
+        try:
+            assert read_frame(b) is None
+        finally:
+            b.close()
+
+    def test_eof_mid_header_raises(self):
+        a, b = socket_pair()
+        a.sendall(b"\x00\x00")
+        a.close()
+        try:
+            with pytest.raises(ProtocolError, match="mid frame header"):
+                read_frame(b)
+        finally:
+            b.close()
+
+    def test_eof_mid_body_raises(self):
+        a, b = socket_pair()
+        a.sendall(FRAME_HEADER.pack(100) + b"partial")
+        a.close()
+        try:
+            with pytest.raises(ProtocolError, match="mid frame body"):
+                read_frame(b)
+        finally:
+            b.close()
+
+    def test_oversize_frame_rejected_before_allocation(self):
+        a, b = socket_pair()
+        a.sendall(FRAME_HEADER.pack(DEFAULT_MAX_FRAME + 1))
+        try:
+            with pytest.raises(ProtocolError, match="ceiling"):
+                read_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_back_to_back_frames(self):
+        a, b = socket_pair()
+        try:
+            a.sendall(frame_bytes(b"one") + frame_bytes(b"two"))
+            assert read_frame(b) == b"one"
+            assert read_frame(b) == b"two"
+        finally:
+            a.close()
+            b.close()
+
+
+class TestAsyncFraming:
+    def run_reader(self, wire: bytes, max_frame=DEFAULT_MAX_FRAME, n=1):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(wire)
+            reader.feed_eof()
+            return [await aread_frame(reader, max_frame) for _ in range(n)]
+
+        return asyncio.run(go())
+
+    def test_round_trip(self):
+        [frame] = self.run_reader(frame_bytes(b"payload"))
+        assert frame == b"payload"
+
+    def test_clean_eof_is_none(self):
+        [frame] = self.run_reader(b"")
+        assert frame is None
+
+    def test_eof_mid_header_raises(self):
+        with pytest.raises(ProtocolError, match="mid frame header"):
+            self.run_reader(b"\x00")
+
+    def test_eof_mid_body_raises(self):
+        with pytest.raises(ProtocolError, match="mid frame body"):
+            self.run_reader(FRAME_HEADER.pack(10) + b"abc")
+
+    def test_oversize_frame_rejected(self):
+        with pytest.raises(ProtocolError, match="ceiling"):
+            self.run_reader(FRAME_HEADER.pack(2048), max_frame=1024)
+
+    def test_wire_compatible_with_sync_writer(self):
+        a, b = socket_pair()
+        try:
+            write_frame(a, b"cross")
+            raw = b.recv(4096)
+        finally:
+            a.close()
+            b.close()
+        [frame] = self.run_reader(raw)
+        assert frame == b"cross"
+
+
+class TestSessionMessages:
+    def test_hello_round_trip(self):
+        wire = encode_hello_message("tenant-a", {"engine": "columnar"})
+        assert decode_message(wire) == (
+            "hello", "tenant-a", {"engine": "columnar"}
+        )
+
+    def test_welcome_round_trip(self):
+        wire = encode_welcome_message(7, 1 << 20)
+        assert decode_message(wire) == ("welcome", 7, 1 << 20)
+
+    def test_control_frames(self):
+        assert decode_message(encode_drain_message()) == ("drain",)
+        assert decode_message(encode_bye_message()) == ("bye",)
+        assert decode_message(encode_session_ack_message(42)) == ("sack", 42)
+
+    def test_shed_round_trip(self):
+        wire = encode_shed_message(250, "inflight budget exhausted")
+        assert decode_message(wire) == (
+            "shed", 250, "inflight budget exhausted"
+        )
+
+    def test_error_round_trip(self):
+        wire = encode_error_message("session rejected: too many sheds")
+        assert decode_message(wire) == (
+            "error", "session rejected: too many sheds"
+        )
+
+    def test_verdict_round_trip_with_diagnostics(self):
+        result = TestResult(
+            reports=[
+                Report(
+                    Level.FAIL,
+                    ReportCode.NOT_PERSISTED,
+                    "write never persisted",
+                    trace_id=3,
+                    seq=1,
+                )
+            ],
+            traces_checked=4,
+            events_checked=16,
+            checkers_evaluated=4,
+        )
+        wire = encode_verdict_message(result, ["worker 0 respawned"])
+        kind, decoded, diagnostics = decode_message(wire)
+        assert kind == "verdict"
+        assert decoded.summary() == result.summary()
+        assert decoded.reports[0].code is ReportCode.NOT_PERSISTED
+        assert diagnostics == ["worker 0 respawned"]
