@@ -17,24 +17,35 @@ Usage::
                                       [--max-reports K] [--quiet]
     python -m repro stats run.pmtrace
     python -m repro stats metrics.json
+    python -m repro stats --connect unix:///tmp/pmtestd.sock [--flight]
     python -m repro serve --uds /tmp/pmtestd.sock [--model ...]
                           [--workers N] [--backend ...]
                           [--max-sessions N] [--inflight-bytes N]
                           [--rate-limit-bytes N] [--queue-timeout S]
                           [--retry-after-ms MS] [--max-sheds N]
+                          [--http HOST:PORT] [--trace-out PATH]
+                          [--flight-json PATH]
     python -m repro submit run.pmtrace --connect unix:///tmp/pmtestd.sock
                                        [--tenant NAME] [--deadline S]
                                        [--batch-size K]
+                                       [--metrics-json PATH]
+                                       [--trace-out PATH]
+    python -m repro top --connect unix:///tmp/pmtestd.sock
+                        [--interval S] [--iterations N] [--once]
 
 ``check`` replays every trace in the dump through the checking engine and
 prints the reports (exit status 1 if any FAIL was found, 2 for usage or
 format errors); ``stats`` summarizes a dump without checking it.  When
 ``stats`` is pointed at a metrics dump written by ``check
 --metrics-json`` it prints the per-stage latency breakdown instead
-(paper Figure 10b's stage decomposition).  ``serve`` runs the checking
+(paper Figure 10b's stage decomposition); pointed at a running daemon
+with ``--connect`` it fetches one live stats snapshot (or the flight
+recorder with ``--flight``) as JSON.  ``serve`` runs the checking
 daemon (:mod:`repro.daemon`) until SIGTERM/SIGINT, and ``submit``
 streams a dump through a running daemon — same verdicts, same exit
-codes as ``check``.
+codes as ``check``.  ``top`` subscribes to a daemon's stats stream and
+renders a refreshing per-tenant table (traces/s, queue depth, sheds,
+frame p99).
 
 Traces are produced with :class:`repro.core.traceio.TraceRecorder` (or any
 tool emitting the documented JSON-lines format), which makes the classic
@@ -255,11 +266,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     stats = sub.add_parser(
-        "stats", help="summarize a trace dump or a metrics JSON dump"
+        "stats",
+        help=(
+            "summarize a trace dump, a metrics JSON dump, or a "
+            "running daemon"
+        ),
     )
     stats.add_argument(
         "trace_file",
+        nargs="?",
+        default=None,
         help="path to a .pmtrace dump or a 'check --metrics-json' output",
+    )
+    stats.add_argument(
+        "--connect",
+        default=None,
+        metavar="ADDR",
+        help=(
+            "fetch live stats from a running daemon instead of reading "
+            "a file (unix:///path, tcp://host:port, host:port)"
+        ),
+    )
+    stats.add_argument(
+        "--flight",
+        action="store_true",
+        help=(
+            "with --connect: dump the daemon's flight recorder (recent "
+            "sheds, rejections, aborts, chaos firings, slow frames)"
+        ),
+    )
+    stats.add_argument(
+        "--tenant", default="cli-stats",
+        help="tenant name for the stats session (default: cli-stats)",
+    )
+    stats.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="overall budget for the daemon round trip",
     )
 
     serve = sub.add_parser(
@@ -415,6 +457,27 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--http", default=None, metavar="HOST:PORT",
+        help=(
+            "serve live telemetry over HTTP at this address: /metrics "
+            "(Prometheus text exposition) and /healthz"
+        ),
+    )
+    serve.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help=(
+            "write the daemon's chrome://tracing span timeline "
+            "(sessions, drains, worker batches) to PATH on shutdown"
+        ),
+    )
+    serve.add_argument(
+        "--flight-json", default=None, metavar="PATH",
+        help=(
+            "dump the flight recorder (recent sheds, rejections, "
+            "aborts, chaos firings, slow frames) to PATH on shutdown"
+        ),
+    )
+    serve.add_argument(
         "--chaos-seed", type=int, default=None, metavar="SEED",
         help="inject a deterministic fault plan (testing only)",
     )
@@ -461,13 +524,67 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--quiet", action="store_true", help="print only the summary line"
     )
+    submit.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help=(
+            "write the client registry merged with the server-shipped "
+            "session registry to PATH as JSON (forces full metrics "
+            "client-side; inspect with 'repro stats PATH')"
+        ),
+    )
+    submit.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help=(
+            "write a chrome://tracing span trace of the client session "
+            "to PATH (merge with the daemon's --trace-out file via "
+            "repro.core.tracing.merge_trace_files for one timeline)"
+        ),
+    )
+
+    top = sub.add_parser(
+        "top", help="live per-tenant view of a running daemon"
+    )
+    top.add_argument(
+        "--connect",
+        required=True,
+        metavar="ADDR",
+        help=(
+            "daemon address: unix:///path, tcp://host:port, host:port "
+            "or a bare socket path"
+        ),
+    )
+    top.add_argument(
+        "--tenant", default="cli-top",
+        help="tenant name for the stats session (default: cli-top)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help=(
+            "refresh interval; the daemon floors this at its own "
+            "telemetry interval (default 1.0)"
+        ),
+    )
+    top.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="stop after N refreshes (default 0: run until interrupted)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print a single snapshot and exit (no ANSI refresh)",
+    )
+    top.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="overall budget for connect and stats waits",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "stats":
-        return _stats(args.trace_file)
+        return _stats(args)
+    if args.command == "top":
+        return _top(args)
     if args.command == "serve":
         return _serve(args)
     try:
@@ -607,11 +724,28 @@ def _serve(args: argparse.Namespace) -> int:
             max_sheds=args.max_sheds,
             checkpoint_bytes=args.checkpoint_bytes,
         )
+        http_host: Optional[str] = None
+        http_port = 0
+        if args.http is not None:
+            host, sep, port = args.http.rpartition(":")
+            if not sep or not port.isdigit():
+                print(
+                    f"error: cannot parse --http {args.http!r}; "
+                    "expected HOST:PORT",
+                    file=sys.stderr,
+                )
+                return 2
+            http_host = host or "127.0.0.1"
+            http_port = int(port)
         metrics = make_registry()
         if args.metrics_json is not None and (
             metrics is None or not metrics.full
         ):
             metrics = MetricsRegistry(MetricsLevel.FULL)
+        tracer = (
+            Tracer(process_name="repro-serve")
+            if args.trace_out is not None else None
+        )
         server = CheckingServer(
             MODELS[args.model],
             host=args.host,
@@ -631,6 +765,9 @@ def _serve(args: argparse.Namespace) -> int:
             ),
             faults=faults,
             metrics=metrics,
+            tracer=tracer,
+            http_host=http_host,
+            http_port=http_port,
             handshake_timeout=args.handshake_timeout,
             idle_timeout=args.idle_timeout,
             drain_timeout=args.drain_timeout,
@@ -639,13 +776,25 @@ def _serve(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
-        return asyncio.run(_serve_async(server, args.metrics_json))
+        return asyncio.run(_serve_async(server, args, tracer))
     except OSError as exc:  # bind failure, stale socket, ...
         print(f"error: cannot listen: {exc}", file=sys.stderr)
         return 2
 
 
-async def _serve_async(server, metrics_json: Optional[str]) -> int:
+def _write_text(path: str, data: str) -> bool:
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(data)
+            if not data.endswith("\n"):
+                handle.write("\n")
+        return True
+    except OSError as exc:
+        print(f"error: cannot write {path}: {exc}", file=sys.stderr)
+        return False
+
+
+async def _serve_async(server, args, tracer: Optional[Tracer]) -> int:
     await server.start()
     server.install_signal_handlers()
     if server.uds_path is not None:
@@ -653,6 +802,11 @@ async def _serve_async(server, metrics_json: Optional[str]) -> int:
     address = server.tcp_address
     if address is not None:
         print(f"listening on tcp://{address[0]}:{address[1]}", flush=True)
+    http = server.http_address
+    if http is not None:
+        print(
+            f"telemetry on http://{http[0]}:{http[1]}/metrics", flush=True
+        )
     await server.serve_forever()
     admission = server.admission
     print(
@@ -662,20 +816,36 @@ async def _serve_async(server, metrics_json: Optional[str]) -> int:
         f"{admission.sessions_rejected} rejection(s)",
         flush=True,
     )
-    if metrics_json is not None:
+    status = 0
+    if args.metrics_json is not None:
         snapshot = server.metrics_snapshot()
         payload = snapshot.to_dict() if snapshot is not None else {}
+        if not _write_text(
+            args.metrics_json,
+            json.dumps(payload, indent=2, sort_keys=True),
+        ):
+            status = 2
+    if args.flight_json is not None:
+        if server.flight is not None:
+            data = server.flight.to_json()
+        else:  # metrics off: no recorder existed, dump an empty ring
+            data = json.dumps(
+                {"capacity": 0, "recorded": 0, "dropped": 0, "events": []},
+                indent=2, sort_keys=True,
+            )
+        if not _write_text(args.flight_json, data):
+            status = 2
+    if tracer is not None:
+        tracer.finish()
         try:
-            with open(metrics_json, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, indent=2, sort_keys=True)
-                handle.write("\n")
+            tracer.write(args.trace_out)
         except OSError as exc:
             print(
-                f"error: cannot write {metrics_json}: {exc}",
+                f"error: cannot write {args.trace_out}: {exc}",
                 file=sys.stderr,
             )
-            return 2
-    return 0
+            status = 2
+    return status
 
 
 def _submit(args: argparse.Namespace, traces) -> int:
@@ -689,12 +859,24 @@ def _submit(args: argparse.Namespace, traces) -> int:
     if args.batch_size < 1:
         print("error: --batch-size must be >= 1", file=sys.stderr)
         return 2
+    # Same telemetry semantics as 'repro check': --metrics-json forces a
+    # full client-side registry (merged with the server-shipped session
+    # registry at the end), --trace-out records the client's spans.
+    metrics = make_registry()
+    if args.metrics_json is not None and (metrics is None or not metrics.full):
+        metrics = MetricsRegistry(MetricsLevel.FULL)
+    tracer = (
+        Tracer(process_name="repro-submit")
+        if args.trace_out is not None else None
+    )
     try:
         client = CheckingClient(
             args.connect,
             tenant=args.tenant,
             deadline=args.deadline,
             batch_size=args.batch_size,
+            tracer=tracer,
+            metrics=metrics,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -703,27 +885,57 @@ def _submit(args: argparse.Namespace, traces) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
-        for trace in traces:
-            client.submit(trace)
-        result = client.close()
-    except DeadlineExceeded as exc:
-        client.abort()
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    except DaemonError as exc:
-        client.abort()
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        try:
+            for trace in traces:
+                client.submit(trace)
+            result = client.close()
+        except DeadlineExceeded as exc:
+            client.abort()
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except DaemonError as exc:
+            client.abort()
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    finally:
+        if tracer is not None:
+            tracer.finish()
+            try:
+                tracer.write(args.trace_out)
+            except OSError as exc:
+                print(
+                    f"error: cannot write {args.trace_out}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+    if args.metrics_json is not None:
+        snapshot = client.metrics_snapshot()
+        payload = snapshot.to_dict() if snapshot is not None else {}
+        if not _write_text(
+            args.metrics_json, json.dumps(payload, indent=2, sort_keys=True)
+        ):
+            return 2
     return _print_result(result, "daemon", args.max_reports, args.quiet)
 
 
-def _stats(path: str) -> int:
-    """Summarize either a trace dump or a metrics JSON dump.
+def _stats(args: argparse.Namespace) -> int:
+    """Summarize a trace dump, a metrics JSON dump, or a live daemon.
 
-    The file is sniffed, not switched on extension: a JSON object whose
+    With ``--connect`` the stats (or, with ``--flight``, the flight
+    recorder) come from a running daemon as JSON.  Otherwise the file
+    is sniffed, not switched on extension: a JSON object whose
     ``format`` field is the metrics marker gets the stage-breakdown
     rendering, anything else goes through the trace loader.
     """
+    if args.connect is not None:
+        return _remote_stats(args)
+    if args.flight:
+        print("error: --flight requires --connect", file=sys.stderr)
+        return 2
+    if args.trace_file is None:
+        print("error: stats needs a file or --connect", file=sys.stderr)
+        return 2
+    path = args.trace_file
     try:
         with open(path, "r", encoding="utf-8") as handle:
             head = handle.read()
@@ -799,6 +1011,128 @@ def _metrics_stats(registry: MetricsRegistry) -> int:
             "PMTEST_METRICS=full or --metrics-json)"
         )
     return 0
+
+
+def _remote_stats(args: argparse.Namespace) -> int:
+    """``repro stats --connect``: one live snapshot (or flight dump)."""
+    from repro.client import CheckingClient, DaemonError
+
+    try:
+        client = CheckingClient(
+            args.connect, tenant=args.tenant, deadline=args.deadline
+        )
+    except (ValueError, DaemonError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.flight:
+            payload = client.fetch_flight()
+        else:
+            payload = client.stats_once()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    except DaemonError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        client.abort()  # clean EOF at a frame boundary, not a drain
+
+
+def _format_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.0f}{unit}" if unit == "B" else f"{value:.1f}{unit}"
+        value /= 1024
+    return f"{n}B"  # pragma: no cover - unreachable
+
+
+def _render_top(payload: dict, prev: Optional[dict]) -> List[str]:
+    """Render one stats payload as the ``repro top`` table."""
+    sessions = payload.get("sessions", {})
+    admission = payload.get("admission", {})
+    lines = [
+        (
+            f"pmtest daemon  sessions: {sessions.get('active', 0)} active"
+            f" / {sessions.get('served', 0)} served"
+            f" / {sessions.get('aborted', 0)} aborted"
+            f" / {sessions.get('rejected', 0)} rejected"
+        ),
+        (
+            f"traces: {payload.get('traces_accepted', 0)}"
+            f"   inflight: {_format_bytes(admission.get('inflight_bytes', 0))}"
+            f"/{_format_bytes(admission.get('inflight_limit', 0))}"
+            f"   sheds: {admission.get('frames_shed', 0)}"
+        ),
+        "",
+        (
+            f"{'TENANT':<16} {'SESS':>5} {'TRACES':>9} {'TR/S':>8} "
+            f"{'QUEUED':>7} {'SHEDS':>6} {'P99MS':>8}"
+        ),
+    ]
+    tenants = payload.get("tenants", {})
+    prev_tenants = prev.get("tenants", {}) if prev else {}
+    dt = payload.get("ts", 0) - prev.get("ts", 0) if prev else 0.0
+    for tenant, stats in sorted(tenants.items()):
+        rate = "-"
+        if prev and dt > 0:
+            before = prev_tenants.get(tenant, {}).get("traces", 0)
+            rate = f"{(stats.get('traces', 0) - before) / dt:.1f}"
+        frame = stats.get("frame_ns")
+        p99 = f"{frame['p99'] / 1e6:.2f}" if frame else "-"
+        lines.append(
+            f"{tenant[:16]:<16} {stats.get('sessions', 0):>5} "
+            f"{stats.get('traces', 0):>9} {rate:>8} "
+            f"{stats.get('queued_traces', 0):>7} "
+            f"{stats.get('frames_shed', 0):>6} {p99:>8}"
+        )
+    if not tenants:
+        lines.append("(no tenants yet)")
+    return lines
+
+
+def _top(args: argparse.Namespace) -> int:
+    """``repro top``: refreshing per-tenant view of a running daemon."""
+    from repro.client import CheckingClient, DaemonError
+
+    if args.interval <= 0:
+        print("error: --interval must be > 0", file=sys.stderr)
+        return 2
+    try:
+        client = CheckingClient(
+            args.connect, tenant=args.tenant, deadline=args.deadline
+        )
+    except (ValueError, DaemonError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.once:
+            print("\n".join(_render_top(client.stats_once(), None)))
+            return 0
+        prev: Optional[dict] = None
+        height = 0
+        shown = 0
+        for payload in client.stats_stream(int(args.interval * 1000)):
+            lines = _render_top(payload, prev)
+            if height:
+                # Repaint in place: cursor up over the previous frame,
+                # clear to end of screen, redraw.
+                sys.stdout.write(f"\x1b[{height}F\x1b[0J")
+            sys.stdout.write("\n".join(lines) + "\n")
+            sys.stdout.flush()
+            prev = payload
+            height = len(lines)
+            shown += 1
+            if args.iterations and shown >= args.iterations:
+                return 0
+        return 0
+    except KeyboardInterrupt:
+        return 0
+    except DaemonError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        client.abort()
 
 
 def _trace_stats(traces) -> int:

@@ -106,6 +106,7 @@ from repro.core.recovery import RecoveryEvent, render_events
 from repro.core.reports import TestResult
 from repro.core.rules import PersistencyRules
 from repro.core.shm_ring import DEFAULT_RING_BYTES, RingClosed, ShmRing
+from repro.core.tracing import SpanContext, Tracer, TracingError
 from repro.core.verdict_cache import VerdictCache, resolve_cache_size
 from repro.core.traceio import (
     TraceDecodeError,
@@ -287,6 +288,8 @@ def make_backend(
     codec: Optional[str] = None,
     cache_size: Optional[int] = None,
     engine: Optional[str] = None,
+    tracer: Optional[Tracer] = None,
+    span_context: Optional[SpanContext] = None,
 ) -> "CheckingBackend":
     """Build a backend by name.
 
@@ -314,6 +317,12 @@ def make_backend(
     ``PMTEST_ENGINE`` environment knob.  Resolved here, once, so all
     workers of one backend run the same engine even if the environment
     changes later.
+
+    ``tracer``/``span_context`` opt the backend's workers into span
+    recording: worker batch spans parent under ``span_context`` and
+    land in ``tracer`` (the process backend ships its workers' events
+    back piggybacked on result messages).  The inline backend ignores
+    both — its work already happens inside the caller's spans.
     """
     name = resolve_backend_name(name, num_workers)
     engine = resolve_engine_name(engine)
@@ -337,6 +346,8 @@ def make_backend(
             metrics=metrics,
             cache_size=cache_size,
             engine=engine,
+            tracer=tracer,
+            span_context=span_context,
         )
     if name == "process":
         return ProcessBackend(
@@ -350,6 +361,8 @@ def make_backend(
             codec=codec,
             cache_size=cache_size,
             engine=engine,
+            tracer=tracer,
+            span_context=span_context,
         )
     raise ValueError(
         f"unknown checking backend {name!r}; expected one of {BACKEND_NAMES}"
@@ -380,6 +393,8 @@ def make_backend_with_fallback(
     codec: Optional[str] = None,
     cache_size: Optional[int] = None,
     engine: Optional[str] = None,
+    tracer: Optional[Tracer] = None,
+    span_context: Optional[SpanContext] = None,
 ) -> Tuple["CheckingBackend", List[RecoveryEvent]]:
     """Build a backend, degrading along the chain when spawning fails.
 
@@ -406,6 +421,8 @@ def make_backend_with_fallback(
                 codec=codec,
                 cache_size=cache_size,
                 engine=engine,
+                tracer=tracer,
+                span_context=span_context,
             )
             return backend, events
         except ValueError:
@@ -545,11 +562,17 @@ class ThreadBackend:
         metrics: Optional[MetricsRegistry] = None,
         cache_size: int = 0,
         engine: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
+        span_context: Optional[SpanContext] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("thread backend needs at least one worker")
         self._rules = rules
         self._metrics = metrics
+        #: shared tracer for worker batch spans (threads record straight
+        #: into it; all spans parent under ``span_context``)
+        self._tracer = tracer
+        self._span_ctx = span_context
         self.engine_name = resolve_engine_name(engine)
         #: per-worker verdict-cache capacity (0: no cache); each worker
         #: builds its own cache so no synchronisation is needed
@@ -882,10 +905,21 @@ class ThreadBackend:
                         self._heartbeat[index] = time.monotonic()
                         self._progress.set()
                         continue
+            span = None
+            if self._tracer is not None:
+                try:
+                    span = self._tracer.start_span(
+                        "worker.check", parent=self._span_ctx,
+                        worker=index, seq=seq,
+                    )
+                except TracingError:  # tracer flushed mid-shutdown
+                    span = None
             try:
                 results.append((seq, engine.check_trace(trace)))
             except BaseException as exc:  # surfaced from drain()
                 errors.append((seq, exc))
+            if span is not None:
+                span.finish()
             self._current[index] = None
             self._heartbeat[index] = time.monotonic()
             self._progress.set()
@@ -898,6 +932,7 @@ def _process_worker(
     index: int, task_ch, result_ch, rules, faults, metrics_level=None,
     transport: str = "queue", codec: str = "pickle", cache_size: int = 0,
     engine_name: str = "object",
+    trace_ctx: Optional[Tuple[int, int]] = None,
 ) -> None:
     """Worker-process main: ack, decode, check, encode, repeat.
 
@@ -911,6 +946,12 @@ def _process_worker(
     submitting side merges deltas, so worker metrics survive everything
     short of a crash between checking and sending.
 
+    ``trace_ctx`` (a ``(trace_id, span_id)`` pair) opts the worker into
+    span recording: batch spans parent under the pool-side span the
+    pair names and their rendered Chrome events ship piggybacked on
+    result messages (drained after each send, so events travel exactly
+    once and carry this process's own pid).
+
     ``task_ch``/``result_ch`` are ``multiprocessing`` queues for the
     ``queue`` transport or :class:`~repro.core.shm_ring.ShmRing`\\ s for
     ``shm``; with the ``binary`` codec every message is one ``bytes``
@@ -919,6 +960,12 @@ def _process_worker(
     registry = None
     if metrics_level is not None:
         registry = MetricsRegistry(MetricsLevel(metrics_level))
+    tracer = None
+    if trace_ctx is not None:
+        tracer = Tracer(
+            process_name=f"pmtest-worker-{index}",
+            root=SpanContext(trace_ctx[0], trace_ctx[1]),
+        )
     cache = VerdictCache(cache_size) if cache_size > 0 else None
     engine = make_engine(engine_name, rules, registry, cache=cache)
     binary = codec == "binary"
@@ -1001,6 +1048,11 @@ def _process_worker(
                     else:
                         ship(("res", index, failed))
                     continue
+        batch_span = (
+            tracer.start_span("worker.batch", worker=index,
+                              traces=len(pairs))
+            if tracer is not None else None
+        )
         out = []
         for seq, item in pairs:
             try:
@@ -1015,9 +1067,12 @@ def _process_worker(
             else:
                 out.append((seq, result if binary else encode_result(result),
                             None))
+        if batch_span is not None:
+            batch_span.finish(checked=len(out))
+        spans = tracer.drain_events() if tracer is not None else None
         delta = registry if registry is not None and registry else None
         if binary:
-            data = encode_result_message(index, out, delta)
+            data = encode_result_message(index, out, delta, spans)
             if delta is not None:
                 registry.clear()
             # Counted after the clear: this message's own size rides the
@@ -1026,9 +1081,12 @@ def _process_worker(
             # is the authoritative total.
             count_sent(len(data))
             ship(data)
-        elif delta is not None:
-            ship(("res", index, out, encode_registry(delta)))
-            registry.clear()
+        elif delta is not None or spans:
+            ship(("res", index, out,
+                  encode_registry(delta) if delta is not None else None,
+                  spans))
+            if delta is not None:
+                registry.clear()
         else:
             ship(("res", index, out))
 
@@ -1078,10 +1136,23 @@ class ProcessBackend:
         ring_bytes: int = DEFAULT_RING_BYTES,
         cache_size: int = 0,
         engine: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
+        span_context: Optional[SpanContext] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("process backend needs at least one worker")
         self._cache_size = cache_size
+        #: pool-side tracer worker span events are absorbed into (the
+        #: collector folds shipped events in as they arrive); workers
+        #: get the ``(trace_id, span_id)`` wire pair to parent under
+        self._tracer = tracer
+        parent = span_context if span_context is not None else (
+            tracer.root if tracer is not None else None
+        )
+        self._trace_ctx: Optional[Tuple[int, int]] = (
+            parent.to_pair()
+            if tracer is not None and parent is not None else None
+        )
         self.engine_name = resolve_engine_name(engine)
         self._batch = AdaptiveBatch(batch_size)
         self._transport = resolve_transport_name(transport)
@@ -1167,7 +1238,7 @@ class ProcessBackend:
                   self._task_ring if shm else self._task_q,
                   self._result_ring if shm else self._result_q,
                   self._rules, faults, level, self._transport, self._codec,
-                  self._cache_size, self.engine_name),
+                  self._cache_size, self.engine_name, self._trace_ctx),
             name=f"pmtest-checker-{index}",
             daemon=True,
         )
@@ -1569,9 +1640,19 @@ class ProcessBackend:
                 if message[0] == "stop":  # pragma: no cover - defensive
                     return
             # Tuple result messages optionally carry a worker-registry
-            # delta as a fourth element; acks stay 3-tuples.  Binary
-            # messages decode to ("res", index, items, registry|None).
+            # delta (4th element) and shipped span events (5th); acks
+            # stay 3-tuples.  Binary messages decode to
+            # ("res", index, items, registry|None, spans|None).
             kind, index, payload = message[0], message[1], message[2]
+            if (
+                self._tracer is not None
+                and len(message) > 4
+                and message[4]
+            ):
+                try:
+                    self._tracer.absorb_events(message[4])
+                except TracingError:  # tracer flushed mid-shutdown
+                    pass
             with self._done:
                 self._last_seen[index] = time.monotonic()
                 remote = self._remote_metrics

@@ -173,13 +173,16 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> int:
-        """Estimate the ``q``-quantile from the log2 buckets.
+        """Estimate the ``q``-quantile by log2-bucket interpolation.
 
-        Returns the exclusive upper bound of the bucket holding the
-        rank-``q`` sample, clamped to the observed maximum — a
-        conservative (never-understated beyond ``vmax``) estimate with
-        at most one power of two of resolution error, which is what a
-        p99-latency readout needs from O(1) recording.
+        Finds the bucket holding the rank-``q`` sample and interpolates
+        linearly between the bucket's bounds by the rank's position
+        inside it (the Prometheus ``histogram_quantile`` convention),
+        clamped to the observed ``[vmin, vmax]`` so the estimate never
+        leaves the recorded range.  Resolution is still one power of
+        two per bucket, but a p50 landing early in a wide bucket no
+        longer reads as the bucket's far edge — which is what turns
+        these O(1) log2 counts into usable p50/p99 latency readouts.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q!r}")
@@ -188,12 +191,22 @@ class Histogram:
         rank = min(self.count - 1, int(q * self.count))
         cumulative = 0
         for index, n in enumerate(self.counts):
+            if not n:
+                continue
+            if rank < cumulative + n:
+                if index == 0:
+                    return 0  # bucket 0 holds only v <= 0
+                lower = bucket_bound(index - 1) if index > 1 else 1
+                upper = bucket_bound(index)
+                # Position of the rank inside this bucket, in (0, 1].
+                fraction = (rank - cumulative + 1) / n
+                estimate = int(lower + (upper - lower) * fraction)
+                if self.vmin is not None and estimate < self.vmin:
+                    estimate = self.vmin
+                if self.vmax is not None and estimate > self.vmax:
+                    estimate = self.vmax
+                return estimate
             cumulative += n
-            if rank < cumulative:
-                bound = bucket_bound(index)
-                if self.vmax is not None and bound > self.vmax:
-                    return self.vmax
-                return bound
         return self.vmax if self.vmax is not None else 0
 
     def merge(self, other: "Histogram") -> None:

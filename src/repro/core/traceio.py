@@ -514,6 +514,11 @@ _KIND_SHED = 10
 _KIND_ERROR = 11
 _KIND_BYE = 12
 _KIND_SESSION_ACK = 13
+# Telemetry plane (streamed stats + flight recorder, repro.daemon).
+_KIND_STATS_SUB = 14
+_KIND_STATS = 15
+_KIND_FLIGHT_REQ = 16
+_KIND_FLIGHT = 17
 
 _EV_RANGE1 = 0x01
 _EV_RANGE2 = 0x02
@@ -1406,13 +1411,16 @@ def encode_result_message(
     worker: int,
     items: Iterable[Tuple[int, Optional[TestResult], Optional[str]]],
     registry: "Optional[MetricsRegistry]" = None,
+    spans: Optional[List[dict]] = None,
 ) -> bytes:
     """Encode a result batch: ``(seq, result-or-None, error-or-None)``
-    triples plus an optional piggybacked metrics-registry delta."""
+    triples plus optional piggybacked deltas — a metrics registry and/or
+    a batch of Chrome span events the worker recorded (both cleared on
+    the sending side after the ship, so each delta travels once)."""
     items = list(items)
     w = _BinWriter()
     w.uvarint(worker)
-    w.u8(1 if registry is not None else 0)
+    w.u8((1 if registry is not None else 0) | (2 if spans else 0))
     w.uvarint(len(items))
     for seq, result, error in items:
         w.svarint(seq)
@@ -1424,6 +1432,8 @@ def encode_result_message(
             _write_result(w, result)
     if registry is not None:
         _write_registry(w, registry)
+    if spans:
+        w.string(json.dumps(spans, sort_keys=True, separators=(",", ":")))
     return w.finish(_KIND_RESULT)
 
 
@@ -1432,10 +1442,51 @@ def encode_stop_message() -> bytes:
 
 
 # --- daemon session messages (repro.daemon) ---------------------------
+def _write_span_context(w: _BinWriter, span: "object") -> None:
+    """Two uvarints: ``(trace_id, span_id)`` of a tracing SpanContext."""
+    trace_id, span_id = span.to_pair()
+    w.uvarint(trace_id)
+    w.uvarint(span_id)
+
+
+def _read_span_context(r: _BinReader, what: str) -> "object":
+    from repro.core.tracing import SpanContext
+
+    return SpanContext(
+        r.uvarint(f"{what} trace id"), r.uvarint(f"{what} span id")
+    )
+
+
+def _read_optional_span(r: _BinReader, what: str) -> "Optional[object]":
+    """Decode the optional trailing span context of a session frame.
+
+    Frames encoded before span propagation simply end here — decoders
+    consume exact fields, so ``remaining() == 0`` means "old frame, no
+    context" and keeps the wire backward compatible without a version
+    bump.
+    """
+    if not r.remaining():
+        return None
+    flag = r.u8(f"{what} span flag")
+    if flag == 0:
+        return None
+    if flag != 1:
+        raise TraceDecodeError(f"bad {what} span flag {flag}")
+    return _read_span_context(r, what)
+
+
 def encode_hello_message(
-    tenant: str, options: Optional[Dict[str, str]] = None
+    tenant: str,
+    options: Optional[Dict[str, str]] = None,
+    span: "Optional[object]" = None,
 ) -> bytes:
-    """Session opener: tenant identity plus free-form string options."""
+    """Session opener: tenant identity plus free-form string options.
+
+    ``span`` (a :class:`~repro.core.tracing.SpanContext`) is the
+    client-side session span; the server parents its own session span
+    under it so the cross-process timeline links up.  Omitted, the
+    frame is byte-identical to the pre-telemetry encoding.
+    """
     w = _BinWriter()
     w.string(tenant)
     options = dict(options or {})
@@ -1443,6 +1494,9 @@ def encode_hello_message(
     for key in sorted(options):
         w.string(key)
         w.string(options[key])
+    if span is not None:
+        w.u8(1)
+        _write_span_context(w, span)
     return w.finish(_KIND_HELLO)
 
 
@@ -1454,22 +1508,44 @@ def encode_welcome_message(session_id: int, max_frame: int) -> bytes:
     return w.finish(_KIND_WELCOME)
 
 
-def encode_drain_message() -> bytes:
-    """Client request: check everything submitted, send the verdict."""
-    return _BinWriter().finish(_KIND_DRAIN)
+def encode_drain_message(span: "Optional[object]" = None) -> bytes:
+    """Client request: check everything submitted, send the verdict.
+
+    ``span`` is the client's drain span context; the server parents its
+    server-side drain span under it."""
+    w = _BinWriter()
+    if span is not None:
+        w.u8(1)
+        _write_span_context(w, span)
+    return w.finish(_KIND_DRAIN)
 
 
 def encode_verdict_message(
-    result: TestResult, diagnostics: Iterable[str] = ()
+    result: TestResult,
+    diagnostics: Iterable[str] = (),
+    span: "Optional[object]" = None,
+    registry: "Optional[MetricsRegistry]" = None,
 ) -> bytes:
     """A drain's answer.  ``TestResult`` wire form excludes diagnostics
-    by design, so recovery lines travel alongside, explicitly."""
+    by design, so recovery lines travel alongside, explicitly.
+
+    Optional trailers (flag-gated, absent on pre-telemetry frames):
+    the server-side drain span context and the session pool's merged
+    metrics snapshot, which the client folds into its own registry so
+    ``repro submit --metrics-json`` sees server-side stage timings."""
     w = _BinWriter()
     _write_result(w, result)
     diagnostics = list(diagnostics)
     w.uvarint(len(diagnostics))
     for line in diagnostics:
         w.string(line)
+    if span is not None or registry is not None:
+        w.u8((1 if span is not None else 0)
+             | (2 if registry is not None else 0))
+        if span is not None:
+            _write_span_context(w, span)
+        if registry is not None:
+            _write_registry(w, registry)
     return w.finish(_KIND_VERDICT)
 
 
@@ -1500,6 +1576,56 @@ def encode_session_ack_message(accepted: int) -> bytes:
     return w.finish(_KIND_SESSION_ACK)
 
 
+def encode_stats_subscribe_message(interval_ms: int = 0) -> bytes:
+    """Client request: stream stats snapshots every ``interval_ms``.
+
+    ``0`` asks for exactly one snapshot (the poll form ``repro stats
+    --connect`` and deterministic tests use); any positive interval
+    turns the session into a stats stream until the client hangs up.
+    """
+    w = _BinWriter()
+    w.uvarint(interval_ms)
+    return w.finish(_KIND_STATS_SUB)
+
+
+def encode_stats_message(payload: dict) -> bytes:
+    """One stats snapshot (server -> client), as canonical JSON.
+
+    Stats are an observability payload, not a checking artifact: the
+    schema evolves freely, nothing byte-sensitive consumes it, so JSON
+    through the codec's string table beats hand-packing every field.
+    """
+    w = _BinWriter()
+    w.string(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+    return w.finish(_KIND_STATS)
+
+
+def encode_flight_request_message() -> bytes:
+    """Client request: dump the daemon's flight recorder."""
+    return _BinWriter().finish(_KIND_FLIGHT_REQ)
+
+
+def encode_flight_message(events: List[dict]) -> bytes:
+    """The flight recorder's recent structured events, as JSON."""
+    w = _BinWriter()
+    w.string(json.dumps(events, sort_keys=True, separators=(",", ":")))
+    return w.finish(_KIND_FLIGHT)
+
+
+def _read_json(r: _BinReader, what: str, expect: type) -> object:
+    raw = r.string(what)
+    try:
+        payload = json.loads(raw)
+    except ValueError as exc:
+        raise TraceDecodeError(f"bad {what} JSON: {exc}") from exc
+    if not isinstance(payload, expect):
+        raise TraceDecodeError(
+            f"{what} must decode to {expect.__name__}, "
+            f"got {type(payload).__name__}"
+        )
+    return payload
+
+
 def decode_message(data, columnar: bool = False) -> tuple:
     """Decode any binary message; the first element names its kind.
 
@@ -1511,14 +1637,19 @@ def decode_message(data, columnar: bool = False) -> tuple:
         ("res", worker, [(seq, TestResult|None, error|None), ...],
          registry | None)
         ("stop",)
-        ("hello", tenant, {option: value, ...})
+        ("hello", tenant, {option: value, ...}, span | None)
         ("welcome", session_id, max_frame)
-        ("drain",)
-        ("verdict", TestResult, [diagnostic, ...])
+        ("drain", span | None)
+        ("verdict", TestResult, [diagnostic, ...], span | None,
+         registry | None)
         ("shed", retry_after_ms, reason)
         ("error", message)
         ("bye",)
         ("sack", accepted)
+        ("stats_sub", interval_ms)
+        ("stats", {payload})
+        ("flight_req",)
+        ("flight", [event, ...])
 
     ``columnar=True`` decodes task/traces payloads straight into
     :class:`ColumnarTrace` columns (no per-event objects) — the fast
@@ -1564,9 +1695,9 @@ def decode_message(data, columnar: bool = False) -> tuple:
                 [r.svarint("ack seq") for _ in range(r.count("ack count"))])
     if r.kind == _KIND_RESULT:
         worker = r.uvarint("result worker")
-        has_registry = r.u8("registry flag")
-        if has_registry > 1:
-            raise TraceDecodeError(f"bad registry flag {has_registry}")
+        flags = r.u8("result delta flags")
+        if flags > 3:
+            raise TraceDecodeError(f"bad result delta flags {flags}")
         items: List[Tuple[int, Optional[TestResult], Optional[str]]] = []
         for _ in range(r.count("result count")):
             seq = r.svarint("result seq")
@@ -1577,8 +1708,11 @@ def decode_message(data, columnar: bool = False) -> tuple:
                 items.append((seq, None, r.string("result error")))
             else:
                 raise TraceDecodeError(f"unknown result tag {tag}")
-        registry = _read_registry(r) if has_registry else None
-        return ("res", worker, items, registry)
+        registry = _read_registry(r) if flags & 1 else None
+        spans = (
+            _read_json(r, "result spans", list) if flags & 2 else None
+        )
+        return ("res", worker, items, registry, spans)
     if r.kind == _KIND_STOP:
         return ("stop",)
     if r.kind == _KIND_HELLO:
@@ -1587,7 +1721,7 @@ def decode_message(data, columnar: bool = False) -> tuple:
         for _ in range(r.count("hello option count")):
             key = r.string("hello option key")
             options[key] = r.string("hello option value")
-        return ("hello", tenant, options)
+        return ("hello", tenant, options, _read_optional_span(r, "hello"))
     if r.kind == _KIND_WELCOME:
         return (
             "welcome",
@@ -1595,14 +1729,24 @@ def decode_message(data, columnar: bool = False) -> tuple:
             r.uvarint("welcome max frame"),
         )
     if r.kind == _KIND_DRAIN:
-        return ("drain",)
+        return ("drain", _read_optional_span(r, "drain"))
     if r.kind == _KIND_VERDICT:
         result = _read_result(r)
         diagnostics = [
             r.string("verdict diagnostic")
             for _ in range(r.count("verdict diagnostic count"))
         ]
-        return ("verdict", result, diagnostics)
+        span = None
+        registry = None
+        if r.remaining():
+            flags = r.u8("verdict trailer flags")
+            if flags > 3:
+                raise TraceDecodeError(f"bad verdict trailer flags {flags}")
+            if flags & 1:
+                span = _read_span_context(r, "verdict")
+            if flags & 2:
+                registry = _read_registry(r)
+        return ("verdict", result, diagnostics, span, registry)
     if r.kind == _KIND_SHED:
         return (
             "shed",
@@ -1615,6 +1759,14 @@ def decode_message(data, columnar: bool = False) -> tuple:
         return ("bye",)
     if r.kind == _KIND_SESSION_ACK:
         return ("sack", r.uvarint("session ack count"))
+    if r.kind == _KIND_STATS_SUB:
+        return ("stats_sub", r.uvarint("stats interval"))
+    if r.kind == _KIND_STATS:
+        return ("stats", _read_json(r, "stats payload", dict))
+    if r.kind == _KIND_FLIGHT_REQ:
+        return ("flight_req",)
+    if r.kind == _KIND_FLIGHT:
+        return ("flight", _read_json(r, "flight events", list))
     raise TraceDecodeError(f"unknown binary message kind {r.kind}")
 
 

@@ -7,11 +7,21 @@ trace event format, so a run can be opened in ``chrome://tracing`` (or
 Perfetto) and read as a timeline — which trace was being checked while
 ``drain`` was blocked, how long each backend submit took, and so on.
 
+Spans carry identity: every span gets a 64-bit ``span_id`` and records
+the ``parent_id`` it nests under, and a :class:`SpanContext` (trace id
+plus span id) is a two-integer value small enough to ride in a protocol
+frame.  That is what lets the daemon stitch one timeline across
+processes — the client serialises its session span's context into the
+``hello`` frame, the server parents its session span under it, and the
+worker processes parent their batch spans under the server's, so the
+merged export shows one correctly-nested tree spanning three pids.
+
 Design constraints:
 
-* **Explicit clocks.**  The tracer never calls ``time`` directly except
-  through its injected ``clock`` (default ``time.perf_counter_ns``), so
-  tests install a deterministic fake clock and assert exact durations.
+* **Explicit clocks and ids.**  The tracer never calls ``time`` or the
+  id generator directly except through its injected ``clock`` /
+  ``ids`` callables, so tests install deterministic fakes and assert
+  exact durations and parent links.
 * **Cheap when absent.**  Nothing in the pipeline owns a tracer by
   default; every hook is a ``tracer is not None`` branch.
 * **Misuse is loud.**  A span left open when the tracer is finished
@@ -22,31 +32,159 @@ Design constraints:
 Output format: one JSON object per line, wrapped in a JSON array —
 valid JSON for tooling, and still greppable/streamable line by line.
 Durations use the Chrome convention (microseconds, ``X`` events).
+Span/parent ids are emitted as 16-hex-digit strings in each event's
+``args`` (JSON numbers lose precision past 2**53).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import random
 import threading
 import time
 import warnings
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, TextIO, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+    Union,
+)
 
 
 class TracingError(Exception):
     """Span misuse: unbalanced begin/end or an unclosed span at finish."""
 
 
-class _OpenSpan:
-    __slots__ = ("name", "start_ns", "args")
+def _random_id() -> int:
+    """Default span/trace id source: a non-zero 64-bit integer."""
+    while True:
+        value = random.getrandbits(64)
+        if value:
+            return value
 
-    def __init__(self, name: str, start_ns: int, args: Dict[str, Any]) -> None:
+
+def _hex_id(value: int) -> str:
+    return f"{value:016x}"
+
+
+class SpanContext:
+    """The serializable identity of one span: ``(trace_id, span_id)``.
+
+    Small by construction — two unsigned 64-bit integers — so it fits
+    in two varints on the PMTB wire (the optional trailing field of the
+    daemon's ``hello``/``drain``/``verdict`` frames).  A context is a
+    *value*: carrying it across a process boundary and opening child
+    spans under it is what links timelines from different pids into one
+    tree.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: int, span_id: int) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def to_pair(self) -> "tuple[int, int]":
+        """The wire form: ``(trace_id, span_id)`` as plain ints."""
+        return (self.trace_id, self.span_id)
+
+    @classmethod
+    def from_pair(cls, pair: Sequence[int]) -> "SpanContext":
+        trace_id, span_id = pair
+        return cls(int(trace_id), int(span_id))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SpanContext)
+            and other.trace_id == self.trace_id
+            and other.span_id == self.span_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpanContext(trace_id={_hex_id(self.trace_id)}, "
+            f"span_id={_hex_id(self.span_id)})"
+        )
+
+
+class _OpenSpan:
+    __slots__ = ("name", "start_ns", "args", "span_id", "parent_id")
+
+    def __init__(
+        self,
+        name: str,
+        start_ns: int,
+        args: Dict[str, Any],
+        span_id: int,
+        parent_id: Optional[int],
+    ) -> None:
         self.name = name
         self.start_ns = start_ns
         self.args = args
+        self.span_id = span_id
+        self.parent_id = parent_id
+
+
+class SpanHandle:
+    """An explicitly-managed span, outside the per-thread nesting stacks.
+
+    ``begin``/``end`` auto-nest per thread, which is right for
+    synchronous code but wrong for an asyncio server where many
+    sessions interleave on one loop thread.  A handle is the async-safe
+    alternative: :meth:`Tracer.start_span` returns one, its
+    :attr:`context` can be handed to children immediately, and
+    :meth:`finish` emits the completed span whenever the work actually
+    ends — no stack involved, so concurrent handles never cross-nest.
+    """
+
+    __slots__ = ("_tracer", "_name", "_start_ns", "_args", "_tid",
+                 "context", "_done", "_parent_id")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        start_ns: int,
+        args: Dict[str, Any],
+        tid: int,
+        context: SpanContext,
+        parent_id: Optional[int],
+    ) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._start_ns = start_ns
+        self._args = args
+        self._tid = tid
+        self.context = context
+        self._done = False
+        self._parent_id = parent_id
+
+    def finish(self, **extra: Any) -> None:
+        """Emit the span (idempotent); ``extra`` merges into its args."""
+        if self._done:
+            return
+        self._done = True
+        if extra:
+            self._args = {**self._args, **extra}
+        self._tracer._finish_handle(self)
+
+    def __enter__(self) -> "SpanHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.finish()
 
 
 class Tracer:
@@ -54,6 +192,12 @@ class Tracer:
 
     Thread-safe: spans opened on different threads nest independently
     (per-thread stacks) and carry their thread id in the output.
+
+    ``root`` (a :class:`SpanContext`) parents every span that has no
+    enclosing open span and no explicit ``parent`` — set it to a
+    context received over the wire and the whole timeline hangs off the
+    remote caller's span.  ``ids`` is the span-id source (default: a
+    random non-zero 64-bit int), injectable for deterministic tests.
     """
 
     def __init__(
@@ -61,6 +205,8 @@ class Tracer:
         clock=time.perf_counter_ns,
         strict: bool = False,
         process_name: str = "pmtest",
+        root: Optional[SpanContext] = None,
+        ids: Callable[[], int] = _random_id,
     ) -> None:
         self._clock = clock
         self._strict = strict
@@ -70,28 +216,85 @@ class Tracer:
         self._stacks: Dict[int, List[_OpenSpan]] = {}
         self._finished = False
         self._epoch_ns = clock()
+        self._ids = ids
+        self._root = root
+        self._trace_id = root.trace_id if root is not None else ids()
+
+    # ------------------------------------------------------------------
+    # Span identity
+    # ------------------------------------------------------------------
+    @property
+    def trace_id(self) -> int:
+        """The trace id every span of this tracer belongs to."""
+        return self._trace_id
+
+    @property
+    def root(self) -> Optional[SpanContext]:
+        """The cross-process parent this tracer hangs under, if any."""
+        return self._root
+
+    def set_root(self, root: Optional[SpanContext]) -> None:
+        """Re-parent future parentless spans (and adopt the trace id)."""
+        with self._lock:
+            self._root = root
+            if root is not None:
+                self._trace_id = root.trace_id
+
+    def current_context(self) -> Optional[SpanContext]:
+        """The innermost open span on this thread, else the root."""
+        tid = threading.get_ident()
+        with self._lock:
+            stack = self._stacks.get(tid)
+            if stack:
+                return SpanContext(self._trace_id, stack[-1].span_id)
+            return self._root
+
+    def _resolve_parent(
+        self, tid: int, parent: Optional[SpanContext]
+    ) -> Optional[int]:
+        """Parent id for a new span (lock held): explicit > stack > root."""
+        if parent is not None:
+            return parent.span_id
+        stack = self._stacks.get(tid)
+        if stack:
+            return stack[-1].span_id
+        if self._root is not None:
+            return self._root.span_id
+        return None
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
     @contextmanager
-    def span(self, name: str, **args: Any) -> Iterator[None]:
+    def span(
+        self, name: str, *, parent: Optional[SpanContext] = None, **args: Any
+    ) -> Iterator[None]:
         """``with tracer.span("drain"):`` — a timed, nested span."""
-        self.begin(name, **args)
+        self.begin(name, parent=parent, **args)
         try:
             yield
         finally:
             self.end(name)
 
-    def begin(self, name: str, **args: Any) -> None:
-        """Open a span explicitly (must be closed by :meth:`end`)."""
+    def begin(
+        self, name: str, *, parent: Optional[SpanContext] = None, **args: Any
+    ) -> SpanContext:
+        """Open a span explicitly (must be closed by :meth:`end`).
+
+        Returns the new span's :class:`SpanContext`, ready to serialise
+        to a child process.  ``parent`` overrides the default nesting
+        (innermost open span on this thread, else the tracer root).
+        """
         tid = threading.get_ident()
         start = self._clock()
         with self._lock:
             self._check_not_finished()
+            span_id = self._ids()
+            parent_id = self._resolve_parent(tid, parent)
             self._stacks.setdefault(tid, []).append(
-                _OpenSpan(name, start, args)
+                _OpenSpan(name, start, args, span_id, parent_id)
             )
+            return SpanContext(self._trace_id, span_id)
 
     def end(self, name: Optional[str] = None) -> None:
         """Close the innermost open span on the calling thread.
@@ -116,6 +319,40 @@ class Tracer:
                 )
             self._emit_complete(span, now, tid)
 
+    def start_span(
+        self, name: str, *, parent: Optional[SpanContext] = None, **args: Any
+    ) -> SpanHandle:
+        """Open a stackless span (see :class:`SpanHandle`).
+
+        Safe to hold across awaits and interleave with other handles:
+        nothing is pushed on the per-thread stacks, so ``finish`` order
+        is free and plain ``begin``/``end`` nesting is unaffected.
+        """
+        tid = threading.get_ident()
+        start = self._clock()
+        with self._lock:
+            self._check_not_finished()
+            span_id = self._ids()
+            parent_id = (
+                parent.span_id if parent is not None
+                else (self._root.span_id if self._root is not None else None)
+            )
+            return SpanHandle(
+                self, name, start, dict(args), tid,
+                SpanContext(self._trace_id, span_id), parent_id,
+            )
+
+    def _finish_handle(self, handle: SpanHandle) -> None:
+        now = self._clock()
+        with self._lock:
+            if self._finished:
+                return  # tracer already flushed; drop silently
+            span = _OpenSpan(
+                handle._name, handle._start_ns, handle._args,
+                handle.context.span_id, handle._parent_id,
+            )
+            self._emit_complete(span, now, handle._tid)
+
     def instant(self, name: str, **args: Any) -> None:
         """A zero-duration marker (worker respawned, backend degraded)."""
         now = self._clock()
@@ -135,6 +372,30 @@ class Tracer:
             event = self._base_event("C", name, now, threading.get_ident())
             event["args"] = dict(values)
             self._events.append(event)
+
+    def absorb_events(self, events: Iterable[dict]) -> None:
+        """Adopt pre-rendered Chrome events from another process.
+
+        The process backend ships its workers' span events back (each
+        already carrying the worker's own ``pid`` and timestamps); the
+        pool-side tracer folds them in verbatim so one ``write`` emits
+        the whole multi-process timeline.
+        """
+        batch = [dict(event) for event in events]
+        with self._lock:
+            self._check_not_finished()
+            self._events.extend(batch)
+
+    def drain_events(self) -> List[dict]:
+        """Remove and return everything recorded so far (delta shipping).
+
+        The worker-process side of :meth:`absorb_events`: a worker
+        drains its tracer after each result message so span events are
+        shipped exactly once.
+        """
+        with self._lock:
+            events, self._events = self._events, []
+            return events
 
     # ------------------------------------------------------------------
     # Introspection / output
@@ -181,7 +442,11 @@ class Tracer:
             events = list(self._events)
         meta = self._base_event("M", "process_name", self._epoch_ns, 0)
         meta["args"] = {"name": self._process_name}
-        lines = [json.dumps(meta)] + [json.dumps(e) for e in events]
+        ctx = self._base_event("M", "trace_context", self._epoch_ns, 0)
+        ctx["args"] = {"trace_id": _hex_id(self._trace_id)}
+        lines = [json.dumps(meta), json.dumps(ctx)] + [
+            json.dumps(e) for e in events
+        ]
         destination.write("[\n" + ",\n".join(lines) + "\n]\n")
         return len(events)
 
@@ -200,8 +465,14 @@ class Tracer:
     def _emit_complete(self, span: _OpenSpan, end_ns: int, tid: int) -> None:
         event = self._base_event("X", span.name, span.start_ns, tid)
         event["dur"] = (end_ns - span.start_ns) / 1000.0
-        if span.args:
-            event["args"] = span.args
+        # The tracer-level trace id lives in the write() metadata event;
+        # per-span args must not shadow workload keys (spans already
+        # carry a PM ``trace_id`` arg naming the trace being checked).
+        args = dict(span.args)
+        args["span_id"] = _hex_id(span.span_id)
+        if span.parent_id is not None:
+            args["parent_id"] = _hex_id(span.parent_id)
+        event["args"] = args
         self._events.append(event)
 
     def _check_not_finished(self) -> None:
@@ -213,3 +484,56 @@ class Tracer:
             raise TracingError(message)
         warnings.warn(f"pmtest tracing: {message}", RuntimeWarning,
                       stacklevel=3)
+
+
+# ----------------------------------------------------------------------
+# Multi-process timeline merging
+# ----------------------------------------------------------------------
+def merge_trace_files(
+    inputs: Iterable[Union[str, Path]],
+    destination: Union[str, Path, TextIO],
+) -> int:
+    """Concatenate Chrome trace files into one timeline; returns events.
+
+    Each input was written by one process's :meth:`Tracer.write`, so
+    events already carry distinct ``pid`` values and their span/parent
+    ids link across files.  Timestamps stay relative to each writer's
+    own epoch — chrome://tracing renders the processes as parallel
+    tracks and the parent links (``args.parent_id``) carry the
+    cross-process structure.
+    """
+    events: List[dict] = []
+    for path in inputs:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, list):
+            raise ValueError(f"{path}: not a Chrome trace event array")
+        events.extend(payload)
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            return _write_merged(events, handle)
+    return _write_merged(events, destination)
+
+
+def _write_merged(events: List[dict], destination: TextIO) -> int:
+    lines = [json.dumps(e) for e in events]
+    destination.write("[\n" + ",\n".join(lines) + "\n]\n")
+    return len(events)
+
+
+def span_tree(events: Iterable[dict]) -> Dict[str, Optional[str]]:
+    """``{span_id: parent_id}`` for every complete span in ``events``.
+
+    The assertion helper for cross-process exports: after merging, a
+    child's ``parent_id`` must be a key of this mapping for the link to
+    resolve inside the merged timeline.
+    """
+    tree: Dict[str, Optional[str]] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        args = event.get("args") or {}
+        span_id = args.get("span_id")
+        if span_id is not None:
+            tree[span_id] = args.get("parent_id")
+    return tree

@@ -62,7 +62,7 @@ from repro.core.metrics import MetricsRegistry, make_registry
 from repro.core.recovery import RecoveryEvent, render_events
 from repro.core.reports import TestResult
 from repro.core.rules import PersistencyRules
-from repro.core.tracing import Tracer
+from repro.core.tracing import SpanContext, SpanHandle, Tracer
 from repro.core.verdict_cache import resolve_cache_size
 
 __all__ = ["WorkerPool", "BACKEND_NAMES", "DEFAULT_BATCH_SIZE",
@@ -133,7 +133,15 @@ class WorkerPool:
         ``PMTEST_METRICS`` environment switch (off by default).
     tracer:
         An optional :class:`~repro.core.tracing.Tracer`; submit/drain
-        get spans and degradations get instant markers.
+        get spans, degradations get instant markers, and the backends'
+        workers record batch spans (the process backend ships theirs
+        back piggybacked on result messages).
+    span_context:
+        Optional :class:`~repro.core.tracing.SpanContext` the pool's
+        lifetime span parents under — set it to a context received
+        over the wire (the daemon threads the client's session span
+        here) and the whole checking timeline hangs off the remote
+        caller's span.  Only meaningful with ``tracer``.
     verdict_cache:
         Explicit on/off switch for the per-worker verdict cache
         (:mod:`repro.core.verdict_cache`).  ``None`` (default)
@@ -173,6 +181,7 @@ class WorkerPool:
         faults: Optional[FaultPlan] = None,
         metrics: Optional[MetricsRegistry] = _METRICS_FROM_ENV,
         tracer: Optional[Tracer] = None,
+        span_context: Optional[SpanContext] = None,
         verdict_cache: Optional[bool] = None,
         verdict_cache_size: Optional[int] = None,
         engine: Optional[str] = None,
@@ -224,6 +233,16 @@ class WorkerPool:
             metrics = make_registry()
         self._metrics: Optional[MetricsRegistry] = metrics
         self._tracer = tracer
+        #: pool-lifetime span; worker batch spans parent under its
+        #: context, so a caller-supplied ``span_context`` (the daemon
+        #: session) links straight through to worker processes
+        self._pool_span: Optional[SpanHandle] = (
+            tracer.start_span("pool", parent=span_context, pool=name)
+            if tracer is not None else None
+        )
+        self._span_ctx: Optional[SpanContext] = (
+            self._pool_span.context if self._pool_span is not None else None
+        )
         self._events: List[RecoveryEvent] = []
         backend_obj, spawn_events = make_backend_with_fallback(
             backend,
@@ -238,6 +257,8 @@ class WorkerPool:
             metrics=metrics,
             cache_size=self._cache_size,
             engine=self._engine_name,
+            tracer=tracer,
+            span_context=self._span_ctx,
         )
         self._backend: CheckingBackend = backend_obj
         self._events.extend(spawn_events)
@@ -364,7 +385,8 @@ class WorkerPool:
             self._backend.submit(trace)
         else:
             with tracer.span(
-                "submit", trace_id=trace.trace_id, events=len(trace)
+                "submit", parent=self._span_ctx,
+                trace_id=trace.trace_id, events=len(trace),
             ):
                 self._backend.submit(trace)
         self._seq_map.append(self._global_seq)
@@ -402,7 +424,9 @@ class WorkerPool:
         timed = metrics is not None and metrics.full
         start = perf_counter_ns() if timed else 0
         if tracer is not None:
-            tracer.begin("drain", dispatched=self._global_seq)
+            tracer.begin(
+                "drain", parent=self._span_ctx, dispatched=self._global_seq
+            )
         try:
             pairs = self._drain_pairs_degrading()
         finally:
@@ -504,6 +528,8 @@ class WorkerPool:
             metrics=self._metrics,
             cache_size=self._cache_size,
             engine=self._engine_name,
+            tracer=self._tracer,
+            span_context=self._span_ctx,
         )
         self._events.extend(spawn_events)
         self._seq_map = []
@@ -534,6 +560,10 @@ class WorkerPool:
             return result
         finally:
             self._backend.stop()
+            if self._pool_span is not None:
+                self._pool_span.finish(
+                    dispatched=self._global_seq, backend=self._backend.name
+                )
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -33,3 +33,9 @@ from repro.daemon.server import (  # noqa: F401
     ServerHandle,
     start_in_thread,
 )
+from repro.daemon.telemetry import (  # noqa: F401
+    FlightRecorder,
+    build_stats_payload,
+    render_prometheus,
+    serve_http,
+)

@@ -228,6 +228,21 @@ class AdmissionController:
         self.frames_shed = 0
         self.bytes_shed = 0
         self.sessions_rejected = 0
+        #: per-tenant plain counters (same always-on discipline as the
+        #: globals above); the telemetry plane's label source
+        self.tenant_stats: Dict[str, Dict[str, int]] = {}
+
+    def _tenant(self, tenant: str) -> Dict[str, int]:
+        stats = self.tenant_stats.get(tenant)
+        if stats is None:
+            stats = self.tenant_stats[tenant] = {
+                "frames_admitted": 0,
+                "bytes_admitted": 0,
+                "frames_shed": 0,
+                "bytes_shed": 0,
+                "sessions_rejected": 0,
+            }
+        return stats
 
     # ------------------------------------------------------------------
     # Session lifecycle
@@ -253,6 +268,7 @@ class AdmissionController:
 
     def reject_session(self, tenant: str, reason: str) -> None:
         self.sessions_rejected += 1
+        self._tenant(tenant)["sessions_rejected"] += 1
         self.events.append(RecoveryEvent.session_rejected(tenant, reason))
         if self._metrics is not None:
             self._metrics.counter("daemon.sessions_rejected").inc(1)
@@ -328,6 +344,9 @@ class AdmissionController:
             self._sheds[session_id] = 0
             self.frames_admitted += 1
             self.bytes_admitted += nbytes
+            stats = self._tenant(tenant)
+            stats["frames_admitted"] += 1
+            stats["bytes_admitted"] += nbytes
             if self._metrics is not None:
                 counter = self._metrics.counter
                 counter("daemon.frames_admitted").inc(1)
@@ -348,6 +367,9 @@ class AdmissionController:
         retry_after_ms = self._retry_after_ms(session_id, hint_s)
         self.frames_shed += 1
         self.bytes_shed += nbytes
+        stats = self._tenant(tenant)
+        stats["frames_shed"] += 1
+        stats["bytes_shed"] += nbytes
         self.events.append(
             RecoveryEvent.shed(
                 session_id, tenant, nbytes, retry_after_ms, reason

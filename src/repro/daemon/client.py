@@ -27,6 +27,7 @@ import socket
 import time
 from typing import List, Optional, Tuple, Union
 
+from repro.core.metrics import MetricsRegistry
 from repro.core.reports import TestResult
 from repro.core.events import Trace
 from repro.core.traceio import (
@@ -34,9 +35,12 @@ from repro.core.traceio import (
     decode_message,
     encode_bye_message,
     encode_drain_message,
+    encode_flight_request_message,
     encode_hello_message,
+    encode_stats_subscribe_message,
     encode_traces_binary,
 )
+from repro.core.tracing import SpanHandle, Tracer
 from repro.daemon.protocol import (
     DEFAULT_MAX_FRAME,
     ProtocolError,
@@ -113,6 +117,8 @@ class CheckingClient:
         connect_retries: int = 5,
         backoff_base: float = 0.05,
         max_frame: int = DEFAULT_MAX_FRAME,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -128,6 +134,18 @@ class CheckingClient:
         self._closed = False
         self._final: Optional[TestResult] = None
         self.session_id: Optional[int] = None
+        self._tracer = tracer
+        self._metrics = metrics
+        #: the server's cumulative session-pool registry, replaced (not
+        #: merged) on every verdict so checkpointed drains cannot
+        #: double-count
+        self._server_registry: Optional[MetricsRegistry] = None
+        #: the whole-session client span; its context rides in the
+        #: hello frame so the server's session span parents under it
+        self._session_span: Optional[SpanHandle] = (
+            tracer.start_span("client.session", tenant=tenant)
+            if tracer is not None else None
+        )
         self._sock = self._connect(address, connect_retries, backoff_base)
         try:
             self._handshake()
@@ -186,7 +204,11 @@ class CheckingClient:
         )
 
     def _handshake(self) -> None:
-        self._send(encode_hello_message(self.tenant))
+        span = (
+            self._session_span.context
+            if self._session_span is not None else None
+        )
+        self._send(encode_hello_message(self.tenant, span=span))
         message = self._recv("handshake")
         if message[0] == "error":
             raise self._session_error(message[1])
@@ -268,11 +290,23 @@ class CheckingClient:
             return
         payload = encode_traces_binary(self._buffer)
         count = len(self._buffer)
+        metrics = self._metrics
+        timed = metrics is not None and metrics.full
         while True:
+            started = time.perf_counter_ns() if timed else 0
             self._send(payload)
+            if metrics is not None:
+                metrics.counter("client.frames_sent").inc(1)
+                metrics.counter("client.bytes_sent").inc(len(payload))
             message = self._recv("waiting for frame ack")
             kind = message[0]
             if kind == "sack":
+                if timed:
+                    # Round trip from send to ack: queueing at the
+                    # daemon (rung 0 waits included) plus the wire.
+                    metrics.histogram("client.frame_ns").record(
+                        time.perf_counter_ns() - started
+                    )
                 self._dispatched += count
                 self._buffer.clear()
                 return
@@ -280,6 +314,8 @@ class CheckingClient:
                 # The daemon dropped the frame undecoded; resending the
                 # identical bytes keeps sheds verdict-neutral.
                 self._sheds_seen += 1
+                if metrics is not None:
+                    metrics.counter("client.sheds").inc(1)
                 retry_after_ms, reason = message[1], message[2]
                 self._sleep(
                     retry_after_ms / 1000.0,
@@ -297,17 +333,42 @@ class CheckingClient:
                 return self._final
             raise DaemonError("client is closed")
         self.flush()
-        self._send(encode_drain_message())
-        while True:
-            message = self._recv("waiting for verdict")
-            kind = message[0]
-            if kind == "verdict":
-                result, diagnostics = message[1], message[2]
-                result.diagnostics.extend(diagnostics)
-                return result
-            if kind == "error":
-                raise self._session_error(message[1])
-            raise DaemonError(f"unexpected {kind!r} frame during drain")
+        drain_span: Optional[SpanHandle] = None
+        if self._tracer is not None:
+            drain_span = self._tracer.start_span(
+                "client.drain",
+                parent=(
+                    self._session_span.context
+                    if self._session_span is not None else None
+                ),
+                dispatched=self._dispatched,
+            )
+        span = drain_span.context if drain_span is not None else None
+        try:
+            self._send(encode_drain_message(span=span))
+            while True:
+                message = self._recv("waiting for verdict")
+                kind = message[0]
+                if kind == "verdict":
+                    result, diagnostics = message[1], message[2]
+                    result.diagnostics.extend(diagnostics)
+                    if len(message) > 4 and message[4] is not None:
+                        # The server ships its cumulative session-pool
+                        # registry with every verdict; replace, never
+                        # merge, or checkpointed drains double-count.
+                        self._server_registry = message[4]
+                    if drain_span is not None:
+                        drain_span.finish(traces=result.traces_checked)
+                        drain_span = None
+                    return result
+                if kind == "error":
+                    raise self._session_error(message[1])
+                raise DaemonError(
+                    f"unexpected {kind!r} frame during drain"
+                )
+        finally:
+            if drain_span is not None:
+                drain_span.finish(error=True)
 
     def close(self) -> TestResult:
         """Drain, say goodbye, release the socket.  Idempotent."""
@@ -326,11 +387,91 @@ class CheckingClient:
         finally:
             self._closed = True
             self._sock.close()
+            self._finish_session_span()
 
     def abort(self) -> None:
         """Drop the connection without draining (tests, error paths)."""
         self._closed = True
         self._sock.close()
+        self._finish_session_span()
+
+    def _finish_session_span(self) -> None:
+        if self._session_span is not None:
+            self._session_span.finish(
+                dispatched=self._dispatched, sheds=self._sheds_seen
+            )
+
+    # ------------------------------------------------------------------
+    # Telemetry surface
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> Optional[MetricsRegistry]:
+        """Client-side counters merged with the server-shipped registry.
+
+        The server attaches its cumulative session-pool registry to
+        every verdict (when it records metrics at all); this folds that
+        into the client's own registry without mutating either.
+        Returns ``None`` when neither side recorded anything.
+        """
+        if self._metrics is None and self._server_registry is None:
+            return None
+        merged = MetricsRegistry(
+            level=(
+                self._metrics.level
+                if self._metrics is not None
+                else self._server_registry.level
+            )
+        )
+        merged.merge(self._metrics)
+        merged.merge(self._server_registry)
+        return merged
+
+    def stats_once(self) -> dict:
+        """Fetch one live-stats snapshot from the daemon."""
+        if self._closed:
+            raise DaemonError("client is closed")
+        self._send(encode_stats_subscribe_message(0))
+        message = self._recv("waiting for stats")
+        if message[0] == "stats":
+            return message[1]
+        if message[0] == "error":
+            raise self._session_error(message[1])
+        raise DaemonError(f"unexpected {message[0]!r} frame during stats")
+
+    def stats_stream(self, interval_ms: int = 1000):
+        """Subscribe to the daemon's stats stream; yields payload dicts.
+
+        The daemon keeps sending snapshots at (at least) its configured
+        interval until the connection drops — break out and call
+        :meth:`abort` to stop; the session cannot return to checking
+        afterwards.
+        """
+        if self._closed:
+            raise DaemonError("client is closed")
+        self._send(encode_stats_subscribe_message(max(1, interval_ms)))
+        while True:
+            message = self._recv("waiting for stats")
+            if message[0] == "stats":
+                yield message[1]
+                continue
+            if message[0] == "error":
+                raise self._session_error(message[1])
+            raise DaemonError(
+                f"unexpected {message[0]!r} frame during stats stream"
+            )
+
+    def fetch_flight(self) -> list:
+        """Fetch the daemon's flight-recorder ring (oldest first)."""
+        if self._closed:
+            raise DaemonError("client is closed")
+        self._send(encode_flight_request_message())
+        message = self._recv("waiting for flight events")
+        if message[0] == "flight":
+            return message[1]
+        if message[0] == "error":
+            raise self._session_error(message[1])
+        raise DaemonError(
+            f"unexpected {message[0]!r} frame during flight fetch"
+        )
 
     def __enter__(self) -> "CheckingClient":
         return self

@@ -14,6 +14,15 @@ corrupt peers and memory-amplification abuse.
 Both a synchronous socket API (the client) and an asyncio streams API
 (the server) are provided; they are wire-compatible by construction
 because both call the same :func:`frame_bytes`.
+
+Telemetry rides inside the framed messages, not the framing: the
+``hello``/``drain``/``verdict`` messages carry optional trailing span
+contexts (and the verdict a registry snapshot) so a client's trace
+timeline parents the server's, and the ``stats_sub``/``stats`` and
+``flight_req``/``flight`` kinds stream live daemon stats and the
+flight-recorder ring over the same session socket.  Old peers simply
+never send the new kinds and ignore trailing fields, so framing and
+compatibility are untouched.
 """
 
 from __future__ import annotations

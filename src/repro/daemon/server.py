@@ -63,11 +63,14 @@ from repro.core.traceio import (
     _KIND_TRACES,
     decode_message,
     encode_error_message,
+    encode_flight_message,
     encode_session_ack_message,
     encode_shed_message,
+    encode_stats_message,
     encode_verdict_message,
     encode_welcome_message,
 )
+from repro.core.tracing import SpanContext, SpanHandle, Tracer
 from repro.core.workers import WorkerPool
 from repro.daemon.admission import AdmissionController, AdmissionPolicy
 from repro.daemon.protocol import (
@@ -75,6 +78,12 @@ from repro.daemon.protocol import (
     ProtocolError,
     aread_frame,
     frame_bytes,
+)
+from repro.daemon.telemetry import (
+    DEFAULT_FLIGHT_EVENTS,
+    FlightRecorder,
+    build_stats_payload,
+    serve_http,
 )
 
 __all__ = ["CheckingServer", "ServerHandle", "start_in_thread"]
@@ -89,7 +98,7 @@ class _Session:
 
     __slots__ = (
         "session_id", "tenant", "pool", "writer", "task",
-        "accepted", "unreleased", "answered_drains",
+        "accepted", "unreleased", "answered_drains", "span",
     )
 
     def __init__(
@@ -107,6 +116,10 @@ class _Session:
         self.accepted = 0       # traces admitted this session
         self.unreleased = 0     # admitted frame bytes not yet checked
         self.answered_drains = 0
+        #: the server-side session span (a stackless handle: sessions
+        #: interleave on the loop thread), parented under the client's
+        #: hello span context when one rode in
+        self.span: Optional[SpanHandle] = None
 
 
 class CheckingServer:
@@ -143,6 +156,12 @@ class CheckingServer:
         drain_timeout: float = 30.0,
         max_frame: int = DEFAULT_MAX_FRAME,
         max_backlog: int = 1024,
+        tracer: Optional[Tracer] = None,
+        http_host: Optional[str] = None,
+        http_port: int = 0,
+        flight_size: int = DEFAULT_FLIGHT_EVENTS,
+        slow_frame_ms: float = 100.0,
+        telemetry_interval_ms: int = 1000,
     ) -> None:
         if host is None and uds is None:
             raise ValueError("need a TCP host and/or a UDS path to listen on")
@@ -167,6 +186,19 @@ class CheckingServer:
         self.admission = AdmissionController(
             policy, resilience, faults=faults, metrics=self.metrics
         )
+        self._tracer = tracer
+        self._http_host = http_host
+        self._http_port = http_port
+        self._http_server: Optional[asyncio.AbstractServer] = None
+        self._slow_frame_ns = int(slow_frame_ms * 1e6)
+        #: floor for client-requested stats stream intervals
+        self._telemetry_interval_ms = telemetry_interval_ms
+        #: the flight recorder follows the metrics discipline — built
+        #: only when a registry exists, so metrics-off keeps the frame
+        #: path's telemetry at a single ``is None`` branch
+        self.flight: Optional[FlightRecorder] = (
+            FlightRecorder(flight_size) if self.metrics is not None else None
+        )
         self.events: List[RecoveryEvent] = []
         self._sessions: Dict[int, _Session] = {}
         self._session_ids = count(1)
@@ -178,6 +210,9 @@ class CheckingServer:
         self.sessions_served = 0
         self.traces_accepted = 0
         self.sessions_aborted = 0
+        #: cumulative traces accepted per tenant (plain counters; the
+        #: stats payload's per-tenant ``traces`` column)
+        self.tenant_traces: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -195,6 +230,21 @@ class CheckingServer:
             self._listeners.append(
                 await asyncio.start_unix_server(self._handle, path=self._uds)
             )
+        if self._http_host is not None:
+            self._http_server = await serve_http(
+                self, self._http_host, self._http_port
+            )
+
+    @property
+    def http_address(self) -> Optional[Tuple[str, int]]:
+        """The bound telemetry HTTP ``(host, port)``, if serving one."""
+        if self._http_server is None:
+            return None
+        for sock in self._http_server.sockets or ():
+            name = sock.getsockname()
+            if isinstance(name, tuple):
+                return (name[0], name[1])
+        return None
 
     @property
     def tcp_address(self) -> Optional[Tuple[str, int]]:
@@ -248,6 +298,10 @@ class CheckingServer:
                 await self._stopped.wait()
             return
         self._draining = True
+        if self._http_server is not None:
+            self._http_server.close()
+            with contextlib.suppress(Exception):
+                await self._http_server.wait_closed()
         for listener in self._listeners:
             listener.close()
         for listener in self._listeners:
@@ -289,7 +343,9 @@ class CheckingServer:
     # ------------------------------------------------------------------
     # Session plumbing
     # ------------------------------------------------------------------
-    def _make_pool(self) -> WorkerPool:
+    def _make_pool(
+        self, span_context: Optional[SpanContext] = None
+    ) -> WorkerPool:
         level = self.metrics.level if self.metrics is not None else None
         pool_metrics = MetricsRegistry(level) if level is not None else None
         return WorkerPool(
@@ -304,6 +360,8 @@ class CheckingServer:
             max_retries=self._resilience.max_retries,
             fallback=self._resilience.fallback,
             metrics=pool_metrics,
+            tracer=self._tracer,
+            span_context=span_context,
         )
 
     async def _send(
@@ -326,6 +384,11 @@ class CheckingServer:
             if self._faults is not None:
                 rule = self._faults.fire(FaultPoint.DAEMON_ACCEPT)
                 if rule is not None:
+                    if self.flight is not None:
+                        self.flight.record(
+                            "chaos", point="daemon.accept",
+                            fault=rule.kind.name,
+                        )
                     if rule.kind in (FaultKind.SLOW, FaultKind.STALL):
                         await asyncio.sleep(rule.delay)
                     elif rule.kind is FaultKind.FAIL:
@@ -361,17 +424,43 @@ class CheckingServer:
                 )
                 return
             tenant = message[1]
+            client_span = message[3] if len(message) > 3 else None
             reason = self.admission.admit_session(tenant)
             if reason is not None:
+                if self.flight is not None:
+                    self.flight.record(
+                        "session_rejected", tenant=tenant, reason=reason
+                    )
                 await self._send_error(writer, f"session rejected: {reason}")
                 return
+            session_id = next(self._session_ids)
+            session_span: Optional[SpanHandle] = None
+            if self._tracer is not None:
+                # Parent under the client's hello span when it shipped
+                # one — this is the cross-process link that makes the
+                # merged chrome://tracing export one tree.
+                session_span = self._tracer.start_span(
+                    "daemon.session", parent=client_span,
+                    session=session_id, tenant=tenant,
+                )
             session = _Session(
-                next(self._session_ids), tenant, self._make_pool(), writer
+                session_id,
+                tenant,
+                self._make_pool(
+                    session_span.context if session_span is not None else None
+                ),
+                writer,
             )
+            session.span = session_span
             session.task = asyncio.current_task()
             self._sessions[session.session_id] = session
             self.admission.session_opened(session.session_id)
             self.sessions_served += 1
+            if self.flight is not None:
+                self.flight.record(
+                    "session_opened", session=session.session_id,
+                    tenant=tenant,
+                )
             if self.metrics is not None:
                 self.metrics.counter("daemon.sessions").inc(1)
             await self._send(
@@ -390,6 +479,11 @@ class CheckingServer:
                         session.unreleased,
                     )
                 )
+                if self.flight is not None:
+                    self.flight.record(
+                        "session_aborted", session=session.session_id,
+                        tenant=session.tenant, reason=str(exc),
+                    )
             if self.metrics is not None:
                 self.metrics.counter("daemon.sessions_aborted").inc(1)
             with contextlib.suppress(Exception):
@@ -428,6 +522,15 @@ class CheckingServer:
             pass  # a dying pool must not take the session cleanup down
         if self.metrics is not None and snapshot is not None:
             self.metrics.merge(snapshot)
+        if session.span is not None:
+            session.span.finish(
+                traces=session.accepted, drains=session.answered_drains
+            )
+        if self.flight is not None:
+            self.flight.record(
+                "session_closed", session=session.session_id,
+                tenant=session.tenant, traces=session.accepted,
+            )
 
     async def _session_loop(
         self,
@@ -437,6 +540,7 @@ class CheckingServer:
     ) -> None:
         loop = asyncio.get_running_loop()
         timed = self.metrics is not None and self.metrics.full
+        watched = timed or self.flight is not None
         while True:
             try:
                 frame = await asyncio.wait_for(
@@ -452,10 +556,16 @@ class CheckingServer:
                 raise _SessionAborted(f"protocol error: {exc}") from None
             if frame is None:
                 return  # clean EOF
-            started = perf_counter_ns() if timed else 0
+            started = perf_counter_ns() if watched else 0
             if self._faults is not None:
                 rule = self._faults.fire(FaultPoint.DAEMON_SESSION_DECODE)
                 if rule is not None:
+                    if self.flight is not None:
+                        self.flight.record(
+                            "chaos", point="daemon.session_decode",
+                            fault=rule.kind.name,
+                            session=session.session_id,
+                        )
                     if rule.kind in (FaultKind.SLOW, FaultKind.STALL):
                         await asyncio.sleep(rule.delay)
                     elif rule.kind is FaultKind.CRASH:
@@ -477,7 +587,20 @@ class CheckingServer:
                     raise _SessionAborted(f"bad frame: {exc}") from None
                 kind = message[0]
                 if kind == "drain":
-                    await self._handle_drain(session, writer, loop)
+                    await self._handle_drain(
+                        session, writer, loop,
+                        message[1] if len(message) > 1 else None,
+                    )
+                elif kind == "stats_sub":
+                    await self._handle_stats(session, writer, message[1])
+                elif kind == "flight_req":
+                    await self._send(
+                        writer,
+                        encode_flight_message(
+                            self.flight.events()
+                            if self.flight is not None else []
+                        ),
+                    )
                 elif kind == "bye":
                     return
                 else:
@@ -485,10 +608,22 @@ class CheckingServer:
                         writer, f"unexpected {kind!r} frame from client"
                     )
                     raise _SessionAborted(f"unexpected {kind!r} frame")
-            if timed:
-                self.metrics.histogram("daemon.frame_ns").record(
-                    perf_counter_ns() - started
-                )
+            if watched:
+                elapsed = perf_counter_ns() - started
+                if timed:
+                    self.metrics.histogram("daemon.frame_ns").record(elapsed)
+                    self.metrics.histogram(
+                        f"daemon.tenant.{session.tenant}.frame_ns"
+                    ).record(elapsed)
+                if (
+                    self.flight is not None
+                    and elapsed > self._slow_frame_ns
+                ):
+                    self.flight.record(
+                        "slow_frame", session=session.session_id,
+                        tenant=session.tenant, bytes=len(frame),
+                        elapsed_ms=elapsed // 1_000_000,
+                    )
 
     async def _handle_traces(
         self,
@@ -513,12 +648,24 @@ class CheckingServer:
             session.session_id, session.tenant, nbytes
         )
         if decision.action == "shed":
+            if self.flight is not None:
+                self.flight.record(
+                    "shed", session=session.session_id,
+                    tenant=session.tenant, bytes=nbytes,
+                    retry_after_ms=decision.retry_after_ms,
+                    reason=decision.reason,
+                )
             await self._send(
                 writer,
                 encode_shed_message(decision.retry_after_ms, decision.reason),
             )
             return
         if decision.action == "reject":
+            if self.flight is not None:
+                self.flight.record(
+                    "session_rejected", session=session.session_id,
+                    tenant=session.tenant, reason=decision.reason,
+                )
             await self._send_error(
                 writer, f"session rejected: {decision.reason}"
             )
@@ -542,6 +689,9 @@ class CheckingServer:
         session.accepted += len(traces)
         session.unreleased += nbytes
         self.traces_accepted += len(traces)
+        self.tenant_traces[session.tenant] = (
+            self.tenant_traces.get(session.tenant, 0) + len(traces)
+        )
         if self.metrics is not None:
             self.metrics.counter("daemon.traces").inc(len(traces))
         policy = self.admission.policy
@@ -565,17 +715,80 @@ class CheckingServer:
         session: _Session,
         writer: asyncio.StreamWriter,
         loop: asyncio.AbstractEventLoop,
+        client_span: Optional[SpanContext] = None,
     ) -> None:
+        drain_span: Optional[SpanHandle] = None
+        if self._tracer is not None:
+            parent = client_span if client_span is not None else (
+                session.span.context if session.span is not None else None
+            )
+            drain_span = self._tracer.start_span(
+                "daemon.drain", parent=parent, session=session.session_id
+            )
         result = await loop.run_in_executor(None, session.pool.drain)
+        if drain_span is not None:
+            drain_span.finish(traces=result.traces_checked)
         self.admission.release(session.unreleased)
         session.unreleased = 0
         session.answered_drains += 1
         if self.metrics is not None:
             self.metrics.counter("daemon.drains").inc(1)
+        # The verdict trailer carries the server drain span's context
+        # (so the client's trace links to the server timeline) and a
+        # *cumulative* snapshot of the session pool's registry — the
+        # client replaces, not merges, so checkpointed drains never
+        # double-count.
+        registry = (
+            session.pool.metrics_snapshot()
+            if self.metrics is not None else None
+        )
         await self._send(
             writer,
-            encode_verdict_message(result, result.diagnostics),
+            encode_verdict_message(
+                result,
+                result.diagnostics,
+                span=(
+                    drain_span.context if drain_span is not None else None
+                ),
+                registry=registry,
+            ),
         )
+
+    async def _handle_stats(
+        self,
+        session: _Session,
+        writer: asyncio.StreamWriter,
+        interval_ms: int,
+    ) -> None:
+        """Answer a ``stats_sub``: one snapshot, or a stream.
+
+        ``interval_ms <= 0`` means a single snapshot and back to the
+        frame loop.  A positive interval (floored by the server's
+        ``telemetry_interval_ms``) turns this session into a stats
+        stream until the client disconnects or the server drains — a
+        subscriber going away is a normal ending, not an abort.
+        """
+        try:
+            await self._send(
+                writer, encode_stats_message(build_stats_payload(self))
+            )
+            if interval_ms <= 0:
+                return
+            interval = max(interval_ms, self._telemetry_interval_ms) / 1000.0
+            while not self._draining:
+                # Chunked sleep: stay responsive to shutdown without
+                # waking subscribers early.
+                remaining = interval
+                while remaining > 0 and not self._draining:
+                    await asyncio.sleep(min(remaining, 0.2))
+                    remaining -= 0.2
+                if self._draining:
+                    return
+                await self._send(
+                    writer, encode_stats_message(build_stats_payload(self))
+                )
+        except (ConnectionError, OSError):
+            return  # subscriber went away: EOF will end the session
 
 
 # ----------------------------------------------------------------------

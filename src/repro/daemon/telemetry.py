@@ -1,0 +1,353 @@
+"""The daemon's live telemetry plane: stats, exposition, flight recorder.
+
+Post-mortem observability (``--metrics-json`` at shutdown) answers
+"what happened"; operators of a multi-tenant checking service also need
+"what is happening".  This module adds three live surfaces on top of
+the existing :class:`~repro.core.metrics.MetricsRegistry` plumbing,
+none of which touch checking semantics:
+
+``build_stats_payload``
+    One JSON-ready snapshot of the server — session/trace totals, the
+    admission ladder's counters, the inflight-byte budget, and a
+    per-tenant table (sessions, traces, sheds, frame latency
+    quantiles).  Served to clients as ``stats`` session frames
+    (subscribe with a ``stats_sub`` frame; ``repro top`` renders the
+    stream) and embedded in the HTTP exposition below.
+
+``render_prometheus``
+    The same snapshot plus the merged registry as Prometheus text
+    exposition (version 0.0.4): names are ``pmtest_``-prefixed with
+    dots flattened to underscores, per-tenant series carry a
+    ``tenant`` label, histograms expose ``_count``/``_sum`` plus
+    interpolated ``_p50``/``_p99`` derived from the log2 buckets.
+
+:class:`FlightRecorder`
+    A bounded ring of recent structured events (admissions are *not*
+    recorded — only the interesting minority: sheds, rejections,
+    aborts, recoveries, chaos firings, slow frames), dumped on
+    SIGTERM via the serve CLI and on demand via ``repro stats
+    --flight``.  Bounded by construction: memory is ``capacity``
+    events regardless of uptime.
+
+Everything here follows the metrics discipline: the server only builds
+a recorder/telemetry state when its registry exists, so
+``PMTEST_METRICS=off`` keeps the whole plane a single ``is None``
+branch on the hot path.
+
+The HTTP endpoint (``serve_http``) is a deliberately tiny asyncio
+``GET``-only server — ``/metrics`` and ``/healthz``, no dependencies —
+meant for a scraper or a load balancer probe, not the open internet.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections import deque
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    TYPE_CHECKING,
+)
+
+from repro.core.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.daemon.server import CheckingServer
+
+__all__ = [
+    "FlightRecorder",
+    "build_stats_payload",
+    "render_prometheus",
+    "serve_http",
+]
+
+#: Default flight-recorder capacity (events, not bytes).
+DEFAULT_FLIGHT_EVENTS = 256
+
+
+class FlightRecorder:
+    """A bounded ring of recent structured events.
+
+    Each record is a plain dict carrying a monotonically increasing
+    ``seq`` (so a dump shows how much history scrolled off), a
+    wall-clock ``ts``, the event ``kind``, and the caller's fields.
+    The clock is injectable for deterministic tests.  Not thread-safe
+    by design: the server records only from its event loop.
+    """
+
+    __slots__ = ("_events", "_seq", "_clock", "capacity", "dropped")
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_FLIGHT_EVENTS,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        self._events: Deque[dict] = deque(maxlen=capacity)
+        self._seq = 0
+        self._clock = clock
+        #: events pushed out of the ring so far
+        self.dropped = 0
+
+    def record(self, kind: str, **fields: Any) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        event = {"seq": self._seq, "ts": self._clock(), "kind": kind}
+        event.update(fields)
+        self._seq += 1
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self) -> List[dict]:
+        """Oldest-first copy of the ring."""
+        return list(self._events)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "capacity": self.capacity,
+                "recorded": self._seq,
+                "dropped": self.dropped,
+                "events": self.events(),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+# ----------------------------------------------------------------------
+# Stats snapshots
+# ----------------------------------------------------------------------
+def _histogram_stats(hist) -> Dict[str, int]:
+    return {
+        "count": hist.count,
+        "p50": hist.quantile(0.50),
+        "p99": hist.quantile(0.99),
+    }
+
+
+def build_stats_payload(
+    server: "CheckingServer", clock: Callable[[], float] = time.time
+) -> dict:
+    """One JSON-ready snapshot of a server's live state.
+
+    Always available — the totals come from the always-on plain
+    counters on the server and its admission controller; the latency
+    quantiles additionally appear when the registry records at
+    ``full``.  ``queued_traces`` sums the live session pools' backlogs,
+    so it moves while checking is behind, not just between drains.
+    """
+    admission = server.admission
+    budget = admission.budget
+
+    def blank() -> dict:
+        return {
+            "frames_admitted": 0,
+            "bytes_admitted": 0,
+            "frames_shed": 0,
+            "bytes_shed": 0,
+            "sessions_rejected": 0,
+            "sessions": 0,
+            "traces": 0,
+            "queued_traces": 0,
+        }
+
+    tenants: Dict[str, dict] = {}
+    for tenant, stats in sorted(admission.tenant_stats.items()):
+        tenants[tenant] = {**blank(), **stats}
+    for tenant, traces in sorted(server.tenant_traces.items()):
+        tenants.setdefault(tenant, blank())["traces"] = traces
+    for session in list(server._sessions.values()):
+        entry = tenants.setdefault(session.tenant, blank())
+        entry["sessions"] += 1
+        try:
+            entry["queued_traces"] += session.pool.backlog()
+        except Exception:  # a dying pool must not break a snapshot
+            pass
+    payload = {
+        "ts": clock(),
+        "sessions": {
+            "active": server.active_sessions,
+            "served": server.sessions_served,
+            "aborted": server.sessions_aborted,
+            "rejected": admission.sessions_rejected,
+        },
+        "traces_accepted": server.traces_accepted,
+        "admission": {
+            "frames_admitted": admission.frames_admitted,
+            "bytes_admitted": admission.bytes_admitted,
+            "frames_shed": admission.frames_shed,
+            "bytes_shed": admission.bytes_shed,
+            "inflight_bytes": budget.used,
+            "inflight_limit": budget.limit,
+        },
+        "tenants": tenants,
+    }
+    metrics = server.metrics
+    if metrics is not None and metrics.full:
+        hists = metrics.histograms()
+        frame_hist = hists.get("daemon.frame_ns")
+        if frame_hist is not None and frame_hist.count:
+            payload["frame_ns"] = _histogram_stats(frame_hist)
+        for tenant in tenants:
+            hist = hists.get(f"daemon.tenant.{tenant}.frame_ns")
+            if hist is not None and hist.count:
+                tenants[tenant]["frame_ns"] = _histogram_stats(hist)
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _metric_name(name: str) -> str:
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    flat = "".join(out)
+    return f"pmtest_{flat}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace(
+        "\n", "\\n"
+    )
+
+
+def render_prometheus(
+    payload: dict, registry: Optional[MetricsRegistry] = None
+) -> str:
+    """Prometheus 0.0.4 text exposition of a stats payload + registry.
+
+    Tenant-labelled series come from the payload's per-tenant table
+    (``pmtest_daemon_tenant_*{tenant="..."}``); everything in the
+    registry is exported under its flattened name (histograms as
+    ``_count``/``_sum``/``_p50``/``_p99``).  Dots become underscores,
+    so ``daemon.frames_shed`` scrapes as ``pmtest_daemon_frames_shed``.
+    """
+    lines: List[str] = []
+
+    def emit(name: str, value, labels: Optional[Dict[str, str]] = None):
+        if labels:
+            rendered = ",".join(
+                f'{key}="{_escape_label(val)}"'
+                for key, val in sorted(labels.items())
+            )
+            lines.append(f"{name}{{{rendered}}} {value}")
+        else:
+            lines.append(f"{name} {value}")
+
+    sessions = payload.get("sessions", {})
+    for key, value in sorted(sessions.items()):
+        emit(_metric_name(f"daemon.sessions_{key}"), value)
+    emit(_metric_name("daemon.traces_accepted"),
+         payload.get("traces_accepted", 0))
+    for key, value in sorted(payload.get("admission", {}).items()):
+        emit(_metric_name(f"daemon.{key}"), value)
+    frame = payload.get("frame_ns")
+    if frame and registry is None:
+        # With a registry the daemon.frame_ns histogram below renders
+        # the same series (plus _sum); don't emit duplicate names.
+        for key, value in sorted(frame.items()):
+            emit(_metric_name(f"daemon.frame_ns_{key}"), value)
+    for tenant, stats in sorted(payload.get("tenants", {}).items()):
+        label = {"tenant": tenant}
+        for key, value in sorted(stats.items()):
+            if key == "frame_ns":
+                for qkey, qvalue in sorted(value.items()):
+                    emit(_metric_name(f"daemon.tenant_frame_ns_{qkey}"),
+                         qvalue, label)
+            else:
+                emit(_metric_name(f"daemon.tenant_{key}"), value, label)
+    if registry is not None:
+        for name, value in registry.counters().items():
+            emit(_metric_name(name), value)
+        for name, value in registry.gauges().items():
+            emit(_metric_name(name), value)
+        for name, hist in registry.histograms().items():
+            base = _metric_name(name)
+            emit(f"{base}_count", hist.count)
+            emit(f"{base}_sum", hist.total)
+            if hist.count:
+                emit(f"{base}_p50", hist.quantile(0.50))
+                emit(f"{base}_p99", hist.quantile(0.99))
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# The /metrics + /healthz HTTP endpoint
+# ----------------------------------------------------------------------
+_RESPONSE = (
+    "HTTP/1.1 {status}\r\n"
+    "Content-Type: {ctype}\r\n"
+    "Content-Length: {length}\r\n"
+    "Connection: close\r\n"
+    "\r\n"
+)
+
+
+async def _http_session(
+    server: "CheckingServer",
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        request = await asyncio.wait_for(reader.readline(), 5.0)
+        parts = request.decode("latin-1", "replace").split()
+        # Drain the header block; nothing in it matters for GETs.
+        while True:
+            line = await asyncio.wait_for(reader.readline(), 5.0)
+            if line in (b"", b"\r\n", b"\n"):
+                break
+        if len(parts) < 2 or parts[0] != "GET":
+            status, ctype, body = (
+                "405 Method Not Allowed", "text/plain", "GET only\n"
+            )
+        elif parts[1] in ("/healthz", "/healthz/"):
+            status, ctype, body = "200 OK", "text/plain", "ok\n"
+        elif parts[1] in ("/metrics", "/metrics/"):
+            payload = build_stats_payload(server)
+            snapshot = server.metrics_snapshot()
+            body = render_prometheus(payload, snapshot)
+            status = "200 OK"
+            ctype = "text/plain; version=0.0.4"
+        else:
+            status, ctype, body = "404 Not Found", "text/plain", "not found\n"
+        data = body.encode("utf-8")
+        writer.write(
+            _RESPONSE.format(
+                status=status, ctype=ctype, length=len(data)
+            ).encode("latin-1") + data
+        )
+        await writer.drain()
+    except (asyncio.TimeoutError, ConnectionError, OSError):
+        pass  # a broken scraper is its own problem
+    finally:
+        try:
+            writer.close()
+        except Exception:
+            pass
+
+
+async def serve_http(
+    server: "CheckingServer", host: str, port: int
+) -> asyncio.AbstractServer:
+    """Bind the telemetry HTTP listener; returns the asyncio server.
+
+    The caller owns the returned listener's lifecycle (the checking
+    server closes it during shutdown).
+    """
+
+    async def handler(reader, writer):
+        await _http_session(server, reader, writer)
+
+    return await asyncio.start_server(handler, host=host, port=port)

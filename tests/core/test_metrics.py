@@ -104,6 +104,67 @@ class TestHistogram:
         assert (list(a.counts), a.count, a.total, a.vmin, a.vmax) == before
 
 
+class TestQuantile:
+    def test_empty_histogram_is_zero(self):
+        h = Histogram()
+        assert h.quantile(0.0) == 0
+        assert h.quantile(0.5) == 0
+        assert h.quantile(1.0) == 0
+
+    def test_out_of_range_q_raises(self):
+        h = Histogram()
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_bucket_zero_reads_as_zero(self):
+        h = Histogram()
+        h.record(0)
+        h.record(-3)
+        assert h.quantile(0.5) == 0
+        assert h.quantile(0.99) == 0
+
+    def test_single_value_clamps_to_observation(self):
+        h = Histogram()
+        h.record(100)  # bucket [64, 128): naive upper edge would be 128
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 100
+
+    def test_bucket_one_lower_edge_is_one(self):
+        h = Histogram()
+        h.record(1)
+        assert h.quantile(0.5) == 1
+
+    def test_interpolates_within_a_bucket(self):
+        h = Histogram()
+        # 100 samples spread across bucket 11 = [1024, 2048).
+        for v in range(1024, 2024, 10):
+            h.record(v)
+        p50 = h.quantile(0.50)
+        p99 = h.quantile(0.99)
+        # Interpolation should land mid-bucket, not at the far edge.
+        assert 1024 <= p50 < 1800
+        assert p50 < p99 <= 2023
+
+    def test_monotonic_and_bounded_by_extremes(self):
+        h = Histogram()
+        for v in (3, 17, 40, 900, 5000, 65000):
+            h.record(v)
+        qs = [h.quantile(q / 100) for q in range(0, 101, 5)]
+        assert qs == sorted(qs)
+        assert all(h.vmin <= value <= h.vmax for value in qs)
+
+    def test_quantiles_across_buckets(self):
+        h = Histogram()
+        for _ in range(90):
+            h.record(100)
+        for _ in range(10):
+            h.record(100_000)
+        assert h.quantile(0.5) <= 128  # inside the small bucket
+        assert h.quantile(0.99) > 50_000  # lands in the tail bucket
+
+
 class TestLevels:
     def test_off_registry_must_not_exist(self):
         with pytest.raises(ValueError):

@@ -488,18 +488,19 @@ class TestBinaryMessages:
         data = encode_result_message(
             1, [(4, result, None), (5, None, "boom")]
         )
-        kind, worker, items, registry = decode_message(data)
+        kind, worker, items, registry, spans = decode_message(data)
         assert (kind, worker) == ("res", 1)
         assert items[0] == (4, result, None)
         assert items[1] == (5, None, "boom")
         assert registry is None
+        assert spans is None
 
     def test_result_message_carries_registry(self):
         registry = MetricsRegistry(MetricsLevel.FULL)
         registry.counter("engine.traces").inc(3)
         registry.histogram("engine.latency").record(17)
         data = encode_result_message(0, [], registry=registry)
-        _, _, _, decoded = decode_message(data)
+        _, _, _, decoded, _ = decode_message(data)
         assert decoded.counter_value("engine.traces") == 3
         assert decoded.to_dict() == registry.to_dict()
 

@@ -1,10 +1,17 @@
 """Tests for the span tracer: fake clocks, nesting, misuse, output."""
 
+import itertools
 import json
 
 import pytest
 
-from repro.core.tracing import Tracer, TracingError
+from repro.core.tracing import (
+    SpanContext,
+    Tracer,
+    TracingError,
+    merge_trace_files,
+    span_tree,
+)
 
 
 class FakeClock:
@@ -52,7 +59,9 @@ class TestSpans:
         with tracer.span("submit", trace_id=7):
             pass
         (event,) = tracer.events()
-        assert event["args"] == {"trace_id": 7}
+        # Workload args survive next to the span's identity keys.
+        assert event["args"]["trace_id"] == 7
+        assert set(event["args"]) == {"trace_id", "span_id"}
 
     def test_instant_and_counter_events(self):
         tracer, _ = make_tracer()
@@ -131,3 +140,128 @@ class TestOutput:
             tracer.write(tmp_path / "t.json")
         data = json.loads((tmp_path / "t.json").read_text())
         assert any(e.get("name") == "open" for e in data)
+
+
+def make_deterministic_tracer(**kwargs):
+    """A tracer whose span ids are 1, 2, 3, ... for exact assertions."""
+    ids = itertools.count(1)
+    kwargs.setdefault("ids", lambda: next(ids))
+    return make_tracer(**kwargs)[0]
+
+
+class TestSpanIdentity:
+    def test_context_pair_roundtrip(self):
+        ctx = SpanContext(7, 11)
+        assert ctx.to_pair() == (7, 11)
+        assert SpanContext.from_pair((7, 11)) == ctx
+        assert hash(SpanContext.from_pair([7, 11])) == hash(ctx)
+        assert ctx != SpanContext(7, 12)
+
+    def test_deterministic_ids_and_trace_id(self):
+        tracer = make_deterministic_tracer()
+        assert tracer.trace_id == 1  # first id becomes the trace id
+        with tracer.span("a"):
+            pass
+        (event,) = tracer.events()
+        assert event["args"]["span_id"] == f"{2:016x}"
+        assert "parent_id" not in event["args"]
+
+    def test_nesting_records_parent_links(self):
+        tracer = make_deterministic_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.events()
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+
+    def test_explicit_parent_beats_stack(self):
+        tracer = make_deterministic_tracer()
+        remote = SpanContext(tracer.trace_id, 99)
+        with tracer.span("enclosing"):
+            with tracer.span("child", parent=remote):
+                pass
+        child = tracer.events()[0]
+        assert child["args"]["parent_id"] == f"{99:016x}"
+
+    def test_root_parents_parentless_spans(self):
+        tracer = make_deterministic_tracer(root=SpanContext(5, 42))
+        assert tracer.trace_id == 5  # adopted from the root context
+        with tracer.span("hang"):
+            pass
+        handle = tracer.start_span("also")
+        handle.finish()
+        for event in tracer.events():
+            assert event["args"]["parent_id"] == f"{42:016x}"
+
+    def test_current_context_inner_then_root(self):
+        root = SpanContext(5, 42)
+        tracer = make_deterministic_tracer(root=root)
+        assert tracer.current_context() == root
+        with tracer.span("open"):
+            inner = tracer.current_context()
+            assert inner.trace_id == 5
+            assert inner.span_id != 42
+        assert tracer.current_context() == root
+
+    def test_start_span_handles_interleave(self):
+        tracer = make_deterministic_tracer()
+        a = tracer.start_span("a")
+        b = tracer.start_span("b")
+        a.finish(extra=1)  # out of LIFO order on purpose
+        b.finish()
+        a.finish()  # idempotent
+        names = [e["name"] for e in tracer.events()]
+        assert names == ["a", "b"]
+        assert tracer.events()[0]["args"]["extra"] == 1
+        assert tracer.open_spans == 0
+
+    def test_start_span_after_finish_raises(self):
+        tracer = make_deterministic_tracer()
+        tracer.finish()
+        with pytest.raises(TracingError, match="finished"):
+            tracer.start_span("late")
+
+    def test_drain_then_absorb_moves_events(self):
+        worker = make_deterministic_tracer(root=SpanContext(5, 42))
+        with worker.span("worker.batch"):
+            pass
+        shipped = worker.drain_events()
+        assert worker.events() == []  # exactly-once shipping
+        pool = make_deterministic_tracer()
+        pool.absorb_events(shipped)
+        (event,) = pool.events()
+        assert event["name"] == "worker.batch"
+        assert event["args"]["parent_id"] == f"{42:016x}"
+
+
+class TestMergedTimelines:
+    def test_merge_links_spans_across_files(self, tmp_path):
+        client = make_deterministic_tracer(process_name="client")
+        session = client.start_span("client.session")
+        # The server side opens its span under the wire-carried context.
+        server = make_deterministic_tracer(process_name="server")
+        daemon = server.start_span("daemon.session",
+                                   parent=session.context)
+        daemon.finish()
+        session.finish()
+        client_file = tmp_path / "client.json"
+        server_file = tmp_path / "server.json"
+        client.write(client_file)
+        server.write(server_file)
+        merged = tmp_path / "merged.json"
+        count = merge_trace_files([client_file, server_file], merged)
+        events = json.loads(merged.read_text())
+        assert len(events) == count
+        tree = span_tree(events)
+        by_name = {
+            e["name"]: e["args"] for e in events if e["ph"] == "X"
+        }
+        parent = by_name["daemon.session"]["parent_id"]
+        assert parent == by_name["client.session"]["span_id"]
+        assert parent in tree  # the link resolves inside the merge
+
+    def test_merge_rejects_non_trace_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"not": "a trace"}')
+        with pytest.raises(ValueError, match="trace event array"):
+            merge_trace_files([bad], tmp_path / "out.json")

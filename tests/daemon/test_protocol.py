@@ -149,7 +149,7 @@ class TestSessionMessages:
     def test_hello_round_trip(self):
         wire = encode_hello_message("tenant-a", {"engine": "columnar"})
         assert decode_message(wire) == (
-            "hello", "tenant-a", {"engine": "columnar"}
+            "hello", "tenant-a", {"engine": "columnar"}, None
         )
 
     def test_welcome_round_trip(self):
@@ -157,7 +157,7 @@ class TestSessionMessages:
         assert decode_message(wire) == ("welcome", 7, 1 << 20)
 
     def test_control_frames(self):
-        assert decode_message(encode_drain_message()) == ("drain",)
+        assert decode_message(encode_drain_message()) == ("drain", None)
         assert decode_message(encode_bye_message()) == ("bye",)
         assert decode_message(encode_session_ack_message(42)) == ("sack", 42)
 
@@ -189,8 +189,10 @@ class TestSessionMessages:
             checkers_evaluated=4,
         )
         wire = encode_verdict_message(result, ["worker 0 respawned"])
-        kind, decoded, diagnostics = decode_message(wire)
+        kind, decoded, diagnostics, span, registry = decode_message(wire)
         assert kind == "verdict"
         assert decoded.summary() == result.summary()
         assert decoded.reports[0].code is ReportCode.NOT_PERSISTED
         assert diagnostics == ["worker 0 respawned"]
+        assert span is None
+        assert registry is None

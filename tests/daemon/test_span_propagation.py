@@ -1,0 +1,132 @@
+"""End-to-end span propagation: one chrome://tracing timeline across
+the client process, the daemon process, and a checking worker process.
+
+This drives the real CLI in subprocesses (``repro serve --trace-out``
+plus ``repro submit --trace-out``), merges the two trace files with
+:func:`repro.core.tracing.merge_trace_files`, and asserts that the
+parent links stitch the three processes into one correctly-nested
+tree:
+
+    client.session  (client pid)
+      └─ daemon.session  (server pid)
+           └─ pool  (server pid)
+                └─ worker.batch  (worker pid)
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.traceio import dump_traces
+from repro.core.tracing import merge_trace_files, span_tree
+
+from tests.daemon.conftest import make_traces
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def _spawn_serve(sock, trace_out):
+    env = dict(os.environ, PYTHONPATH=SRC)
+    env.pop("PMTEST_METRICS", None)
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--uds", sock,
+            "--workers", "1", "--backend", "process",
+            "--trace-out", trace_out,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    line = process.stdout.readline()
+    if "listening on" not in line:
+        process.kill()
+        rest = process.stdout.read()
+        pytest.fail(f"serve did not come up: {line!r} {rest!r}")
+    return process
+
+
+def _events_by_name(events):
+    spans = {}
+    for event in events:
+        if event.get("ph") == "X":
+            spans.setdefault(event["name"], []).append(event)
+    return spans
+
+
+class TestCrossProcessTimeline:
+    def test_merged_trace_links_three_pids(self, tmp_path, uds_path):
+        dump = tmp_path / "run.pmtrace"
+        dump_traces(make_traces(12), dump)
+        serve_trace = tmp_path / "serve-trace.json"
+        client_trace = tmp_path / "client-trace.json"
+
+        serve = _spawn_serve(uds_path, str(serve_trace))
+        try:
+            env = dict(os.environ, PYTHONPATH=SRC)
+            submit = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "submit", str(dump),
+                    "--connect", uds_path,
+                    "--trace-out", str(client_trace),
+                    "--quiet",
+                ],
+                env=env, capture_output=True, text=True, timeout=120,
+            )
+            assert submit.returncode in (0, 1), submit.stderr
+        finally:
+            serve.send_signal(signal.SIGTERM)
+            out, _ = serve.communicate(timeout=60)
+        assert "drained:" in out
+
+        merged = tmp_path / "merged.json"
+        total = merge_trace_files([client_trace, serve_trace], merged)
+        events = json.loads(merged.read_text())
+        assert len(events) == total
+
+        spans = _events_by_name(events)
+        for name in ("client.session", "client.drain", "daemon.session",
+                     "daemon.drain", "pool", "worker.batch"):
+            assert name in spans, f"missing span {name!r}"
+
+        def arg(name, key):
+            return spans[name][0]["args"].get(key)
+
+        # The parent chain crosses both wire hops.
+        assert arg("daemon.session", "parent_id") == arg(
+            "client.session", "span_id"
+        )
+        assert arg("pool", "parent_id") == arg("daemon.session", "span_id")
+        assert arg("worker.batch", "parent_id") == arg("pool", "span_id")
+        assert arg("daemon.drain", "parent_id") == arg(
+            "client.drain", "span_id"
+        )
+        assert arg("client.drain", "parent_id") == arg(
+            "client.session", "span_id"
+        )
+
+        # Three distinct OS processes contributed complete spans.
+        pids = {
+            event["pid"]
+            for batch in spans.values()
+            for event in batch
+        }
+        assert len(pids) >= 3
+
+        # Every non-root parent link resolves inside the merged file.
+        tree = span_tree(events)
+        roots = []
+        for span_id, parent_id in tree.items():
+            if parent_id is None:
+                roots.append(span_id)
+            else:
+                assert parent_id in tree, f"dangling parent {parent_id}"
+        assert roots == [
+            spans["client.session"][0]["args"]["span_id"]
+        ]
