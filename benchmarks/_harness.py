@@ -103,6 +103,10 @@ ENGINE_BEST: Dict[str, float] = {}
 #: per-frame latency quantiles, and shed counts under 2x overload
 DAEMON_LOAD: Dict[str, float] = {}
 
+#: zero-copy ablation measurements (fig12j): shard-dispatch wire bytes
+#: per configuration, proving arena descriptors are O(1) per shard
+ZEROCOPY: Dict[str, float] = {}
+
 Execute = Callable[[], None]
 
 

@@ -26,6 +26,7 @@ from _harness import (  # noqa: E402
     RESULTS,
     VERDICT_CACHE,
     WIRE_BYTES,
+    ZEROCOPY,
     slowdown,
 )
 
@@ -266,6 +267,31 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
                     " traces/s to verdict"
                 )
 
+    if "fig12j" in figures or ZEROCOPY:
+        tr.section("Fig 12j: zero-copy shard dispatch ablation")
+        payload_t = RESULTS.get(("fig12j", ("payload",)))
+        arena_t = RESULTS.get(("fig12j", ("arena",)))
+        if payload_t and arena_t:
+            tr.write_line(
+                f"payload dispatch: {payload_t * 1000:8.2f} ms   "
+                f"arena dispatch: {arena_t * 1000:8.2f} ms   "
+                f"speedup {payload_t / arena_t:5.2f}x"
+            )
+        serial = RESULTS.get(("fig12j-shard", ("process", 1)))
+        parallel = RESULTS.get(("fig12j-shard", ("process", 4)))
+        if serial and parallel:
+            tr.write_line(
+                f"sharded scaling 4-vs-1 workers: {serial / parallel:5.2f}x"
+            )
+        if ZEROCOPY:
+            tr.write_line(
+                f"dispatch wire: "
+                f"{ZEROCOPY.get('dispatch_bytes_per_shard', 0):.1f} B/shard "
+                f"({int(ZEROCOPY.get('events_large_trace', 0))}-event trace "
+                f"ships {int(ZEROCOPY.get('dispatch_bytes_large_trace', 0))}"
+                " B total)"
+            )
+
     _dump_json(tr)
 
 
@@ -344,6 +370,23 @@ def _dump_json(tr) -> None:
     if cache_off and cache_on:
         payload["verdict_cache_speedup"] = cache_off / cache_on
         payload["verdict_cache"] = dict(sorted(VERDICT_CACHE.items()))
+    zc_payload = RESULTS.get(("fig12j", ("payload",)))
+    zc_arena = RESULTS.get(("fig12j", ("arena",)))
+    if zc_payload and zc_arena:
+        payload["zerocopy_dispatch_speedup_arena_vs_payload"] = (
+            zc_payload / zc_arena
+        )
+    zc_serial = RESULTS.get(("fig12j-shard", ("process", 1)))
+    if zc_serial:
+        payload["zerocopy_sharded_scaling_vs_1_worker"] = {
+            f"process/{cfg[1]}-workers": (
+                zc_serial / seconds if seconds else None
+            )
+            for (fig, cfg), seconds in sorted(RESULTS.items())
+            if fig == "fig12j-shard"
+        }
+    if ZEROCOPY:
+        payload["zerocopy_dispatch_bytes"] = dict(sorted(ZEROCOPY.items()))
     if DAEMON_LOAD:
         payload["daemon_load"] = dict(sorted(DAEMON_LOAD.items()))
         library = RESULTS.get(("fig12i", ("library",)))

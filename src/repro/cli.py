@@ -75,6 +75,7 @@ from repro.core.rules.eadr import EADRRules
 from repro.core.rules.naive import NaiveX86Rules
 from repro.core.backends import TRANSPORT_NAMES
 from repro.core.engine_columnar import ENGINE_NAMES
+from repro.core.shard_plan import PLAN_MODES
 from repro.core.traceio import TraceFormatError, load_traces_auto
 from repro.core.tracing import Tracer
 from repro.core.workers import BACKEND_NAMES, WorkerPool
@@ -157,6 +158,18 @@ def build_parser() -> argparse.ArgumentParser:
             "epoch-shard traces with at least N events across the "
             "workers (columnar engine only; default: "
             "PMTEST_SHARD_MIN_EVENTS or off)"
+        ),
+    )
+    check.add_argument(
+        "--shard-plan",
+        choices=PLAN_MODES,
+        default=None,
+        help=(
+            "how epoch-shard counts are decided: off (never), fixed "
+            "(the --shard-min-events threshold, one shard per "
+            "worker) or auto (size shards from a measured per-event "
+            "replay cost); default: PMTEST_SHARD_PLAN, else fixed "
+            "when --shard-min-events is set and off otherwise"
         ),
     )
     check.add_argument(
@@ -353,6 +366,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--engine", choices=ENGINE_NAMES, default=None,
         help="replay engine (object or columnar)",
+    )
+    serve.add_argument(
+        "--shard-min-events", type=int, default=None, metavar="N",
+        help="epoch-shard threshold for session pools "
+             "(see 'check --shard-min-events')",
+    )
+    serve.add_argument(
+        "--shard-plan", choices=PLAN_MODES, default=None,
+        help="shard-count policy for session pools "
+             "(see 'check --shard-plan')",
     )
     vc2 = serve.add_mutually_exclusive_group()
     vc2.add_argument(
@@ -641,6 +664,7 @@ def _check(args: argparse.Namespace, traces) -> int:
             verdict_cache_size=args.verdict_cache_size,
             engine=args.engine,
             shard_min_events=args.shard_min_events,
+            shard_plan=args.shard_plan,
         ) as pool:
             for trace in traces:
                 pool.submit(trace)
@@ -755,6 +779,8 @@ def _serve(args: argparse.Namespace) -> int:
             backend=args.backend,
             transport=args.transport,
             engine=args.engine,
+            shard_min_events=args.shard_min_events,
+            shard_plan=args.shard_plan,
             batch_size=args.batch_size,
             verdict_cache=args.verdict_cache,
             policy=policy,

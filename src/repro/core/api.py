@@ -137,6 +137,12 @@ class PMTestSession:
         workers and the per-shard results folded back into one
         per-trace result.  ``None`` consults
         ``PMTEST_SHARD_MIN_EVENTS`` (unset: sharding off).
+    shard_plan:
+        Shard-count policy (:mod:`repro.core.shard_plan`): ``"off"``,
+        ``"fixed"`` (the ``shard_min_events`` threshold) or ``"auto"``
+        (adaptive, from a measured per-event replay cost).  ``None``
+        consults ``PMTEST_SHARD_PLAN``, defaulting to ``fixed`` when
+        ``shard_min_events`` is set and ``off`` otherwise.
     """
 
     def __init__(
@@ -158,6 +164,7 @@ class PMTestSession:
         verdict_cache_size: Optional[int] = None,
         engine: Optional[str] = None,
         shard_min_events: Optional[int] = None,
+        shard_plan: Optional[str] = None,
     ) -> None:
         self.capture_sites = capture_sites
         self._pool = sink if sink is not None else WorkerPool(
@@ -176,6 +183,7 @@ class PMTestSession:
             verdict_cache_size=verdict_cache_size,
             engine=engine,
             shard_min_events=shard_min_events,
+            shard_plan=shard_plan,
         )
         self._trace_ids = itertools.count()
         self._local = threading.local()

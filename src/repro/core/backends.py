@@ -101,6 +101,7 @@ from repro.core.faults import (
     HANG_SECONDS,
     Resilience,
 )
+from repro.core.column_arena import ensure_tracker, release_attached
 from repro.core.metrics import MetricsLevel, MetricsRegistry
 from repro.core.recovery import RecoveryEvent, render_events
 from repro.core.reports import TestResult
@@ -928,7 +929,22 @@ class ThreadBackend:
 # ----------------------------------------------------------------------
 # Processes
 # ----------------------------------------------------------------------
-def _process_worker(
+def _process_worker(*args, **kwargs) -> None:
+    """Worker-process entry: run the loop, then detach shard arenas.
+
+    The arena detach must happen while the interpreter is healthy: at
+    shutdown, GC may finalize a ``SharedMemory`` before the column
+    views pinning its buffer and spew ``BufferError`` noise from
+    ``__del__``.  Crash exits (``os._exit``) skip this by design — the
+    creator's unlink still reclaims the segment.
+    """
+    try:
+        _process_worker_loop(*args, **kwargs)
+    finally:
+        release_attached()
+
+
+def _process_worker_loop(
     index: int, task_ch, result_ch, rules, faults, metrics_level=None,
     transport: str = "queue", codec: str = "pickle", cache_size: int = 0,
     engine_name: str = "object",
@@ -1191,6 +1207,11 @@ class ProcessBackend:
         else:
             self._task_q = self._ctx.Queue()
             self._result_q = self._ctx.Queue()
+        # Pre-start the resource tracker so every worker shares it;
+        # arena attach registrations then dedup against the creator's
+        # instead of accumulating in per-worker private trackers that
+        # would unlink live segments on a worker crash.
+        ensure_tracker()
         self._processes = [
             self._spawn_worker(i, faults) for i in range(num_workers)
         ]

@@ -92,6 +92,38 @@ ENGINE_NAMES = ("object", "columnar")
 
 ENGINE_ENV_VAR = "PMTEST_ENGINE"
 
+try:  # epoch kernels use numpy when present; never required
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is usually present
+    _np = None
+
+#: ``bytes.translate`` table mapping write opcodes to ``\x00`` and
+#: everything else to ``\x01``: one translate turns "find the end of
+#: this write run" into a C-speed ``bytes.find`` instead of a
+#: per-element Python comparison loop.
+_RUN_END_TABLE = bytes(
+    0 if 1 <= b <= WRITE_MAX else 1 for b in range(256)
+)
+
+
+def _sizes_positive(sizes, start: int, end: int) -> bool:
+    """Whether every size in ``[start, end)`` is positive — the
+    precondition for the bulk write-run kernel (a non-positive size
+    must instead replay sequentially so the structural-invalid error
+    fires at the same event with the same partial shadow state as the
+    object engine).  Vectorized under numpy; plain scan otherwise."""
+    if _np is not None:
+        try:
+            s = _np.asarray(sizes[start:end], dtype=_np.int64)
+        except (OverflowError, ValueError, TypeError):
+            pass
+        else:
+            return bool((s > 0).all())
+    for k in range(start, end):
+        if sizes[k] <= 0:
+            return False
+    return True
+
 #: Dispatch table indexed by opcode byte, mirroring
 #: ``_TraceChecker._HANDLERS`` (index 0 and unknown bytes are ``None``).
 _HANDLER_LIST = [None] * len(OPS_BY_VALUE)
@@ -622,64 +654,43 @@ class _ColumnarChecker(_TraceChecker):
     SWEEP_MIN_RUN = 8
 
     def _bulk_writes(self, i: int, j: int) -> None:
-        """Apply the write run ``[i, j)``, sweeping long runs in bulk.
+        """Apply the write run ``[i, j)``, long runs via the rules-level
+        epoch kernel.
 
-        Short runs assign sequentially.  Long runs use one reverse
-        sort-and-sweep that produces the exact shadow segmentation of
-        sequential per-write ``assign`` calls: each write keeps only
-        the subranges (gaps in the coverage of later writes) where it
-        is the last writer, and those disjoint pieces are assigned
-        once each — dead writes never touch the shadow map.
+        Short runs assign sequentially.  Long runs with all-positive
+        sizes go through :meth:`~repro.core.rules.x86.X86Rules
+        .apply_write_run`, which produces the exact shadow segmentation
+        of sequential per-write ``assign`` calls (disjoint runs assign
+        directly; overlapping runs use one reverse coverage sweep so
+        dead writes never touch the shadow map).
         """
         cols = self.cols
         ops = cols.ops
         addrs = cols.addrs
         sizes = cols.sizes
         shadow = self.shadow
+        site_at = cols.site_at
+        if j - i >= self.SWEEP_MIN_RUN and _sizes_positive(sizes, i, j):
+            self.rules.apply_write_run(
+                shadow, ops, addrs, sizes, site_at, i, j
+            )
+            return
+        # Sequential path: short runs, and runs holding a non-positive
+        # size (the structural-invalid ValueError must fire at the same
+        # event with the same partial shadow state as the object
+        # engine).
         pm_assign = shadow.pm.assign
         ts = shadow.timestamp
-        site_at = cols.site_at
         write = OP_WRITE
-        use_sweep = j - i >= self.SWEEP_MIN_RUN
-        if use_sweep:
-            for k in range(i, j):
-                if sizes[k] <= 0:
-                    # Replay sequentially so the structural-invalid
-                    # ValueError fires at the same event with the same
-                    # partial shadow state as the object engine.
-                    use_sweep = False
-                    break
-        if not use_sweep:
-            for k in range(i, j):
-                addr = addrs[k]
-                site = site_at(k)
-                state = (
-                    SegmentState(ts, None, site)
-                    if ops[k] == write
-                    else SegmentState(ts, ts, site, site)
-                )
-                pm_assign(addr, addr + sizes[k], state)
-            return
-        coverage: IntervalMap[bool] = IntervalMap()
-        coverage_gaps = coverage.gaps
-        coverage_assign = coverage.assign
-        pieces: List[Tuple[int, List[Tuple[int, int]]]] = []
-        for k in range(j - 1, i - 1, -1):
-            lo = addrs[k]
-            hi = lo + sizes[k]
-            gaps = coverage_gaps(lo, hi)
-            if gaps:
-                pieces.append((k, gaps))
-                coverage_assign(lo, hi, True)
-        for k, gaps in reversed(pieces):
+        for k in range(i, j):
+            addr = addrs[k]
             site = site_at(k)
             state = (
                 SegmentState(ts, None, site)
                 if ops[k] == write
                 else SegmentState(ts, ts, site, site)
             )
-            for lo, hi in gaps:
-                pm_assign(lo, hi, state)
+            pm_assign(addr, addr + sizes[k], state)
 
     # ------------------------------------------------------------------
     # Silent prefix replay (epoch shards)
@@ -709,15 +720,19 @@ class _ColumnarChecker(_TraceChecker):
         excluded = self.excluded
         site_at = cols.site_at
         fast = type(rules) is X86Rules
+        # One C-speed translate marks run-ending (non-write) opcodes so
+        # the write-run finder below is a bytes.find hop instead of a
+        # per-element Python comparison loop.
+        run_ends = bytes(ops).translate(_RUN_END_TABLE) if fast else b""
         i = 0
         while i < end:
             b = ops[i]
             if b <= WRITE_MAX:
                 if not excluded:
                     if fast:
-                        j = i + 1
-                        while j < end and ops[j] <= WRITE_MAX:
-                            j += 1
+                        j = run_ends.find(b"\x01", i + 1, end)
+                        if j == -1:
+                            j = end
                         size = sizes[i]
                         if (
                             j == i + 1

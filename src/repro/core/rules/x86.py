@@ -27,13 +27,46 @@ Operation semantics:
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, List, Optional, Tuple
 
-from repro.core.events import Event, FLUSH_OPS, Op
+from repro.core.events import Event, FLUSH_OPS, Op, SourceSite
+from repro.core.interval_map import IntervalMap
 from repro.core.intervals import Interval
 from repro.core.reports import Level, Report, ReportCode
 from repro.core.rules.base import PersistencyRules, RangeInterval
 from repro.core.shadow import SegmentState, ShadowMemory
+
+try:  # the write-run kernel vectorizes span detection with numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is usually present
+    _np = None
+
+_OP_WRITE = Op.WRITE.value
+
+
+def _run_is_disjoint(addrs, sizes, start: int, end: int) -> bool:
+    """Whether the write run ``[start, end)`` covers strictly ascending,
+    non-overlapping ranges — the common struct-field/append pattern,
+    where every write survives whole and the coverage sweep is pure
+    overhead.  Vectorized as two slice comparisons under numpy; the
+    fallback is a plain forward scan (columns may be ``array``,
+    ``memoryview`` or — for out-of-``int64``-range property-test inputs
+    that overflow the numpy conversion — lists)."""
+    if _np is not None:
+        try:
+            a = _np.asarray(addrs[start:end], dtype=_np.int64)
+            s = _np.asarray(sizes[start:end], dtype=_np.int64)
+        except (OverflowError, ValueError, TypeError):
+            pass
+        else:
+            return bool((a[1:] >= (a + s)[:-1]).all())
+    prev_hi = None
+    for k in range(start, end):
+        lo = addrs[k]
+        if prev_hi is not None and lo < prev_hi:
+            return False
+        prev_hi = lo + sizes[k]
+    return True
 
 
 class X86Rules(PersistencyRules):
@@ -219,6 +252,75 @@ class X86Rules(PersistencyRules):
 
         shadow.pm.update(lo, hi, record)
         return reports
+
+    def apply_write_run(
+        self,
+        shadow: ShadowMemory,
+        ops,
+        addrs,
+        sizes,
+        site_at: Callable[[int], Optional[SourceSite]],
+        start: int,
+        end: int,
+    ) -> None:
+        """Epoch kernel: apply a pure write/write_nt run ``[start, end)``
+        (all sizes positive) as one whole-run operation.
+
+        The final shadow segmentation is byte-identical to sequential
+        :meth:`apply_op_silent` calls, by one of two arguments:
+
+        * **Disjoint runs** (ascending, non-overlapping — detected
+          vectorized by :func:`_run_is_disjoint`): every write is the
+          sole writer of its range, so forward per-range ``assign``
+          calls are literally the sequential replay minus the dead
+          scratch-event fills.
+        * **Overlapping runs**: one reverse coverage sweep finds, for
+          each write, the subranges no *later* write in the run covers
+          (gap queries against an accumulating coverage map); only
+          those surviving pieces are assigned, in forward write order.
+          Each surviving piece has exactly the last-writer state the
+          sequential replay would leave it with, and dead writes never
+          touch the shadow map at all.
+
+        Writes never emit reports and the epoch timestamp cannot
+        advance inside a run, so nothing can observe the intermediate
+        states the sequential replay would have created.
+        """
+        ts = shadow.timestamp
+        pm_assign = shadow.pm.assign
+        write = _OP_WRITE
+        if _run_is_disjoint(addrs, sizes, start, end):
+            for k in range(start, end):
+                site = site_at(k)
+                lo = addrs[k]
+                pm_assign(
+                    lo,
+                    lo + sizes[k],
+                    SegmentState(ts, None, site)
+                    if ops[k] == write
+                    else SegmentState(ts, ts, site, site),
+                )
+            return
+        coverage: IntervalMap[bool] = IntervalMap()
+        coverage_gaps = coverage.gaps
+        coverage_assign = coverage.assign
+        pieces: List[Tuple[int, List[Tuple[int, int]]]] = []
+        for k in range(end - 1, start - 1, -1):
+            lo = addrs[k]
+            hi = lo + sizes[k]
+            gaps = coverage_gaps(lo, hi)
+            if gaps:
+                pieces.append((k, gaps))
+                coverage_assign(lo, hi, True)
+        for k, gaps in reversed(pieces):
+            site = site_at(k)
+            state = (
+                SegmentState(ts, None, site)
+                if ops[k] == write
+                else SegmentState(ts, ts, site, site)
+            )
+            for lo, hi in gaps:
+                pm_assign(lo, hi, state)
 
     def persist_intervals(
         self, shadow: ShadowMemory, lo: int, hi: int

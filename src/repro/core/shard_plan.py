@@ -1,0 +1,205 @@
+"""Adaptive epoch-shard planning for the zero-copy shard plane.
+
+Whether splitting a trace across workers pays depends on how expensive
+replay actually is on this host: a 10k-event trace is worth sharding
+when replay costs ~350 ns/event but not when the verdict cache answers
+in microseconds.  The fixed ``--shard-min-events`` threshold bakes one
+answer in; :class:`ShardPlanner` instead *measures* per-event replay
+cost and sizes shards so each one carries roughly
+``TARGET_SHARD_NS`` of work.
+
+Three modes:
+
+``off``
+    Never shard (the default when no shard knob is set).
+``fixed``
+    The historical behaviour: shard any trace with at least
+    ``min_events`` events into one shard per worker.
+``auto``
+    Plan from a per-event replay-cost estimate.  The estimate starts
+    at a conservative seed and converges via exponentially weighted
+    updates from two feeds:
+
+    * :meth:`observe` — drain wall-time over events drained, the
+      always-available coarse signal; and
+    * :meth:`absorb` — the precise signal from a full
+      :class:`~repro.core.metrics.MetricsRegistry` snapshot
+      (``stage.shadow_update.ns`` + ``stage.checker_validate.ns``
+      over ``engine.events``), when full metrics are on.
+
+    Both feeds are deterministic functions of their inputs, so tests
+    inject measurements instead of timing real work.
+
+The planner is deliberately not thread-safe; each
+:class:`~repro.core.workers.WorkerPool` owns one and drives it from
+its own submit/drain path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = [
+    "PLAN_ENV_VAR",
+    "PLAN_MODES",
+    "ShardPlanner",
+    "resolve_plan_mode",
+]
+
+#: Environment override for the planning mode (``off``/``fixed``/
+#: ``auto``); unset or empty defers to the constructor arguments.
+PLAN_ENV_VAR = "PMTEST_SHARD_PLAN"
+
+PLAN_MODES = ("off", "fixed", "auto")
+
+#: Work per shard the auto planner aims for.  Dispatch + merge overhead
+#: per shard is tens of microseconds with arena descriptors; 0.5 ms of
+#: replay per shard keeps that under ~10% while still splitting real
+#: traces aggressively.
+TARGET_SHARD_NS = 500_000
+
+#: Never produce shards smaller than this many events — below it the
+#: silent-prefix fast-forward dominates the shard's own checking work.
+FLOOR_EVENTS = 512
+
+#: Per-event replay-cost seed (ns) before any measurement arrives;
+#: roughly the object engine on commodity hardware, i.e. pessimistic
+#: for the columnar engine, so the first plans under-shard rather than
+#: over-shard.
+SEED_NS_PER_EVENT = 350.0
+
+#: EWMA smoothing factor for measurement updates.
+_ALPHA = 0.3
+
+
+def resolve_plan_mode(
+    shard_plan: Optional[str], shard_min_events: Optional[int]
+) -> str:
+    """The effective planning mode from knob + env + threshold.
+
+    An explicit ``shard_plan`` wins; otherwise ``PMTEST_SHARD_PLAN``;
+    otherwise a set ``shard_min_events`` implies the historical
+    ``fixed`` mode and nothing at all means ``off``.
+    """
+    if shard_plan is None:
+        shard_plan = os.environ.get(PLAN_ENV_VAR) or None
+    if shard_plan is None:
+        return "fixed" if shard_min_events is not None else "off"
+    if shard_plan not in PLAN_MODES:
+        raise ValueError(
+            f"unknown shard plan {shard_plan!r}; expected one of "
+            f"{', '.join(PLAN_MODES)}"
+        )
+    return shard_plan
+
+
+class ShardPlanner:
+    """Decide how many epoch shards a trace should split into.
+
+    Parameters
+    ----------
+    mode:
+        ``off``, ``fixed`` or ``auto`` (see module docstring).
+    min_events:
+        The ``fixed`` mode threshold (also the floor in ``auto`` mode
+        when set lower than :data:`FLOOR_EVENTS` it is ignored —
+        ``auto`` never goes below the floor).
+    target_shard_ns / floor_events / seed_ns_per_event:
+        Auto-mode tuning; the defaults are module constants so tests
+        can pin them.
+    """
+
+    def __init__(
+        self,
+        mode: str = "off",
+        *,
+        min_events: Optional[int] = None,
+        target_shard_ns: int = TARGET_SHARD_NS,
+        floor_events: int = FLOOR_EVENTS,
+        seed_ns_per_event: float = SEED_NS_PER_EVENT,
+    ) -> None:
+        if mode not in PLAN_MODES:
+            raise ValueError(
+                f"unknown shard plan {mode!r}; expected one of "
+                f"{', '.join(PLAN_MODES)}"
+            )
+        if mode == "fixed" and (min_events is None or min_events < 1):
+            raise ValueError("fixed shard planning needs min_events >= 1")
+        self.mode = mode
+        self.min_events = min_events
+        self._target_ns = max(1, int(target_shard_ns))
+        self._floor = max(1, int(floor_events))
+        self._ns_per_event = float(seed_ns_per_event)
+        self._observations = 0
+        # Cumulative counter watermarks for absorb() deltas.
+        self._seen_events = 0
+        self._seen_ns = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def ns_per_event(self) -> float:
+        """Current per-event replay-cost estimate (ns)."""
+        return self._ns_per_event
+
+    @property
+    def observations(self) -> int:
+        """How many measurements have folded into the estimate."""
+        return self._observations
+
+    # ------------------------------------------------------------------
+    def plan(self, n_events: int, num_workers: int) -> int:
+        """Shards for an ``n_events`` trace on ``num_workers`` workers.
+
+        Returns ``0`` when the trace should not be sharded at all and
+        ``>= 2`` otherwise; never returns ``1`` (a single shard is the
+        unsharded path by definition).
+        """
+        if self.mode == "off" or num_workers < 2 or n_events <= 0:
+            return 0
+        if self.mode == "fixed":
+            assert self.min_events is not None
+            return num_workers if n_events >= self.min_events else 0
+        # auto: size shards to TARGET_SHARD_NS of estimated work, but
+        # never smaller than the floor and never more than one per
+        # worker.
+        by_cost = int(n_events * self._ns_per_event // self._target_ns)
+        by_floor = n_events // self._floor
+        shards = min(num_workers, by_cost, by_floor)
+        return shards if shards >= 2 else 0
+
+    # ------------------------------------------------------------------
+    def observe(self, events: int, ns: int) -> None:
+        """Fold one coarse measurement (``events`` drained in ``ns``)."""
+        if events <= 0 or ns <= 0:
+            return
+        self._update(ns / events)
+
+    def absorb(self, registry) -> None:
+        """Fold the precise per-event cost from a metrics snapshot.
+
+        Reads the cumulative replay-stage counters
+        (``stage.shadow_update.ns`` + ``stage.checker_validate.ns``
+        over ``engine.events``) and folds only the delta since the last
+        absorb, so repeated snapshots of the same registry are safe.
+        No-op when the registry lacks the counters (metrics off or
+        basic).
+        """
+        if registry is None:
+            return
+        events = registry.counter_value("engine.events", 0)
+        ns = (
+            registry.counter_value("stage.shadow_update.ns", 0)
+            + registry.counter_value("stage.checker_validate.ns", 0)
+        )
+        d_events = events - self._seen_events
+        d_ns = ns - self._seen_ns
+        if d_events <= 0 or d_ns <= 0:
+            return
+        self._seen_events = events
+        self._seen_ns = ns
+        self._update(d_ns / d_events)
+
+    def _update(self, per_event_ns: float) -> None:
+        self._ns_per_event += _ALPHA * (per_event_ns - self._ns_per_event)
+        self._observations += 1

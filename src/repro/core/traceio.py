@@ -23,9 +23,18 @@ Sites are preserved when present.
 from __future__ import annotations
 
 import json
+import mmap
+import struct
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, TextIO, Tuple, Union
 
+from repro.core.column_arena import (
+    DESCRIPTOR_TAG as _ARENA_TAG,
+    ArenaError,
+    ArenaShardRef,
+    is_descriptor as _is_arena_descriptor,
+    resolve_descriptor as _resolve_arena_descriptor,
+)
 from repro.core.columns import OPS_BY_VALUE, ColumnarTrace
 from repro.core.events import Event, Op, SourceSite, Trace
 from repro.core.reports import Level, Report, ReportCode, TestResult
@@ -228,8 +237,12 @@ def encode_trace(trace: Union[Trace, ColumnarTrace]) -> tuple:
     A :class:`~repro.core.columns.ColumnarTrace` flattens to the same
     3-tuple; an epoch *shard* gains a fourth ``check_from`` element so
     the shard boundary survives the wire (plain traces stay 3-tuples —
-    existing consumers and golden encodings are unaffected).
+    existing consumers and golden encodings are unaffected).  An
+    :class:`~repro.core.column_arena.ArenaShardRef` flattens to its O(1)
+    5-tuple descriptor — segment name plus offsets, never the payload.
     """
+    if isinstance(trace, ArenaShardRef):
+        return trace.descriptor()
     if isinstance(trace, ColumnarTrace):
         base = (
             trace.trace_id,
@@ -252,8 +265,17 @@ def decode_trace(wire: tuple) -> Union[Trace, ColumnarTrace]:
     3-tuples decode to object-form :class:`Trace`; 4-tuples (epoch
     shards) decode to a :class:`~repro.core.columns.ColumnarTrace`
     carrying its ``check_from`` mark, since only the columnar engine
-    can replay a shard.
+    can replay a shard.  Arena shard descriptors (5-tuples tagged
+    ``"PMCA"``) resolve into zero-copy column views over the named
+    shared-memory segment; anything unresolvable fails typed.
     """
+    if _is_arena_descriptor(wire):
+        try:
+            return _resolve_arena_descriptor(wire)
+        except ArenaError as exc:
+            raise TraceDecodeError(
+                f"arena shard descriptor failed: {exc}"
+            ) from exc
     if isinstance(wire, (tuple, list)) and len(wire) == 4:
         trace_id, thread_name, events, check_from = wire
         if (not isinstance(check_from, int) or isinstance(check_from, bool)
@@ -456,7 +478,13 @@ def corrupt_wire(wire: tuple) -> tuple:
     Truncates the first event tuple so decoding fails with
     :class:`TraceDecodeError` — the typed, recognizable failure the
     decode-validation layer guarantees for garbage in transit.
+
+    An arena shard descriptor has no event payload to truncate, so it
+    is pointed at a segment name that cannot exist: the attach fails
+    and decode raises the same typed error.
     """
+    if _is_arena_descriptor(wire):
+        return (wire[0], "pmca-corrupted", wire[2], wire[3], wire[4])
     trace_id, thread_name, events = wire[0], wire[1], wire[2]
     if events:
         events = (events[0][:3],) + tuple(events[1:])
@@ -538,6 +566,11 @@ class _UnknownOpError(TraceDecodeError):
     so a caller can skip the bad trace and keep decoding the batch."""
 
 
+#: Precompiled message-head codec (magic | version u8 | kind u8): one
+#: pack/unpack per message instead of per-byte assembly on every frame.
+_HEAD = struct.Struct("<4sBB")
+
+
 def _uv(out: bytearray, value: int) -> None:
     while value > 0x7F:
         out.append((value & 0x7F) | 0x80)
@@ -572,9 +605,7 @@ class _BinWriter:
         _uv(self.body, ref)
 
     def finish(self, kind: int) -> bytes:
-        head = bytearray(BINARY_MAGIC)
-        head.append(BINARY_VERSION)
-        head.append(kind)
+        head = bytearray(_HEAD.pack(BINARY_MAGIC, BINARY_VERSION, kind))
         _uv(head, len(self._strings))
         for value in self._strings:
             raw = value.encode("utf-8")
@@ -590,18 +621,27 @@ class _BinReader:
     __slots__ = ("buf", "pos", "kind", "strings")
 
     def __init__(self, data) -> None:
-        if not isinstance(data, (bytes, bytearray, memoryview)):
-            raise TraceDecodeError(
-                f"binary message must be bytes, got {type(data).__name__}"
-            )
-        self.buf = bytes(data)
-        if len(self.buf) < 6 or self.buf[:4] != BINARY_MAGIC:
+        # bytes and mmap objects are consumed in place (indexing yields
+        # ints, slices decode); anything else buffer-like is wrapped in
+        # a memoryview, so mmap-backed trace files never get copied into
+        # a second heap-resident byte string.
+        if isinstance(data, (bytes, mmap.mmap)):
+            self.buf = data
+        else:
+            try:
+                self.buf = memoryview(data)
+            except TypeError:
+                raise TraceDecodeError(
+                    f"binary message must be bytes, got {type(data).__name__}"
+                ) from None
+        if len(self.buf) < 6 or bytes(self.buf[:4]) != BINARY_MAGIC:
             raise TraceDecodeError("missing PMTB magic: not a binary message")
-        if self.buf[4] != BINARY_VERSION:
+        _magic, version, kind = _HEAD.unpack_from(self.buf, 0)
+        if version != BINARY_VERSION:
             raise TraceDecodeError(
-                f"unsupported binary format version {self.buf[4]}"
+                f"unsupported binary format version {version}"
             )
-        self.kind = self.buf[5]
+        self.kind = kind
         self.pos = 6
         count = self.uvarint("string count")
         if count > len(self.buf):
@@ -625,7 +665,7 @@ class _BinReader:
             raise TraceDecodeError(f"truncated {what}: wanted {n} bytes")
         raw = self.buf[self.pos:end]
         self.pos = end
-        return raw
+        return raw if isinstance(raw, bytes) else bytes(raw)
 
     def u8(self, what: str) -> int:
         if self.pos >= len(self.buf):
@@ -758,7 +798,9 @@ def _write_trace_wire(w: _BinWriter, wire: tuple) -> None:
         )
 
 
-def _read_event(r: _BinReader, implied_seq: int) -> Event:
+def _read_event(
+    r: _BinReader, implied_seq: int, site_cache: Optional[dict] = None
+) -> Event:
     op_value = r.u8("event op")
     flags = r.u8("event flags")
     if flags & ~_EV_KNOWN:
@@ -772,11 +814,28 @@ def _read_event(r: _BinReader, implied_seq: int) -> Event:
         size2 = r.svarint("event size2")
     site = None
     if flags & _EV_SITE:
-        site = SourceSite(
-            r.string("site file"),
-            r.svarint("site line"),
-            r.string("site function"),
-        )
+        # Sites are interned per (file ref, line, fn ref) triple: the
+        # string-table lookups (and SourceSite construction) run once
+        # per distinct call site, not once per event.
+        file_ref = r.uvarint("site file")
+        line = r.svarint("site line")
+        fn_ref = r.uvarint("site function")
+        key = (file_ref, line, fn_ref)
+        site = site_cache.get(key) if site_cache is not None else None
+        if site is None:
+            strings = r.strings
+            if file_ref >= len(strings):
+                raise TraceDecodeError(
+                    f"string ref {file_ref} out of table range for site file"
+                )
+            if fn_ref >= len(strings):
+                raise TraceDecodeError(
+                    f"string ref {fn_ref} out of table range for "
+                    "site function"
+                )
+            site = SourceSite(strings[file_ref], line, strings[fn_ref])
+            if site_cache is not None:
+                site_cache[key] = site
     seq = r.svarint("event seq") if flags & _EV_SEQ else implied_seq
     try:
         op = Op(op_value)
@@ -794,9 +853,10 @@ def _read_trace(r: _BinReader) -> Trace:
     n = r.count("event count")
     events: List[Event] = []
     bad: Optional[_UnknownOpError] = None
+    site_cache: dict = {}
     for index in range(n):
         try:
-            events.append(_read_event(r, index))
+            events.append(_read_event(r, index, site_cache))
         except _UnknownOpError as exc:
             if bad is None:
                 bad = exc
@@ -1353,17 +1413,25 @@ def load_traces_auto(source: Union[str, Path], columnar: bool = False):
     JSON-lines dumps decode eagerly to ``List[Trace]``; binary (PMTB)
     dumps return a re-iterable :class:`LazyBinaryTraces` view that
     decodes per trace during iteration, keeping peak memory at one
-    decoded trace instead of the whole list.  ``columnar=True`` makes
-    the lazy view yield :class:`ColumnarTrace` columns (binary dumps
-    only; JSON dumps always yield :class:`Trace`).
+    decoded trace instead of the whole list.  Binary files are mapped
+    read-only (``mmap``) rather than read into a heap byte string, so
+    the page cache backs the undecoded bytes and repeated passes touch
+    only the pages they decode; the map falls back to ``read_bytes``
+    on filesystems that cannot mmap.  ``columnar=True`` makes the lazy
+    view yield :class:`ColumnarTrace` columns (binary dumps only; JSON
+    dumps always yield :class:`Trace`).
     """
     path = Path(source)
     with open(path, "rb") as handle:
         magic = handle.read(4)
-    if magic == BINARY_MAGIC:
-        return LazyBinaryTraces(
-            path.read_bytes(), columnar=columnar, source=path
-        )
+        if magic == BINARY_MAGIC:
+            try:
+                data = mmap.mmap(
+                    handle.fileno(), 0, access=mmap.ACCESS_READ
+                )
+            except (ValueError, OSError):  # pragma: no cover - odd fs
+                data = path.read_bytes()
+            return LazyBinaryTraces(data, columnar=columnar, source=path)
     return load_traces(path)
 
 
@@ -1372,16 +1440,41 @@ def encode_task_message(batch: Iterable[Tuple[int, tuple]]) -> bytes:
     """Encode a task batch of ``(seq, tuple-wire trace)`` pairs.
 
     Each trace carries a leading *shard tag*: ``0`` for a plain trace,
-    ``check_from + 1`` for an epoch shard (4-tuple wire) — one varint
-    byte in the common case, and the tag travels outside the trace
-    record so the columnar decoder stays oblivious to it.
+    ``1`` for an arena shard descriptor (segment name + offsets, no
+    payload), ``check_from + 2`` for an inline epoch shard (4-tuple
+    wire) — one varint byte in the common case, and the tag travels
+    outside the trace record so the columnar decoder stays oblivious
+    to it.
     """
     batch = list(batch)
     w = _BinWriter()
     w.uvarint(len(batch))
     for seq, wire in batch:
         w.svarint(seq)
-        if isinstance(wire, (tuple, list)) and len(wire) == 4:
+        if _is_arena_descriptor(wire):
+            _tag, name, trace_id, end, check_from = wire
+            if not isinstance(name, str):
+                raise TraceDecodeError(
+                    f"arena descriptor name must be a str, got {name!r}"
+                )
+            if not isinstance(trace_id, int) or isinstance(trace_id, bool):
+                raise TraceDecodeError(
+                    f"arena descriptor trace id must be an int, "
+                    f"got {trace_id!r}"
+                )
+            for what, value in (("end", end), ("check_from", check_from)):
+                if (not isinstance(value, int) or isinstance(value, bool)
+                        or value < 0):
+                    raise TraceDecodeError(
+                        f"arena descriptor {what} must be a non-negative "
+                        f"int, got {value!r}"
+                    )
+            w.uvarint(1)
+            w.string(name)
+            w.svarint(trace_id)
+            w.uvarint(end)
+            w.uvarint(check_from)
+        elif isinstance(wire, (tuple, list)) and len(wire) == 4:
             check_from = wire[3]
             if (not isinstance(check_from, int)
                     or isinstance(check_from, bool) or check_from < 0):
@@ -1389,7 +1482,7 @@ def encode_task_message(batch: Iterable[Tuple[int, tuple]]) -> bytes:
                     f"shard check_from must be a non-negative int, "
                     f"got {check_from!r}"
                 )
-            w.uvarint(check_from + 1)
+            w.uvarint(check_from + 2)
             _write_trace_wire(w, tuple(wire[:3]))
         else:
             w.uvarint(0)
@@ -1655,7 +1748,9 @@ def decode_message(data, columnar: bool = False) -> tuple:
     :class:`ColumnarTrace` columns (no per-event objects) — the fast
     ingest path for the columnar engine.  Epoch shards (non-zero shard
     tag in a task batch) always decode columnar, since only the
-    columnar engine replays them.
+    columnar engine replays them; arena shard descriptors (tag ``1``)
+    skip decode entirely and resolve to zero-copy views over the named
+    shared-memory column arena.
 
     A poisoned trace inside a task batch (unknown opcode — the CORRUPT
     chaos fault) decodes to its per-seq :class:`TraceDecodeError` while
@@ -1673,11 +1768,27 @@ def decode_message(data, columnar: bool = False) -> tuple:
         for _ in range(r.count("task count")):
             seq = r.svarint("task seq")
             tag = r.uvarint("task shard tag")
+            if tag == 1:  # arena shard descriptor: resolve, zero decode
+                name = r.string("arena name")
+                trace_id = r.svarint("arena trace id")
+                end = r.uvarint("arena end")
+                check_from = r.uvarint("arena check_from")
+                try:
+                    pairs.append((seq, _resolve_arena_descriptor(
+                        (_ARENA_TAG, name, trace_id, end, check_from)
+                    )))
+                except ArenaError as exc:
+                    # Isolated per entry like a poisoned trace: the rest
+                    # of the batch survives one unresolvable descriptor.
+                    pairs.append((seq, TraceDecodeError(
+                        f"arena shard descriptor failed: {exc}"
+                    )))
+                continue
             try:
                 if tag or columnar:
                     pairs.append((seq, _read_trace_columnar(
                         r,
-                        check_from=tag - 1 if tag else 0,
+                        check_from=tag - 2 if tag else 0,
                         is_shard=bool(tag),
                     )))
                 else:
@@ -1778,8 +1889,12 @@ def corrupt_wire_framed(wire: tuple) -> tuple:
     the tuple well-formed but swaps the first event's opcode for a
     value no :class:`Op` member uses, so the trace encodes fine and
     fails with :class:`TraceDecodeError` at decode, exercising the
-    corruption-in-transit path end to end.
+    corruption-in-transit path end to end.  Arena shard descriptors
+    frame fine either way, so they get the same cannot-exist segment
+    name as :func:`corrupt_wire` and fail typed at resolve time.
     """
+    if _is_arena_descriptor(wire):
+        return (wire[0], "pmca-corrupted", wire[2], wire[3], wire[4])
     trace_id, thread_name, events = wire[0], wire[1], wire[2]
     if events:
         first = (_POISON_OP,) + tuple(events[0])[1:]

@@ -54,6 +54,12 @@ from repro.core.backends import (
     resolve_backend_name,
     _merge_ordered,
 )
+from repro.core.column_arena import (
+    ArenaOverflow,
+    ArenaShardRef,
+    ColumnArena,
+    build_arena,
+)
 from repro.core.columns import ColumnarTrace
 from repro.core.engine_columnar import merge_shard_results, resolve_engine_name
 from repro.core.events import Trace
@@ -62,6 +68,7 @@ from repro.core.metrics import MetricsRegistry, make_registry
 from repro.core.recovery import RecoveryEvent, render_events
 from repro.core.reports import TestResult
 from repro.core.rules import PersistencyRules
+from repro.core.shard_plan import ShardPlanner, resolve_plan_mode
 from repro.core.tracing import SpanContext, SpanHandle, Tracer
 from repro.core.verdict_cache import resolve_cache_size
 
@@ -164,6 +171,24 @@ class WorkerPool:
         stay byte-identical to unsharded replay.  Requires the
         columnar engine.  ``None`` consults ``PMTEST_SHARD_MIN_EVENTS``
         (unset: sharding off).
+    shard_plan:
+        How shard counts are decided (:mod:`repro.core.shard_plan`):
+        ``"off"`` (never shard), ``"fixed"`` (the historical
+        ``shard_min_events`` threshold, one shard per worker) or
+        ``"auto"`` (size shards from a measured per-event replay-cost
+        estimate, updated every drain).  ``None`` consults
+        ``PMTEST_SHARD_PLAN``, else derives ``fixed`` from a set
+        ``shard_min_events`` and ``off`` otherwise.  Any mode but
+        ``off`` requires the columnar engine.
+
+    For the process backend, shard dispatch is **zero-copy**: the
+    split trace's columns are laid out once in a shared-memory
+    :class:`~repro.core.column_arena.ColumnArena` and each shard
+    travels as an O(1) descriptor (arena name + epoch-range offsets)
+    that workers resolve into ``memoryview`` slices — the payload
+    bytes are never re-shipped per worker.  Arenas live until the
+    pool closes (requeues and degradation resubmissions resolve
+    against them) and are unlinked in :meth:`close`.
     """
 
     def __init__(
@@ -186,6 +211,7 @@ class WorkerPool:
         verdict_cache_size: Optional[int] = None,
         engine: Optional[str] = None,
         shard_min_events: Optional[int] = None,
+        shard_plan: Optional[str] = None,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0")
@@ -203,6 +229,26 @@ class WorkerPool:
                     "engine='columnar'"
                 )
         self._shard_min_events = shard_min_events
+        plan_mode = resolve_plan_mode(shard_plan, shard_min_events)
+        if plan_mode != "off" and self._engine_name != "columnar":
+            raise ValueError(
+                f"epoch sharding (shard_plan={plan_mode!r}) requires "
+                "engine='columnar'"
+            )
+        if plan_mode == "fixed" and shard_min_events is None:
+            raise ValueError(
+                "shard_plan='fixed' requires shard_min_events"
+            )
+        self._planner: Optional[ShardPlanner] = (
+            ShardPlanner(plan_mode, min_events=shard_min_events)
+            if plan_mode != "off" else None
+        )
+        #: shared-memory column arenas owned by this pool; shard
+        #: descriptors resolve against them until :meth:`close` unlinks
+        self._arenas: List[ColumnArena] = []
+        #: events submitted since the last drain, the denominator for
+        #: the auto planner's coarse wall-time feed
+        self._events_since_drain = 0
         #: ``(start global seq, shard count)`` per split trace, folded
         #: back into one result at drain time
         self._shard_spans: List[Tuple[int, int]] = []
@@ -361,6 +407,7 @@ class WorkerPool:
         if self._closed:
             raise RuntimeError("worker pool is closed")
         tracer = self._tracer
+        self._events_since_drain += len(trace)
         shards = self._maybe_split(trace)
         if shards is not None:
             start = self._global_seq
@@ -392,22 +439,48 @@ class WorkerPool:
         self._seq_map.append(self._global_seq)
         self._global_seq += 1
 
-    def _maybe_split(self, trace) -> Optional[List[ColumnarTrace]]:
-        """Epoch-split a large trace, or ``None`` for the plain path."""
-        threshold = self._shard_min_events
-        if threshold is None or len(trace) < threshold:
+    def _maybe_split(self, trace) -> Optional[List[Any]]:
+        """Epoch-split a large trace, or ``None`` for the plain path.
+
+        The shard planner decides the target shard count; for the
+        process backend the shards come back as zero-copy
+        :class:`~repro.core.column_arena.ArenaShardRef` descriptors
+        over a freshly built arena, otherwise as plain
+        :class:`~repro.core.columns.ColumnarTrace` slices (in-process
+        backends share memory for free, and shipping descriptors would
+        break their zero-wire-bytes invariant for nothing).
+        """
+        planner = self._planner
+        if planner is None:
             return None
-        workers = self._backend.num_workers
-        if workers < 2:
+        target = planner.plan(len(trace), self._backend.num_workers)
+        if target < 2:
             return None
         cols = (
             trace if isinstance(trace, ColumnarTrace)
             else ColumnarTrace.from_trace(trace)
         )
-        shards = cols.split(workers)
+        shards = cols.split(target)
         if len(shards) < 2:
             return None  # no usable epoch boundary: check whole
-        return shards
+        if self._backend.name != "process":
+            return shards
+        try:
+            arena = build_arena(cols)
+        except (ArenaOverflow, OSError):
+            # Column values beyond i64 or shm exhaustion: fall back to
+            # shipping the shard payloads themselves.
+            if self._metrics is not None:
+                self._metrics.counter("shard.arena_fallbacks").inc(1)
+            return shards
+        self._arenas.append(arena)
+        if self._metrics is not None:
+            self._metrics.counter("shard.arenas").inc(1)
+            self._metrics.counter("shard.arena_bytes").inc(arena.size)
+        return [
+            ArenaShardRef(arena, len(shard), shard.check_from)
+            for shard in shards
+        ]
 
     def drain(self) -> TestResult:
         """Block until all submitted traces are checked; return a snapshot.
@@ -421,8 +494,10 @@ class WorkerPool:
         """
         metrics = self._metrics
         tracer = self._tracer
+        planner = self._planner
+        adaptive = planner is not None and planner.mode == "auto"
         timed = metrics is not None and metrics.full
-        start = perf_counter_ns() if timed else 0
+        start = perf_counter_ns() if timed or adaptive else 0
         if tracer is not None:
             tracer.begin(
                 "drain", parent=self._span_ctx, dispatched=self._global_seq
@@ -432,10 +507,21 @@ class WorkerPool:
         finally:
             if tracer is not None:
                 tracer.end("drain")
+        elapsed = perf_counter_ns() - start if timed or adaptive else 0
+        if adaptive:
+            # Feed the planner: the precise per-event replay cost from
+            # worker stage counters when full metrics are on, else the
+            # coarse drain wall-time over events submitted since the
+            # last drain.
+            if timed:
+                planner.absorb(self.metrics_snapshot())
+            else:
+                planner.observe(self._events_since_drain, elapsed)
+        self._events_since_drain = 0
         if metrics is not None:
             counter = metrics.counter
             if timed:
-                counter("stage.drain.ns").inc(perf_counter_ns() - start)
+                counter("stage.drain.ns").inc(elapsed)
             counter("stage.drain.count").inc(1)
         result = _merge_ordered(self._fold_shards(self._carry + pairs))
         result.diagnostics.extend(self.diagnostics)
@@ -560,6 +646,12 @@ class WorkerPool:
             return result
         finally:
             self._backend.stop()
+            # Unlink the shard arenas only after the backend stopped:
+            # requeues and degradation resubmissions resolve
+            # descriptors against them right up to the final drain.
+            arenas, self._arenas = self._arenas, []
+            for arena in arenas:
+                arena.release()
             if self._pool_span is not None:
                 self._pool_span.finish(
                     dispatched=self._global_seq, backend=self._backend.name

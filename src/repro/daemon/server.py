@@ -128,7 +128,8 @@ class CheckingServer:
     ``rules_factory`` builds one fresh rules object per session (rules
     may carry per-run state, so sessions must not share one); all the
     checking knobs (``workers``/``backend``/``transport``/``engine``/
-    ``batch_size``/``verdict_cache``) mirror
+    ``shard_min_events``/``shard_plan``/``batch_size``/
+    ``verdict_cache``) mirror
     :class:`~repro.core.workers.WorkerPool` and are applied to every
     session pool identically — that is what makes daemon verdicts
     library-identical.
@@ -145,6 +146,8 @@ class CheckingServer:
         backend: Optional[str] = None,
         transport: Optional[str] = None,
         engine: Optional[str] = None,
+        shard_min_events: Optional[int] = None,
+        shard_plan: Optional[str] = None,
         batch_size: Optional[int] = None,
         verdict_cache: Optional[bool] = None,
         policy: Optional[AdmissionPolicy] = None,
@@ -173,6 +176,8 @@ class CheckingServer:
         self._backend = backend
         self._transport = transport
         self._engine = engine
+        self._shard_min_events = shard_min_events
+        self._shard_plan = shard_plan
         self._batch_size = batch_size
         self._verdict_cache = verdict_cache
         self._resilience = resilience
@@ -355,6 +360,8 @@ class CheckingServer:
             batch_size=self._batch_size,
             transport=self._transport,
             engine=self._engine,
+            shard_min_events=self._shard_min_events,
+            shard_plan=self._shard_plan,
             verdict_cache=self._verdict_cache,
             check_timeout=self._resilience.check_timeout,
             max_retries=self._resilience.max_retries,

@@ -1,0 +1,249 @@
+"""Lifecycle tests for the shared-memory column arena (DESIGN.md §13).
+
+The arena is the zero-copy shard plane's foundation, so its lifecycle
+invariants get pinned here directly, separate from the end-to-end
+sharding equivalence suite:
+
+* build → attach → trace views are byte-identical to the source columns;
+* descriptors resolve through the per-process attach cache;
+* release is idempotent, and only the building process unlinks;
+* the segment survives an attacher dying mid-hold (crash semantics) and
+  is verifiably gone — no leak — once the creator releases it.
+"""
+
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+from repro.core.column_arena import (
+    ArenaError,
+    ArenaOverflow,
+    ArenaShardRef,
+    ColumnArena,
+    attach,
+    build_arena,
+    ensure_tracker,
+    is_descriptor,
+    resolve_descriptor,
+)
+from repro.core.columns import ColumnarTrace
+from repro.core.events import Event, Op, SourceSite, Trace
+
+
+def small_trace(trace_id: int = 7, epochs: int = 12) -> Trace:
+    trace = Trace(trace_id)
+    for e in range(epochs):
+        base = 0x2000 + e * 0x40
+        site = SourceSite("arena.c", e, "fill")
+        trace.append(Event(Op.WRITE, base, 16, site=site, seq=3 * e))
+        trace.append(Event(Op.CLWB, base, 16, seq=3 * e + 1))
+        trace.append(Event(Op.SFENCE, seq=3 * e + 2))
+    return trace
+
+
+def columns_of(cols: ColumnarTrace) -> tuple:
+    return (
+        cols.trace_id,
+        cols.thread_name,
+        bytes(cols.ops),
+        bytes(cols.flags),
+        list(cols.addrs),
+        list(cols.sizes),
+        list(cols.addr2s),
+        list(cols.size2s),
+        list(cols.site_idx),
+        list(cols.site_table),
+        list(cols.seqs) if cols.seqs is not None else None,
+    )
+
+
+class TestBuildAndViews:
+    def test_arena_trace_is_byte_identical_to_source(self):
+        cols = ColumnarTrace.from_trace(small_trace())
+        arena = build_arena(cols)
+        try:
+            view = arena.trace()
+            assert columns_of(view) == columns_of(cols)
+            assert view.to_trace().events == small_trace().events
+            del view  # unpin before release so the mapping closes
+        finally:
+            arena.release()
+
+    def test_shard_view_offsets(self):
+        cols = ColumnarTrace.from_trace(small_trace())
+        arena = build_arena(cols)
+        try:
+            view = arena.trace(end=9, check_from=3, is_shard=True)
+            assert len(view) == 9
+            assert view.check_from == 3
+            assert view.is_shard
+            assert bytes(view.ops) == bytes(cols.ops[:9])
+            del view
+        finally:
+            arena.release()
+
+    def test_out_of_range_view_rejected(self):
+        arena = build_arena(ColumnarTrace.from_trace(small_trace()))
+        try:
+            with pytest.raises(ArenaError, match="outside"):
+                arena.trace(end=10_000)
+            with pytest.raises(ArenaError, match="outside"):
+                arena.trace(end=4, check_from=5)
+        finally:
+            arena.release()
+
+    def test_no_seqs_column(self):
+        cols = ColumnarTrace.from_trace(small_trace())
+        stripped = ColumnarTrace(
+            cols.trace_id, cols.thread_name, cols.ops, cols.flags,
+            cols.addrs, cols.sizes, cols.addr2s, cols.size2s,
+            cols.site_idx, cols.site_table, None,
+        )
+        arena = build_arena(stripped)
+        try:
+            assert arena.trace().seqs is None
+        finally:
+            arena.release()
+
+    def test_overflow_column_refused(self):
+        cols = ColumnarTrace.from_trace(small_trace())
+        addrs = list(cols.addrs)
+        addrs[0] = 1 << 80  # beyond i64: list-fallback column
+        bad = ColumnarTrace(
+            cols.trace_id, cols.thread_name, cols.ops, cols.flags,
+            addrs, cols.sizes, cols.addr2s, cols.size2s,
+            cols.site_idx, cols.site_table, cols.seqs,
+        )
+        with pytest.raises(ArenaOverflow, match="64-bit"):
+            ColumnArena(bad)
+
+
+class TestDescriptors:
+    def test_descriptor_roundtrip_via_attach_cache(self):
+        cols = ColumnarTrace.from_trace(small_trace())
+        arena = build_arena(cols)
+        try:
+            ref = ArenaShardRef(arena, len(cols), 6)
+            wire = ref.descriptor()
+            assert is_descriptor(wire)
+            view = resolve_descriptor(wire)
+            assert view.check_from == 6
+            assert columns_of(view)[2:] == columns_of(cols)[2:]
+            # creator-side resolution hits the registered arena, not a
+            # second mapping
+            assert attach(arena.name) is arena
+            del view
+        finally:
+            arena.release()
+
+    def test_descriptor_trace_id_mismatch(self):
+        arena = build_arena(ColumnarTrace.from_trace(small_trace()))
+        try:
+            wire = ("PMCA", arena.name, 999, len(arena), 0)
+            with pytest.raises(ArenaError, match="descriptor wants 999"):
+                resolve_descriptor(wire)
+        finally:
+            arena.release()
+
+    def test_gone_arena_is_typed_error(self):
+        with pytest.raises(ArenaError, match="is gone"):
+            attach("pmca-no-such-segment")
+
+    def test_malformed_descriptor(self):
+        assert not is_descriptor(("PMCA", "x"))
+        assert not is_descriptor(b"PMCA")
+        with pytest.raises(ArenaError, match="must be a string"):
+            resolve_descriptor(("PMCA", 5, 1, 1, 0))
+
+
+class TestLifecycle:
+    def test_release_is_idempotent_and_views_refused_after(self):
+        arena = build_arena(ColumnarTrace.from_trace(small_trace()))
+        arena.release()
+        arena.release()  # second call is a no-op
+        with pytest.raises(ArenaError, match="released"):
+            arena.trace()
+
+    def test_release_unlinks_no_leak(self):
+        """After the creator releases, the name is unlinked: a fresh
+        attach fails, proving nothing is left for the resource tracker
+        to reap."""
+        arena = build_arena(ColumnarTrace.from_trace(small_trace()))
+        name = arena.name
+        arena.release()
+        with pytest.raises(ArenaError, match="is gone"):
+            attach(name)
+
+    def test_release_safe_with_outstanding_views(self):
+        """Unlink-while-mapped is the normal shutdown order: readers
+        holding trace views keep the pages alive past release."""
+        arena = build_arena(ColumnarTrace.from_trace(small_trace()))
+        view = arena.trace()
+        arena.release()
+        # the view still reads the (anonymous, unlinked) pages
+        assert bytes(view.ops)
+        with pytest.raises(ArenaError, match="is gone"):
+            attach(arena.name)
+        # once the last view dies, a repeat close detaches cleanly
+        del view
+        arena.close()
+
+    def test_attach_survives_creator_exit_without_release(self):
+        """Crash semantics: a creator that exits without releasing (a
+        killed submitter) leaves the segment attachable; the last
+        holder unlinks it explicitly."""
+        ensure_tracker()
+        ctx = multiprocessing.get_context("fork")
+        recv, send = ctx.Pipe(duplex=False)
+        cols = ColumnarTrace.from_trace(small_trace())
+
+        def build_and_die(conn):
+            arena = ColumnArena(cols)
+            conn.send(arena.name)  # synchronous: lands before the kill
+            os.kill(os.getpid(), signal.SIGKILL)  # no release, no atexit
+
+        child = ctx.Process(target=build_and_die, args=(send,))
+        child.start()
+        assert recv.poll(10)
+        name = recv.recv()
+        child.join(timeout=10)
+        attached = attach(name)
+        try:
+            assert columns_of(attached.trace()) == columns_of(cols)
+        finally:
+            # attach-side release never unlinks (pid guard) …
+            attached.release()
+            # … so reap the orphan explicitly for test hygiene.
+            orphan = ColumnArena(name=name)
+            orphan._owner_pid = os.getpid()
+            orphan.release()
+        with pytest.raises(ArenaError, match="is gone"):
+            attach(name)
+
+    def test_attacher_death_leaves_segment_alive(self):
+        """A worker killed while holding an attachment must not take
+        the segment down with it — siblings still resolve descriptors
+        against it."""
+        ensure_tracker()
+        arena = build_arena(ColumnarTrace.from_trace(small_trace()))
+        ctx = multiprocessing.get_context("fork")
+
+        def attach_and_die(name):
+            attach(name)
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        try:
+            child = ctx.Process(target=attach_and_die, args=(arena.name,))
+            child.start()
+            child.join(timeout=10)
+            assert child.exitcode == -signal.SIGKILL
+            # a fresh process-independent attach still succeeds
+            fresh = ColumnArena(name=arena.name)
+            try:
+                assert fresh.n_events == arena.n_events
+            finally:
+                fresh.release()
+        finally:
+            arena.release()

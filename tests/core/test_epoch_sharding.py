@@ -13,7 +13,10 @@ betrays that sharding happened.
 """
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
+from repro.core.column_arena import ArenaOverflow
 from repro.core.columns import ColumnarTrace
 from repro.core.events import Event, Op, SourceSite, Trace
 from repro.core.faults import FaultKind, FaultPlan, FaultPoint, FaultRule
@@ -222,3 +225,227 @@ class TestShardGuards:
                 # every cut lands just after an epoch-closing fence
                 assert shard.ops[shard.check_from - 1] == Op.SFENCE.value
         assert total == len(cols)
+
+
+class TestArenaDispatch:
+    """The zero-copy plane: process-backend shards travel as O(1)
+    arena descriptors, everything else keeps the in-process zero-wire
+    path, and overflow falls back to payload shipping."""
+
+    def test_process_shards_dispatch_as_descriptors(self):
+        registry = MetricsRegistry(MetricsLevel.FULL)
+        trace = big_trace()
+        n_events = len(trace.events)
+        with WorkerPool(num_workers=2, backend="process", transport="shm",
+                        codec="binary", engine="columnar",
+                        shard_min_events=1, metrics=registry) as pool:
+            pool.submit(trace)
+            result = pool.drain()
+            assert encode_result(result) == reference_wire(big_trace())
+            snap = pool.metrics_snapshot()
+        assert snap.counter_value("shard.arenas") == 1
+        assert snap.counter_value("shard.arena_bytes") > 0
+        assert snap.counter_value("shard.arena_fallbacks", 0) == 0
+        # Dispatch is O(1) per shard: the task wire for both shard
+        # descriptors together is far smaller than the event payload
+        # (each descriptor is a name + three varints, not n_events of
+        # columns).
+        task_bytes = snap.counter_value("codec.task_bytes")
+        assert 0 < task_bytes < 120
+        assert task_bytes < n_events  # not even one byte per event
+
+    def test_thread_pool_never_builds_arenas(self):
+        registry = MetricsRegistry(MetricsLevel.FULL)
+        with WorkerPool(num_workers=2, backend="thread", engine="columnar",
+                        shard_min_events=1, metrics=registry) as pool:
+            pool.submit(big_trace())
+            pool.drain()
+            snap = pool.metrics_snapshot()
+        assert snap.counter_value("shard.arenas", 0) == 0
+        assert snap.counter_value("codec.task_bytes", 0) == 0
+
+    def test_overflow_falls_back_to_payload_dispatch(self, monkeypatch):
+        """When a trace cannot be laid out in an arena the shards ship
+        as ordinary payload — slower, never wrong."""
+        import repro.core.workers as workers_mod
+
+        def refuse(cols):
+            raise ArenaOverflow("injected")
+
+        monkeypatch.setattr(workers_mod, "build_arena", refuse)
+        registry = MetricsRegistry(MetricsLevel.BASIC)
+        trace = big_trace()
+        with WorkerPool(num_workers=2, backend="process", transport="shm",
+                        codec="binary", engine="columnar",
+                        shard_min_events=1, metrics=registry) as pool:
+            pool.submit(trace)
+            result = pool.drain()
+            assert result.metadata["epoch_shards"] == 2
+            assert encode_result(result) == reference_wire(big_trace())
+            snap = pool.metrics_snapshot()
+        assert snap.counter_value("shard.arena_fallbacks") == 1
+        assert snap.counter_value("shard.arenas", 0) == 0
+
+    def test_auto_plan_end_to_end(self):
+        """``shard_plan='auto'`` shards a large trace without any
+        fixed threshold configured, bit-identically."""
+        trace = big_trace(epochs=600)  # ~3.6k events, > 2 shard floors
+        with WorkerPool(num_workers=2, backend="thread", engine="columnar",
+                        shard_plan="auto") as pool:
+            pool.submit(trace)
+            result = pool.drain()
+        assert result.metadata["epoch_shards"] == 2
+        assert encode_result(result) == reference_wire(big_trace(epochs=600))
+
+    def test_auto_plan_leaves_small_traces_alone(self):
+        with WorkerPool(num_workers=4, backend="thread", engine="columnar",
+                        shard_plan="auto") as pool:
+            pool.submit(big_trace(epochs=10))
+            result = pool.drain()
+        assert "epoch_shards" not in result.metadata
+
+    def test_plan_env_var(self, monkeypatch):
+        from repro.core.shard_plan import PLAN_ENV_VAR
+
+        monkeypatch.setenv(PLAN_ENV_VAR, "auto")
+        trace = big_trace(epochs=600)
+        with WorkerPool(num_workers=2, backend="thread",
+                        engine="columnar") as pool:
+            pool.submit(trace)
+            result = pool.drain()
+        assert result.metadata["epoch_shards"] == 2
+
+    def test_plan_without_columnar_engine_rejected(self):
+        with pytest.raises(ValueError, match="requires engine='columnar'"):
+            WorkerPool(num_workers=2, backend="thread", engine="object",
+                       shard_plan="auto")
+
+
+# ----------------------------------------------------------------------
+# Property-based differential: the whole zero-copy plane vs. the
+# object engine
+# ----------------------------------------------------------------------
+
+@st.composite
+def _epoch_events(draw):
+    """Multi-epoch event lists that actually shard: several fenced
+    epochs over a colliding address window, with occasional missing
+    fences, checker scopes and transactions."""
+    epochs = draw(st.integers(min_value=2, max_value=7))
+    events = []
+    seq = 0
+
+    def emit(op, *args, site=None):
+        nonlocal seq
+        events.append(Event(op, *args, site=site, seq=seq))
+        seq += 1
+
+    for e in range(epochs):
+        in_tx = draw(st.booleans()) and e % 2 == 0
+        if in_tx:
+            emit(Op.TX_CHECK_START)
+            emit(Op.TX_BEGIN)
+        for _ in range(draw(st.integers(min_value=1, max_value=5))):
+            kind = draw(st.integers(min_value=0, max_value=5))
+            addr = 0x1000 + draw(st.integers(min_value=0, max_value=20)) * 8
+            size = draw(st.integers(min_value=1, max_value=32))
+            site = draw(st.sampled_from(
+                [None, SourceSite("prop.c", e, "emit")]
+            ))
+            if kind <= 2:
+                emit(Op.WRITE if kind < 2 else Op.WRITE_NT, addr, size,
+                     site=site)
+            elif kind == 3:
+                emit(Op.CLWB, addr, size, site=site)
+            elif kind == 4:
+                emit(Op.CHECK_PERSIST, addr, size, site=site)
+            else:
+                addr2 = 0x1000 + draw(
+                    st.integers(min_value=0, max_value=20)) * 8
+                emit(Op.CHECK_ORDER, addr, size, addr2, size, site=site)
+        if in_tx:
+            emit(Op.TX_END)
+            emit(Op.TX_CHECK_END)
+        if draw(st.integers(min_value=0, max_value=4)):  # 4/5 fenced
+            emit(Op.SFENCE)
+    emit(Op.SFENCE)
+    return events
+
+
+def _object_reference(events):
+    trace = Trace(21)
+    for event in events:
+        trace.append(event)
+    with WorkerPool(num_workers=0, engine="object") as pool:
+        pool.submit(trace)
+        result = pool.drain()
+    return (
+        encode_result(result),
+        result.traces_checked,
+        result.events_checked,
+        result.checkers_evaluated,
+    )
+
+
+#: backend, transport, codec, verdict_cache, chaos
+_MATRIX = [
+    pytest.param("thread", None, None, False, False, id="thread"),
+    pytest.param("process", "queue", "pickle", False, False,
+                 id="process-queue"),
+    pytest.param("process", "shm", "binary", False, False,
+                 id="process-shm"),
+    pytest.param("process", "shm", "binary", True, False,
+                 id="process-shm-cache"),
+    pytest.param("process", "queue", "pickle", False, True,
+                 id="process-chaos-kill"),
+]
+
+
+class TestZeroCopyDifferential:
+    @pytest.mark.parametrize(
+        "backend,transport,codec,cache,chaos", _MATRIX
+    )
+    def test_arena_shards_match_object_engine(
+        self, backend, transport, codec, cache, chaos
+    ):
+        """For random multi-epoch traces, arena-dispatched shard replay
+        through the vectorized kernels returns byte-identical verdicts
+        and counters to the inline object engine — on every backend,
+        transport and cache row, and with a worker killed mid-shard."""
+        kwargs = dict(num_workers=2, backend=backend, engine="columnar",
+                      shard_min_events=1, verdict_cache=cache)
+        if transport is not None:
+            kwargs.update(transport=transport, codec=codec)
+        if backend == "process":
+            kwargs.update(batch_size=1, check_timeout=30.0)
+        examples = 5 if backend == "process" else 40
+
+        @given(_epoch_events())
+        @settings(max_examples=examples, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+        def run(events):
+            # Fresh pool per example: drain() snapshots are cumulative
+            # over a pool's lifetime, and the chaos plan re-arms so
+            # every example kills a worker mid-shard.
+            if chaos:
+                kwargs["faults"] = FaultPlan(rules=[
+                    FaultRule(FaultPoint.WORKER_BATCH, FaultKind.CRASH,
+                              at=0)
+                ])
+            with WorkerPool(**kwargs) as pool:
+                trace = Trace(21)
+                for event in events:
+                    trace.append(event)
+                pool.submit(trace)
+                result = pool.drain()
+            outcome = (
+                encode_result(result),
+                result.traces_checked,
+                result.events_checked,
+                result.checkers_evaluated,
+            )
+            assert outcome == _object_reference(events)
+            if not chaos:
+                assert result.diagnostics == []
+
+        run()

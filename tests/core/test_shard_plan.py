@@ -1,0 +1,157 @@
+"""Deterministic tests for the adaptive shard planner.
+
+Every planner input here is an injected measurement — no timers — so
+the plans asserted are exact, not flaky.
+"""
+
+import pytest
+
+from repro.core.metrics import MetricsLevel, MetricsRegistry
+from repro.core.shard_plan import (
+    FLOOR_EVENTS,
+    PLAN_ENV_VAR,
+    SEED_NS_PER_EVENT,
+    TARGET_SHARD_NS,
+    ShardPlanner,
+    resolve_plan_mode,
+)
+
+
+class TestResolvePlanMode:
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(PLAN_ENV_VAR, "auto")
+        assert resolve_plan_mode("off", 100) == "off"
+
+    def test_env_wins_over_threshold_default(self, monkeypatch):
+        monkeypatch.setenv(PLAN_ENV_VAR, "auto")
+        assert resolve_plan_mode(None, 100) == "auto"
+        assert resolve_plan_mode(None, None) == "auto"
+
+    def test_threshold_implies_fixed(self, monkeypatch):
+        monkeypatch.delenv(PLAN_ENV_VAR, raising=False)
+        assert resolve_plan_mode(None, 100) == "fixed"
+
+    def test_nothing_means_off(self, monkeypatch):
+        monkeypatch.delenv(PLAN_ENV_VAR, raising=False)
+        assert resolve_plan_mode(None, None) == "off"
+
+    def test_empty_env_is_unset(self, monkeypatch):
+        monkeypatch.setenv(PLAN_ENV_VAR, "")
+        assert resolve_plan_mode(None, None) == "off"
+
+    def test_bogus_values_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown shard plan"):
+            resolve_plan_mode("fast", None)
+        monkeypatch.setenv(PLAN_ENV_VAR, "bogus")
+        with pytest.raises(ValueError, match="unknown shard plan"):
+            resolve_plan_mode(None, None)
+
+
+class TestModes:
+    def test_off_never_shards(self):
+        planner = ShardPlanner("off")
+        assert planner.plan(10**9, 64) == 0
+
+    def test_fixed_threshold(self):
+        planner = ShardPlanner("fixed", min_events=100)
+        assert planner.plan(99, 4) == 0
+        assert planner.plan(100, 4) == 4
+        assert planner.plan(100, 1) == 0  # one worker: nothing to split
+
+    def test_fixed_requires_min_events(self):
+        with pytest.raises(ValueError, match="min_events"):
+            ShardPlanner("fixed")
+        with pytest.raises(ValueError, match="min_events"):
+            ShardPlanner("fixed", min_events=0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown shard plan"):
+            ShardPlanner("always")
+
+
+class TestAutoPlan:
+    def test_seed_plans_conservatively(self):
+        planner = ShardPlanner("auto")
+        # 10k events * 350 ns = 3.5 ms of estimated work -> 7 target
+        # shards, capped by workers and the 512-event floor.
+        assert planner.plan(10_000, 4) == 4
+        assert planner.plan(10_000, 16) == 7
+        # barely over 2 target shards of work, floor allows 5: cost caps
+        assert planner.plan(3_000, 16) == 2
+        # 1500 events is ~1 target shard of work: stay unsharded
+        assert planner.plan(1_500, 16) == 0
+
+    def test_small_traces_never_shard(self):
+        planner = ShardPlanner("auto")
+        # under 2x floor there is no way to cut two full shards
+        assert planner.plan(2 * FLOOR_EVENTS - 1, 8) == 0
+        assert planner.plan(0, 8) == 0
+
+    def test_cheap_replay_disables_sharding(self):
+        planner = ShardPlanner("auto")
+        for _ in range(40):
+            planner.observe(10_000, 10_000 * 20)  # 20 ns/event measured
+        assert planner.ns_per_event == pytest.approx(20, rel=0.05)
+        # 10k events * 20 ns = 0.2 ms: less than one target shard
+        assert planner.plan(10_000, 8) == 0
+        # but a 100k-event trace is 2 ms of work -> 4 shards
+        assert planner.plan(100_000, 8) == 4
+
+    def test_expensive_replay_shards_harder(self):
+        planner = ShardPlanner("auto")
+        for _ in range(40):
+            planner.observe(1_000, 1_000 * 2_000)  # 2 us/event
+        assert planner.plan(2_000, 16) == 3  # floor binds: 2000 // 512
+        assert planner.plan(5_000, 16) == 9  # min(16, cost 20, floor 9)
+
+    def test_never_returns_one(self):
+        planner = ShardPlanner("auto", target_shard_ns=1)
+        for workers in range(0, 6):
+            shards = planner.plan(FLOOR_EVENTS, workers)
+            assert shards == 0 or shards >= 2
+
+    def test_observe_ignores_empty_measurements(self):
+        planner = ShardPlanner("auto")
+        planner.observe(0, 1000)
+        planner.observe(1000, 0)
+        assert planner.observations == 0
+        assert planner.ns_per_event == SEED_NS_PER_EVENT
+
+
+class TestAbsorb:
+    def registry(self, events: int, ns: int) -> MetricsRegistry:
+        reg = MetricsRegistry(MetricsLevel.FULL)
+        reg.counter("engine.events").inc(events)
+        reg.counter("stage.shadow_update.ns").inc(ns // 2)
+        reg.counter("stage.checker_validate.ns").inc(ns - ns // 2)
+        return reg
+
+    def test_absorb_uses_replay_stage_counters(self):
+        planner = ShardPlanner("auto")
+        planner.absorb(self.registry(1_000, 100_000))  # 100 ns/event
+        assert planner.observations == 1
+        expected = SEED_NS_PER_EVENT + 0.3 * (100 - SEED_NS_PER_EVENT)
+        assert planner.ns_per_event == pytest.approx(expected)
+
+    def test_absorb_folds_only_the_delta(self):
+        planner = ShardPlanner("auto")
+        reg = self.registry(1_000, 100_000)
+        planner.absorb(reg)
+        baseline = planner.ns_per_event
+        planner.absorb(reg)  # identical snapshot: no delta, no update
+        assert planner.ns_per_event == baseline
+        assert planner.observations == 1
+        # growth since the watermark folds at the *delta* rate
+        reg.counter("engine.events").inc(1_000)
+        reg.counter("stage.shadow_update.ns").inc(500_000)  # 500 ns/ev
+        planner.absorb(reg)
+        assert planner.observations == 2
+        assert planner.ns_per_event == pytest.approx(
+            baseline + 0.3 * (500 - baseline)
+        )
+
+    def test_absorb_without_counters_is_noop(self):
+        planner = ShardPlanner("auto")
+        planner.absorb(MetricsRegistry(MetricsLevel.FULL))
+        planner.absorb(None)
+        assert planner.observations == 0

@@ -80,6 +80,42 @@ class TestWraparound:
         finally:
             ring.release()
 
+    def test_max_size_record_fills_ring_exactly(self):
+        """The largest admissible record (capacity − 4-byte frame)
+        occupies every data byte; one more byte is refused up front."""
+        ring = ShmRing(256)
+        try:
+            payload = bytes(i % 251 for i in range(ring.capacity - 4))
+            assert ring.try_push(payload)
+            assert ring.used_bytes() == ring.capacity
+            assert ring.free_bytes() == 0
+            assert not ring.try_push(b"")  # even an empty frame is 4 bytes
+            assert ring.try_pop() == payload
+            assert ring.used_bytes() == 0
+            with pytest.raises(ValueError, match="cannot fit"):
+                ring.try_push(payload + b"!")
+        finally:
+            ring.release()
+
+    def test_max_size_record_straddles_every_wrap_offset(self):
+        """A full-capacity record pushed after the head has advanced by
+        1..capacity−1 bytes forces both the frame and the payload to
+        split across the wrap point at every possible offset."""
+        ring = ShmRing(128)
+        maxrec = ring.capacity - 4
+        try:
+            for shift in range(1, ring.capacity):
+                pad = b"p" * ((shift - 4) % ring.capacity)
+                if len(pad) + 4 <= ring.capacity:
+                    assert ring.try_push(pad)
+                    assert ring.try_pop() == pad
+                payload = bytes((shift + k) % 251 for k in range(maxrec))
+                assert ring.try_push(payload)
+                assert ring.free_bytes() == 0
+                assert ring.try_pop() == payload
+        finally:
+            ring.release()
+
 
 class TestBackpressure:
     def test_try_push_full_returns_false(self):
