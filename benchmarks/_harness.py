@@ -31,8 +31,9 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.baselines.pmemcheck import PmemcheckTool
 from repro.core.api import PMTestSession
+from repro.core.columns import ColumnarTrace
 from repro.core.engine import CheckingEngine
-from repro.core.engine_columnar import make_engine
+from repro.core.engine_columnar import ColumnarCheckingEngine, make_engine
 from repro.core.events import Event, Op, SourceSite, Trace
 from repro.core.rules import X86Rules
 from repro.core.traceio import (
@@ -98,6 +99,10 @@ DECODE_REPLAY: Dict[str, dict] = {}
 #: interleaved min-of-rounds engine comparison on the fig10a-shaped
 #: micro workload: engine name -> best decode+check seconds
 ENGINE_BEST: Dict[str, float] = {}
+
+#: interleaved min-of-rounds shadow-plane comparison on the
+#: interval-heavy micro workload: shadow name -> best check seconds
+SHADOW_BEST: Dict[str, float] = {}
 
 #: daemon load-generator measurement (fig12i): sustained traces/sec,
 #: per-frame latency quantiles, and shed counts under 2x overload
@@ -502,6 +507,98 @@ def measure_engine_speedup(
         run_columnar()
         best["columnar"] = min(best["columnar"], perf_counter() - start)
     ENGINE_BEST.update(best)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Shadow-plane ablation: array interval store vs object interval map
+# ----------------------------------------------------------------------
+_EPOCH_SITE = SourceSite("heap.c", 17, "bulk_store")
+
+
+def make_interval_heavy_cols(
+    n_traces: int = 6,
+    epochs: int = 16,
+    writes: int = 128,
+    checks: int = 32,
+    bases: int = 16,
+) -> List[ColumnarTrace]:
+    """Pre-decoded columnar traces with epochs the array shadow targets.
+
+    Each epoch is a long same-site write run (``writes`` stores at 8-byte
+    stride), one wide CLWB spanning every segment the run created, an
+    SFENCE, then ``checks`` strided isPersist checkers over the epoch —
+    the shape where batched ``assign_codes_many``, the code-level flush
+    remap and the vectorized persist pre-test all fire on every epoch.
+    Bases rotate so earlier epochs stay live in the shadow and interval
+    queries scan real segment populations.
+    """
+    out = []
+    for t in range(n_traces):
+        trace = Trace(t)
+        seq = 0
+        for e in range(epochs):
+            base = 0x10000 + ((t + e) % bases) * 0x8000
+            for k in range(writes):
+                trace.append(
+                    Event(Op.WRITE, base + k * 8, 8, site=_EPOCH_SITE,
+                          seq=seq))
+                seq += 1
+            trace.append(Event(Op.CLWB, base, writes * 8, seq=seq))
+            seq += 1
+            trace.append(Event(Op.SFENCE, seq=seq))
+            seq += 1
+            span = writes * 8 // checks
+            for k in range(checks):
+                trace.append(
+                    Event(Op.CHECK_PERSIST, base + k * span, span, seq=seq))
+                seq += 1
+        out.append(ColumnarTrace.from_trace(trace))
+    return out
+
+
+def prepare_shadow_validate(shadow: str, n_traces: int = 6) -> Execute:
+    """Timed body: replay the interval-heavy corpus on one columnar
+    engine, varying only ``--shadow``.  The columns are pre-decoded and
+    epoch coalescing is off so the timed region is exactly the
+    shadow-update + checker-validate plane the knob changes — decode and
+    coalescing are shadow-independent fixed costs."""
+    n_traces = env_int("PMTEST_BENCH_TRACES", n_traces)
+    cols = make_interval_heavy_cols(n_traces=n_traces)
+
+    def execute() -> None:
+        engine = ColumnarCheckingEngine(
+            X86Rules(), coalesce=False, shadow=shadow
+        )
+        check = engine.check_trace
+        for trace in cols:
+            check(trace)
+
+    return execute
+
+
+def measure_shadow_speedup(rounds: int = 6) -> Dict[str, float]:
+    """Interleaved min-of-rounds comparison of the two shadow planes.
+
+    Both shadows replay the identical pre-decoded interval-heavy corpus
+    (fixed size, independent of the smoke-scaling env knobs); the best
+    round per shadow lands in :data:`SHADOW_BEST`.  Interleaving plus
+    min-of-rounds makes the ratio robust to CI-host noise."""
+    from time import perf_counter
+
+    cols = make_interval_heavy_cols()
+    best = {"object": float("inf"), "array": float("inf")}
+    for _ in range(rounds):
+        for shadow in best:
+            engine = ColumnarCheckingEngine(
+                X86Rules(), coalesce=False, shadow=shadow
+            )
+            check = engine.check_trace
+            start = perf_counter()
+            for trace in cols:
+                check(trace)
+            best[shadow] = min(best[shadow], perf_counter() - start)
+    SHADOW_BEST.update(best)
     return best
 
 

@@ -34,6 +34,8 @@ RESULTS_DIR = Path(__file__).parent / "results"
 TRACKED_RATIOS = [
     "engine_replay_speedup_columnar_vs_object",
     "engine_best_speedup_columnar_vs_object",
+    "shadow_validate_speedup_array_vs_object",
+    "shadow_best_speedup_array_vs_object",
     "sharded_checking_scaling_vs_1_worker.process/4-workers",
     "transport_drain_speedup_vs_queue_pickle.shm+binary",
     "wire_bytes_ratio_pickle_over_binary",

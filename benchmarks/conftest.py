@@ -24,6 +24,7 @@ from _harness import (  # noqa: E402
     ENGINE_BEST,
     METRICS,
     RESULTS,
+    SHADOW_BEST,
     VERDICT_CACHE,
     WIRE_BYTES,
     ZEROCOPY,
@@ -244,6 +245,20 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
                 f"speedup {naive / interval:5.1f}x"
             )
 
+    if "fig12k" in figures or SHADOW_BEST:
+        tr.section("Fig 12k: shadow-plane ablation (object vs array)")
+        for shadow in sorted(
+            {cfg[0] for fig, cfg in RESULTS if fig == "fig12k"}
+        ):
+            seconds = RESULTS.get(("fig12k", (shadow,)))
+            tr.write_line(f"{shadow:>7s} validate: {seconds * 1000:9.2f} ms")
+        if SHADOW_BEST.get("array"):
+            speedup = SHADOW_BEST["object"] / SHADOW_BEST["array"]
+            tr.write_line(
+                f"array best-of-rounds speedup {speedup:5.2f}x "
+                "(interval-heavy micro workload)"
+            )
+
     if "fig12i" in figures or DAEMON_LOAD:
         tr.section("Fig 12i: checking-as-a-service daemon load")
         for cfg in ("library", "daemon-uds", "daemon-overload"):
@@ -333,6 +348,17 @@ def _dump_json(tr) -> None:
         payload["engine_best_of_rounds"] = dict(sorted(ENGINE_BEST.items()))
         payload["engine_best_speedup_columnar_vs_object"] = (
             ENGINE_BEST["object"] / ENGINE_BEST["columnar"]
+        )
+    shadow_obj = RESULTS.get(("fig12k", ("object",)))
+    shadow_arr = RESULTS.get(("fig12k", ("array",)))
+    if shadow_obj and shadow_arr:
+        payload["shadow_validate_speedup_array_vs_object"] = (
+            shadow_obj / shadow_arr
+        )
+    if SHADOW_BEST.get("array"):
+        payload["shadow_best_of_rounds"] = dict(sorted(SHADOW_BEST.items()))
+        payload["shadow_best_speedup_array_vs_object"] = (
+            SHADOW_BEST["object"] / SHADOW_BEST["array"]
         )
     if DECODE_REPLAY:
         payload["decode_replay_split"] = {

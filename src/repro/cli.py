@@ -75,6 +75,7 @@ from repro.core.rules.eadr import EADRRules
 from repro.core.rules.naive import NaiveX86Rules
 from repro.core.backends import TRANSPORT_NAMES
 from repro.core.engine_columnar import ENGINE_NAMES
+from repro.core.interval_array import SHADOW_NAMES
 from repro.core.shard_plan import PLAN_MODES
 from repro.core.traceio import TraceFormatError, load_traces_auto
 from repro.core.tracing import Tracer
@@ -147,6 +148,17 @@ def build_parser() -> argparse.ArgumentParser:
             "replay engine: object (per-event dispatch) or columnar "
             "(struct-of-arrays batch replay; faster on large traces, "
             "identical verdicts); default: PMTEST_ENGINE or object"
+        ),
+    )
+    check.add_argument(
+        "--shadow",
+        choices=SHADOW_NAMES,
+        default=None,
+        help=(
+            "shadow-memory interval store: object (IntervalMap) or "
+            "array (struct-of-arrays with batched epoch updates; "
+            "faster on interval-heavy traces, identical verdicts); "
+            "default: PMTEST_SHADOW or object"
         ),
     )
     check.add_argument(
@@ -366,6 +378,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--engine", choices=ENGINE_NAMES, default=None,
         help="replay engine (object or columnar)",
+    )
+    serve.add_argument(
+        "--shadow", choices=SHADOW_NAMES, default=None,
+        help="shadow interval store (object or array)",
     )
     serve.add_argument(
         "--shard-min-events", type=int, default=None, metavar="N",
@@ -663,6 +679,7 @@ def _check(args: argparse.Namespace, traces) -> int:
             verdict_cache=args.verdict_cache,
             verdict_cache_size=args.verdict_cache_size,
             engine=args.engine,
+            shadow=args.shadow,
             shard_min_events=args.shard_min_events,
             shard_plan=args.shard_plan,
         ) as pool:
@@ -779,6 +796,7 @@ def _serve(args: argparse.Namespace) -> int:
             backend=args.backend,
             transport=args.transport,
             engine=args.engine,
+            shadow=args.shadow,
             shard_min_events=args.shard_min_events,
             shard_plan=args.shard_plan,
             batch_size=args.batch_size,

@@ -131,6 +131,13 @@ class PMTestSession:
         :mod:`repro.core.engine_columnar`).  Verdict-neutral — both
         engines produce identical results; columnar is faster on large
         traces.  ``None`` consults ``PMTEST_ENGINE``.
+    shadow:
+        Shadow-memory interval store: ``"object"`` (the default
+        :class:`~repro.core.interval_map.IntervalMap`) or ``"array"``
+        (struct-of-arrays :class:`~repro.core.interval_array
+        .ArrayIntervalMap` with batched epoch updates).
+        Verdict-neutral, like ``engine``.  ``None`` consults
+        ``PMTEST_SHADOW``.
     shard_min_events:
         Epoch-shard threshold in events (columnar engine only): traces
         at least this large are split at fence boundaries across the
@@ -163,6 +170,7 @@ class PMTestSession:
         verdict_cache: Optional[bool] = None,
         verdict_cache_size: Optional[int] = None,
         engine: Optional[str] = None,
+        shadow: Optional[str] = None,
         shard_min_events: Optional[int] = None,
         shard_plan: Optional[str] = None,
     ) -> None:
@@ -182,6 +190,7 @@ class PMTestSession:
             verdict_cache=verdict_cache,
             verdict_cache_size=verdict_cache_size,
             engine=engine,
+            shadow=shadow,
             shard_min_events=shard_min_events,
             shard_plan=shard_plan,
         )

@@ -91,6 +91,7 @@ from typing import Any, Dict, List, Optional, Protocol, Set, Tuple, runtime_chec
 
 from repro.core.engine import CheckingEngine
 from repro.core.engine_columnar import make_engine, resolve_engine_name
+from repro.core.interval_array import resolve_shadow_name
 from repro.core.events import Trace
 from repro.core.faults import (
     DEFAULT_RESILIENCE,
@@ -289,6 +290,7 @@ def make_backend(
     codec: Optional[str] = None,
     cache_size: Optional[int] = None,
     engine: Optional[str] = None,
+    shadow: Optional[str] = None,
     tracer: Optional[Tracer] = None,
     span_context: Optional[SpanContext] = None,
 ) -> "CheckingBackend":
@@ -319,6 +321,12 @@ def make_backend(
     workers of one backend run the same engine even if the environment
     changes later.
 
+    ``shadow`` selects the shadow-memory interval store every worker's
+    engine builds — ``"object"`` (the default ``IntervalMap``) or
+    ``"array"`` (struct-of-arrays ``ArrayIntervalMap``); ``None``
+    resolves the ``PMTEST_SHADOW`` environment knob.  Verdict-neutral,
+    like ``engine``.
+
     ``tracer``/``span_context`` opt the backend's workers into span
     recording: worker batch spans parent under ``span_context`` and
     land in ``tracer`` (the process backend ships its workers' events
@@ -327,11 +335,13 @@ def make_backend(
     """
     name = resolve_backend_name(name, num_workers)
     engine = resolve_engine_name(engine)
+    shadow = resolve_shadow_name(shadow)
     if cache_size is None:
         cache_size = resolve_cache_size()
     if name == "inline":
         return InlineBackend(
-            rules, metrics=metrics, cache_size=cache_size, engine=engine
+            rules, metrics=metrics, cache_size=cache_size, engine=engine,
+            shadow=shadow,
         )
     if faults is not None:
         rule = faults.fire(FaultPoint.SPAWN)
@@ -347,6 +357,7 @@ def make_backend(
             metrics=metrics,
             cache_size=cache_size,
             engine=engine,
+            shadow=shadow,
             tracer=tracer,
             span_context=span_context,
         )
@@ -362,6 +373,7 @@ def make_backend(
             codec=codec,
             cache_size=cache_size,
             engine=engine,
+            shadow=shadow,
             tracer=tracer,
             span_context=span_context,
         )
@@ -394,6 +406,7 @@ def make_backend_with_fallback(
     codec: Optional[str] = None,
     cache_size: Optional[int] = None,
     engine: Optional[str] = None,
+    shadow: Optional[str] = None,
     tracer: Optional[Tracer] = None,
     span_context: Optional[SpanContext] = None,
 ) -> Tuple["CheckingBackend", List[RecoveryEvent]]:
@@ -422,6 +435,7 @@ def make_backend_with_fallback(
                 codec=codec,
                 cache_size=cache_size,
                 engine=engine,
+                shadow=shadow,
                 tracer=tracer,
                 span_context=span_context,
             )
@@ -463,11 +477,14 @@ class InlineBackend:
         metrics: Optional[MetricsRegistry] = None,
         cache_size: int = 0,
         engine: Optional[str] = None,
+        shadow: Optional[str] = None,
     ) -> None:
         cache = VerdictCache(cache_size) if cache_size > 0 else None
         self.engine_name = resolve_engine_name(engine)
+        self.shadow_name = resolve_shadow_name(shadow)
         self._engine = make_engine(
-            self.engine_name, rules, metrics, cache=cache
+            self.engine_name, rules, metrics, cache=cache,
+            shadow=self.shadow_name,
         )
         self._metrics = metrics
         self._lock = threading.Lock()
@@ -563,6 +580,7 @@ class ThreadBackend:
         metrics: Optional[MetricsRegistry] = None,
         cache_size: int = 0,
         engine: Optional[str] = None,
+        shadow: Optional[str] = None,
         tracer: Optional[Tracer] = None,
         span_context: Optional[SpanContext] = None,
     ) -> None:
@@ -575,6 +593,7 @@ class ThreadBackend:
         self._tracer = tracer
         self._span_ctx = span_context
         self.engine_name = resolve_engine_name(engine)
+        self.shadow_name = resolve_shadow_name(shadow)
         #: per-worker verdict-cache capacity (0: no cache); each worker
         #: builds its own cache so no synchronisation is needed
         self._cache_size = cache_size
@@ -872,7 +891,8 @@ class ThreadBackend:
             VerdictCache(self._cache_size) if self._cache_size > 0 else None
         )
         engine = make_engine(
-            self.engine_name, self._rules, registry, cache=cache
+            self.engine_name, self._rules, registry, cache=cache,
+            shadow=self.shadow_name,
         )
         results = self._worker_results[index]
         errors = self._worker_errors[index]
@@ -949,6 +969,7 @@ def _process_worker_loop(
     transport: str = "queue", codec: str = "pickle", cache_size: int = 0,
     engine_name: str = "object",
     trace_ctx: Optional[Tuple[int, int]] = None,
+    shadow_name: str = "object",
 ) -> None:
     """Worker-process main: ack, decode, check, encode, repeat.
 
@@ -983,7 +1004,9 @@ def _process_worker_loop(
             root=SpanContext(trace_ctx[0], trace_ctx[1]),
         )
     cache = VerdictCache(cache_size) if cache_size > 0 else None
-    engine = make_engine(engine_name, rules, registry, cache=cache)
+    engine = make_engine(
+        engine_name, rules, registry, cache=cache, shadow=shadow_name
+    )
     binary = codec == "binary"
     # The columnar engine decodes binary batches straight into columns
     # (zero per-event objects); epoch shards in a task batch decode
@@ -1152,6 +1175,7 @@ class ProcessBackend:
         ring_bytes: int = DEFAULT_RING_BYTES,
         cache_size: int = 0,
         engine: Optional[str] = None,
+        shadow: Optional[str] = None,
         tracer: Optional[Tracer] = None,
         span_context: Optional[SpanContext] = None,
     ) -> None:
@@ -1170,6 +1194,7 @@ class ProcessBackend:
             if tracer is not None and parent is not None else None
         )
         self.engine_name = resolve_engine_name(engine)
+        self.shadow_name = resolve_shadow_name(shadow)
         self._batch = AdaptiveBatch(batch_size)
         self._transport = resolve_transport_name(transport)
         if codec is None:
@@ -1259,7 +1284,8 @@ class ProcessBackend:
                   self._task_ring if shm else self._task_q,
                   self._result_ring if shm else self._result_q,
                   self._rules, faults, level, self._transport, self._codec,
-                  self._cache_size, self.engine_name, self._trace_ctx),
+                  self._cache_size, self.engine_name, self._trace_ctx,
+                  self.shadow_name),
             name=f"pmtest-checker-{index}",
             daemon=True,
         )

@@ -88,10 +88,11 @@ _EV_RANGE2 = 0x02
 _EV_SITE = 0x04
 _EV_SEQ = 0x08
 
-try:  # vectorized kernels use numpy when present; never required
-    import numpy as _np
-except ImportError:  # pragma: no cover - numpy is usually present
-    _np = None
+# vectorized kernels use numpy when present; never required.  Routed
+# through npcompat so PMTEST_NO_NUMPY=1 forces the scalar fallbacks.
+from repro.core.npcompat import load_numpy
+
+_np = load_numpy()
 
 #: 256-entry ``bytes.translate`` table marking the opcodes that can
 #: change the :meth:`ColumnarTrace.shard_cuts` state machine: fences
@@ -449,9 +450,8 @@ class ColumnarTrace:
     # ------------------------------------------------------------------
     def as_numpy(self) -> Optional[dict]:
         """The integer columns as numpy arrays, or ``None`` without numpy."""
-        try:
-            import numpy
-        except ImportError:  # pragma: no cover - numpy is usually present
+        numpy = load_numpy()
+        if numpy is None:
             return None
         return {
             "ops": numpy.frombuffer(bytes(self.ops), dtype=numpy.uint8),

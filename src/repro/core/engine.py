@@ -28,7 +28,9 @@ from repro.core.events import (
     SourceSite,
     Trace,
 )
+from repro.core.interval_array import resolve_shadow_name
 from repro.core.interval_map import IntervalMap, QueryStats
+from repro.core.shadow import make_shadow_for
 from repro.core.logtree import LogTree
 from repro.core.metrics import MetricsRegistry
 from repro.core.reports import Level, Report, ReportCode, TestResult
@@ -165,11 +167,15 @@ class CheckingEngine:
         metrics: Optional[MetricsRegistry] = None,
         cache: Optional[VerdictCache] = None,
         coalesce: bool = True,
+        shadow: Optional[str] = None,
     ) -> None:
         self.rules = rules if rules is not None else X86Rules()
         self.metrics = metrics
         self.cache = cache
         self.coalesce = coalesce
+        #: interval-store knob (``object`` / ``array``, see
+        #: :mod:`repro.core.interval_array`); resolved once per engine
+        self.shadow_name = resolve_shadow_name(shadow)
         #: dead writes dropped by coalescing (kept as a plain int so the
         #: ablation benchmarks can read it with metrics off)
         self.writes_merged = 0
@@ -193,6 +199,7 @@ class CheckingEngine:
             return _TraceChecker(
                 self.rules, trace, metrics,
                 events=events, events_checked=original_len,
+                shadow=self.shadow_name,
             ).run()
         # The fingerprint is taken over the events actually replayed, so
         # traces differing only in eliminated dead writes share entries.
@@ -218,6 +225,7 @@ class CheckingEngine:
         checker = _TraceChecker(
             self.rules, trace, metrics,
             events=events, events_checked=original_len,
+            shadow=self.shadow_name,
         )
         result = checker.run()
         qstats = checker.qstats
@@ -301,11 +309,12 @@ class _TraceChecker:
         metrics: Optional[MetricsRegistry] = None,
         events: Optional[List[Event]] = None,
         events_checked: Optional[int] = None,
+        shadow: str = "object",
     ) -> None:
         self.rules = rules
         self.trace = trace
         self.trace_id = trace.trace_id
-        self.shadow = rules.make_shadow()
+        self.shadow = make_shadow_for(rules, shadow)
         self.metrics = metrics
         #: the event list to replay — possibly the coalesced one; event
         #: accounting always reports the original trace length so
@@ -316,8 +325,13 @@ class _TraceChecker:
             else len(trace.events)
         )
         #: interval-map accounting of the run (full metrics only) — read
-        #: by the engine when building a verdict-cache template
-        self.qstats: Optional[QueryStats] = None
+        #: by the engine when building a verdict-cache template.  Built
+        #: here, once, so every checker (including every epoch shard)
+        #: owns its accumulator outright: cached templates copy the
+        #: final integers out and nothing is shared across checkers.
+        self.qstats: Optional[QueryStats] = (
+            QueryStats() if metrics is not None and metrics.full else None
+        )
         self.result = TestResult(traces_checked=1)
         # Transaction machinery (Section 5.1)
         self.tx_depth = 0
@@ -340,9 +354,8 @@ class _TraceChecker:
             self._run_plain(events)
             self._finish()
         elif metrics.full:
-            qstats = QueryStats()
+            qstats = self.qstats
             self.shadow.pm.stats = qstats
-            self.qstats = qstats
             shadow_ns, shadow_n, checker_ns, checker_n = self._run_timed(
                 events, metrics
             )

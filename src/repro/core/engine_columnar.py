@@ -72,12 +72,14 @@ from repro.core.engine import (
     _with_trace_id,
 )
 from repro.core.events import Event, Op, SourceSite, Trace
+from repro.core.interval_array import ArrayIntervalMap, resolve_shadow_name
 from repro.core.interval_map import IntervalMap, QueryStats
 from repro.core.logtree import LogTree
 from repro.core.metrics import MetricsRegistry
+from repro.core.npcompat import load_numpy
 from repro.core.reports import TestResult
 from repro.core.rules import PersistencyRules, X86Rules
-from repro.core.shadow import SegmentState
+from repro.core.shadow import SegmentState, make_shadow_for
 from repro.core.verdict_cache import VerdictCache, build_template, rehydrate
 
 __all__ = [
@@ -92,10 +94,9 @@ ENGINE_NAMES = ("object", "columnar")
 
 ENGINE_ENV_VAR = "PMTEST_ENGINE"
 
-try:  # epoch kernels use numpy when present; never required
-    import numpy as _np
-except ImportError:  # pragma: no cover - numpy is usually present
-    _np = None
+# epoch kernels use numpy when present (and not disabled via
+# PMTEST_NO_NUMPY); never required
+_np = load_numpy()
 
 #: ``bytes.translate`` table mapping write opcodes to ``\x00`` and
 #: everything else to ``\x01``: one translate turns "find the end of
@@ -151,12 +152,19 @@ def make_engine(
     metrics: Optional[MetricsRegistry] = None,
     cache: Optional[VerdictCache] = None,
     coalesce: bool = True,
+    shadow: Optional[str] = None,
 ):
-    """Build the selected checking engine (``object`` or ``columnar``)."""
+    """Build the selected checking engine (``object`` or ``columnar``).
+
+    ``shadow`` picks the interval store behind the shadow memory
+    (``object`` / ``array``, defaulting through ``PMTEST_SHADOW``); it
+    composes freely with either engine.
+    """
     if resolve_engine_name(name) == "columnar":
         return ColumnarCheckingEngine(rules, metrics, cache=cache,
-                                      coalesce=coalesce)
-    return CheckingEngine(rules, metrics, cache=cache, coalesce=coalesce)
+                                      coalesce=coalesce, shadow=shadow)
+    return CheckingEngine(rules, metrics, cache=cache, coalesce=coalesce,
+                          shadow=shadow)
 
 
 # ----------------------------------------------------------------------
@@ -270,11 +278,13 @@ class ColumnarCheckingEngine:
         metrics: Optional[MetricsRegistry] = None,
         cache: Optional[VerdictCache] = None,
         coalesce: bool = True,
+        shadow: Optional[str] = None,
     ) -> None:
         self.rules = rules if rules is not None else X86Rules()
         self.metrics = metrics
         self.cache = cache
         self.coalesce = coalesce
+        self.shadow_name = resolve_shadow_name(shadow)
         self.writes_merged = 0
 
     # ------------------------------------------------------------------
@@ -295,6 +305,7 @@ class ColumnarCheckingEngine:
                 self.rules, cols, metrics,
                 events_checked=len(cols) - cols.check_from,
                 finish_seq=len(cols),
+                shadow=self.shadow_name,
             ).run()
         original_len = len(cols)
         if self.coalesce:
@@ -308,6 +319,7 @@ class ColumnarCheckingEngine:
             return _ColumnarChecker(
                 self.rules, cols, metrics,
                 events_checked=original_len, finish_seq=original_len,
+                shadow=self.shadow_name,
             ).run()
         form = canonicalize_columns(cols)
         template = cache.lookup(form.fingerprint)
@@ -328,6 +340,7 @@ class ColumnarCheckingEngine:
         checker = _ColumnarChecker(
             self.rules, cols, metrics,
             events_checked=original_len, finish_seq=original_len,
+            shadow=self.shadow_name,
         )
         result = checker.run()
         qstats = checker.qstats
@@ -410,12 +423,13 @@ class _ColumnarChecker(_TraceChecker):
         metrics: Optional[MetricsRegistry] = None,
         events_checked: Optional[int] = None,
         finish_seq: Optional[int] = None,
+        shadow: str = "object",
     ) -> None:
         self.rules = rules
         self.cols = cols
         self.trace = cols  # only trace_id is ever read off this
         self.trace_id = cols.trace_id
-        self.shadow = rules.make_shadow()
+        self.shadow = make_shadow_for(rules, shadow)
         self.metrics = metrics
         self.events = None
         self.events_checked = (
@@ -424,7 +438,12 @@ class _ColumnarChecker(_TraceChecker):
         #: seq stamped on the implicit end-of-trace checker close; the
         #: engine passes the original (pre-coalescing) trace length
         self.finish_seq = finish_seq if finish_seq is not None else len(cols)
-        self.qstats: Optional[QueryStats] = None
+        #: per-checker query accounting (full metrics only), owned by
+        #: this checker alone — shards each build their own, templates
+        #: copy the final integers, nothing is shared or double counted
+        self.qstats: Optional[QueryStats] = (
+            QueryStats() if metrics is not None and metrics.full else None
+        )
         self.result = TestResult(traces_checked=1)
         self.tx_depth = 0
         self.log_tree = LogTree()
@@ -450,9 +469,8 @@ class _ColumnarChecker(_TraceChecker):
             # scratch events: query stats, per-op histograms and stage
             # timings come from the identical code path as the object
             # engine, so full-metrics counters agree exactly.
-            qstats = QueryStats()
+            qstats = self.qstats
             self.shadow.pm.stats = qstats
-            self.qstats = qstats
             shadow_ns, shadow_n, checker_ns, checker_n = self._run_timed(
                 self._iter_scratch(start), metrics
             )
@@ -532,11 +550,37 @@ class _ColumnarChecker(_TraceChecker):
         flush_max = FLUSH_MAX
         sfence = OP_SFENCE
         check_persist = OP_CHECK_PERSIST
+        site_at = cols.site_at
+        # Array shadow: per-epoch ops and checks are collected into
+        # vectors and answered through the batched store API.  The run
+        # finder reuses the silent path's C-speed translate table.
+        array = fast and type(shadow.pm) is ArrayIntervalMap
+        run_ends = bytes(ops).translate(_RUN_END_TABLE) if array else b""
+        check_pass_many = rules.check_persist_pass_many if array else None
+        apply_write_run = rules.apply_write_run if array else None
         slow = self.tx_check_active or bool(self.excluded)
         while i < end:
             b = ops[i]
             if fast and not slow and b <= flush_max:
                 if b <= write_max:
+                    if array:
+                        # Whole fence-delimited write run in one sorted
+                        # sweep + single splice; a run holding a
+                        # non-positive size replays sequentially so the
+                        # structural error fires at the same event with
+                        # the same partial shadow state.
+                        j = run_ends.find(b"\x01", i + 1, end)
+                        if j == -1:
+                            j = end
+                        if j - i >= 2 and _sizes_positive(sizes, i, j):
+                            apply_write_run(
+                                shadow, ops, addrs, sizes, site_at, i, j
+                            )
+                            if counts is not None:
+                                for v in range(1, write_max + 1):
+                                    counts[v] += ops.count(v, i, j)
+                            i = j
+                            continue
                     # Inline write: the object engine reaches the same
                     # assign through three calls (handler, apply_op,
                     # two enum identity checks); here it is direct.
@@ -607,6 +651,30 @@ class _ColumnarChecker(_TraceChecker):
                     counts[b] += 1
                 i += 1
                 continue
+            if array and not slow and b == check_persist and sizes[i] > 0:
+                # Batched isPersist: one searchsorted pass over the
+                # columns answers every query in a run of consecutive
+                # checks (checks never mutate the shadow, so batching
+                # the lookups cannot reorder anything observable).
+                # Maybe-failing queries fall through, in order, to the
+                # full handler for byte-identical reports.
+                j = i + 1
+                while j < end and ops[j] == check_persist and sizes[j] > 0:
+                    j += 1
+                passes = check_pass_many(
+                    shadow,
+                    [(addrs[k], addrs[k] + sizes[k]) for k in range(i, j)],
+                )
+                handler = handlers[b]
+                for off in range(j - i):
+                    if passes[off]:
+                        result.checkers_evaluated += 1
+                    else:
+                        handler(self, fill(i + off, scratch))
+                if counts is not None:
+                    counts[b] += j - i
+                i = j
+                continue
             if fast and not slow and b == check_persist and sizes[i] > 0:
                 # Inline isPersist *pass* path: under x86 a subrange
                 # passes iff it was flushed in an epoch the timestamp
@@ -670,7 +738,13 @@ class _ColumnarChecker(_TraceChecker):
         sizes = cols.sizes
         shadow = self.shadow
         site_at = cols.site_at
-        if j - i >= self.SWEEP_MIN_RUN and _sizes_positive(sizes, i, j):
+        # The array store splices whole runs profitably from length 2
+        # (disjoint runs merge in one pass); the object map only wins
+        # once runs are long enough to carry dead writes.
+        min_run = (
+            2 if type(shadow.pm) is ArrayIntervalMap else self.SWEEP_MIN_RUN
+        )
+        if j - i >= min_run and _sizes_positive(sizes, i, j):
             self.rules.apply_write_run(
                 shadow, ops, addrs, sizes, site_at, i, j
             )
@@ -770,16 +844,26 @@ class _ColumnarChecker(_TraceChecker):
                 if not excluded:
                     if fast:
                         # Inline the silent writeback: first flush
-                        # wins, no scratch fill or enum dispatch.
+                        # wins, no scratch fill or enum dispatch.  The
+                        # array store maps codes directly (no state
+                        # decode/rebuild).
                         now = shadow.timestamp
                         site = site_at(i)
-                        shadow.pm.update(
-                            addrs[i],
-                            addrs[i] + sizes[i],
-                            lambda lo, hi, state: state
-                            if state.flush_epoch is not None
-                            else state.with_flush(now, site),
-                        )
+                        pm = shadow.pm
+                        if type(pm) is ArrayIntervalMap:
+                            pm.update_codes(
+                                addrs[i],
+                                addrs[i] + sizes[i],
+                                pm.codec.flush_map(now, site),
+                            )
+                        else:
+                            pm.update(
+                                addrs[i],
+                                addrs[i] + sizes[i],
+                                lambda lo, hi, state: state
+                                if state.flush_epoch is not None
+                                else state.with_flush(now, site),
+                            )
                     else:
                         silent(shadow, fill(i, scratch))
                 else:

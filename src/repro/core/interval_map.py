@@ -18,26 +18,15 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Callable, Generic, Iterable, Iterator, List, Optional, Tuple, TypeVar
 
+# QueryStats moved to metrics.py (it is a metrics type, owned per
+# checker); re-exported here because the map is where it attaches.
+from repro.core.metrics import QueryStats
+
+__all__ = ["IntervalMap", "QueryStats", "Segment"]
+
 V = TypeVar("V")
 
 Segment = Tuple[int, int, V]
-
-
-class QueryStats:
-    """Per-map query-depth accounting (attached only when metrics=full).
-
-    ``queries`` counts range queries answered; ``scanned`` sums the
-    number of segments each query had to walk — the paper's
-    interval-tree "query depth", the quantity that distinguishes the
-    O(log n + k) interval map from a per-byte shadow.  Kept as two plain
-    ints so the hot-path hook is one attribute test plus two adds.
-    """
-
-    __slots__ = ("queries", "scanned")
-
-    def __init__(self) -> None:
-        self.queries = 0
-        self.scanned = 0
 
 
 class IntervalMap(Generic[V]):

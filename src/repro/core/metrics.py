@@ -67,6 +67,28 @@ class MetricsLevel(Enum):
         return self.value
 
 
+class QueryStats:
+    """Per-interval-map query-depth accounting (attached only at ``full``).
+
+    ``queries`` counts range queries answered; ``scanned`` sums the
+    number of segments each query had to walk — the paper's
+    interval-tree "query depth", the quantity that distinguishes the
+    O(log n + k) interval map from a per-byte shadow.  Kept as two plain
+    ints so the hot-path hook is one attribute test plus two adds.
+
+    Each checker owns exactly one instance, created when the checker is
+    built and attached to its private shadow map — never shared between
+    shards or cached verdict templates, so per-shard accumulation cannot
+    double count (templates copy the final integers out instead).
+    """
+
+    __slots__ = ("queries", "scanned")
+
+    def __init__(self) -> None:
+        self.queries = 0
+        self.scanned = 0
+
+
 def level_from_env(default: MetricsLevel = MetricsLevel.OFF) -> MetricsLevel:
     """Parse ``PMTEST_METRICS`` (unset or empty means ``default``)."""
     raw = os.environ.get(ENV_VAR, "").strip().lower()

@@ -1,0 +1,31 @@
+"""Optional-numpy loader shared by the vectorized fast paths.
+
+Every module with a numpy fast path loads the library through
+:func:`load_numpy` so one environment knob — ``PMTEST_NO_NUMPY=1`` —
+forces the ``array('q')``/scalar fallbacks everywhere at once.  The knob
+exists because the scalar paths are the only ones exercised on hosts
+without numpy; CI runs the differential suite under it so those paths
+cannot rot on developer machines where numpy is installed.
+
+The check happens at import time: the fallback choice must be stable for
+the life of a process (worker processes inherit the environment, so a
+pool stays internally consistent).
+"""
+
+from __future__ import annotations
+
+import os
+
+#: environment variable that disables numpy fast paths when set truthy
+NO_NUMPY_ENV_VAR = "PMTEST_NO_NUMPY"
+
+
+def load_numpy():
+    """Return the numpy module, or ``None`` when absent or disabled."""
+    if os.environ.get(NO_NUMPY_ENV_VAR):
+        return None
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy

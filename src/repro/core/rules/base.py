@@ -53,6 +53,19 @@ class PersistencyRules(ABC):
         """Create a fresh shadow memory for one trace."""
         return ShadowMemory()
 
+    def state_codec(self):
+        """A fresh state-code table for the array shadow store, or ``None``.
+
+        Models that support the ``--shadow array`` store return a
+        :class:`repro.core.interval_array.ValueCodec` (x86 returns its
+        :class:`repro.core.rules.x86.SegmentStateCodec`, which keeps a
+        parallel flush-epoch column for vectorized persist checks).
+        ``None`` — the default — means the model's states have no code
+        table and :func:`repro.core.shadow.make_shadow_for` quietly
+        keeps the object map for it.
+        """
+        return None
+
     # ------------------------------------------------------------------
     # Operation semantics
     # ------------------------------------------------------------------

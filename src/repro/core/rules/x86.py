@@ -27,21 +27,100 @@ Operation semantics:
 
 from __future__ import annotations
 
+from array import array
 from typing import Callable, List, Optional, Tuple
 
 from repro.core.events import Event, FLUSH_OPS, Op, SourceSite
+from repro.core.interval_array import ArrayIntervalMap, ValueCodec
 from repro.core.interval_map import IntervalMap
 from repro.core.intervals import Interval
+from repro.core.npcompat import load_numpy
 from repro.core.reports import Level, Report, ReportCode
 from repro.core.rules.base import PersistencyRules, RangeInterval
 from repro.core.shadow import SegmentState, ShadowMemory
 
-try:  # the write-run kernel vectorizes span detection with numpy
-    import numpy as _np
-except ImportError:  # pragma: no cover - numpy is usually present
-    _np = None
+# the write-run kernel and the array-shadow fast paths vectorize with
+# numpy when present (and not disabled via PMTEST_NO_NUMPY)
+_np = load_numpy()
 
 _OP_WRITE = Op.WRITE.value
+
+#: sentinel in the codec's flush-epoch column for "never flushed"
+_NO_FLUSH = -1
+
+
+class SegmentStateCodec(ValueCodec):
+    """State-code table for :class:`SegmentState` (paper Section 4.4).
+
+    Interns each distinct segment state as a dense code and keeps one
+    parallel metadata column the hot checks need:
+
+    ``flush_epochs``
+        ``state.flush_epoch`` per code, ``-1`` for unflushed.  With the
+        shadow's codes column this answers ``isPersist`` and the
+        redundant-writeback pre-tests with pure integer compares — no
+        state object is ever decoded on the pass path.
+
+    The per-epoch helper codes (``write_code`` / ``write_nt_code`` /
+    ``flush_map``) memoize on the write-run inputs so a whole epoch's
+    writes intern through one dict hit per distinct ``(epoch, site)``.
+    """
+
+    __slots__ = ("flush_epochs", "_write_memo")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.flush_epochs = array("q")
+        self._write_memo: dict = {}
+
+    def _on_new(self, value) -> None:
+        fe = value.flush_epoch
+        self.flush_epochs.append(_NO_FLUSH if fe is None else fe)
+
+    def write_code(self, ts: int, site: Optional[SourceSite]) -> int:
+        """Code for a plain store's state at epoch ``ts``."""
+        key = (False, ts, site)
+        code = self._write_memo.get(key)
+        if code is None:
+            code = self.encode(SegmentState(ts, None, site))
+            self._write_memo[key] = code
+        return code
+
+    def write_nt_code(self, ts: int, site: Optional[SourceSite]) -> int:
+        """Code for a non-temporal store's state at epoch ``ts``."""
+        key = (True, ts, site)
+        code = self._write_memo.get(key)
+        if code is None:
+            code = self.encode(SegmentState(ts, ts, site, site))
+            self._write_memo[key] = code
+        return code
+
+    def flush_map(
+        self, now: int, site: Optional[SourceSite]
+    ) -> Callable[[int], int]:
+        """First-flush-wins code mapping for one writeback.
+
+        Returns a memoized ``old code -> new code`` function: already
+        flushed states keep their code, unflushed states map to their
+        ``with_flush(now, site)`` code — the code-level twin of the
+        ``record`` closure in :meth:`X86Rules._apply_flush`.
+        """
+        memo: dict = {}
+        values = self.values
+        flush_epochs = self.flush_epochs
+        encode = self.encode
+
+        def fn(code: int) -> int:
+            new = memo.get(code)
+            if new is None:
+                if flush_epochs[code] != _NO_FLUSH:
+                    new = code
+                else:
+                    new = encode(values[code].with_flush(now, site))
+                memo[code] = new
+            return new
+
+        return fn
 
 
 def _run_is_disjoint(addrs, sizes, start: int, end: int) -> bool:
@@ -77,6 +156,9 @@ class X86Rules(PersistencyRules):
     supported_ops = frozenset(
         {Op.WRITE, Op.WRITE_NT, Op.CLWB, Op.CLFLUSHOPT, Op.CLFLUSH, Op.SFENCE}
     )
+
+    def state_codec(self) -> SegmentStateCodec:
+        return SegmentStateCodec()
 
     def apply_op(self, shadow: ShadowMemory, event: Event) -> List[Report]:
         op = event.op
@@ -127,13 +209,20 @@ class X86Rules(PersistencyRules):
         if op in FLUSH_OPS:
             now = shadow.timestamp
             site = event.site
+            pm = shadow.pm
+            if type(pm) is ArrayIntervalMap:
+                # code-level first-flush-wins: no state decode/rebuild
+                pm.update_codes(
+                    event.addr, event.end, pm.codec.flush_map(now, site)
+                )
+                return
 
             def record(lo: int, hi: int, state: SegmentState) -> SegmentState:
                 if state.flush_epoch is not None:
                     return state
                 return state.with_flush(now, site)
 
-            shadow.pm.update(event.addr, event.end, record)
+            pm.update(event.addr, event.end, record)
             return
         if op is Op.SFENCE:
             shadow.advance()
@@ -201,7 +290,18 @@ class X86Rules(PersistencyRules):
         now = shadow.timestamp
         lo = event.addr
         hi = event.end
-        segments = shadow.pm.overlaps(lo, hi)
+        pm = shadow.pm
+        if type(pm) is ArrayIntervalMap and pm.stats is None:
+            # Pre-test on the raw columns: a writeback is diagnostic-free
+            # iff the range is fully covered by segments that have never
+            # been flushed.  In that (overwhelmingly common) case the
+            # whole op is one code-level carve with zero state decodes;
+            # anything else falls through to the generic report-building
+            # walk below, which works on either store.
+            if self._flush_is_clean(pm, lo, hi):
+                pm.update_codes(lo, hi, pm.codec.flush_map(now, event.site))
+                return reports
+        segments = pm.overlaps(lo, hi)
         prev = lo
         for seg_lo, seg_hi, _ in segments:
             if seg_lo > prev:
@@ -253,6 +353,82 @@ class X86Rules(PersistencyRules):
         shadow.pm.update(lo, hi, record)
         return reports
 
+    @staticmethod
+    def _flush_is_clean(pm: ArrayIntervalMap, lo: int, hi: int) -> bool:
+        """Whether a writeback of ``[lo, hi)`` emits no diagnostics.
+
+        True iff the range is fully covered and no overlapped segment
+        carries flush state (any gap is an unnecessary-writeback
+        warning; any flushed segment is a duplicate or redundant one).
+        Pure integer compares over the columns.
+        """
+        i0, i1 = pm._window(lo, hi)
+        if i0 == i1:
+            return False
+        starts, ends, codes = pm._starts, pm._ends, pm._codes
+        flush_epochs = pm.codec.flush_epochs
+        if _np is not None and not pm._boxed and i1 - i0 >= 16:
+            sv = _np.frombuffer(starts, dtype=_np.int64)[i0:i1]
+            ev = _np.frombuffer(ends, dtype=_np.int64)[i0:i1]
+            cv = _np.frombuffer(codes, dtype=_np.int64)[i0:i1]
+            if sv[0] > lo or ev[-1] < hi:
+                return False
+            if not bool((sv[1:] == ev[:-1]).all()):
+                return False
+            ftab = _np.frombuffer(flush_epochs, dtype=_np.int64)
+            return bool((ftab[cv] == _NO_FLUSH).all())
+        cursor = lo
+        for i in range(i0, i1):
+            if starts[i] > cursor or flush_epochs[codes[i]] != _NO_FLUSH:
+                return False
+            cursor = ends[i]
+        return cursor >= hi
+
+    def check_persist_pass_many(
+        self, shadow: ShadowMemory, ranges
+    ) -> List[bool]:
+        """Batched ``isPersist`` pass pre-test over an array shadow.
+
+        One ``searchsorted`` pass resolves every query's segment window;
+        each window passes iff all of its codes map to a closed persist
+        interval (flushed, and fenced since: ``flush_epoch < timestamp``).
+        ``False`` entries are *maybe-failures*: the caller replays those
+        through the full report-building checker.  Only called with
+        ``stats`` detached — the pre-test performs no ``overlaps`` call
+        to account for.
+        """
+        pm = shadow.pm
+        now = shadow.timestamp
+        i0s, i1s = pm.bounds_many(ranges)
+        codes = pm._codes
+        flush_epochs = pm.codec.flush_epochs
+        out: List[bool] = []
+        if _np is not None and len(codes) and not pm._boxed:
+            cv = _np.frombuffer(codes, dtype=_np.int64)
+            ftab = _np.frombuffer(flush_epochs, dtype=_np.int64)
+            open_ = (ftab == _NO_FLUSH) | (ftab >= now)
+            # One prefix sum answers every window: a range passes iff
+            # it contains zero open-interval codes.
+            bad = _np.cumsum(open_[cv])
+            i0a = _np.asarray(i0s, dtype=_np.int64)
+            i1a = _np.asarray(i1s, dtype=_np.int64)
+            empty = i0a >= i1a
+            # Clamp indices for the empty windows; their (meaningless)
+            # counts are masked out below.
+            hi = _np.maximum(i1a - 1, 0)
+            lo = _np.maximum(i0a - 1, 0)
+            total = bad[hi] - _np.where(i0a > 0, bad[lo], 0)
+            return (empty | (total == 0)).tolist()
+        for i0, i1 in zip(i0s, i1s):
+            ok = True
+            for i in range(i0, i1):
+                fe = flush_epochs[codes[i]]
+                if fe == _NO_FLUSH or fe >= now:
+                    ok = False
+                    break
+            out.append(ok)
+        return out
+
     def apply_write_run(
         self,
         shadow: ShadowMemory,
@@ -287,8 +463,37 @@ class X86Rules(PersistencyRules):
         states the sequential replay would have created.
         """
         ts = shadow.timestamp
-        pm_assign = shadow.pm.assign
+        pm = shadow.pm
         write = _OP_WRITE
+        if type(pm) is ArrayIntervalMap:
+            # Batched path: intern each write's state as a code (one
+            # dict hit per distinct site within the epoch) and let the
+            # store apply the whole run as one sorted sweep + splice.
+            codec = pm.codec
+            write_code = codec.write_code
+            write_nt_code = codec.write_nt_code
+            # Memoize per run on (op, site identity): sites are interned
+            # by the column store, so id() is stable for the run and
+            # skips re-hashing the SourceSite dataclass per write.
+            local: dict = {}
+            items = []
+            for k in range(start, end):
+                lo = addrs[k]
+                op = ops[k]
+                site = site_at(k)
+                key = (op, id(site))
+                code = local.get(key)
+                if code is None:
+                    code = (
+                        write_code(ts, site)
+                        if op == write
+                        else write_nt_code(ts, site)
+                    )
+                    local[key] = code
+                items.append((lo, lo + sizes[k], code))
+            pm.assign_codes_many(items)
+            return
+        pm_assign = pm.assign
         if _run_is_disjoint(addrs, sizes, start, end):
             for k in range(start, end):
                 site = site_at(k)

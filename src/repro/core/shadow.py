@@ -110,3 +110,26 @@ class ShadowMemory:
     def hops_interval(self, state: SegmentState) -> Interval:
         """Persist interval under HOPS: closed by the first later dfence."""
         return Interval(state.write_epoch, self.first_dfence_after(state.write_epoch))
+
+
+def make_shadow_for(rules, shadow_name: str = "object") -> ShadowMemory:
+    """Build one trace's shadow with the configured interval store.
+
+    ``object`` keeps :class:`~repro.core.interval_map.IntervalMap`.
+    ``array`` swaps ``pm`` for an
+    :class:`~repro.core.interval_array.ArrayIntervalMap` over the
+    model's state-code table — but only for models that (a) use the
+    plain :class:`ShadowMemory` (custom shadow subclasses carry extra
+    invariants the swap cannot see) and (b) publish a codec via
+    ``rules.state_codec()``.  Anything else quietly keeps the object
+    map: the two stores are semantically identical, so the knob is a
+    performance choice, never a correctness one.
+    """
+    shadow = rules.make_shadow()
+    if shadow_name == "array" and type(shadow) is ShadowMemory:
+        codec = rules.state_codec()
+        if codec is not None:
+            from repro.core.interval_array import ArrayIntervalMap
+
+            shadow.pm = ArrayIntervalMap(codec=codec)
+    return shadow

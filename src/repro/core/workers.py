@@ -62,6 +62,7 @@ from repro.core.column_arena import (
 )
 from repro.core.columns import ColumnarTrace
 from repro.core.engine_columnar import merge_shard_results, resolve_engine_name
+from repro.core.interval_array import resolve_shadow_name
 from repro.core.events import Trace
 from repro.core.faults import FaultPlan, Resilience, plan_from_seed
 from repro.core.metrics import MetricsRegistry, make_registry
@@ -162,6 +163,13 @@ class WorkerPool:
         (struct-of-arrays batch replay, :mod:`repro.core
         .engine_columnar`).  ``None`` consults ``PMTEST_ENGINE``.
         Verdict-neutral: both engines produce identical results.
+    shadow:
+        Shadow-memory interval store the workers' engines build:
+        ``"object"`` (the default :class:`~repro.core.interval_map
+        .IntervalMap`) or ``"array"`` (struct-of-arrays
+        :class:`~repro.core.interval_array.ArrayIntervalMap` with
+        batched epoch updates).  ``None`` consults ``PMTEST_SHADOW``.
+        Verdict-neutral, like ``engine``.
     shard_min_events:
         Epoch-shard threshold.  A submitted trace with at least this
         many events is split at fence-delimited epoch boundaries into
@@ -210,12 +218,14 @@ class WorkerPool:
         verdict_cache: Optional[bool] = None,
         verdict_cache_size: Optional[int] = None,
         engine: Optional[str] = None,
+        shadow: Optional[str] = None,
         shard_min_events: Optional[int] = None,
         shard_plan: Optional[str] = None,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0")
         self._engine_name = resolve_engine_name(engine)
+        self._shadow_name = resolve_shadow_name(shadow)
         if shard_min_events is None:
             env = os.environ.get(SHARD_ENV_VAR)
             if env:
@@ -303,6 +313,7 @@ class WorkerPool:
             metrics=metrics,
             cache_size=self._cache_size,
             engine=self._engine_name,
+            shadow=self._shadow_name,
             tracer=tracer,
             span_context=self._span_ctx,
         )
@@ -336,6 +347,11 @@ class WorkerPool:
     def engine_name(self) -> str:
         """Which replay engine the workers run (object/columnar)."""
         return self._engine_name
+
+    @property
+    def shadow_name(self) -> str:
+        """Which shadow interval store the workers run (object/array)."""
+        return self._shadow_name
 
     @property
     def synchronous(self) -> bool:
@@ -614,6 +630,7 @@ class WorkerPool:
             metrics=self._metrics,
             cache_size=self._cache_size,
             engine=self._engine_name,
+            shadow=self._shadow_name,
             tracer=self._tracer,
             span_context=self._span_ctx,
         )

@@ -128,7 +128,7 @@ class CheckingServer:
     ``rules_factory`` builds one fresh rules object per session (rules
     may carry per-run state, so sessions must not share one); all the
     checking knobs (``workers``/``backend``/``transport``/``engine``/
-    ``shard_min_events``/``shard_plan``/``batch_size``/
+    ``shadow``/``shard_min_events``/``shard_plan``/``batch_size``/
     ``verdict_cache``) mirror
     :class:`~repro.core.workers.WorkerPool` and are applied to every
     session pool identically — that is what makes daemon verdicts
@@ -146,6 +146,7 @@ class CheckingServer:
         backend: Optional[str] = None,
         transport: Optional[str] = None,
         engine: Optional[str] = None,
+        shadow: Optional[str] = None,
         shard_min_events: Optional[int] = None,
         shard_plan: Optional[str] = None,
         batch_size: Optional[int] = None,
@@ -176,6 +177,7 @@ class CheckingServer:
         self._backend = backend
         self._transport = transport
         self._engine = engine
+        self._shadow = shadow
         self._shard_min_events = shard_min_events
         self._shard_plan = shard_plan
         self._batch_size = batch_size
@@ -360,6 +362,7 @@ class CheckingServer:
             batch_size=self._batch_size,
             transport=self._transport,
             engine=self._engine,
+            shadow=self._shadow,
             shard_min_events=self._shard_min_events,
             shard_plan=self._shard_plan,
             verdict_cache=self._verdict_cache,

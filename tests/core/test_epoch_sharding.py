@@ -162,6 +162,69 @@ class TestShardMergeMetadata:
         assert registry.counter_value("shard.shards") == 4
 
 
+class TestShardQueryStats:
+    """Per-shard interval-query accounting is explicitly owned.
+
+    Each shard's checker builds its own ``QueryStats`` (created in the
+    checker's ``__init__``, never shared); cached verdict templates
+    copy the final integers.  Shared mutable stats would show up here
+    as double counting: the merged ``engine.interval_queries`` /
+    ``engine.interval_scanned`` counters must equal the unsharded
+    totals exactly, and repeated cache hits must re-bill the *frozen*
+    template numbers, not a still-live accumulator."""
+
+    @staticmethod
+    def _interval_counters(**pool_kwargs):
+        registry = MetricsRegistry(MetricsLevel.FULL)
+        pool = WorkerPool(engine="columnar", metrics=registry, **pool_kwargs)
+        try:
+            pool.submit(big_trace())
+            pool.drain()
+            snap = pool.metrics_snapshot()
+        finally:
+            pool._backend.stop()
+        return (
+            snap.counter_value("engine.interval_queries"),
+            snap.counter_value("engine.interval_scanned"),
+        )
+
+    def test_sharded_totals_match_unsharded(self):
+        want = self._interval_counters(num_workers=0)
+        assert want[0] > 0
+        for workers in (2, 4):
+            got = self._interval_counters(
+                num_workers=workers, backend="thread", shard_min_events=1
+            )
+            assert got == want, f"{workers} workers: {got} != {want}"
+
+    def test_cache_hits_rebill_frozen_template_stats(self):
+        """N identical traces through a cached single worker bill
+        exactly N times the single-trace stats — a template sharing a
+        live stats object would drift upward per hit."""
+        single = self._interval_counters(num_workers=0, verdict_cache=False)
+        registry = MetricsRegistry(MetricsLevel.FULL)
+        with WorkerPool(num_workers=0, engine="columnar", metrics=registry,
+                        verdict_cache=True) as pool:
+            for i in range(3):
+                pool.submit(big_trace(trace_id=i))
+            pool.drain()
+            snap = pool.metrics_snapshot()
+        assert snap.counter_value("engine.interval_queries") == 3 * single[0]
+        assert snap.counter_value("engine.interval_scanned") == 3 * single[1]
+
+    def test_checkers_never_share_stats_objects(self):
+        from repro.core.engine_columnar import _ColumnarChecker
+        from repro.core.rules import X86Rules
+
+        registry = MetricsRegistry(MetricsLevel.FULL)
+        rules = X86Rules()
+        cols = ColumnarTrace.from_trace(big_trace())
+        a = _ColumnarChecker(rules, cols, registry)
+        b = _ColumnarChecker(rules, cols, registry)
+        assert a.qstats is not None
+        assert a.qstats is not b.qstats
+
+
 class TestShardChaos:
     def test_worker_crash_mid_shard_is_bit_identical(self):
         """A chaos-killed process worker loses its shard; supervision

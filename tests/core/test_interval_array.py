@@ -1,0 +1,308 @@
+"""Differential suite: the array-backed interval store is a drop-in.
+
+The contract under test (DESIGN.md §14): ``ArrayIntervalMap`` is the
+struct-of-arrays twin of :class:`~repro.core.interval_map.IntervalMap`
+— flat ``starts``/``ends``/``codes`` columns plus a value-interning
+codec — and every operation, batched or not, must agree with the
+object map segment for segment, including the ``QueryStats``
+accounting the paper's query-depth metric is built on.  The object map
+is the oracle throughout; a separate dict-of-addresses model cross-
+checks both in ``test_interval_map.py``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interval_array import (
+    SHADOW_ENV_VAR,
+    SHADOW_NAMES,
+    ArrayIntervalMap,
+    ValueCodec,
+    resolve_shadow_name,
+)
+from repro.core.interval_map import IntervalMap, QueryStats
+
+# ----------------------------------------------------------------------
+# Operation sequences
+# ----------------------------------------------------------------------
+
+_ADDR = st.integers(min_value=0, max_value=120)
+
+
+@st.composite
+def _ranges(draw):
+    lo = draw(_ADDR)
+    hi = draw(st.integers(min_value=lo + 1, max_value=128))
+    return lo, hi
+
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("assign"), _ranges(), st.integers(0, 5)),
+        st.tuples(st.just("erase"), _ranges(), st.just(0)),
+        st.tuples(st.just("update"), _ranges(), st.integers(0, 5)),
+        st.tuples(st.just("coalesce"), st.just((0, 1)), st.just(0)),
+    ),
+    max_size=40,
+)
+
+
+def _apply(m, op, rng, value):
+    lo, hi = rng
+    if op == "assign":
+        m.assign(lo, hi, value)
+    elif op == "erase":
+        m.erase(lo, hi)
+    elif op == "update":
+        m.update(lo, hi, lambda s, e, v: v + value)
+    else:
+        m.coalesce()
+
+
+def _pair(ops):
+    """Replay one op sequence into both stores."""
+    obj: IntervalMap[int] = IntervalMap()
+    arr = ArrayIntervalMap()
+    for op, rng, value in ops:
+        _apply(obj, op, rng, value)
+        _apply(arr, op, rng, value)
+    return obj, arr
+
+
+# ----------------------------------------------------------------------
+# Properties: per-operation parity with the object map
+# ----------------------------------------------------------------------
+
+
+class TestArrayMapDifferential:
+    @given(_OPS)
+    @settings(max_examples=200, deadline=None)
+    def test_segments_identical(self, ops):
+        obj, arr = _pair(ops)
+        assert list(obj) == list(arr)
+        assert len(obj) == len(arr)
+        assert obj.total_span() == arr.total_span()
+
+    @given(_OPS, _ranges())
+    @settings(max_examples=200, deadline=None)
+    def test_queries_identical(self, ops, query):
+        obj, arr = _pair(ops)
+        lo, hi = query
+        assert obj.overlaps(lo, hi) == arr.overlaps(lo, hi)
+        assert obj.overlaps(lo, hi, clip=False) == arr.overlaps(
+            lo, hi, clip=False
+        )
+        assert obj.gaps(lo, hi) == arr.gaps(lo, hi)
+        assert obj.covers(lo, hi) == arr.covers(lo, hi)
+        for point in (lo, hi - 1, 0, 128):
+            assert obj.get(point) == arr.get(point)
+
+    @given(_OPS, _ranges())
+    @settings(max_examples=200, deadline=None)
+    def test_query_stats_identical(self, ops, query):
+        """The paper's query-depth accounting must not notice the swap:
+        same queries count, same scanned count, mutations still free."""
+        obj, arr = _pair(ops)
+        obj.stats = so = QueryStats()
+        arr.stats = sa = QueryStats()
+        lo, hi = query
+        obj.overlaps(lo, hi)
+        arr.overlaps(lo, hi)
+        obj.covers(lo, hi)
+        arr.covers(lo, hi)
+        obj.gaps(lo, hi)
+        arr.gaps(lo, hi)
+        obj.assign(lo, hi, 9)
+        arr.assign(lo, hi, 9)
+        assert (so.queries, so.scanned) == (sa.queries, sa.scanned)
+        assert so.queries == 3  # assign is a mutation, not a query
+
+    @given(_OPS)
+    @settings(max_examples=100, deadline=None)
+    def test_update_all_identical(self, ops):
+        obj, arr = _pair(ops)
+        obj.update_all(lambda s, e, v: v * 2 + 1)
+        arr.update_all(lambda s, e, v: v * 2 + 1)
+        assert list(obj) == list(arr)
+
+    @given(_OPS)
+    @settings(max_examples=50, deadline=None)
+    def test_clear_identical(self, ops):
+        obj, arr = _pair(ops)
+        obj.clear()
+        arr.clear()
+        assert list(arr) == []
+        assert not arr
+        assert arr.total_span() == 0
+
+
+# ----------------------------------------------------------------------
+# Properties: batched epoch operations
+# ----------------------------------------------------------------------
+
+_ITEMS = st.lists(
+    st.tuples(_ranges(), st.integers(0, 5)), min_size=1, max_size=24
+)
+
+
+class TestBatchedOps:
+    @given(_OPS, _ITEMS)
+    @settings(max_examples=200, deadline=None)
+    def test_assign_many_equals_sequential(self, ops, items):
+        """One sorted-sweep splice == the same assigns applied in
+        order, including overlapping items (later wins)."""
+        obj, arr = _pair(ops)
+        for (lo, hi), value in items:
+            obj.assign(lo, hi, value)
+        arr.assign_many([(lo, hi, value) for (lo, hi), value in items])
+        assert list(obj) == list(arr)
+
+    @given(_OPS, st.lists(_ranges(), min_size=1, max_size=16))
+    @settings(max_examples=200, deadline=None)
+    def test_overlaps_many_equals_loop(self, ops, queries):
+        obj, arr = _pair(ops)
+        arr.stats = stats = QueryStats()
+        batched = arr.overlaps_many(queries)
+        arr.stats = None
+        assert batched == [obj.overlaps(lo, hi) for lo, hi in queries]
+        # Batched lookups bill exactly like a loop of overlaps().
+        check: IntervalMap[int] = IntervalMap(list(obj))
+        check.stats = loop = QueryStats()
+        for lo, hi in queries:
+            check.overlaps(lo, hi)
+        assert (stats.queries, stats.scanned) == (loop.queries, loop.scanned)
+
+    @given(_OPS, st.lists(_ranges(), min_size=1, max_size=16))
+    @settings(max_examples=200, deadline=None)
+    def test_covers_many_equals_loop(self, ops, queries):
+        obj, arr = _pair(ops)
+        assert arr.covers_many(queries) == [
+            obj.covers(lo, hi) for lo, hi in queries
+        ]
+
+    @given(_OPS, st.lists(_ranges(), min_size=1, max_size=10))
+    @settings(max_examples=200, deadline=None)
+    def test_update_many_equals_sequential(self, ops, ranges):
+        # update_many requires sorted, disjoint ranges: normalize.
+        merged = []
+        for lo, hi in sorted(ranges):
+            if merged and lo <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(hi, merged[-1][1]))
+            else:
+                merged.append((lo, hi))
+        obj, arr = _pair(ops)
+        for lo, hi in merged:
+            obj.update(lo, hi, lambda s, e, v: v + 7)
+        arr.update_many(merged, lambda s, e, v: v + 7)
+        assert list(obj) == list(arr)
+
+    def test_assign_many_empty_is_noop(self):
+        arr = ArrayIntervalMap()
+        arr.assign_many([])
+        assert list(arr) == []
+
+    def test_invalid_range_rejected_everywhere(self):
+        arr = ArrayIntervalMap()
+        for call in (
+            lambda: arr.assign(5, 5, 1),
+            lambda: arr.overlaps(7, 3),
+            lambda: arr.assign_many([(3, 3, 1)]),
+            lambda: arr.update_many([(9, 2)], lambda s, e, v: v),
+            lambda: arr.covers_many([(4, 4)]),
+        ):
+            with pytest.raises(ValueError, match="empty or inverted"):
+                call()
+
+
+# ----------------------------------------------------------------------
+# Codec interning and int64 overflow boxing
+# ----------------------------------------------------------------------
+
+
+class TestCodec:
+    def test_equal_values_share_codes(self):
+        codec = ValueCodec()
+        a = codec.encode((1, "x"))
+        b = codec.encode((1, "x"))
+        c = codec.encode((2, "y"))
+        assert a == b != c
+        assert codec.decode(a) == (1, "x")
+        assert len(codec) == 2
+
+    def test_map_reuses_codes_across_segments(self):
+        arr = ArrayIntervalMap()
+        arr.assign(0, 10, "hot")
+        arr.assign(20, 30, "hot")
+        arr.assign(40, 50, "cold")
+        assert len(arr.codec) == 2
+
+    def test_overflow_boxes_but_stays_correct(self):
+        """Addresses past int64 flip the columns to plain lists; the
+        map keeps answering identically."""
+        big = 2**63  # one past array('q')
+        arr = ArrayIntervalMap()
+        arr.assign(0, 10, "a")
+        arr.assign(big, big + 4, "b")
+        assert arr._boxed
+        assert arr.get(big) == "b"
+        assert arr.get(big + 4) is None
+        assert arr.overlaps(0, big + 8) == [(0, 10, "a"), (big, big + 4, "b")]
+        arr.assign(5, big + 2, "c")
+        assert list(arr) == [
+            (0, 5, "a"), (5, big + 2, "c"), (big + 2, big + 4, "b")
+        ]
+
+    def test_overflow_during_batch(self):
+        big = 2**63
+        obj: IntervalMap = IntervalMap()
+        arr = ArrayIntervalMap()
+        items = [(0, 8, "a"), (big - 4, big + 4, "b"), (4, 12, "c")]
+        for lo, hi, value in items:
+            obj.assign(lo, hi, value)
+        arr.assign_many(items)
+        assert list(obj) == list(arr)
+
+
+# ----------------------------------------------------------------------
+# Shadow-name resolution (the --shadow / PMTEST_SHADOW knob)
+# ----------------------------------------------------------------------
+
+
+class TestShadowSelection:
+    def test_default_is_object(self, monkeypatch):
+        monkeypatch.delenv(SHADOW_ENV_VAR, raising=False)
+        assert resolve_shadow_name(None) == "object"
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(SHADOW_ENV_VAR, "array")
+        assert resolve_shadow_name(None) == "array"
+
+    def test_explicit_name_beats_env(self, monkeypatch):
+        monkeypatch.setenv(SHADOW_ENV_VAR, "array")
+        assert resolve_shadow_name("object") == "object"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown shadow"):
+            resolve_shadow_name("simd")
+        assert SHADOW_NAMES == ("object", "array")
+
+    def test_make_shadow_for_swaps_x86(self):
+        from repro.core.rules import X86Rules
+        from repro.core.shadow import make_shadow_for
+
+        assert isinstance(
+            make_shadow_for(X86Rules(), "array").pm, ArrayIntervalMap
+        )
+        assert isinstance(make_shadow_for(X86Rules(), "object").pm, IntervalMap)
+
+    def test_make_shadow_for_keeps_custom_shadows(self):
+        """Models with bespoke shadow classes (naive x86, eADR) or no
+        codec (HOPS) silently keep the object map — the knob is a
+        performance choice, never a behavioural one."""
+        from repro.core.rules import EADRRules, HOPSRules, NaiveX86Rules
+        from repro.core.shadow import make_shadow_for
+
+        for rules in (NaiveX86Rules(), EADRRules(), HOPSRules()):
+            pm = make_shadow_for(rules, "array").pm
+            assert not isinstance(pm, ArrayIntervalMap), type(rules).__name__

@@ -330,6 +330,100 @@ class TestQueryStatsAccounting:
         assert stats.scanned == 1
 
 
+class TestEdgeCases:
+    """Boundary shapes the batched array store made load-bearing."""
+
+    @given(st.integers(min_value=0, max_value=128))
+    @settings(max_examples=50, deadline=None)
+    def test_zero_length_ranges_rejected_everywhere(self, lo):
+        m: IntervalMap[int] = IntervalMap()
+        m.assign(0, 130, 1)
+        for call in (
+            lambda: m.assign(lo, lo, 2),
+            lambda: m.erase(lo, lo),
+            lambda: m.update(lo, lo, lambda s, e, v: v),
+            lambda: m.overlaps(lo, lo),
+            lambda: m.gaps(lo, lo),
+            lambda: m.covers(lo, lo),
+        ):
+            with pytest.raises(ValueError, match="empty or inverted"):
+                call()
+        # The failed calls must not have perturbed the map.
+        assert list(m) == [(0, 130, 1)]
+
+    @given(_ranges(), _ranges())
+    @settings(max_examples=200, deadline=None)
+    def test_update_carves_both_boundaries(self, seg, cut):
+        """update() of an interior range leaves prefix and suffix with
+        the original value and hands the callback the *clipped* range."""
+        (slo, shi), (clo, chi) = seg, cut
+        m: IntervalMap[int] = IntervalMap()
+        m.assign(slo, shi, 1)
+        seen = []
+        m.update(clo, chi, lambda s, e, v: seen.append((s, e, v)) or v + 10)
+        model = {
+            a: (11 if clo <= a < chi else 1) for a in range(slo, shi)
+        }
+        for a in range(0, 130):
+            assert m.get(a) == model.get(a)
+        for s, e, v in seen:
+            assert max(slo, clo) <= s < e <= min(shi, chi)
+            assert v == 1
+
+    @given(_OPS)
+    @settings(max_examples=200, deadline=None)
+    def test_coalesce_merges_exactly_equal_adjacent(self, ops):
+        m: IntervalMap[int] = IntervalMap()
+        for op, rng, value in ops:
+            lo, hi = rng
+            if op == "assign":
+                m.assign(lo, hi, value)
+            elif op == "erase":
+                m.erase(lo, hi)
+            else:
+                m.update(lo, hi, lambda s, e, v: v + value)
+        model = {a: m.get(a) for a in range(0, 130) if m.get(a) is not None}
+        m.coalesce()
+        # Point-identical...
+        for a in range(0, 130):
+            assert m.get(a) == model.get(a)
+        # ...and maximally merged: no two touching equal-valued runs.
+        segments = list(m)
+        for (s1, e1, v1), (s2, e2, v2) in zip(segments, segments[1:]):
+            assert e1 < s2 or v1 != v2
+
+    @given(_OPS, _ranges())
+    @settings(max_examples=200, deadline=None)
+    def test_gaps_at_query_edges(self, ops, query):
+        """gaps() against the dict model, with the query edges landing
+        on, inside, and outside segment boundaries."""
+        m: IntervalMap[int] = IntervalMap()
+        for op, rng, value in ops:
+            lo, hi = rng
+            if op == "assign":
+                m.assign(lo, hi, value)
+            elif op == "erase":
+                m.erase(lo, hi)
+            else:
+                m.update(lo, hi, lambda s, e, v: v + value)
+        lo, hi = query
+        holes = {a for a in range(lo, hi) if m.get(a) is None}
+        from_gaps = set()
+        for s, e in m.gaps(lo, hi):
+            assert lo <= s < e <= hi
+            from_gaps.update(range(s, e))
+        assert from_gaps == holes
+
+    def test_gaps_edges_exact(self):
+        m: IntervalMap[int] = IntervalMap()
+        m.assign(10, 20, 1)
+        assert m.gaps(0, 10) == [(0, 10)]    # query ends at segment start
+        assert m.gaps(20, 30) == [(20, 30)]  # query starts at segment end
+        assert m.gaps(10, 20) == []
+        assert m.gaps(9, 21) == [(9, 10), (20, 21)]
+        assert m.gaps(19, 20) == []
+
+
 class TestCoversProperties:
     @given(_OPS, _ranges())
     @settings(max_examples=200, deadline=None)
